@@ -1,0 +1,31 @@
+//! Criterion benchmarks: every SunSpider program under every engine (the
+//! statistical counterpart of the fig10 binary). Run a focused subset with
+//! `cargo bench -p tm-bench -- <program-name>`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tm_bench::SUITE;
+use tracemonkey::{Engine, JitOptions, Vm};
+
+fn bench_suite(c: &mut Criterion) {
+    for prog in SUITE {
+        let mut group = c.benchmark_group(prog.name);
+        group.sample_size(10);
+        for (label, engine) in [
+            ("interp", Engine::Interp),
+            ("sfx", Engine::FastInterp),
+            ("method", Engine::Method),
+            ("tracing", Engine::Tracing),
+        ] {
+            group.bench_with_input(BenchmarkId::from_parameter(label), &engine, |b, &engine| {
+                b.iter(|| {
+                    let mut vm = Vm::with_options(engine, JitOptions::default());
+                    vm.eval(prog.source).expect("benchmark program runs")
+                });
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_suite);
+criterion_main!(benches);

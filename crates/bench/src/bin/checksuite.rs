@@ -1,0 +1,21 @@
+//! Differential check: every suite program must produce identical results
+//! under all four engines. Also reports which programs traced.
+use tm_bench::{run_all_engines, SUITE};
+use tracemonkey::JitOptions;
+
+fn main() {
+    let opts = JitOptions::default();
+    let mut traced = 0;
+    for prog in SUITE {
+        let [interp, _fast, _method, tracing] = run_all_engines(prog, opts, 1);
+        let trees = tracing.vm.monitor().map(|m| m.cache.len()).unwrap_or(0);
+        let frac = tracing.vm.profile().map(|p| p.native_bytecode_fraction()).unwrap_or(0.0);
+        if frac > 0.10 { traced += 1; }
+        println!(
+            "OK {:26} value={:12} trees={:2} native_frac={:5.1}% {}",
+            prog.name, interp.value, trees, frac * 100.0,
+            if prog.untraceable { "(untraceable by design)" } else { "" }
+        );
+    }
+    println!("\n{traced}/26 programs spend >10% of bytecodes on trace");
+}

@@ -1,0 +1,82 @@
+//! Figure 10: speedup of TraceMonkey (tracing), SFX (fast interpreter),
+//! and V8 (method JIT) over the SpiderMonkey baseline interpreter on the
+//! 26 SunSpider programs.
+//!
+//! Usage: `fig10 [repeats]` (default 3). Prints one row per program plus
+//! the in-text claim checks (fastest-VM counts, peak speedups).
+
+use tm_bench::{harness, SUITE};
+use tracemonkey::JitOptions;
+
+fn main() {
+    let repeats: u32 =
+        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(3);
+    let opts = JitOptions::default();
+
+    println!(
+        "{:26} {:>9} {:>9} {:>9} {:>9}  {:>7} {:>7} {:>7}  winner",
+        "program", "interp", "sfx", "method", "tracing", "sfx x", "meth x", "trace x"
+    );
+    let mut tm_fastest = 0;
+    let mut best_trace: (f64, &str) = (0.0, "");
+    let mut total = [0.0f64; 4];
+    let mut geo = [0.0f64; 3];
+    for prog in SUITE {
+        let [interp, fast, method, tracing] = harness::run_all_engines(prog, opts, repeats);
+        let times = [interp.time, fast.time, method.time, tracing.time];
+        for (t, acc) in times.iter().zip(total.iter_mut()) {
+            *acc += t.as_secs_f64();
+        }
+        let sx = harness::speedup(interp.time, fast.time);
+        let mx = harness::speedup(interp.time, method.time);
+        let tx = harness::speedup(interp.time, tracing.time);
+        geo[0] += sx.ln();
+        geo[1] += mx.ln();
+        geo[2] += tx.ln();
+        let winner = if tx >= mx && tx >= sx && tx >= 1.0 {
+            tm_fastest += 1;
+            "tracing"
+        } else if mx >= sx && mx >= 1.0 {
+            "method"
+        } else if sx > 1.0 {
+            "sfx"
+        } else {
+            "interp"
+        };
+        if tx > best_trace.0 {
+            best_trace = (tx, prog.name);
+        }
+        println!(
+            "{:26} {} {} {} {}  {:7.2} {:7.2} {:7.2}  {}",
+            prog.name,
+            harness::ms(interp.time),
+            harness::ms(fast.time),
+            harness::ms(method.time),
+            harness::ms(tracing.time),
+            sx,
+            mx,
+            tx,
+            winner
+        );
+    }
+    let n = SUITE.len() as f64;
+    println!(
+        "\ntotal: interp {:.0}ms  sfx {:.0}ms  method {:.0}ms  tracing {:.0}ms",
+        total[0] * 1e3,
+        total[1] * 1e3,
+        total[2] * 1e3,
+        total[3] * 1e3
+    );
+    println!(
+        "geomean speedups vs interp: sfx {:.2}x  method {:.2}x  tracing {:.2}x",
+        (geo[0] / n).exp(),
+        (geo[1] / n).exp(),
+        (geo[2] / n).exp()
+    );
+    println!("\npaper claim checks:");
+    println!("  tracing fastest on {tm_fastest} of 26 programs (paper: 9 of 26)");
+    println!(
+        "  best tracing speedup: {:.1}x on {} (paper: 25x on bitops-bitwise-and)",
+        best_trace.0, best_trace.1
+    );
+}

@@ -1,0 +1,35 @@
+//! Figure 11: fraction of dynamic bytecodes executed by the interpreter,
+//! while recording, and natively on traces, with the tracing speedup in
+//! parentheses — per SunSpider program.
+
+use tm_bench::{harness, SUITE};
+use tracemonkey::{Engine, JitOptions};
+
+fn main() {
+    let opts = JitOptions::default();
+    println!(
+        "{:26} {:>10} {:>8} {:>8} {:>8}  {:>9}",
+        "program", "bytecodes", "interp%", "record%", "native%", "(speedup)"
+    );
+    for prog in SUITE {
+        let interp = harness::run_program(prog, Engine::Interp, opts, 2);
+        let tracing = harness::run_program(prog, Engine::Tracing, opts, 2);
+        let p = tracing.vm.profile().expect("tracing profile");
+        let total = p.bytecodes_interp + p.bytecodes_recorded + p.bytecodes_native;
+        let pct = |x: u64| 100.0 * x as f64 / total.max(1) as f64;
+        println!(
+            "{:26} {:>10} {:>7.1}% {:>7.1}% {:>7.1}%  ({:>6.2}x){}",
+            prog.name,
+            total,
+            pct(p.bytecodes_interp),
+            pct(p.bytecodes_recorded),
+            pct(p.bytecodes_native),
+            harness::speedup(interp.time, tracing.time),
+            if prog.untraceable { "  [interpreter-only by design]" } else { "" }
+        );
+    }
+    println!(
+        "\npaper claim check: three programs (date-format-tofte, date-format-xparb,\n\
+         regexp-dna) are not traced and run (almost) entirely in the interpreter."
+    );
+}

@@ -1,0 +1,105 @@
+//! Writes the full evaluation (Figures 10/11-equivalent data) as JSON for
+//! downstream analysis: per-program times under each engine, speedups,
+//! bytecode distribution, and trace statistics.
+//!
+//! Usage: `results_json [repeats] > results.json`
+
+use serde::Serialize;
+use tm_bench::{harness, SUITE};
+use tracemonkey::JitOptions;
+
+#[derive(Serialize)]
+struct ProgramResult {
+    name: &'static str,
+    group: &'static str,
+    untraceable_by_design: bool,
+    interp_ms: f64,
+    sfx_ms: f64,
+    method_ms: f64,
+    tracing_ms: f64,
+    sfx_speedup: f64,
+    method_speedup: f64,
+    tracing_speedup: f64,
+    bytecodes_total: u64,
+    bytecodes_interp_pct: f64,
+    bytecodes_recorded_pct: f64,
+    bytecodes_native_pct: f64,
+    trees: usize,
+    fragments: u64,
+    trace_enters: u64,
+    side_exits: u64,
+}
+
+#[derive(Serialize)]
+struct Results {
+    repeats: u32,
+    programs: Vec<ProgramResult>,
+    totals: Totals,
+}
+
+#[derive(Serialize)]
+struct Totals {
+    interp_ms: f64,
+    sfx_ms: f64,
+    method_ms: f64,
+    tracing_ms: f64,
+    tracing_geomean_speedup: f64,
+    tracing_fastest_count: usize,
+}
+
+fn main() {
+    let repeats: u32 =
+        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2);
+    let opts = JitOptions::default();
+    let mut programs = Vec::new();
+    let mut totals = Totals {
+        interp_ms: 0.0,
+        sfx_ms: 0.0,
+        method_ms: 0.0,
+        tracing_ms: 0.0,
+        tracing_geomean_speedup: 0.0,
+        tracing_fastest_count: 0,
+    };
+    let mut geo = 0.0;
+    for prog in SUITE {
+        let [interp, sfx, method, tracing] = harness::run_all_engines(prog, opts, repeats);
+        let p = tracing.vm.profile().expect("profile");
+        let total_bc = p.bytecodes_interp + p.bytecodes_recorded + p.bytecodes_native;
+        let pct = |x: u64| 100.0 * x as f64 / total_bc.max(1) as f64;
+        let t = |d: std::time::Duration| d.as_secs_f64() * 1e3;
+        let tx = harness::speedup(interp.time, tracing.time);
+        let mx = harness::speedup(interp.time, method.time);
+        let sx = harness::speedup(interp.time, sfx.time);
+        geo += tx.ln();
+        if tx >= mx && tx >= sx && tx >= 1.0 {
+            totals.tracing_fastest_count += 1;
+        }
+        totals.interp_ms += t(interp.time);
+        totals.sfx_ms += t(sfx.time);
+        totals.method_ms += t(method.time);
+        totals.tracing_ms += t(tracing.time);
+        programs.push(ProgramResult {
+            name: prog.name,
+            group: prog.group,
+            untraceable_by_design: prog.untraceable,
+            interp_ms: t(interp.time),
+            sfx_ms: t(sfx.time),
+            method_ms: t(method.time),
+            tracing_ms: t(tracing.time),
+            sfx_speedup: sx,
+            method_speedup: mx,
+            tracing_speedup: tx,
+            bytecodes_total: total_bc,
+            bytecodes_interp_pct: pct(p.bytecodes_interp),
+            bytecodes_recorded_pct: pct(p.bytecodes_recorded),
+            bytecodes_native_pct: pct(p.bytecodes_native),
+            trees: tracing.vm.monitor().map(|m| m.cache.len()).unwrap_or(0),
+            fragments: p.fragments,
+            trace_enters: p.trace_enters,
+            side_exits: p.side_exits,
+        });
+    }
+    totals.tracing_geomean_speedup = (geo / SUITE.len() as f64).exp();
+    let results = Results { repeats, programs, totals };
+    println!("{}", serde_json::to_string_pretty(&results).expect("serialize"));
+}

@@ -1,0 +1,77 @@
+//! Measurement harness shared by the figure-reproduction binaries.
+
+use std::time::{Duration, Instant};
+
+use tracemonkey::{Engine, JitOptions, Vm};
+
+use crate::suite::BenchProgram;
+
+/// Result of running one program on one engine.
+#[derive(Debug)]
+pub struct RunResult {
+    /// Best-of-N wall-clock time.
+    pub time: Duration,
+    /// Completion value rendered as a string (consistency checking).
+    pub value: String,
+    /// The VM after the run (profile/monitor inspection).
+    pub vm: Vm,
+}
+
+/// Runs `prog` under `engine`, returning the fastest of `repeats` runs
+/// (SunSpider-style: each run is a fresh VM, timing includes compilation —
+/// the "low startup time" constraint the paper emphasizes).
+pub fn run_program(prog: &BenchProgram, engine: Engine, opts: JitOptions, repeats: u32) -> RunResult {
+    let mut best = Duration::MAX;
+    let mut last_vm = None;
+    let mut value = String::new();
+    for _ in 0..repeats.max(1) {
+        let mut vm = Vm::with_options(engine, opts);
+        let start = Instant::now();
+        let v = vm.eval(prog.source).unwrap_or_else(|e| {
+            panic!("{} failed under {:?}: {e}", prog.name, engine)
+        });
+        let elapsed = start.elapsed();
+        value = tracemonkey::runtime::ops::to_display(&mut vm.realm, v);
+        if elapsed < best {
+            best = elapsed;
+        }
+        last_vm = Some(vm);
+    }
+    RunResult { time: best, value, vm: last_vm.expect("at least one run") }
+}
+
+/// Runs `prog` on all four engines and checks result consistency.
+///
+/// # Panics
+///
+/// Panics when engines disagree on the result (a correctness bug).
+pub fn run_all_engines(
+    prog: &BenchProgram,
+    opts: JitOptions,
+    repeats: u32,
+) -> [RunResult; 4] {
+    let interp = run_program(prog, Engine::Interp, opts, repeats);
+    let fast = run_program(prog, Engine::FastInterp, opts, repeats);
+    let method = run_program(prog, Engine::Method, opts, repeats);
+    let tracing = run_program(prog, Engine::Tracing, opts, repeats);
+    for (name, r) in
+        [("fast", &fast), ("method", &method), ("tracing", &tracing)]
+    {
+        assert_eq!(
+            interp.value, r.value,
+            "{}: {name} engine disagrees with the interpreter",
+            prog.name
+        );
+    }
+    [interp, fast, method, tracing]
+}
+
+/// Speedup of `t` relative to baseline `base`.
+pub fn speedup(base: Duration, t: Duration) -> f64 {
+    base.as_secs_f64() / t.as_secs_f64().max(1e-9)
+}
+
+/// Formats a duration in milliseconds with two decimals.
+pub fn ms(d: Duration) -> String {
+    format!("{:8.2}", d.as_secs_f64() * 1e3)
+}

@@ -1,0 +1,12 @@
+//! # tm-bench
+//!
+//! Benchmark suite and paper-figure harnesses for the TraceMonkey
+//! reproduction: JTS ports of the 26 SunSpider programs (the paper's
+//! evaluation workload) and binaries regenerating Figures 10, 11, and 12
+//! plus the ablation studies. See EXPERIMENTS.md for results.
+
+pub mod harness;
+pub mod suite;
+
+pub use harness::{run_all_engines, run_program, speedup};
+pub use suite::{by_name, BenchProgram, SIEVE, SUITE};

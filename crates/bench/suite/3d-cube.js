@@ -1,0 +1,27 @@
+// 3d-cube: rotate the 8 vertices of a cube through many frames.
+// Port of the SunSpider kernel: 3x3 rotation matrices applied to points.
+var vx = [-1, 1, 1, -1, -1, 1, 1, -1];
+var vy = [-1, -1, 1, 1, -1, -1, 1, 1];
+var vz = [-1, -1, -1, -1, 1, 1, 1, 1];
+var outx = [0,0,0,0,0,0,0,0];
+var outy = [0,0,0,0,0,0,0,0];
+var outz = [0,0,0,0,0,0,0,0];
+var checksum = 0;
+for (var frame = 0; frame < 6000; frame++) {
+    var ax = frame * 0.01, ay = frame * 0.013, az = frame * 0.017;
+    var sx = Math.sin(ax), cx = Math.cos(ax);
+    var sy = Math.sin(ay), cy = Math.cos(ay);
+    var sz = Math.sin(az), cz = Math.cos(az);
+    // Combined rotation matrix.
+    var m00 = cy * cz, m01 = -cy * sz, m02 = sy;
+    var m10 = sx * sy * cz + cx * sz, m11 = -sx * sy * sz + cx * cz, m12 = -sx * cy;
+    var m20 = -cx * sy * cz + sx * sz, m21 = cx * sy * sz + sx * cz, m22 = cx * cy;
+    for (var i = 0; i < 8; i++) {
+        var x = vx[i], y = vy[i], z = vz[i];
+        outx[i] = m00 * x + m01 * y + m02 * z;
+        outy[i] = m10 * x + m11 * y + m12 * z;
+        outz[i] = m20 * x + m21 * y + m22 * z;
+    }
+    checksum = checksum + outx[0] + outy[3] + outz[7];
+}
+Math.floor(checksum * 1000)

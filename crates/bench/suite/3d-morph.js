@@ -1,0 +1,16 @@
+// 3d-morph: morph a height field with sine waves (SunSpider kernel).
+var size = 120;
+var a = [];
+for (var i = 0; i < size * size; i++) a[i] = 0;
+var PI2 = Math.PI * 2;
+for (var f = 0; f < 12; f++) {
+    var fd = f / 25;
+    for (var i = 0; i < size; i++) {
+        for (var j = 0; j < size; j++) {
+            a[i * size + j] = Math.sin((i + fd) * PI2 / size) * 0.3;
+        }
+    }
+}
+var sum = 0;
+for (var i = 0; i < size * size; i++) sum += a[i];
+Math.floor(sum * 1000000)

@@ -1,0 +1,33 @@
+// 3d-raytrace: ray-sphere intersection over a pixel grid (simplified
+// SunSpider raytracer kernel: constructors, prototype property reads,
+// heavy double math).
+function Sphere(cx, cy, cz, r) {
+    this.cx = cx; this.cy = cy; this.cz = cz; this.r2 = r * r;
+}
+var spheres = [new Sphere(0, 0, 5, 1), new Sphere(2, 1, 7, 1.5), new Sphere(-2, -1, 6, 0.8)];
+var width = 100, height = 100;
+var hits = 0;
+var shade = 0.0;
+for (var py = 0; py < height; py++) {
+    for (var px = 0; px < width; px++) {
+        var dx = (px - width / 2) / width;
+        var dy = (py - height / 2) / height;
+        var dz = 1.0;
+        var len = Math.sqrt(dx * dx + dy * dy + dz * dz);
+        dx /= len; dy /= len; dz /= len;
+        var best = 1e30;
+        for (var s = 0; s < 3; s++) {
+            var sp = spheres[s];
+            var ocx = -sp.cx, ocy = -sp.cy, ocz = -sp.cz;
+            var b = ocx * dx + ocy * dy + ocz * dz;
+            var c = ocx * ocx + ocy * ocy + ocz * ocz - sp.r2;
+            var disc = b * b - c;
+            if (disc > 0) {
+                var t = -b - Math.sqrt(disc);
+                if (t > 0 && t < best) best = t;
+            }
+        }
+        if (best < 1e30) { hits++; shade += 1.0 / (1.0 + best); }
+    }
+}
+hits * 1000 + Math.floor(shade)

@@ -1,0 +1,24 @@
+// access-binary-trees: allocate and walk binary trees (GC pressure +
+// recursion; recursion is untraceable, as in the paper's TraceMonkey).
+function TreeNode(left, right, item) {
+    this.left = left; this.right = right; this.item = item;
+}
+function itemCheck(node) {
+    if (node.left === null) return node.item;
+    return node.item + itemCheck(node.left) - itemCheck(node.right);
+}
+function bottomUpTree(item, depth) {
+    if (depth > 0)
+        return new TreeNode(bottomUpTree(2 * item - 1, depth - 1),
+                            bottomUpTree(2 * item, depth - 1), item);
+    return new TreeNode(null, null, item);
+}
+var check = 0;
+for (var n = 4; n <= 7; n++) {
+    var iterations = 1 << (9 - n);
+    for (var i = 1; i <= iterations; i++) {
+        check += itemCheck(bottomUpTree(i, n));
+        check += itemCheck(bottomUpTree(-i, n));
+    }
+}
+check

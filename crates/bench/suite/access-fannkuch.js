@@ -1,0 +1,34 @@
+// access-fannkuch: permutation flipping (pure int array shuffling).
+var n = 7;
+var perm = [], perm1 = [], count = [];
+for (var i = 0; i < n; i++) perm1[i] = i;
+var maxFlips = 0, checksum = 0, permCount = 0;
+var r = n;
+while (true) {
+    while (r != 1) { count[r - 1] = r; r--; }
+    for (var i = 0; i < n; i++) perm[i] = perm1[i];
+    var flips = 0;
+    var k = perm[0];
+    while (k != 0) {
+        var k2 = (k + 1) >> 1;
+        for (var i = 0; i < k2; i++) {
+            var temp = perm[i]; perm[i] = perm[k - i]; perm[k - i] = temp;
+        }
+        flips++;
+        k = perm[0];
+    }
+    if (flips > maxFlips) maxFlips = flips;
+    checksum += permCount % 2 == 0 ? flips : -flips;
+    permCount++;
+    while (true) {
+        if (r == n) { maxFlips = maxFlips; r = n; break; }
+        var perm0 = perm1[0];
+        for (var i = 0; i < r; i++) perm1[i] = perm1[i + 1];
+        perm1[r] = perm0;
+        count[r] = count[r] - 1;
+        if (count[r] > 0) break;
+        r++;
+    }
+    if (r == n) break;
+}
+maxFlips * 100000 + (checksum & 0xffff)

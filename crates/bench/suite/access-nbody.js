@@ -1,0 +1,39 @@
+// access-nbody: planetary n-body simulation (objects with double fields).
+function Body(x, y, z, vx, vy, vz, mass) {
+    this.x = x; this.y = y; this.z = z;
+    this.vx = vx; this.vy = vy; this.vz = vz;
+    this.mass = mass;
+}
+var SOLAR_MASS = 4 * Math.PI * Math.PI;
+var DAYS = 365.24;
+var bodies = [
+    new Body(0, 0, 0, 0, 0, 0, SOLAR_MASS),
+    new Body(4.84, -1.16, -0.10, 0.00166 * DAYS, 0.0077 * DAYS, -0.0000690 * DAYS, 0.000954 * SOLAR_MASS),
+    new Body(8.34, 4.12, -0.40, -0.00276 * DAYS, 0.0049 * DAYS, 0.0000230 * DAYS, 0.000285 * SOLAR_MASS),
+    new Body(12.89, -15.11, -0.22, 0.00296 * DAYS, 0.00237 * DAYS, -0.0000296 * DAYS, 0.0000436 * SOLAR_MASS),
+    new Body(15.37, -25.91, 0.17, 0.00268 * DAYS, 0.00162 * DAYS, -0.0000951 * DAYS, 0.0000515 * SOLAR_MASS)
+];
+var dt = 0.01;
+for (var step = 0; step < 6000; step++) {
+    for (var i = 0; i < 5; i++) {
+        var bi = bodies[i];
+        for (var j = i + 1; j < 5; j++) {
+            var bj = bodies[j];
+            var dx = bi.x - bj.x, dy = bi.y - bj.y, dz = bi.z - bj.z;
+            var d2 = dx * dx + dy * dy + dz * dz;
+            var mag = dt / (d2 * Math.sqrt(d2));
+            bi.vx -= dx * bj.mass * mag; bi.vy -= dy * bj.mass * mag; bi.vz -= dz * bj.mass * mag;
+            bj.vx += dx * bi.mass * mag; bj.vy += dy * bi.mass * mag; bj.vz += dz * bi.mass * mag;
+        }
+    }
+    for (var i = 0; i < 5; i++) {
+        var b = bodies[i];
+        b.x += dt * b.vx; b.y += dt * b.vy; b.z += dt * b.vz;
+    }
+}
+var e = 0;
+for (var i = 0; i < 5; i++) {
+    var b = bodies[i];
+    e += 0.5 * b.mass * (b.vx * b.vx + b.vy * b.vy + b.vz * b.vz);
+}
+Math.floor(e * 1000000)

@@ -1,0 +1,19 @@
+// access-nsieve: classic sieve with a boolean flags array.
+function nsieve(m, isPrime) {
+    for (var i = 2; i <= m; i++) isPrime[i] = true;
+    var count = 0;
+    for (var i = 2; i <= m; i++) {
+        if (isPrime[i]) {
+            for (var k = i + i; k <= m; k += i) isPrime[k] = false;
+            count++;
+        }
+    }
+    return count;
+}
+var sum = 0;
+var flags = [];
+for (var i = 1; i <= 3; i++) {
+    var m = (1 << i) * 10000;
+    sum += nsieve(m, flags);
+}
+sum

@@ -1,0 +1,12 @@
+// bitops-3bit-bits-in-byte: count bits with the 3-instruction trick.
+function fast3bitlookup(b) {
+    var c = 0xE994;
+    var bi3b = ((c >> ((b << 1) & 14)) & 3) + ((c >> (((b >> 2) & 7) << 1)) & 3)
+             + ((c >> (((b >> 5) & 7) << 1)) & 3);
+    return bi3b;
+}
+var sum = 0;
+for (var x = 0; x < 500; x++)
+    for (var y = 0; y < 256; y++)
+        sum += fast3bitlookup(y);
+sum

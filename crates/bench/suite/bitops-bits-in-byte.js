@@ -1,0 +1,14 @@
+// bitops-bits-in-byte: shift-and-mask bit counting.
+function bitsinbyte(b) {
+    var m = 1, c = 0;
+    while (m < 0x100) {
+        if (b & m) c++;
+        m <<= 1;
+    }
+    return c;
+}
+var sum = 0;
+for (var x = 0; x < 350; x++)
+    for (var y = 0; y < 256; y++)
+        sum += bitsinbyte(y);
+sum

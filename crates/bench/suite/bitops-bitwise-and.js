@@ -1,0 +1,5 @@
+// bitops-bitwise-and: the paper's 25x headliner — a single & in a loop.
+var bitwiseAndValue = 4294967296;
+for (var i = 0; i < 2000000; i++)
+    bitwiseAndValue = bitwiseAndValue & i;
+bitwiseAndValue

@@ -1,0 +1,17 @@
+// bitops-nsieve-bits: sieve with packed bit arrays.
+function primes(isNotPrime, n) {
+    var count = 0, m = 10000 << n, size = m + 31 >> 5;
+    for (var i = 0; i < size; i++) isNotPrime[i] = 0;
+    for (var i = 2; i < m; i++) {
+        if ((isNotPrime[i >> 5] & (1 << (i & 31))) == 0) {
+            count++;
+            for (var k = i + i; k < m; k += i)
+                isNotPrime[k >> 5] = isNotPrime[k >> 5] | (1 << (k & 31));
+        }
+    }
+    return count;
+}
+var arr = [];
+var sum = 0;
+for (var i = 0; i <= 2; i++) sum += primes(arr, i);
+sum

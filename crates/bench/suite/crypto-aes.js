@@ -1,0 +1,29 @@
+// crypto-aes: byte-substitution + mixing rounds over a state array
+// (simplified AES-like kernel: table lookups, xors, shifts).
+var sbox = [];
+for (var i = 0; i < 256; i++) sbox[i] = ((i * 7) ^ (i >> 3) ^ 0x63) & 0xff;
+var state = [];
+for (var i = 0; i < 16; i++) state[i] = i * 11 & 0xff;
+var key = [];
+for (var i = 0; i < 16; i++) key[i] = (i * 31 + 7) & 0xff;
+var checksum = 0;
+for (var block = 0; block < 4000; block++) {
+    for (var round = 0; round < 10; round++) {
+        // SubBytes
+        for (var i = 0; i < 16; i++) state[i] = sbox[state[i]];
+        // ShiftRows (simplified rotation)
+        var t = state[1]; state[1] = state[5]; state[5] = state[9]; state[9] = state[13]; state[13] = t;
+        // MixColumns-ish
+        for (var c = 0; c < 4; c++) {
+            var a0 = state[c * 4], a1 = state[c * 4 + 1], a2 = state[c * 4 + 2], a3 = state[c * 4 + 3];
+            state[c * 4] = (a0 ^ a1 ^ (a2 << 1)) & 0xff;
+            state[c * 4 + 1] = (a1 ^ a2 ^ (a3 << 1)) & 0xff;
+            state[c * 4 + 2] = (a2 ^ a3 ^ (a0 << 1)) & 0xff;
+            state[c * 4 + 3] = (a3 ^ a0 ^ (a1 << 1)) & 0xff;
+        }
+        // AddRoundKey
+        for (var i = 0; i < 16; i++) state[i] = state[i] ^ key[i];
+    }
+    checksum = (checksum + state[block & 15]) & 0xffffff;
+}
+checksum

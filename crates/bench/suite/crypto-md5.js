@@ -1,0 +1,20 @@
+// crypto-md5: MD5-style nonlinear mixing rounds over message words
+// derived from a string via charCodeAt.
+function rol(n, c) { return (n << c) | (n >>> (32 - c)); }
+var msg = 'The quick brown fox jumps over the lazy dog, then does it again and again to fill the block with enough data for hashing rounds.';
+var words = [];
+for (var i = 0; i < 16; i++) {
+    var w = 0;
+    for (var b = 0; b < 4; b++) w = (w << 8) | msg.charCodeAt((i * 4 + b) % msg.length);
+    words[i] = w;
+}
+var a = 0x67452301 | 0, b = 0xefcdab89 | 0, c = 0x98badcfe | 0, d = 0x10325476 | 0;
+for (var block = 0; block < 12000; block++) {
+    for (var i = 0; i < 16; i++) {
+        var f = (b & c) | (~b & d);
+        var tmp = d; d = c; c = b;
+        b = (b + rol((a + f + words[i] + 0x5a827999) | 0, 7)) | 0;
+        a = tmp;
+    }
+}
+(a ^ b ^ c ^ d) & 0xfffffff

@@ -1,0 +1,19 @@
+// crypto-sha1: SHA-1-style rotate/mix rounds.
+function rol(n, c) { return (n << c) | (n >>> (32 - c)); }
+var w = [];
+for (var i = 0; i < 80; i++) w[i] = (i * 0x9e3779b9) | 0;
+var h0 = 0x67452301 | 0, h1 = 0xefcdab89 | 0, h2 = 0x98badcfe | 0, h3 = 0x10325476 | 0, h4 = 0xc3d2e1f0 | 0;
+for (var block = 0; block < 3000; block++) {
+    var a = h0, b = h1, c = h2, d = h3, e = h4;
+    for (var i = 0; i < 80; i++) {
+        var f, k;
+        if (i < 20) { f = (b & c) | (~b & d); k = 0x5a827999 | 0; }
+        else if (i < 40) { f = b ^ c ^ d; k = 0x6ed9eba1 | 0; }
+        else if (i < 60) { f = (b & c) | (b & d) | (c & d); k = 0x8f1bbcdc | 0; }
+        else { f = b ^ c ^ d; k = 0xca62c1d6 | 0; }
+        var temp = (rol(a, 5) + f + e + k + w[i]) | 0;
+        e = d; d = c; c = rol(b, 30); b = a; a = temp;
+    }
+    h0 = (h0 + a) | 0; h1 = (h1 + b) | 0; h2 = (h2 + c) | 0; h3 = (h3 + d) | 0; h4 = (h4 + e) | 0;
+}
+(h0 ^ h1 ^ h2 ^ h3 ^ h4) & 0xfffffff

@@ -1,0 +1,20 @@
+// date-format-tofte: date formatting. The original drives formatting
+// through eval(), which TraceMonkey cannot trace; our port keeps the
+// untraceable character by coercing numeric *strings* in the hot loop
+// (string ToNumber is outside this tracer's specializable subset).
+function pad(n) { return n < 10 ? '0' + n : '' + n; }
+var out = 0;
+var names = ['Jan','Feb','Mar','Apr','May','Jun','Jul','Aug','Sep','Oct','Nov','Dec'];
+for (var t = 0; t < 4000; t++) {
+    var day = (t * 7) % 28 + 1;
+    var month = (t * 3) % 12;
+    var year = 1970 + (t % 60);
+    var h = t % 24, m = (t * 13) % 60, s = (t * 29) % 60;
+    var str = pad(day) + '-' + names[month] + '-' + year + ' ' + pad(h) + ':' + pad(m) + ':' + pad(s);
+    // Parse the digits back out of the formatted string (string->number
+    // coercion: the untraceable step, standing in for eval()).
+    var dd = +(str.charAt(0) + str.charAt(1));
+    var hh = +(str.charAt(12) + str.charAt(13));
+    out = (out + dd + hh + str.length) % 1000000;
+}
+out

@@ -1,0 +1,19 @@
+// date-format-xparb: alternative date formatter; like the original it
+// leans on dynamic dispatch/eval-style parsing. The hot loop's
+// string->number coercions keep it untraceable for this tracer.
+var suffixes = ['th','st','nd','rd'];
+function ordinal(n) {
+    var m = n % 100;
+    if (m > 3 && m < 21) return n + suffixes[0];
+    var k = n % 10;
+    return n + suffixes[k < 4 ? k : 0];
+}
+var acc = 0;
+for (var t = 0; t < 5000; t++) {
+    var d = (t % 31) + 1;
+    var s = ordinal(d);
+    var num = +(s.charAt(0)) * 10;
+    var y = '' + (2000 + t % 100);
+    acc = (acc + num + +(y.charAt(2) + y.charAt(3)) + s.length) % 1000000;
+}
+acc

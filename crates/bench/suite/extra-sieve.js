@@ -1,0 +1,10 @@
+// The paper's Figure 1 sample program (scaled): sieve of Eratosthenes.
+var primes = [];
+for (var i = 0; i < 2000; i++) primes[i] = true;
+for (var i = 2; i < 2000; ++i) {
+    if (!primes[i]) continue;
+    for (var k = i + i; k < 2000; k += i) primes[k] = false;
+}
+var count = 0;
+for (var i = 2; i < 2000; i++) if (primes[i]) count++;
+count

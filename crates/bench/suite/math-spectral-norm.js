@@ -1,0 +1,28 @@
+// math-spectral-norm: power iteration with the infinite matrix A.
+function A(i, j) {
+    return 1 / ((i + j) * (i + j + 1) / 2 + i + 1);
+}
+function Au(u, v, n) {
+    for (var i = 0; i < n; i++) {
+        var t = 0;
+        for (var j = 0; j < n; j++) t += A(i, j) * u[j];
+        v[i] = t;
+    }
+}
+function Atu(u, v, n) {
+    for (var i = 0; i < n; i++) {
+        var t = 0;
+        for (var j = 0; j < n; j++) t += A(j, i) * u[j];
+        v[i] = t;
+    }
+}
+var n = 120;
+var u = [], v = [], w = [];
+for (var i = 0; i < n; i++) { u[i] = 1; v[i] = 0; w[i] = 0; }
+for (var it = 0; it < 10; it++) {
+    Au(u, w, n); Atu(w, v, n);
+    Au(v, w, n); Atu(w, u, n);
+}
+var vBv = 0, vv = 0;
+for (var i = 0; i < n; i++) { vBv += u[i] * v[i]; vv += v[i] * v[i]; }
+Math.floor(Math.sqrt(vBv / vv) * 100000000)

@@ -1,0 +1,25 @@
+// regexp-dna: DNA pattern frequency counting. The original is regexp
+// bound (regexps are not traceable in TraceMonkey); this port scans with
+// string operations and keeps the untraceable character by converting
+// digit strings to numbers in the scoring loop.
+var alu = 'GGCCGGGCGCGGTGGCTCACGCCTGTAATCCCAGCACTTTGGGAGGCCGAGGCGGGCGGA';
+var seq = '';
+for (var i = 0; i < 40; i++) seq = seq + alu;
+var patterns = ['AGGC', 'CGCG', 'TTTG', 'GGGA', 'CCCA'];
+var weights = ['3', '1', '4', '1', '5'];
+var score = 0;
+for (var p = 0; p < patterns.length; p++) {
+    var pat = patterns[p];
+    var w = weights[p];
+    var from = 0;
+    while (true) {
+        var at = seq.indexOf(pat, from);
+        if (at < 0) break;
+        // Weighted scoring parses the digit string on every match — the
+        // untraceable coercion lives in the hot loop, like the regexp
+        // engine calls in the original.
+        score += +w;
+        from = at + 1;
+    }
+}
+score

@@ -1,0 +1,30 @@
+// string-base64: base64 encode/decode of generated data.
+var chars = 'ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/';
+function encode(data) {
+    var out = '';
+    var i = 0;
+    while (i + 2 < data.length) {
+        var n = (data.charCodeAt(i) << 16) | (data.charCodeAt(i + 1) << 8) | data.charCodeAt(i + 2);
+        out = out + chars.charAt((n >> 18) & 63) + chars.charAt((n >> 12) & 63)
+                  + chars.charAt((n >> 6) & 63) + chars.charAt(n & 63);
+        i += 3;
+    }
+    return out;
+}
+function decodeSum(data) {
+    var sum = 0;
+    for (var i = 0; i + 3 < data.length; i += 4) {
+        var n = (chars.indexOf(data.charAt(i)) << 18) | (chars.indexOf(data.charAt(i + 1)) << 12)
+              | (chars.indexOf(data.charAt(i + 2)) << 6) | chars.indexOf(data.charAt(i + 3));
+        sum = (sum + ((n >> 16) & 255) + ((n >> 8) & 255) + (n & 255)) & 0xffffff;
+    }
+    return sum;
+}
+var data = '';
+for (var i = 0; i < 600; i++) data = data + String.fromCharCode(25 + (i * 7) % 91);
+var total = 0;
+for (var round = 0; round < 12; round++) {
+    var enc = encode(data);
+    total = (total + decodeSum(enc)) & 0xffffff;
+}
+total

@@ -1,0 +1,23 @@
+// string-fasta: pseudo-random sequence generation with cumulative
+// probability selection.
+var last = 42;
+function genRandom(max) {
+    last = (last * 3877 + 29573) % 139968;
+    return max * last / 139968;
+}
+var codes = 'acgtBDHKMNRSVWY';
+var probs = [0.27, 0.12, 0.12, 0.27, 0.02, 0.02, 0.02, 0.02, 0.02, 0.02, 0.02, 0.02, 0.02, 0.02, 0.02];
+var cum = [];
+var c = 0;
+for (var i = 0; i < probs.length; i++) { c += probs[i]; cum[i] = c; }
+var counts = [];
+for (var i = 0; i < 15; i++) counts[i] = 0;
+for (var i = 0; i < 300000; i++) {
+    var r = genRandom(1);
+    var k = 0;
+    while (cum[k] < r) k++;
+    counts[k]++;
+}
+var checksum = 0;
+for (var i = 0; i < 15; i++) checksum = (checksum + counts[i] * codes.charCodeAt(i)) % 1000000007;
+checksum

@@ -1,0 +1,20 @@
+// string-tagcloud: word-frequency tag cloud with string-keyed objects
+// and markup string building.
+var words = ['web','script','trace','type','loop','fast','cloud','data','node','code',
+             'json','font','page','site','blog','post','link','list','item','view'];
+var freq = {};
+for (var i = 0; i < 20; i++) freq[words[i]] = 0;
+var seed = 7;
+for (var i = 0; i < 30000; i++) {
+    seed = (seed * 1103515245 + 12345) & 0x7fffffff;
+    var w = words[seed % 20];
+    freq[w] = freq[w] + 1;
+}
+var maxf = 0;
+for (var i = 0; i < 20; i++) if (freq[words[i]] > maxf) maxf = freq[words[i]];
+var markup = '';
+for (var i = 0; i < 20; i++) {
+    var size = 10 + Math.floor(30 * freq[words[i]] / maxf);
+    markup = markup + '<span style="font-size:' + size + 'px">' + words[i] + '</span>';
+}
+markup.length

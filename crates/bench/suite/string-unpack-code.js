@@ -1,0 +1,22 @@
+// string-unpack-code: decompress packed text (dictionary substitution
+// driven by charCodeAt / fromCharCode and concatenation).
+var dict = ['function', 'return', 'var ', 'while', 'for', 'if', 'else', 'true', 'false', 'null'];
+var packed = '';
+var seed = 3;
+for (var i = 0; i < 1500; i++) {
+    seed = (seed * 16807) % 2147483647;
+    packed = packed + String.fromCharCode(48 + (seed % 10));
+}
+var total = 0;
+for (var round = 0; round < 12; round++) {
+    var out = '';
+    var outLen = 0;
+    for (var i = 0; i < packed.length; i++) {
+        var idx = packed.charCodeAt(i) - 48;
+        var word = dict[idx];
+        outLen += word.length;
+        if ((i & 63) == 0) out = out + word;
+    }
+    total = (total + outLen + out.length) % 1000000;
+}
+total

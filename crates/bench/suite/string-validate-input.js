@@ -1,0 +1,28 @@
+// string-validate-input: generate user input and validate emails / zip
+// codes character by character.
+var letters = 'abcdefghijklmnopqrstuvwxyz';
+var seed = 11;
+function rnd(n) { seed = (seed * 1103515245 + 12345) & 0x7fffffff; return seed % n; }
+function isDigit(ch) { var c = ch.charCodeAt(0); return c >= 48 && c <= 57; }
+function isLetter(ch) { var c = ch.charCodeAt(0); return (c >= 97 && c <= 122) || (c >= 65 && c <= 90); }
+var okEmails = 0, okZips = 0;
+for (var i = 0; i < 3000; i++) {
+    // Build a name@host.tld email.
+    var name = '';
+    var nlen = 3 + rnd(8);
+    for (var k = 0; k < nlen; k++) name = name + letters.charAt(rnd(26));
+    var email = name + '@' + letters.charAt(rnd(26)) + letters.charAt(rnd(26)) + '.com';
+    // Validate: letters, one @, letters, one dot.
+    var at = email.indexOf('@');
+    var dot = email.indexOf('.', at);
+    var valid = at > 0 && dot > at + 1 && dot < email.length - 1;
+    for (var k = 0; valid && k < at; k++) if (!isLetter(email.charAt(k))) valid = false;
+    if (valid) okEmails++;
+    // Build and validate a zip code.
+    var zip = '';
+    for (var k = 0; k < 5; k++) zip = zip + String.fromCharCode(48 + rnd(10));
+    var zvalid = zip.length == 5;
+    for (var k = 0; zvalid && k < 5; k++) if (!isDigit(zip.charAt(k))) zvalid = false;
+    if (zvalid) okZips++;
+}
+okEmails * 10000 + okZips

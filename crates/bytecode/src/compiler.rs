@@ -1,0 +1,988 @@
+//! AST → bytecode compiler.
+//!
+//! Responsibilities beyond plain code generation:
+//!
+//! * **loop headers**: every loop emits an [`Op::LoopHeader`] as the unique
+//!   target of its backward branch, and registers a [`LoopInfo`] whose body
+//!   range lets the tracer decide loop nesting statically (§4.1);
+//! * **name resolution**: function-local `var`s become frame slots
+//!   (hoisted), top-level `var`s become realm global slots, functions are
+//!   installed as global function objects;
+//! * **constant pooling**: numbers and strings are pooled program-wide so
+//!   the VM can materialize boxed literals once at install time.
+
+use std::collections::HashMap;
+
+use tm_frontend::ast::{self, BinOp, Expr, Stmt, Target, UnOp};
+use tm_runtime::Realm;
+
+use crate::opcode::{FuncId, Function, LoopId, LoopInfo, Op, Program};
+
+/// An error produced during bytecode compilation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// 1-based source line.
+    pub line: u32,
+    /// Description.
+    pub message: String,
+}
+
+impl CompileError {
+    fn new(line: u32, message: impl Into<String>) -> CompileError {
+        CompileError { line, message: message.into() }
+    }
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "compile error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Compiles a parsed program against `realm` (which interns symbols and
+/// assigns global slots).
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] for resource overflows (too many locals or
+/// constants) and malformed constructs.
+pub fn compile(prog: &ast::Program, realm: &mut Realm) -> Result<Program, CompileError> {
+    let mut shared = SharedPools {
+        numbers: Vec::new(),
+        atoms: Vec::new(),
+        num_map: HashMap::new(),
+        atom_map: HashMap::new(),
+    };
+
+    // Pre-assign global slots for all declared functions so calls resolve
+    // regardless of declaration order.
+    let mut function_globals = Vec::new();
+    for (i, f) in prog.functions.iter().enumerate() {
+        // Function index 0 is reserved for main; declared functions follow.
+        let func_id = FuncId((i + 1) as u32);
+        let slot = realm.global_slot(&f.name);
+        function_globals.push((slot, func_id));
+    }
+
+    let mut functions = Vec::with_capacity(prog.functions.len() + 1);
+    let main =
+        FuncCompiler::new(realm, &mut shared, None).compile_main(&prog.body)?;
+    functions.push(main);
+    for f in &prog.functions {
+        let compiled = FuncCompiler::new(realm, &mut shared, Some(f)).compile_function(f)?;
+        functions.push(compiled);
+    }
+
+    Ok(Program {
+        functions,
+        main: FuncId(0),
+        numbers: shared.numbers,
+        atoms: shared.atoms,
+        function_globals,
+    })
+}
+
+struct SharedPools {
+    numbers: Vec<f64>,
+    atoms: Vec<Vec<u8>>,
+    num_map: HashMap<u64, u16>,
+    atom_map: HashMap<Vec<u8>, u16>,
+}
+
+struct LoopCtx {
+    /// Index into `loops`.
+    loop_idx: usize,
+    /// Header pc (continue target for `while`; `for`/`do` override).
+    continue_target: Option<u32>,
+    /// Jumps to patch to the loop end.
+    break_jumps: Vec<usize>,
+    /// Jumps to patch to the continue target (when it is a forward target).
+    continue_jumps: Vec<usize>,
+}
+
+struct FuncCompiler<'a, 'p> {
+    realm: &'a mut Realm,
+    shared: &'a mut SharedPools,
+    code: Vec<Op>,
+    lines: Vec<u32>,
+    loops: Vec<LoopInfo>,
+    loop_stack: Vec<LoopCtx>,
+    locals: HashMap<String, u16>,
+    nlocals: u16,
+    temps_free: Vec<u16>,
+    is_main: bool,
+    cur_line: u32,
+    /// `main` only: local slot receiving top-level completion values.
+    completion_slot: u16,
+    _marker: std::marker::PhantomData<&'p ()>,
+}
+
+impl<'a, 'p> FuncCompiler<'a, 'p> {
+    fn new(
+        realm: &'a mut Realm,
+        shared: &'a mut SharedPools,
+        func: Option<&'p ast::FunctionDecl>,
+    ) -> Self {
+        let is_main = func.is_none();
+        FuncCompiler {
+            realm,
+            shared,
+            code: Vec::new(),
+            lines: Vec::new(),
+            loops: Vec::new(),
+            loop_stack: Vec::new(),
+            locals: HashMap::new(),
+            nlocals: 1, // slot 0 = this
+            temps_free: Vec::new(),
+            is_main,
+            cur_line: func.map_or(1, |f| f.line),
+            completion_slot: 0,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    fn compile_main(mut self, body: &[Stmt]) -> Result<Function, CompileError> {
+        // Top-level vars are globals (hoisted).
+        let mut names = Vec::new();
+        collect_vars(body, &mut names);
+        for name in names {
+            self.realm.global_slot(&name);
+        }
+        self.completion_slot = self.alloc_local_slot()?;
+        self.emit(Op::Undefined);
+        self.emit(Op::SetLocal(self.completion_slot));
+        for s in body {
+            self.stmt(s)?;
+        }
+        self.emit(Op::GetLocal(self.completion_slot));
+        self.emit(Op::Return);
+        Ok(self.finish("<main>", 0))
+    }
+
+    fn compile_function(mut self, f: &ast::FunctionDecl) -> Result<Function, CompileError> {
+        for p in &f.params {
+            let slot = self.alloc_local_slot()?;
+            self.locals.insert(p.clone(), slot);
+        }
+        let mut names = Vec::new();
+        collect_vars(&f.body, &mut names);
+        for name in names {
+            if !self.locals.contains_key(&name) {
+                let slot = self.alloc_local_slot()?;
+                self.locals.insert(name, slot);
+            }
+        }
+        for s in &f.body {
+            self.stmt(s)?;
+        }
+        self.emit(Op::ReturnUndef);
+        Ok(self.finish(&f.name, f.params.len() as u16))
+    }
+
+    fn finish(self, name: &str, nparams: u16) -> Function {
+        Function {
+            name: name.to_owned(),
+            nparams,
+            nlocals: self.nlocals,
+            code: self.code,
+            lines: self.lines,
+            loops: self.loops,
+        }
+    }
+
+    // ---- emission utilities ----
+
+    fn emit(&mut self, op: Op) -> usize {
+        self.code.push(op);
+        self.lines.push(self.cur_line);
+        self.code.len() - 1
+    }
+
+    fn here(&self) -> u32 {
+        self.code.len() as u32
+    }
+
+    fn patch_jump(&mut self, at: usize) {
+        let target = self.here();
+        match &mut self.code[at] {
+            Op::Jump(t)
+            | Op::JumpIfFalse(t)
+            | Op::JumpIfTrue(t)
+            | Op::AndJump(t)
+            | Op::OrJump(t) => *t = target,
+            other => unreachable!("patching non-jump {other:?}"),
+        }
+    }
+
+    fn alloc_local_slot(&mut self) -> Result<u16, CompileError> {
+        if self.nlocals == u16::MAX {
+            return Err(CompileError::new(self.cur_line, "too many locals"));
+        }
+        let slot = self.nlocals;
+        self.nlocals += 1;
+        Ok(slot)
+    }
+
+    fn alloc_temp(&mut self) -> Result<u16, CompileError> {
+        if let Some(t) = self.temps_free.pop() {
+            Ok(t)
+        } else {
+            self.alloc_local_slot()
+        }
+    }
+
+    fn free_temp(&mut self, t: u16) {
+        self.temps_free.push(t);
+    }
+
+    fn number_const(&mut self, n: f64) -> Result<Op, CompileError> {
+        // Integral values in the inline range become immediate ints.
+        if n == n.trunc() && !(n == 0.0 && n.is_sign_negative()) {
+            if let Some(v) = tm_runtime::Value::new_int_checked(n as i64) {
+                return Ok(Op::Int(v.as_int().expect("int")));
+            }
+        }
+        let key = n.to_bits();
+        let idx = match self.shared.num_map.get(&key) {
+            Some(&i) => i,
+            None => {
+                let i = self.shared.numbers.len();
+                if i > u16::MAX as usize {
+                    return Err(CompileError::new(self.cur_line, "too many number constants"));
+                }
+                self.shared.numbers.push(n);
+                self.shared.num_map.insert(key, i as u16);
+                i as u16
+            }
+        };
+        Ok(Op::Num(idx))
+    }
+
+    fn atom_const(&mut self, bytes: &[u8]) -> Result<Op, CompileError> {
+        let idx = match self.shared.atom_map.get(bytes) {
+            Some(&i) => i,
+            None => {
+                let i = self.shared.atoms.len();
+                if i > u16::MAX as usize {
+                    return Err(CompileError::new(self.cur_line, "too many string constants"));
+                }
+                self.shared.atoms.push(bytes.to_vec());
+                self.shared.atom_map.insert(bytes.to_vec(), i as u16);
+                i as u16
+            }
+        };
+        Ok(Op::Str(idx))
+    }
+
+    // ---- name resolution ----
+
+    fn emit_get_name(&mut self, name: &str) {
+        if let Some(&slot) = self.locals.get(name) {
+            self.emit(Op::GetLocal(slot));
+        } else {
+            let slot = self.realm.global_slot(name);
+            self.emit(Op::GetGlobal(slot));
+        }
+    }
+
+    fn emit_set_name(&mut self, name: &str) {
+        if let Some(&slot) = self.locals.get(name) {
+            self.emit(Op::SetLocal(slot));
+        } else {
+            let slot = self.realm.global_slot(name);
+            self.emit(Op::SetGlobal(slot));
+        }
+    }
+
+    // ---- statements ----
+
+    fn stmt(&mut self, s: &Stmt) -> Result<(), CompileError> {
+        match s {
+            Stmt::Empty => {}
+            Stmt::Block(stmts) => {
+                for s in stmts {
+                    self.stmt(s)?;
+                }
+            }
+            Stmt::Var(decls, line) => {
+                self.cur_line = *line;
+                for (name, init) in decls {
+                    if let Some(e) = init {
+                        self.expr(e)?;
+                        self.emit_set_name(name);
+                    }
+                }
+            }
+            Stmt::Expr(e, line) => {
+                self.cur_line = *line;
+                self.expr(e)?;
+                if self.is_main && self.loop_stack.is_empty() {
+                    // Record the top-level completion value (what `eval`
+                    // returns). Inside loops we skip this to keep hot loop
+                    // bodies free of bookkeeping.
+                    self.emit(Op::SetLocal(self.completion_slot));
+                } else {
+                    self.emit(Op::Pop);
+                }
+            }
+            Stmt::If { cond, then, otherwise, line } => {
+                self.cur_line = *line;
+                self.expr(cond)?;
+                let jf = self.emit(Op::JumpIfFalse(0));
+                self.stmt(then)?;
+                if let Some(other) = otherwise {
+                    let jend = self.emit(Op::Jump(0));
+                    self.patch_jump(jf);
+                    self.stmt(other)?;
+                    self.patch_jump(jend);
+                } else {
+                    self.patch_jump(jf);
+                }
+            }
+            Stmt::While { cond, body, line } => {
+                self.cur_line = *line;
+                let loop_idx = self.begin_loop(*line);
+                let header = self.here();
+                self.emit(Op::LoopHeader(LoopId(loop_idx as u16)));
+                self.expr(cond)?;
+                let jexit = self.emit(Op::JumpIfFalse(0));
+                self.loop_stack.last_mut().expect("in loop").continue_target = Some(header);
+                self.stmt(body)?;
+                self.emit(Op::Jump(header));
+                self.patch_jump(jexit);
+                self.end_loop(loop_idx, header);
+            }
+            Stmt::DoWhile { body, cond, line } => {
+                self.cur_line = *line;
+                let loop_idx = self.begin_loop(*line);
+                let header = self.here();
+                self.emit(Op::LoopHeader(LoopId(loop_idx as u16)));
+                self.stmt(body)?;
+                // `continue` lands on the condition check.
+                let cont = self.here();
+                self.patch_continues_to(cont);
+                self.expr(cond)?;
+                self.emit(Op::JumpIfTrue(header));
+                self.end_loop(loop_idx, header);
+            }
+            Stmt::For { init, cond, update, body, line } => {
+                self.cur_line = *line;
+                if let Some(init) = init {
+                    self.stmt(init)?;
+                }
+                let loop_idx = self.begin_loop(*line);
+                let header = self.here();
+                self.emit(Op::LoopHeader(LoopId(loop_idx as u16)));
+                let jexit = match cond {
+                    Some(c) => {
+                        self.expr(c)?;
+                        Some(self.emit(Op::JumpIfFalse(0)))
+                    }
+                    None => None,
+                };
+                self.stmt(body)?;
+                let cont = self.here();
+                self.patch_continues_to(cont);
+                if let Some(u) = update {
+                    self.expr(u)?;
+                    self.emit(Op::Pop);
+                }
+                self.emit(Op::Jump(header));
+                if let Some(j) = jexit {
+                    self.patch_jump(j);
+                }
+                self.end_loop(loop_idx, header);
+            }
+            Stmt::Return(value, line) => {
+                self.cur_line = *line;
+                match value {
+                    Some(e) => {
+                        self.expr(e)?;
+                        self.emit(Op::Return);
+                    }
+                    None => {
+                        self.emit(Op::ReturnUndef);
+                    }
+                }
+            }
+            Stmt::Break(line) => {
+                self.cur_line = *line;
+                let j = self.emit(Op::Jump(0));
+                match self.loop_stack.last_mut() {
+                    Some(ctx) => ctx.break_jumps.push(j),
+                    None => return Err(CompileError::new(*line, "'break' outside a loop")),
+                }
+            }
+            Stmt::Continue(line) => {
+                self.cur_line = *line;
+                let ctx_target = self
+                    .loop_stack
+                    .last()
+                    .ok_or_else(|| CompileError::new(*line, "'continue' outside a loop"))?
+                    .continue_target;
+                match ctx_target {
+                    Some(t) => {
+                        self.emit(Op::Jump(t));
+                    }
+                    None => {
+                        let j = self.emit(Op::Jump(0));
+                        self.loop_stack.last_mut().expect("in loop").continue_jumps.push(j);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn begin_loop(&mut self, line: u32) -> usize {
+        let loop_idx = self.loops.len();
+        self.loops.push(LoopInfo { id: LoopId(loop_idx as u16), header: 0, end: 0, line });
+        self.loop_stack.push(LoopCtx {
+            loop_idx,
+            continue_target: None,
+            break_jumps: Vec::new(),
+            continue_jumps: Vec::new(),
+        });
+        loop_idx
+    }
+
+    fn patch_continues_to(&mut self, target: u32) {
+        let ctx = self.loop_stack.last_mut().expect("in loop");
+        let pending = std::mem::take(&mut ctx.continue_jumps);
+        for j in pending {
+            match &mut self.code[j] {
+                Op::Jump(t) => *t = target,
+                other => unreachable!("continue patch on {other:?}"),
+            }
+        }
+    }
+
+    fn end_loop(&mut self, loop_idx: usize, header: u32) {
+        let ctx = self.loop_stack.pop().expect("in loop");
+        debug_assert_eq!(ctx.loop_idx, loop_idx);
+        debug_assert!(ctx.continue_jumps.is_empty(), "unpatched continue");
+        let end = self.here();
+        for j in ctx.break_jumps {
+            match &mut self.code[j] {
+                Op::Jump(t) => *t = end,
+                other => unreachable!("break patch on {other:?}"),
+            }
+        }
+        self.loops[loop_idx].header = header;
+        self.loops[loop_idx].end = end;
+    }
+
+    // ---- expressions ----
+
+    fn expr(&mut self, e: &Expr) -> Result<(), CompileError> {
+        match e {
+            Expr::Number(n) => {
+                let op = self.number_const(*n)?;
+                self.emit(op);
+            }
+            Expr::Str(s) => {
+                let op = self.atom_const(s)?;
+                self.emit(op);
+            }
+            Expr::Bool(b) => {
+                self.emit(if *b { Op::True } else { Op::False });
+            }
+            Expr::Null => {
+                self.emit(Op::Null);
+            }
+            Expr::This => {
+                self.emit(Op::GetLocal(0));
+            }
+            Expr::Name(n) => self.emit_get_name(n),
+            Expr::Array(elems) => {
+                if elems.len() > u16::MAX as usize {
+                    return Err(CompileError::new(self.cur_line, "array literal too large"));
+                }
+                for el in elems {
+                    self.expr(el)?;
+                }
+                self.emit(Op::NewArray(elems.len() as u16));
+            }
+            Expr::ObjectLit(props) => {
+                self.emit(Op::NewObject);
+                for (k, v) in props {
+                    self.expr(v)?;
+                    let sym = self.realm.symbols.intern(k);
+                    self.emit(Op::InitProp(sym));
+                }
+            }
+            Expr::Binary(op, a, b) => {
+                self.expr(a)?;
+                self.expr(b)?;
+                self.emit(binop_op(*op));
+            }
+            Expr::Unary(op, a) => {
+                self.expr(a)?;
+                self.emit(match op {
+                    UnOp::Neg => Op::Neg,
+                    UnOp::Pos => Op::Pos,
+                    UnOp::Not => Op::Not,
+                    UnOp::BitNot => Op::BitNot,
+                    UnOp::Typeof => Op::Typeof,
+                });
+            }
+            Expr::And(a, b) => {
+                self.expr(a)?;
+                let j = self.emit(Op::AndJump(0));
+                self.expr(b)?;
+                self.patch_jump(j);
+            }
+            Expr::Or(a, b) => {
+                self.expr(a)?;
+                let j = self.emit(Op::OrJump(0));
+                self.expr(b)?;
+                self.patch_jump(j);
+            }
+            Expr::Ternary(c, t, f) => {
+                self.expr(c)?;
+                let jf = self.emit(Op::JumpIfFalse(0));
+                self.expr(t)?;
+                let jend = self.emit(Op::Jump(0));
+                self.patch_jump(jf);
+                self.expr(f)?;
+                self.patch_jump(jend);
+            }
+            Expr::Seq(exprs) => {
+                let (last, rest) = exprs.split_last().expect("non-empty seq");
+                for e in rest {
+                    self.expr(e)?;
+                    self.emit(Op::Pop);
+                }
+                self.expr(last)?;
+            }
+            Expr::Assign { target, op, value } => self.assign(target, *op, value)?,
+            Expr::IncDec { target, inc, prefix } => self.inc_dec(target, *inc, *prefix)?,
+            Expr::Prop(base, name) => {
+                self.expr(base)?;
+                let sym = self.realm.symbols.intern(name);
+                self.emit(Op::GetProp(sym));
+            }
+            Expr::Elem(base, idx) => {
+                self.expr(base)?;
+                self.expr(idx)?;
+                self.emit(Op::GetElem);
+            }
+            Expr::Call(callee, args) => {
+                self.expr(callee)?;
+                self.emit(Op::Undefined); // `this`
+                self.call_args(args)?;
+            }
+            Expr::MethodCall(base, name, args) => {
+                self.expr(base)?;
+                self.emit(Op::Dup);
+                let sym = self.realm.symbols.intern(name);
+                self.emit(Op::GetProp(sym));
+                self.emit(Op::Swap); // [callee, this]
+                self.call_args(args)?;
+            }
+            Expr::New(callee, args) => {
+                self.expr(callee)?;
+                for a in args {
+                    self.expr(a)?;
+                }
+                if args.len() > u8::MAX as usize {
+                    return Err(CompileError::new(self.cur_line, "too many arguments"));
+                }
+                self.emit(Op::New(args.len() as u8));
+            }
+        }
+        Ok(())
+    }
+
+    fn call_args(&mut self, args: &[Expr]) -> Result<(), CompileError> {
+        for a in args {
+            self.expr(a)?;
+        }
+        if args.len() > u8::MAX as usize {
+            return Err(CompileError::new(self.cur_line, "too many arguments"));
+        }
+        self.emit(Op::Call(args.len() as u8));
+        Ok(())
+    }
+
+    fn assign(
+        &mut self,
+        target: &Target,
+        op: Option<BinOp>,
+        value: &Expr,
+    ) -> Result<(), CompileError> {
+        match target {
+            Target::Name(name) => {
+                match op {
+                    None => self.expr(value)?,
+                    Some(op) => {
+                        self.emit_get_name(name);
+                        self.expr(value)?;
+                        self.emit(binop_op(op));
+                    }
+                }
+                self.emit(Op::Dup);
+                self.emit_set_name(name);
+            }
+            Target::Prop(base, name) => {
+                let sym = self.realm.symbols.intern(name);
+                match op {
+                    None => {
+                        self.expr(base)?;
+                        self.expr(value)?;
+                        self.emit(Op::SetProp(sym));
+                    }
+                    Some(op) => {
+                        let tb = self.alloc_temp()?;
+                        self.expr(base)?;
+                        self.emit(Op::SetLocal(tb));
+                        self.emit(Op::GetLocal(tb));
+                        self.emit(Op::GetLocal(tb));
+                        self.emit(Op::GetProp(sym));
+                        self.expr(value)?;
+                        self.emit(binop_op(op));
+                        self.emit(Op::SetProp(sym));
+                        self.free_temp(tb);
+                    }
+                }
+            }
+            Target::Elem(base, idx) => match op {
+                None => {
+                    self.expr(base)?;
+                    self.expr(idx)?;
+                    self.expr(value)?;
+                    self.emit(Op::SetElem);
+                }
+                Some(op) => {
+                    let tb = self.alloc_temp()?;
+                    let ti = self.alloc_temp()?;
+                    self.expr(base)?;
+                    self.emit(Op::SetLocal(tb));
+                    self.expr(idx)?;
+                    self.emit(Op::SetLocal(ti));
+                    self.emit(Op::GetLocal(tb));
+                    self.emit(Op::GetLocal(ti));
+                    self.emit(Op::GetLocal(tb));
+                    self.emit(Op::GetLocal(ti));
+                    self.emit(Op::GetElem);
+                    self.expr(value)?;
+                    self.emit(binop_op(op));
+                    self.emit(Op::SetElem);
+                    self.free_temp(ti);
+                    self.free_temp(tb);
+                }
+            },
+        }
+        Ok(())
+    }
+
+    fn inc_dec(&mut self, target: &Target, inc: bool, prefix: bool) -> Result<(), CompileError> {
+        let delta = Op::Int(1);
+        let arith = if inc { Op::Add } else { Op::Sub };
+        match target {
+            Target::Name(name) => {
+                self.emit_get_name(name);
+                self.emit(Op::Pos);
+                if prefix {
+                    self.emit(delta);
+                    self.emit(arith);
+                    self.emit(Op::Dup);
+                    self.emit_set_name(name);
+                } else {
+                    self.emit(Op::Dup);
+                    self.emit(delta);
+                    self.emit(arith);
+                    self.emit_set_name(name);
+                }
+            }
+            Target::Prop(base, name) => {
+                let sym = self.realm.symbols.intern(name);
+                let tb = self.alloc_temp()?;
+                self.expr(base)?;
+                self.emit(Op::SetLocal(tb));
+                self.emit(Op::GetLocal(tb));
+                self.emit(Op::GetLocal(tb));
+                self.emit(Op::GetProp(sym));
+                self.emit(Op::Pos);
+                if prefix {
+                    // [base, old] -> [base, new] -> SetProp -> [new]
+                    self.emit(delta);
+                    self.emit(arith);
+                    self.emit(Op::SetProp(sym));
+                } else {
+                    // Keep old: stash it in a temp.
+                    let told = self.alloc_temp()?;
+                    self.emit(Op::Dup);
+                    self.emit(Op::SetLocal(told));
+                    self.emit(delta);
+                    self.emit(arith);
+                    self.emit(Op::SetProp(sym));
+                    self.emit(Op::Pop);
+                    self.emit(Op::GetLocal(told));
+                    self.free_temp(told);
+                }
+                self.free_temp(tb);
+            }
+            Target::Elem(base, idx) => {
+                let tb = self.alloc_temp()?;
+                let ti = self.alloc_temp()?;
+                self.expr(base)?;
+                self.emit(Op::SetLocal(tb));
+                self.expr(idx)?;
+                self.emit(Op::SetLocal(ti));
+                self.emit(Op::GetLocal(tb));
+                self.emit(Op::GetLocal(ti));
+                self.emit(Op::GetLocal(tb));
+                self.emit(Op::GetLocal(ti));
+                self.emit(Op::GetElem);
+                self.emit(Op::Pos);
+                if prefix {
+                    self.emit(delta);
+                    self.emit(arith);
+                    self.emit(Op::SetElem);
+                } else {
+                    let told = self.alloc_temp()?;
+                    self.emit(Op::Dup);
+                    self.emit(Op::SetLocal(told));
+                    self.emit(delta);
+                    self.emit(arith);
+                    self.emit(Op::SetElem);
+                    self.emit(Op::Pop);
+                    self.emit(Op::GetLocal(told));
+                    self.free_temp(told);
+                }
+                self.free_temp(ti);
+                self.free_temp(tb);
+            }
+        }
+        Ok(())
+    }
+}
+
+fn binop_op(op: BinOp) -> Op {
+    match op {
+        BinOp::Add => Op::Add,
+        BinOp::Sub => Op::Sub,
+        BinOp::Mul => Op::Mul,
+        BinOp::Div => Op::Div,
+        BinOp::Mod => Op::Mod,
+        BinOp::BitAnd => Op::BitAnd,
+        BinOp::BitOr => Op::BitOr,
+        BinOp::BitXor => Op::BitXor,
+        BinOp::Shl => Op::Shl,
+        BinOp::Shr => Op::Shr,
+        BinOp::UShr => Op::UShr,
+        BinOp::Lt => Op::Lt,
+        BinOp::Le => Op::Le,
+        BinOp::Gt => Op::Gt,
+        BinOp::Ge => Op::Ge,
+        BinOp::Eq => Op::Eq,
+        BinOp::Ne => Op::Ne,
+        BinOp::StrictEq => Op::StrictEq,
+        BinOp::StrictNe => Op::StrictNe,
+    }
+}
+
+/// Collects all `var`-declared names in a statement list (hoisting).
+fn collect_vars(stmts: &[Stmt], out: &mut Vec<String>) {
+    for s in stmts {
+        collect_vars_stmt(s, out);
+    }
+}
+
+fn collect_vars_stmt(s: &Stmt, out: &mut Vec<String>) {
+    match s {
+        Stmt::Var(decls, _) => {
+            for (name, _) in decls {
+                if !out.contains(name) {
+                    out.push(name.clone());
+                }
+            }
+        }
+        Stmt::Block(stmts) => collect_vars(stmts, out),
+        Stmt::If { then, otherwise, .. } => {
+            collect_vars_stmt(then, out);
+            if let Some(o) = otherwise {
+                collect_vars_stmt(o, out);
+            }
+        }
+        Stmt::While { body, .. } | Stmt::DoWhile { body, .. } => collect_vars_stmt(body, out),
+        Stmt::For { init, body, .. } => {
+            if let Some(i) = init {
+                collect_vars_stmt(i, out);
+            }
+            collect_vars_stmt(body, out);
+        }
+        Stmt::Expr(..) | Stmt::Return(..) | Stmt::Break(_) | Stmt::Continue(_) | Stmt::Empty => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn compile_src(src: &str) -> (Program, Realm) {
+        let ast = tm_frontend::parse(src).expect("parse");
+        let mut realm = Realm::new();
+        let prog = compile(&ast, &mut realm).expect("compile");
+        (prog, realm)
+    }
+
+    #[test]
+    fn loop_header_is_backward_branch_target() {
+        let (prog, _) = compile_src("var i = 0; while (i < 10) { i = i + 1; }");
+        let main = prog.function(prog.main);
+        assert_eq!(main.loops.len(), 1);
+        let l = &main.loops[0];
+        assert!(matches!(main.code[l.header as usize], Op::LoopHeader(_)));
+        // The instruction just before `end` is the backward jump to the
+        // header — the loop edge.
+        assert_eq!(main.code[(l.end - 1) as usize], Op::Jump(l.header));
+        // No other instruction jumps backwards.
+        for (pc, op) in main.code.iter().enumerate() {
+            if let Op::Jump(t) | Op::JumpIfFalse(t) | Op::JumpIfTrue(t) = op {
+                if (*t as usize) < pc {
+                    assert!(
+                        matches!(main.code[*t as usize], Op::LoopHeader(_)),
+                        "backward branch at {pc} targets non-header {t}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nested_loops_have_nested_ranges() {
+        let (prog, _) = compile_src(
+            "var s = 0;
+             for (var i = 0; i < 10; i++) {
+                 for (var j = 0; j < 10; j++) {
+                     s = s + 1;
+                 }
+             }",
+        );
+        let main = prog.function(prog.main);
+        assert_eq!(main.loops.len(), 2);
+        let outer = &main.loops[0];
+        let inner = &main.loops[1];
+        assert!(outer.contains(inner), "outer {outer:?} should contain inner {inner:?}");
+    }
+
+    #[test]
+    fn top_level_vars_are_globals() {
+        let (prog, realm) = compile_src("var x = 5;");
+        assert!(realm.lookup_global("x").is_some());
+        let main = prog.function(prog.main);
+        assert!(main.code.iter().any(|op| matches!(op, Op::SetGlobal(_))));
+    }
+
+    #[test]
+    fn function_vars_are_locals() {
+        let (prog, realm) = compile_src("function f(a) { var b = a + 1; return b; }");
+        assert_eq!(prog.functions.len(), 2);
+        let f = &prog.functions[1];
+        assert_eq!(f.nparams, 1);
+        // this + a + b = 3 locals.
+        assert_eq!(f.nlocals, 3);
+        // `b` must not be a global.
+        assert!(realm.lookup_global("b").is_none());
+        assert!(realm.lookup_global("f").is_some(), "function name is a global");
+    }
+
+    #[test]
+    fn function_globals_mapping() {
+        let (prog, realm) = compile_src("function a() {} function b() {}");
+        assert_eq!(prog.function_globals.len(), 2);
+        let slot_a = realm.lookup_global("a").unwrap();
+        assert_eq!(prog.function_globals[0], (slot_a, FuncId(1)));
+    }
+
+    #[test]
+    fn small_int_literals_are_immediate() {
+        let (prog, _) = compile_src("var x = 42; var y = 0.5;");
+        let main = prog.function(prog.main);
+        assert!(main.code.contains(&Op::Int(42)));
+        assert_eq!(prog.numbers, vec![0.5]);
+    }
+
+    #[test]
+    fn constants_are_pooled() {
+        let (prog, _) = compile_src("var x = 'abc'; var y = 'abc'; var z = 0.5 + 0.5;");
+        assert_eq!(prog.atoms.len(), 1);
+        assert_eq!(prog.numbers.len(), 1);
+    }
+
+    #[test]
+    fn break_and_continue_patching() {
+        let (prog, _) = compile_src(
+            "var i = 0;
+             while (true) {
+                 i++;
+                 if (i > 5) break;
+                 if (i > 2) continue;
+                 i++;
+             }",
+        );
+        let main = prog.function(prog.main);
+        let l = &main.loops[0];
+        // All jumps land inside [header, end] or exactly at end.
+        for op in &main.code {
+            if let Op::Jump(t) | Op::JumpIfFalse(t) | Op::JumpIfTrue(t) = op {
+                assert!(*t <= l.end, "jump target {t} escapes loop end {}", l.end);
+            }
+        }
+    }
+
+    #[test]
+    fn do_while_continue_goes_to_condition() {
+        let (prog, _) = compile_src("var i = 0; do { i++; if (i < 3) continue; } while (i < 5);");
+        let main = prog.function(prog.main);
+        assert_eq!(main.loops.len(), 1);
+        // The backward branch of a do-while is the JumpIfTrue.
+        let l = &main.loops[0];
+        assert!(matches!(main.code[(l.end - 1) as usize], Op::JumpIfTrue(t) if t == l.header));
+    }
+
+    #[test]
+    fn method_call_shape() {
+        let (prog, _) = compile_src("var s = 'x'; s.charCodeAt(0);");
+        let main = prog.function(prog.main);
+        let idx = main.code.iter().position(|o| matches!(o, Op::GetProp(_))).unwrap();
+        assert_eq!(main.code[idx - 1], Op::Dup);
+        assert_eq!(main.code[idx + 1], Op::Swap);
+        assert!(matches!(main.code[idx + 3], Op::Call(1)));
+    }
+
+    #[test]
+    fn compound_elem_assignment_uses_temps() {
+        let (prog, _) = compile_src("var a = [1]; a[0] += 2;");
+        let main = prog.function(prog.main);
+        assert!(main.code.iter().any(|o| matches!(o, Op::GetElem)));
+        assert!(main.code.iter().any(|o| matches!(o, Op::SetElem)));
+        // temps bump nlocals beyond just the completion slot.
+        assert!(main.nlocals >= 3);
+    }
+
+    #[test]
+    fn break_outside_loop_is_error() {
+        let ast = tm_frontend::parse("break;").unwrap();
+        let mut realm = Realm::new();
+        assert!(compile(&ast, &mut realm).is_err());
+    }
+
+    #[test]
+    fn sieve_compiles_with_two_loops() {
+        let (prog, _) = compile_src(
+            "var primes = [];
+             for (var i = 2; i < 100; ++i) {
+                 if (!primes[i]) continue;
+                 for (var k = i + i; k < 100; k += i) primes[k] = false;
+             }",
+        );
+        let main = prog.function(prog.main);
+        assert_eq!(main.loops.len(), 2);
+        assert!(main.loops[0].contains(&main.loops[1]));
+    }
+}

@@ -1,0 +1,68 @@
+//! Bytecode disassembler (diagnostics and golden tests).
+
+use tm_runtime::Realm;
+
+use crate::opcode::{Function, Op, Program};
+
+/// Renders one function as readable assembly, one instruction per line:
+/// `pc: op` with loop headers annotated.
+pub fn disassemble_function(f: &Function, prog: &Program, realm: &Realm) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "function {} (params={}, locals={}, loops={})\n",
+        f.name,
+        f.nparams,
+        f.nlocals,
+        f.loops.len()
+    ));
+    for (pc, op) in f.code.iter().enumerate() {
+        let text = match op {
+            Op::Num(i) => format!("num {}", prog.numbers[*i as usize]),
+            Op::Str(i) => {
+                let s: String =
+                    prog.atoms[*i as usize].iter().map(|&b| b as char).collect();
+                format!("str {s:?}")
+            }
+            Op::GetProp(sym) => format!("getprop .{}", realm.symbols.name(*sym)),
+            Op::SetProp(sym) => format!("setprop .{}", realm.symbols.name(*sym)),
+            Op::InitProp(sym) => format!("initprop .{}", realm.symbols.name(*sym)),
+            Op::GetGlobal(slot) => {
+                format!("getglobal {}", realm.global_name(*slot).unwrap_or("?"))
+            }
+            Op::SetGlobal(slot) => {
+                format!("setglobal {}", realm.global_name(*slot).unwrap_or("?"))
+            }
+            other => format!("{other:?}").to_lowercase(),
+        };
+        out.push_str(&format!("  {pc:4}: {text}\n"));
+    }
+    out
+}
+
+/// Disassembles every function in `prog`.
+pub fn disassemble(prog: &Program, realm: &Realm) -> String {
+    let mut out = String::new();
+    for f in &prog.functions {
+        out.push_str(&disassemble_function(f, prog, realm));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disassembly_mentions_names() {
+        let ast = tm_frontend::parse("var x = 'hi'; function f(a) { return a.len; }").unwrap();
+        let mut realm = Realm::new();
+        let prog = crate::compiler::compile(&ast, &mut realm).unwrap();
+        let text = disassemble(&prog, &realm);
+        assert!(text.contains("function <main>"));
+        assert!(text.contains("function f"));
+        assert!(text.contains("str \"hi\""));
+        assert!(text.contains("getprop .len"));
+        assert!(text.contains("setglobal x"));
+    }
+}

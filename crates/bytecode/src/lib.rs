@@ -1,0 +1,28 @@
+//! # tm-bytecode
+//!
+//! Bytecode representation, AST→bytecode compiler, and disassembler for the
+//! TraceMonkey reproduction.
+//!
+//! The bytecode compiler enforces the invariant the paper's tracer relies
+//! on (§3.3, §4.1): a bytecode is a loop header **iff** it is the target of
+//! a backward branch, each loop header is an explicit [`Op::LoopHeader`]
+//! pseudo-instruction the trace monitor hooks, and every loop's body range
+//! is recorded in [`LoopInfo`] so loop nesting is statically decidable.
+//!
+//! ```
+//! use tm_runtime::Realm;
+//!
+//! let ast = tm_frontend::parse("var i = 0; while (i < 3) { i++; }")?;
+//! let mut realm = Realm::new();
+//! let program = tm_bytecode::compile(&ast, &mut realm)?;
+//! assert_eq!(program.function(program.main).loops.len(), 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod compiler;
+pub mod disasm;
+pub mod opcode;
+
+pub use compiler::{compile, CompileError};
+pub use disasm::{disassemble, disassemble_function};
+pub use opcode::{FuncId, Function, LoopId, LoopInfo, Op, Program};

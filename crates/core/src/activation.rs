@@ -1,0 +1,223 @@
+//! Trace activation records: the unboxed shadow of interpreter state.
+//!
+//! "To make variable accesses fast on trace, the trace also imports local
+//! and global variables by unboxing them and copying them to its activation
+//! record" (§3.1). A [`SlotKey`] names an interpreter-visible location
+//! relative to the trace entry frame; an [`ArLayout`] assigns each key a
+//! slot in the flat activation record all of a tree's fragments share
+//! ("identical type maps yield identical activation record layouts", §6.2
+//! — ours are identical by construction: one layout per tree).
+
+use std::collections::HashMap;
+
+use tm_lir::{ArSlot, LirType};
+use tm_runtime::{Realm, Unpacked, Value};
+
+/// An interpreter-visible storage location, relative to the frame in which
+/// the trace was entered (depth 0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SlotKey {
+    /// A realm global slot.
+    Global(u32),
+    /// Local `slot` of the frame at inline `depth` (0 = entry frame).
+    Local {
+        /// Inline frame depth.
+        depth: u8,
+        /// Local slot index.
+        slot: u16,
+    },
+    /// Operand stack entry `idx` of the frame at inline `depth`.
+    Stack {
+        /// Inline frame depth.
+        depth: u8,
+        /// Position within that frame's operand stack.
+        idx: u16,
+    },
+    /// A private re-import slot: holds a value refreshed by the nesting
+    /// host after a `CallTree` (§4.1). Never part of entry maps or exit
+    /// write-backs — the canonical slot for the underlying location keeps
+    /// its own (possibly different) type.
+    Reimport {
+        /// The nested call site this re-import belongs to.
+        site: u32,
+        /// Ordinal within the site.
+        idx: u16,
+    },
+}
+
+/// Maps slot keys to activation-record slots for one trace tree.
+#[derive(Debug, Clone, Default)]
+pub struct ArLayout {
+    slots: HashMap<SlotKey, ArSlot>,
+    keys: Vec<SlotKey>,
+}
+
+impl ArLayout {
+    /// Creates an empty layout.
+    pub fn new() -> ArLayout {
+        ArLayout::default()
+    }
+
+    /// The AR slot for `key`, allocating one on first use.
+    pub fn slot(&mut self, key: SlotKey) -> ArSlot {
+        if let Some(&s) = self.slots.get(&key) {
+            return s;
+        }
+        let s = self.keys.len() as ArSlot;
+        self.keys.push(key);
+        self.slots.insert(key, s);
+        s
+    }
+
+    /// The AR slot for `key` if already allocated.
+    pub fn lookup(&self, key: SlotKey) -> Option<ArSlot> {
+        self.slots.get(&key).copied()
+    }
+
+    /// The key stored at `slot`.
+    pub fn key(&self, slot: ArSlot) -> SlotKey {
+        self.keys[slot as usize]
+    }
+
+    /// Number of slots allocated.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the layout is empty.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+}
+
+/// Checks whether a boxed interpreter value matches an entry type — the
+/// trace-cache lookup test ("a trace can be entered if the PC and the types
+/// of values match those observed when recording was started").
+///
+/// `Double` accepts any number (ints are widened at entry), `Int` requires
+/// the inline integer representation, `Boxed` accepts anything.
+pub fn value_matches(realm: &Realm, v: Value, ty: LirType) -> bool {
+    let _ = realm;
+    match ty {
+        LirType::Int => v.is_int(),
+        LirType::Double => v.is_number(),
+        LirType::Object => v.is_object(),
+        LirType::String => v.is_string(),
+        LirType::Bool => v.is_bool(),
+        LirType::Null => v.is_null(),
+        LirType::Undefined => v.is_undefined(),
+        LirType::Boxed => true,
+    }
+}
+
+/// Unboxes a value into the raw word representation for an AR slot of the
+/// given type. The caller must have verified [`value_matches`].
+pub fn unbox_to_word(realm: &Realm, v: Value, ty: LirType) -> u64 {
+    match ty {
+        LirType::Int => i64::from(v.as_int().expect("entry check")) as u64,
+        LirType::Double => realm.heap.number_value(v).expect("entry check").to_bits(),
+        LirType::Object => u64::from(v.as_object().expect("entry check").0),
+        LirType::String => u64::from(v.as_string().expect("entry check").0),
+        LirType::Bool => u64::from(v.as_bool().expect("entry check")),
+        LirType::Null | LirType::Undefined | LirType::Boxed => v.raw(),
+    }
+}
+
+/// Boxes a raw AR word back into a value per its exit type. Boxing a
+/// double goes through `Heap::number`, which re-compresses integral values
+/// into the inline integer representation — exactly what the interpreter
+/// would have produced.
+pub fn box_from_word(realm: &mut Realm, w: u64, ty: LirType) -> Value {
+    match ty {
+        LirType::Int => realm.heap.number_i32(w as i32),
+        LirType::Double => realm.heap.number(f64::from_bits(w)),
+        LirType::Object => Value::new_object(tm_runtime::ObjectId(w as u32)),
+        LirType::String => Value::new_string(tm_runtime::StringId(w as u32)),
+        LirType::Bool => Value::new_bool(w != 0),
+        LirType::Null => Value::NULL,
+        LirType::Undefined => Value::UNDEFINED,
+        LirType::Boxed => Value::from_raw(w),
+    }
+}
+
+/// The observed [`LirType`] of a concrete value (used when choosing entry
+/// types during recording).
+pub fn observed_type(v: Value) -> LirType {
+    match v.unpack() {
+        Unpacked::Int(_) => LirType::Int,
+        Unpacked::Double(_) => LirType::Double,
+        Unpacked::Object(_) => LirType::Object,
+        Unpacked::String(_) => LirType::String,
+        Unpacked::Bool(_) => LirType::Bool,
+        Unpacked::Null => LirType::Null,
+        Unpacked::Undefined => LirType::Undefined,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_is_stable() {
+        let mut l = ArLayout::new();
+        let a = l.slot(SlotKey::Global(3));
+        let b = l.slot(SlotKey::Local { depth: 0, slot: 1 });
+        let a2 = l.slot(SlotKey::Global(3));
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(l.key(a), SlotKey::Global(3));
+        assert_eq!(l.lookup(SlotKey::Stack { depth: 0, idx: 0 }), None);
+        assert_eq!(l.len(), 2);
+    }
+
+    #[test]
+    fn box_unbox_round_trips() {
+        let mut realm = Realm::new();
+        // Int.
+        let v = Value::new_int(-7);
+        assert!(value_matches(&realm, v, LirType::Int));
+        let w = unbox_to_word(&realm, v, LirType::Int);
+        assert_eq!(box_from_word(&mut realm, w, LirType::Int), v);
+        // Double slot accepts ints and re-compresses on exit.
+        assert!(value_matches(&realm, v, LirType::Double));
+        let w = unbox_to_word(&realm, v, LirType::Double);
+        assert_eq!(f64::from_bits(w), -7.0);
+        assert_eq!(box_from_word(&mut realm, w, LirType::Double), v);
+        // Non-integral double boxes as a double.
+        let d = realm.heap.alloc_double(2.5);
+        let w = unbox_to_word(&realm, d, LirType::Double);
+        let back = box_from_word(&mut realm, w, LirType::Double);
+        assert_eq!(realm.heap.number_value(back), Some(2.5));
+        // Strings, bools, specials.
+        let s = realm.heap.alloc_string("x");
+        let w = unbox_to_word(&realm, s, LirType::String);
+        assert_eq!(box_from_word(&mut realm, w, LirType::String), s);
+        let w = unbox_to_word(&realm, Value::TRUE, LirType::Bool);
+        assert_eq!(box_from_word(&mut realm, w, LirType::Bool), Value::TRUE);
+        assert_eq!(box_from_word(&mut realm, 0, LirType::Undefined), Value::UNDEFINED);
+    }
+
+    #[test]
+    fn type_matching_rules() {
+        let mut realm = Realm::new();
+        let i = Value::new_int(1);
+        let d = realm.heap.alloc_double(0.5);
+        assert!(value_matches(&realm, i, LirType::Int));
+        assert!(!value_matches(&realm, d, LirType::Int), "Int slots are strict");
+        assert!(value_matches(&realm, d, LirType::Double));
+        assert!(value_matches(&realm, i, LirType::Double), "Double slots accept ints");
+        assert!(value_matches(&realm, Value::NULL, LirType::Null));
+        assert!(!value_matches(&realm, Value::NULL, LirType::Undefined));
+        assert!(value_matches(&realm, Value::NULL, LirType::Boxed));
+    }
+
+    #[test]
+    fn observed_types() {
+        let mut realm = Realm::new();
+        assert_eq!(observed_type(Value::new_int(3)), LirType::Int);
+        let d = realm.heap.alloc_double(0.5);
+        assert_eq!(observed_type(d), LirType::Double);
+        assert_eq!(observed_type(Value::UNDEFINED), LirType::Undefined);
+    }
+}

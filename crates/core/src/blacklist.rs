@@ -1,0 +1,188 @@
+//! Blacklisting and backoff (§3.3, §4.2).
+//!
+//! Recording failures are counted per fragment start (loop header or side
+//! exit). After a failure the fragment *backs off* — the monitor ignores it
+//! for a number of passes — and after enough failures it is permanently
+//! blacklisted: for loop headers the bytecode `LoopHeader` op is patched to
+//! a `Nop` so the interpreter never calls the monitor again.
+//!
+//! Nested-loop forgiveness (§4.2): when an outer recording aborts because
+//! an inner tree was not ready, the abort is provisional — once the inner
+//! tree finishes a trace, the outer fragment's failure count is decremented
+//! and its backoff undone.
+
+use std::collections::HashMap;
+
+use tm_bytecode::FuncId;
+
+/// A fragment start position: a loop header or a side-exit location.
+pub type FragmentStart = (FuncId, u32);
+
+/// Per-fragment failure bookkeeping.
+#[derive(Debug, Default, Clone, Copy)]
+struct Entry {
+    failures: u32,
+    /// Remaining passes to skip before trying again.
+    backoff: u32,
+    blacklisted: bool,
+    /// Failures attributable to an inner tree not being ready, eligible
+    /// for forgiveness.
+    provisional: u32,
+}
+
+/// Blacklist policy configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlacklistConfig {
+    /// Failures before permanent blacklisting (paper: 2).
+    pub max_failures: u32,
+    /// Passes to skip after a failure (paper: 32).
+    pub backoff: u32,
+    /// Whether blacklisting is enabled at all (ablation).
+    pub enabled: bool,
+}
+
+impl Default for BlacklistConfig {
+    fn default() -> Self {
+        BlacklistConfig { max_failures: 2, backoff: 32, enabled: true }
+    }
+}
+
+/// What the monitor should do at a fragment start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Try recording.
+    Record,
+    /// Skip this pass (backing off).
+    Skip,
+    /// Permanently blacklisted; for loop headers, patch the bytecode.
+    Blacklisted,
+}
+
+/// The blacklist table.
+#[derive(Debug, Default)]
+pub struct Blacklist {
+    entries: HashMap<FragmentStart, Entry>,
+    config: BlacklistConfig,
+}
+
+impl Blacklist {
+    /// Creates a blacklist with the given policy.
+    pub fn new(config: BlacklistConfig) -> Blacklist {
+        Blacklist { entries: HashMap::new(), config }
+    }
+
+    /// Consults the table before attempting to record at `start`,
+    /// consuming one backoff credit when backing off.
+    pub fn check(&mut self, start: FragmentStart) -> Verdict {
+        if !self.config.enabled {
+            return Verdict::Record;
+        }
+        let e = self.entries.entry(start).or_default();
+        if e.blacklisted {
+            Verdict::Blacklisted
+        } else if e.backoff > 0 {
+            e.backoff -= 1;
+            Verdict::Skip
+        } else {
+            Verdict::Record
+        }
+    }
+
+    /// Records a recording failure at `start`. `inner_not_ready` marks the
+    /// failure provisional (§4.2). Returns `true` when the fragment just
+    /// became blacklisted.
+    pub fn record_failure(&mut self, start: FragmentStart, inner_not_ready: bool) -> bool {
+        if !self.config.enabled {
+            return false;
+        }
+        let max_failures = self.config.max_failures;
+        let backoff = self.config.backoff;
+        let e = self.entries.entry(start).or_default();
+        e.failures += 1;
+        if inner_not_ready {
+            e.provisional += 1;
+        }
+        if e.failures >= max_failures {
+            e.blacklisted = true;
+            return true;
+        }
+        e.backoff = backoff;
+        false
+    }
+
+    /// Forgives one provisional failure on every fragment inside
+    /// `outer_range` of `func` — called when an inner tree finishes a trace
+    /// ("when the inner tree finishes a trace, we decrement the blacklist
+    /// counter on the outer loop ... we also undo the backoff").
+    pub fn forgive_outer(&mut self, func: FuncId, outer_headers: &[u32]) {
+        if !self.config.enabled {
+            return;
+        }
+        for &pc in outer_headers {
+            if let Some(e) = self.entries.get_mut(&(func, pc)) {
+                if e.provisional > 0 && !e.blacklisted {
+                    e.provisional -= 1;
+                    e.failures = e.failures.saturating_sub(1);
+                    e.backoff = 0;
+                }
+            }
+        }
+    }
+
+    /// Whether `start` is permanently blacklisted.
+    pub fn is_blacklisted(&self, start: FragmentStart) -> bool {
+        self.entries.get(&start).is_some_and(|e| e.blacklisted)
+    }
+
+    /// Number of blacklisted fragments (diagnostics).
+    pub fn blacklisted_count(&self) -> usize {
+        self.entries.values().filter(|e| e.blacklisted).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const START: FragmentStart = (FuncId(0), 5);
+
+    #[test]
+    fn failure_backoff_then_blacklist() {
+        let mut bl = Blacklist::new(BlacklistConfig { max_failures: 2, backoff: 3, enabled: true });
+        assert_eq!(bl.check(START), Verdict::Record);
+        assert!(!bl.record_failure(START, false));
+        // Backing off for 3 passes.
+        assert_eq!(bl.check(START), Verdict::Skip);
+        assert_eq!(bl.check(START), Verdict::Skip);
+        assert_eq!(bl.check(START), Verdict::Skip);
+        assert_eq!(bl.check(START), Verdict::Record);
+        // Second failure: permanent.
+        assert!(bl.record_failure(START, false));
+        assert_eq!(bl.check(START), Verdict::Blacklisted);
+        assert!(bl.is_blacklisted(START));
+        assert_eq!(bl.blacklisted_count(), 1);
+    }
+
+    #[test]
+    fn forgiveness_undoes_provisional_failures() {
+        let mut bl = Blacklist::new(BlacklistConfig { max_failures: 2, backoff: 32, enabled: true });
+        assert!(!bl.record_failure(START, true));
+        assert_eq!(bl.check(START), Verdict::Skip);
+        // Inner tree completed: outer is forgiven and retried immediately.
+        bl.forgive_outer(FuncId(0), &[5]);
+        assert_eq!(bl.check(START), Verdict::Record);
+        // The forgiven failure no longer counts towards blacklisting.
+        assert!(!bl.record_failure(START, false));
+        assert!(!bl.is_blacklisted(START));
+    }
+
+    #[test]
+    fn disabled_blacklist_always_records() {
+        let mut bl = Blacklist::new(BlacklistConfig { enabled: false, ..Default::default() });
+        for _ in 0..10 {
+            bl.record_failure(START, false);
+        }
+        assert_eq!(bl.check(START), Verdict::Record);
+        assert!(!bl.is_blacklisted(START));
+    }
+}

@@ -1,0 +1,69 @@
+//! Tracing JIT configuration.
+
+use tm_lir::FilterOptions;
+
+use crate::blacklist::BlacklistConfig;
+
+/// Tunables of the tracing JIT. Defaults follow the paper's reported
+/// constants (hotness 2, side-exit hotness 2, blacklist after 2 failures
+/// with a 32-pass backoff).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JitOptions {
+    /// Loop-edge crossings before a loop is considered hot (paper: 2).
+    pub hotness_threshold: u32,
+    /// Side-exit passes before a branch trace is recorded (paper-narrative:
+    /// the second taking of an exit makes it hot).
+    pub hot_exit_threshold: u32,
+    /// Blacklisting policy (§3.3).
+    pub blacklist: BlacklistConfig,
+    /// Forward filter configuration (§5.1).
+    pub filters: FilterOptions,
+    /// Abort recording beyond this many LIR instructions.
+    pub max_trace_len: usize,
+    /// Maximum function-inlining depth on trace.
+    pub max_inline_depth: usize,
+    /// Maximum fragments per tree (bounds code-cache growth).
+    pub max_fragments_per_tree: usize,
+    /// Disable a tree when, after `useless_probation` entries, its average
+    /// native bytecodes per call stays below this (the paper's §3.3
+    /// "short loop body" mitigation, proposed there as future work).
+    pub min_useful_bytecodes: u64,
+    /// Entries before the useless-tree check applies.
+    pub useless_probation: u64,
+    /// Record nested trace trees (§4); off = the naive behaviour of
+    /// aborting on inner loops.
+    pub enable_nesting: bool,
+    /// Patch side exits to jump directly to branch fragments (§6.2); off =
+    /// every exit returns through the monitor.
+    pub enable_stitching: bool,
+    /// Consult the integer-demotion oracle (§3.2).
+    pub enable_oracle: bool,
+    /// Link type-unstable sibling trees through the monitor (Figure 6).
+    pub enable_stability_linking: bool,
+    /// Collect per-activity wall-clock times (Figure 12).
+    pub profile: bool,
+    /// Record trace events (tests / diagnostics).
+    pub log_events: bool,
+}
+
+impl Default for JitOptions {
+    fn default() -> Self {
+        JitOptions {
+            hotness_threshold: 2,
+            hot_exit_threshold: 2,
+            blacklist: BlacklistConfig::default(),
+            filters: FilterOptions::default(),
+            max_trace_len: 2048,
+            max_inline_depth: 8,
+            max_fragments_per_tree: 32,
+            min_useful_bytecodes: 120,
+            useless_probation: 64,
+            enable_nesting: true,
+            enable_stitching: true,
+            enable_oracle: true,
+            enable_stability_linking: true,
+            profile: false,
+            log_events: false,
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! # tm-core
+//!
+//! The TraceMonkey core — the primary contribution of *Trace-based
+//! Just-in-Time Type Specialization for Dynamic Languages* (PLDI 2009),
+//! built on the substrate crates:
+//!
+//! * [`monitor`] — the mixed-mode state machine (Figure 2): hotness
+//!   counting, trace-cache lookup, activation-record entry/exit, side-exit
+//!   restoration with frame synthesis, branch extension, stability
+//!   linking, and the nested-tree host (§4);
+//! * [`recorder`] — bytecode → type-specialized SSA LIR with guards
+//!   (§3.1, §6.3);
+//! * [`tree`] — trace trees and the pc+typemap-indexed trace cache;
+//! * [`oracle`] — integer-demotion advisory (§3.2);
+//! * [`blacklist`] — abort backoff and permanent blacklisting with
+//!   bytecode patching and nesting forgiveness (§3.3, §4.2);
+//! * [`vm`] — the public [`vm::Vm`] facade.
+//!
+//! ```
+//! use tm_core::vm::{Engine, Vm};
+//!
+//! let mut vm = Vm::new(Engine::Tracing);
+//! let v = vm.eval("var s = 0; for (var i = 0; i < 1000; i++) s += i; s")?;
+//! assert_eq!(vm.realm.heap.number_value(v), Some(499500.0));
+//! # Ok::<(), tm_core::vm::VmError>(())
+//! ```
+
+pub mod activation;
+pub mod blacklist;
+pub mod config;
+pub mod events;
+pub mod exit;
+pub mod monitor;
+pub mod oracle;
+pub mod profiler;
+pub mod recorder;
+pub mod tree;
+pub mod vm;
+
+pub use config::JitOptions;
+pub use monitor::Monitor;
+pub use vm::{Engine, Vm, VmError};

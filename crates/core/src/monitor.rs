@@ -1,0 +1,1070 @@
+//! The trace monitor: the state machine of the paper's Figure 2.
+//!
+//! The interpreter returns control here at every (unpatched) loop header.
+//! The monitor counts hotness, starts and drives recordings, enters
+//! compiled trees (building the activation record), restores interpreter
+//! state at side exits (synthesizing inlined frames), grows trace trees at
+//! hot side exits, links type-unstable siblings (Figure 6), executes
+//! nested tree calls as the [`TreeHost`] (§4), and applies blacklisting
+//! with nesting forgiveness (§3.3, §4.2).
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use tm_interp::{Flow, Interp, RunExit};
+use tm_lir::{run_backward_filters, ExitLiveness};
+use tm_nanojit::{assemble, execute, ExitTarget, Fragment, TreeHost};
+use tm_runtime::{Realm, RuntimeError, Value};
+
+use crate::activation::{box_from_word, unbox_to_word, value_matches, SlotKey};
+use crate::blacklist::{Blacklist, Verdict};
+use crate::config::JitOptions;
+use crate::events::{AbortReason, EventLog, TraceEvent};
+use crate::exit::{ExitKind, SideExitInfo};
+use crate::oracle::Oracle;
+use crate::profiler::{Activity, Profiler};
+use crate::recorder::{self, RecordAction, RecordedTrace, Recorder};
+use crate::tree::{Anchor, TraceTree, TreeCache, TreeId, TreeStats};
+
+/// Maximum sibling trees per loop header before the monitor stops
+/// recording new type-permutation trees.
+const MAX_SIBLING_TREES: usize = 8;
+
+/// The trace monitor.
+#[derive(Debug)]
+pub struct Monitor {
+    /// Compiled trees.
+    pub cache: TreeCache,
+    /// Blacklist/backoff table.
+    pub blacklist: Blacklist,
+    /// Integer-demotion oracle.
+    pub oracle: Oracle,
+    /// Activity profiler (Figures 11/12).
+    pub profiler: Profiler,
+    /// Trace-event log.
+    pub events: EventLog,
+    opts: JitOptions,
+    hot_counters: HashMap<Anchor, u32>,
+    /// Set by the nesting host when an inner tree took an unexpected exit,
+    /// so the top-level loop can extend the *inner* tree (§4.1).
+    pending_inner_exit: Option<(TreeId, u32, u16)>,
+    /// Completion value captured when the program finished while a branch
+    /// recording was shadowing execution.
+    finished_during_recording: Option<Value>,
+}
+
+enum RecResult {
+    Finished,
+    Abort(AbortReason),
+}
+
+impl Monitor {
+    /// Creates a monitor with the given configuration.
+    pub fn new(opts: JitOptions) -> Monitor {
+        Monitor {
+            cache: TreeCache::new(),
+            blacklist: Blacklist::new(opts.blacklist),
+            oracle: if opts.enable_oracle { Oracle::new() } else { Oracle::disabled() },
+            profiler: Profiler::new(opts.profile),
+            events: {
+                let mut log = EventLog::new();
+                log.enabled = opts.log_events;
+                log
+            },
+            opts,
+            hot_counters: HashMap::new(),
+            pending_inner_exit: None,
+            finished_during_recording: None,
+        }
+    }
+
+    /// The configuration.
+    pub fn options(&self) -> &JitOptions {
+        &self.opts
+    }
+
+    /// Runs a program under mixed-mode execution until completion.
+    ///
+    /// # Errors
+    ///
+    /// Propagates guest [`RuntimeError`]s.
+    pub fn run_program(
+        &mut self,
+        interp: &mut Interp,
+        realm: &mut Realm,
+    ) -> Result<Value, RuntimeError> {
+        interp.monitor_enabled = true;
+        self.profiler.switch(Activity::Interpret);
+        let result = loop {
+            match interp.run(realm) {
+                Ok(RunExit::Finished(v)) => break Ok(v),
+                Ok(RunExit::LoopEdge { func, header_pc, .. }) => {
+                    self.profiler.switch(Activity::Monitor);
+                    match self.on_loop_edge(Anchor { func, pc: header_pc }, interp, realm) {
+                        Ok(None) => {}
+                        Ok(Some(v)) => break Ok(v),
+                        Err(e) => break Err(e),
+                    }
+                    if let Some(v) = self.finished_during_recording.take() {
+                        break Ok(v);
+                    }
+                    self.profiler.switch(Activity::Interpret);
+                }
+                Err(e) => break Err(e),
+            }
+        };
+        self.profiler.stats.bytecodes_interp = interp.ops_executed
+            - self.profiler.stats.bytecodes_recorded;
+        self.profiler.stop();
+        result
+    }
+
+    /// Handles one loop-edge crossing. Returns `Ok(Some(value))` if the
+    /// program finished during recording.
+    fn on_loop_edge(
+        &mut self,
+        anchor: Anchor,
+        interp: &mut Interp,
+        realm: &mut Realm,
+    ) -> Result<Option<Value>, RuntimeError> {
+        // 1. A matching compiled tree? Enter it.
+        if let Some(tid) = self.cache.find_match(anchor, realm, interp) {
+            self.run_tree(tid, interp, realm)?;
+            return Ok(None);
+        }
+
+        // 2. Hotness counting.
+        let c = self.hot_counters.entry(anchor).or_insert(0);
+        *c += 1;
+        if *c < self.opts.hotness_threshold {
+            return Ok(None);
+        }
+        let siblings = self.cache.trees_at(anchor);
+        if siblings.len() >= MAX_SIBLING_TREES {
+            if siblings.iter().all(|&t| self.cache.tree(t).disabled) {
+                // Every type permutation of this loop proved unprofitable:
+                // silence the monitor permanently (§3.3).
+                interp.patch_loop_header(anchor.func, anchor.pc);
+                self.events.push(TraceEvent::Blacklist { func: anchor.func, pc: anchor.pc });
+            }
+            return Ok(None);
+        }
+
+        // 3. Blacklist / backoff.
+        match self.blacklist.check((anchor.func, anchor.pc)) {
+            Verdict::Blacklisted => {
+                interp.patch_loop_header(anchor.func, anchor.pc);
+                self.events.push(TraceEvent::Blacklist { func: anchor.func, pc: anchor.pc });
+                return Ok(None);
+            }
+            Verdict::Skip => return Ok(None),
+            Verdict::Record => {}
+        }
+
+        // 4. Record a root trace.
+        self.record_root(anchor, interp, realm)
+    }
+
+    fn anchor_range(&self, anchor: Anchor, interp: &Interp) -> (u32, u32) {
+        let f = interp.prog().function(anchor.func);
+        let l = f.loop_with_header(anchor.pc).expect("anchor is a loop header");
+        (l.header, l.end)
+    }
+
+    fn record_root(
+        &mut self,
+        anchor: Anchor,
+        interp: &mut Interp,
+        realm: &mut Realm,
+    ) -> Result<Option<Value>, RuntimeError> {
+        self.events.push(TraceEvent::RecordStartRoot { func: anchor.func, pc: anchor.pc });
+        let range = self.anchor_range(anchor, interp);
+        let mut rec = Recorder::new_root(anchor, range, interp, self.opts);
+        self.profiler.switch(Activity::Record);
+        let rec_start_ops = interp.ops_executed;
+        let outcome = self.record_loop(&mut rec, interp, realm);
+        self.profiler.stats.bytecodes_recorded += interp.ops_executed - rec_start_ops;
+        self.profiler.switch(Activity::Monitor);
+        match outcome {
+            Ok(RecResult::Finished) => {
+                let recorded = rec.into_recorded();
+                self.build_root_tree(anchor, recorded);
+                self.forgive_outer_loops(anchor, interp);
+                Ok(None)
+            }
+            Ok(RecResult::Abort(reason)) => {
+                self.handle_record_failure(anchor, reason, interp);
+                Ok(None)
+            }
+            Err(RecordError::Guest(e)) => Err(e),
+            Err(RecordError::ProgramFinished(v)) => Ok(Some(v)),
+        }
+    }
+
+    fn handle_record_failure(&mut self, anchor: Anchor, reason: AbortReason, interp: &mut Interp) {
+        self.events.push(TraceEvent::RecordAbort { reason });
+        self.profiler.stats.traces_aborted += 1;
+        let provisional = matches!(
+            reason,
+            AbortReason::InnerTreeNotReady | AbortReason::InnerTreeCallFailed
+        );
+        if self.blacklist.record_failure((anchor.func, anchor.pc), provisional) {
+            interp.patch_loop_header(anchor.func, anchor.pc);
+            self.events.push(TraceEvent::Blacklist { func: anchor.func, pc: anchor.pc });
+        }
+    }
+
+    /// §4.2: an inner tree completed a trace; forgive outer loops that
+    /// aborted waiting for it.
+    fn forgive_outer_loops(&mut self, anchor: Anchor, interp: &Interp) {
+        let f = interp.prog().function(anchor.func);
+        let outer_headers: Vec<u32> = f
+            .loops
+            .iter()
+            .filter(|l| l.contains_pc(anchor.pc) && l.header != anchor.pc)
+            .map(|l| l.header)
+            .collect();
+        self.blacklist.forgive_outer(anchor.func, &outer_headers);
+    }
+
+    /// Drives one recording to completion, stepping the interpreter.
+    fn record_loop(
+        &mut self,
+        rec: &mut Recorder,
+        interp: &mut Interp,
+        realm: &mut Realm,
+    ) -> Result<RecResult, RecordError> {
+        loop {
+            match rec.record_op(interp, realm, &self.oracle) {
+                RecordAction::Step { observe } => match interp.step(realm) {
+                    Ok(Flow::Normal | Flow::LoopHeader(_)) => {
+                        if observe {
+                            rec.after_step(interp, realm);
+                        }
+                    }
+                    Ok(Flow::Finished(v)) => return Err(RecordError::ProgramFinished(v)),
+                    Err(e) => return Err(RecordError::Guest(e)),
+                },
+                RecordAction::Finished => {
+                    self.profiler.stats.traces_completed += 1;
+                    return Ok(RecResult::Finished);
+                }
+                RecordAction::Abort(reason) => return Ok(RecResult::Abort(reason)),
+                RecordAction::InnerLoop { func, pc } => {
+                    match self.handle_inner_loop(rec, Anchor { func, pc }, interp, realm)? {
+                        Ok(()) => {
+                            // Nested call recorded; the step that brought
+                            // us to the inner header was the LoopHeader op,
+                            // which the recorder never steps — the inner
+                            // tree execution advanced the interpreter.
+                        }
+                        Err(reason) => return Ok(RecResult::Abort(reason)),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Attempts a nested tree call while recording (§4.1).
+    #[allow(clippy::type_complexity)]
+    fn handle_inner_loop(
+        &mut self,
+        rec: &mut Recorder,
+        inner_anchor: Anchor,
+        interp: &mut Interp,
+        realm: &mut Realm,
+    ) -> Result<Result<(), AbortReason>, RecordError> {
+        if !self.opts.enable_nesting {
+            return Ok(Err(AbortReason::InnerTreeNotReady));
+        }
+        let Some(tid) = self.cache.find_match(inner_anchor, realm, interp) else {
+            // "We simply abort recording the first trace. The trace
+            // monitor will see the inner loop header, and will immediately
+            // start recording the inner loop."
+            return Ok(Err(AbortReason::InnerTreeNotReady));
+        };
+        rec.begin_nested(inner_anchor.pc);
+        // The LoopHeader op at the inner header has *not* been stepped;
+        // step past it so interpreter state matches a normal tree entry.
+        match interp.step(realm) {
+            Ok(Flow::LoopHeader(_) | Flow::Normal) => {}
+            Ok(Flow::Finished(v)) => return Err(RecordError::ProgramFinished(v)),
+            Err(e) => return Err(RecordError::Guest(e)),
+        }
+        self.events.push(TraceEvent::NestedCall { tree: tid.0 });
+        let (frag, exit, kind) = match self.execute_tree_once(tid, interp, realm) {
+            Ok(r) => r,
+            Err(e) => return Err(RecordError::Guest(e)),
+        };
+        let acceptable = matches!(kind, ExitKind::Branch | ExitKind::LeaveLoop)
+            && self.cache.tree(tid).exits[frag as usize][exit as usize].frames.len() == 1;
+        if !acceptable {
+            rec.cancel_nested();
+            return Ok(Err(AbortReason::InnerTreeCallFailed));
+        }
+        let stack_depth =
+            self.cache.tree(tid).exits[frag as usize][exit as usize].frames[0].stack_depth;
+        rec.finish_nested_with_stack(tid, (frag, exit), stack_depth, interp);
+        Ok(Ok(()))
+    }
+
+    // ==== tree construction ====
+
+    fn compile_fragment(&mut self, recorded: &mut RecordedTrace) -> Fragment {
+        self.profiler.switch(Activity::Compile);
+        let liveness = ExitLiveness {
+            live_slots: recorded.exits.iter().map(SideExitInfo::live_slots).collect(),
+        };
+        run_backward_filters(&mut recorded.lir, &liveness, &recorded.loop_live);
+        let frag = assemble(&recorded.lir);
+        self.profiler.stats.fragments += 1;
+        self.profiler.switch(Activity::Monitor);
+        frag
+    }
+
+    fn build_root_tree(&mut self, anchor: Anchor, mut recorded: RecordedTrace) -> TreeId {
+        let frag = self.compile_fragment(&mut recorded);
+        for m in recorded.oracle_marks.drain(..) {
+            self.oracle.mark_double(m);
+        }
+        let unstable = recorded.finish == recorder::FinishKind::UnstableLoop;
+        let tree = TraceTree {
+            id: TreeId(0), // assigned by the cache
+            anchor,
+            layout: recorded.layout,
+            entry: recorded.new_entry,
+            fragments: Rc::new(vec![frag]),
+            exits: vec![recorded.exits],
+            fragment_bytecodes: vec![recorded.bytecodes],
+            exit_counters: HashMap::new(),
+            branch_map: HashMap::new(),
+            frag_entry_reqs: Vec::new(),
+            exit_blacklist: HashMap::new(),
+            nested_sites: recorded.nested_sites,
+            loop_writes: recorded.loop_writes,
+            unstable,
+            disabled: false,
+            stats: TreeStats::default(),
+        };
+        let tid = self.cache.insert(tree);
+        {
+            let t = self.cache.tree_mut(tid);
+            let reqs = t.entry.iter().map(|e| (e.ar, e.key, e.ty)).collect();
+            t.frag_entry_reqs.push(reqs);
+        }
+        self.profiler.stats.trees += 1;
+        self.events.push(TraceEvent::RecordFinish {
+            tree: tid.0,
+            fragment: 0,
+            lir_len: self.cache.tree(tid).fragments[0].len() as u32,
+        });
+        tid
+    }
+
+    fn attach_branch(
+        &mut self,
+        tid: TreeId,
+        parent_frag: u32,
+        parent_exit: u16,
+        mut recorded: RecordedTrace,
+    ) {
+        let frag = self.compile_fragment(&mut recorded);
+        for m in recorded.oracle_marks.drain(..) {
+            self.oracle.mark_double(m);
+        }
+        let stitch = self.opts.enable_stitching;
+        // Entry requirements for monitor-mediated entry at this fragment:
+        // everything the parent exit's type map describes plus the tree's
+        // entry slots.
+        let parent_reqs: Vec<(tm_lir::ArSlot, SlotKey, tm_lir::LirType)> = {
+            let tree = self.cache.tree(tid);
+            let mut reqs = tree.exits[parent_frag as usize][parent_exit as usize]
+                .typemap
+                .clone();
+            for e in &tree.entry {
+                if !reqs.iter().any(|&(a, _, _)| a == e.ar) {
+                    reqs.push((e.ar, e.key, e.ty));
+                }
+            }
+            reqs
+        };
+        let tree = self.cache.tree_mut(tid);
+        let new_idx = tree.fragments.len() as u32;
+        {
+            let frags = Rc::make_mut(&mut tree.fragments);
+            frags.push(frag);
+            if stitch {
+                frags[parent_frag as usize].exit_targets[parent_exit as usize] =
+                    ExitTarget::Fragment(new_idx);
+            }
+        }
+        tree.branch_map.insert((parent_frag, parent_exit), new_idx);
+        tree.frag_entry_reqs.push(parent_reqs);
+        tree.layout = recorded.layout;
+        for e in recorded.new_entry {
+            if !tree.entry.iter().any(|x| x.ar == e.ar) {
+                tree.entry.push(e);
+                // Every fragment's monitor-entry requirements must cover
+                // every entry slot: fragments reached by stitching or
+                // loop-back may read slots this fragment's own path never
+                // touches.
+                for reqs in &mut tree.frag_entry_reqs {
+                    if !reqs.iter().any(|&(a, _, _)| a == e.ar) {
+                        reqs.push((e.ar, e.key, e.ty));
+                    }
+                }
+            }
+        }
+        // The branch's exits must also restore the *tree's* loop-persistent
+        // writes (slots written by the trunk after the branch point carry
+        // stale values from earlier iterations), and vice versa: existing
+        // exits must restore the branch's new loop writes.
+        let mut branch_exits = recorded.exits;
+        for e in &mut branch_exits {
+            crate::recorder::union_writes(&mut e.write_back, &tree.loop_writes);
+            crate::recorder::union_writes(&mut e.typemap, &tree.loop_writes);
+        }
+        let mut new_loop_writes = tree.loop_writes.clone();
+        crate::recorder::union_writes(&mut new_loop_writes, &recorded.loop_writes);
+        if new_loop_writes.len() != tree.loop_writes.len() {
+            for frag_exits in &mut tree.exits {
+                for e in frag_exits {
+                    crate::recorder::union_writes(&mut e.write_back, &new_loop_writes);
+                    crate::recorder::union_writes(&mut e.typemap, &new_loop_writes);
+                }
+            }
+            for site in &mut tree.nested_sites {
+                crate::recorder::union_writes(&mut site.callsite.write_back, &new_loop_writes);
+                crate::recorder::union_writes(&mut site.callsite.typemap, &new_loop_writes);
+            }
+        }
+        tree.loop_writes = new_loop_writes;
+        tree.exits.push(branch_exits);
+        tree.fragment_bytecodes.push(recorded.bytecodes);
+        tree.nested_sites.extend(recorded.nested_sites);
+        self.events.push(TraceEvent::Stitch {
+            tree: tid.0,
+            from_fragment: parent_frag,
+            exit: parent_exit,
+            to_fragment: new_idx,
+        });
+        self.events.push(TraceEvent::RecordFinish {
+            tree: tid.0,
+            fragment: new_idx,
+            lir_len: self.cache.tree(tid).fragments[new_idx as usize].len() as u32,
+        });
+    }
+
+    // ==== tree execution ====
+
+    /// Runs a tree from the monitor, handling exits, branch extension, and
+    /// type-stability transfers until control must return to the
+    /// interpreter.
+    fn run_tree(
+        &mut self,
+        mut tid: TreeId,
+        interp: &mut Interp,
+        realm: &mut Realm,
+    ) -> Result<(), RuntimeError> {
+        let mut transfers = 0usize;
+        let mut start = 0u32;
+        loop {
+            self.events.push(TraceEvent::EnterTree { tree: tid.0 });
+            let Some((frag, exit, kind)) = self.execute_tree_from(tid, start, interp, realm)?
+            else {
+                return Ok(()); // entry requirements not met: interpret
+            };
+            start = 0;
+            match kind {
+                ExitKind::LoopEdge => {
+                    // Preemption or pending GC at the loop edge (§6.4).
+                    if realm.heap.gc_pending || realm.heap.should_collect() {
+                        let roots = interp.roots();
+                        realm.collect_garbage(&roots);
+                    }
+                    if realm.interrupt {
+                        return Err(RuntimeError::Interrupted);
+                    }
+                    // Re-enter if still matching (the common case).
+                    if let Some(next) =
+                        self.cache.find_match(self.cache.tree(tid).anchor, realm, interp)
+                    {
+                        tid = next;
+                        continue;
+                    }
+                    return Ok(());
+                }
+                ExitKind::Unstable => {
+                    // Figure 6: look for a sibling tree whose entry map
+                    // matches the exit state.
+                    if !self.opts.enable_stability_linking {
+                        return Ok(());
+                    }
+                    let anchor = self.cache.tree(tid).anchor;
+                    if let Some(next) = self.cache.find_match(anchor, realm, interp) {
+                        transfers += 1;
+                        if next != tid {
+                            self.events
+                                .push(TraceEvent::StableTransfer { from_tree: tid.0, to_tree: next.0 });
+                        }
+                        if transfers < 1_000_000 {
+                            tid = next;
+                            continue;
+                        }
+                    }
+                    return Ok(());
+                }
+                ExitKind::Branch => {
+                    if !self.opts.enable_stitching {
+                        // §6.2's alternative to stitching: call the branch
+                        // fragment from the monitor, paying the transition
+                        // cost stitching avoids.
+                        if let Some(&bfrag) =
+                            self.cache.tree(tid).branch_map.get(&(frag, exit))
+                        {
+                            start = bfrag;
+                            continue;
+                        }
+                    }
+                    self.maybe_extend(tid, frag, exit, interp, realm)?;
+                    return Ok(());
+                }
+                ExitKind::NestedUnexpected => {
+                    // §4.1: "we simply exit the outer trace and start
+                    // recording a new branch in the inner tree."
+                    if let Some((itid, ifrag, iexit)) = self.pending_inner_exit.take() {
+                        let ikind =
+                            self.cache.tree(itid).exits[ifrag as usize][iexit as usize].kind;
+                        if ikind == ExitKind::Branch {
+                            self.maybe_extend(itid, ifrag, iexit, interp, realm)?;
+                        }
+                    }
+                    return Ok(());
+                }
+                ExitKind::LeaveLoop | ExitKind::DeepBail => return Ok(()),
+            }
+        }
+    }
+
+    /// Counts a side exit and records a branch trace when it becomes hot.
+    fn maybe_extend(
+        &mut self,
+        tid: TreeId,
+        frag: u32,
+        exit: u16,
+        interp: &mut Interp,
+        realm: &mut Realm,
+    ) -> Result<(), RuntimeError> {
+        {
+            let tree = self.cache.tree_mut(tid);
+            if tree.branch_map.contains_key(&(frag, exit)) {
+                // Already extended (reachable only via the monitor when
+                // stitching is disabled).
+                return Ok(());
+            }
+            if tree.fragments.len() >= self.opts.max_fragments_per_tree {
+                return Ok(());
+            }
+            if tree.exit_blacklist.get(&(frag, exit)).copied().unwrap_or(0)
+                >= self.opts.blacklist.max_failures
+            {
+                return Ok(());
+            }
+            let c = tree.exit_counters.entry((frag, exit)).or_insert(0);
+            *c += 1;
+            if *c < self.opts.hot_exit_threshold {
+                return Ok(());
+            }
+        }
+        // A hot integer-overflow guard means the int speculation at that
+        // arithmetic site keeps failing: demote it (§3.2's oracle, applied
+        // per site) so future recordings take the double path directly.
+        if let Some(site) =
+            self.cache.tree(tid).exits[frag as usize][exit as usize].arith_site
+        {
+            self.oracle.mark_site(site);
+        }
+        let anchor = self.cache.tree(tid).anchor;
+        let range = self.anchor_range(anchor, interp);
+        self.events.push(TraceEvent::RecordStartBranch { func: anchor.func, pc: anchor.pc });
+        let (layout, entry, site_base, parent_exit) = {
+            let tree = self.cache.tree(tid);
+            (
+                tree.layout.clone(),
+                tree.entry.clone(),
+                tree.nested_sites.len() as u32,
+                tree.exits[frag as usize][exit as usize].clone(),
+            )
+        };
+        let mut rec = Recorder::new_branch(
+            anchor,
+            range,
+            layout,
+            entry,
+            &parent_exit,
+            site_base,
+            interp,
+            self.opts,
+        );
+        self.profiler.switch(Activity::Record);
+        let rec_start_ops = interp.ops_executed;
+        let outcome = self.record_loop(&mut rec, interp, realm);
+        self.profiler.stats.bytecodes_recorded += interp.ops_executed - rec_start_ops;
+        self.profiler.switch(Activity::Monitor);
+        match outcome {
+            Ok(RecResult::Finished) => {
+                let recorded = rec.into_recorded();
+                self.attach_branch(tid, frag, exit, recorded);
+                Ok(())
+            }
+            Ok(RecResult::Abort(reason)) => {
+                self.events.push(TraceEvent::RecordAbort { reason });
+                self.profiler.stats.traces_aborted += 1;
+                *self.cache.tree_mut(tid).exit_blacklist.entry((frag, exit)).or_insert(0) += 1;
+                Ok(())
+            }
+            Err(RecordError::Guest(e)) => Err(e),
+            Err(RecordError::ProgramFinished(v)) => {
+                self.finished_during_recording = Some(v);
+                Ok(())
+            }
+        }
+    }
+
+    /// Enters tree `tid` at its trunk: builds the activation record from
+    /// interpreter state, executes fragments natively, and restores
+    /// interpreter state at the exit.
+    fn execute_tree_once(
+        &mut self,
+        tid: TreeId,
+        interp: &mut Interp,
+        realm: &mut Realm,
+    ) -> Result<(u32, u16, ExitKind), RuntimeError> {
+        Ok(self
+            .execute_tree_from(tid, 0, interp, realm)?
+            .expect("trunk entry was checked by the caller"))
+    }
+
+    /// Enters tree `tid` at fragment `start` (0 = trunk; >0 =
+    /// monitor-mediated branch call). Returns `None` when the fragment's
+    /// entry requirements don't match the interpreter state.
+    fn execute_tree_from(
+        &mut self,
+        tid: TreeId,
+        start: u32,
+        interp: &mut Interp,
+        realm: &mut Realm,
+    ) -> Result<Option<(u32, u16, ExitKind)>, RuntimeError> {
+        let entry_frame_idx = interp.frames.len() - 1;
+        let (frags, mut ar) = {
+            let tree = self.cache.tree(tid);
+            let mut ar = vec![0u64; tree.layout.len()];
+            for &(slot, key, ty) in &tree.frag_entry_reqs[start as usize] {
+                let Some(v) = read_slot_value(interp, realm, entry_frame_idx, key) else {
+                    return Ok(None);
+                };
+                if !value_matches(realm, v, ty) {
+                    return Ok(None);
+                }
+                ar[slot as usize] = unbox_to_word(realm, v, ty);
+            }
+            (tree.fragments.clone(), ar)
+        };
+        self.cache.tree_mut(tid).stats.enters += 1;
+        self.profiler.stats.trace_enters += 1;
+
+        self.profiler.switch(Activity::Native);
+        // The interpreter's step budget extends to native execution: trace
+        // loop edges bail out when the (approximate) fuel runs out.
+        let fuel = interp.steps_remaining;
+        let trace_exit = {
+            let mut host = NestHost { monitor: self, interp, outer: tid, entry_frame_idx };
+            execute(&frags, start, &mut ar, realm, &mut host, fuel)?
+        };
+        self.profiler.switch(Activity::Monitor);
+        interp.steps_remaining = interp.steps_remaining.saturating_sub(trace_exit.insts);
+        if interp.steps_remaining == 0 {
+            // Restore state first so the error surfaces cleanly.
+            interp.steps_remaining = 1;
+            let exit_info = &self.cache.tree(tid).exits[trace_exit.fragment as usize]
+                [trace_exit.exit as usize];
+            if exit_info.kind != ExitKind::NestedUnexpected {
+                restore_exit_state(exit_info, &ar, entry_frame_idx, interp, realm);
+            }
+            return Err(RuntimeError::StepBudgetExhausted);
+        }
+
+        // Figure 11 accounting: bytecode-equivalents executed natively.
+        {
+            let tree = self.cache.tree_mut(tid);
+            tree.stats.iterations += trace_exit.iterations;
+            tree.stats.monitor_exits += 1;
+            let trunk_bc = u64::from(tree.fragment_bytecodes[0]);
+            let exit_bc =
+                u64::from(tree.fragment_bytecodes[trace_exit.fragment as usize]) / 2;
+            self.profiler.stats.bytecodes_native +=
+                trace_exit.iterations * trunk_bc + exit_bc;
+            self.profiler.stats.native_insts += trace_exit.insts;
+            self.profiler.stats.side_exits += 1;
+        }
+
+        // §3.3 short-loop mitigation: a tree whose calls execute too few
+        // bytecodes costs more in transitions than it saves; disable it.
+        {
+            let min_useful = self.opts.min_useful_bytecodes;
+            let probation = self.opts.useless_probation;
+            let tree = self.cache.tree_mut(tid);
+            if tree.stats.enters >= probation {
+                let avg = tree.stats.native_bytecodes(tree.fragment_bytecodes[0])
+                    / tree.stats.enters.max(1);
+                if avg < min_useful {
+                    tree.disabled = true;
+                }
+            }
+        }
+        self.events.push(TraceEvent::SideExit {
+            tree: tid.0,
+            fragment: trace_exit.fragment,
+            exit: trace_exit.exit,
+        });
+        let exit_info = &self.cache.tree(tid).exits[trace_exit.fragment as usize]
+            [trace_exit.exit as usize];
+        let kind = exit_info.kind;
+        if kind != ExitKind::NestedUnexpected {
+            restore_exit_state(exit_info, &ar, entry_frame_idx, interp, realm);
+        }
+        if realm.heap.gc_pending {
+            let roots = interp.roots();
+            realm.collect_garbage(&roots);
+        }
+        Ok(Some((trace_exit.fragment, trace_exit.exit, kind)))
+    }
+
+}
+
+/// Restores interpreter state from the activation record according to a
+/// side exit's recipe: boxes written slots back, synthesizes inlined
+/// frames, and positions the pc (§6.1: "it pops or synthesizes interpreter
+/// JavaScript call stack frames as needed [and] copies the imported
+/// variables back").
+fn restore_exit_state(
+    exit: &SideExitInfo,
+    ar: &[u64],
+    entry_frame_idx: usize,
+    interp: &mut Interp,
+    realm: &mut Realm,
+) {
+    // Drop any frames above the entry frame (stale state from an inner
+    // tree's deeper exit, superseded by this outer exit).
+    interp.frames.truncate(entry_frame_idx + 1);
+    let entry_base = interp.frames[entry_frame_idx].base as usize;
+    let entry_func = interp.frames[entry_frame_idx].func;
+    let entry_nlocals = interp.prog().function(entry_func).nlocals as usize;
+    interp.stack.truncate(entry_base + entry_nlocals);
+
+    // Globals and entry-frame locals write back in place.
+    for &(slot, key, ty) in &exit.write_back {
+        match key {
+            SlotKey::Global(g) => {
+                let v = box_from_word(realm, ar[slot as usize], ty);
+                realm.set_global(g, v);
+            }
+            SlotKey::Local { depth: 0, slot: l } => {
+                let v = box_from_word(realm, ar[slot as usize], ty);
+                interp.stack[entry_base + l as usize] = v;
+            }
+            _ => {}
+        }
+    }
+    // Entry-frame operand stack, in push order.
+    push_frame_stack(exit, 0, ar, interp, realm);
+    interp.frames[entry_frame_idx].pc = exit.frames[0].resume_pc;
+
+    // Synthesize inlined frames (§3.1 frame reconstruction).
+    for (d, fd) in exit.frames.iter().enumerate().skip(1) {
+        let d8 = d as u8;
+        // The callee function object sits beneath the frame.
+        interp.stack.push(Value::from_raw(fd.callee_raw));
+        let base = interp.stack.len();
+        let nlocals = interp.prog().function(fd.func).nlocals;
+        for want in 0..nlocals {
+            let mut v = Value::UNDEFINED;
+            for &(slot, key, ty) in &exit.write_back {
+                if key == (SlotKey::Local { depth: d8, slot: want }) {
+                    v = box_from_word(realm, ar[slot as usize], ty);
+                    break;
+                }
+            }
+            interp.stack.push(v);
+        }
+        push_frame_stack(exit, d8, ar, interp, realm);
+        interp.frames.push(tm_interp::Frame {
+            func: fd.func,
+            pc: fd.resume_pc,
+            base: base as u32,
+            is_construct: fd.is_construct,
+        });
+    }
+}
+
+/// Reads the interpreter-visible value for `key` relative to
+/// `entry_frame_idx`, or `None` when the location is not materialized.
+fn read_slot_value(
+    interp: &Interp,
+    realm: &Realm,
+    entry_frame_idx: usize,
+    key: SlotKey,
+) -> Option<Value> {
+    match key {
+        SlotKey::Global(g) => Some(realm.global(g)),
+        SlotKey::Local { depth, slot } => {
+            let fidx = entry_frame_idx + depth as usize;
+            if fidx >= interp.frames.len() {
+                return None;
+            }
+            Some(interp.local_at(fidx, slot))
+        }
+        SlotKey::Stack { depth, idx } => {
+            let fidx = entry_frame_idx + depth as usize;
+            if fidx >= interp.frames.len() {
+                return None;
+            }
+            let frame = interp.frames[fidx];
+            let nlocals = interp.prog().function(frame.func).nlocals as usize;
+            let pos = frame.base as usize + nlocals + idx as usize;
+            // The entry must be within this frame's live operand stack.
+            let limit = interp
+                .frames
+                .get(fidx + 1)
+                .map(|next| next.base as usize - 1)
+                .unwrap_or(interp.stack.len());
+            if pos >= limit {
+                return None;
+            }
+            Some(interp.stack[pos])
+        }
+        SlotKey::Reimport { .. } => None,
+    }
+}
+
+/// Pushes frame `depth`'s operand-stack entries in index order.
+fn push_frame_stack(
+    exit: &SideExitInfo,
+    depth: u8,
+    ar: &[u64],
+    interp: &mut Interp,
+    realm: &mut Realm,
+) {
+    for want in 0..exit.frames[depth as usize].stack_depth {
+        let mut found = None;
+        for &(slot, key, ty) in &exit.write_back {
+            if key == (SlotKey::Stack { depth, idx: want }) {
+                found = Some(box_from_word(realm, ar[slot as usize], ty));
+                break;
+            }
+        }
+        interp.stack.push(found.expect("exit stack entries are written"));
+    }
+}
+
+/// Errors internal to the recording driver.
+enum RecordError {
+    Guest(RuntimeError),
+    ProgramFinished(Value),
+}
+
+/// The nesting host: executes inner trees on behalf of `CallTree`
+/// instructions in outer traces (§4.1).
+struct NestHost<'a> {
+    monitor: &'a mut Monitor,
+    interp: &'a mut Interp,
+    outer: TreeId,
+    entry_frame_idx: usize,
+}
+
+impl TreeHost for NestHost<'_> {
+    fn call_tree(
+        &mut self,
+        site_id: u32,
+        ar: &mut [u64],
+        realm: &mut Realm,
+    ) -> Result<bool, RuntimeError> {
+        let (inner, expected_exit) = {
+            let tree = self.monitor.cache.tree(self.outer);
+            let site = &tree.nested_sites[site_id as usize];
+            // 1. Sync outer AR → interpreter state at the call site.
+            restore_exit_state(&site.callsite, ar, self.entry_frame_idx, self.interp, realm);
+            (site.inner, site.expected_exit)
+        };
+
+        // 2. Entry check for the inner tree.
+        if !self.monitor.cache.tree(inner).entry_matches(realm, self.interp) {
+            return Ok(false);
+        }
+
+        // 3. Execute the inner tree (recursing through this host for its
+        //    own nested calls).
+        let (frag, exit, _kind) =
+            self.monitor.execute_tree_once(inner, self.interp, realm)?;
+        if (frag, exit) != expected_exit {
+            // §4.1 "we must guard on it after the call, and side exit if
+            // the property does not hold."
+            self.monitor.pending_inner_exit = Some((inner, frag, exit));
+            return Ok(false);
+        }
+
+        // 4. Refresh the outer AR from interpreter state: everything the
+        // outer trace re-reads (`reimports`, in private slots), plus every
+        // global/local slot that was synced to the interpreter at the call
+        // site or is a loop-persistent write — the inner tree may have
+        // modified those interpreter locations, and later outer exits
+        // write them back from the AR.
+        let tree = self.monitor.cache.tree(self.outer);
+        let site = &tree.nested_sites[site_id as usize];
+        let inner_top = self.interp.frames.len() - 1;
+        // Later entries overwrite earlier ones, so the call-site types
+        // (what post-call exits expect for slots written before the call)
+        // take precedence over generic entry/loop-edge types; reimports
+        // use private slots and never collide. Entry slots must also be
+        // refreshed: branch fragments read them, and the inner tree may
+        // have changed the underlying location.
+        let entry_refresh = tree
+            .entry
+            .iter()
+            .filter(|e| matches!(e.key, SlotKey::Global(_) | SlotKey::Local { .. }))
+            .map(|e| (e.ar, e.key, e.ty));
+        let refresh = entry_refresh
+            .chain(tree.loop_writes.iter().copied())
+            .chain(
+                site.callsite
+                    .write_back
+                    .iter()
+                    .filter(|&&(_, key, _)| {
+                        matches!(key, SlotKey::Global(_) | SlotKey::Local { .. })
+                    })
+                    .copied(),
+            )
+            .chain(site.reimports.iter().copied());
+        for (slot, key, ty) in refresh {
+            let v = match key {
+                SlotKey::Global(g) => realm.global(g),
+                SlotKey::Local { depth, slot } => {
+                    let idx = self.entry_frame_idx + depth as usize;
+                    if idx > inner_top {
+                        return Ok(false);
+                    }
+                    self.interp.local_at(idx, slot)
+                }
+                SlotKey::Stack { depth, idx } => {
+                    let fidx = self.entry_frame_idx + depth as usize;
+                    if fidx > inner_top {
+                        return Ok(false);
+                    }
+                    let frame = self.interp.frames[fidx];
+                    let nlocals =
+                        self.interp.prog().function(frame.func).nlocals as usize;
+                    let pos = frame.base as usize + nlocals + idx as usize;
+                    self.interp.stack[pos]
+                }
+                SlotKey::Reimport { .. } => {
+                    unreachable!("reimport lists store source keys")
+                }
+            };
+            if !value_matches(realm, v, ty) {
+                return Ok(false);
+            }
+            ar[slot as usize] = unbox_to_word(realm, v, ty);
+        }
+        Ok(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vm::{Engine, Vm};
+
+    fn traced(src: &str) -> Vm {
+        let mut opts = JitOptions::default();
+        opts.log_events = true;
+        let mut vm = Vm::with_options(Engine::Tracing, opts);
+        vm.eval(src).expect("runs");
+        vm
+    }
+
+    #[test]
+    fn hot_loop_compiles_exactly_one_trunk() {
+        let vm = traced("var s = 0; for (var i = 0; i < 100; i++) s += i; s");
+        let m = vm.monitor().unwrap();
+        assert_eq!(m.cache.len(), 1);
+        let t = m.cache.iter().next().unwrap();
+        assert_eq!(t.fragments.len(), 1);
+        assert!(!t.unstable);
+        assert!(t.stats.iterations > 90, "iterations: {}", t.stats.iterations);
+        // One loop-edge exit plus assorted guards, all Return targets.
+        assert!(t.fragments[0].exit_targets.iter().all(|e| matches!(e, ExitTarget::Return)));
+    }
+
+    #[test]
+    fn cold_loops_are_not_compiled() {
+        // Only one crossing: below the hotness threshold of 2.
+        let vm = traced("var s = 0; for (var i = 0; i < 0; i++) s += i; s");
+        assert_eq!(vm.monitor().unwrap().cache.len(), 0);
+    }
+
+    #[test]
+    fn hotness_threshold_is_respected() {
+        let mut opts = JitOptions::default();
+        opts.hotness_threshold = 1000;
+        let mut vm = Vm::with_options(Engine::Tracing, opts);
+        vm.eval("var s = 0; for (var i = 0; i < 100; i++) s += i; s").unwrap();
+        assert_eq!(vm.monitor().unwrap().cache.len(), 0, "loop never reaches 1000 crossings");
+    }
+
+    #[test]
+    fn sibling_trees_for_type_permutations() {
+        // The loop alternates int/double phases over evals sharing one
+        // monitor is not possible; instead a type flip mid-loop creates
+        // sibling trees in one run.
+        let vm = traced(
+            "var v = 0; var s = 0;
+             for (var i = 0; i < 2000; i++) { if (i == 1000) v = 0.5; s += v + 1; }
+             s",
+        );
+        let m = vm.monitor().unwrap();
+        assert!(m.cache.len() >= 2, "int-phase and double-phase trees");
+    }
+
+    #[test]
+    fn exit_counters_gate_branch_recording() {
+        let mut opts = JitOptions::default();
+        opts.hot_exit_threshold = u32::MAX; // branches never become hot
+        let mut vm = Vm::with_options(Engine::Tracing, opts);
+        vm.eval("var a = 0; for (var i = 0; i < 500; i++) { if (i % 2) a++; else a--; } a")
+            .unwrap();
+        let m = vm.monitor().unwrap();
+        for t in m.cache.iter() {
+            assert_eq!(t.fragments.len(), 1, "no branch fragments without hot exits");
+        }
+    }
+
+    #[test]
+    fn read_slot_value_covers_frames_and_stack() {
+        let mut realm = Realm::new();
+        let ast = tm_frontend::parse("var g = 7; var x = 0;").unwrap();
+        let prog = tm_bytecode::compile(&ast, &mut realm).unwrap();
+        let mut interp = Interp::new(prog, &mut realm);
+        let _ = interp.run(&mut realm).unwrap();
+        interp.reset();
+        let g = realm.lookup_global("g").unwrap();
+        let v = read_slot_value(&interp, &realm, 0, SlotKey::Global(g));
+        assert!(v.is_some());
+        // Locals of the entry frame are readable; deeper frames are not.
+        assert!(read_slot_value(&interp, &realm, 0, SlotKey::Local { depth: 0, slot: 0 })
+            .is_some());
+        assert!(read_slot_value(&interp, &realm, 0, SlotKey::Local { depth: 3, slot: 0 })
+            .is_none());
+        assert!(read_slot_value(&interp, &realm, 0, SlotKey::Reimport { site: 0, idx: 0 })
+            .is_none());
+    }
+}

@@ -1,0 +1,134 @@
+//! The oracle (§3.2): "an advisory data structure" recording variables
+//! that have been observed to hold non-integer number values, so future
+//! recordings demote them to double immediately instead of re-recording a
+//! type-unstable trace.
+
+use std::collections::HashSet;
+
+use tm_bytecode::FuncId;
+
+use crate::activation::SlotKey;
+
+/// A bytecode site (function, pc).
+pub type Site = (FuncId, u32);
+
+/// Key identifying a *variable* (not a stack temporary) across recordings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VarKey {
+    /// A realm global slot.
+    Global(u32),
+    /// A local variable of a specific function.
+    Local(FuncId, u16),
+}
+
+/// The integer-demotion oracle.
+///
+/// "When compiling loops, we consult the oracle before specializing values
+/// to integers. Speculation towards integers is performed only if no
+/// adverse information is known to the oracle."
+#[derive(Debug, Default, Clone)]
+pub struct Oracle {
+    demoted: HashSet<VarKey>,
+    /// Arithmetic bytecode sites whose integer speculation keeps failing
+    /// (overflow guards taken repeatedly): future recordings use the
+    /// double path there directly.
+    demoted_sites: HashSet<Site>,
+    enabled: bool,
+}
+
+impl Oracle {
+    /// Creates an enabled oracle.
+    pub fn new() -> Oracle {
+        Oracle { demoted: HashSet::new(), demoted_sites: HashSet::new(), enabled: true }
+    }
+
+    /// Creates a disabled oracle (ablation: every number speculates int,
+    /// so unstable loops keep re-recording).
+    pub fn disabled() -> Oracle {
+        Oracle { demoted: HashSet::new(), demoted_sites: HashSet::new(), enabled: false }
+    }
+
+    /// Records that `key` was observed holding a non-integer value.
+    pub fn mark_double(&mut self, key: VarKey) {
+        if self.enabled {
+            self.demoted.insert(key);
+        }
+    }
+
+    /// Whether `key` may be speculated as an integer.
+    pub fn may_speculate_int(&self, key: VarKey) -> bool {
+        !self.enabled || !self.demoted.contains(&key)
+    }
+
+    /// Records that integer speculation at arithmetic site `site` failed
+    /// at runtime (its overflow guard went hot).
+    pub fn mark_site(&mut self, site: Site) {
+        if self.enabled {
+            self.demoted_sites.insert(site);
+        }
+    }
+
+    /// Whether the arithmetic at `site` may speculate integer results.
+    pub fn may_speculate_int_site(&self, site: Site) -> bool {
+        !self.enabled || !self.demoted_sites.contains(&site)
+    }
+
+    /// Number of demoted variables (diagnostics).
+    pub fn len(&self) -> usize {
+        self.demoted.len()
+    }
+
+    /// Whether nothing has been demoted.
+    pub fn is_empty(&self) -> bool {
+        self.demoted.is_empty()
+    }
+}
+
+/// Derives the oracle key for a slot key in the context of the function
+/// whose frame the slot belongs to, if the slot names a variable.
+pub fn var_key(slot: SlotKey, frame_funcs: &[FuncId]) -> Option<VarKey> {
+    match slot {
+        SlotKey::Global(g) => Some(VarKey::Global(g)),
+        SlotKey::Local { depth, slot } => {
+            frame_funcs.get(depth as usize).map(|&f| VarKey::Local(f, slot))
+        }
+        SlotKey::Stack { .. } | SlotKey::Reimport { .. } => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oracle_blocks_int_speculation_after_mark() {
+        let mut o = Oracle::new();
+        let k = VarKey::Local(FuncId(1), 2);
+        assert!(o.may_speculate_int(k));
+        o.mark_double(k);
+        assert!(!o.may_speculate_int(k));
+        assert!(o.may_speculate_int(VarKey::Local(FuncId(1), 3)));
+        assert_eq!(o.len(), 1);
+    }
+
+    #[test]
+    fn disabled_oracle_never_blocks() {
+        let mut o = Oracle::disabled();
+        let k = VarKey::Global(0);
+        o.mark_double(k);
+        assert!(o.may_speculate_int(k));
+        assert!(o.is_empty());
+    }
+
+    #[test]
+    fn var_keys_from_slots() {
+        let funcs = [FuncId(7), FuncId(9)];
+        assert_eq!(var_key(SlotKey::Global(2), &funcs), Some(VarKey::Global(2)));
+        assert_eq!(
+            var_key(SlotKey::Local { depth: 1, slot: 3 }, &funcs),
+            Some(VarKey::Local(FuncId(9), 3))
+        );
+        assert_eq!(var_key(SlotKey::Stack { depth: 0, idx: 0 }, &funcs), None);
+        assert_eq!(var_key(SlotKey::Local { depth: 5, slot: 0 }, &funcs), None);
+    }
+}

@@ -1,0 +1,162 @@
+//! Per-activity time and bytecode accounting — the instrumentation behind
+//! the paper's Figure 11 (fraction of bytecodes interpreted vs. native)
+//! and Figure 12 (time breakdown by VM activity; the state machine of
+//! Figure 2).
+
+use std::time::{Duration, Instant};
+
+/// The VM activities of Figure 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activity {
+    /// Executing bytecodes in the interpreter.
+    Interpret,
+    /// Monitor bookkeeping: hotness counters, trace-cache lookup, entering
+    /// and leaving traces (unboxing/boxing activation records).
+    Monitor,
+    /// Recording a trace (interpreting + emitting LIR).
+    Record,
+    /// Compiling a finished trace (backward filters + assembly).
+    Compile,
+    /// Executing compiled (native) traces.
+    Native,
+}
+
+const N_ACTIVITIES: usize = 5;
+
+fn idx(a: Activity) -> usize {
+    match a {
+        Activity::Interpret => 0,
+        Activity::Monitor => 1,
+        Activity::Record => 2,
+        Activity::Compile => 3,
+        Activity::Native => 4,
+    }
+}
+
+/// Accumulated per-activity times and dynamic bytecode counts.
+#[derive(Debug, Clone, Default)]
+pub struct ProfileStats {
+    /// Wall-clock per activity.
+    pub time: [Duration; N_ACTIVITIES],
+    /// Bytecodes executed by the pure interpreter.
+    pub bytecodes_interp: u64,
+    /// Bytecodes executed while recording.
+    pub bytecodes_recorded: u64,
+    /// Bytecode-equivalents executed natively (trace bytecode length ×
+    /// iterations).
+    pub bytecodes_native: u64,
+    /// Machine instructions executed on trace.
+    pub native_insts: u64,
+    /// Trace entries (monitor → native transitions).
+    pub trace_enters: u64,
+    /// Side exits taken back to the monitor.
+    pub side_exits: u64,
+    /// Traces recorded successfully.
+    pub traces_completed: u64,
+    /// Recordings aborted.
+    pub traces_aborted: u64,
+    /// Trees created.
+    pub trees: u64,
+    /// Fragments compiled (trunk + branches).
+    pub fragments: u64,
+}
+
+impl ProfileStats {
+    /// Time spent in `a`.
+    pub fn time_in(&self, a: Activity) -> Duration {
+        self.time[idx(a)]
+    }
+
+    /// Total measured time.
+    pub fn total_time(&self) -> Duration {
+        self.time.iter().sum()
+    }
+
+    /// Fraction of dynamic bytecodes executed natively (Figure 11).
+    pub fn native_bytecode_fraction(&self) -> f64 {
+        let total = self.bytecodes_interp + self.bytecodes_recorded + self.bytecodes_native;
+        if total == 0 {
+            0.0
+        } else {
+            self.bytecodes_native as f64 / total as f64
+        }
+    }
+}
+
+/// Stopwatch-style profiler. Only one activity runs at a time; nested
+/// scopes are the caller's responsibility (switch, don't stack).
+#[derive(Debug)]
+pub struct Profiler {
+    /// Aggregated results.
+    pub stats: ProfileStats,
+    current: Option<(Activity, Instant)>,
+    /// When disabled, `enter`/`switch` are no-ops (no timer syscalls).
+    pub enabled: bool,
+}
+
+impl Default for Profiler {
+    fn default() -> Self {
+        Profiler::new(true)
+    }
+}
+
+impl Profiler {
+    /// Creates a profiler.
+    pub fn new(enabled: bool) -> Profiler {
+        Profiler { stats: ProfileStats::default(), current: None, enabled }
+    }
+
+    /// Switches the active activity, accumulating the previous one.
+    pub fn switch(&mut self, a: Activity) {
+        if !self.enabled {
+            return;
+        }
+        let now = Instant::now();
+        if let Some((prev, started)) = self.current.take() {
+            self.stats.time[idx(prev)] += now - started;
+        }
+        self.current = Some((a, now));
+    }
+
+    /// Stops timing (accumulating the active activity).
+    pub fn stop(&mut self) {
+        if let Some((prev, started)) = self.current.take() {
+            self.stats.time[idx(prev)] += started.elapsed();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn switch_accumulates() {
+        let mut p = Profiler::new(true);
+        p.switch(Activity::Interpret);
+        std::thread::sleep(Duration::from_millis(2));
+        p.switch(Activity::Native);
+        std::thread::sleep(Duration::from_millis(1));
+        p.stop();
+        assert!(p.stats.time_in(Activity::Interpret) >= Duration::from_millis(1));
+        assert!(p.stats.time_in(Activity::Native) >= Duration::from_micros(500));
+        assert!(p.stats.total_time() >= Duration::from_millis(2));
+    }
+
+    #[test]
+    fn native_fraction() {
+        let mut s = ProfileStats::default();
+        assert_eq!(s.native_bytecode_fraction(), 0.0);
+        s.bytecodes_interp = 25;
+        s.bytecodes_native = 75;
+        assert!((s.native_bytecode_fraction() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disabled_profiler_is_noop() {
+        let mut p = Profiler::new(false);
+        p.switch(Activity::Interpret);
+        p.stop();
+        assert_eq!(p.stats.total_time(), Duration::ZERO);
+    }
+}

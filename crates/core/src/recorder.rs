@@ -1,0 +1,2170 @@
+//! The trace recorder (§3.1, §6.3).
+//!
+//! "The job of the trace recorder is to emit LIR with identical semantics
+//! to the currently running interpreter bytecode trace." The monitor
+//! single-steps the interpreter; before each bytecode executes, the
+//! recorder inspects the operand stack, emits type-specialized LIR with
+//! guards for every control-flow branch, type observation, shape-dependent
+//! access, and integer overflow, and mirrors the interpreter's stack in a
+//! shadow of SSA values.
+//!
+//! Guard exits snapshot the *pre-op* state: a failing guard resumes the
+//! interpreter at the current bytecode with its operands still on the
+//! (reconstructed) stack, so the interpreter simply re-executes the
+//! instruction down the unrecorded path.
+
+use std::collections::HashMap;
+
+use tm_bytecode::{FuncId, Op};
+use tm_interp::Interp;
+use tm_lir::{ArSlot, ExitId, Lir, LirBuffer, LirTrace, LirType};
+use tm_runtime::trace_helpers::FastTy;
+use tm_runtime::{ops as rt_ops, Callee, Helper, NativeId, ObjectClass, Realm, Sym, Value};
+
+use crate::activation::{observed_type, ArLayout, SlotKey};
+use crate::config::JitOptions;
+use crate::events::AbortReason;
+use crate::exit::{ExitKind, FrameDesc, SideExitInfo};
+use crate::oracle::{var_key, Oracle, VarKey};
+use crate::tree::{Anchor, EntrySlot, NestedSite, TreeId};
+
+/// A shadow value: the SSA id computing an interpreter value, plus its
+/// unboxed type (never `Boxed` on the shadow stack).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sv {
+    /// SSA id in the LIR buffer.
+    pub id: u32,
+    /// Unboxed type.
+    pub ty: LirType,
+}
+
+#[derive(Debug)]
+struct ShadowFrame {
+    func: FuncId,
+    locals: Vec<Option<Sv>>,
+    stack: Vec<Sv>,
+    is_construct: bool,
+    /// Resume pc of the frame *below* when this frame returns.
+    caller_resume: u32,
+    /// Raw boxed word of this frame's callee function object.
+    callee_raw: u64,
+}
+
+/// What the monitor should do after a `record_op` call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordAction {
+    /// Step the interpreter; when `observe` is set, call
+    /// [`Recorder::after_step`] afterwards.
+    Step {
+        /// Whether the recorder needs to see the result value.
+        observe: bool,
+    },
+    /// The trace was completed (loop closed, left, or unstable-ended).
+    Finished,
+    /// Recording cannot continue.
+    Abort(AbortReason),
+    /// Reached an inner loop header (§4.1): the monitor must execute (or
+    /// fail to find) a nested tree.
+    InnerLoop {
+        /// Inner loop's function.
+        func: FuncId,
+        /// Inner loop header pc.
+        pc: u32,
+    },
+}
+
+/// How the finished trace ends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FinishKind {
+    /// Type-stable loop: ends with `LoopBack`.
+    StableLoop,
+    /// Type-unstable: ends with an always-taken `End` exit (Figure 6).
+    UnstableLoop,
+    /// Left the loop (break / return / fell out): ends with `End`.
+    Leave,
+}
+
+/// The completed product of a recording.
+#[derive(Debug)]
+pub struct RecordedTrace {
+    /// The (forward-filtered) LIR; backward filters are the compiler's job.
+    pub lir: LirTrace,
+    /// Side-exit descriptors, indexed by exit id.
+    pub exits: Vec<SideExitInfo>,
+    /// Imports that must be added to the tree's entry type map.
+    pub new_entry: Vec<EntrySlot>,
+    /// The (possibly grown) AR layout.
+    pub layout: ArLayout,
+    /// Bytecodes covered by this trace.
+    pub bytecodes: u32,
+    /// How the trace ended.
+    pub finish: FinishKind,
+    /// Variables to demote in the oracle (set for unstable loops, §3.2).
+    pub oracle_marks: Vec<VarKey>,
+    /// Nested call sites created during this recording.
+    pub nested_sites: Vec<NestedSite>,
+    /// AR slots live at the loop edge.
+    pub loop_live: Vec<ArSlot>,
+    /// Loop-persistent writes (globals and entry-frame locals written by a
+    /// looping trace): their values survive across iterations in the AR,
+    /// so *every* exit of the tree must write them back.
+    pub loop_writes: Vec<(ArSlot, SlotKey, LirType)>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum PendingNative {
+    /// Generic boxed call: unbox the observed result.
+    Generic,
+    /// Typed fast call with result type; `CharCodeAt` additionally guards
+    /// its NaN sentinel.
+    Fast(Helper, FastTy),
+}
+
+/// The trace recorder. One instance per recording attempt.
+pub struct Recorder {
+    buf: LirBuffer,
+    layout: ArLayout,
+    /// Known entry types per key (branch: seeded from the parent exit's
+    /// type map; root: filled as imports happen).
+    entry_types: HashMap<SlotKey, LirType>,
+    new_entry: Vec<EntrySlot>,
+    frames: Vec<ShadowFrame>,
+    globals: HashMap<u32, Sv>,
+    /// Cumulative write set: AR slots whose interpreter locations are
+    /// stale (includes the parent path for branch traces).
+    written: HashMap<ArSlot, (SlotKey, LirType)>,
+    /// Cumulative type knowledge (writes ∪ imports).
+    known: HashMap<ArSlot, (SlotKey, LirType)>,
+    exits: Vec<SideExitInfo>,
+    anchor: Anchor,
+    anchor_range: (u32, u32),
+    /// The tree entry map the loop edge must re-establish (empty for root
+    /// recordings, which build their own in `new_entry`).
+    existing_entry: Vec<EntrySlot>,
+    opts: JitOptions,
+    ops_recorded: u32,
+    nested_sites: Vec<NestedSite>,
+    nested_site_base: u32,
+    /// Inner anchors nested-called during this recording: hitting the same
+    /// anchor twice means the inner tree exited mid-loop and we are
+    /// circling it — the paper's "the interpreter PC is in the inner tree,
+    /// so we cannot continue recording" case (§4.1).
+    nested_anchors: Vec<(FuncId, u32)>,
+    active_site: Option<usize>,
+    pending_nested_exit: Option<ExitId>,
+    pending_native: Option<(PendingNative, u32)>,
+    oracle_marks: Vec<VarKey>,
+    finish: Option<FinishKind>,
+    loop_writes: Vec<(ArSlot, SlotKey, LirType)>,
+    // Per-op guard-exit state (see module docs).
+    cur_exit: Option<ExitId>,
+    pre_pc: u32,
+    pre_depths: Vec<u16>,
+    /// Whether the oracle permits integer speculation at the current
+    /// bytecode site.
+    site_ok: bool,
+    /// Set by the fast-native helper: the last native call used the typed
+    /// fast path.
+    last_was_fast: bool,
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recorder")
+            .field("anchor", &self.anchor)
+            .field("ops_recorded", &self.ops_recorded)
+            .field("frames", &self.frames.len())
+            .finish()
+    }
+}
+
+impl Recorder {
+    /// Starts recording a root (trunk) trace at `anchor`. The interpreter
+    /// must be positioned just past the anchor's `LoopHeader`.
+    pub fn new_root(
+        anchor: Anchor,
+        anchor_range: (u32, u32),
+        interp: &Interp,
+        opts: JitOptions,
+    ) -> Recorder {
+        let frame = interp.frame();
+        let func = frame.func;
+        let nlocals = interp.prog().function(func).nlocals;
+        Recorder {
+            buf: LirBuffer::new(opts.filters),
+            layout: ArLayout::new(),
+            entry_types: HashMap::new(),
+            new_entry: Vec::new(),
+            frames: vec![ShadowFrame {
+                func,
+                locals: vec![None; nlocals as usize],
+                stack: Vec::new(),
+                is_construct: false,
+                caller_resume: 0,
+                callee_raw: 0,
+            }],
+            globals: HashMap::new(),
+            written: HashMap::new(),
+            known: HashMap::new(),
+            exits: Vec::new(),
+            anchor,
+            anchor_range,
+            existing_entry: Vec::new(),
+            opts,
+            ops_recorded: 0,
+            nested_sites: Vec::new(),
+            nested_site_base: 0,
+            active_site: None,
+            pending_nested_exit: None,
+            pending_native: None,
+            oracle_marks: Vec::new(),
+            finish: None,
+            loop_writes: Vec::new(),
+            cur_exit: None,
+            pre_pc: 0,
+            pre_depths: Vec::new(),
+            site_ok: true,
+            last_was_fast: false,
+            nested_anchors: Vec::new(),
+        }
+    }
+
+    /// Starts recording a branch trace from a side exit of an existing
+    /// tree. The interpreter must be positioned at the exit's resume
+    /// state.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new_branch(
+        anchor: Anchor,
+        anchor_range: (u32, u32),
+        layout: ArLayout,
+        existing_entry: Vec<EntrySlot>,
+        parent_exit: &SideExitInfo,
+        nested_site_base: u32,
+        interp: &Interp,
+        opts: JitOptions,
+    ) -> Recorder {
+        let mut rec = Recorder {
+            buf: LirBuffer::new(opts.filters),
+            layout,
+            entry_types: HashMap::new(),
+            new_entry: Vec::new(),
+            frames: Vec::new(),
+            globals: HashMap::new(),
+            written: HashMap::new(),
+            known: HashMap::new(),
+            exits: Vec::new(),
+            anchor,
+            anchor_range,
+            existing_entry,
+            opts,
+            ops_recorded: 0,
+            nested_sites: Vec::new(),
+            nested_site_base,
+            active_site: None,
+            pending_nested_exit: None,
+            pending_native: None,
+            oracle_marks: Vec::new(),
+            finish: None,
+            loop_writes: Vec::new(),
+            cur_exit: None,
+            pre_pc: 0,
+            pre_depths: Vec::new(),
+            site_ok: true,
+            last_was_fast: false,
+            nested_anchors: Vec::new(),
+        };
+        // Every existing tree-entry slot is already populated at tree
+        // entry: seed its type first so the branch never re-adds it as a
+        // duplicate (conflicting) entry.
+        for e in &rec.existing_entry {
+            rec.entry_types.insert(e.key, e.ty);
+        }
+        // Everything the parent path established is importable at its
+        // recorded type (overriding the entry type when the parent path
+        // rewrote the slot); the parent's cumulative writes remain *our*
+        // writes for later exits.
+        for &(ar, key, ty) in &parent_exit.typemap {
+            rec.entry_types.insert(key, ty);
+            rec.known.insert(ar, (key, ty));
+        }
+        for &(ar, key, ty) in &parent_exit.write_back {
+            rec.written.insert(ar, (key, ty));
+        }
+        // Rebuild shadow frames; locals import lazily (deeper-frame locals
+        // not in the parent type map are still their initial undefined).
+        for fd in &parent_exit.frames {
+            let nlocals = interp.prog().function(fd.func).nlocals;
+            rec.frames.push(ShadowFrame {
+                func: fd.func,
+                locals: vec![None; nlocals as usize],
+                stack: Vec::new(),
+                is_construct: fd.is_construct,
+                caller_resume: fd.resume_pc,
+                callee_raw: fd.callee_raw,
+            });
+        }
+        // Guard exits before the first op need a valid pre-state.
+        rec.pre_pc = parent_exit.frames.last().expect("frames").resume_pc;
+        rec.pre_depths = parent_exit.frames.iter().map(|f| f.stack_depth).collect();
+        // Materialize operand stacks eagerly (stack shadows are
+        // structural); types come from the parent exit's type map (every
+        // live stack entry was written by the parent path).
+        for d in 0..rec.frames.len() {
+            let depth = parent_exit.frames[d].stack_depth;
+            for idx in 0..depth {
+                let key = SlotKey::Stack { depth: d as u8, idx };
+                debug_assert!(rec.entry_types.contains_key(&key), "stack entry not in parent map");
+                let sv = rec.import_slot(key, None, interp);
+                rec.frames[d].stack.push(sv);
+            }
+        }
+        rec
+    }
+
+    /// The LIR recorded so far (diagnostics).
+    pub fn lir(&self) -> &LirTrace {
+        self.buf.trace()
+    }
+
+    /// Number of bytecodes recorded so far.
+    pub fn ops_recorded(&self) -> u32 {
+        self.ops_recorded
+    }
+
+    // ==== shadow-state primitives ====
+
+    fn depth(&self) -> usize {
+        self.frames.len() - 1
+    }
+
+    fn emit(&mut self, inst: Lir) -> u32 {
+        self.buf.emit(inst)
+    }
+
+    /// The shared guard exit for the current bytecode (created lazily with
+    /// the pre-op snapshot).
+    /// Marks the current guard exit as an integer-speculation arithmetic
+    /// guard: taken hot, the monitor demotes this bytecode site in the
+    /// oracle so future recordings use the double path.
+    fn arith_guard_exit(&mut self) -> ExitId {
+        let e = self.guard_exit();
+        let site = (self.frames[self.depth()].func, self.pre_pc);
+        self.exits[e.0 as usize].arith_site = Some(site);
+        e
+    }
+
+    fn site_may_speculate(&self) -> bool {
+        self.site_ok
+    }
+
+    fn guard_exit(&mut self) -> ExitId {
+        if let Some(e) = self.cur_exit {
+            return e;
+        }
+        let e = self.snapshot_exit(ExitKind::Branch, self.pre_pc, Some(&self.pre_depths.clone()));
+        self.cur_exit = Some(e);
+        e
+    }
+
+    /// Snapshots state into a new side exit. `depths` overrides the
+    /// per-frame operand-stack depths (pre-op state); `None` = current.
+    fn snapshot_exit(
+        &mut self,
+        kind: ExitKind,
+        resume_pc: u32,
+        depths: Option<&[u16]>,
+    ) -> ExitId {
+        let exit = self.buf.alloc_exit();
+        debug_assert_eq!(exit.0 as usize, self.exits.len());
+
+        let cur_depths: Vec<u16> =
+            self.frames.iter().map(|f| f.stack.len() as u16).collect();
+        let depths = depths.unwrap_or(&cur_depths);
+
+        let top = self.frames.len() - 1;
+        let mut frames = Vec::with_capacity(self.frames.len());
+        for (d, f) in self.frames.iter().enumerate() {
+            frames.push(FrameDesc {
+                func: f.func,
+                resume_pc: if d == top {
+                    resume_pc
+                } else {
+                    self.frames[d + 1].caller_resume
+                },
+                stack_depth: depths[d],
+                is_construct: f.is_construct,
+                callee_raw: f.callee_raw,
+            });
+        }
+
+        let nframes = self.frames.len();
+        let keep = |key: SlotKey| -> bool {
+            match key {
+                SlotKey::Global(_) => true,
+                SlotKey::Local { depth, .. } => (depth as usize) < nframes,
+                SlotKey::Stack { depth, idx } => {
+                    (depth as usize) < nframes && idx < depths[depth as usize]
+                }
+                SlotKey::Reimport { .. } => false,
+            }
+        };
+        let mut write_back: Vec<(ArSlot, SlotKey, LirType)> = self
+            .written
+            .iter()
+            .filter(|&(_, &(key, _))| keep(key))
+            .map(|(&ar, &(key, ty))| (ar, key, ty))
+            .collect();
+        write_back.sort_by_key(|&(ar, _, _)| ar);
+        let mut typemap: Vec<(ArSlot, SlotKey, LirType)> = self
+            .known
+            .iter()
+            .filter(|&(_, &(key, _))| keep(key))
+            .map(|(&ar, &(key, ty))| (ar, key, ty))
+            .collect();
+        typemap.sort_by_key(|&(ar, _, _)| ar);
+
+        self.exits.push(SideExitInfo {
+            kind,
+            frames,
+            write_back,
+            oracle_hint: Vec::new(),
+            typemap,
+            arith_site: None,
+        });
+        exit
+    }
+
+    /// Imports an interpreter location.
+    ///
+    /// Before any nested call, the import becomes part of the tree's entry
+    /// type map. After a nested call ("re-import"), the type is taken from
+    /// the freshly observed value and the slot is refreshed by the nesting
+    /// host instead of at tree entry.
+    fn import_slot(&mut self, key: SlotKey, observed: Option<Value>, interp: &Interp) -> Sv {
+        let _ = interp;
+        if let Some(site) = self.active_site {
+            // Post-nested-call re-import: the canonical slot keeps its
+            // pre-call type for exits, so the refreshed value gets a
+            // private slot the host populates after the inner call.
+            let v = observed.expect("re-import needs an observed value");
+            let ty = observed_type(v);
+            let idx = self.nested_sites[site].reimports.len() as u16;
+            let site_id = self.nested_site_base + site as u32;
+            let ar = self.layout.slot(SlotKey::Reimport { site: site_id, idx });
+            self.nested_sites[site].reimports.push((ar, key, ty));
+            let id = self.emit(Lir::Import { slot: ar, ty });
+            return Sv { id, ty };
+        }
+        let ar = self.layout.slot(key);
+        let ty = match self.entry_types.get(&key) {
+            Some(&t) => t,
+            None => {
+                let v = observed.expect("fresh import needs an observed value");
+                let ty = observed_type(v);
+                self.entry_types.insert(key, ty);
+                self.new_entry.push(EntrySlot { ar, key, ty });
+                ty
+            }
+        };
+        let id = self.emit(Lir::Import { slot: ar, ty });
+        self.known.insert(ar, (key, ty));
+        Sv { id, ty }
+    }
+
+    /// Marks an AR slot written, emitting the store.
+    fn write_ar(&mut self, key: SlotKey, sv: Sv) {
+        let ar = self.layout.slot(key);
+        self.emit(Lir::WriteAr { slot: ar, v: sv.id });
+        self.written.insert(ar, (key, sv.ty));
+        self.known.insert(ar, (key, sv.ty));
+    }
+
+    fn push(&mut self, sv: Sv) {
+        let depth = self.depth() as u8;
+        let idx = self.frames.last().expect("frame").stack.len() as u16;
+        self.frames.last_mut().expect("frame").stack.push(sv);
+        self.write_ar(SlotKey::Stack { depth, idx }, sv);
+    }
+
+    fn pop(&mut self) -> Sv {
+        self.frames.last_mut().expect("frame").stack.pop().expect("shadow stack underflow")
+    }
+
+    fn peek(&self, from_top: usize) -> Sv {
+        let st = &self.frames.last().expect("frame").stack;
+        st[st.len() - 1 - from_top]
+    }
+
+    fn set_stack_from_top(&mut self, from_top: usize, sv: Sv) {
+        let depth = self.depth() as u8;
+        let len = self.frames.last().expect("frame").stack.len();
+        let idx = len - 1 - from_top;
+        self.frames.last_mut().expect("frame").stack[idx] = sv;
+        self.write_ar(SlotKey::Stack { depth, idx: idx as u16 }, sv);
+    }
+
+    /// Applies the oracle before an Int entry type is chosen (§3.2).
+    fn oracle_adjust(&mut self, key: SlotKey, v: Value, oracle: &Oracle) {
+        if !self.opts.enable_oracle || self.entry_types.contains_key(&key) {
+            return;
+        }
+        if observed_type(v) == LirType::Int {
+            let funcs: Vec<FuncId> = self.frames.iter().map(|f| f.func).collect();
+            if let Some(vk) = var_key(key, &funcs) {
+                if !oracle.may_speculate_int(vk) && self.active_site.is_none() {
+                    let ar = self.layout.slot(key);
+                    self.entry_types.insert(key, LirType::Double);
+                    self.new_entry.push(EntrySlot { ar, key, ty: LirType::Double });
+                }
+            }
+        }
+    }
+
+    fn local_sv(&mut self, slot: u16, interp: &Interp, oracle: &Oracle) -> Sv {
+        let depth = self.depth();
+        if let Some(sv) = self.frames[depth].locals[slot as usize] {
+            return sv;
+        }
+        let key = SlotKey::Local { depth: depth as u8, slot };
+        // A deeper-frame local that was never imported or written has no
+        // populated AR slot; it is still its initial `undefined` (callee
+        // locals are written eagerly at the inline call).
+        let importable = depth == 0
+            || self.entry_types.contains_key(&key)
+            || self
+                .layout
+                .lookup(key)
+                .is_some_and(|ar| self.known.contains_key(&ar) && self.active_site.is_some());
+        let sv = if importable {
+            let v = interp.local(slot);
+            self.oracle_adjust(key, v, oracle);
+            self.import_slot(key, Some(v), interp)
+        } else {
+            debug_assert!(interp.local(slot).is_undefined());
+            self.undefined_sv()
+        };
+        self.frames[depth].locals[slot as usize] = Some(sv);
+        sv
+    }
+
+    fn set_local(&mut self, slot: u16, sv: Sv) {
+        let depth = self.depth();
+        self.frames[depth].locals[slot as usize] = Some(sv);
+        self.write_ar(SlotKey::Local { depth: depth as u8, slot }, sv);
+    }
+
+    fn global_sv(&mut self, slot: u32, realm: &Realm, interp: &Interp, oracle: &Oracle) -> Sv {
+        if let Some(&sv) = self.globals.get(&slot) {
+            return sv;
+        }
+        let key = SlotKey::Global(slot);
+        let v = realm.global(slot);
+        self.oracle_adjust(key, v, oracle);
+        let sv = self.import_slot(key, Some(v), interp);
+        self.globals.insert(slot, sv);
+        sv
+    }
+
+    fn set_global_sv(&mut self, slot: u32, sv: Sv) {
+        self.globals.insert(slot, sv);
+        self.write_ar(SlotKey::Global(slot), sv);
+    }
+
+    fn undefined_sv(&mut self) -> Sv {
+        let id = self.emit(Lir::ConstBoxed(Value::UNDEFINED.raw()));
+        Sv { id, ty: LirType::Undefined }
+    }
+
+    fn null_sv(&mut self) -> Sv {
+        let id = self.emit(Lir::ConstBoxed(Value::NULL.raw()));
+        Sv { id, ty: LirType::Null }
+    }
+
+    // ==== typed helpers ====
+
+    /// Unboxes a boxed SSA value according to an observed concrete value,
+    /// guarding the type.
+    fn unbox_observed(&mut self, boxed: u32, actual: Value) -> Sv {
+        let e = self.guard_exit();
+        match observed_type(actual) {
+            LirType::Int => Sv { id: self.emit(Lir::UnboxI(boxed, e)), ty: LirType::Int },
+            LirType::Double => {
+                Sv { id: self.emit(Lir::UnboxNumD(boxed, e)), ty: LirType::Double }
+            }
+            LirType::Object => Sv { id: self.emit(Lir::UnboxObj(boxed, e)), ty: LirType::Object },
+            LirType::String => Sv { id: self.emit(Lir::UnboxStr(boxed, e)), ty: LirType::String },
+            LirType::Bool => Sv { id: self.emit(Lir::UnboxBool(boxed, e)), ty: LirType::Bool },
+            LirType::Null => {
+                self.emit(Lir::GuardBoxedEq(boxed, Value::NULL.raw(), e));
+                self.null_sv()
+            }
+            _ => {
+                self.emit(Lir::GuardBoxedEq(boxed, Value::UNDEFINED.raw(), e));
+                self.undefined_sv()
+            }
+        }
+    }
+
+    /// Boxes a shadow value into a raw tagged word.
+    fn box_sv(&mut self, sv: Sv) -> u32 {
+        match sv.ty {
+            LirType::Int => self.emit(Lir::BoxI(sv.id)),
+            LirType::Double => self.emit(Lir::BoxD(sv.id)),
+            LirType::Bool => self.emit(Lir::BoxB(sv.id)),
+            LirType::Object => self.emit(Lir::BoxObj(sv.id)),
+            LirType::String => self.emit(Lir::BoxStr(sv.id)),
+            LirType::Null | LirType::Undefined | LirType::Boxed => sv.id,
+        }
+    }
+
+    /// ToNumber: `Ok((id, is_double))`.
+    fn to_num(&mut self, sv: Sv) -> Result<(u32, bool), AbortReason> {
+        match sv.ty {
+            LirType::Int | LirType::Bool => Ok((sv.id, false)),
+            LirType::Double => Ok((sv.id, true)),
+            LirType::Null => Ok((self.emit(Lir::ConstI(0)), false)),
+            LirType::Undefined | LirType::Object => {
+                Ok((self.emit(Lir::ConstD(f64::NAN.to_bits())), true))
+            }
+            LirType::String | LirType::Boxed => Err(AbortReason::Unsupported),
+        }
+    }
+
+    fn as_double(&mut self, id: u32, is_double: bool) -> u32 {
+        if is_double {
+            id
+        } else {
+            self.emit(Lir::I2D(id))
+        }
+    }
+
+    /// ToInt32: `Ok((id, full_range))`; `full_range` means the i32 may
+    /// exceed the boxable 31-bit range.
+    fn to_i32(&mut self, sv: Sv) -> Result<(u32, bool), AbortReason> {
+        match sv.ty {
+            LirType::Int | LirType::Bool => Ok((sv.id, false)),
+            LirType::Double => Ok((self.emit(Lir::D2I32(sv.id)), true)),
+            LirType::Null | LirType::Undefined | LirType::Object => {
+                Ok((self.emit(Lir::ConstI(0)), false))
+            }
+            LirType::String | LirType::Boxed => Err(AbortReason::Unsupported),
+        }
+    }
+
+    /// A Bool-typed truthiness computation for `sv`.
+    fn truthy_sv(&mut self, sv: Sv) -> Sv {
+        let id = match sv.ty {
+            LirType::Bool => sv.id,
+            LirType::Int => {
+                let zero = self.emit(Lir::ConstI(0));
+                let is_zero = self.emit(Lir::EqI(sv.id, zero));
+                self.emit(Lir::NotB(is_zero))
+            }
+            LirType::Double => {
+                let zero = self.emit(Lir::ConstD(0.0f64.to_bits()));
+                let lt = self.emit(Lir::LtD(sv.id, zero));
+                let gt = self.emit(Lir::GtD(sv.id, zero));
+                self.emit(Lir::OrI(lt, gt))
+            }
+            LirType::String => {
+                let len = self.emit(Lir::StrLen(sv.id));
+                let zero = self.emit(Lir::ConstI(0));
+                self.emit(Lir::GtI(len, zero))
+            }
+            LirType::Object => self.emit(Lir::ConstBool(true)),
+            LirType::Null | LirType::Undefined => self.emit(Lir::ConstBool(false)),
+            LirType::Boxed => unreachable!("boxed value on shadow stack"),
+        };
+        Sv { id, ty: LirType::Bool }
+    }
+
+    // ==== the per-bytecode dispatcher ====
+
+    /// Records the bytecode the interpreter is about to execute.
+    #[allow(clippy::too_many_lines)]
+    pub fn record_op(
+        &mut self,
+        interp: &Interp,
+        realm: &mut Realm,
+        oracle: &Oracle,
+    ) -> RecordAction {
+        debug_assert!(self.finish.is_none(), "recording after finish");
+        if self.buf.trace().code.len() > self.opts.max_trace_len
+            || self.buf.trace().num_exits > u16::MAX - 8
+        {
+            return RecordAction::Abort(AbortReason::TraceTooLong);
+        }
+
+        let frame = interp.frame();
+        let pc = frame.pc;
+
+        // Left the anchor loop? (§3.2 "the trace might exit the loop").
+        if self.depth() == 0
+            && !(self.anchor_range.0..self.anchor_range.1).contains(&pc)
+        {
+            self.finish_leave(pc);
+            return RecordAction::Finished;
+        }
+
+        // Reset the per-op guard-exit state.
+        self.cur_exit = None;
+        self.pre_pc = pc;
+        self.pre_depths = self.frames.iter().map(|f| f.stack.len() as u16).collect();
+        self.site_ok = oracle.may_speculate_int_site((frame.func, pc));
+        self.ops_recorded += 1;
+
+        let op = interp.current_op();
+        match self.dispatch(op, interp, realm, oracle) {
+            Ok(action) => action,
+            Err(reason) => RecordAction::Abort(reason),
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn dispatch(
+        &mut self,
+        op: Op,
+        interp: &Interp,
+        realm: &mut Realm,
+        oracle: &Oracle,
+    ) -> Result<RecordAction, AbortReason> {
+        use RecordAction::Step;
+        let step = Ok(Step { observe: false });
+        match op {
+            Op::Int(i) => {
+                let id = self.emit(Lir::ConstI(i));
+                self.push(Sv { id, ty: LirType::Int });
+            }
+            Op::Num(i) => {
+                let v = interp.installed().literals.numbers[i as usize];
+                let d = realm.heap.number_value(v).expect("number literal");
+                let id = self.emit(Lir::ConstD(d.to_bits()));
+                self.push(Sv { id, ty: LirType::Double });
+            }
+            Op::Str(i) => {
+                let v = interp.installed().literals.atoms[i as usize];
+                let h = v.as_string().expect("string literal").0;
+                let id = self.emit(Lir::ConstStr(h));
+                self.push(Sv { id, ty: LirType::String });
+            }
+            Op::True => {
+                let id = self.emit(Lir::ConstBool(true));
+                self.push(Sv { id, ty: LirType::Bool });
+            }
+            Op::False => {
+                let id = self.emit(Lir::ConstBool(false));
+                self.push(Sv { id, ty: LirType::Bool });
+            }
+            Op::Null => {
+                let sv = self.null_sv();
+                self.push(sv);
+            }
+            Op::Undefined => {
+                let sv = self.undefined_sv();
+                self.push(sv);
+            }
+
+            Op::GetLocal(s) => {
+                let sv = self.local_sv(s, interp, oracle);
+                self.push(sv);
+            }
+            Op::SetLocal(s) => {
+                let v = self.pop();
+                self.set_local(s, v);
+            }
+            Op::GetGlobal(g) => {
+                let sv = self.global_sv(g, realm, interp, oracle);
+                self.push(sv);
+            }
+            Op::SetGlobal(g) => {
+                let v = self.pop();
+                self.set_global_sv(g, v);
+            }
+
+            Op::Pop => {
+                self.pop();
+            }
+            Op::Dup => {
+                let v = self.peek(0);
+                self.push(v);
+            }
+            Op::Swap => {
+                let a = self.peek(0);
+                let b = self.peek(1);
+                self.set_stack_from_top(0, b);
+                self.set_stack_from_top(1, a);
+            }
+
+            Op::Add => self.record_add(interp, realm)?,
+            Op::Sub => self.record_arith(ArithKind::Sub, interp, realm)?,
+            Op::Mul => self.record_arith(ArithKind::Mul, interp, realm)?,
+            Op::Div => {
+                let b = self.pop();
+                let a = self.pop();
+                let (bi, bd) = self.to_num(b)?;
+                let (ai, ad) = self.to_num(a)?;
+                let bd2 = self.as_double(bi, bd);
+                let ad2 = self.as_double(ai, ad);
+                let id = self.emit(Lir::DivD(ad2, bd2));
+                self.push(Sv { id, ty: LirType::Double });
+            }
+            Op::Mod => self.record_arith(ArithKind::Mod, interp, realm)?,
+            Op::Neg => {
+                let a = self.pop();
+                let actual = top_value(interp, 0);
+                let (ai, ad) = self.to_num(a)?;
+                let neg_is_int = !ad && {
+                    let x = rt_ops::to_number(realm, actual);
+                    let r = -x;
+                    x != 0.0 && r == r.trunc() && Value::fits_int(r as i64)
+                };
+                if neg_is_int {
+                    let e = self.guard_exit();
+                    let id = self.emit(Lir::NegIChk(ai, e));
+                    self.push(Sv { id, ty: LirType::Int });
+                } else {
+                    let d = self.as_double(ai, ad);
+                    let id = self.emit(Lir::NegD(d));
+                    self.push(Sv { id, ty: LirType::Double });
+                }
+            }
+            Op::Pos => {
+                let a = self.pop();
+                match a.ty {
+                    LirType::Int | LirType::Double => self.push(a),
+                    _ => {
+                        let (id, is_d) = self.to_num(a)?;
+                        let ty = if is_d { LirType::Double } else { LirType::Int };
+                        self.push(Sv { id, ty });
+                    }
+                }
+            }
+
+            Op::BitAnd => self.record_bitop(BitKind::And, interp, realm)?,
+            Op::BitOr => self.record_bitop(BitKind::Or, interp, realm)?,
+            Op::BitXor => self.record_bitop(BitKind::Xor, interp, realm)?,
+            Op::Shl => self.record_bitop(BitKind::Shl, interp, realm)?,
+            Op::Shr => self.record_bitop(BitKind::Shr, interp, realm)?,
+            Op::UShr => self.record_bitop(BitKind::UShr, interp, realm)?,
+            Op::BitNot => {
+                let a = self.pop();
+                let actual = top_value(interp, 0);
+                let (ai, full) = self.to_i32(a)?;
+                let id = self.emit(Lir::NotI(ai));
+                self.push_i32_result(id, full, bitnot_value(realm, actual));
+            }
+
+            Op::Lt => self.record_rel(RelKind::Lt, interp, realm)?,
+            Op::Le => self.record_rel(RelKind::Le, interp, realm)?,
+            Op::Gt => self.record_rel(RelKind::Gt, interp, realm)?,
+            Op::Ge => self.record_rel(RelKind::Ge, interp, realm)?,
+            Op::Eq => self.record_eq(false, false)?,
+            Op::Ne => self.record_eq(false, true)?,
+            Op::StrictEq => self.record_eq(true, false)?,
+            Op::StrictNe => self.record_eq(true, true)?,
+            Op::Not => {
+                let a = self.pop();
+                let t = self.truthy_sv(a);
+                let id = self.emit(Lir::NotB(t.id));
+                self.push(Sv { id, ty: LirType::Bool });
+            }
+            Op::Typeof => {
+                let a = self.pop();
+                let s = match a.ty {
+                    LirType::Int | LirType::Double => "number",
+                    LirType::Bool => "boolean",
+                    LirType::String => "string",
+                    LirType::Null => "object",
+                    LirType::Undefined => "undefined",
+                    LirType::Object => {
+                        let actual = top_value(interp, 0);
+                        let oid = actual.as_object().expect("object-typed shadow");
+                        // The class is guarded so function-vs-object stays
+                        // correct on later runs.
+                        let class = realm.heap.object(oid).class;
+                        let e = self.guard_exit();
+                        self.emit(Lir::GuardClass { obj: a.id, class: class as u8, exit: e });
+                        if class == ObjectClass::Function {
+                            "function"
+                        } else {
+                            "object"
+                        }
+                    }
+                    LirType::Boxed => unreachable!("boxed on shadow stack"),
+                };
+                let atom = realm.typeof_atom(s);
+                let id = self.emit(Lir::ConstStr(atom.as_string().expect("atom").0));
+                self.push(Sv { id, ty: LirType::String });
+            }
+
+            Op::NewArray(n) => {
+                let n = n as usize;
+                let len = self.emit(Lir::ConstI(n as i32));
+                let e = self.guard_exit();
+                let arr = self.emit(Lir::Call {
+                    helper: Helper::NewArray,
+                    args: vec![len].into_boxed_slice(),
+                    ret: LirType::Object,
+                    exit: e,
+                });
+                // Pop elements (last on top) and store them.
+                let mut elems = Vec::with_capacity(n);
+                for _ in 0..n {
+                    elems.push(self.pop());
+                }
+                elems.reverse();
+                for (i, el) in elems.into_iter().enumerate() {
+                    let idx = self.emit(Lir::ConstI(i as i32));
+                    let boxed = self.box_sv(el);
+                    self.emit(Lir::StoreElem(arr, idx, boxed));
+                }
+                self.push(Sv { id: arr, ty: LirType::Object });
+            }
+            Op::NewObject => {
+                let proto = self.emit(Lir::ConstBoxed(tm_runtime::trace_helpers::NO_PROTO));
+                let e = self.guard_exit();
+                let obj = self.emit(Lir::Call {
+                    helper: Helper::NewObject,
+                    args: vec![proto].into_boxed_slice(),
+                    ret: LirType::Object,
+                    exit: e,
+                });
+                self.push(Sv { id: obj, ty: LirType::Object });
+            }
+            Op::InitProp(sym) => {
+                let v = self.pop();
+                let objsv = self.peek(0);
+                let actual_obj = top_value(interp, 1);
+                self.record_set_prop(objsv, sym, v, actual_obj, realm)?;
+            }
+            Op::GetProp(sym) => {
+                let base = self.pop();
+                let actual = top_value(interp, 0);
+                let result = self.record_get_prop(base, sym, actual, interp, realm)?;
+                self.push(result);
+            }
+            Op::SetProp(sym) => {
+                let v = self.pop();
+                let base = self.pop();
+                let actual_obj = top_value(interp, 1);
+                self.record_set_prop(base, sym, v, actual_obj, realm)?;
+                self.push(v);
+            }
+            Op::GetElem => {
+                let idx = self.pop();
+                let base = self.pop();
+                let actual_idx = top_value(interp, 0);
+                let actual_base = top_value(interp, 1);
+                let result =
+                    self.record_get_elem(base, idx, actual_base, actual_idx, realm)?;
+                self.push(result);
+            }
+            Op::SetElem => {
+                let v = self.pop();
+                let idx = self.pop();
+                let base = self.pop();
+                let actual_idx = top_value(interp, 1);
+                let actual_base = top_value(interp, 2);
+                self.record_set_elem(base, idx, v, actual_base, actual_idx, realm)?;
+                self.push(v);
+            }
+
+            Op::Call(argc) => return self.record_call(argc, false, interp, realm),
+            Op::New(argc) => return self.record_call(argc, true, interp, realm),
+            Op::Return | Op::ReturnUndef => {
+                let result = if matches!(op, Op::Return) {
+                    self.pop()
+                } else {
+                    self.undefined_sv()
+                };
+                if self.frames.len() == 1 {
+                    // Returning out of the entry frame leaves the loop.
+                    self.finish_leave(self.pre_pc);
+                    return Ok(RecordAction::Finished);
+                }
+                let frame = self.frames.pop().expect("frame");
+                let result = if frame.is_construct && result.ty != LirType::Object {
+                    frame.locals[0].expect("this is always set")
+                } else {
+                    result
+                };
+                self.push(result);
+            }
+
+            Op::Jump(_) => {}
+            Op::JumpIfFalse(_) | Op::JumpIfTrue(_) => {
+                let c = self.pop();
+                let actual = top_value(interp, 0);
+                let t = self.truthy_sv(c);
+                let e = self.guard_exit();
+                if rt_ops::truthy(realm, actual) {
+                    self.emit(Lir::GuardTrue(t.id, e));
+                } else {
+                    self.emit(Lir::GuardFalse(t.id, e));
+                }
+            }
+            Op::AndJump(_) => {
+                let c = self.peek(0);
+                let actual = top_value(interp, 0);
+                let t = self.truthy_sv(c);
+                let e = self.guard_exit();
+                if rt_ops::truthy(realm, actual) {
+                    self.emit(Lir::GuardTrue(t.id, e));
+                    self.pop();
+                } else {
+                    self.emit(Lir::GuardFalse(t.id, e));
+                }
+            }
+            Op::OrJump(_) => {
+                let c = self.peek(0);
+                let actual = top_value(interp, 0);
+                let t = self.truthy_sv(c);
+                let e = self.guard_exit();
+                if rt_ops::truthy(realm, actual) {
+                    self.emit(Lir::GuardTrue(t.id, e));
+                } else {
+                    self.emit(Lir::GuardFalse(t.id, e));
+                    self.pop();
+                }
+            }
+
+            Op::LoopHeader(_) => {
+                let frame = interp.frame();
+                if self.depth() == 0 && frame.func == self.anchor.func && frame.pc == self.anchor.pc
+                {
+                    debug_assert!(
+                        self.frames[0].stack.is_empty(),
+                        "operand stack must be empty at a loop header"
+                    );
+                    self.finish_at_anchor();
+                    return Ok(RecordAction::Finished);
+                }
+                if self.nested_anchors.contains(&(frame.func, frame.pc)) {
+                    // We already called this inner tree during this
+                    // recording and came back around to its header: the
+                    // inner call exited mid-loop, so the outer trace cannot
+                    // treat it as a subroutine. Abort and let the inner
+                    // tree grow (§4.1/§4.2).
+                    return Err(AbortReason::InnerTreeCallFailed);
+                }
+                self.nested_anchors.push((frame.func, frame.pc));
+                return Ok(RecordAction::InnerLoop { func: frame.func, pc: frame.pc });
+            }
+            Op::Nop => {}
+        }
+        step
+    }
+
+    /// Called by the monitor after stepping an instruction that needed its
+    /// result observed (native calls).
+    pub fn after_step(&mut self, interp: &Interp, realm: &mut Realm) {
+        let Some((pending, call_id)) = self.pending_native.take() else {
+            return;
+        };
+        let actual = top_value(interp, 0);
+        let sv = match pending {
+            PendingNative::Generic => self.unbox_observed(call_id, actual),
+            PendingNative::Fast(helper, ret) => match ret {
+                FastTy::Double => Sv { id: call_id, ty: LirType::Double },
+                FastTy::Str => Sv { id: call_id, ty: LirType::String },
+                FastTy::Obj => Sv { id: call_id, ty: LirType::Object },
+                FastTy::Int => {
+                    if helper == Helper::CharCodeAt {
+                        // §6.3: charCodeAt returns an integer or NaN; the
+                        // helper encodes NaN as -1 and we guard the
+                        // observed case.
+                        let zero = self.emit(Lir::ConstI(0));
+                        let is_nan = realm
+                            .heap
+                            .number_value(actual)
+                            .is_none_or(f64::is_nan);
+                        let e = self.guard_exit();
+                        if is_nan {
+                            let ltz = self.emit(Lir::LtI(call_id, zero));
+                            self.emit(Lir::GuardTrue(ltz, e));
+                            let id = self.emit(Lir::ConstD(f64::NAN.to_bits()));
+                            Sv { id, ty: LirType::Double }
+                        } else {
+                            let gez = self.emit(Lir::GeI(call_id, zero));
+                            self.emit(Lir::GuardTrue(gez, e));
+                            Sv { id: call_id, ty: LirType::Int }
+                        }
+                    } else {
+                        Sv { id: call_id, ty: LirType::Int }
+                    }
+                }
+            },
+        };
+        self.push(sv);
+    }
+
+    // ==== complex op recorders ====
+
+    fn record_add(&mut self, interp: &Interp, realm: &mut Realm) -> Result<(), AbortReason> {
+        let b_actual = top_value(interp, 0);
+        let a_actual = top_value(interp, 1);
+        let b = self.pop();
+        let a = self.pop();
+        if a.ty == LirType::String || b.ty == LirType::String {
+            let a_str = self.stringify(a)?;
+            let b_str = self.stringify(b)?;
+            let e = self.guard_exit();
+            let id = self.emit(Lir::Call {
+                helper: Helper::ConcatStrings,
+                args: vec![a_str, b_str].into_boxed_slice(),
+                ret: LirType::String,
+                exit: e,
+            });
+            self.push(Sv { id, ty: LirType::String });
+            return Ok(());
+        }
+        let stays_int = self.int_result(a, b, a_actual, b_actual, realm, |x, y| x + y)
+            && self.site_may_speculate();
+        let (bi, bd) = self.to_num(b)?;
+        let (ai, ad) = self.to_num(a)?;
+        if stays_int {
+            let e = self.arith_guard_exit();
+            let id = self.emit(Lir::AddIChk(ai, bi, e));
+            self.push(Sv { id, ty: LirType::Int });
+        } else {
+            let bd2 = self.as_double(bi, bd);
+            let ad2 = self.as_double(ai, ad);
+            let id = self.emit(Lir::AddD(ad2, bd2));
+            self.push(Sv { id, ty: LirType::Double });
+        }
+        Ok(())
+    }
+
+    /// Converts a shadow value to a string SSA id (for concatenation).
+    fn stringify(&mut self, sv: Sv) -> Result<u32, AbortReason> {
+        match sv.ty {
+            LirType::String => Ok(sv.id),
+            LirType::Int => {
+                let e = self.guard_exit();
+                Ok(self.emit(Lir::Call {
+                    helper: Helper::IntToString,
+                    args: vec![sv.id].into_boxed_slice(),
+                    ret: LirType::String,
+                    exit: e,
+                }))
+            }
+            LirType::Double => {
+                let e = self.guard_exit();
+                Ok(self.emit(Lir::Call {
+                    helper: Helper::NumberToString,
+                    args: vec![sv.id].into_boxed_slice(),
+                    ret: LirType::String,
+                    exit: e,
+                }))
+            }
+            _ => Err(AbortReason::Unsupported),
+        }
+    }
+
+    /// Whether an int fast path applies: both operands int-like and the
+    /// exact result is a boxable integer right now.
+    fn int_result(
+        &self,
+        a: Sv,
+        b: Sv,
+        a_actual: Value,
+        b_actual: Value,
+        realm: &Realm,
+        f: impl Fn(i64, i64) -> i64,
+    ) -> bool {
+        let int_like =
+            |sv: Sv| matches!(sv.ty, LirType::Int | LirType::Bool | LirType::Null);
+        if !int_like(a) || !int_like(b) {
+            return false;
+        }
+        let ax = rt_ops::to_number(realm, a_actual) as i64;
+        let bx = rt_ops::to_number(realm, b_actual) as i64;
+        Value::fits_int(f(ax, bx))
+    }
+
+    fn record_arith(
+        &mut self,
+        kind: ArithKind,
+        interp: &Interp,
+        realm: &mut Realm,
+    ) -> Result<(), AbortReason> {
+        let b_actual = top_value(interp, 0);
+        let a_actual = top_value(interp, 1);
+        let b = self.pop();
+        let a = self.pop();
+        let stays_int = match kind {
+            ArithKind::Sub => self.int_result(a, b, a_actual, b_actual, realm, |x, y| x - y),
+            ArithKind::Mul => {
+                self.int_result(a, b, a_actual, b_actual, realm, |x, y| x * y)
+                    && !mul_is_neg_zero(realm, a_actual, b_actual)
+            }
+            ArithKind::Mod => {
+                self.int_result(a, b, a_actual, b_actual, realm, |x, y| {
+                    if y == 0 {
+                        i64::MAX // force the double path
+                    } else {
+                        x % y
+                    }
+                }) && mod_stays_int(realm, a_actual, b_actual)
+            }
+        };
+        let stays_int = stays_int && self.site_may_speculate();
+        let (bi, bd) = self.to_num(b)?;
+        let (ai, ad) = self.to_num(a)?;
+        if stays_int {
+            let e = self.arith_guard_exit();
+            let id = match kind {
+                ArithKind::Sub => self.emit(Lir::SubIChk(ai, bi, e)),
+                ArithKind::Mul => self.emit(Lir::MulIChk(ai, bi, e)),
+                ArithKind::Mod => self.emit(Lir::ModIChk(ai, bi, e)),
+            };
+            self.push(Sv { id, ty: LirType::Int });
+        } else {
+            let bd2 = self.as_double(bi, bd);
+            let ad2 = self.as_double(ai, ad);
+            let id = match kind {
+                ArithKind::Sub => self.emit(Lir::SubD(ad2, bd2)),
+                ArithKind::Mul => self.emit(Lir::MulD(ad2, bd2)),
+                ArithKind::Mod => self.emit(Lir::ModD(ad2, bd2)),
+            };
+            self.push(Sv { id, ty: LirType::Double });
+        }
+        Ok(())
+    }
+
+    fn record_bitop(
+        &mut self,
+        kind: BitKind,
+        interp: &Interp,
+        realm: &mut Realm,
+    ) -> Result<(), AbortReason> {
+        let b_actual = top_value(interp, 0);
+        let a_actual = top_value(interp, 1);
+        let b = self.pop();
+        let a = self.pop();
+        let (bi, bfull) = self.to_i32(b)?;
+        let (ai, afull) = self.to_i32(a)?;
+        let ax = rt_ops::to_int32(realm, a_actual);
+        let bx = rt_ops::to_int32(realm, b_actual);
+        match kind {
+            BitKind::And | BitKind::Or | BitKind::Xor | BitKind::Shr => {
+                let id = match kind {
+                    BitKind::And => self.emit(Lir::AndI(ai, bi)),
+                    BitKind::Or => self.emit(Lir::OrI(ai, bi)),
+                    BitKind::Xor => self.emit(Lir::XorI(ai, bi)),
+                    _ => self.emit(Lir::ShrI(ai, bi)),
+                };
+                let actual_res: i64 = match kind {
+                    BitKind::And => i64::from(ax & bx),
+                    BitKind::Or => i64::from(ax | bx),
+                    BitKind::Xor => i64::from(ax ^ bx),
+                    _ => i64::from(ax.wrapping_shr((bx & 31) as u32)),
+                };
+                // &,|,^,>> are closed over the boxable range (see the LIR
+                // docs); a range check is only needed when an operand came
+                // from a full-range ToInt32.
+                self.push_i32_result(id, afull || bfull, actual_res);
+            }
+            BitKind::Shl => {
+                let actual_res = i64::from(ax.wrapping_shl((bx & 31) as u32));
+                if Value::fits_int(actual_res) && self.site_may_speculate() {
+                    let e = self.arith_guard_exit();
+                    let id = self.emit(Lir::ShlIChk(ai, bi, e));
+                    self.push(Sv { id, ty: LirType::Int });
+                } else {
+                    let id = self.emit(Lir::ShlI(ai, bi));
+                    let d = self.emit(Lir::I2D(id));
+                    self.push(Sv { id: d, ty: LirType::Double });
+                }
+            }
+            BitKind::UShr => {
+                let actual_res = i64::from((ax as u32).wrapping_shr((bx & 31) as u32));
+                if Value::fits_int(actual_res) && self.site_may_speculate() {
+                    let e = self.arith_guard_exit();
+                    let id = self.emit(Lir::UShrIChk(ai, bi, e));
+                    self.push(Sv { id, ty: LirType::Int });
+                } else {
+                    let id = self.emit(Lir::UShrI(ai, bi));
+                    let d = self.emit(Lir::U2D(id));
+                    self.push(Sv { id: d, ty: LirType::Double });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Pushes an i32-valued result: in-range ints stay ints (guarded when
+    /// the computation could leave the range), others widen to double.
+    fn push_i32_result(&mut self, id: u32, may_escape: bool, actual: i64) {
+        if Value::fits_int(actual) && (!may_escape || self.site_may_speculate()) {
+            if may_escape {
+                let e = self.arith_guard_exit();
+                let checked = self.emit(Lir::ChkRangeI(id, e));
+                self.push(Sv { id: checked, ty: LirType::Int });
+            } else {
+                self.push(Sv { id, ty: LirType::Int });
+            }
+        } else {
+            let d = self.emit(Lir::I2D(id));
+            self.push(Sv { id: d, ty: LirType::Double });
+        }
+    }
+
+    fn record_rel(
+        &mut self,
+        kind: RelKind,
+        interp: &Interp,
+        realm: &mut Realm,
+    ) -> Result<(), AbortReason> {
+        let _ = (interp, realm);
+        let b = self.pop();
+        let a = self.pop();
+        if a.ty == LirType::String && b.ty == LirType::String {
+            let e = self.guard_exit();
+            let cmp = self.emit(Lir::Call {
+                helper: Helper::StrCmp,
+                args: vec![a.id, b.id].into_boxed_slice(),
+                ret: LirType::Int,
+                exit: e,
+            });
+            let zero = self.emit(Lir::ConstI(0));
+            let id = match kind {
+                RelKind::Lt => self.emit(Lir::LtI(cmp, zero)),
+                RelKind::Le => self.emit(Lir::LeI(cmp, zero)),
+                RelKind::Gt => self.emit(Lir::GtI(cmp, zero)),
+                RelKind::Ge => self.emit(Lir::GeI(cmp, zero)),
+            };
+            self.push(Sv { id, ty: LirType::Bool });
+            return Ok(());
+        }
+        if a.ty == LirType::String || b.ty == LirType::String {
+            // Mixed string/number comparison: generic helper.
+            let helper = match kind {
+                RelKind::Lt => Helper::LtAny,
+                RelKind::Le => Helper::LeAny,
+                RelKind::Gt => Helper::GtAny,
+                RelKind::Ge => Helper::GeAny,
+            };
+            let ab = self.box_sv(a);
+            let bb = self.box_sv(b);
+            let e = self.guard_exit();
+            let r = self.emit(Lir::Call {
+                helper,
+                args: vec![ab, bb].into_boxed_slice(),
+                ret: LirType::Boxed,
+                exit: e,
+            });
+            let e2 = self.guard_exit();
+            let id = self.emit(Lir::UnboxBool(r, e2));
+            self.push(Sv { id, ty: LirType::Bool });
+            return Ok(());
+        }
+        let (bi, bd) = self.to_num(b)?;
+        let (ai, ad) = self.to_num(a)?;
+        let id = if ad || bd {
+            let bd2 = self.as_double(bi, bd);
+            let ad2 = self.as_double(ai, ad);
+            match kind {
+                RelKind::Lt => self.emit(Lir::LtD(ad2, bd2)),
+                RelKind::Le => self.emit(Lir::LeD(ad2, bd2)),
+                RelKind::Gt => self.emit(Lir::GtD(ad2, bd2)),
+                RelKind::Ge => self.emit(Lir::GeD(ad2, bd2)),
+            }
+        } else {
+            match kind {
+                RelKind::Lt => self.emit(Lir::LtI(ai, bi)),
+                RelKind::Le => self.emit(Lir::LeI(ai, bi)),
+                RelKind::Gt => self.emit(Lir::GtI(ai, bi)),
+                RelKind::Ge => self.emit(Lir::GeI(ai, bi)),
+            }
+        };
+        self.push(Sv { id, ty: LirType::Bool });
+        Ok(())
+    }
+
+    fn record_eq(&mut self, strict: bool, negate: bool) -> Result<(), AbortReason> {
+        use LirType::{Bool, Double, Int, Null, Object, String as Str, Undefined};
+        let b = self.pop();
+        let a = self.pop();
+        let push_const = |rec: &mut Self, v: bool| {
+            let id = rec.emit(Lir::ConstBool(v != negate));
+            rec.push(Sv { id, ty: LirType::Bool });
+        };
+        let id = match (a.ty, b.ty) {
+            (Int, Int) | (Bool, Bool) | (Object, Object) => self.emit(Lir::EqI(a.id, b.id)),
+            (Int | Double, Int | Double) => {
+                let ad = self.as_double(a.id, a.ty == Double);
+                let bd = self.as_double(b.id, b.ty == Double);
+                self.emit(Lir::EqD(ad, bd))
+            }
+            (Str, Str) => {
+                let e = self.guard_exit();
+                self.emit(Lir::Call {
+                    helper: Helper::StrEq,
+                    args: vec![a.id, b.id].into_boxed_slice(),
+                    ret: LirType::Bool,
+                    exit: e,
+                })
+            }
+            (Null, Null) | (Undefined, Undefined) => {
+                push_const(self, true);
+                return Ok(());
+            }
+            (Null, Undefined) | (Undefined, Null) => {
+                push_const(self, !strict);
+                return Ok(());
+            }
+            (Bool, Int | Double) | (Int | Double, Bool) if !strict => {
+                // ToNumber(bool) is its 0/1 word.
+                let (ai, ad) = self.to_num(a)?;
+                let (bi, bd) = self.to_num(b)?;
+                if ad || bd {
+                    let a2 = self.as_double(ai, ad);
+                    let b2 = self.as_double(bi, bd);
+                    self.emit(Lir::EqD(a2, b2))
+                } else {
+                    self.emit(Lir::EqI(ai, bi))
+                }
+            }
+            (Str, Int | Double) | (Int | Double, Str) if !strict => {
+                let ab = self.box_sv(a);
+                let bb = self.box_sv(b);
+                let e = self.guard_exit();
+                let r = self.emit(Lir::Call {
+                    helper: Helper::EqAny,
+                    args: vec![ab, bb].into_boxed_slice(),
+                    ret: LirType::Boxed,
+                    exit: e,
+                });
+                let e2 = self.guard_exit();
+                self.emit(Lir::UnboxBool(r, e2))
+            }
+            // Remaining combinations are statically unequal under both
+            // strict and (our simplified) loose semantics.
+            _ => {
+                push_const(self, false);
+                return Ok(());
+            }
+        };
+        let id = if negate { self.emit(Lir::NotB(id)) } else { id };
+        self.push(Sv { id, ty: LirType::Bool });
+        Ok(())
+    }
+
+    fn record_get_prop(
+        &mut self,
+        base: Sv,
+        sym: Sym,
+        actual_base: Value,
+        interp: &Interp,
+        realm: &mut Realm,
+    ) -> Result<Sv, AbortReason> {
+        let _ = interp;
+        match base.ty {
+            LirType::Object => {
+                let oid = actual_base.as_object().expect("object-typed shadow");
+                if sym == realm.sym_length && realm.heap.object(oid).class == ObjectClass::Array {
+                    let e = self.guard_exit();
+                    self.emit(Lir::GuardClass {
+                        obj: base.id,
+                        class: ObjectClass::Array as u8,
+                        exit: e,
+                    });
+                    let id = self.emit(Lir::ArrayLen(base.id));
+                    return Ok(Sv { id, ty: LirType::Int });
+                }
+                // Walk the prototype chain, guarding every shape — the
+                // paper's "two or three loads" property access (§3.1).
+                let mut cur_id = oid;
+                let mut cur_sv = base.id;
+                loop {
+                    let shape = realm.heap.object(cur_id).shape;
+                    let e = self.guard_exit();
+                    self.emit(Lir::GuardShape { obj: cur_sv, shape: shape.0, exit: e });
+                    if let Some(slot) = realm.shapes.lookup(shape, sym) {
+                        let boxed = self.emit(Lir::LoadSlot(cur_sv, slot));
+                        let value = realm.heap.object(cur_id).slots[slot as usize];
+                        return Ok(self.unbox_observed(boxed, value));
+                    }
+                    match realm.heap.object(cur_id).proto {
+                        Some(p) => {
+                            cur_sv = self.emit(Lir::LoadProto(cur_sv));
+                            cur_id = p;
+                        }
+                        None => {
+                            let sv = self.undefined_sv();
+                            return Ok(sv);
+                        }
+                    }
+                }
+            }
+            LirType::String => {
+                if sym == realm.sym_length {
+                    let id = self.emit(Lir::StrLen(base.id));
+                    return Ok(Sv { id, ty: LirType::Int });
+                }
+                // String methods live on the (stable, rooted) string
+                // prototype object.
+                let proto = realm.string_proto.ok_or(AbortReason::Unsupported)?;
+                let proto_sv = self.emit(Lir::ConstObj(proto.0));
+                let proto_val = Value::new_object(proto);
+                let sv = Sv { id: proto_sv, ty: LirType::Object };
+                self.record_get_prop(sv, sym, proto_val, interp, realm)
+            }
+            _ => Err(AbortReason::Unsupported),
+        }
+    }
+
+    fn record_set_prop(
+        &mut self,
+        base: Sv,
+        sym: Sym,
+        v: Sv,
+        actual_base: Value,
+        realm: &mut Realm,
+    ) -> Result<(), AbortReason> {
+        if base.ty != LirType::Object {
+            return Err(AbortReason::Unsupported);
+        }
+        let oid = actual_base.as_object().expect("object-typed shadow");
+        let shape = realm.heap.object(oid).shape;
+        let e = self.guard_exit();
+        self.emit(Lir::GuardShape { obj: base.id, shape: shape.0, exit: e });
+        let boxed = self.box_sv(v);
+        if let Some(slot) = realm.shapes.lookup(shape, sym) {
+            self.emit(Lir::StoreSlot(base.id, slot, boxed));
+        } else {
+            // Shape transition: the slow path (deterministic given the
+            // guarded starting shape).
+            let sym_const = self.emit(Lir::ConstI(sym.0 as i32));
+            let e = self.guard_exit();
+            self.emit(Lir::Call {
+                helper: Helper::SetPropSlow,
+                args: vec![base.id, sym_const, boxed].into_boxed_slice(),
+                ret: LirType::Int,
+                exit: e,
+            });
+        }
+        Ok(())
+    }
+
+    fn record_get_elem(
+        &mut self,
+        base: Sv,
+        idx: Sv,
+        actual_base: Value,
+        actual_idx: Value,
+        realm: &mut Realm,
+    ) -> Result<Sv, AbortReason> {
+        let dense = base.ty == LirType::Object
+            && actual_base
+                .as_object()
+                .is_some_and(|o| realm.heap.object(o).class == ObjectClass::Array)
+            && actual_idx.as_int().is_some_and(|i| {
+                i >= 0
+                    && (i as usize)
+                        < realm
+                            .heap
+                            .object(actual_base.as_object().expect("object"))
+                            .elements
+                            .len()
+            });
+        if dense {
+            let idx_int = self.idx_to_int(idx)?;
+            let e = self.guard_exit();
+            self.emit(Lir::GuardClass {
+                obj: base.id,
+                class: ObjectClass::Array as u8,
+                exit: e,
+            });
+            let e2 = self.guard_exit();
+            self.emit(Lir::GuardBound { arr: base.id, idx: idx_int, exit: e2 });
+            let boxed = self.emit(Lir::LoadElem(base.id, idx_int));
+            let oid = actual_base.as_object().expect("object");
+            let i = actual_idx.as_int().expect("int index");
+            let value = realm.heap.object(oid).element(i as u32);
+            return Ok(self.unbox_observed(boxed, value));
+        }
+        // Generic path (string indexing, out-of-bounds, property keys).
+        if matches!(base.ty, LirType::Null | LirType::Undefined | LirType::Boxed) {
+            return Err(AbortReason::Unsupported);
+        }
+        let bb = self.box_sv(base);
+        let ib = self.box_sv(idx);
+        let e = self.guard_exit();
+        let r = self.emit(Lir::Call {
+            helper: Helper::GetElemAny,
+            args: vec![bb, ib].into_boxed_slice(),
+            ret: LirType::Boxed,
+            exit: e,
+        });
+        let value = realm
+            .get_elem(actual_base, actual_idx)
+            .map_err(|_| AbortReason::GuestError)?;
+        Ok(self.unbox_observed(r, value))
+    }
+
+    fn idx_to_int(&mut self, idx: Sv) -> Result<u32, AbortReason> {
+        match idx.ty {
+            LirType::Int => Ok(idx.id),
+            LirType::Double => {
+                let e = self.guard_exit();
+                Ok(self.emit(Lir::D2IChk(idx.id, e)))
+            }
+            _ => Err(AbortReason::Unsupported),
+        }
+    }
+
+    fn record_set_elem(
+        &mut self,
+        base: Sv,
+        idx: Sv,
+        v: Sv,
+        actual_base: Value,
+        actual_idx: Value,
+        realm: &mut Realm,
+    ) -> Result<(), AbortReason> {
+        let is_array = base.ty == LirType::Object
+            && actual_base
+                .as_object()
+                .is_some_and(|o| realm.heap.object(o).class == ObjectClass::Array);
+        let int_idx = actual_idx.as_int();
+        if is_array {
+            if let Some(i) = int_idx {
+                let oid = actual_base.as_object().expect("object");
+                let in_bounds = i >= 0 && (i as usize) < realm.heap.object(oid).elements.len();
+                let idx_int = self.idx_to_int(idx)?;
+                let e = self.guard_exit();
+                self.emit(Lir::GuardClass {
+                    obj: base.id,
+                    class: ObjectClass::Array as u8,
+                    exit: e,
+                });
+                let boxed = self.box_sv(v);
+                if in_bounds {
+                    let e2 = self.guard_exit();
+                    self.emit(Lir::GuardBound { arr: base.id, idx: idx_int, exit: e2 });
+                    self.emit(Lir::StoreElem(base.id, idx_int, boxed));
+                } else if i >= 0 {
+                    // The paper's Figure 3 path: call js_Array_set.
+                    let e2 = self.guard_exit();
+                    let zero = self.emit(Lir::ConstI(0));
+                    let ge0 = self.emit(Lir::GeI(idx_int, zero));
+                    self.emit(Lir::GuardTrue(ge0, e2));
+                    let e3 = self.guard_exit();
+                    self.emit(Lir::Call {
+                        helper: Helper::ArraySetElem,
+                        args: vec![base.id, idx_int, boxed].into_boxed_slice(),
+                        ret: LirType::Int,
+                        exit: e3,
+                    });
+                } else {
+                    return Err(AbortReason::Unsupported);
+                }
+                return Ok(());
+            }
+        }
+        // Generic path.
+        if matches!(base.ty, LirType::Null | LirType::Undefined | LirType::Boxed) {
+            return Err(AbortReason::Unsupported);
+        }
+        let bb = self.box_sv(base);
+        let ib = self.box_sv(idx);
+        let vb = self.box_sv(v);
+        let e = self.guard_exit();
+        self.emit(Lir::Call {
+            helper: Helper::SetElemAny,
+            args: vec![bb, ib, vb].into_boxed_slice(),
+            ret: LirType::Int,
+            exit: e,
+        });
+        Ok(())
+    }
+
+    fn record_call(
+        &mut self,
+        argc: u8,
+        is_construct: bool,
+        interp: &Interp,
+        realm: &mut Realm,
+    ) -> Result<RecordAction, AbortReason> {
+        let argc = argc as usize;
+        // Stack (Call): [callee, this, args...]; (New): [callee, args...].
+        let callee_offset = if is_construct { argc } else { argc + 1 };
+        let callee_actual = top_value(interp, callee_offset);
+        let callee_sv = self.peek(callee_offset);
+        let Some(callee_oid) = callee_actual.as_object() else {
+            return Err(AbortReason::GuestError);
+        };
+        if callee_sv.ty != LirType::Object {
+            return Err(AbortReason::Unsupported);
+        }
+        let Some(callee_kind) = realm.heap.object(callee_oid).callee else {
+            return Err(AbortReason::GuestError);
+        };
+        // Function identity guard ("the recorder must also emit LIR to
+        // guard that the function is the same", §3.1).
+        let e = self.guard_exit();
+        self.emit(Lir::GuardBoxedEq(callee_sv.id, u64::from(callee_oid.0), e));
+
+        match callee_kind {
+            Callee::Scripted(fidx) => {
+                if self.frames.len() >= self.opts.max_inline_depth {
+                    return Err(AbortReason::TooDeep);
+                }
+                let func = FuncId(fidx);
+                let f = interp.prog().function(func);
+                let nparams = f.nparams as usize;
+                let nlocals = f.nlocals as usize;
+
+                // Collect args (top of stack is the last arg).
+                let mut args = Vec::with_capacity(argc);
+                for _ in 0..argc {
+                    args.push(self.pop());
+                }
+                args.reverse();
+                let this_sv = if is_construct {
+                    self.record_construct_this(callee_sv, callee_oid, realm)?
+                } else {
+                    self.pop()
+                };
+                let _callee = self.pop();
+
+                let caller_resume = self.pre_pc + 1;
+                let mut locals: Vec<Option<Sv>> = Vec::with_capacity(nlocals);
+                locals.push(Some(this_sv));
+                for i in 0..nparams {
+                    let sv = if i < args.len() {
+                        args[i]
+                    } else {
+                        self.undefined_sv()
+                    };
+                    locals.push(Some(sv));
+                }
+                while locals.len() < nlocals {
+                    let sv = self.undefined_sv();
+                    locals.push(Some(sv));
+                }
+                self.frames.push(ShadowFrame {
+                    func,
+                    locals: Vec::new(), // installed after the AR writes below
+                    stack: Vec::new(),
+                    is_construct,
+                    caller_resume,
+                    callee_raw: Value::new_object(callee_oid).raw(),
+                });
+                // Write every local to the AR so exits inside the callee
+                // can synthesize the frame (§3.1: "frame entry and exit
+                // LIR saves just enough information to allow the
+                // interpreter call stack to be restored").
+                let depth = self.depth() as u8;
+                for (i, sv) in locals.iter().enumerate() {
+                    let sv = sv.expect("initialized");
+                    self.write_ar(SlotKey::Local { depth, slot: i as u16 }, sv);
+                }
+                self.frames.last_mut().expect("frame").locals = locals;
+                Ok(RecordAction::Step { observe: false })
+            }
+            Callee::Native(nid) => {
+                if is_construct {
+                    return Err(AbortReason::Unsupported);
+                }
+                let may_reenter = realm.natives[nid as usize].effects.may_reenter;
+                if may_reenter {
+                    // §6.5 deep-bail paths are not traceable.
+                    return Err(AbortReason::Unsupported);
+                }
+                let fast = realm.natives[nid as usize].fast;
+                // Shadow args: [this, args...] above the callee.
+                let mut shadow_args = Vec::with_capacity(argc + 1);
+                for k in 0..=argc {
+                    shadow_args.push(self.peek(argc - k)); // this first
+                }
+                let call_id = if let Some(fast) = fast {
+                    match self.try_fast_native(fast, &shadow_args, argc) {
+                        Some(id) => id,
+                        None => self.generic_native_call(NativeId(nid), &shadow_args)?,
+                    }
+                } else {
+                    self.generic_native_call(NativeId(nid), &shadow_args)?
+                };
+                // Pop callee + this + args.
+                for _ in 0..argc + 2 {
+                    self.pop();
+                }
+                let pending = if let Some(f) = fast {
+                    if self.last_was_fast {
+                        PendingNative::Fast(f.helper, f.ret)
+                    } else {
+                        PendingNative::Generic
+                    }
+                } else {
+                    PendingNative::Generic
+                };
+                self.pending_native = Some((pending, call_id));
+                Ok(RecordAction::Step { observe: true })
+            }
+        }
+    }
+
+    /// Emits the `new.target`-side of a construct: reads the callee's
+    /// `prototype` (shape-guarded) and allocates the new object.
+    fn record_construct_this(
+        &mut self,
+        callee_sv: Sv,
+        callee_oid: tm_runtime::ObjectId,
+        realm: &mut Realm,
+    ) -> Result<Sv, AbortReason> {
+        let shape = realm.heap.object(callee_oid).shape;
+        let slot = realm
+            .shapes
+            .lookup(shape, realm.sym_prototype)
+            .ok_or(AbortReason::Unsupported)?;
+        let proto_val = realm.heap.object(callee_oid).slots[slot as usize];
+        if !proto_val.is_object() {
+            return Err(AbortReason::Unsupported);
+        }
+        let e = self.guard_exit();
+        self.emit(Lir::GuardShape { obj: callee_sv.id, shape: shape.0, exit: e });
+        let boxed_proto = self.emit(Lir::LoadSlot(callee_sv.id, slot));
+        let e2 = self.guard_exit();
+        let proto = self.emit(Lir::UnboxObj(boxed_proto, e2));
+        let e3 = self.guard_exit();
+        let obj = self.emit(Lir::Call {
+            helper: Helper::NewObject,
+            args: vec![proto].into_boxed_slice(),
+            ret: LirType::Object,
+            exit: e3,
+        });
+        Ok(Sv { id: obj, ty: LirType::Object })
+    }
+
+    /// Attempts a typed fast call (§6.5). Returns the call SSA id on
+    /// success and sets `last_was_fast`.
+    fn try_fast_native(
+        &mut self,
+        fast: tm_runtime::trace_helpers::FastNative,
+        shadow_args: &[Sv],
+        argc: usize,
+    ) -> Option<u32> {
+        self.last_was_fast = false;
+        // Figure out which values feed the helper: string methods take the
+        // receiver, Math-style functions skip it.
+        let takes_receiver = matches!(fast.args.first(), Some(FastTy::Str | FastTy::Obj));
+        let vals: Vec<Sv> = if takes_receiver {
+            shadow_args.to_vec()
+        } else {
+            shadow_args[1..].to_vec()
+        };
+        if vals.len() < fast.args.len() || argc > fast.args.len() {
+            return None;
+        }
+        let mut lir_args = Vec::with_capacity(fast.args.len());
+        for (sv, &want) in vals.iter().zip(fast.args.iter()) {
+            let id = match (want, sv.ty) {
+                (FastTy::Double, LirType::Double) => sv.id,
+                (FastTy::Double, LirType::Int | LirType::Bool) => self.emit(Lir::I2D(sv.id)),
+                (FastTy::Int, LirType::Int) => sv.id,
+                (FastTy::Int, LirType::Double) => {
+                    let e = self.guard_exit();
+                    self.emit(Lir::D2IChk(sv.id, e))
+                }
+                (FastTy::Str, LirType::String) => sv.id,
+                (FastTy::Obj, LirType::Object) => sv.id,
+                _ => return None,
+            };
+            lir_args.push(id);
+        }
+        let e = self.guard_exit();
+        let ret = match fast.ret {
+            FastTy::Double => LirType::Double,
+            FastTy::Int => LirType::Int,
+            FastTy::Str => LirType::String,
+            FastTy::Obj => LirType::Object,
+        };
+        let id = self.emit(Lir::Call {
+            helper: fast.helper,
+            args: lir_args.into_boxed_slice(),
+            ret,
+            exit: e,
+        });
+        self.last_was_fast = true;
+        Some(id)
+    }
+
+    fn generic_native_call(
+        &mut self,
+        nid: NativeId,
+        shadow_args: &[Sv],
+    ) -> Result<u32, AbortReason> {
+        self.last_was_fast = false;
+        if shadow_args.len() > 10 {
+            return Err(AbortReason::Unsupported);
+        }
+        let boxed: Vec<u32> = shadow_args.iter().map(|&sv| self.box_sv(sv)).collect();
+        let e = self.guard_exit();
+        Ok(self.emit(Lir::Call {
+            helper: Helper::CallNative(nid),
+            args: boxed.into_boxed_slice(),
+            ret: LirType::Boxed,
+            exit: e,
+        }))
+    }
+
+    // ==== nesting (§4) ====
+
+    /// Prepares a nested tree call: snapshots the call-site exit before the
+    /// monitor executes the inner tree on the live interpreter state.
+    pub fn begin_nested(&mut self, header_pc: u32) {
+        let e = self.snapshot_exit(ExitKind::NestedUnexpected, header_pc, None);
+        self.pending_nested_exit = Some(e);
+    }
+
+    /// Completes a nested call after the monitor ran the inner tree:
+    /// records the `CallTree`, registers the site, and invalidates shadow
+    /// state the inner tree may have changed.
+    pub fn finish_nested(&mut self, inner: TreeId, expected_exit: (u32, u16)) -> u32 {
+        let exit = self.pending_nested_exit.take().expect("begin_nested first");
+        let local = self.nested_sites.len();
+        let site_id = self.nested_site_base + local as u32;
+        let callsite = self.exits[exit.0 as usize].clone();
+        self.nested_sites.push(NestedSite {
+            inner,
+            expected_exit,
+            reimports: Vec::new(),
+            callsite,
+            callsite_exit: exit.0,
+        });
+        self.emit(Lir::CallTree { tree: site_id, exit });
+        // Invalidate locals and globals (the inner tree may have written
+        // them); operand stacks are unreachable from the inner loop.
+        for f in &mut self.frames {
+            for l in &mut f.locals {
+                *l = None;
+            }
+        }
+        self.globals.clear();
+        self.active_site = Some(local);
+        site_id
+    }
+
+    /// Like [`Recorder::finish_nested`], additionally rebuilding the top
+    /// frame's shadow operand stack from the inner tree's exit state (the
+    /// inner exit may have left operands, e.g. a loop condition value).
+    pub fn finish_nested_with_stack(
+        &mut self,
+        inner: TreeId,
+        expected_exit: (u32, u16),
+        stack_depth: u16,
+        interp: &Interp,
+    ) -> u32 {
+        let site = self.finish_nested(inner, expected_exit);
+        let depth = self.depth() as u8;
+        self.frames.last_mut().expect("frame").stack.clear();
+        for idx in 0..stack_depth {
+            let key = SlotKey::Stack { depth, idx };
+            let v = top_value(interp, (stack_depth - 1 - idx) as usize);
+            let sv = self.import_slot(key, Some(v), interp);
+            self.frames.last_mut().expect("frame").stack.push(sv);
+        }
+        site
+    }
+
+    /// Abandons a prepared nested call (monitor failed to run the inner
+    /// tree); the recording is being aborted anyway.
+    pub fn cancel_nested(&mut self) {
+        self.pending_nested_exit = None;
+    }
+
+    // ==== trace completion ====
+
+    fn finish_leave(&mut self, pc: u32) {
+        let e = self.snapshot_exit(ExitKind::LeaveLoop, pc, None);
+        self.emit(Lir::End(e));
+        self.finish = Some(FinishKind::Leave);
+    }
+
+    fn finish_at_anchor(&mut self) {
+        // Type-stability analysis (§3.2): compare the loop-edge types of
+        // every entry slot with the entry map.
+        let entries: Vec<EntrySlot> = self
+            .existing_entry
+            .iter()
+            .chain(self.new_entry.iter())
+            .copied()
+            .collect();
+        let mut unstable = false;
+        let mut coerce: Vec<(EntrySlot, Sv)> = Vec::new();
+        for e in &entries {
+            let cur_ty = self.known.get(&e.ar).map(|&(_, t)| t).unwrap_or(e.ty);
+            if cur_ty == e.ty {
+                continue;
+            }
+            if e.ty == LirType::Double && cur_ty == LirType::Int {
+                // An int flowed into a double slot: widen at the edge.
+                if let Some(sv) = self.current_sv_for(e.key) {
+                    coerce.push((*e, sv));
+                    continue;
+                }
+            }
+            unstable = true;
+            if e.ty == LirType::Int && cur_ty == LirType::Double {
+                // Integer mis-speculation: inform the oracle (§3.2).
+                let funcs: Vec<FuncId> = self.frames.iter().map(|f| f.func).collect();
+                if let Some(vk) = var_key(e.key, &funcs) {
+                    self.oracle_marks.push(vk);
+                }
+            }
+        }
+        for (e, sv) in coerce {
+            let d = self.emit(Lir::I2D(sv.id));
+            self.write_ar(e.key, Sv { id: d, ty: LirType::Double });
+        }
+        if unstable {
+            let e = self.snapshot_exit(ExitKind::Unstable, self.anchor.pc, None);
+            self.emit(Lir::End(e));
+            self.finish = Some(FinishKind::UnstableLoop);
+        } else {
+            // The trace loops: values written to globals / entry-frame
+            // locals persist in the AR across iterations, so (a) they must
+            // be entry-populated (first iteration would otherwise read or
+            // write back garbage), and (b) *every* exit must write them
+            // back (an exit on iteration k may be reached after the write
+            // happened on iteration k-1).
+            let mut loop_writes: Vec<(ArSlot, SlotKey, LirType)> = Vec::new();
+            for (&ar, &(key, ty)) in &self.written {
+                if matches!(key, SlotKey::Global(_) | SlotKey::Local { depth: 0, .. }) {
+                    loop_writes.push((ar, key, ty));
+                    // Must be a *tree entry* slot (populated on every
+                    // entry): the entry_types map also contains parent-path
+                    // imports that are not entry slots, so check the entry
+                    // lists themselves.
+                    let is_entry = self.existing_entry.iter().any(|e| e.key == key)
+                        || self.new_entry.iter().any(|e| e.key == key);
+                    if !is_entry {
+                        self.entry_types.insert(key, ty);
+                        self.new_entry.push(EntrySlot { ar, key, ty });
+                    }
+                }
+            }
+            loop_writes.sort_by_key(|&(ar, _, _)| ar);
+            self.loop_writes = loop_writes;
+            let e = self.snapshot_exit(ExitKind::LoopEdge, self.anchor.pc, None);
+            self.emit(Lir::LoopBack(e));
+            for exit in &mut self.exits {
+                union_writes(&mut exit.write_back, &self.loop_writes);
+                union_writes(&mut exit.typemap, &self.loop_writes);
+            }
+            self.finish = Some(FinishKind::StableLoop);
+        }
+    }
+
+    fn current_sv_for(&self, key: SlotKey) -> Option<Sv> {
+        match key {
+            SlotKey::Global(g) => self.globals.get(&g).copied(),
+            SlotKey::Local { depth, slot } => self
+                .frames
+                .get(depth as usize)
+                .and_then(|f| f.locals.get(slot as usize).copied().flatten()),
+            SlotKey::Stack { .. } | SlotKey::Reimport { .. } => None,
+        }
+    }
+
+    /// Consumes the recorder, producing the finished trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if recording did not finish (no `Finished` action).
+    pub fn into_recorded(mut self) -> RecordedTrace {
+        let finish = self.finish.expect("recording not finished");
+        // Loop-write unioning may have grown the exits' write-back sets;
+        // refresh the nested call sites' state-transfer recipes.
+        for site in &mut self.nested_sites {
+            site.callsite = self.exits[site.callsite_exit as usize].clone();
+        }
+        let loop_live: Vec<ArSlot> = self
+            .existing_entry
+            .iter()
+            .chain(self.new_entry.iter())
+            .map(|e| e.ar)
+            .collect();
+        RecordedTrace {
+            lir: self.buf.into_trace(),
+            exits: self.exits,
+            new_entry: self.new_entry,
+            layout: self.layout,
+            bytecodes: self.ops_recorded,
+            finish,
+            oracle_marks: self.oracle_marks,
+            nested_sites: self.nested_sites,
+            loop_live,
+            loop_writes: self.loop_writes,
+        }
+    }
+
+}
+
+#[derive(Debug, Clone, Copy)]
+enum ArithKind {
+    Sub,
+    Mul,
+    Mod,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum BitKind {
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    UShr,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum RelKind {
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+/// Reads the interpreter operand `from_top` entries below the top.
+fn top_value(interp: &Interp, from_top: usize) -> Value {
+    let ops = interp.operands();
+    ops[ops.len() - 1 - from_top]
+}
+
+fn mul_is_neg_zero(realm: &Realm, a: Value, b: Value) -> bool {
+    let x = rt_ops::to_number(realm, a);
+    let y = rt_ops::to_number(realm, b);
+    x * y == 0.0 && (x * y).is_sign_negative()
+}
+
+fn mod_stays_int(realm: &Realm, a: Value, b: Value) -> bool {
+    let x = rt_ops::to_number(realm, a);
+    let y = rt_ops::to_number(realm, b);
+    if y == 0.0 {
+        return false;
+    }
+    let r = x % y;
+    r == r.trunc() && Value::fits_int(r as i64) && !(r == 0.0 && x < 0.0)
+}
+
+fn bitnot_value(realm: &Realm, a: Value) -> i64 {
+    i64::from(!rt_ops::to_int32(realm, a))
+}
+
+/// Adds loop-persistent writes missing from an exit's slot list (existing
+/// entries keep their more precise per-exit types).
+pub(crate) fn union_writes(
+    list: &mut Vec<(ArSlot, SlotKey, LirType)>,
+    extra: &[(ArSlot, SlotKey, LirType)],
+) {
+    for &(ar, key, ty) in extra {
+        if !list.iter().any(|&(a, _, _)| a == ar) {
+            list.push((ar, key, ty));
+        }
+    }
+    list.sort_by_key(|&(ar, _, _)| ar);
+}

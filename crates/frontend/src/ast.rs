@@ -1,0 +1,227 @@
+//! Abstract syntax tree for JTS.
+
+/// A whole program: top-level function declarations plus a main body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// Top-level `function` declarations.
+    pub functions: Vec<FunctionDecl>,
+    /// Top-level statements (the script body).
+    pub body: Vec<Stmt>,
+}
+
+/// A named function declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionDecl {
+    /// Function name.
+    pub name: String,
+    /// Parameter names.
+    pub params: Vec<String>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// Source line of the declaration.
+    pub line: u32,
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `var` declarations: `(name, initializer)` pairs.
+    Var(Vec<(String, Option<Expr>)>, u32),
+    /// An expression statement.
+    Expr(Expr, u32),
+    /// `if (cond) then else otherwise`.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then: Box<Stmt>,
+        /// Optional else branch.
+        otherwise: Option<Box<Stmt>>,
+        /// Source line.
+        line: u32,
+    },
+    /// `while (cond) body`.
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Loop body.
+        body: Box<Stmt>,
+        /// Source line.
+        line: u32,
+    },
+    /// `do body while (cond)`.
+    DoWhile {
+        /// Loop body.
+        body: Box<Stmt>,
+        /// Condition.
+        cond: Expr,
+        /// Source line.
+        line: u32,
+    },
+    /// `for (init; cond; update) body`.
+    For {
+        /// Initializer (a `var` declaration or expression statement).
+        init: Option<Box<Stmt>>,
+        /// Loop condition (absent means `true`).
+        cond: Option<Expr>,
+        /// Update expression.
+        update: Option<Expr>,
+        /// Loop body.
+        body: Box<Stmt>,
+        /// Source line.
+        line: u32,
+    },
+    /// `return expr;` / `return;`
+    Return(Option<Expr>, u32),
+    /// `break;`
+    Break(u32),
+    /// `continue;`
+    Continue(u32),
+    /// `{ ... }`
+    Block(Vec<Stmt>),
+    /// `;`
+    Empty,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `&`
+    BitAnd,
+    /// `|`
+    BitOr,
+    /// `^`
+    BitXor,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `>>>`
+    UShr,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `===`
+    StrictEq,
+    /// `!==`
+    StrictNe,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Unary `-`
+    Neg,
+    /// Unary `+` (ToNumber)
+    Pos,
+    /// `!`
+    Not,
+    /// `~`
+    BitNot,
+    /// `typeof`
+    Typeof,
+}
+
+/// An assignment target.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Target {
+    /// A variable name (local or global, resolved by the compiler).
+    Name(String),
+    /// `base.prop`
+    Prop(Box<Expr>, String),
+    /// `base[index]`
+    Elem(Box<Expr>, Box<Expr>),
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Numeric literal.
+    Number(f64),
+    /// String literal (latin-1 code units).
+    Str(Vec<u8>),
+    /// `true` / `false`.
+    Bool(bool),
+    /// `null`.
+    Null,
+    /// A name reference.
+    Name(String),
+    /// `this` (inside a function called as a method or constructor).
+    This,
+    /// Array literal.
+    Array(Vec<Expr>),
+    /// Object literal: `(key, value)` pairs.
+    ObjectLit(Vec<(String, Expr)>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Short-circuit `&&`.
+    And(Box<Expr>, Box<Expr>),
+    /// Short-circuit `||`.
+    Or(Box<Expr>, Box<Expr>),
+    /// `cond ? a : b`.
+    Ternary(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// Assignment `target = value`; `op` is `Some` for compound assignments
+    /// like `+=` (the compiler evaluates the target's base only once).
+    Assign {
+        /// Assignment target.
+        target: Target,
+        /// Compound operator, if any.
+        op: Option<BinOp>,
+        /// Right-hand side.
+        value: Box<Expr>,
+    },
+    /// Pre/post increment/decrement.
+    IncDec {
+        /// The target being mutated.
+        target: Target,
+        /// `+1` (true) or `-1` (false).
+        inc: bool,
+        /// Prefix (`++x`) vs postfix (`x++`).
+        prefix: bool,
+    },
+    /// Property read `base.prop`.
+    Prop(Box<Expr>, String),
+    /// Indexed read `base[index]`.
+    Elem(Box<Expr>, Box<Expr>),
+    /// Plain call `callee(args)`.
+    Call(Box<Expr>, Vec<Expr>),
+    /// Method call `base.method(args)` — the receiver becomes `this`.
+    MethodCall(Box<Expr>, String, Vec<Expr>),
+    /// `new Callee(args)`.
+    New(Box<Expr>, Vec<Expr>),
+    /// Comma sequence `(a, b)` — evaluates to the last expression.
+    Seq(Vec<Expr>),
+}
+
+impl Expr {
+    /// Converts an expression to an assignment target if it is one.
+    pub fn into_target(self) -> Option<Target> {
+        match self {
+            Expr::Name(n) => Some(Target::Name(n)),
+            Expr::Prop(base, p) => Some(Target::Prop(base, p)),
+            Expr::Elem(base, i) => Some(Target::Elem(base, i)),
+            _ => None,
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! Parse errors.
+
+use std::fmt;
+
+/// An error produced while lexing or parsing JTS source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based source line of the error.
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl ParseError {
+    /// Creates a parse error at `line`.
+    pub fn new(line: u32, message: impl Into<String>) -> ParseError {
+        ParseError { line, message: message.into() }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}

@@ -1,0 +1,460 @@
+//! Hand-written lexer for JTS.
+
+use crate::error::ParseError;
+use crate::token::{Spanned, Token};
+
+/// Tokenizes `source` into a vector of spanned tokens ending with
+/// [`Token::Eof`].
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on malformed numbers, unterminated strings or
+/// comments, and unrecognized characters.
+pub fn lex(source: &str) -> Result<Vec<Spanned>, ParseError> {
+    Lexer { src: source.as_bytes(), pos: 0, line: 1, out: Vec::new() }.run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    out: Vec<Spanned>,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Result<Vec<Spanned>, ParseError> {
+        loop {
+            self.skip_trivia()?;
+            let line = self.line;
+            let Some(&c) = self.src.get(self.pos) else {
+                self.out.push(Spanned { token: Token::Eof, line });
+                return Ok(self.out);
+            };
+            let token = match c {
+                b'0'..=b'9' => self.number()?,
+                b'.' if self.peek(1).is_some_and(|d| d.is_ascii_digit()) => self.number()?,
+                b'"' | b'\'' => self.string(c)?,
+                b'A'..=b'Z' | b'a'..=b'z' | b'_' | b'$' => self.ident(),
+                _ => self.operator()?,
+            };
+            self.out.push(Spanned { token, line });
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.src.get(self.pos).copied();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        if c == Some(b'\n') {
+            self.line += 1;
+        }
+        c
+    }
+
+    fn eat(&mut self, c: u8) -> bool {
+        if self.peek(0) == Some(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), ParseError> {
+        loop {
+            match self.peek(0) {
+                Some(b' ' | b'\t' | b'\r' | b'\n') => {
+                    self.bump();
+                }
+                Some(b'/') if self.peek(1) == Some(b'/') => {
+                    while let Some(c) = self.peek(0) {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek(1) == Some(b'*') => {
+                    let start_line = self.line;
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match self.bump() {
+                            Some(b'*') if self.peek(0) == Some(b'/') => {
+                                self.bump();
+                                break;
+                            }
+                            Some(_) => {}
+                            None => {
+                                return Err(ParseError::new(
+                                    start_line,
+                                    "unterminated block comment",
+                                ))
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Token, ParseError> {
+        let start = self.pos;
+        if self.peek(0) == Some(b'0') && matches!(self.peek(1), Some(b'x' | b'X')) {
+            self.pos += 2;
+            let hex_start = self.pos;
+            while self.peek(0).is_some_and(|c| c.is_ascii_hexdigit()) {
+                self.pos += 1;
+            }
+            if self.pos == hex_start {
+                return Err(ParseError::new(self.line, "expected hex digits after 0x"));
+            }
+            let text = std::str::from_utf8(&self.src[hex_start..self.pos]).expect("ascii");
+            let v = u64::from_str_radix(text, 16)
+                .map_err(|_| ParseError::new(self.line, "hex literal too large"))?;
+            return Ok(Token::Number(v as f64));
+        }
+        while self.peek(0).is_some_and(|c| c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.peek(0) == Some(b'.') {
+            self.pos += 1;
+            while self.peek(0).is_some_and(|c| c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(0), Some(b'e' | b'E')) {
+            let mark = self.pos;
+            self.pos += 1;
+            if matches!(self.peek(0), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if self.peek(0).is_some_and(|c| c.is_ascii_digit()) {
+                while self.peek(0).is_some_and(|c| c.is_ascii_digit()) {
+                    self.pos += 1;
+                }
+            } else {
+                self.pos = mark;
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii");
+        text.parse::<f64>()
+            .map(Token::Number)
+            .map_err(|_| ParseError::new(self.line, "malformed number literal"))
+    }
+
+    fn string(&mut self, quote: u8) -> Result<Token, ParseError> {
+        let start_line = self.line;
+        self.bump();
+        let mut bytes = Vec::new();
+        loop {
+            match self.bump() {
+                None | Some(b'\n') => {
+                    return Err(ParseError::new(start_line, "unterminated string literal"))
+                }
+                Some(c) if c == quote => return Ok(Token::Str(bytes)),
+                Some(b'\\') => {
+                    let esc = self
+                        .bump()
+                        .ok_or_else(|| ParseError::new(start_line, "unterminated escape"))?;
+                    match esc {
+                        b'n' => bytes.push(b'\n'),
+                        b't' => bytes.push(b'\t'),
+                        b'r' => bytes.push(b'\r'),
+                        b'0' => bytes.push(0),
+                        b'b' => bytes.push(8),
+                        b'f' => bytes.push(12),
+                        b'v' => bytes.push(11),
+                        b'x' => {
+                            let h = self.hex_digits(2)?;
+                            bytes.push(h as u8);
+                        }
+                        b'u' => {
+                            let h = self.hex_digits(4)?;
+                            // Latin-1 strings: code points above 0xFF are
+                            // replaced (documented deviation).
+                            bytes.push(if h <= 0xFF { h as u8 } else { b'?' });
+                        }
+                        other => bytes.push(other),
+                    }
+                }
+                Some(c) => bytes.push(c),
+            }
+        }
+    }
+
+    fn hex_digits(&mut self, n: usize) -> Result<u32, ParseError> {
+        let mut v = 0u32;
+        for _ in 0..n {
+            let c = self
+                .bump()
+                .ok_or_else(|| ParseError::new(self.line, "unterminated escape"))?;
+            let d = (c as char)
+                .to_digit(16)
+                .ok_or_else(|| ParseError::new(self.line, "invalid hex escape"))?;
+            v = v * 16 + d;
+        }
+        Ok(v)
+    }
+
+    fn ident(&mut self) -> Token {
+        let start = self.pos;
+        while self
+            .peek(0)
+            .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_' || c == b'$')
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii");
+        Token::keyword(text).unwrap_or_else(|| Token::Ident(text.to_owned()))
+    }
+
+    fn operator(&mut self) -> Result<Token, ParseError> {
+        let c = self.bump().expect("caller checked");
+        let t = match c {
+            b'(' => Token::LParen,
+            b')' => Token::RParen,
+            b'{' => Token::LBrace,
+            b'}' => Token::RBrace,
+            b'[' => Token::LBracket,
+            b']' => Token::RBracket,
+            b';' => Token::Semi,
+            b',' => Token::Comma,
+            b'.' => Token::Dot,
+            b'?' => Token::Question,
+            b':' => Token::Colon,
+            b'~' => Token::Tilde,
+            b'+' => {
+                if self.eat(b'+') {
+                    Token::PlusPlus
+                } else if self.eat(b'=') {
+                    Token::PlusAssign
+                } else {
+                    Token::Plus
+                }
+            }
+            b'-' => {
+                if self.eat(b'-') {
+                    Token::MinusMinus
+                } else if self.eat(b'=') {
+                    Token::MinusAssign
+                } else {
+                    Token::Minus
+                }
+            }
+            b'*' => {
+                if self.eat(b'=') {
+                    Token::StarAssign
+                } else {
+                    Token::Star
+                }
+            }
+            b'/' => {
+                if self.eat(b'=') {
+                    Token::SlashAssign
+                } else {
+                    Token::Slash
+                }
+            }
+            b'%' => {
+                if self.eat(b'=') {
+                    Token::PercentAssign
+                } else {
+                    Token::Percent
+                }
+            }
+            b'&' => {
+                if self.eat(b'&') {
+                    Token::AndAnd
+                } else if self.eat(b'=') {
+                    Token::AmpAssign
+                } else {
+                    Token::Amp
+                }
+            }
+            b'|' => {
+                if self.eat(b'|') {
+                    Token::OrOr
+                } else if self.eat(b'=') {
+                    Token::PipeAssign
+                } else {
+                    Token::Pipe
+                }
+            }
+            b'^' => {
+                if self.eat(b'=') {
+                    Token::CaretAssign
+                } else {
+                    Token::Caret
+                }
+            }
+            b'!' => {
+                if self.eat(b'=') {
+                    if self.eat(b'=') {
+                        Token::NotEqEq
+                    } else {
+                        Token::NotEq
+                    }
+                } else {
+                    Token::Bang
+                }
+            }
+            b'=' => {
+                if self.eat(b'=') {
+                    if self.eat(b'=') {
+                        Token::EqEqEq
+                    } else {
+                        Token::EqEq
+                    }
+                } else {
+                    Token::Assign
+                }
+            }
+            b'<' => {
+                if self.eat(b'<') {
+                    if self.eat(b'=') {
+                        Token::ShlAssign
+                    } else {
+                        Token::Shl
+                    }
+                } else if self.eat(b'=') {
+                    Token::Le
+                } else {
+                    Token::Lt
+                }
+            }
+            b'>' => {
+                if self.eat(b'>') {
+                    if self.eat(b'>') {
+                        if self.eat(b'=') {
+                            Token::UShrAssign
+                        } else {
+                            Token::UShr
+                        }
+                    } else if self.eat(b'=') {
+                        Token::ShrAssign
+                    } else {
+                        Token::Shr
+                    }
+                } else if self.eat(b'=') {
+                    Token::Ge
+                } else {
+                    Token::Gt
+                }
+            }
+            other => {
+                return Err(ParseError::new(
+                    self.line,
+                    format!("unexpected character '{}'", other as char),
+                ))
+            }
+        };
+        Ok(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        lex(src).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(toks("42"), vec![Token::Number(42.0), Token::Eof]);
+        assert_eq!(toks("3.5"), vec![Token::Number(3.5), Token::Eof]);
+        assert_eq!(toks(".5"), vec![Token::Number(0.5), Token::Eof]);
+        assert_eq!(toks("0xff"), vec![Token::Number(255.0), Token::Eof]);
+        assert_eq!(toks("1e3"), vec![Token::Number(1000.0), Token::Eof]);
+        assert_eq!(toks("1.5e-2"), vec![Token::Number(0.015), Token::Eof]);
+    }
+
+    #[test]
+    fn strings_and_escapes() {
+        assert_eq!(toks(r#""hi""#), vec![Token::Str(b"hi".to_vec()), Token::Eof]);
+        assert_eq!(toks(r#"'a\nb'"#), vec![Token::Str(b"a\nb".to_vec()), Token::Eof]);
+        assert_eq!(toks(r#""\x41""#), vec![Token::Str(b"A".to_vec()), Token::Eof]);
+        assert_eq!(toks(r#""A""#), vec![Token::Str(b"A".to_vec()), Token::Eof]);
+        assert!(lex("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn keywords_vs_identifiers() {
+        assert_eq!(
+            toks("var x while foo"),
+            vec![
+                Token::Var,
+                Token::Ident("x".into()),
+                Token::While,
+                Token::Ident("foo".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn multi_char_operators() {
+        assert_eq!(
+            toks("a >>>= b >>> c >> d >= e"),
+            vec![
+                Token::Ident("a".into()),
+                Token::UShrAssign,
+                Token::Ident("b".into()),
+                Token::UShr,
+                Token::Ident("c".into()),
+                Token::Shr,
+                Token::Ident("d".into()),
+                Token::Ge,
+                Token::Ident("e".into()),
+                Token::Eof
+            ]
+        );
+        assert_eq!(
+            toks("a === b !== c == d != e"),
+            vec![
+                Token::Ident("a".into()),
+                Token::EqEqEq,
+                Token::Ident("b".into()),
+                Token::NotEqEq,
+                Token::Ident("c".into()),
+                Token::EqEq,
+                Token::Ident("d".into()),
+                Token::NotEq,
+                Token::Ident("e".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_lines() {
+        let spanned = lex("a // comment\nb /* multi\nline */ c").unwrap();
+        assert_eq!(spanned[0].line, 1);
+        assert_eq!(spanned[1].line, 2);
+        assert_eq!(spanned[2].line, 3);
+        assert!(lex("/* forever").is_err());
+    }
+
+    #[test]
+    fn postfix_increment_lexes() {
+        assert_eq!(
+            toks("i++ + ++j"),
+            vec![
+                Token::Ident("i".into()),
+                Token::PlusPlus,
+                Token::Plus,
+                Token::PlusPlus,
+                Token::Ident("j".into()),
+                Token::Eof
+            ]
+        );
+    }
+}

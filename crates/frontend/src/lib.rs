@@ -1,0 +1,30 @@
+//! # tm-frontend
+//!
+//! Lexer, parser, and AST for **JTS**, the JavaScript-subset guest language
+//! of the TraceMonkey reproduction.
+//!
+//! JTS covers the language surface the paper's SunSpider evaluation
+//! exercises: top-level functions with recursion, `var` locals,
+//! `for`/`while`/`do`, arrays and object literals, prototype-based `new`,
+//! method calls with `this`, strings, full numeric/bitwise/logical operator
+//! suites, and `typeof`. Deliberate omissions (closures, exceptions,
+//! `eval`, regexps, `for`-`in`, `switch`) are documented in DESIGN.md; the
+//! first three are also untraceable in the paper's TraceMonkey.
+//!
+//! ```
+//! let program = tm_frontend::parse("var x = 1 + 2;")?;
+//! assert_eq!(program.body.len(), 1);
+//! # Ok::<(), tm_frontend::ParseError>(())
+//! ```
+
+pub mod ast;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod token;
+
+pub use ast::{BinOp, Expr, FunctionDecl, Program, Stmt, Target, UnOp};
+pub use error::ParseError;
+pub use lexer::lex;
+pub use parser::parse;
+pub use token::{Spanned, Token};

@@ -1,0 +1,694 @@
+//! Recursive-descent parser for JTS.
+//!
+//! Expressions use precedence climbing; statements are standard. Function
+//! declarations are only permitted at the top level (JTS has no closures —
+//! a deliberate simplification documented in DESIGN.md).
+
+use crate::ast::{BinOp, Expr, FunctionDecl, Program, Stmt, UnOp};
+use crate::error::ParseError;
+use crate::lexer::lex;
+use crate::token::{Spanned, Token};
+
+/// Parses a complete JTS program.
+///
+/// # Errors
+///
+/// Returns the first [`ParseError`] encountered.
+pub fn parse(source: &str) -> Result<Program, ParseError> {
+    let tokens = lex(source)?;
+    Parser { tokens, pos: 0 }.program()
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos].token
+    }
+
+    fn line(&self) -> u32 {
+        self.tokens[self.pos].line
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].token.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Token) -> bool {
+        if self.peek() == t {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Token, what: &str) -> Result<(), ParseError> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(ParseError::new(
+                self.line(),
+                format!("expected {what}, found {:?}", self.peek()),
+            ))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, ParseError> {
+        match self.bump() {
+            Token::Ident(name) => Ok(name),
+            other => {
+                Err(ParseError::new(self.line(), format!("expected {what}, found {other:?}")))
+            }
+        }
+    }
+
+    // ---- program / statements ----
+
+    fn program(&mut self) -> Result<Program, ParseError> {
+        let mut functions = Vec::new();
+        let mut body = Vec::new();
+        while self.peek() != &Token::Eof {
+            if self.peek() == &Token::Function {
+                functions.push(self.function_decl()?);
+            } else {
+                body.push(self.statement(false)?);
+            }
+        }
+        Ok(Program { functions, body })
+    }
+
+    fn function_decl(&mut self) -> Result<FunctionDecl, ParseError> {
+        let line = self.line();
+        self.expect(&Token::Function, "'function'")?;
+        let name = self.ident("function name")?;
+        self.expect(&Token::LParen, "'('")?;
+        let mut params = Vec::new();
+        if self.peek() != &Token::RParen {
+            loop {
+                params.push(self.ident("parameter name")?);
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(&Token::RParen, "')'")?;
+        self.expect(&Token::LBrace, "'{'")?;
+        let mut body = Vec::new();
+        while !self.eat(&Token::RBrace) {
+            if self.peek() == &Token::Eof {
+                return Err(ParseError::new(line, "unterminated function body"));
+            }
+            body.push(self.statement(true)?);
+        }
+        Ok(FunctionDecl { name, params, body, line })
+    }
+
+    fn statement(&mut self, in_function: bool) -> Result<Stmt, ParseError> {
+        let line = self.line();
+        match self.peek() {
+            Token::Function => Err(ParseError::new(
+                line,
+                "nested function declarations are not supported in JTS",
+            )),
+            Token::Semi => {
+                self.bump();
+                Ok(Stmt::Empty)
+            }
+            Token::LBrace => {
+                self.bump();
+                let mut stmts = Vec::new();
+                while !self.eat(&Token::RBrace) {
+                    if self.peek() == &Token::Eof {
+                        return Err(ParseError::new(line, "unterminated block"));
+                    }
+                    stmts.push(self.statement(in_function)?);
+                }
+                Ok(Stmt::Block(stmts))
+            }
+            Token::Var => {
+                let s = self.var_decl()?;
+                self.expect_semi()?;
+                Ok(s)
+            }
+            Token::If => {
+                self.bump();
+                self.expect(&Token::LParen, "'('")?;
+                let cond = self.expression()?;
+                self.expect(&Token::RParen, "')'")?;
+                let then = Box::new(self.statement(in_function)?);
+                let otherwise = if self.eat(&Token::Else) {
+                    Some(Box::new(self.statement(in_function)?))
+                } else {
+                    None
+                };
+                Ok(Stmt::If { cond, then, otherwise, line })
+            }
+            Token::While => {
+                self.bump();
+                self.expect(&Token::LParen, "'('")?;
+                let cond = self.expression()?;
+                self.expect(&Token::RParen, "')'")?;
+                let body = Box::new(self.statement(in_function)?);
+                Ok(Stmt::While { cond, body, line })
+            }
+            Token::Do => {
+                self.bump();
+                let body = Box::new(self.statement(in_function)?);
+                self.expect(&Token::While, "'while'")?;
+                self.expect(&Token::LParen, "'('")?;
+                let cond = self.expression()?;
+                self.expect(&Token::RParen, "')'")?;
+                self.expect_semi()?;
+                Ok(Stmt::DoWhile { body, cond, line })
+            }
+            Token::For => {
+                self.bump();
+                self.expect(&Token::LParen, "'('")?;
+                let init = if self.peek() == &Token::Semi {
+                    None
+                } else if self.peek() == &Token::Var {
+                    Some(Box::new(self.var_decl()?))
+                } else {
+                    let e = self.expression()?;
+                    Some(Box::new(Stmt::Expr(e, line)))
+                };
+                if self.peek() == &Token::In {
+                    return Err(ParseError::new(line, "for-in loops are not supported in JTS"));
+                }
+                self.expect(&Token::Semi, "';' in for header")?;
+                let cond =
+                    if self.peek() == &Token::Semi { None } else { Some(self.expression()?) };
+                self.expect(&Token::Semi, "';' in for header")?;
+                let update =
+                    if self.peek() == &Token::RParen { None } else { Some(self.expression()?) };
+                self.expect(&Token::RParen, "')'")?;
+                let body = Box::new(self.statement(in_function)?);
+                Ok(Stmt::For { init, cond, update, body, line })
+            }
+            Token::Return => {
+                self.bump();
+                if !in_function {
+                    return Err(ParseError::new(line, "'return' outside a function"));
+                }
+                let value = if self.peek() == &Token::Semi || self.peek() == &Token::RBrace {
+                    None
+                } else {
+                    Some(self.expression()?)
+                };
+                self.expect_semi()?;
+                Ok(Stmt::Return(value, line))
+            }
+            Token::Break => {
+                self.bump();
+                self.expect_semi()?;
+                Ok(Stmt::Break(line))
+            }
+            Token::Continue => {
+                self.bump();
+                self.expect_semi()?;
+                Ok(Stmt::Continue(line))
+            }
+            _ => {
+                let e = self.expression()?;
+                self.expect_semi()?;
+                Ok(Stmt::Expr(e, line))
+            }
+        }
+    }
+
+    /// Permissive semicolon handling: a statement may end with `;`, or at
+    /// `}` / EOF (a restricted form of automatic semicolon insertion).
+    fn expect_semi(&mut self) -> Result<(), ParseError> {
+        if self.eat(&Token::Semi) || self.peek() == &Token::RBrace || self.peek() == &Token::Eof {
+            Ok(())
+        } else {
+            Err(ParseError::new(
+                self.line(),
+                format!("expected ';', found {:?}", self.peek()),
+            ))
+        }
+    }
+
+    fn var_decl(&mut self) -> Result<Stmt, ParseError> {
+        let line = self.line();
+        self.expect(&Token::Var, "'var'")?;
+        let mut decls = Vec::new();
+        loop {
+            let name = self.ident("variable name")?;
+            let init =
+                if self.eat(&Token::Assign) { Some(self.assignment()?) } else { None };
+            decls.push((name, init));
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        Ok(Stmt::Var(decls, line))
+    }
+
+    // ---- expressions ----
+
+    fn expression(&mut self) -> Result<Expr, ParseError> {
+        let first = self.assignment()?;
+        if self.peek() != &Token::Comma {
+            return Ok(first);
+        }
+        let mut seq = vec![first];
+        while self.eat(&Token::Comma) {
+            seq.push(self.assignment()?);
+        }
+        Ok(Expr::Seq(seq))
+    }
+
+    fn assignment(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.ternary()?;
+        let op = match self.peek() {
+            Token::Assign => None,
+            Token::PlusAssign => Some(BinOp::Add),
+            Token::MinusAssign => Some(BinOp::Sub),
+            Token::StarAssign => Some(BinOp::Mul),
+            Token::SlashAssign => Some(BinOp::Div),
+            Token::PercentAssign => Some(BinOp::Mod),
+            Token::AmpAssign => Some(BinOp::BitAnd),
+            Token::PipeAssign => Some(BinOp::BitOr),
+            Token::CaretAssign => Some(BinOp::BitXor),
+            Token::ShlAssign => Some(BinOp::Shl),
+            Token::ShrAssign => Some(BinOp::Shr),
+            Token::UShrAssign => Some(BinOp::UShr),
+            _ => return Ok(lhs),
+        };
+        let line = self.line();
+        self.bump();
+        let target = lhs
+            .into_target()
+            .ok_or_else(|| ParseError::new(line, "invalid assignment target"))?;
+        let value = Box::new(self.assignment()?);
+        Ok(Expr::Assign { target, op, value })
+    }
+
+    fn ternary(&mut self) -> Result<Expr, ParseError> {
+        let cond = self.or_expr()?;
+        if self.eat(&Token::Question) {
+            let a = self.assignment()?;
+            self.expect(&Token::Colon, "':'")?;
+            let b = self.assignment()?;
+            Ok(Expr::Ternary(Box::new(cond), Box::new(a), Box::new(b)))
+        } else {
+            Ok(cond)
+        }
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat(&Token::OrOr) {
+            let rhs = self.and_expr()?;
+            lhs = Expr::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.binary(0)?;
+        while self.eat(&Token::AndAnd) {
+            let rhs = self.binary(0)?;
+            lhs = Expr::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    /// Precedence climbing over the binary operators (lowest first):
+    /// `|`, `^`, `&`, equality, relational, shifts, additive,
+    /// multiplicative.
+    fn binary(&mut self, min_prec: u8) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let (op, prec) = match self.peek() {
+                Token::Pipe => (BinOp::BitOr, 0),
+                Token::Caret => (BinOp::BitXor, 1),
+                Token::Amp => (BinOp::BitAnd, 2),
+                Token::EqEq => (BinOp::Eq, 3),
+                Token::NotEq => (BinOp::Ne, 3),
+                Token::EqEqEq => (BinOp::StrictEq, 3),
+                Token::NotEqEq => (BinOp::StrictNe, 3),
+                Token::Lt => (BinOp::Lt, 4),
+                Token::Le => (BinOp::Le, 4),
+                Token::Gt => (BinOp::Gt, 4),
+                Token::Ge => (BinOp::Ge, 4),
+                Token::Shl => (BinOp::Shl, 5),
+                Token::Shr => (BinOp::Shr, 5),
+                Token::UShr => (BinOp::UShr, 5),
+                Token::Plus => (BinOp::Add, 6),
+                Token::Minus => (BinOp::Sub, 6),
+                Token::Star => (BinOp::Mul, 7),
+                Token::Slash => (BinOp::Div, 7),
+                Token::Percent => (BinOp::Mod, 7),
+                _ => break,
+            };
+            if prec < min_prec {
+                break;
+            }
+            self.bump();
+            let rhs = self.binary(prec + 1)?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        let line = self.line();
+        match self.peek() {
+            Token::Minus => {
+                self.bump();
+                // Fold negative numeric literals immediately so `-1` is a
+                // constant, not a unary op.
+                if let Token::Number(n) = self.peek() {
+                    let n = *n;
+                    self.bump();
+                    return Ok(Expr::Number(-n));
+                }
+                Ok(Expr::Unary(UnOp::Neg, Box::new(self.unary()?)))
+            }
+            Token::Plus => {
+                self.bump();
+                Ok(Expr::Unary(UnOp::Pos, Box::new(self.unary()?)))
+            }
+            Token::Bang => {
+                self.bump();
+                Ok(Expr::Unary(UnOp::Not, Box::new(self.unary()?)))
+            }
+            Token::Tilde => {
+                self.bump();
+                Ok(Expr::Unary(UnOp::BitNot, Box::new(self.unary()?)))
+            }
+            Token::Typeof => {
+                self.bump();
+                Ok(Expr::Unary(UnOp::Typeof, Box::new(self.unary()?)))
+            }
+            Token::PlusPlus | Token::MinusMinus => {
+                let inc = self.bump() == Token::PlusPlus;
+                let operand = self.unary()?;
+                let target = operand
+                    .into_target()
+                    .ok_or_else(|| ParseError::new(line, "invalid increment target"))?;
+                Ok(Expr::IncDec { target, inc, prefix: true })
+            }
+            _ => self.postfix(),
+        }
+    }
+
+    fn postfix(&mut self) -> Result<Expr, ParseError> {
+        let line = self.line();
+        let e = self.call_member()?;
+        match self.peek() {
+            Token::PlusPlus | Token::MinusMinus => {
+                let inc = self.bump() == Token::PlusPlus;
+                let target = e
+                    .into_target()
+                    .ok_or_else(|| ParseError::new(line, "invalid increment target"))?;
+                Ok(Expr::IncDec { target, inc, prefix: false })
+            }
+            _ => Ok(e),
+        }
+    }
+
+    fn call_member(&mut self) -> Result<Expr, ParseError> {
+        let mut e = if self.peek() == &Token::New {
+            self.bump();
+            // `new Callee(args)`: callee is a member chain without calls.
+            let mut callee = self.primary()?;
+            loop {
+                match self.peek() {
+                    Token::Dot => {
+                        self.bump();
+                        let name = self.ident("property name")?;
+                        callee = Expr::Prop(Box::new(callee), name);
+                    }
+                    Token::LBracket => {
+                        self.bump();
+                        let idx = self.expression()?;
+                        self.expect(&Token::RBracket, "']'")?;
+                        callee = Expr::Elem(Box::new(callee), Box::new(idx));
+                    }
+                    _ => break,
+                }
+            }
+            let args = if self.peek() == &Token::LParen { self.arguments()? } else { Vec::new() };
+            Expr::New(Box::new(callee), args)
+        } else {
+            self.primary()?
+        };
+        loop {
+            match self.peek() {
+                Token::Dot => {
+                    self.bump();
+                    let name = self.ident("property name")?;
+                    if self.peek() == &Token::LParen {
+                        let args = self.arguments()?;
+                        e = Expr::MethodCall(Box::new(e), name, args);
+                    } else {
+                        e = Expr::Prop(Box::new(e), name);
+                    }
+                }
+                Token::LBracket => {
+                    self.bump();
+                    let idx = self.expression()?;
+                    self.expect(&Token::RBracket, "']'")?;
+                    e = Expr::Elem(Box::new(e), Box::new(idx));
+                }
+                Token::LParen => {
+                    let args = self.arguments()?;
+                    e = Expr::Call(Box::new(e), args);
+                }
+                _ => break,
+            }
+        }
+        Ok(e)
+    }
+
+    fn arguments(&mut self) -> Result<Vec<Expr>, ParseError> {
+        self.expect(&Token::LParen, "'('")?;
+        let mut args = Vec::new();
+        if self.peek() != &Token::RParen {
+            loop {
+                args.push(self.assignment()?);
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(&Token::RParen, "')'")?;
+        Ok(args)
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        let line = self.line();
+        match self.bump() {
+            Token::Number(n) => Ok(Expr::Number(n)),
+            Token::Str(s) => Ok(Expr::Str(s)),
+            Token::True => Ok(Expr::Bool(true)),
+            Token::False => Ok(Expr::Bool(false)),
+            Token::Null => Ok(Expr::Null),
+            Token::This => Ok(Expr::This),
+            Token::Ident(name) => Ok(Expr::Name(name)),
+            Token::LParen => {
+                let e = self.expression()?;
+                self.expect(&Token::RParen, "')'")?;
+                Ok(e)
+            }
+            Token::LBracket => {
+                let mut elems = Vec::new();
+                if self.peek() != &Token::RBracket {
+                    loop {
+                        elems.push(self.assignment()?);
+                        if !self.eat(&Token::Comma) {
+                            break;
+                        }
+                        // Trailing comma.
+                        if self.peek() == &Token::RBracket {
+                            break;
+                        }
+                    }
+                }
+                self.expect(&Token::RBracket, "']'")?;
+                Ok(Expr::Array(elems))
+            }
+            Token::LBrace => {
+                let mut props = Vec::new();
+                if self.peek() != &Token::RBrace {
+                    loop {
+                        let key = match self.bump() {
+                            Token::Ident(n) => n,
+                            Token::Str(s) => s.iter().map(|&b| b as char).collect(),
+                            Token::Number(n) => tm_format_number(n),
+                            other => {
+                                return Err(ParseError::new(
+                                    line,
+                                    format!("invalid object key: {other:?}"),
+                                ))
+                            }
+                        };
+                        self.expect(&Token::Colon, "':'")?;
+                        let value = self.assignment()?;
+                        props.push((key, value));
+                        if !self.eat(&Token::Comma) {
+                            break;
+                        }
+                        if self.peek() == &Token::RBrace {
+                            break;
+                        }
+                    }
+                }
+                self.expect(&Token::RBrace, "'}'")?;
+                Ok(Expr::ObjectLit(props))
+            }
+            other => Err(ParseError::new(line, format!("unexpected token {other:?}"))),
+        }
+    }
+}
+
+/// Formats a numeric object-literal key the way `ToString` would.
+fn tm_format_number(n: f64) -> String {
+    if n == n.trunc() && n.abs() < 1e15 {
+        format!("{}", n as i64)
+    } else {
+        format!("{n}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Target;
+
+    #[test]
+    fn parses_sieve_example() {
+        // The paper's Figure 1 program.
+        let src = r#"
+            var primes = [];
+            for (var i = 2; i < 100; ++i) {
+                if (!primes[i])
+                    continue;
+                for (var k = i + i; k < 100; k += i)
+                    primes[k] = false;
+            }
+        "#;
+        let prog = parse(src).unwrap();
+        assert_eq!(prog.functions.len(), 0);
+        assert_eq!(prog.body.len(), 2);
+        let Stmt::For { init, cond, update, .. } = &prog.body[1] else {
+            panic!("expected for loop")
+        };
+        assert!(init.is_some() && cond.is_some() && update.is_some());
+    }
+
+    #[test]
+    fn function_declarations() {
+        let prog = parse("function add(a, b) { return a + b; } var x = add(1, 2);").unwrap();
+        assert_eq!(prog.functions.len(), 1);
+        assert_eq!(prog.functions[0].params, vec!["a", "b"]);
+        assert!(parse("function outer() { function inner() {} }").is_err());
+        assert!(parse("return 1;").is_err(), "top-level return is an error");
+    }
+
+    #[test]
+    fn precedence() {
+        let prog = parse("var x = 1 + 2 * 3;").unwrap();
+        let Stmt::Var(decls, _) = &prog.body[0] else { panic!() };
+        let Some(Expr::Binary(BinOp::Add, _, rhs)) = &decls[0].1 else {
+            panic!("+ at top: {:?}", decls[0].1)
+        };
+        assert!(matches!(**rhs, Expr::Binary(BinOp::Mul, _, _)));
+
+        // Bitwise-or binds looser than equality (JS quirk).
+        let prog = parse("var y = a == b | c;").unwrap();
+        let Stmt::Var(decls, _) = &prog.body[0] else { panic!() };
+        assert!(matches!(decls[0].1, Some(Expr::Binary(BinOp::BitOr, _, _))));
+    }
+
+    #[test]
+    fn method_call_vs_prop_access() {
+        let prog = parse("s.charCodeAt(0); s.length;").unwrap();
+        let Stmt::Expr(e0, _) = &prog.body[0] else { panic!() };
+        assert!(matches!(e0, Expr::MethodCall(_, name, _) if name == "charCodeAt"));
+        let Stmt::Expr(e1, _) = &prog.body[1] else { panic!() };
+        assert!(matches!(e1, Expr::Prop(_, name) if name == "length"));
+    }
+
+    #[test]
+    fn compound_assignment_and_incdec() {
+        let prog = parse("x += 2; a[i]++; --o.f;").unwrap();
+        let Stmt::Expr(e, _) = &prog.body[0] else { panic!() };
+        assert!(matches!(e, Expr::Assign { op: Some(BinOp::Add), .. }));
+        let Stmt::Expr(e, _) = &prog.body[1] else { panic!() };
+        assert!(
+            matches!(e, Expr::IncDec { inc: true, prefix: false, target: Target::Elem(..) })
+        );
+        let Stmt::Expr(e, _) = &prog.body[2] else { panic!() };
+        assert!(matches!(e, Expr::IncDec { inc: false, prefix: true, target: Target::Prop(..) }));
+    }
+
+    #[test]
+    fn new_and_object_literals() {
+        let prog = parse("var p = new Point(1, 2); var o = {x: 1, 'y': 2, 3: 4};").unwrap();
+        let Stmt::Var(decls, _) = &prog.body[0] else { panic!() };
+        assert!(matches!(decls[0].1, Some(Expr::New(..))));
+        let Stmt::Var(decls, _) = &prog.body[1] else { panic!() };
+        let Some(Expr::ObjectLit(props)) = &decls[0].1 else { panic!() };
+        assert_eq!(props.len(), 3);
+        assert_eq!(props[2].0, "3");
+    }
+
+    #[test]
+    fn ternary_and_logical() {
+        let prog = parse("var v = a ? b && c : d || e;").unwrap();
+        let Stmt::Var(decls, _) = &prog.body[0] else { panic!() };
+        let Some(Expr::Ternary(_, t, f)) = &decls[0].1 else { panic!() };
+        assert!(matches!(**t, Expr::And(..)));
+        assert!(matches!(**f, Expr::Or(..)));
+    }
+
+    #[test]
+    fn comma_expression_in_for() {
+        let prog = parse("for (i = 0, j = 9; i < j; i++, j--) ;").unwrap();
+        let Stmt::For { init, update, .. } = &prog.body[0] else { panic!() };
+        let Some(boxed) = init else { panic!() };
+        let Stmt::Expr(Expr::Seq(seq), _) = &**boxed else { panic!("init: {boxed:?}") };
+        assert_eq!(seq.len(), 2);
+        assert!(matches!(update, Some(Expr::Seq(_))));
+    }
+
+    #[test]
+    fn negative_literals_fold() {
+        let prog = parse("var x = -1;").unwrap();
+        let Stmt::Var(decls, _) = &prog.body[0] else { panic!() };
+        assert_eq!(decls[0].1, Some(Expr::Number(-1.0)));
+    }
+
+    #[test]
+    fn errors_are_reported_with_lines() {
+        let err = parse("var x = ;").unwrap_err();
+        assert_eq!(err.line, 1);
+        let err = parse("\n\nvar y = @;").unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(parse("for (var k in obj) ;").is_err(), "for-in unsupported");
+    }
+
+    #[test]
+    fn do_while_and_break_continue() {
+        let prog = parse("do { if (x) break; else continue; } while (x < 10);").unwrap();
+        assert!(matches!(prog.body[0], Stmt::DoWhile { .. }));
+    }
+
+    #[test]
+    fn asi_before_rbrace() {
+        let prog = parse("function f() { return 1 }").unwrap();
+        assert_eq!(prog.functions.len(), 1);
+    }
+}

@@ -1,0 +1,185 @@
+//! Tokens of the JTS source language.
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Numeric literal (always lexed as a double; the compiler re-compresses
+    /// integral values to the inline integer representation).
+    Number(f64),
+    /// String literal (latin-1 code units).
+    Str(Vec<u8>),
+    /// Identifier.
+    Ident(String),
+
+    // Keywords.
+    /// `var`
+    Var,
+    /// `function`
+    Function,
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `while`
+    While,
+    /// `do`
+    Do,
+    /// `for`
+    For,
+    /// `return`
+    Return,
+    /// `break`
+    Break,
+    /// `continue`
+    Continue,
+    /// `new`
+    New,
+    /// `this`
+    This,
+    /// `true`
+    True,
+    /// `false`
+    False,
+    /// `null`
+    Null,
+    /// `typeof`
+    Typeof,
+    /// `in` (reserved; used by `for`-`in`, which JTS does not support)
+    In,
+
+    // Punctuation and operators.
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `?`
+    Question,
+    /// `:`
+    Colon,
+    /// `=`
+    Assign,
+    /// `+=`
+    PlusAssign,
+    /// `-=`
+    MinusAssign,
+    /// `*=`
+    StarAssign,
+    /// `/=`
+    SlashAssign,
+    /// `%=`
+    PercentAssign,
+    /// `&=`
+    AmpAssign,
+    /// `|=`
+    PipeAssign,
+    /// `^=`
+    CaretAssign,
+    /// `<<=`
+    ShlAssign,
+    /// `>>=`
+    ShrAssign,
+    /// `>>>=`
+    UShrAssign,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `++`
+    PlusPlus,
+    /// `--`
+    MinusMinus,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `^`
+    Caret,
+    /// `~`
+    Tilde,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `>>>`
+    UShr,
+    /// `!`
+    Bang,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `===`
+    EqEqEq,
+    /// `!==`
+    NotEqEq,
+
+    /// End of input.
+    Eof,
+}
+
+impl Token {
+    /// Keyword lookup for an identifier-shaped lexeme.
+    pub fn keyword(ident: &str) -> Option<Token> {
+        Some(match ident {
+            "var" => Token::Var,
+            "function" => Token::Function,
+            "if" => Token::If,
+            "else" => Token::Else,
+            "while" => Token::While,
+            "do" => Token::Do,
+            "for" => Token::For,
+            "return" => Token::Return,
+            "break" => Token::Break,
+            "continue" => Token::Continue,
+            "new" => Token::New,
+            "this" => Token::This,
+            "true" => Token::True,
+            "false" => Token::False,
+            "null" => Token::Null,
+            "typeof" => Token::Typeof,
+            "in" => Token::In,
+            _ => return None,
+        })
+    }
+}
+
+/// A token with its source line (1-based), for diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// 1-based source line.
+    pub line: u32,
+}

@@ -1,0 +1,91 @@
+//! Program installation: materializing literals and function objects into a
+//! realm.
+
+use tm_bytecode::{FuncId, Program};
+use tm_runtime::{Callee, Object, Realm, Value};
+
+/// Boxed literal values for a program, materialized once at install time so
+/// constant pushes never allocate.
+#[derive(Debug, Clone)]
+pub struct Literals {
+    /// Boxed numeric constants, parallel to [`Program::numbers`].
+    pub numbers: Vec<Value>,
+    /// String constants, parallel to [`Program::atoms`].
+    pub atoms: Vec<Value>,
+}
+
+/// A program installed into a realm: function objects created, function
+/// globals defined, literals materialized.
+#[derive(Debug, Clone)]
+pub struct Installed {
+    /// Materialized literal values (GC roots).
+    pub literals: Literals,
+    /// Function object for each [`FuncId`] (GC roots).
+    pub func_objects: Vec<Value>,
+}
+
+impl Installed {
+    /// All values that must be treated as GC roots while the program can
+    /// still run.
+    pub fn roots(&self) -> impl Iterator<Item = Value> + '_ {
+        self.literals
+            .numbers
+            .iter()
+            .chain(self.literals.atoms.iter())
+            .chain(self.func_objects.iter())
+            .copied()
+    }
+
+    /// The function object for `id`.
+    pub fn func_object(&self, id: FuncId) -> Value {
+        self.func_objects[id.0 as usize]
+    }
+}
+
+/// Installs `prog` into `realm`: creates one function object per compiled
+/// function (each with a fresh `prototype` object, enabling `new F()`),
+/// assigns declared functions to their global slots, and boxes all literal
+/// constants.
+pub fn install(prog: &Program, realm: &mut Realm) -> Installed {
+    let numbers: Vec<Value> = prog.numbers.iter().map(|&n| realm.heap.alloc_double(n)).collect();
+    let atoms: Vec<Value> =
+        prog.atoms.iter().map(|a| realm.heap.alloc_string_bytes(a.clone())).collect();
+
+    let mut func_objects = Vec::with_capacity(prog.functions.len());
+    for (i, _f) in prog.functions.iter().enumerate() {
+        let obj = Object::new_function(Callee::Scripted(i as u32), None);
+        let id = realm.heap.alloc_object(obj);
+        // Give every function a `prototype` object for `new`.
+        let proto = realm.new_plain_object();
+        realm
+            .set_prop(Value::new_object(id), realm.sym_prototype, Value::new_object(proto))
+            .expect("function is an object");
+        func_objects.push(Value::new_object(id));
+    }
+    for &(slot, func) in &prog.function_globals {
+        realm.set_global(slot, func_objects[func.0 as usize]);
+    }
+
+    Installed { literals: Literals { numbers, atoms }, func_objects }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn install_defines_function_globals_with_prototypes() {
+        let ast = tm_frontend::parse("function f() { return 1; } var x = 0.25;").unwrap();
+        let mut realm = Realm::new();
+        let prog = tm_bytecode::compile(&ast, &mut realm).unwrap();
+        let inst = install(&prog, &mut realm);
+
+        assert_eq!(inst.func_objects.len(), 2);
+        assert_eq!(inst.literals.numbers.len(), 1);
+        let f = realm.global(realm.lookup_global("f").unwrap());
+        assert_eq!(f, inst.func_object(tm_bytecode::FuncId(1)));
+        let proto = realm.get_prop(f, realm.sym_prototype).unwrap();
+        assert!(proto.is_object());
+        assert!(inst.roots().count() >= 3);
+    }
+}

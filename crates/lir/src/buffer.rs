@@ -1,0 +1,698 @@
+//! The forward optimization pipeline (§5.1).
+//!
+//! "Every time the trace recorder emits a LIR instruction, the instruction
+//! is immediately passed to the first filter in the forward pipeline" — a
+//! [`LirBuffer`] is that pipeline. Each `emit` call streams the instruction
+//! through (in order):
+//!
+//! 1. the **soft-float** filter (optional): double arithmetic → helper
+//!    calls, for ISAs without floating point;
+//! 2. **expression simplification**: constant folding and algebraic
+//!    identities (`a - a = 0`, `x * 1 = x`, ...);
+//! 3. the **semantic-specific** filter: INT↔DOUBLE identities that let
+//!    DOUBLE be replaced with INT (e.g. `BoxD(I2D(x)) → BoxI(x)`,
+//!    `D2IChk(I2D(x)) → x`);
+//! 4. **CSE** over pure/guarded computations and (memory-generation-aware)
+//!    loads.
+//!
+//! A filter may pass the instruction through, substitute an existing SSA
+//! value, rewrite it, or drop it entirely — the same contract as the
+//! paper's pipelined filters.
+
+use std::collections::HashMap;
+
+use tm_runtime::Helper;
+
+use crate::ir::{ExitId, Lir, LirId, LirTrace, LirType};
+
+/// Which forward filters run (all on by default; individually toggleable
+/// for the ablation benchmarks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FilterOptions {
+    /// Constant folding + algebraic simplification.
+    pub fold: bool,
+    /// Common subexpression elimination.
+    pub cse: bool,
+    /// INT↔DOUBLE demotion identities.
+    pub demote: bool,
+    /// Soft-float lowering of double arithmetic.
+    pub softfloat: bool,
+}
+
+impl Default for FilterOptions {
+    fn default() -> Self {
+        FilterOptions { fold: true, cse: true, demote: true, softfloat: false }
+    }
+}
+
+/// Counters describing what the filters did (tests, diagnostics).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FilterStats {
+    /// Instructions folded to constants or simplified algebraically.
+    pub folded: u64,
+    /// Instructions eliminated by CSE.
+    pub csed: u64,
+    /// INT↔DOUBLE round trips removed.
+    pub demoted: u64,
+    /// Guards dropped because their condition was provably satisfied.
+    pub guards_elided: u64,
+}
+
+/// Sentinel id returned by [`LirBuffer::emit`] for effect-only
+/// instructions that were dropped by a filter. Never a valid operand.
+pub const NO_VALUE: LirId = LirId::MAX;
+
+/// The streaming LIR emission buffer with its forward filter pipeline.
+#[derive(Debug)]
+pub struct LirBuffer {
+    trace: LirTrace,
+    opts: FilterOptions,
+    stats: FilterStats,
+    cse: HashMap<(Lir, u32), LirId>,
+    mem_gen: u32,
+}
+
+impl LirBuffer {
+    /// Creates an empty buffer with the given filter configuration.
+    pub fn new(opts: FilterOptions) -> LirBuffer {
+        LirBuffer {
+            trace: LirTrace::new(),
+            opts,
+            stats: FilterStats::default(),
+            cse: HashMap::new(),
+            mem_gen: 0,
+        }
+    }
+
+    /// The trace built so far.
+    pub fn trace(&self) -> &LirTrace {
+        &self.trace
+    }
+
+    /// Consumes the buffer, returning the finished trace.
+    pub fn into_trace(self) -> LirTrace {
+        self.trace
+    }
+
+    /// Filter activity counters.
+    pub fn stats(&self) -> FilterStats {
+        self.stats
+    }
+
+    /// Allocates a fresh side-exit id.
+    pub fn alloc_exit(&mut self) -> ExitId {
+        let id = ExitId(self.trace.num_exits);
+        self.trace.num_exits += 1;
+        id
+    }
+
+    /// The instruction defining `id`.
+    pub fn inst(&self, id: LirId) -> &Lir {
+        &self.trace.code[id as usize]
+    }
+
+    /// Emits `inst` through the forward pipeline, returning the SSA id of
+    /// the resulting value. Returns [`NO_VALUE`] when an effect-only
+    /// instruction was dropped.
+    pub fn emit(&mut self, inst: Lir) -> LirId {
+        let inst = if self.opts.softfloat { self.softfloat(inst) } else { inst };
+        let inst = if self.opts.fold {
+            match self.fold(inst) {
+                Filtered::Value(id) => return id,
+                Filtered::Dropped => return NO_VALUE,
+                Filtered::Keep(i) => i,
+            }
+        } else {
+            inst
+        };
+        let inst = if self.opts.demote {
+            match self.demote(inst) {
+                Filtered::Value(id) => return id,
+                Filtered::Dropped => return NO_VALUE,
+                Filtered::Keep(i) => i,
+            }
+        } else {
+            inst
+        };
+        if self.opts.cse {
+            if let Some(id) = self.try_cse(&inst) {
+                self.stats.csed += 1;
+                return id;
+            }
+        }
+        self.push(inst)
+    }
+
+    /// Appends without filtering (used by the filters themselves and by
+    /// tests).
+    pub fn push(&mut self, inst: Lir) -> LirId {
+        if inst.clobbers_memory() {
+            self.mem_gen += 1;
+        }
+        let id = self.trace.code.len() as LirId;
+        if self.opts.cse && (inst.is_pure() || cse_guarded(&inst) || inst.is_load()) {
+            let key = self.cse_key(&inst);
+            self.cse.insert(key, id);
+        }
+        self.trace.code.push(inst);
+        id
+    }
+
+    fn cse_key(&self, inst: &Lir) -> (Lir, u32) {
+        let gen = if inst.is_load() { self.mem_gen } else { 0 };
+        (normalize_for_cse(inst), gen)
+    }
+
+    fn try_cse(&self, inst: &Lir) -> Option<LirId> {
+        if !(inst.is_pure() || cse_guarded(inst) || inst.is_load()) {
+            return None;
+        }
+        self.cse.get(&self.cse_key(inst)).copied()
+    }
+
+    // ---- soft-float filter ----
+
+    fn softfloat(&mut self, inst: Lir) -> Lir {
+        let (helper, a, b) = match inst {
+            Lir::AddD(a, b) => (Helper::SoftAdd, a, b),
+            Lir::SubD(a, b) => (Helper::SoftSub, a, b),
+            Lir::MulD(a, b) => (Helper::SoftMul, a, b),
+            Lir::DivD(a, b) => (Helper::SoftDiv, a, b),
+            other => return other,
+        };
+        // Soft-float helpers cannot bail, so they use the no-exit
+        // sentinel instead of allocating a real side exit (which would
+        // desynchronize the recorder's exit table).
+        Lir::Call {
+            helper,
+            args: vec![a, b].into_boxed_slice(),
+            ret: LirType::Double,
+            exit: crate::ir::NO_EXIT,
+        }
+    }
+
+    // ---- expression simplification ----
+
+    #[allow(clippy::too_many_lines)]
+    fn fold(&mut self, inst: Lir) -> Filtered {
+        use Lir::*;
+        let ci = |buf: &Self, id: LirId| -> Option<i32> {
+            match buf.trace.code[id as usize] {
+                ConstI(v) => Some(v),
+                _ => None,
+            }
+        };
+        let cd = |buf: &Self, id: LirId| -> Option<f64> {
+            match buf.trace.code[id as usize] {
+                ConstD(bits) => Some(f64::from_bits(bits)),
+                _ => None,
+            }
+        };
+        let cb = |buf: &Self, id: LirId| -> Option<bool> {
+            match buf.trace.code[id as usize] {
+                ConstBool(v) => Some(v),
+                _ => None,
+            }
+        };
+
+        macro_rules! rewrite {
+            ($inst:expr) => {{
+                self.stats.folded += 1;
+                return Filtered::Keep($inst);
+            }};
+        }
+        macro_rules! subst {
+            ($id:expr) => {{
+                self.stats.folded += 1;
+                return Filtered::Value($id);
+            }};
+        }
+
+        match inst {
+            AddI(a, b) => match (ci(self, a), ci(self, b)) {
+                (Some(x), Some(y)) => rewrite!(ConstI(x.wrapping_add(y))),
+                (_, Some(0)) => subst!(a),
+                (Some(0), _) => subst!(b),
+                _ => {}
+            },
+            SubI(a, b) => match (ci(self, a), ci(self, b)) {
+                (Some(x), Some(y)) => rewrite!(ConstI(x.wrapping_sub(y))),
+                (_, Some(0)) => subst!(a),
+                _ if a == b => rewrite!(ConstI(0)), // the paper's a - a = 0
+                _ => {}
+            },
+            MulI(a, b) => match (ci(self, a), ci(self, b)) {
+                (Some(x), Some(y)) => rewrite!(ConstI(x.wrapping_mul(y))),
+                (_, Some(1)) => subst!(a),
+                (Some(1), _) => subst!(b),
+                (_, Some(0)) | (Some(0), _) => rewrite!(ConstI(0)),
+                _ => {}
+            },
+            AndI(a, b) => match (ci(self, a), ci(self, b)) {
+                (Some(x), Some(y)) => rewrite!(ConstI(x & y)),
+                (_, Some(-1)) => subst!(a),
+                (Some(-1), _) => subst!(b),
+                (_, Some(0)) | (Some(0), _) => rewrite!(ConstI(0)),
+                _ if a == b => subst!(a),
+                _ => {}
+            },
+            OrI(a, b) => match (ci(self, a), ci(self, b)) {
+                (Some(x), Some(y)) => rewrite!(ConstI(x | y)),
+                (_, Some(0)) => subst!(a),
+                (Some(0), _) => subst!(b),
+                _ if a == b => subst!(a),
+                _ => {}
+            },
+            XorI(a, b) => match (ci(self, a), ci(self, b)) {
+                (Some(x), Some(y)) => rewrite!(ConstI(x ^ y)),
+                (_, Some(0)) => subst!(a),
+                _ if a == b => rewrite!(ConstI(0)),
+                _ => {}
+            },
+            ShlI(a, b) => match (ci(self, a), ci(self, b)) {
+                (Some(x), Some(y)) => rewrite!(ConstI(x.wrapping_shl((y & 31) as u32))),
+                (_, Some(0)) => subst!(a),
+                _ => {}
+            },
+            ShrI(a, b) => match (ci(self, a), ci(self, b)) {
+                (Some(x), Some(y)) => rewrite!(ConstI(x.wrapping_shr((y & 31) as u32))),
+                (_, Some(0)) => subst!(a),
+                _ => {}
+            },
+            UShrI(a, b) => {
+                if let (Some(x), Some(y)) = (ci(self, a), ci(self, b)) {
+                    rewrite!(ConstI(((x as u32).wrapping_shr((y & 31) as u32)) as i32));
+                }
+            }
+            NotI(a) => {
+                if let Some(x) = ci(self, a) {
+                    rewrite!(ConstI(!x));
+                }
+            }
+            NegI(a) => {
+                if let Some(x) = ci(self, a) {
+                    rewrite!(ConstI(x.wrapping_neg()));
+                }
+            }
+            AddD(a, b) => {
+                if let (Some(x), Some(y)) = (cd(self, a), cd(self, b)) {
+                    rewrite!(ConstD((x + y).to_bits()));
+                }
+            }
+            SubD(a, b) => match (cd(self, a), cd(self, b)) {
+                (Some(x), Some(y)) => rewrite!(ConstD((x - y).to_bits())),
+                // x - 0.0 == x for every x including -0 and NaN.
+                (_, Some(y)) if y == 0.0 && y.is_sign_positive() => subst!(a),
+                _ => {}
+            },
+            MulD(a, b) => match (cd(self, a), cd(self, b)) {
+                (Some(x), Some(y)) => rewrite!(ConstD((x * y).to_bits())),
+                // x * 1.0 == x for every x including NaN/-0/inf.
+                (_, Some(y)) if y == 1.0 => subst!(a),
+                (Some(x), _) if x == 1.0 => subst!(b),
+                _ => {}
+            },
+            DivD(a, b) => match (cd(self, a), cd(self, b)) {
+                (Some(x), Some(y)) => rewrite!(ConstD((x / y).to_bits())),
+                (_, Some(y)) if y == 1.0 => subst!(a),
+                _ => {}
+            },
+            ModD(a, b) => {
+                if let (Some(x), Some(y)) = (cd(self, a), cd(self, b)) {
+                    rewrite!(ConstD((x % y).to_bits()));
+                }
+            }
+            NegD(a) => {
+                if let Some(x) = cd(self, a) {
+                    rewrite!(ConstD((-x).to_bits()));
+                }
+            }
+            EqI(a, b) => {
+                if let (Some(x), Some(y)) = (ci(self, a), ci(self, b)) {
+                    rewrite!(ConstBool(x == y));
+                }
+            }
+            LtI(a, b) => {
+                if let (Some(x), Some(y)) = (ci(self, a), ci(self, b)) {
+                    rewrite!(ConstBool(x < y));
+                }
+            }
+            LeI(a, b) => {
+                if let (Some(x), Some(y)) = (ci(self, a), ci(self, b)) {
+                    rewrite!(ConstBool(x <= y));
+                }
+            }
+            GtI(a, b) => {
+                if let (Some(x), Some(y)) = (ci(self, a), ci(self, b)) {
+                    rewrite!(ConstBool(x > y));
+                }
+            }
+            GeI(a, b) => {
+                if let (Some(x), Some(y)) = (ci(self, a), ci(self, b)) {
+                    rewrite!(ConstBool(x >= y));
+                }
+            }
+            LtD(a, b) => {
+                if let (Some(x), Some(y)) = (cd(self, a), cd(self, b)) {
+                    rewrite!(ConstBool(x < y));
+                }
+            }
+            LeD(a, b) => {
+                if let (Some(x), Some(y)) = (cd(self, a), cd(self, b)) {
+                    rewrite!(ConstBool(x <= y));
+                }
+            }
+            GtD(a, b) => {
+                if let (Some(x), Some(y)) = (cd(self, a), cd(self, b)) {
+                    rewrite!(ConstBool(x > y));
+                }
+            }
+            GeD(a, b) => {
+                if let (Some(x), Some(y)) = (cd(self, a), cd(self, b)) {
+                    rewrite!(ConstBool(x >= y));
+                }
+            }
+            EqD(a, b) => {
+                if let (Some(x), Some(y)) = (cd(self, a), cd(self, b)) {
+                    rewrite!(ConstBool(x == y));
+                }
+            }
+            NotB(a) => {
+                if let Some(x) = cb(self, a) {
+                    rewrite!(ConstBool(!x));
+                }
+                if let NotB(inner) = self.trace.code[a as usize] {
+                    subst!(inner);
+                }
+            }
+            I2D(a) => {
+                if let Some(x) = ci(self, a) {
+                    rewrite!(ConstD(f64::from(x).to_bits()));
+                }
+            }
+            U2D(a) => {
+                if let Some(x) = ci(self, a) {
+                    rewrite!(ConstD(f64::from(x as u32).to_bits()));
+                }
+            }
+            D2I32(a) => {
+                if let Some(x) = cd(self, a) {
+                    rewrite!(ConstI(tm_runtime::ops::double_to_int32(x)));
+                }
+            }
+            GuardTrue(c, _) => {
+                if cb(self, c) == Some(true) {
+                    self.stats.guards_elided += 1;
+                    return Filtered::Dropped;
+                }
+            }
+            GuardFalse(c, _) => {
+                if cb(self, c) == Some(false) {
+                    self.stats.guards_elided += 1;
+                    return Filtered::Dropped;
+                }
+            }
+            BoxI(a) => {
+                if let Some(x) = ci(self, a) {
+                    rewrite!(ConstBoxed(tm_runtime::Value::new_int(x).raw()));
+                }
+            }
+            BoxB(a) => {
+                if let Some(x) = cb(self, a) {
+                    rewrite!(ConstBoxed(tm_runtime::Value::new_bool(x).raw()));
+                }
+            }
+            _ => {}
+        }
+        Filtered::Keep(inst)
+    }
+
+    // ---- INT↔DOUBLE demotion identities ----
+
+    fn demote(&mut self, inst: Lir) -> Filtered {
+        use Lir::*;
+        match inst {
+            // int → double → int round trips vanish.
+            D2IChk(a, _) | D2I32(a) => {
+                if let I2D(x) = self.trace.code[a as usize] {
+                    self.stats.demoted += 1;
+                    return Filtered::Value(x);
+                }
+            }
+            // double → guarded int → double: the guard proved integrality.
+            I2D(a) => {
+                if let D2IChk(x, _) = self.trace.code[a as usize] {
+                    self.stats.demoted += 1;
+                    return Filtered::Value(x);
+                }
+            }
+            // Boxing an int-valued double is boxing the int: no allocation.
+            BoxD(a) => {
+                if let I2D(x) = self.trace.code[a as usize] {
+                    self.stats.demoted += 1;
+                    return Filtered::Keep(BoxI(x));
+                }
+            }
+            // Unboxing a value we just boxed.
+            UnboxI(a, _) => {
+                if let BoxI(x) = self.trace.code[a as usize] {
+                    self.stats.demoted += 1;
+                    return Filtered::Value(x);
+                }
+            }
+            UnboxD(a, _) | UnboxNumD(a, _) => match self.trace.code[a as usize] {
+                BoxD(x) => {
+                    self.stats.demoted += 1;
+                    return Filtered::Value(x);
+                }
+                BoxI(x) => {
+                    self.stats.demoted += 1;
+                    return Filtered::Keep(I2D(x));
+                }
+                _ => {}
+            },
+            UnboxBool(a, _) => {
+                if let BoxB(x) = self.trace.code[a as usize] {
+                    self.stats.demoted += 1;
+                    return Filtered::Value(x);
+                }
+            }
+            _ => {}
+        }
+        Filtered::Keep(inst)
+    }
+}
+
+enum Filtered {
+    /// Keep emitting this (possibly rewritten) instruction.
+    Keep(Lir),
+    /// The result is an existing SSA value.
+    Value(LirId),
+    /// Effect-only instruction eliminated.
+    Dropped,
+}
+
+/// Checked/guarded value-producing ops may be CSE'd against an earlier
+/// identical computation (whose guard already ran); their exit ids differ
+/// per site, so keys normalize the exit away.
+fn cse_guarded(inst: &Lir) -> bool {
+    use Lir::*;
+    matches!(
+        inst,
+        AddIChk(..)
+            | SubIChk(..)
+            | MulIChk(..)
+            | NegIChk(..)
+            | ModIChk(..)
+            | ShlIChk(..)
+            | UShrIChk(..)
+            | D2IChk(..)
+            | ChkRangeI(..)
+            | UnboxI(..)
+            | UnboxD(..)
+            | UnboxNumD(..)
+            | UnboxObj(..)
+            | UnboxStr(..)
+            | UnboxBool(..)
+            | BoxD(..)
+    )
+}
+
+/// Normalizes exit ids to zero so structurally identical guarded ops
+/// collide in the CSE map.
+fn normalize_for_cse(inst: &Lir) -> Lir {
+    use Lir::*;
+    let z = ExitId(0);
+    match inst.clone() {
+        AddIChk(a, b, _) => AddIChk(a, b, z),
+        SubIChk(a, b, _) => SubIChk(a, b, z),
+        MulIChk(a, b, _) => MulIChk(a, b, z),
+        NegIChk(a, _) => NegIChk(a, z),
+        ModIChk(a, b, _) => ModIChk(a, b, z),
+        ShlIChk(a, b, _) => ShlIChk(a, b, z),
+        UShrIChk(a, b, _) => UShrIChk(a, b, z),
+        D2IChk(a, _) => D2IChk(a, z),
+        ChkRangeI(a, _) => ChkRangeI(a, z),
+        UnboxI(a, _) => UnboxI(a, z),
+        UnboxD(a, _) => UnboxD(a, z),
+        UnboxNumD(a, _) => UnboxNumD(a, z),
+        UnboxObj(a, _) => UnboxObj(a, z),
+        UnboxStr(a, _) => UnboxStr(a, z),
+        UnboxBool(a, _) => UnboxBool(a, z),
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn buf() -> LirBuffer {
+        LirBuffer::new(FilterOptions::default())
+    }
+
+    #[test]
+    fn constant_folding() {
+        let mut b = buf();
+        let two = b.emit(Lir::ConstI(2));
+        let three = b.emit(Lir::ConstI(3));
+        let sum = b.emit(Lir::AddI(two, three));
+        assert_eq!(*b.inst(sum), Lir::ConstI(5));
+        assert!(b.stats().folded >= 1);
+    }
+
+    #[test]
+    fn algebraic_identities() {
+        let mut b = buf();
+        let x = b.emit(Lir::Import { slot: 0, ty: LirType::Int });
+        let zero = b.emit(Lir::ConstI(0));
+        let one = b.emit(Lir::ConstI(1));
+        assert_eq!(b.emit(Lir::AddI(x, zero)), x);
+        assert_eq!(b.emit(Lir::MulI(x, one)), x);
+        let diff = b.emit(Lir::SubI(x, x));
+        assert_eq!(*b.inst(diff), Lir::ConstI(0), "the paper's a - a = 0");
+        let xor = b.emit(Lir::XorI(x, x));
+        assert_eq!(*b.inst(xor), Lir::ConstI(0));
+    }
+
+    #[test]
+    fn double_identities_respect_ieee() {
+        let mut b = buf();
+        let x = b.emit(Lir::Import { slot: 0, ty: LirType::Double });
+        let one = b.emit(Lir::ConstD(1.0f64.to_bits()));
+        let zero = b.emit(Lir::ConstD(0.0f64.to_bits()));
+        assert_eq!(b.emit(Lir::MulD(x, one)), x);
+        assert_eq!(b.emit(Lir::SubD(x, zero)), x);
+        // x + 0.0 must NOT simplify: (-0.0) + 0.0 == +0.0.
+        let add = b.emit(Lir::AddD(x, zero));
+        assert_ne!(add, x);
+    }
+
+    #[test]
+    fn cse_reuses_pure_ops() {
+        let mut b = buf();
+        let x = b.emit(Lir::Import { slot: 0, ty: LirType::Int });
+        let y = b.emit(Lir::Import { slot: 1, ty: LirType::Int });
+        let a1 = b.emit(Lir::AddI(x, y));
+        let a2 = b.emit(Lir::AddI(x, y));
+        assert_eq!(a1, a2);
+        assert_eq!(b.stats().csed, 1);
+    }
+
+    #[test]
+    fn cse_of_guarded_ops_ignores_exit_ids() {
+        let mut b = buf();
+        let x = b.emit(Lir::Import { slot: 0, ty: LirType::Boxed });
+        let e1 = b.alloc_exit();
+        let e2 = b.alloc_exit();
+        let u1 = b.emit(Lir::UnboxI(x, e1));
+        let u2 = b.emit(Lir::UnboxI(x, e2));
+        assert_eq!(u1, u2);
+    }
+
+    #[test]
+    fn cse_of_loads_is_memory_aware() {
+        let mut b = buf();
+        let o = b.emit(Lir::Import { slot: 0, ty: LirType::Object });
+        let l1 = b.emit(Lir::LoadSlot(o, 2));
+        let l2 = b.emit(Lir::LoadSlot(o, 2));
+        assert_eq!(l1, l2, "identical loads with no store between CSE");
+        let v = b.emit(Lir::ConstBoxed(7));
+        b.emit(Lir::StoreSlot(o, 2, v));
+        let l3 = b.emit(Lir::LoadSlot(o, 2));
+        assert_ne!(l1, l3, "store kills load CSE");
+    }
+
+    #[test]
+    fn demotion_removes_int_double_round_trips() {
+        let mut b = buf();
+        let x = b.emit(Lir::Import { slot: 0, ty: LirType::Int });
+        let d = b.emit(Lir::I2D(x));
+        let e = b.alloc_exit();
+        // The paper: "LIR that converts an INT to a DOUBLE and then back
+        // again would be removed by this filter."
+        assert_eq!(b.emit(Lir::D2IChk(d, e)), x);
+        assert_eq!(b.emit(Lir::D2I32(d)), x);
+        let boxed = b.emit(Lir::BoxD(d));
+        assert_eq!(*b.inst(boxed), Lir::BoxI(x), "boxing an int-valued double boxes the int");
+        assert!(b.stats().demoted >= 3);
+    }
+
+    #[test]
+    fn box_unbox_round_trips() {
+        let mut b = buf();
+        let x = b.emit(Lir::Import { slot: 0, ty: LirType::Int });
+        let boxed = b.emit(Lir::BoxI(x));
+        let e = b.alloc_exit();
+        assert_eq!(b.emit(Lir::UnboxI(boxed, e)), x);
+        let xd = b.emit(Lir::Import { slot: 1, ty: LirType::Double });
+        let boxed_d = b.emit(Lir::BoxD(xd));
+        let e2 = b.alloc_exit();
+        assert_eq!(b.emit(Lir::UnboxNumD(boxed_d, e2)), xd);
+    }
+
+    #[test]
+    fn guards_on_constants_are_elided() {
+        let mut b = buf();
+        let t = b.emit(Lir::ConstBool(true));
+        let e = b.alloc_exit();
+        assert_eq!(b.emit(Lir::GuardTrue(t, e)), NO_VALUE);
+        assert_eq!(b.stats().guards_elided, 1);
+        // GuardTrue on a *false* constant is kept (the trace will exit).
+        let f = b.emit(Lir::ConstBool(false));
+        let e2 = b.alloc_exit();
+        assert_ne!(b.emit(Lir::GuardTrue(f, e2)), NO_VALUE);
+    }
+
+    #[test]
+    fn softfloat_rewrites_double_arith() {
+        let mut b = LirBuffer::new(FilterOptions {
+            softfloat: true,
+            ..FilterOptions::default()
+        });
+        let x = b.emit(Lir::Import { slot: 0, ty: LirType::Double });
+        let y = b.emit(Lir::Import { slot: 1, ty: LirType::Double });
+        let sum = b.emit(Lir::AddD(x, y));
+        assert!(
+            matches!(b.inst(sum), Lir::Call { helper: Helper::SoftAdd, .. }),
+            "soft-float converts double add to a call: {:?}",
+            b.inst(sum)
+        );
+    }
+
+    #[test]
+    fn filters_can_be_disabled() {
+        let mut b = LirBuffer::new(FilterOptions {
+            fold: false,
+            cse: false,
+            demote: false,
+            softfloat: false,
+        });
+        let two = b.emit(Lir::ConstI(2));
+        let three = b.emit(Lir::ConstI(3));
+        let sum = b.emit(Lir::AddI(two, three));
+        assert_eq!(*b.inst(sum), Lir::AddI(two, three));
+        let sum2 = b.emit(Lir::AddI(two, three));
+        assert_ne!(sum, sum2);
+    }
+}

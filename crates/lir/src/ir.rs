@@ -1,0 +1,560 @@
+//! Trace-flavored SSA LIR (the paper's §3.1/§5).
+//!
+//! A trace is a **linear** sequence of LIR instructions: no join points, no
+//! φ-nodes except the implicit entry ([`Lir::Import`] reads the trace
+//! activation record, which is both the entry state and the loop-carried
+//! state). Control flow appears only as **guards** — instructions that
+//! conditionally leave the trace through a numbered side exit — and the
+//! final [`Lir::LoopBack`]/[`Lir::End`].
+//!
+//! Integer values on trace are 32-bit two's-complement, but the *boxable*
+//! integer range is the 31-bit inline range of the value tagging scheme, so
+//! the checked arithmetic ops (`AddIChk`, ...) guard the 31-bit range: this
+//! is exactly the "adding two integers can produce a value too large for
+//! the integer representation" guard of §3.1.
+
+use tm_runtime::Helper;
+
+/// Index of an instruction within a trace (SSA value id).
+pub type LirId = u32;
+
+/// Index of a side exit within a trace's exit table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ExitId(pub u16);
+
+/// Sentinel exit for operations that carry an exit field structurally but
+/// can never take it (e.g. soft-float helper calls).
+pub const NO_EXIT: ExitId = ExitId(u16::MAX);
+
+/// Index of a slot in the trace activation record.
+pub type ArSlot = u16;
+
+/// The type of an SSA value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LirType {
+    /// Unboxed 32-bit integer (boxable subset: 31-bit).
+    Int,
+    /// Unboxed IEEE-754 double.
+    Double,
+    /// Object handle.
+    Object,
+    /// String handle.
+    String,
+    /// Boolean (0/1 in a word).
+    Bool,
+    /// The constant `null`.
+    Null,
+    /// The constant `undefined`.
+    Undefined,
+    /// A raw boxed value word (tagged).
+    Boxed,
+}
+
+impl LirType {
+    /// Single-letter prefix used by the printer (`i3`, `d7`, ...).
+    pub fn prefix(self) -> char {
+        match self {
+            LirType::Int => 'i',
+            LirType::Double => 'd',
+            LirType::Object => 'o',
+            LirType::String => 's',
+            LirType::Bool => 'b',
+            LirType::Null => 'n',
+            LirType::Undefined => 'u',
+            LirType::Boxed => 'v',
+        }
+    }
+}
+
+/// One LIR instruction.
+///
+/// Operand fields name the SSA ids of inputs; each instruction defines at
+/// most one SSA value (its own id).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Lir {
+    // ---- constants ----
+    /// Integer constant.
+    ConstI(i32),
+    /// Double constant (bit pattern, so the type is `Eq`-friendly).
+    ConstD(u64),
+    /// Object-handle constant.
+    ConstObj(u32),
+    /// String-handle constant.
+    ConstStr(u32),
+    /// Boolean constant.
+    ConstBool(bool),
+    /// Raw boxed word constant (`undefined`, `null`, boxed booleans).
+    ConstBoxed(u64),
+
+    // ---- trace activation record ----
+    /// Entry read of AR slot `slot` with the entry type `ty` — the trace's
+    /// φ-node. The monitor unboxes interpreter state into the AR before
+    /// entering (§6.1).
+    Import {
+        /// AR slot index.
+        slot: ArSlot,
+        /// Unboxed type of the slot.
+        ty: LirType,
+    },
+    /// Store `v` to AR slot `slot` — the paper's "stores to the interpreter
+    /// stack" (Figure 3), candidates for dead-store elimination (§5.1).
+    WriteAr {
+        /// AR slot index.
+        slot: ArSlot,
+        /// Value to store (raw word).
+        v: LirId,
+    },
+
+    // ---- integer arithmetic (unchecked: result provably in range or
+    //      wrap semantics wanted) ----
+    /// 32-bit wrapping add.
+    AddI(LirId, LirId),
+    /// 32-bit wrapping subtract.
+    SubI(LirId, LirId),
+    /// 32-bit wrapping multiply.
+    MulI(LirId, LirId),
+    /// Bitwise and.
+    AndI(LirId, LirId),
+    /// Bitwise or.
+    OrI(LirId, LirId),
+    /// Bitwise xor.
+    XorI(LirId, LirId),
+    /// Shift left (count masked to 5 bits).
+    ShlI(LirId, LirId),
+    /// Arithmetic shift right.
+    ShrI(LirId, LirId),
+    /// Logical shift right (result viewed as u32 bits).
+    UShrI(LirId, LirId),
+    /// Bitwise not.
+    NotI(LirId),
+    /// Integer negate (unchecked).
+    NegI(LirId),
+
+    // ---- checked integer arithmetic: exit when the exact result leaves
+    //      the boxable 31-bit range (§3.1 overflow guards) ----
+    /// Checked add.
+    AddIChk(LirId, LirId, ExitId),
+    /// Checked subtract.
+    SubIChk(LirId, LirId, ExitId),
+    /// Checked multiply.
+    MulIChk(LirId, LirId, ExitId),
+    /// Checked negate (also exits on -0).
+    NegIChk(LirId, ExitId),
+    /// Checked remainder (exits on zero divisor or -0 result).
+    ModIChk(LirId, LirId, ExitId),
+    /// Checked shift left (exits when the result leaves the 31-bit range).
+    ShlIChk(LirId, LirId, ExitId),
+    /// Checked unsigned shift right (exits when the u32 result leaves the
+    /// 31-bit range).
+    UShrIChk(LirId, LirId, ExitId),
+
+    // ---- double arithmetic ----
+    /// Double add.
+    AddD(LirId, LirId),
+    /// Double subtract.
+    SubD(LirId, LirId),
+    /// Double multiply.
+    MulD(LirId, LirId),
+    /// Double divide.
+    DivD(LirId, LirId),
+    /// Double remainder (fmod).
+    ModD(LirId, LirId),
+    /// Double negate.
+    NegD(LirId),
+
+    // ---- comparisons (produce Bool) ----
+    /// Integer compare.
+    EqI(LirId, LirId),
+    /// Integer compare.
+    LtI(LirId, LirId),
+    /// Integer compare.
+    LeI(LirId, LirId),
+    /// Integer compare.
+    GtI(LirId, LirId),
+    /// Integer compare.
+    GeI(LirId, LirId),
+    /// Double compare (NaN compares false).
+    EqD(LirId, LirId),
+    /// Double compare.
+    LtD(LirId, LirId),
+    /// Double compare.
+    LeD(LirId, LirId),
+    /// Double compare.
+    GtD(LirId, LirId),
+    /// Double compare.
+    GeD(LirId, LirId),
+    /// Boolean not (input Bool).
+    NotB(LirId),
+
+    // ---- conversions (§3.1: "type conversions ... are represented by
+    //      function calls" — here dedicated ops the backend may inline) ----
+    /// Exact int → double.
+    I2D(LirId),
+    /// u32 bits → double (for `>>>` results).
+    U2D(LirId),
+    /// Double → int, exiting unless the value is integral and in the
+    /// 31-bit range (used for indices and demotion).
+    D2IChk(LirId, ExitId),
+    /// JS `ToInt32` wrap of a double (deterministic, no guard).
+    D2I32(LirId),
+    /// Guard that a full-range i32 value fits the boxable 31-bit range
+    /// (used after `ToInt32` conversions whose observed results were
+    /// boxable ints); the result is the same value, typed Int-in-range.
+    ChkRangeI(LirId, ExitId),
+
+    // ---- boxing / unboxing ----
+    /// Box an int (always fits the inline representation; pure).
+    BoxI(LirId),
+    /// Box a double (allocates when non-integral).
+    BoxD(LirId),
+    /// Box a bool.
+    BoxB(LirId),
+    /// Box an object handle (pure bit tagging).
+    BoxObj(LirId),
+    /// Box a string handle (pure bit tagging).
+    BoxStr(LirId),
+    /// Unbox an int, exiting when the tag is not int.
+    UnboxI(LirId, ExitId),
+    /// Unbox a double, exiting when the tag is not double.
+    UnboxD(LirId, ExitId),
+    /// Unbox any number as double, exiting when not a number.
+    UnboxNumD(LirId, ExitId),
+    /// Unbox an object handle.
+    UnboxObj(LirId, ExitId),
+    /// Unbox a string handle.
+    UnboxStr(LirId, ExitId),
+    /// Unbox a boolean.
+    UnboxBool(LirId, ExitId),
+
+    // ---- guards ----
+    /// Exit unless the Bool operand is true.
+    GuardTrue(LirId, ExitId),
+    /// Exit unless the Bool operand is false.
+    GuardFalse(LirId, ExitId),
+    /// Exit unless the object's shape id equals `shape` (§3.1 object
+    /// representation guard).
+    GuardShape {
+        /// Object operand.
+        obj: LirId,
+        /// Required shape id.
+        shape: u32,
+        /// Exit on mismatch.
+        exit: ExitId,
+    },
+    /// Exit unless the object's class word equals `class` (Figure 3's
+    /// array check).
+    GuardClass {
+        /// Object operand.
+        obj: LirId,
+        /// Required class (`ObjectClass` as u8).
+        class: u8,
+        /// Exit on mismatch.
+        exit: ExitId,
+    },
+    /// Exit unless the boxed operand bit-equals `word` (guards observed
+    /// `null`/`undefined`/bool values and function identity).
+    GuardBoxedEq(LirId, u64, ExitId),
+    /// Exit unless `0 <= idx < elements.len()` for array `arr`.
+    GuardBound {
+        /// Array operand.
+        arr: LirId,
+        /// Int index operand.
+        idx: LirId,
+        /// Exit when out of bounds.
+        exit: ExitId,
+    },
+
+    // ---- memory ----
+    /// Read property slot `slot` of an object: one indexed load (§3.1).
+    LoadSlot(LirId, u32),
+    /// Write property slot `slot` of an object.
+    StoreSlot(LirId, u32, LirId),
+    /// Read the prototype link.
+    LoadProto(LirId),
+    /// Read dense element `idx` (must be guarded in-bounds).
+    LoadElem(LirId, LirId),
+    /// Write dense element `idx` (must be guarded in-bounds).
+    StoreElem(LirId, LirId, LirId),
+    /// Dense length of an array.
+    ArrayLen(LirId),
+    /// Length of a string.
+    StrLen(LirId),
+
+    // ---- calls ----
+    /// Call a runtime helper (§6.5 FFI; also `js_Array_set`-style runtime
+    /// services). Arguments are raw words in the helper's convention.
+    Call {
+        /// The helper to call.
+        helper: Helper,
+        /// Argument values.
+        args: Box<[LirId]>,
+        /// Result type.
+        ret: LirType,
+        /// Exit taken when the helper reports a deep bail (reentry, error).
+        exit: ExitId,
+    },
+    /// Call a nested trace tree (§4): executes the inner loop to
+    /// completion. Exits through `exit` when the inner tree left through an
+    /// unexpected side exit.
+    CallTree {
+        /// Key of the inner tree in the tree registry.
+        tree: u32,
+        /// Exit taken on unexpected inner exit.
+        exit: ExitId,
+    },
+
+    // ---- trace ends ----
+    /// Jump back to the tree anchor (type-stable loop edge). Carries the
+    /// exit used for preemption/GC bail-outs at the loop edge (§6.4).
+    LoopBack(ExitId),
+    /// Unconditional exit (type-unstable tail, or a trace that leaves the
+    /// loop).
+    End(ExitId),
+}
+
+impl Lir {
+    /// The type of the SSA value this instruction defines, or `None` for
+    /// pure effects (stores, guards, trace ends).
+    pub fn result_ty(&self) -> Option<LirType> {
+        use Lir::*;
+        Some(match self {
+            ConstI(_) => LirType::Int,
+            ConstD(_) => LirType::Double,
+            ConstObj(_) => LirType::Object,
+            ConstStr(_) => LirType::String,
+            ConstBool(_) => LirType::Bool,
+            ConstBoxed(_) => LirType::Boxed,
+            Import { ty, .. } => *ty,
+            AddI(..) | SubI(..) | MulI(..) | AndI(..) | OrI(..) | XorI(..) | ShlI(..)
+            | ShrI(..) | UShrI(..) | NotI(_) | NegI(_) => LirType::Int,
+            AddIChk(..) | SubIChk(..) | MulIChk(..) | NegIChk(..) | ModIChk(..)
+            | ShlIChk(..) | UShrIChk(..) => LirType::Int,
+            AddD(..) | SubD(..) | MulD(..) | DivD(..) | ModD(..) | NegD(_) => LirType::Double,
+            EqI(..) | LtI(..) | LeI(..) | GtI(..) | GeI(..) | EqD(..) | LtD(..) | LeD(..)
+            | GtD(..) | GeD(..) | NotB(_) => LirType::Bool,
+            I2D(_) | U2D(_) => LirType::Double,
+            D2IChk(..) | D2I32(_) | ChkRangeI(..) => LirType::Int,
+            BoxI(_) | BoxD(_) | BoxB(_) | BoxObj(_) | BoxStr(_) => LirType::Boxed,
+            UnboxI(..) => LirType::Int,
+            UnboxD(..) | UnboxNumD(..) => LirType::Double,
+            UnboxObj(..) => LirType::Object,
+            UnboxStr(..) => LirType::String,
+            UnboxBool(..) => LirType::Bool,
+            LoadSlot(..) | LoadElem(..) => LirType::Boxed,
+            LoadProto(_) => LirType::Object,
+            ArrayLen(_) | StrLen(_) => LirType::Int,
+            Call { ret, .. } => *ret,
+            WriteAr { .. } | StoreSlot(..) | StoreElem(..) | GuardTrue(..) | GuardFalse(..)
+            | GuardShape { .. } | GuardClass { .. } | GuardBoxedEq(..) | GuardBound { .. }
+            | CallTree { .. } | LoopBack(_) | End(_) => return None,
+        })
+    }
+
+    /// Whether the instruction is pure (no side effects, no guard): safe to
+    /// CSE and to remove when unused.
+    pub fn is_pure(&self) -> bool {
+        use Lir::*;
+        matches!(
+            self,
+            ConstI(_)
+                | ConstD(_)
+                | ConstObj(_)
+                | ConstStr(_)
+                | ConstBool(_)
+                | ConstBoxed(_)
+                | AddI(..)
+                | SubI(..)
+                | MulI(..)
+                | AndI(..)
+                | OrI(..)
+                | XorI(..)
+                | ShlI(..)
+                | ShrI(..)
+                | UShrI(..)
+                | NotI(_)
+                | NegI(_)
+                | AddD(..)
+                | SubD(..)
+                | MulD(..)
+                | DivD(..)
+                | ModD(..)
+                | NegD(_)
+                | EqI(..)
+                | LtI(..)
+                | LeI(..)
+                | GtI(..)
+                | GeI(..)
+                | EqD(..)
+                | LtD(..)
+                | LeD(..)
+                | GtD(..)
+                | GeD(..)
+                | NotB(_)
+                | I2D(_)
+                | U2D(_)
+                | D2I32(_)
+                | BoxI(_)
+                | BoxB(_)
+                | BoxObj(_)
+                | BoxStr(_)
+        )
+    }
+
+    /// Whether this is a guard or checked op (can take a side exit).
+    pub fn exit(&self) -> Option<ExitId> {
+        use Lir::*;
+        match self {
+            AddIChk(_, _, e) | SubIChk(_, _, e) | MulIChk(_, _, e) | ModIChk(_, _, e)
+            | ShlIChk(_, _, e) | UShrIChk(_, _, e) => Some(*e),
+            NegIChk(_, e) | D2IChk(_, e) | ChkRangeI(_, e) => Some(*e),
+            UnboxI(_, e) | UnboxD(_, e) | UnboxNumD(_, e) | UnboxObj(_, e) | UnboxStr(_, e)
+            | UnboxBool(_, e) => Some(*e),
+            GuardTrue(_, e) | GuardFalse(_, e) | GuardBoxedEq(_, _, e) => Some(*e),
+            GuardShape { exit, .. } | GuardClass { exit, .. } | GuardBound { exit, .. } => {
+                Some(*exit)
+            }
+            Call { exit, .. } | CallTree { exit, .. } => Some(*exit),
+            LoopBack(e) | End(e) => Some(*e),
+            _ => None,
+        }
+    }
+
+    /// Whether this is a memory load (invalidated by stores/calls for CSE).
+    pub fn is_load(&self) -> bool {
+        matches!(
+            self,
+            Lir::LoadSlot(..)
+                | Lir::LoadElem(..)
+                | Lir::LoadProto(_)
+                | Lir::ArrayLen(_)
+                | Lir::StrLen(_)
+        )
+    }
+
+    /// Whether this instruction writes memory or has arbitrary effects
+    /// (kills CSE'd loads).
+    pub fn clobbers_memory(&self) -> bool {
+        matches!(
+            self,
+            Lir::StoreSlot(..) | Lir::StoreElem(..) | Lir::Call { .. } | Lir::CallTree { .. }
+        )
+    }
+
+    /// Collects the operand ids into `out`.
+    pub fn operands(&self, out: &mut Vec<LirId>) {
+        use Lir::*;
+        match self {
+            ConstI(_) | ConstD(_) | ConstObj(_) | ConstStr(_) | ConstBool(_) | ConstBoxed(_)
+            | Import { .. } | CallTree { .. } | LoopBack(_) | End(_) => {}
+            WriteAr { v, .. } => out.push(*v),
+            AddI(a, b) | SubI(a, b) | MulI(a, b) | AndI(a, b) | OrI(a, b) | XorI(a, b)
+            | ShlI(a, b) | ShrI(a, b) | UShrI(a, b) | AddD(a, b) | SubD(a, b) | MulD(a, b)
+            | DivD(a, b) | ModD(a, b) | EqI(a, b) | LtI(a, b) | LeI(a, b) | GtI(a, b)
+            | GeI(a, b) | EqD(a, b) | LtD(a, b) | LeD(a, b) | GtD(a, b) | GeD(a, b) => {
+                out.push(*a);
+                out.push(*b);
+            }
+            AddIChk(a, b, _) | SubIChk(a, b, _) | MulIChk(a, b, _) | ModIChk(a, b, _)
+            | ShlIChk(a, b, _) | UShrIChk(a, b, _) => {
+                out.push(*a);
+                out.push(*b);
+            }
+            NotI(a) | NegI(a) | NegD(a) | NotB(a) | I2D(a) | U2D(a) | D2I32(a) | BoxI(a)
+            | BoxD(a) | BoxB(a) | BoxObj(a) | BoxStr(a) | NegIChk(a, _) | D2IChk(a, _)
+            | ChkRangeI(a, _) | UnboxI(a, _) | UnboxD(a, _)
+            | UnboxNumD(a, _) | UnboxObj(a, _) | UnboxStr(a, _) | UnboxBool(a, _)
+            | GuardTrue(a, _) | GuardFalse(a, _) | GuardBoxedEq(a, _, _) | LoadProto(a)
+            | ArrayLen(a) | StrLen(a) => out.push(*a),
+            GuardShape { obj, .. } | GuardClass { obj, .. } => out.push(*obj),
+            GuardBound { arr, idx, .. } => {
+                out.push(*arr);
+                out.push(*idx);
+            }
+            LoadSlot(o, _) => out.push(*o),
+            StoreSlot(o, _, v) => {
+                out.push(*o);
+                out.push(*v);
+            }
+            LoadElem(a, i) => {
+                out.push(*a);
+                out.push(*i);
+            }
+            StoreElem(a, i, v) => {
+                out.push(*a);
+                out.push(*i);
+                out.push(*v);
+            }
+            Call { args, .. } => out.extend(args.iter().copied()),
+        }
+    }
+}
+
+/// A recorded trace: linear LIR plus its entry/AR metadata.
+///
+/// The exit descriptor table itself lives with the tracer (`tm-core`),
+/// which knows how to reconstruct interpreter state; LIR only references
+/// exits by [`ExitId`].
+#[derive(Debug, Clone, Default)]
+pub struct LirTrace {
+    /// The instructions; index = SSA id.
+    pub code: Vec<Lir>,
+    /// Number of side exits referenced.
+    pub num_exits: u16,
+}
+
+impl LirTrace {
+    /// Creates an empty trace.
+    pub fn new() -> LirTrace {
+        LirTrace::default()
+    }
+
+    /// The type of SSA value `id`.
+    pub fn ty(&self, id: LirId) -> Option<LirType> {
+        self.code[id as usize].result_ty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn result_types() {
+        assert_eq!(Lir::ConstI(3).result_ty(), Some(LirType::Int));
+        assert_eq!(Lir::AddD(0, 1).result_ty(), Some(LirType::Double));
+        assert_eq!(Lir::LtI(0, 1).result_ty(), Some(LirType::Bool));
+        assert_eq!(Lir::LoadSlot(0, 2).result_ty(), Some(LirType::Boxed));
+        assert_eq!(Lir::GuardTrue(0, ExitId(0)).result_ty(), None);
+        assert_eq!(Lir::UnboxI(0, ExitId(1)).result_ty(), Some(LirType::Int));
+    }
+
+    #[test]
+    fn purity_and_exits() {
+        assert!(Lir::AddI(0, 1).is_pure());
+        assert!(!Lir::AddIChk(0, 1, ExitId(0)).is_pure());
+        assert!(!Lir::LoadSlot(0, 0).is_pure(), "loads are not CSE-pure without memory tracking");
+        assert_eq!(Lir::AddIChk(0, 1, ExitId(3)).exit(), Some(ExitId(3)));
+        assert_eq!(Lir::AddI(0, 1).exit(), None);
+        assert!(Lir::StoreElem(0, 1, 2).clobbers_memory());
+        assert!(Lir::LoadElem(0, 1).is_load());
+    }
+
+    #[test]
+    fn operand_collection() {
+        let mut out = Vec::new();
+        Lir::StoreElem(5, 6, 7).operands(&mut out);
+        assert_eq!(out, vec![5, 6, 7]);
+        out.clear();
+        Lir::Call {
+            helper: Helper::Sin,
+            args: vec![3].into_boxed_slice(),
+            ret: LirType::Double,
+            exit: ExitId(0),
+        }
+        .operands(&mut out);
+        assert_eq!(out, vec![3]);
+        out.clear();
+        Lir::ConstI(1).operands(&mut out);
+        assert!(out.is_empty());
+    }
+}

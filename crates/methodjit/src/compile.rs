@@ -1,0 +1,381 @@
+//! Bytecode → method-JIT code translation.
+//!
+//! An abstract-stack pass assigns every operand-stack position a fixed
+//! virtual register (`nlocals + depth`), eliminating push/pop traffic; the
+//! translation is otherwise a 1:1 mapping of the stack bytecode onto
+//! register instructions with pre-resolved jump targets. Values stay boxed
+//! and operations generic — a method compiler without type feedback.
+
+use std::collections::HashMap;
+
+use tm_bytecode::{Function, Op, Program};
+use tm_interp::Installed;
+use tm_runtime::ops::{BitOp, RelOp};
+use tm_runtime::Value;
+
+use crate::minst::{MFunction, MInst, MProgram, MReg};
+
+/// Compiles all functions of `prog`. `installed` supplies the rooted boxed
+/// literals.
+pub fn compile_program(prog: &Program, installed: &Installed) -> MProgram {
+    let functions =
+        prog.functions.iter().map(|f| compile_function(f, installed)).collect();
+    MProgram { functions, main: prog.main.0 }
+}
+
+fn compile_function(f: &Function, installed: &Installed) -> MFunction {
+    let nlocals = f.nlocals;
+    let mut c = FnCompiler {
+        code: Vec::with_capacity(f.code.len()),
+        bc_to_mj: vec![0; f.code.len() + 1],
+        depth_at: HashMap::new(),
+        patches: Vec::new(),
+        nlocals,
+        max_depth: 0,
+    };
+
+    let mut depth: u16 = 0;
+    let mut reachable = true;
+    for (pc, &op) in f.code.iter().enumerate() {
+        c.bc_to_mj[pc] = c.code.len() as u32;
+        if let Some(&d) = c.depth_at.get(&(pc as u32)) {
+            depth = d;
+            reachable = true;
+        }
+        if !reachable {
+            continue;
+        }
+        depth = c.translate(op, depth, installed);
+        c.max_depth = c.max_depth.max(depth);
+        if matches!(op, Op::Jump(_) | Op::Return | Op::ReturnUndef) {
+            reachable = false;
+        }
+    }
+    c.bc_to_mj[f.code.len()] = c.code.len() as u32;
+    // Defensive trailing return (the bytecode compiler always emits one).
+    if !matches!(c.code.last(), Some(MInst::Return { .. } | MInst::ReturnUndef)) {
+        c.code.push(MInst::ReturnUndef);
+    }
+    // Patch jumps.
+    for (mj_pc, bc_target) in c.patches {
+        let target = c.bc_to_mj[bc_target as usize];
+        match &mut c.code[mj_pc] {
+            MInst::Jmp { target: t }
+            | MInst::BrFalse { target: t, .. }
+            | MInst::BrTrue { target: t, .. } => *t = target,
+            other => unreachable!("patching non-branch {other:?}"),
+        }
+    }
+    MFunction {
+        code: c.code,
+        nregs: nlocals + c.max_depth + 2,
+        nparams: f.nparams,
+        nlocals,
+    }
+}
+
+struct FnCompiler {
+    code: Vec<MInst>,
+    bc_to_mj: Vec<u32>,
+    depth_at: HashMap<u32, u16>,
+    patches: Vec<(usize, u32)>,
+    nlocals: u16,
+    max_depth: u16,
+}
+
+impl FnCompiler {
+    fn reg(&self, depth: u16) -> MReg {
+        self.nlocals + depth
+    }
+
+    fn branch_to(&mut self, bc_target: u32, depth_at_target: u16) {
+        self.patches.push((self.code.len() - 1, bc_target));
+        let prev = self.depth_at.insert(bc_target, depth_at_target);
+        debug_assert!(
+            prev.is_none() || prev == Some(depth_at_target),
+            "inconsistent stack depth at branch target"
+        );
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn translate(&mut self, op: Op, depth: u16, installed: &Installed) -> u16 {
+        let d = depth;
+        match op {
+            Op::Int(i) => {
+                let v = Value::new_int(i);
+                self.code.push(MInst::Const { d: self.reg(d), v });
+                d + 1
+            }
+            Op::Num(i) => {
+                let v = installed.literals.numbers[i as usize];
+                self.code.push(MInst::Const { d: self.reg(d), v });
+                d + 1
+            }
+            Op::Str(i) => {
+                let v = installed.literals.atoms[i as usize];
+                self.code.push(MInst::Const { d: self.reg(d), v });
+                d + 1
+            }
+            Op::True => {
+                self.code.push(MInst::Const { d: self.reg(d), v: Value::TRUE });
+                d + 1
+            }
+            Op::False => {
+                self.code.push(MInst::Const { d: self.reg(d), v: Value::FALSE });
+                d + 1
+            }
+            Op::Null => {
+                self.code.push(MInst::Const { d: self.reg(d), v: Value::NULL });
+                d + 1
+            }
+            Op::Undefined => {
+                self.code.push(MInst::Const { d: self.reg(d), v: Value::UNDEFINED });
+                d + 1
+            }
+            Op::GetLocal(s) => {
+                self.code.push(MInst::Mov { d: self.reg(d), s });
+                d + 1
+            }
+            Op::SetLocal(s) => {
+                self.code.push(MInst::Mov { d: s, s: self.reg(d - 1) });
+                d - 1
+            }
+            Op::GetGlobal(slot) => {
+                self.code.push(MInst::GetGlobal { d: self.reg(d), slot });
+                d + 1
+            }
+            Op::SetGlobal(slot) => {
+                self.code.push(MInst::SetGlobal { slot, s: self.reg(d - 1) });
+                d - 1
+            }
+            Op::Pop => d - 1,
+            Op::Dup => {
+                self.code.push(MInst::Mov { d: self.reg(d), s: self.reg(d - 1) });
+                d + 1
+            }
+            Op::Swap => {
+                let (a, b, t) = (self.reg(d - 1), self.reg(d - 2), self.reg(d));
+                self.code.push(MInst::Mov { d: t, s: a });
+                self.code.push(MInst::Mov { d: a, s: b });
+                self.code.push(MInst::Mov { d: b, s: t });
+                d
+            }
+
+            Op::Add | Op::Sub | Op::Mul | Op::Div | Op::Mod => {
+                let (a, b) = (self.reg(d - 2), self.reg(d - 1));
+                let dst = a;
+                self.code.push(match op {
+                    Op::Add => MInst::Add { d: dst, a, b },
+                    Op::Sub => MInst::Sub { d: dst, a, b },
+                    Op::Mul => MInst::Mul { d: dst, a, b },
+                    Op::Div => MInst::Div { d: dst, a, b },
+                    _ => MInst::Mod { d: dst, a, b },
+                });
+                d - 1
+            }
+            Op::Neg => {
+                let a = self.reg(d - 1);
+                self.code.push(MInst::Neg { d: a, a });
+                d
+            }
+            Op::Pos => {
+                let a = self.reg(d - 1);
+                self.code.push(MInst::Pos { d: a, a });
+                d
+            }
+            Op::BitAnd | Op::BitOr | Op::BitXor | Op::Shl | Op::Shr | Op::UShr => {
+                let (a, b) = (self.reg(d - 2), self.reg(d - 1));
+                let kind = match op {
+                    Op::BitAnd => BitOp::And,
+                    Op::BitOr => BitOp::Or,
+                    Op::BitXor => BitOp::Xor,
+                    Op::Shl => BitOp::Shl,
+                    Op::Shr => BitOp::Shr,
+                    _ => BitOp::UShr,
+                };
+                self.code.push(MInst::Bit { d: a, a, b, kind });
+                d - 1
+            }
+            Op::BitNot => {
+                let a = self.reg(d - 1);
+                self.code.push(MInst::BitNot { d: a, a });
+                d
+            }
+            Op::Lt | Op::Le | Op::Gt | Op::Ge => {
+                let (a, b) = (self.reg(d - 2), self.reg(d - 1));
+                let kind = match op {
+                    Op::Lt => RelOp::Lt,
+                    Op::Le => RelOp::Le,
+                    Op::Gt => RelOp::Gt,
+                    _ => RelOp::Ge,
+                };
+                self.code.push(MInst::Rel { d: a, a, b, kind });
+                d - 1
+            }
+            Op::Eq | Op::Ne => {
+                let (a, b) = (self.reg(d - 2), self.reg(d - 1));
+                self.code.push(MInst::Eq { d: a, a, b, ne: matches!(op, Op::Ne) });
+                d - 1
+            }
+            Op::StrictEq | Op::StrictNe => {
+                let (a, b) = (self.reg(d - 2), self.reg(d - 1));
+                self.code
+                    .push(MInst::StrictEq { d: a, a, b, ne: matches!(op, Op::StrictNe) });
+                d - 1
+            }
+            Op::Not => {
+                let a = self.reg(d - 1);
+                self.code.push(MInst::Not { d: a, a });
+                d
+            }
+            Op::Typeof => {
+                let a = self.reg(d - 1);
+                self.code.push(MInst::Typeof { d: a, a });
+                d
+            }
+
+            Op::NewArray(n) => {
+                let start = self.reg(d - n);
+                self.code.push(MInst::NewArray { d: start, start, count: n });
+                d - n + 1
+            }
+            Op::NewObject => {
+                self.code.push(MInst::NewObject { d: self.reg(d) });
+                d + 1
+            }
+            Op::InitProp(sym) => {
+                self.code.push(MInst::SetProp {
+                    o: self.reg(d - 2),
+                    sym,
+                    s: self.reg(d - 1),
+                });
+                d - 1
+            }
+            Op::GetProp(sym) => {
+                let o = self.reg(d - 1);
+                self.code.push(MInst::GetProp { d: o, o, sym });
+                d
+            }
+            Op::SetProp(sym) => {
+                let (o, s) = (self.reg(d - 2), self.reg(d - 1));
+                self.code.push(MInst::SetProp { o, sym, s });
+                self.code.push(MInst::Mov { d: o, s });
+                d - 1
+            }
+            Op::GetElem => {
+                let (o, i) = (self.reg(d - 2), self.reg(d - 1));
+                self.code.push(MInst::GetElem { d: o, o, i });
+                d - 1
+            }
+            Op::SetElem => {
+                let (o, i, s) = (self.reg(d - 3), self.reg(d - 2), self.reg(d - 1));
+                self.code.push(MInst::SetElem { o, i, s });
+                self.code.push(MInst::Mov { d: o, s });
+                d - 2
+            }
+
+            Op::Call(argc) => {
+                let callee = self.reg(d - u16::from(argc) - 2);
+                self.code.push(MInst::Call { d: callee, callee, argc });
+                d - u16::from(argc) - 1
+            }
+            Op::New(argc) => {
+                let callee = self.reg(d - u16::from(argc) - 1);
+                self.code.push(MInst::New { d: callee, callee, argc });
+                d - u16::from(argc)
+            }
+            Op::Return => {
+                self.code.push(MInst::Return { s: self.reg(d - 1) });
+                d - 1
+            }
+            Op::ReturnUndef => {
+                self.code.push(MInst::ReturnUndef);
+                d
+            }
+
+            Op::Jump(t) => {
+                self.code.push(MInst::Jmp { target: 0 });
+                self.branch_to(t, d);
+                d
+            }
+            Op::JumpIfFalse(t) => {
+                self.code.push(MInst::BrFalse { s: self.reg(d - 1), target: 0 });
+                self.branch_to(t, d - 1);
+                d - 1
+            }
+            Op::JumpIfTrue(t) => {
+                self.code.push(MInst::BrTrue { s: self.reg(d - 1), target: 0 });
+                self.branch_to(t, d - 1);
+                d - 1
+            }
+            Op::AndJump(t) => {
+                self.code.push(MInst::BrFalse { s: self.reg(d - 1), target: 0 });
+                self.branch_to(t, d);
+                d - 1
+            }
+            Op::OrJump(t) => {
+                self.code.push(MInst::BrTrue { s: self.reg(d - 1), target: 0 });
+                self.branch_to(t, d);
+                d - 1
+            }
+            Op::LoopHeader(_) => {
+                self.code.push(MInst::LoopHead);
+                d
+            }
+            Op::Nop => d,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_runtime::Realm;
+
+    fn compile_src(src: &str) -> (MProgram, tm_bytecode::Program) {
+        let ast = tm_frontend::parse(src).unwrap();
+        let mut realm = Realm::new();
+        let prog = tm_bytecode::compile(&ast, &mut realm).unwrap();
+        let installed = tm_interp::install(&prog, &mut realm);
+        let m = compile_program(&prog, &installed);
+        (m, prog)
+    }
+
+    #[test]
+    fn straight_line_register_assignment() {
+        let (m, _) = compile_src("var x = 1 + 2 * 3;");
+        let main = &m.functions[0];
+        assert!(main.code.iter().any(|i| matches!(i, MInst::Mul { .. })));
+        assert!(main.code.iter().any(|i| matches!(i, MInst::Add { .. })));
+        assert!(matches!(main.code.last(), Some(MInst::Return { .. })));
+    }
+
+    #[test]
+    fn loops_have_resolved_back_edges() {
+        let (m, _) = compile_src("var i = 0; while (i < 10) i++;");
+        let main = &m.functions[0];
+        let heads: Vec<usize> = main
+            .code
+            .iter()
+            .enumerate()
+            .filter(|(_, i)| matches!(i, MInst::LoopHead))
+            .map(|(p, _)| p)
+            .collect();
+        assert_eq!(heads.len(), 1);
+        // Some jump targets the loop head.
+        let jumps_back = main.code.iter().any(|i| match i {
+            MInst::Jmp { target } | MInst::BrTrue { target, .. } => {
+                *target as usize == heads[0]
+            }
+            _ => false,
+        });
+        assert!(jumps_back, "back edge must target the loop head:\n{:#?}", main.code);
+    }
+
+    #[test]
+    fn branch_depths_are_consistent() {
+        // The ternary creates a join with one value on the stack.
+        let (m, _) = compile_src("var x = 1; var y = x ? x + 1 : x - 1; y");
+        assert!(m.functions[0].nregs >= m.functions[0].nlocals + 2);
+    }
+}

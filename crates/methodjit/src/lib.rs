@@ -1,0 +1,21 @@
+//! # tm-methodjit
+//!
+//! A method-at-a-time compiler baseline — the stand-in for the paper's
+//! Figure 10 comparison against Google V8 (2009-era: whole-method
+//! compilation of generic, dynamically-dispatched code, no type feedback).
+//!
+//! Functions are compiled ahead of their first call into register code
+//! over boxed values ([`compile`]), executed by a frame-based runner
+//! ([`exec::MethodVm`]). Compared to the interpreter it eliminates decode
+//! and operand-stack traffic; compared to the tracing JIT it keeps every
+//! operation generic — exactly the trade-off the paper's evaluation
+//! explores ("tracing wins on type-stable loops; the method compiler wins
+//! where traces cannot be formed").
+
+pub mod compile;
+pub mod exec;
+pub mod minst;
+
+pub use compile::compile_program;
+pub use exec::MethodVm;
+pub use minst::{MFunction, MInst, MProgram};

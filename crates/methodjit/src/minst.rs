@@ -1,0 +1,110 @@
+//! The method JIT's instruction set.
+//!
+//! The method-at-a-time comparator (the paper's Figure 10 V8 baseline, a
+//! 2009-era method compiler) compiles **whole functions** ahead of
+//! execution into register code over **boxed** values: interpreter decode
+//! and operand-stack traffic are gone, but every operation still performs
+//! dynamic type dispatch — the profile the paper contrasts tracing
+//! against. No type specialization, no guards, no deoptimization.
+
+use tm_runtime::{Sym, Value};
+
+/// A virtual register within a frame (locals first, then expression
+/// temporaries assigned by abstract-stack scheduling).
+pub type MReg = u16;
+
+/// One method-JIT instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MInst {
+    /// Load a (pre-boxed, rooted) constant.
+    Const { d: MReg, v: Value },
+    /// Register move.
+    Mov { d: MReg, s: MReg },
+    /// Read a realm global.
+    GetGlobal { d: MReg, slot: u32 },
+    /// Write a realm global.
+    SetGlobal { slot: u32, s: MReg },
+
+    /// Generic `+` (add or concatenate).
+    Add { d: MReg, a: MReg, b: MReg },
+    /// Generic binary `-`.
+    Sub { d: MReg, a: MReg, b: MReg },
+    /// Generic `*`.
+    Mul { d: MReg, a: MReg, b: MReg },
+    /// Generic `/`.
+    Div { d: MReg, a: MReg, b: MReg },
+    /// Generic `%`.
+    Mod { d: MReg, a: MReg, b: MReg },
+    /// Generic unary `-`.
+    Neg { d: MReg, a: MReg },
+    /// Generic unary `+` (ToNumber).
+    Pos { d: MReg, a: MReg },
+    /// Generic bitwise op (kind selects which).
+    Bit { d: MReg, a: MReg, b: MReg, kind: tm_runtime::ops::BitOp },
+    /// Generic `~`.
+    BitNot { d: MReg, a: MReg },
+    /// Generic relational op.
+    Rel { d: MReg, a: MReg, b: MReg, kind: tm_runtime::ops::RelOp },
+    /// Loose equality (negated when `ne`).
+    Eq { d: MReg, a: MReg, b: MReg, ne: bool },
+    /// Strict equality (negated when `ne`).
+    StrictEq { d: MReg, a: MReg, b: MReg, ne: bool },
+    /// Logical not.
+    Not { d: MReg, a: MReg },
+    /// `typeof`.
+    Typeof { d: MReg, a: MReg },
+
+    /// Allocate an array from a contiguous register range.
+    NewArray { d: MReg, start: MReg, count: u16 },
+    /// Allocate an empty object.
+    NewObject { d: MReg },
+    /// Property read.
+    GetProp { d: MReg, o: MReg, sym: Sym },
+    /// Property write.
+    SetProp { o: MReg, sym: Sym, s: MReg },
+    /// Indexed read.
+    GetElem { d: MReg, o: MReg, i: MReg },
+    /// Indexed write.
+    SetElem { o: MReg, i: MReg, s: MReg },
+
+    /// Call: `callee` and `this` precede `argc` contiguous argument regs.
+    Call { d: MReg, callee: MReg, argc: u8 },
+    /// Construct: `callee` precedes `argc` contiguous argument regs.
+    New { d: MReg, callee: MReg, argc: u8 },
+    /// Return a register's value.
+    Return { s: MReg },
+    /// Return `undefined`.
+    ReturnUndef,
+
+    /// Unconditional jump (MJ pc).
+    Jmp { target: u32 },
+    /// Branch when falsy.
+    BrFalse { s: MReg, target: u32 },
+    /// Branch when truthy.
+    BrTrue { s: MReg, target: u32 },
+    /// Loop header: preemption + GC safe point.
+    LoopHead,
+}
+
+/// A compiled function.
+#[derive(Debug, Clone)]
+pub struct MFunction {
+    /// Instructions.
+    pub code: Vec<MInst>,
+    /// Total registers (locals + temporaries).
+    pub nregs: u16,
+    /// Declared parameter count.
+    pub nparams: u16,
+    /// Number of local slots (this + params + vars) — the prefix of the
+    /// register file filled at call time.
+    pub nlocals: u16,
+}
+
+/// A compiled program.
+#[derive(Debug, Clone)]
+pub struct MProgram {
+    /// Per-function code, parallel to the bytecode function table.
+    pub functions: Vec<MFunction>,
+    /// Entry function index.
+    pub main: u32,
+}

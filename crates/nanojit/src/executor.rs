@@ -1,0 +1,724 @@
+//! Executor for compiled trace fragments.
+//!
+//! Executes the virtual ISA against a trace activation record and the
+//! realm. Guards that fail consult the fragment's exit-target table: a
+//! stitched exit transfers directly into a branch fragment (the paper's
+//! trace stitching, §6.2 — values pass through the activation record,
+//! which is exactly what the exiting trace's live `WriteAr`s populated);
+//! an unstitched exit returns control to the trace monitor.
+
+use tm_runtime::trace_helpers::{call_helper, f64_from_word, i32_from_word, word_from_f64};
+use tm_runtime::value::{INT_MAX, INT_MIN};
+use tm_runtime::{ObjectId, Realm, RuntimeError, StringId, Value};
+
+use crate::machinst::{ExitTarget, Fragment, MachInst};
+
+/// Host callback for nested-tree calls (§4). Implemented by the trace
+/// monitor, which owns the tree registry and the interpreter state needed
+/// to transfer between activation records.
+pub trait TreeHost {
+    /// Executes inner tree `tree` to completion.
+    ///
+    /// Returns `Ok(true)` when the inner tree exited through its expected
+    /// loop-edge exit (the nesting guard holds), `Ok(false)` for any other
+    /// inner side exit (the outer trace must side-exit).
+    ///
+    /// # Errors
+    ///
+    /// Propagates guest errors raised while running the inner tree.
+    fn call_tree(
+        &mut self,
+        tree: u32,
+        ar: &mut [u64],
+        realm: &mut Realm,
+    ) -> Result<bool, RuntimeError>;
+}
+
+/// A no-op host for trees without nested calls.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoNesting;
+
+impl TreeHost for NoNesting {
+    fn call_tree(
+        &mut self,
+        _tree: u32,
+        _ar: &mut [u64],
+        _realm: &mut Realm,
+    ) -> Result<bool, RuntimeError> {
+        Err(RuntimeError::Other("unexpected nested tree call".into()))
+    }
+}
+
+/// Why trace execution stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceExit {
+    /// Fragment index (within the executed tree) that exited.
+    pub fragment: u32,
+    /// The exit id taken.
+    pub exit: u16,
+    /// Machine instructions executed during this run.
+    pub insts: u64,
+    /// Completed loop-edge crossings (LoopBack executions).
+    pub iterations: u64,
+}
+
+#[inline]
+fn fits_i31(v: i64) -> bool {
+    (INT_MIN..=INT_MAX).contains(&v)
+}
+
+/// Executes `fragments[start]` (and any fragments reachable through
+/// stitched exits and loop-backs) until an unstitched exit is taken.
+///
+/// `ar` is the trace activation record: unboxed words per the tree's slot
+/// layout, already populated by the monitor.
+///
+/// # Errors
+///
+/// Propagates [`RuntimeError`]s raised by helper calls; such errors abort
+/// the whole guest program (the interpreter state cannot be reconstructed
+/// mid-trace, and the error terminates execution anyway).
+#[allow(clippy::too_many_lines)]
+pub fn execute(
+    fragments: &[Fragment],
+    start: u32,
+    ar: &mut [u64],
+    realm: &mut Realm,
+    host: &mut dyn TreeHost,
+    fuel: u64,
+) -> Result<TraceExit, RuntimeError> {
+    let mut frag_idx = start;
+    let mut frag = &fragments[frag_idx as usize];
+    let mut pc = 0usize;
+    // One past NREGS so masked indexing (`& 15`) elides bounds checks in
+    // the hot dispatch loop.
+    let mut regs = [0u64; 16];
+    let mut spill = vec![0u64; frag.num_spills as usize];
+    let mut insts: u64 = 0;
+    let mut iterations: u64 = 0;
+    let mut helper_args: Vec<u64> = Vec::with_capacity(8);
+
+    macro_rules! take_exit {
+        ($exit:expr) => {{
+            let e = $exit;
+            match frag.exit_targets[e as usize] {
+                ExitTarget::Return => {
+                    return Ok(TraceExit { fragment: frag_idx, exit: e, insts, iterations });
+                }
+                ExitTarget::Fragment(f) => {
+                    // Trace stitching: continue in the branch fragment.
+                    frag_idx = f;
+                    frag = &fragments[frag_idx as usize];
+                    if spill.len() < frag.num_spills as usize {
+                        spill.resize(frag.num_spills as usize, 0);
+                    }
+                    pc = 0;
+                    continue;
+                }
+            }
+        }};
+    }
+
+    loop {
+        let inst = &frag.code[pc];
+        pc += 1;
+        insts += 1;
+        match *inst {
+            MachInst::ConstW { d, w } => regs[(d & 15) as usize] = w,
+            MachInst::Mov { d, s } => regs[(d & 15) as usize] = regs[(s & 15) as usize],
+            MachInst::LoadSpill { d, slot } => regs[(d & 15) as usize] = spill[slot as usize],
+            MachInst::StoreSpill { slot, s } => spill[slot as usize] = regs[(s & 15) as usize],
+            MachInst::ReadAr { d, slot } => regs[(d & 15) as usize] = ar[slot as usize],
+            MachInst::WriteAr { slot, s } => ar[slot as usize] = regs[(s & 15) as usize],
+
+            MachInst::AddI { d, a, b } => {
+                regs[(d & 15) as usize] = i64::from(
+                    i32_from_word(regs[(a & 15) as usize]).wrapping_add(i32_from_word(regs[(b & 15) as usize])),
+                ) as u64;
+            }
+            MachInst::SubI { d, a, b } => {
+                regs[(d & 15) as usize] = i64::from(
+                    i32_from_word(regs[(a & 15) as usize]).wrapping_sub(i32_from_word(regs[(b & 15) as usize])),
+                ) as u64;
+            }
+            MachInst::MulI { d, a, b } => {
+                regs[(d & 15) as usize] = i64::from(
+                    i32_from_word(regs[(a & 15) as usize]).wrapping_mul(i32_from_word(regs[(b & 15) as usize])),
+                ) as u64;
+            }
+            MachInst::AndI { d, a, b } => {
+                regs[(d & 15) as usize] =
+                    i64::from(i32_from_word(regs[(a & 15) as usize]) & i32_from_word(regs[(b & 15) as usize]))
+                        as u64;
+            }
+            MachInst::OrI { d, a, b } => {
+                regs[(d & 15) as usize] =
+                    i64::from(i32_from_word(regs[(a & 15) as usize]) | i32_from_word(regs[(b & 15) as usize]))
+                        as u64;
+            }
+            MachInst::XorI { d, a, b } => {
+                regs[(d & 15) as usize] =
+                    i64::from(i32_from_word(regs[(a & 15) as usize]) ^ i32_from_word(regs[(b & 15) as usize]))
+                        as u64;
+            }
+            MachInst::ShlI { d, a, b } => {
+                let sh = (i32_from_word(regs[(b & 15) as usize]) & 31) as u32;
+                regs[(d & 15) as usize] =
+                    i64::from(i32_from_word(regs[(a & 15) as usize]).wrapping_shl(sh)) as u64;
+            }
+            MachInst::ShrI { d, a, b } => {
+                let sh = (i32_from_word(regs[(b & 15) as usize]) & 31) as u32;
+                regs[(d & 15) as usize] =
+                    i64::from(i32_from_word(regs[(a & 15) as usize]).wrapping_shr(sh)) as u64;
+            }
+            MachInst::UShrI { d, a, b } => {
+                let sh = (i32_from_word(regs[(b & 15) as usize]) & 31) as u32;
+                regs[(d & 15) as usize] =
+                    i64::from((i32_from_word(regs[(a & 15) as usize]) as u32).wrapping_shr(sh) as i32)
+                        as u64;
+            }
+            MachInst::NotI { d, a } => {
+                regs[(d & 15) as usize] = i64::from(!i32_from_word(regs[(a & 15) as usize])) as u64;
+            }
+            MachInst::NegI { d, a } => {
+                regs[(d & 15) as usize] =
+                    i64::from(i32_from_word(regs[(a & 15) as usize]).wrapping_neg()) as u64;
+            }
+
+            MachInst::AddIChk { d, a, b, exit } => {
+                let r = i64::from(i32_from_word(regs[(a & 15) as usize]))
+                    + i64::from(i32_from_word(regs[(b & 15) as usize]));
+                if !fits_i31(r) {
+                    take_exit!(exit);
+                }
+                regs[(d & 15) as usize] = r as u64;
+            }
+            MachInst::SubIChk { d, a, b, exit } => {
+                let r = i64::from(i32_from_word(regs[(a & 15) as usize]))
+                    - i64::from(i32_from_word(regs[(b & 15) as usize]));
+                if !fits_i31(r) {
+                    take_exit!(exit);
+                }
+                regs[(d & 15) as usize] = r as u64;
+            }
+            MachInst::MulIChk { d, a, b, exit } => {
+                let x = i64::from(i32_from_word(regs[(a & 15) as usize]));
+                let y = i64::from(i32_from_word(regs[(b & 15) as usize]));
+                let r = x * y;
+                // -0 results need the double path.
+                if !fits_i31(r) || (r == 0 && (x < 0 || y < 0)) {
+                    take_exit!(exit);
+                }
+                regs[(d & 15) as usize] = r as u64;
+            }
+            MachInst::NegIChk { d, a, exit } => {
+                let x = i64::from(i32_from_word(regs[(a & 15) as usize]));
+                let r = -x;
+                if x == 0 || !fits_i31(r) {
+                    take_exit!(exit);
+                }
+                regs[(d & 15) as usize] = r as u64;
+            }
+            MachInst::ModIChk { d, a, b, exit } => {
+                let x = i32_from_word(regs[(a & 15) as usize]);
+                let y = i32_from_word(regs[(b & 15) as usize]);
+                if y == 0 {
+                    take_exit!(exit);
+                }
+                let r = x.wrapping_rem(y);
+                if r == 0 && x < 0 {
+                    take_exit!(exit);
+                }
+                regs[(d & 15) as usize] = i64::from(r) as u64;
+            }
+            MachInst::ShlIChk { d, a, b, exit } => {
+                let sh = (i32_from_word(regs[(b & 15) as usize]) & 31) as u32;
+                let r = i32_from_word(regs[(a & 15) as usize]).wrapping_shl(sh);
+                if !fits_i31(i64::from(r)) {
+                    take_exit!(exit);
+                }
+                regs[(d & 15) as usize] = i64::from(r) as u64;
+            }
+            MachInst::UShrIChk { d, a, b, exit } => {
+                let sh = (i32_from_word(regs[(b & 15) as usize]) & 31) as u32;
+                let r = (i32_from_word(regs[(a & 15) as usize]) as u32).wrapping_shr(sh);
+                if i64::from(r) > INT_MAX {
+                    take_exit!(exit);
+                }
+                regs[(d & 15) as usize] = u64::from(r);
+            }
+
+            MachInst::AddD { d, a, b } => {
+                regs[(d & 15) as usize] = word_from_f64(
+                    f64_from_word(regs[(a & 15) as usize]) + f64_from_word(regs[(b & 15) as usize]),
+                );
+            }
+            MachInst::SubD { d, a, b } => {
+                regs[(d & 15) as usize] = word_from_f64(
+                    f64_from_word(regs[(a & 15) as usize]) - f64_from_word(regs[(b & 15) as usize]),
+                );
+            }
+            MachInst::MulD { d, a, b } => {
+                regs[(d & 15) as usize] = word_from_f64(
+                    f64_from_word(regs[(a & 15) as usize]) * f64_from_word(regs[(b & 15) as usize]),
+                );
+            }
+            MachInst::DivD { d, a, b } => {
+                regs[(d & 15) as usize] = word_from_f64(
+                    f64_from_word(regs[(a & 15) as usize]) / f64_from_word(regs[(b & 15) as usize]),
+                );
+            }
+            MachInst::ModD { d, a, b } => {
+                regs[(d & 15) as usize] = word_from_f64(
+                    f64_from_word(regs[(a & 15) as usize]) % f64_from_word(regs[(b & 15) as usize]),
+                );
+            }
+            MachInst::NegD { d, a } => {
+                regs[(d & 15) as usize] = word_from_f64(-f64_from_word(regs[(a & 15) as usize]));
+            }
+
+            MachInst::EqI { d, a, b } => {
+                regs[(d & 15) as usize] =
+                    u64::from(i32_from_word(regs[(a & 15) as usize]) == i32_from_word(regs[(b & 15) as usize]));
+            }
+            MachInst::LtI { d, a, b } => {
+                regs[(d & 15) as usize] =
+                    u64::from(i32_from_word(regs[(a & 15) as usize]) < i32_from_word(regs[(b & 15) as usize]));
+            }
+            MachInst::LeI { d, a, b } => {
+                regs[(d & 15) as usize] =
+                    u64::from(i32_from_word(regs[(a & 15) as usize]) <= i32_from_word(regs[(b & 15) as usize]));
+            }
+            MachInst::GtI { d, a, b } => {
+                regs[(d & 15) as usize] =
+                    u64::from(i32_from_word(regs[(a & 15) as usize]) > i32_from_word(regs[(b & 15) as usize]));
+            }
+            MachInst::GeI { d, a, b } => {
+                regs[(d & 15) as usize] =
+                    u64::from(i32_from_word(regs[(a & 15) as usize]) >= i32_from_word(regs[(b & 15) as usize]));
+            }
+            MachInst::EqD { d, a, b } => {
+                regs[(d & 15) as usize] =
+                    u64::from(f64_from_word(regs[(a & 15) as usize]) == f64_from_word(regs[(b & 15) as usize]));
+            }
+            MachInst::LtD { d, a, b } => {
+                regs[(d & 15) as usize] =
+                    u64::from(f64_from_word(regs[(a & 15) as usize]) < f64_from_word(regs[(b & 15) as usize]));
+            }
+            MachInst::LeD { d, a, b } => {
+                regs[(d & 15) as usize] =
+                    u64::from(f64_from_word(regs[(a & 15) as usize]) <= f64_from_word(regs[(b & 15) as usize]));
+            }
+            MachInst::GtD { d, a, b } => {
+                regs[(d & 15) as usize] =
+                    u64::from(f64_from_word(regs[(a & 15) as usize]) > f64_from_word(regs[(b & 15) as usize]));
+            }
+            MachInst::GeD { d, a, b } => {
+                regs[(d & 15) as usize] =
+                    u64::from(f64_from_word(regs[(a & 15) as usize]) >= f64_from_word(regs[(b & 15) as usize]));
+            }
+            MachInst::NotB { d, a } => {
+                regs[(d & 15) as usize] = u64::from(regs[(a & 15) as usize] == 0);
+            }
+
+            MachInst::I2D { d, a } => {
+                regs[(d & 15) as usize] =
+                    word_from_f64(f64::from(i32_from_word(regs[(a & 15) as usize])));
+            }
+            MachInst::U2D { d, a } => {
+                regs[(d & 15) as usize] =
+                    word_from_f64(f64::from(i32_from_word(regs[(a & 15) as usize]) as u32));
+            }
+            MachInst::D2IChk { d, a, exit } => {
+                let x = f64_from_word(regs[(a & 15) as usize]);
+                if x.fract() != 0.0
+                    || !fits_i31(x as i64)
+                    || x.is_nan()
+                    || (x == 0.0 && x.is_sign_negative())
+                {
+                    take_exit!(exit);
+                }
+                regs[(d & 15) as usize] = i64::from(x as i32) as u64;
+            }
+            MachInst::D2I32 { d, a } => {
+                regs[(d & 15) as usize] = i64::from(tm_runtime::ops::double_to_int32(f64_from_word(
+                    regs[(a & 15) as usize],
+                ))) as u64;
+            }
+
+            MachInst::ChkRangeI { d, a, exit } => {
+                let x = i64::from(i32_from_word(regs[(a & 15) as usize]));
+                if !fits_i31(x) {
+                    take_exit!(exit);
+                }
+                regs[(d & 15) as usize] = x as u64;
+            }
+            MachInst::BoxI { d, a } => {
+                regs[(d & 15) as usize] =
+                    realm.heap.number_i32(i32_from_word(regs[(a & 15) as usize])).raw();
+            }
+            MachInst::BoxD { d, a } => {
+                let v = realm.heap.number(f64_from_word(regs[(a & 15) as usize]));
+                if realm.heap.should_collect() {
+                    realm.heap.gc_pending = true;
+                }
+                regs[(d & 15) as usize] = v.raw();
+            }
+            MachInst::BoxB { d, a } => {
+                regs[(d & 15) as usize] = Value::new_bool(regs[(a & 15) as usize] != 0).raw();
+            }
+            MachInst::BoxObj { d, a } => {
+                regs[(d & 15) as usize] = Value::new_object(ObjectId(regs[(a & 15) as usize] as u32)).raw();
+            }
+            MachInst::BoxStr { d, a } => {
+                regs[(d & 15) as usize] = Value::new_string(StringId(regs[(a & 15) as usize] as u32)).raw();
+            }
+            MachInst::UnboxI { d, a, exit } => {
+                match Value::from_raw(regs[(a & 15) as usize]).as_int() {
+                    Some(i) => regs[(d & 15) as usize] = i64::from(i) as u64,
+                    None => take_exit!(exit),
+                }
+            }
+            MachInst::UnboxD { d, a, exit } => {
+                let v = Value::from_raw(regs[(a & 15) as usize]);
+                match v.as_double_id() {
+                    Some(id) => regs[(d & 15) as usize] = word_from_f64(realm.heap.double(id)),
+                    None => take_exit!(exit),
+                }
+            }
+            MachInst::UnboxNumD { d, a, exit } => {
+                let v = Value::from_raw(regs[(a & 15) as usize]);
+                match realm.heap.number_value(v) {
+                    Some(x) => regs[(d & 15) as usize] = word_from_f64(x),
+                    None => take_exit!(exit),
+                }
+            }
+            MachInst::UnboxObj { d, a, exit } => {
+                match Value::from_raw(regs[(a & 15) as usize]).as_object() {
+                    Some(id) => regs[(d & 15) as usize] = u64::from(id.0),
+                    None => take_exit!(exit),
+                }
+            }
+            MachInst::UnboxStr { d, a, exit } => {
+                match Value::from_raw(regs[(a & 15) as usize]).as_string() {
+                    Some(id) => regs[(d & 15) as usize] = u64::from(id.0),
+                    None => take_exit!(exit),
+                }
+            }
+            MachInst::UnboxBool { d, a, exit } => {
+                match Value::from_raw(regs[(a & 15) as usize]).as_bool() {
+                    Some(b) => regs[(d & 15) as usize] = u64::from(b),
+                    None => take_exit!(exit),
+                }
+            }
+
+            MachInst::GuardTrue { s, exit } => {
+                if regs[(s & 15) as usize] == 0 {
+                    take_exit!(exit);
+                }
+            }
+            MachInst::GuardFalse { s, exit } => {
+                if regs[(s & 15) as usize] != 0 {
+                    take_exit!(exit);
+                }
+            }
+            MachInst::GuardShape { obj, shape, exit } => {
+                let o = ObjectId(regs[(obj & 15) as usize] as u32);
+                if realm.heap.object(o).shape.0 != shape {
+                    take_exit!(exit);
+                }
+            }
+            MachInst::GuardClass { obj, class, exit } => {
+                let o = ObjectId(regs[(obj & 15) as usize] as u32);
+                if realm.heap.object(o).class as u8 != class {
+                    take_exit!(exit);
+                }
+            }
+            MachInst::GuardBoxedEq { s, w, exit } => {
+                if regs[(s & 15) as usize] != w {
+                    take_exit!(exit);
+                }
+            }
+            MachInst::GuardBound { arr, idx, exit } => {
+                let o = ObjectId(regs[(arr & 15) as usize] as u32);
+                let i = i32_from_word(regs[(idx & 15) as usize]);
+                if i < 0 || i as usize >= realm.heap.object(o).elements.len() {
+                    take_exit!(exit);
+                }
+            }
+
+            MachInst::LoadSlot { d, o, slot } => {
+                let oid = ObjectId(regs[(o & 15) as usize] as u32);
+                regs[(d & 15) as usize] = realm.heap.object(oid).slots[slot as usize].raw();
+            }
+            MachInst::StoreSlot { o, slot, s } => {
+                let oid = ObjectId(regs[(o & 15) as usize] as u32);
+                realm.heap.object_mut(oid).slots[slot as usize] =
+                    Value::from_raw(regs[(s & 15) as usize]);
+            }
+            MachInst::LoadProto { d, o } => {
+                let oid = ObjectId(regs[(o & 15) as usize] as u32);
+                let proto = realm.heap.object(oid).proto.expect("proto guarded by recording");
+                regs[(d & 15) as usize] = u64::from(proto.0);
+            }
+            MachInst::LoadElem { d, a, i } => {
+                let oid = ObjectId(regs[(a & 15) as usize] as u32);
+                let idx = i32_from_word(regs[(i & 15) as usize]) as usize;
+                regs[(d & 15) as usize] = realm.heap.object(oid).elements[idx].raw();
+            }
+            MachInst::StoreElem { a, i, s } => {
+                let oid = ObjectId(regs[(a & 15) as usize] as u32);
+                let idx = i32_from_word(regs[(i & 15) as usize]) as u32;
+                let v = Value::from_raw(regs[(s & 15) as usize]);
+                realm.heap.object_mut(oid).set_element(idx, v);
+            }
+            MachInst::ArrayLen { d, a } => {
+                let oid = ObjectId(regs[(a & 15) as usize] as u32);
+                regs[(d & 15) as usize] = u64::from(realm.heap.object(oid).array_length());
+            }
+            MachInst::StrLen { d, a } => {
+                let sid = StringId(regs[(a & 15) as usize] as u32);
+                regs[(d & 15) as usize] = realm.heap.string(sid).len() as u64;
+            }
+
+            MachInst::CallHelper { d, helper, ref args, exit } => {
+                helper_args.clear();
+                helper_args.extend(args.iter().map(|&r| regs[(r & 15) as usize]));
+                let result = call_helper(realm, helper, &helper_args)?;
+                regs[(d & 15) as usize] = result;
+                if realm.reentered_during_trace {
+                    // §6.5: a reentrant external call forces the trace to
+                    // exit immediately after the call returns.
+                    realm.reentered_during_trace = false;
+                    take_exit!(exit);
+                }
+            }
+            MachInst::CallTree { tree, exit } => {
+                if !host.call_tree(tree, ar, realm)? {
+                    take_exit!(exit);
+                }
+            }
+            MachInst::LoopBack { exit } => {
+                iterations += 1;
+                if realm.interrupt || realm.heap.gc_pending || insts >= fuel {
+                    // Preemption flag guard at every loop edge (§6.4) and
+                    // the deferred-GC safe point.
+                    take_exit!(exit);
+                }
+                frag_idx = 0;
+                frag = &fragments[0];
+                if spill.len() < frag.num_spills as usize {
+                    spill.resize(frag.num_spills as usize, 0);
+                }
+                pc = 0;
+            }
+            MachInst::End { exit } => take_exit!(exit),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assembler::assemble;
+    use tm_lir::{FilterOptions, Lir, LirBuffer, LirType};
+
+    /// Builds the classic counting loop: slot0 += 1 until slot0 >= slot1.
+    fn counting_tree() -> Vec<Fragment> {
+        let mut b = LirBuffer::new(FilterOptions::default());
+        let i = b.emit(Lir::Import { slot: 0, ty: LirType::Int });
+        let limit = b.emit(Lir::Import { slot: 1, ty: LirType::Int });
+        let one = b.emit(Lir::ConstI(1));
+        let e_ovf = b.alloc_exit();
+        let next = b.emit(Lir::AddIChk(i, one, e_ovf));
+        b.emit(Lir::WriteAr { slot: 0, v: next });
+        let cond = b.emit(Lir::LtI(next, limit));
+        let e_done = b.alloc_exit();
+        b.emit(Lir::GuardTrue(cond, e_done));
+        let e_loop = b.alloc_exit();
+        b.emit(Lir::LoopBack(e_loop));
+        vec![assemble(b.trace())]
+    }
+
+    #[test]
+    fn loop_executes_to_exit() {
+        let frags = counting_tree();
+        let mut realm = Realm::new();
+        let mut ar = vec![0u64, 100u64];
+        let exit = execute(&frags, 0, &mut ar, &mut realm, &mut NoNesting, u64::MAX).unwrap();
+        assert_eq!(exit.exit, 1, "loop-done guard exit");
+        assert_eq!(ar[0] as i64, 100);
+        assert_eq!(exit.iterations, 99);
+        assert!(exit.insts > 300, "about 7 insts x 100 iterations");
+    }
+
+    #[test]
+    fn overflow_guard_exits() {
+        // An unconditional increment loop: the only way out is the
+        // 31-bit overflow guard (§3.1's integer overflow speculation).
+        let mut b = LirBuffer::new(FilterOptions::default());
+        let i = b.emit(Lir::Import { slot: 0, ty: LirType::Int });
+        let one = b.emit(Lir::ConstI(1));
+        let e_ovf = b.alloc_exit();
+        let next = b.emit(Lir::AddIChk(i, one, e_ovf));
+        b.emit(Lir::WriteAr { slot: 0, v: next });
+        let e_loop = b.alloc_exit();
+        b.emit(Lir::LoopBack(e_loop));
+        let frags = vec![assemble(b.trace())];
+
+        let mut realm = Realm::new();
+        let start = INT_MAX - 5;
+        let mut ar = vec![start as u64];
+        let exit = execute(&frags, 0, &mut ar, &mut realm, &mut NoNesting, u64::MAX).unwrap();
+        assert_eq!(exit.exit, 0, "overflow guard exit");
+        // The AR still holds the last in-range value.
+        assert_eq!(ar[0] as i64, INT_MAX);
+        assert_eq!(exit.iterations, 5);
+    }
+
+    #[test]
+    fn preemption_exits_at_loop_edge() {
+        let frags = counting_tree();
+        let mut realm = Realm::new();
+        realm.interrupt = true;
+        let mut ar = vec![0u64, 1000u64];
+        let exit = execute(&frags, 0, &mut ar, &mut realm, &mut NoNesting, u64::MAX).unwrap();
+        assert_eq!(exit.exit, 2, "interrupt takes the loop-edge exit");
+        assert_eq!(exit.iterations, 1);
+    }
+
+    #[test]
+    fn trace_stitching_transfers_to_branch_fragment() {
+        // Trunk: guard slot0 < 10 else exit0; slot0 += 1; loop.
+        let mut b = LirBuffer::new(FilterOptions::default());
+        let i = b.emit(Lir::Import { slot: 0, ty: LirType::Int });
+        let ten = b.emit(Lir::ConstI(10));
+        let cond = b.emit(Lir::LtI(i, ten));
+        let e_branch = b.alloc_exit();
+        b.emit(Lir::GuardTrue(cond, e_branch));
+        let one = b.emit(Lir::ConstI(1));
+        let e_ovf = b.alloc_exit();
+        let next = b.emit(Lir::AddIChk(i, one, e_ovf));
+        b.emit(Lir::WriteAr { slot: 0, v: next });
+        let e_loop = b.alloc_exit();
+        b.emit(Lir::LoopBack(e_loop));
+        let mut trunk = assemble(b.trace());
+
+        // Branch (taken when slot0 >= 10): slot1 = slot0 * 2; end.
+        let mut b2 = LirBuffer::new(FilterOptions::default());
+        let i2 = b2.emit(Lir::Import { slot: 0, ty: LirType::Int });
+        let two = b2.emit(Lir::ConstI(2));
+        let e2 = b2.alloc_exit();
+        let dbl = b2.emit(Lir::MulIChk(i2, two, e2));
+        b2.emit(Lir::WriteAr { slot: 1, v: dbl });
+        let e_end = b2.alloc_exit();
+        b2.emit(Lir::End(e_end));
+        let branch = assemble(b2.trace());
+
+        // Stitch trunk exit 0 to the branch fragment.
+        trunk.exit_targets[0] = ExitTarget::Fragment(1);
+        let frags = vec![trunk, branch];
+
+        let mut realm = Realm::new();
+        let mut ar = vec![0u64, 0u64];
+        let exit = execute(&frags, 0, &mut ar, &mut realm, &mut NoNesting, u64::MAX).unwrap();
+        assert_eq!(exit.fragment, 1, "ended in the branch fragment");
+        assert_eq!(exit.exit, 1, "the branch's End exit");
+        assert_eq!(ar[0] as i64, 10);
+        assert_eq!(ar[1] as i64, 20);
+    }
+
+    #[test]
+    fn double_loop_with_boxing() {
+        // slot0 (double) += 0.5 until >= slot1 (double).
+        let mut b = LirBuffer::new(FilterOptions::default());
+        let x = b.emit(Lir::Import { slot: 0, ty: LirType::Double });
+        let limit = b.emit(Lir::Import { slot: 1, ty: LirType::Double });
+        let half = b.emit(Lir::ConstD(0.5f64.to_bits()));
+        let next = b.emit(Lir::AddD(x, half));
+        b.emit(Lir::WriteAr { slot: 0, v: next });
+        let cond = b.emit(Lir::LtD(next, limit));
+        let e_done = b.alloc_exit();
+        b.emit(Lir::GuardTrue(cond, e_done));
+        let e_loop = b.alloc_exit();
+        b.emit(Lir::LoopBack(e_loop));
+        let frags = vec![assemble(b.trace())];
+        let mut realm = Realm::new();
+        let mut ar = vec![0.0f64.to_bits(), 10.0f64.to_bits()];
+        let exit = execute(&frags, 0, &mut ar, &mut realm, &mut NoNesting, u64::MAX).unwrap();
+        assert_eq!(exit.exit, 0);
+        assert_eq!(f64::from_bits(ar[0]), 10.0);
+    }
+
+    #[test]
+    fn helper_call_from_trace() {
+        // slot1 = sqrt(slot0) via the Sqrt helper; end.
+        let mut b = LirBuffer::new(FilterOptions::default());
+        let x = b.emit(Lir::Import { slot: 0, ty: LirType::Double });
+        let e = b.alloc_exit();
+        let r = b.emit(Lir::Call {
+            helper: tm_runtime::Helper::Sqrt,
+            args: vec![x].into_boxed_slice(),
+            ret: LirType::Double,
+            exit: e,
+        });
+        b.emit(Lir::WriteAr { slot: 1, v: r });
+        let e_end = b.alloc_exit();
+        b.emit(Lir::End(e_end));
+        let frags = vec![assemble(b.trace())];
+        let mut realm = Realm::new();
+        let mut ar = vec![81.0f64.to_bits(), 0];
+        let exit = execute(&frags, 0, &mut ar, &mut realm, &mut NoNesting, u64::MAX).unwrap();
+        assert_eq!(exit.exit, 1);
+        assert_eq!(f64::from_bits(ar[1]), 9.0);
+    }
+
+    #[test]
+    fn unbox_guard_takes_exit_on_wrong_tag() {
+        let mut b = LirBuffer::new(FilterOptions::default());
+        let v = b.emit(Lir::Import { slot: 0, ty: LirType::Boxed });
+        let e_tag = b.alloc_exit();
+        let i = b.emit(Lir::UnboxI(v, e_tag));
+        b.emit(Lir::WriteAr { slot: 1, v: i });
+        let e_end = b.alloc_exit();
+        b.emit(Lir::End(e_end));
+        let frags = vec![assemble(b.trace())];
+        let mut realm = Realm::new();
+        // An int-tagged word unboxes fine.
+        let mut ar = vec![Value::new_int(5).raw(), 0];
+        let exit = execute(&frags, 0, &mut ar, &mut realm, &mut NoNesting, u64::MAX).unwrap();
+        assert_eq!(exit.exit, 1);
+        assert_eq!(ar[1] as i64, 5);
+        // A string-tagged word takes the type guard exit.
+        let s = realm.heap.alloc_string("x");
+        let mut ar = vec![s.raw(), 0];
+        let exit = execute(&frags, 0, &mut ar, &mut realm, &mut NoNesting, u64::MAX).unwrap();
+        assert_eq!(exit.exit, 0);
+    }
+
+    #[test]
+    fn array_element_access() {
+        // slot1 = arr[slot0-as-int] with bounds guard.
+        let mut b = LirBuffer::new(FilterOptions::default());
+        let arr = b.emit(Lir::Import { slot: 0, ty: LirType::Object });
+        let idx = b.emit(Lir::Import { slot: 1, ty: LirType::Int });
+        let e_bound = b.alloc_exit();
+        b.emit(Lir::GuardBound { arr, idx, exit: e_bound });
+        let v = b.emit(Lir::LoadElem(arr, idx));
+        b.emit(Lir::WriteAr { slot: 2, v });
+        let e_end = b.alloc_exit();
+        b.emit(Lir::End(e_end));
+        let frags = vec![assemble(b.trace())];
+        let mut realm = Realm::new();
+        let a = realm.new_array(3);
+        realm.heap.object_mut(a).set_element(2, Value::new_int(42));
+        let mut ar = vec![u64::from(a.0), 2, 0];
+        let exit = execute(&frags, 0, &mut ar, &mut realm, &mut NoNesting, u64::MAX).unwrap();
+        assert_eq!(exit.exit, 1);
+        assert_eq!(Value::from_raw(ar[2]).as_int(), Some(42));
+        // Out of bounds takes the guard exit.
+        let mut ar = vec![u64::from(a.0), 7, 0];
+        let exit = execute(&frags, 0, &mut ar, &mut realm, &mut NoNesting, u64::MAX).unwrap();
+        assert_eq!(exit.exit, 0);
+    }
+}

@@ -1,0 +1,274 @@
+//! The virtual machine ISA that compiled traces execute.
+//!
+//! **Substitution note (see DESIGN.md):** the paper's NanoJIT emits real
+//! x86/ARM machine code. We target a fixed virtual register ISA executed by
+//! a tight decode loop instead. What the evaluation depends on is
+//! preserved: compiled trace instructions operate on **unboxed words in
+//! registers**, with no type dispatch, no interpreter decode, no operand
+//! stack traffic, and guards compiled to single compare-and-exit
+//! operations — the Figure 4 profile ("most LIR instructions compile to a
+//! single x86 instruction").
+
+use tm_runtime::Helper;
+
+/// A virtual register index.
+pub type Reg = u8;
+
+/// Number of general registers the allocator may use (deliberately small,
+/// x86-like, so the spill logic of §5.2 is actually exercised).
+pub const NREGS: usize = 12;
+
+/// A machine instruction of the virtual ISA. `d` = destination register,
+/// `a`/`b`/`s` = source registers; doubles travel as IEEE-754 bit patterns
+/// in the same registers. `exit` fields are indexes into the fragment's
+/// exit-target table.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MachInst {
+    /// Load a constant word.
+    ConstW {
+        /// Destination.
+        d: Reg,
+        /// The word.
+        w: u64,
+    },
+    /// Register move (emitted by the allocator).
+    Mov {
+        /// Destination.
+        d: Reg,
+        /// Source.
+        s: Reg,
+    },
+    /// Reload from a spill slot.
+    LoadSpill {
+        /// Destination.
+        d: Reg,
+        /// Spill slot index.
+        slot: u16,
+    },
+    /// Store to a spill slot.
+    StoreSpill {
+        /// Spill slot index.
+        slot: u16,
+        /// Source.
+        s: Reg,
+    },
+    /// Read a trace-activation-record slot.
+    ReadAr {
+        /// Destination.
+        d: Reg,
+        /// AR slot.
+        slot: u16,
+    },
+    /// Write a trace-activation-record slot.
+    WriteAr {
+        /// AR slot.
+        slot: u16,
+        /// Source.
+        s: Reg,
+    },
+
+    /// `d = a + b` (wrapping i32).
+    AddI { d: Reg, a: Reg, b: Reg },
+    /// `d = a - b` (wrapping i32).
+    SubI { d: Reg, a: Reg, b: Reg },
+    /// `d = a * b` (wrapping i32).
+    MulI { d: Reg, a: Reg, b: Reg },
+    /// `d = a & b`.
+    AndI { d: Reg, a: Reg, b: Reg },
+    /// `d = a | b`.
+    OrI { d: Reg, a: Reg, b: Reg },
+    /// `d = a ^ b`.
+    XorI { d: Reg, a: Reg, b: Reg },
+    /// `d = a << (b & 31)`.
+    ShlI { d: Reg, a: Reg, b: Reg },
+    /// `d = a >> (b & 31)` (arithmetic).
+    ShrI { d: Reg, a: Reg, b: Reg },
+    /// `d = a >>> (b & 31)` (logical, u32).
+    UShrI { d: Reg, a: Reg, b: Reg },
+    /// `d = !a` (bitwise).
+    NotI { d: Reg, a: Reg },
+    /// `d = -a` (wrapping).
+    NegI { d: Reg, a: Reg },
+
+    /// Checked add: exit when the exact result leaves the boxable 31-bit
+    /// integer range.
+    AddIChk { d: Reg, a: Reg, b: Reg, exit: u16 },
+    /// Checked subtract.
+    SubIChk { d: Reg, a: Reg, b: Reg, exit: u16 },
+    /// Checked multiply.
+    MulIChk { d: Reg, a: Reg, b: Reg, exit: u16 },
+    /// Checked negate (exits on -0 and range overflow).
+    NegIChk { d: Reg, a: Reg, exit: u16 },
+    /// Checked remainder (exits on zero divisor / -0 result).
+    ModIChk { d: Reg, a: Reg, b: Reg, exit: u16 },
+    /// Checked shift left.
+    ShlIChk { d: Reg, a: Reg, b: Reg, exit: u16 },
+    /// Checked unsigned shift right.
+    UShrIChk { d: Reg, a: Reg, b: Reg, exit: u16 },
+
+    /// Double add.
+    AddD { d: Reg, a: Reg, b: Reg },
+    /// Double subtract.
+    SubD { d: Reg, a: Reg, b: Reg },
+    /// Double multiply.
+    MulD { d: Reg, a: Reg, b: Reg },
+    /// Double divide.
+    DivD { d: Reg, a: Reg, b: Reg },
+    /// Double remainder (fmod).
+    ModD { d: Reg, a: Reg, b: Reg },
+    /// Double negate.
+    NegD { d: Reg, a: Reg },
+
+    /// Integer compares producing 0/1.
+    EqI { d: Reg, a: Reg, b: Reg },
+    /// `<` (i32).
+    LtI { d: Reg, a: Reg, b: Reg },
+    /// `<=` (i32).
+    LeI { d: Reg, a: Reg, b: Reg },
+    /// `>` (i32).
+    GtI { d: Reg, a: Reg, b: Reg },
+    /// `>=` (i32).
+    GeI { d: Reg, a: Reg, b: Reg },
+    /// `==` (double; NaN false).
+    EqD { d: Reg, a: Reg, b: Reg },
+    /// `<` (double).
+    LtD { d: Reg, a: Reg, b: Reg },
+    /// `<=` (double).
+    LeD { d: Reg, a: Reg, b: Reg },
+    /// `>` (double).
+    GtD { d: Reg, a: Reg, b: Reg },
+    /// `>=` (double).
+    GeD { d: Reg, a: Reg, b: Reg },
+    /// Boolean not.
+    NotB { d: Reg, a: Reg },
+
+    /// Exact i32 → double.
+    I2D { d: Reg, a: Reg },
+    /// u32 bits → double.
+    U2D { d: Reg, a: Reg },
+    /// Double → i32 with integrality/range guard.
+    D2IChk { d: Reg, a: Reg, exit: u16 },
+    /// JS ToInt32 wrap.
+    D2I32 { d: Reg, a: Reg },
+    /// Guard an i32 fits the boxable 31-bit range (result = input).
+    ChkRangeI { d: Reg, a: Reg, exit: u16 },
+
+    /// Box an int (inline tagging, never allocates).
+    BoxI { d: Reg, a: Reg },
+    /// Box a double (allocates when non-integral).
+    BoxD { d: Reg, a: Reg },
+    /// Box a bool.
+    BoxB { d: Reg, a: Reg },
+    /// Box an object handle (bit tagging).
+    BoxObj { d: Reg, a: Reg },
+    /// Box a string handle (bit tagging).
+    BoxStr { d: Reg, a: Reg },
+    /// Unbox with tag guard.
+    UnboxI { d: Reg, a: Reg, exit: u16 },
+    /// Unbox a double (strict tag).
+    UnboxD { d: Reg, a: Reg, exit: u16 },
+    /// Unbox any number as double.
+    UnboxNumD { d: Reg, a: Reg, exit: u16 },
+    /// Unbox an object handle.
+    UnboxObj { d: Reg, a: Reg, exit: u16 },
+    /// Unbox a string handle.
+    UnboxStr { d: Reg, a: Reg, exit: u16 },
+    /// Unbox a boolean.
+    UnboxBool { d: Reg, a: Reg, exit: u16 },
+
+    /// Exit unless `s` is true (1).
+    GuardTrue { s: Reg, exit: u16 },
+    /// Exit unless `s` is false (0).
+    GuardFalse { s: Reg, exit: u16 },
+    /// Exit unless the object's shape matches.
+    GuardShape { obj: Reg, shape: u32, exit: u16 },
+    /// Exit unless the object's class matches.
+    GuardClass { obj: Reg, class: u8, exit: u16 },
+    /// Exit unless the boxed word bit-equals `w`.
+    GuardBoxedEq { s: Reg, w: u64, exit: u16 },
+    /// Exit unless `0 <= idx < elements.len()`.
+    GuardBound { arr: Reg, idx: Reg, exit: u16 },
+
+    /// Property slot load.
+    LoadSlot { d: Reg, o: Reg, slot: u32 },
+    /// Property slot store.
+    StoreSlot { o: Reg, slot: u32, s: Reg },
+    /// Prototype link load.
+    LoadProto { d: Reg, o: Reg },
+    /// Dense element load (pre-guarded).
+    LoadElem { d: Reg, a: Reg, i: Reg },
+    /// Dense element store (pre-guarded).
+    StoreElem { a: Reg, i: Reg, s: Reg },
+    /// Array length.
+    ArrayLen { d: Reg, a: Reg },
+    /// String length.
+    StrLen { d: Reg, a: Reg },
+
+    /// Call a runtime helper.
+    CallHelper {
+        /// Result register.
+        d: Reg,
+        /// The helper.
+        helper: Helper,
+        /// Argument registers.
+        args: Box<[Reg]>,
+        /// Exit taken on deep bail (reentry).
+        exit: u16,
+    },
+    /// Call a nested trace tree (§4) through the host.
+    CallTree {
+        /// Tree registry key.
+        tree: u32,
+        /// Exit taken on unexpected inner exit.
+        exit: u16,
+    },
+    /// Loop edge: jump to the tree anchor (fragment 0, pc 0); exits via
+    /// `exit` on preemption or pending GC (§6.4).
+    LoopBack { exit: u16 },
+    /// Unconditional exit.
+    End { exit: u16 },
+}
+
+/// Where a side exit goes: back to the monitor, or — once a branch trace
+/// is attached by **trace stitching** (§6.2) — directly into another
+/// fragment of the same tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExitTarget {
+    /// Return control to the trace monitor with this exit id.
+    Return,
+    /// Jump into fragment `0`-indexed id (trace stitching).
+    Fragment(u32),
+}
+
+/// A compiled trace fragment: straight-line machine code whose only
+/// control flow is guard exits and the final loop-back/end.
+#[derive(Debug, Clone)]
+pub struct Fragment {
+    /// The instructions.
+    pub code: Vec<MachInst>,
+    /// Number of spill slots used.
+    pub num_spills: u16,
+    /// Exit targets, indexed by exit id; patched by trace stitching.
+    pub exit_targets: Vec<ExitTarget>,
+}
+
+impl Fragment {
+    /// Renders the fragment as a Figure-4 style listing.
+    pub fn listing(&self) -> String {
+        let mut out = String::new();
+        for (pc, inst) in self.code.iter().enumerate() {
+            out.push_str(&format!("  {pc:4}: {inst:?}\n"));
+        }
+        out
+    }
+
+    /// Number of machine instructions.
+    pub fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Whether the fragment is empty.
+    pub fn is_empty(&self) -> bool {
+        self.code.is_empty()
+    }
+}

@@ -1,0 +1,56 @@
+//! Runtime error values.
+
+use std::fmt;
+
+/// An error raised while executing guest-language code.
+///
+/// The guest language has no `try`/`catch` (the paper notes TraceMonkey
+/// "does not currently support recording throwing and catching of arbitrary
+/// exceptions"); errors unwind to the embedding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// Operation applied to a value of the wrong type.
+    TypeError(String),
+    /// Numeric or index argument out of range.
+    RangeError(String),
+    /// Unresolvable name.
+    ReferenceError(String),
+    /// Call of a non-function value.
+    NotCallable(String),
+    /// Execution was preempted via the interrupt flag (§6.4).
+    Interrupted,
+    /// The configured step budget was exhausted (used by the fuzzer to bound
+    /// runaway programs).
+    StepBudgetExhausted,
+    /// Any other host-reported failure.
+    Other(String),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::TypeError(m) => write!(f, "type error: {m}"),
+            RuntimeError::RangeError(m) => write!(f, "range error: {m}"),
+            RuntimeError::ReferenceError(m) => write!(f, "reference error: {m}"),
+            RuntimeError::NotCallable(m) => write!(f, "not callable: {m}"),
+            RuntimeError::Interrupted => write!(f, "interrupted"),
+            RuntimeError::StepBudgetExhausted => write!(f, "step budget exhausted"),
+            RuntimeError::Other(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_nonempty() {
+        let e = RuntimeError::TypeError("x is not a number".into());
+        let s = e.to_string();
+        assert!(s.starts_with("type error"));
+        assert!(!format!("{e:?}").is_empty());
+    }
+}

@@ -1,0 +1,49 @@
+//! # tm-runtime
+//!
+//! Runtime substrate for the TraceMonkey reproduction: tagged values,
+//! garbage-collected heap, object shapes, strings, native builtins, and the
+//! helper entry points callable from compiled code.
+//!
+//! This crate plays the role of SpiderMonkey's object model and GC in the
+//! paper (*Trace-based Just-in-Time Type Specialization for Dynamic
+//! Languages*, PLDI 2009):
+//!
+//! * [`value::Value`] is the tagged `jsval` machine word of Figure 9;
+//! * [`shape`] implements the integer-keyed object shapes that make trace
+//!   property guards single comparisons;
+//! * [`heap::Heap`] is the exact, non-generational, stop-the-world
+//!   mark-and-sweep collector described in §6;
+//! * [`ops`] holds the operator semantics shared by **all** engines, so the
+//!   interpreter, method JIT, and tracing JIT agree by construction;
+//! * [`trace_helpers`] is the FFI surface compiled code calls into
+//!   (the equivalent of `js_Array_set` in the paper's Figure 3);
+//! * [`builtins`] installs `Math`, `String`, array/string prototypes, and
+//!   global functions through the boxed-value FFI of §6.5, with typed
+//!   fast-call annotations for hot natives.
+//!
+//! ```
+//! use tm_runtime::{Realm, Value};
+//!
+//! let mut realm = Realm::new();
+//! let s = realm.heap.alloc_string("hello");
+//! let slot = realm.define_global("greeting", s);
+//! assert!(realm.global(slot).is_string());
+//! ```
+
+pub mod builtins;
+pub mod error;
+pub mod heap;
+pub mod object;
+pub mod ops;
+pub mod realm;
+pub mod shape;
+pub mod trace_helpers;
+pub mod value;
+
+pub use error::RuntimeError;
+pub use heap::Heap;
+pub use object::{Callee, Object, ObjectClass};
+pub use realm::{NativeEffects, NativeFn, NativeId, Realm};
+pub use shape::{ShapeId, Sym, SymbolTable, EMPTY_SHAPE};
+pub use trace_helpers::{Helper, Word};
+pub use value::{DoubleId, ObjectId, StringId, Unpacked, Value};

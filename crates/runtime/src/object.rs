@@ -1,0 +1,136 @@
+//! Heap objects: plain objects, dense arrays, and function objects.
+
+use crate::shape::{ShapeId, EMPTY_SHAPE};
+use crate::value::{ObjectId, Value};
+
+/// Identifies what kind of object this is.
+///
+/// The paper's recorded LIR guards on the object class word (Figure 3 masks
+/// out the class tag of `primes` and compares it with `Array`); our trace
+/// guards compare this enum as a small integer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum ObjectClass {
+    /// An ordinary object with named properties.
+    Plain = 0,
+    /// A dense array with `elements` storage and a `length`.
+    Array = 1,
+    /// A callable function object.
+    Function = 2,
+}
+
+/// What a function object calls into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Callee {
+    /// A scripted function: index into the program's function table.
+    Scripted(u32),
+    /// A native (FFI) function: index into the realm's native registry.
+    Native(u32),
+}
+
+/// A garbage-collected object.
+///
+/// Named properties live in `slots`, indexed through the object's
+/// [`ShapeId`]; integer-indexed elements live in the dense `elements`
+/// vector. This mirrors SpiderMonkey's representation that the paper's
+/// property-access specialization exploits.
+#[derive(Debug, Clone)]
+pub struct Object {
+    /// Object kind: plain, array, or function.
+    pub class: ObjectClass,
+    /// Structural description mapping property names to slot indexes.
+    pub shape: ShapeId,
+    /// Named property values, positioned by shape slot index.
+    pub slots: Vec<Value>,
+    /// Dense integer-indexed elements (arrays; holes are `undefined`).
+    pub elements: Vec<Value>,
+    /// Prototype link for property lookup.
+    pub proto: Option<ObjectId>,
+    /// Call target, for function objects.
+    pub callee: Option<Callee>,
+}
+
+impl Object {
+    /// Creates a plain object with the empty shape and no prototype.
+    pub fn new_plain(proto: Option<ObjectId>) -> Object {
+        Object {
+            class: ObjectClass::Plain,
+            shape: EMPTY_SHAPE,
+            slots: Vec::new(),
+            elements: Vec::new(),
+            proto,
+            callee: None,
+        }
+    }
+
+    /// Creates an array with `len` elements initialized to `undefined`.
+    pub fn new_array(len: usize, proto: Option<ObjectId>) -> Object {
+        Object {
+            class: ObjectClass::Array,
+            shape: EMPTY_SHAPE,
+            slots: Vec::new(),
+            elements: vec![Value::UNDEFINED; len],
+            proto,
+            callee: None,
+        }
+    }
+
+    /// Creates a function object wrapping `callee`.
+    pub fn new_function(callee: Callee, proto: Option<ObjectId>) -> Object {
+        Object {
+            class: ObjectClass::Function,
+            shape: EMPTY_SHAPE,
+            slots: Vec::new(),
+            elements: Vec::new(),
+            proto,
+            callee: Some(callee),
+        }
+    }
+
+    /// Array length (number of dense elements).
+    #[inline]
+    pub fn array_length(&self) -> u32 {
+        self.elements.len() as u32
+    }
+
+    /// Reads dense element `idx`, returning `undefined` for holes past the
+    /// end (the interpreter's slow path; traces guard `idx < len` instead).
+    #[inline]
+    pub fn element(&self, idx: u32) -> Value {
+        self.elements.get(idx as usize).copied().unwrap_or(Value::UNDEFINED)
+    }
+
+    /// Writes dense element `idx`, growing the array as needed.
+    pub fn set_element(&mut self, idx: u32, v: Value) {
+        let idx = idx as usize;
+        if idx >= self.elements.len() {
+            self.elements.resize(idx + 1, Value::UNDEFINED);
+        }
+        self.elements[idx] = v;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn array_grows_on_store() {
+        let mut a = Object::new_array(2, None);
+        assert_eq!(a.array_length(), 2);
+        a.set_element(5, Value::new_int(9));
+        assert_eq!(a.array_length(), 6);
+        assert_eq!(a.element(5).as_int(), Some(9));
+        assert_eq!(a.element(3), Value::UNDEFINED);
+        assert_eq!(a.element(100), Value::UNDEFINED);
+    }
+
+    #[test]
+    fn constructors_set_class() {
+        assert_eq!(Object::new_plain(None).class, ObjectClass::Plain);
+        assert_eq!(Object::new_array(0, None).class, ObjectClass::Array);
+        let f = Object::new_function(Callee::Scripted(3), None);
+        assert_eq!(f.class, ObjectClass::Function);
+        assert_eq!(f.callee, Some(Callee::Scripted(3)));
+    }
+}

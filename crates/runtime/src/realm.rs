@@ -1,0 +1,514 @@
+//! The realm: a complete guest-language execution environment.
+//!
+//! A [`Realm`] bundles the GC heap, symbol and shape tables, the global
+//! variable array, and the registry of native (FFI) functions. Every engine
+//! in this repository — the interpreter, the method JIT, and the tracing
+//! JIT — executes against a `Realm`, which is what guarantees that they
+//! share identical semantics and observable state.
+
+use std::collections::HashMap;
+
+use crate::error::RuntimeError;
+use crate::heap::Heap;
+use crate::object::{Callee, Object, ObjectClass};
+use crate::shape::{ShapeTable, Sym, SymbolTable};
+use crate::value::{ObjectId, Unpacked, Value};
+
+/// A native (FFI) function callable from guest code.
+///
+/// Following the paper's FFI (§6.5), the "key argument" is an array of boxed
+/// values; `args[0]` is the receiver for method-style calls and
+/// `Value::UNDEFINED` otherwise.
+pub type NativeFn = fn(&mut Realm, &[Value]) -> Result<Value, RuntimeError>;
+
+/// Index of a native function in the realm registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NativeId(pub u32);
+
+/// Effects metadata for a native function, used by the trace recorder to
+/// decide whether the call may be made from trace (§6.5: reentrant natives
+/// force the trace to exit after the call; global/stack-accessing natives
+/// need state synchronization).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NativeEffects {
+    /// May reenter the interpreter (e.g. higher-order natives like `sort`
+    /// with a scripted comparator).
+    pub may_reenter: bool,
+    /// Reads or writes global variables directly.
+    pub accesses_globals: bool,
+    /// May allocate GC memory.
+    pub allocates: bool,
+}
+
+/// A registered native function.
+pub struct NativeFunc {
+    /// Diagnostic name (e.g. `"Math.sin"`).
+    pub name: String,
+    /// The implementation.
+    pub func: NativeFn,
+    /// Effects the tracer must respect.
+    pub effects: NativeEffects,
+    /// Typed fast-call annotation (§6.5): when the observed argument types
+    /// match, the tracer calls the specialized helper directly on unboxed
+    /// values instead of building a boxed argument array.
+    pub fast: Option<crate::trace_helpers::FastNative>,
+}
+
+impl std::fmt::Debug for NativeFunc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NativeFunc")
+            .field("name", &self.name)
+            .field("effects", &self.effects)
+            .field("fast", &self.fast)
+            .finish()
+    }
+}
+
+/// The guest execution environment.
+#[derive(Debug)]
+pub struct Realm {
+    /// The garbage-collected heap.
+    pub heap: Heap,
+    /// Property-name interner.
+    pub symbols: SymbolTable,
+    /// The global shape tree.
+    pub shapes: ShapeTable,
+    /// Global variable slots.
+    pub globals: Vec<Value>,
+    global_names: HashMap<String, u32>,
+    /// Native function registry.
+    pub natives: Vec<NativeFunc>,
+    /// Prototype object for arrays (holds `push`, `join`, ...).
+    pub array_proto: Option<ObjectId>,
+    /// Prototype consulted for method calls on string receivers.
+    pub string_proto: Option<ObjectId>,
+    /// Prototype for plain objects.
+    pub object_proto: Option<ObjectId>,
+    /// Output accumulated by the `print` builtin.
+    pub output: String,
+    /// Also echo `print` output to stdout.
+    pub print_to_stdout: bool,
+    /// Preemption flag (§6.4): when set, interpreter loop edges and
+    /// trace-compiled loop edges bail out with `RuntimeError::Interrupted`.
+    pub interrupt: bool,
+    /// Set by reentrant native calls while a trace is on stack; the trace
+    /// must exit immediately after the call returns (§6.5).
+    pub reentered_during_trace: bool,
+    /// Deterministic RNG state for `Math.random`.
+    pub rng_state: u64,
+    /// Cached string values for `typeof` results (avoids allocating in
+    /// `typeof`-heavy loops).
+    typeof_cache: HashMap<&'static str, Value>,
+    /// Interned `length` symbol (hot in property paths).
+    pub sym_length: Sym,
+    /// Interned `prototype` symbol.
+    pub sym_prototype: Sym,
+}
+
+impl Default for Realm {
+    fn default() -> Self {
+        Realm::new()
+    }
+}
+
+impl Realm {
+    /// Creates a realm with core builtins installed.
+    pub fn new() -> Realm {
+        let mut symbols = SymbolTable::new();
+        let sym_length = symbols.intern("length");
+        let sym_prototype = symbols.intern("prototype");
+        let mut realm = Realm {
+            heap: Heap::new(),
+            symbols,
+            shapes: ShapeTable::new(),
+            globals: Vec::new(),
+            global_names: HashMap::new(),
+            natives: Vec::new(),
+            array_proto: None,
+            string_proto: None,
+            object_proto: None,
+            output: String::new(),
+            print_to_stdout: false,
+            interrupt: false,
+            reentered_during_trace: false,
+            rng_state: 0x9E37_79B9_7F4A_7C15,
+            typeof_cache: HashMap::new(),
+            sym_length,
+            sym_prototype,
+        };
+        crate::builtins::install(&mut realm);
+        realm
+    }
+
+    // ---- globals ----
+
+    /// Resolves (creating on first use) the global slot for `name`.
+    pub fn global_slot(&mut self, name: &str) -> u32 {
+        if let Some(&slot) = self.global_names.get(name) {
+            return slot;
+        }
+        let slot = self.globals.len() as u32;
+        self.globals.push(Value::UNDEFINED);
+        self.global_names.insert(name.to_owned(), slot);
+        slot
+    }
+
+    /// Returns the slot for `name` if it exists.
+    pub fn lookup_global(&self, name: &str) -> Option<u32> {
+        self.global_names.get(name).copied()
+    }
+
+    /// Reads global slot `slot`.
+    #[inline]
+    pub fn global(&self, slot: u32) -> Value {
+        self.globals[slot as usize]
+    }
+
+    /// Writes global slot `slot`.
+    #[inline]
+    pub fn set_global(&mut self, slot: u32, v: Value) {
+        self.globals[slot as usize] = v;
+    }
+
+    /// Convenience: defines global `name` with value `v`.
+    pub fn define_global(&mut self, name: &str, v: Value) -> u32 {
+        let slot = self.global_slot(name);
+        self.globals[slot as usize] = v;
+        slot
+    }
+
+    /// Name of a global slot (diagnostics).
+    pub fn global_name(&self, slot: u32) -> Option<&str> {
+        self.global_names
+            .iter()
+            .find(|&(_, &s)| s == slot)
+            .map(|(n, _)| n.as_str())
+    }
+
+    // ---- natives ----
+
+    /// Registers a native function, returning its id.
+    pub fn register_native(
+        &mut self,
+        name: &str,
+        func: NativeFn,
+        effects: NativeEffects,
+        fast: Option<crate::trace_helpers::FastNative>,
+    ) -> NativeId {
+        let id = NativeId(self.natives.len() as u32);
+        self.natives.push(NativeFunc { name: name.to_owned(), func, effects, fast });
+        id
+    }
+
+    /// Creates a function object wrapping native `id`.
+    pub fn new_native_function(&mut self, id: NativeId) -> Value {
+        let obj = Object::new_function(Callee::Native(id.0), None);
+        Value::new_object(self.heap.alloc_object(obj))
+    }
+
+    /// Calls native `id` with boxed `args` (`args[0]` = receiver).
+    pub fn call_native(&mut self, id: NativeId, args: &[Value]) -> Result<Value, RuntimeError> {
+        let f = self.natives[id.0 as usize].func;
+        f(self, args)
+    }
+
+    // ---- object / property operations (shared slow paths) ----
+
+    /// Allocates a plain object with the default object prototype.
+    pub fn new_plain_object(&mut self) -> ObjectId {
+        self.heap.alloc_object(Object::new_plain(self.object_proto))
+    }
+
+    /// Allocates an array of length `len` with the array prototype.
+    pub fn new_array(&mut self, len: usize) -> ObjectId {
+        self.heap.alloc_object(Object::new_array(len, self.array_proto))
+    }
+
+    /// Full property read with prototype-chain walk — the expensive
+    /// interpreter path that trace recording specializes away (§3.1).
+    pub fn get_prop(&mut self, base: Value, sym: Sym) -> Result<Value, RuntimeError> {
+        match base.unpack() {
+            Unpacked::Object(mut id) => {
+                if sym == self.sym_length && self.heap.object(id).class == ObjectClass::Array {
+                    let len = self.heap.object(id).array_length();
+                    return Ok(self.heap.number_i64(i64::from(len)));
+                }
+                loop {
+                    let obj = self.heap.object(id);
+                    let shape = obj.shape;
+                    if let Some(slot) = self.shapes.lookup(shape, sym) {
+                        return Ok(self.heap.object(id).slots[slot as usize]);
+                    }
+                    match self.heap.object(id).proto {
+                        Some(p) => id = p,
+                        None => return Ok(Value::UNDEFINED),
+                    }
+                }
+            }
+            Unpacked::String(sid) => {
+                if sym == self.sym_length {
+                    let len = self.heap.string(sid).len();
+                    return Ok(self.heap.number_i64(len as i64));
+                }
+                // String methods come from the string prototype.
+                if let Some(proto) = self.string_proto {
+                    return self.get_prop(Value::new_object(proto), sym);
+                }
+                Ok(Value::UNDEFINED)
+            }
+            Unpacked::Null | Unpacked::Undefined => Err(RuntimeError::TypeError(format!(
+                "cannot read property '{}' of {}",
+                self.symbols.name(sym),
+                if base.is_null() { "null" } else { "undefined" }
+            ))),
+            _ => Ok(Value::UNDEFINED),
+        }
+    }
+
+    /// Property write on an object's own shape, transitioning the shape when
+    /// the property is new.
+    pub fn set_prop(&mut self, base: Value, sym: Sym, v: Value) -> Result<(), RuntimeError> {
+        let id = base.as_object().ok_or_else(|| {
+            RuntimeError::TypeError(format!(
+                "cannot set property '{}' on a non-object",
+                self.symbols.name(sym)
+            ))
+        })?;
+        let shape = self.heap.object(id).shape;
+        if let Some(slot) = self.shapes.lookup(shape, sym) {
+            self.heap.object_mut(id).slots[slot as usize] = v;
+        } else {
+            let new_shape = self.shapes.transition(shape, sym);
+            let obj = self.heap.object_mut(id);
+            obj.shape = new_shape;
+            obj.slots.push(v);
+        }
+        Ok(())
+    }
+
+    /// Indexed read: dense array elements, string characters, or
+    /// string-keyed object properties.
+    pub fn get_elem(&mut self, base: Value, index: Value) -> Result<Value, RuntimeError> {
+        match base.unpack() {
+            Unpacked::Object(id) => {
+                if let Some(i) = index_as_u32(self, index) {
+                    if self.heap.object(id).class == ObjectClass::Array {
+                        return Ok(self.heap.object(id).element(i));
+                    }
+                }
+                let sym = self.index_to_sym(index);
+                self.get_prop(base, sym)
+            }
+            Unpacked::String(sid) => {
+                if let Some(i) = index_as_u32(self, index) {
+                    let s = self.heap.string(sid);
+                    if let Some(&b) = s.get(i as usize) {
+                        return Ok(self.heap.alloc_string_bytes(vec![b]));
+                    }
+                }
+                Ok(Value::UNDEFINED)
+            }
+            _ => Err(RuntimeError::TypeError("cannot index a non-object".into())),
+        }
+    }
+
+    /// Indexed write.
+    pub fn set_elem(&mut self, base: Value, index: Value, v: Value) -> Result<(), RuntimeError> {
+        let id = base
+            .as_object()
+            .ok_or_else(|| RuntimeError::TypeError("cannot index-assign a non-object".into()))?;
+        if let Some(i) = index_as_u32(self, index) {
+            if self.heap.object(id).class == ObjectClass::Array {
+                self.heap.object_mut(id).set_element(i, v);
+                return Ok(());
+            }
+        }
+        let sym = self.index_to_sym(index);
+        self.set_prop(base, sym, v)
+    }
+
+    fn index_to_sym(&mut self, index: Value) -> Sym {
+        let key = crate::ops::to_display(self, index);
+        self.symbols.intern(&key)
+    }
+
+    // ---- GC ----
+
+    /// Collects garbage with the realm's own roots plus `extra_roots`
+    /// supplied by the executing engine (stacks, activation records).
+    pub fn collect_garbage(&mut self, extra_roots: &[Value]) {
+        let mut roots: Vec<Value> = Vec::with_capacity(self.globals.len() + extra_roots.len() + 4);
+        roots.extend_from_slice(&self.globals);
+        roots.extend_from_slice(extra_roots);
+        for proto in [self.array_proto, self.string_proto, self.object_proto].into_iter().flatten()
+        {
+            roots.push(Value::new_object(proto));
+        }
+        roots.extend(self.typeof_cache.values().copied());
+        let heap = &mut self.heap;
+        heap.collect(&roots);
+    }
+
+    /// Cached, rooted string value for a `typeof` result.
+    pub fn typeof_atom(&mut self, s: &'static str) -> Value {
+        if let Some(&v) = self.typeof_cache.get(s) {
+            return v;
+        }
+        let v = self.heap.alloc_string(s);
+        self.typeof_cache.insert(s, v);
+        v
+    }
+
+    /// Deterministic `Math.random` (xorshift*).
+    pub fn next_random(&mut self) -> f64 {
+        let mut x = self.rng_state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng_state = x;
+        let bits = x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11;
+        bits as f64 / (1u64 << 53) as f64
+    }
+
+    /// Appends to the `print` output buffer.
+    pub fn print_line(&mut self, line: &str) {
+        self.output.push_str(line);
+        self.output.push('\n');
+        if self.print_to_stdout {
+            println!("{line}");
+        }
+    }
+}
+
+/// Converts `index` to a dense-array index if it is a non-negative integral
+/// number.
+fn index_as_u32(realm: &Realm, index: Value) -> Option<u32> {
+    match index.unpack() {
+        Unpacked::Int(i) if i >= 0 => Some(i as u32),
+        Unpacked::Double(id) => {
+            let d = realm.heap.double(id);
+            if d >= 0.0 && d <= f64::from(u32::MAX) && d.fract() == 0.0 {
+                Some(d as u32)
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn globals_resolve_stably() {
+        let mut realm = Realm::new();
+        let a = realm.global_slot("counter");
+        let b = realm.global_slot("counter");
+        assert_eq!(a, b);
+        realm.set_global(a, Value::new_int(5));
+        assert_eq!(realm.global(b).as_int(), Some(5));
+        assert_eq!(realm.global_name(a), Some("counter"));
+    }
+
+    #[test]
+    fn property_read_walks_prototype_chain() {
+        let mut realm = Realm::new();
+        let proto = realm.new_plain_object();
+        let x = realm.symbols.intern("x");
+        realm.set_prop(Value::new_object(proto), x, Value::new_int(7)).unwrap();
+
+        let child = realm.heap.alloc_object(Object::new_plain(Some(proto)));
+        let got = realm.get_prop(Value::new_object(child), x).unwrap();
+        assert_eq!(got.as_int(), Some(7));
+
+        // Own property shadows the prototype.
+        realm.set_prop(Value::new_object(child), x, Value::new_int(9)).unwrap();
+        let got = realm.get_prop(Value::new_object(child), x).unwrap();
+        assert_eq!(got.as_int(), Some(9));
+        let got = realm.get_prop(Value::new_object(proto), x).unwrap();
+        assert_eq!(got.as_int(), Some(7));
+    }
+
+    #[test]
+    fn missing_property_is_undefined() {
+        let mut realm = Realm::new();
+        let o = realm.new_plain_object();
+        let nope = realm.symbols.intern("nope");
+        assert_eq!(realm.get_prop(Value::new_object(o), nope).unwrap(), Value::UNDEFINED);
+    }
+
+    #[test]
+    fn reading_property_of_null_is_type_error() {
+        let mut realm = Realm::new();
+        let x = realm.symbols.intern("x");
+        assert!(realm.get_prop(Value::NULL, x).is_err());
+        assert!(realm.get_prop(Value::UNDEFINED, x).is_err());
+    }
+
+    #[test]
+    fn array_length_and_elements() {
+        let mut realm = Realm::new();
+        let arr = realm.new_array(3);
+        let v = Value::new_object(arr);
+        let len = realm.get_prop(v, realm.sym_length).unwrap();
+        assert_eq!(len.as_int(), Some(3));
+
+        realm.set_elem(v, Value::new_int(1), Value::new_int(42)).unwrap();
+        assert_eq!(realm.get_elem(v, Value::new_int(1)).unwrap().as_int(), Some(42));
+        assert_eq!(realm.get_elem(v, Value::new_int(99)).unwrap(), Value::UNDEFINED);
+
+        // Out-of-bounds store grows the array.
+        realm.set_elem(v, Value::new_int(10), Value::TRUE).unwrap();
+        let len = realm.get_prop(v, realm.sym_length).unwrap();
+        assert_eq!(len.as_int(), Some(11));
+    }
+
+    #[test]
+    fn string_length_and_indexing() {
+        let mut realm = Realm::new();
+        let s = realm.heap.alloc_string("hi");
+        let len = realm.get_prop(s, realm.sym_length).unwrap();
+        assert_eq!(len.as_int(), Some(2));
+        let c = realm.get_elem(s, Value::new_int(0)).unwrap();
+        let cid = c.as_string().unwrap();
+        assert_eq!(realm.heap.string(cid), b"h");
+        assert_eq!(realm.get_elem(s, Value::new_int(5)).unwrap(), Value::UNDEFINED);
+    }
+
+    #[test]
+    fn object_string_keys() {
+        let mut realm = Realm::new();
+        let o = Value::new_object(realm.new_plain_object());
+        let key = realm.heap.alloc_string("k");
+        realm.set_elem(o, key, Value::new_int(1)).unwrap();
+        let key2 = realm.heap.alloc_string("k");
+        assert_eq!(realm.get_elem(o, key2).unwrap().as_int(), Some(1));
+    }
+
+    #[test]
+    fn random_is_deterministic_and_in_range() {
+        let mut r1 = Realm::new();
+        let mut r2 = Realm::new();
+        for _ in 0..100 {
+            let a = r1.next_random();
+            let b = r2.next_random();
+            assert_eq!(a, b);
+            assert!((0.0..1.0).contains(&a));
+        }
+    }
+
+    #[test]
+    fn collect_preserves_globals() {
+        let mut realm = Realm::new();
+        let s = realm.heap.alloc_string("global string");
+        realm.define_global("gs", s);
+        let before = realm.heap.live_strings();
+        realm.collect_garbage(&[]);
+        assert!(realm.heap.live_strings() >= 1);
+        assert!(realm.heap.live_strings() <= before);
+        let sid = realm.global(realm.lookup_global("gs").unwrap()).as_string().unwrap();
+        assert_eq!(realm.heap.string(sid), b"global string");
+    }
+}

@@ -1,0 +1,259 @@
+//! Object shapes: shared structural descriptions of objects.
+//!
+//! The paper (§6) describes SpiderMonkey objects as "a shared structural
+//! description, called the object *shape*, that maps property names to array
+//! indexes". Shapes are what make trace-compiled property access fast: a
+//! guard compares the object's integer shape id, and on success the property
+//! value is a single indexed load from the object's slot vector
+//! ("representation specialization: objects", §3.1).
+//!
+//! Shapes form a tree: the empty shape is the root, and adding property `p`
+//! to an object with shape `s` moves the object to the child shape
+//! `transition(s, p)`. Objects created by the same code path therefore share
+//! shapes, and a single shape guard covers every property of the object.
+
+use std::collections::HashMap;
+
+/// An interned property-name symbol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Sym(pub u32);
+
+/// Integer key identifying an object shape; trace guards compare these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ShapeId(pub u32);
+
+/// The shape id of the empty shape (no properties).
+pub const EMPTY_SHAPE: ShapeId = ShapeId(0);
+
+/// Interner for property names.
+///
+/// Property lookup by name happens in the interpreter; on trace, names have
+/// been resolved to slot indexes so symbols never appear in compiled code.
+#[derive(Debug, Default)]
+pub struct SymbolTable {
+    names: Vec<String>,
+    map: HashMap<String, Sym>,
+}
+
+impl SymbolTable {
+    /// Creates an empty symbol table.
+    pub fn new() -> SymbolTable {
+        SymbolTable::default()
+    }
+
+    /// Interns `name`, returning its symbol.
+    pub fn intern(&mut self, name: &str) -> Sym {
+        if let Some(&s) = self.map.get(name) {
+            return s;
+        }
+        let s = Sym(self.names.len() as u32);
+        self.names.push(name.to_owned());
+        self.map.insert(name.to_owned(), s);
+        s
+    }
+
+    /// Returns the name of `sym`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sym` was not produced by this table.
+    pub fn name(&self, sym: Sym) -> &str {
+        &self.names[sym.0 as usize]
+    }
+
+    /// Returns the symbol for `name` if it has been interned.
+    pub fn lookup(&self, name: &str) -> Option<Sym> {
+        self.map.get(name).copied()
+    }
+
+    /// Number of interned symbols.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no symbols have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+#[derive(Debug)]
+struct Shape {
+    parent: ShapeId,
+    /// Property added by this shape relative to its parent. `None` only for
+    /// the empty root shape.
+    prop: Option<Sym>,
+    /// Slot index of `prop` in the object's slot vector.
+    slot: u32,
+    /// Number of slots an object of this shape owns.
+    slot_count: u32,
+}
+
+/// The global shape tree.
+///
+/// All objects in a realm share one `ShapeTable`. Lookup of a property in a
+/// shape walks the parent chain (cached in a flat map for O(1) access).
+#[derive(Debug)]
+pub struct ShapeTable {
+    shapes: Vec<Shape>,
+    transitions: HashMap<(ShapeId, Sym), ShapeId>,
+    /// Memoized full property → slot maps per shape (built lazily).
+    lookup_cache: HashMap<(ShapeId, Sym), Option<u32>>,
+}
+
+impl Default for ShapeTable {
+    fn default() -> Self {
+        ShapeTable::new()
+    }
+}
+
+impl ShapeTable {
+    /// Creates a shape table containing only the empty shape.
+    pub fn new() -> ShapeTable {
+        ShapeTable {
+            shapes: vec![Shape { parent: EMPTY_SHAPE, prop: None, slot: 0, slot_count: 0 }],
+            transitions: HashMap::new(),
+            lookup_cache: HashMap::new(),
+        }
+    }
+
+    /// Returns the shape reached by adding property `prop` to shape `from`,
+    /// creating it on first use (a *shape transition*).
+    ///
+    /// The returned shape assigns `prop` the next free slot index.
+    pub fn transition(&mut self, from: ShapeId, prop: Sym) -> ShapeId {
+        if let Some(&to) = self.transitions.get(&(from, prop)) {
+            return to;
+        }
+        let slot = self.shapes[from.0 as usize].slot_count;
+        let id = ShapeId(self.shapes.len() as u32);
+        self.shapes.push(Shape { parent: from, prop: Some(prop), slot, slot_count: slot + 1 });
+        self.transitions.insert((from, prop), id);
+        id
+    }
+
+    /// Finds the slot index of `prop` in `shape`, or `None` if the shape has
+    /// no such property. Results are memoized.
+    pub fn lookup(&mut self, shape: ShapeId, prop: Sym) -> Option<u32> {
+        if let Some(&cached) = self.lookup_cache.get(&(shape, prop)) {
+            return cached;
+        }
+        let mut cur = shape;
+        let mut result = None;
+        loop {
+            let s = &self.shapes[cur.0 as usize];
+            if s.prop == Some(prop) {
+                result = Some(s.slot);
+                break;
+            }
+            if cur == EMPTY_SHAPE {
+                break;
+            }
+            cur = s.parent;
+        }
+        self.lookup_cache.insert((shape, prop), result);
+        result
+    }
+
+    /// Number of slots an object with `shape` owns.
+    pub fn slot_count(&self, shape: ShapeId) -> u32 {
+        self.shapes[shape.0 as usize].slot_count
+    }
+
+    /// Enumerates the properties of `shape` in definition order.
+    pub fn properties(&self, shape: ShapeId) -> Vec<(Sym, u32)> {
+        let mut props = Vec::new();
+        let mut cur = shape;
+        loop {
+            let s = &self.shapes[cur.0 as usize];
+            if let Some(p) = s.prop {
+                props.push((p, s.slot));
+            }
+            if cur == EMPTY_SHAPE {
+                break;
+            }
+            cur = s.parent;
+        }
+        props.reverse();
+        props
+    }
+
+    /// Total number of distinct shapes created.
+    pub fn len(&self) -> usize {
+        self.shapes.len()
+    }
+
+    /// Whether only the empty shape exists.
+    pub fn is_empty(&self) -> bool {
+        self.shapes.len() <= 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_stable() {
+        let mut syms = SymbolTable::new();
+        let a = syms.intern("x");
+        let b = syms.intern("y");
+        let a2 = syms.intern("x");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(syms.name(a), "x");
+        assert_eq!(syms.lookup("y"), Some(b));
+        assert_eq!(syms.lookup("z"), None);
+        assert_eq!(syms.len(), 2);
+    }
+
+    #[test]
+    fn same_insertion_order_shares_shapes() {
+        let mut syms = SymbolTable::new();
+        let mut shapes = ShapeTable::new();
+        let (x, y) = (syms.intern("x"), syms.intern("y"));
+
+        // Two objects adding x then y end at the same shape — the property
+        // of shapes that makes a single integer guard sufficient on trace.
+        let s1 = shapes.transition(EMPTY_SHAPE, x);
+        let s2 = shapes.transition(s1, y);
+        let t1 = shapes.transition(EMPTY_SHAPE, x);
+        let t2 = shapes.transition(t1, y);
+        assert_eq!(s2, t2);
+
+        // Different insertion order yields a different shape.
+        let u1 = shapes.transition(EMPTY_SHAPE, y);
+        let u2 = shapes.transition(u1, x);
+        assert_ne!(s2, u2);
+    }
+
+    #[test]
+    fn lookup_finds_slots() {
+        let mut syms = SymbolTable::new();
+        let mut shapes = ShapeTable::new();
+        let (x, y, z) = (syms.intern("x"), syms.intern("y"), syms.intern("z"));
+        let s1 = shapes.transition(EMPTY_SHAPE, x);
+        let s2 = shapes.transition(s1, y);
+
+        assert_eq!(shapes.lookup(s2, x), Some(0));
+        assert_eq!(shapes.lookup(s2, y), Some(1));
+        assert_eq!(shapes.lookup(s2, z), None);
+        assert_eq!(shapes.lookup(s1, y), None);
+        assert_eq!(shapes.slot_count(s2), 2);
+        assert_eq!(shapes.slot_count(EMPTY_SHAPE), 0);
+        // Memoized second lookup.
+        assert_eq!(shapes.lookup(s2, x), Some(0));
+    }
+
+    #[test]
+    fn properties_in_definition_order() {
+        let mut syms = SymbolTable::new();
+        let mut shapes = ShapeTable::new();
+        let (a, b, c) = (syms.intern("a"), syms.intern("b"), syms.intern("c"));
+        let s = shapes.transition(EMPTY_SHAPE, a);
+        let s = shapes.transition(s, b);
+        let s = shapes.transition(s, c);
+        assert_eq!(shapes.properties(s), vec![(a, 0), (b, 1), (c, 2)]);
+        assert_eq!(shapes.properties(EMPTY_SHAPE), vec![]);
+    }
+}

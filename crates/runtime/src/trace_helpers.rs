@@ -1,0 +1,697 @@
+//! Runtime helpers callable from compiled code.
+//!
+//! The paper's LIR represents type conversions and runtime services as
+//! function calls ("this makes the LIR used by TraceMonkey independent of
+//! the concrete type system", §3.1), and its Figure 3 trace calls
+//! `js_Array_set` to store an array element. This module is the Rust
+//! equivalent: a closed set of [`Helper`] entry points that compiled traces
+//! and method-JIT code invoke with raw unboxed machine words.
+//!
+//! Calling conventions: every argument and result is a 64-bit [`Word`].
+//! Doubles travel as IEEE-754 bit patterns, 32-bit integers as
+//! sign-extended two's complement, heap handles as zero-extended indexes,
+//! and boxed values as raw tagged words.
+
+use crate::error::RuntimeError;
+use crate::object::ObjectClass;
+use crate::ops;
+use crate::realm::{NativeId, Realm};
+use crate::shape::Sym;
+use crate::value::{ObjectId, StringId, Value};
+
+/// A raw 64-bit machine word.
+pub type Word = u64;
+
+/// Encodes an `f64` as a word.
+#[inline]
+pub fn word_from_f64(d: f64) -> Word {
+    d.to_bits()
+}
+
+/// Decodes an `f64` from a word.
+#[inline]
+pub fn f64_from_word(w: Word) -> f64 {
+    f64::from_bits(w)
+}
+
+/// Encodes an `i32` as a (sign-extended) word.
+#[inline]
+pub fn word_from_i32(i: i32) -> Word {
+    i64::from(i) as u64
+}
+
+/// Decodes an `i32` from a word.
+#[inline]
+pub fn i32_from_word(w: Word) -> i32 {
+    w as i32
+}
+
+/// Unboxed argument/result types for typed fast-call natives (§6.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FastTy {
+    /// Unboxed IEEE double.
+    Double,
+    /// Unboxed 32-bit integer.
+    Int,
+    /// String handle.
+    Str,
+    /// Object handle.
+    Obj,
+}
+
+/// Typed fast-call annotation attached to a native function: when observed
+/// argument types match `args`, the tracer emits a direct [`Helper`] call on
+/// unboxed values, skipping boxed-array argument marshalling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FastNative {
+    /// Specialized helper implementing the native.
+    pub helper: Helper,
+    /// Required unboxed argument types; for method-style natives the
+    /// receiver is `args[0]`.
+    pub args: &'static [FastTy],
+    /// Result type. For [`Helper::CharCodeAt`] the recorder additionally
+    /// guards the `-1 = NaN` sentinel.
+    pub ret: FastTy,
+}
+
+/// Identifies a runtime helper routine callable from compiled code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Helper {
+    // -- double -> double math --
+    /// `Math.sin`
+    Sin,
+    /// `Math.cos`
+    Cos,
+    /// `Math.tan`
+    Tan,
+    /// `Math.asin`
+    Asin,
+    /// `Math.acos`
+    Acos,
+    /// `Math.atan`
+    Atan,
+    /// `Math.exp`
+    Exp,
+    /// `Math.log`
+    Log,
+    /// `Math.sqrt`
+    Sqrt,
+    /// `Math.floor`
+    Floor,
+    /// `Math.ceil`
+    Ceil,
+    /// `Math.round`
+    Round,
+    /// `Math.abs` on doubles
+    AbsD,
+    // -- (double, double) -> double --
+    /// `Math.atan2`
+    Atan2,
+    /// `Math.pow`
+    Pow,
+    /// `Math.min` (2-arg double case)
+    MinD,
+    /// `Math.max` (2-arg double case)
+    MaxD,
+    /// `%` on doubles (fmod)
+    ModD,
+    // -- soft-float (§5.1's soft-float forward filter targets: double
+    //    arithmetic as out-of-line calls for FP-less ISAs) --
+    /// Soft-float add: (double bits, double bits) -> double bits
+    SoftAdd,
+    /// Soft-float subtract.
+    SoftSub,
+    /// Soft-float multiply.
+    SoftMul,
+    /// Soft-float divide.
+    SoftDiv,
+    // -- misc --
+    /// `Math.random`: () -> double
+    Random,
+    /// number (double bits) -> string handle. Allocates.
+    NumberToString,
+    /// int -> string handle. Allocates.
+    IntToString,
+    // -- strings --
+    /// (str, str) -> str. Allocates.
+    ConcatStrings,
+    /// (str, str) -> 0/1 content equality
+    StrEq,
+    /// (str, str) -> -1/0/1 lexicographic compare
+    StrCmp,
+    /// (str, i32) -> code unit, or -1 for out-of-range (NaN in JS)
+    CharCodeAt,
+    /// (str, i32) -> str (empty when out of range). Allocates.
+    CharAt,
+    /// str -> i32 length
+    StrLength,
+    /// (str, str) -> i32 indexOf (-1 when absent)
+    StrIndexOf,
+    /// (str, i32, i32) -> str substring. Allocates.
+    Substring,
+    /// (i32 code) -> str. Allocates. (`String.fromCharCode`, 1-arg case)
+    FromCharCode,
+    /// (str) -> str lower-cased. Allocates.
+    ToLowerCase,
+    /// (str) -> str upper-cased. Allocates.
+    ToUpperCase,
+    // -- arrays / objects --
+    /// (obj, i32 index, boxed value) -> 1. The paper's `js_Array_set`.
+    ArraySetElem,
+    /// (obj, i32 index) -> boxed value (undefined when out of range)
+    ArrayGetElem,
+    /// obj -> i32 dense length
+    ArrayLength,
+    /// (obj, boxed value) -> i32 new length (`Array.push`, 1-arg case)
+    ArrayPush,
+    /// obj -> boxed value (`Array.pop`)
+    ArrayPop,
+    /// (i32 len) -> obj handle. Allocates.
+    NewArray,
+    /// (obj proto handle or NO_PROTO) -> obj handle. Allocates.
+    NewObject,
+    /// (obj, u32 slot) -> boxed value from the shape-resolved slot
+    LoadSlot,
+    /// (obj, u32 slot, boxed value) -> 0 store into an existing slot
+    StoreSlot,
+    /// (obj, u32 sym, boxed value) -> 0 full property store (may transition
+    /// the object's shape)
+    SetPropSlow,
+    // -- boxing --
+    /// (double bits) -> boxed number value. Allocates when non-integral.
+    BoxDouble,
+    /// (i32) -> boxed number value. Allocates when outside the i31 range.
+    BoxInt,
+    // -- generic dynamic-typed operations (the method JIT's bread and
+    //    butter; boxed words in and out) --
+    /// `+`
+    AddAny,
+    /// binary `-`
+    SubAny,
+    /// `*`
+    MulAny,
+    /// `/`
+    DivAny,
+    /// `%`
+    ModAny,
+    /// unary `-`
+    NegAny,
+    /// `&`
+    BitAndAny,
+    /// `|`
+    BitOrAny,
+    /// `^`
+    BitXorAny,
+    /// `<<`
+    ShlAny,
+    /// `>>`
+    ShrAny,
+    /// `>>>`
+    UShrAny,
+    /// `~`
+    BitNotAny,
+    /// `<`
+    LtAny,
+    /// `<=`
+    LeAny,
+    /// `>`
+    GtAny,
+    /// `>=`
+    GeAny,
+    /// `==`
+    EqAny,
+    /// `!=`
+    NeAny,
+    /// `===`
+    StrictEqAny,
+    /// `!==`
+    StrictNeAny,
+    /// `!` -> boxed bool
+    NotAny,
+    /// boxed -> 0/1 truthiness
+    TruthyAny,
+    /// boxed -> string handle of `typeof`
+    TypeofAny,
+    /// (boxed base, u32 sym) -> boxed value
+    GetPropAny,
+    /// (boxed base, u32 sym, boxed value) -> 0
+    SetPropAny,
+    /// (boxed base, boxed index) -> boxed value
+    GetElemAny,
+    /// (boxed base, boxed index, boxed value) -> 0
+    SetElemAny,
+    /// Call a registered native with boxed args: (native id, argc, args...)
+    CallNative(NativeId),
+}
+
+/// Sentinel "no prototype" handle argument for [`Helper::NewObject`].
+pub const NO_PROTO: Word = u64::MAX;
+
+#[inline]
+fn obj(w: Word) -> ObjectId {
+    ObjectId(w as u32)
+}
+
+#[inline]
+fn strid(w: Word) -> StringId {
+    StringId(w as u32)
+}
+
+#[inline]
+fn boxed(w: Word) -> Value {
+    Value::from_raw(w)
+}
+
+fn maybe_defer_gc(realm: &mut Realm) {
+    if realm.heap.should_collect() {
+        // On-trace allocation: defer collection to the next safe point
+        // (trace loop edge or exit) because roots in machine registers are
+        // not enumerable here.
+        realm.heap.gc_pending = true;
+    }
+}
+
+/// Invokes helper `h` with raw `args`.
+///
+/// # Errors
+///
+/// Propagates guest [`RuntimeError`]s (e.g. type errors raised by generic
+/// operations on behalf of the method JIT). Compiled traces only call
+/// helpers whose error paths were guarded away during recording, so an
+/// error from trace execution aborts the whole trace run.
+pub fn call_helper(realm: &mut Realm, h: Helper, args: &[Word]) -> Result<Word, RuntimeError> {
+    let w = |v: Value| v.raw();
+    // String-producing helpers return raw handles (the trace convention),
+    // not boxed words.
+    let hs = |v: Value| u64::from(v.as_string().expect("string result").0);
+    let r = match h {
+        Helper::Sin => word_from_f64(f64_from_word(args[0]).sin()),
+        Helper::Cos => word_from_f64(f64_from_word(args[0]).cos()),
+        Helper::Tan => word_from_f64(f64_from_word(args[0]).tan()),
+        Helper::Asin => word_from_f64(f64_from_word(args[0]).asin()),
+        Helper::Acos => word_from_f64(f64_from_word(args[0]).acos()),
+        Helper::Atan => word_from_f64(f64_from_word(args[0]).atan()),
+        Helper::Exp => word_from_f64(f64_from_word(args[0]).exp()),
+        Helper::Log => word_from_f64(f64_from_word(args[0]).ln()),
+        Helper::Sqrt => word_from_f64(f64_from_word(args[0]).sqrt()),
+        Helper::Floor => word_from_f64(f64_from_word(args[0]).floor()),
+        Helper::Ceil => word_from_f64(f64_from_word(args[0]).ceil()),
+        Helper::Round => {
+            // JS rounds half-up (towards +inf), unlike Rust's round.
+            let d = f64_from_word(args[0]);
+            word_from_f64((d + 0.5).floor())
+        }
+        Helper::AbsD => word_from_f64(f64_from_word(args[0]).abs()),
+        Helper::Atan2 => word_from_f64(f64_from_word(args[0]).atan2(f64_from_word(args[1]))),
+        Helper::Pow => word_from_f64(f64_from_word(args[0]).powf(f64_from_word(args[1]))),
+        Helper::MinD => {
+            let (a, b) = (f64_from_word(args[0]), f64_from_word(args[1]));
+            word_from_f64(if a.is_nan() || b.is_nan() {
+                f64::NAN
+            } else if a < b {
+                a
+            } else {
+                b
+            })
+        }
+        Helper::MaxD => {
+            let (a, b) = (f64_from_word(args[0]), f64_from_word(args[1]));
+            word_from_f64(if a.is_nan() || b.is_nan() {
+                f64::NAN
+            } else if a > b {
+                a
+            } else {
+                b
+            })
+        }
+        Helper::ModD => word_from_f64(f64_from_word(args[0]) % f64_from_word(args[1])),
+        Helper::SoftAdd => word_from_f64(f64_from_word(args[0]) + f64_from_word(args[1])),
+        Helper::SoftSub => word_from_f64(f64_from_word(args[0]) - f64_from_word(args[1])),
+        Helper::SoftMul => word_from_f64(f64_from_word(args[0]) * f64_from_word(args[1])),
+        Helper::SoftDiv => word_from_f64(f64_from_word(args[0]) / f64_from_word(args[1])),
+        Helper::Random => word_from_f64(realm.next_random()),
+        Helper::NumberToString => {
+            let s = ops::format_number(f64_from_word(args[0]));
+            let v = realm.heap.alloc_string(&s);
+            maybe_defer_gc(realm);
+            hs(v)
+        }
+        Helper::IntToString => {
+            let s = i32_from_word(args[0]).to_string();
+            let v = realm.heap.alloc_string(&s);
+            maybe_defer_gc(realm);
+            hs(v)
+        }
+        Helper::ConcatStrings => {
+            let a = realm.heap.string(strid(args[0])).to_vec();
+            let b = realm.heap.string(strid(args[1]));
+            let mut out = a;
+            out.extend_from_slice(b);
+            let v = realm.heap.alloc_string_bytes(out);
+            maybe_defer_gc(realm);
+            hs(v)
+        }
+        Helper::StrEq => {
+            let eq = realm.heap.string(strid(args[0])) == realm.heap.string(strid(args[1]));
+            word_from_i32(i32::from(eq))
+        }
+        Helper::StrCmp => {
+            let a = realm.heap.string(strid(args[0]));
+            let b = realm.heap.string(strid(args[1]));
+            word_from_i32(match a.cmp(b) {
+                std::cmp::Ordering::Less => -1,
+                std::cmp::Ordering::Equal => 0,
+                std::cmp::Ordering::Greater => 1,
+            })
+        }
+        Helper::CharCodeAt => {
+            let s = realm.heap.string(strid(args[0]));
+            let i = i32_from_word(args[1]);
+            let code =
+                if i >= 0 { s.get(i as usize).map(|&b| i32::from(b)) } else { None };
+            word_from_i32(code.unwrap_or(-1))
+        }
+        Helper::CharAt => {
+            let s = realm.heap.string(strid(args[0]));
+            let i = i32_from_word(args[1]);
+            let bytes: Vec<u8> = if i >= 0 {
+                s.get(i as usize).map(|&b| vec![b]).unwrap_or_default()
+            } else {
+                Vec::new()
+            };
+            let v = realm.heap.alloc_string_bytes(bytes);
+            maybe_defer_gc(realm);
+            hs(v)
+        }
+        Helper::StrLength => word_from_i32(realm.heap.string(strid(args[0])).len() as i32),
+        Helper::StrIndexOf => {
+            let hay = realm.heap.string(strid(args[0]));
+            let needle = realm.heap.string(strid(args[1]));
+            let pos = find_sub(hay, needle).map(|p| p as i32).unwrap_or(-1);
+            word_from_i32(pos)
+        }
+        Helper::Substring => {
+            let s = realm.heap.string(strid(args[0]));
+            let len = s.len() as i32;
+            let a = i32_from_word(args[1]).clamp(0, len);
+            let b = i32_from_word(args[2]).clamp(0, len);
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            let bytes = s[lo as usize..hi as usize].to_vec();
+            let v = realm.heap.alloc_string_bytes(bytes);
+            maybe_defer_gc(realm);
+            hs(v)
+        }
+        Helper::FromCharCode => {
+            let c = (i32_from_word(args[0]) & 0xFF) as u8;
+            let v = realm.heap.alloc_string_bytes(vec![c]);
+            maybe_defer_gc(realm);
+            hs(v)
+        }
+        Helper::ToLowerCase => {
+            let bytes: Vec<u8> =
+                realm.heap.string(strid(args[0])).iter().map(|b| b.to_ascii_lowercase()).collect();
+            let v = realm.heap.alloc_string_bytes(bytes);
+            maybe_defer_gc(realm);
+            hs(v)
+        }
+        Helper::ToUpperCase => {
+            let bytes: Vec<u8> =
+                realm.heap.string(strid(args[0])).iter().map(|b| b.to_ascii_uppercase()).collect();
+            let v = realm.heap.alloc_string_bytes(bytes);
+            maybe_defer_gc(realm);
+            hs(v)
+        }
+        Helper::ArraySetElem => {
+            let id = obj(args[0]);
+            let i = i32_from_word(args[1]);
+            if i < 0 {
+                return Err(RuntimeError::RangeError("negative array index".into()));
+            }
+            realm.heap.object_mut(id).set_element(i as u32, boxed(args[2]));
+            maybe_defer_gc(realm);
+            word_from_i32(1)
+        }
+        Helper::ArrayGetElem => {
+            let id = obj(args[0]);
+            let i = i32_from_word(args[1]);
+            let v = if i >= 0 { realm.heap.object(id).element(i as u32) } else { Value::UNDEFINED };
+            w(v)
+        }
+        Helper::ArrayLength => {
+            word_from_i32(realm.heap.object(obj(args[0])).array_length() as i32)
+        }
+        Helper::ArrayPush => {
+            let id = obj(args[0]);
+            let o = realm.heap.object_mut(id);
+            o.elements.push(boxed(args[1]));
+            let len = o.elements.len() as i32;
+            maybe_defer_gc(realm);
+            word_from_i32(len)
+        }
+        Helper::ArrayPop => {
+            let id = obj(args[0]);
+            w(realm.heap.object_mut(id).elements.pop().unwrap_or(Value::UNDEFINED))
+        }
+        Helper::NewArray => {
+            let len = i32_from_word(args[0]).max(0) as usize;
+            let id = realm.new_array(len);
+            maybe_defer_gc(realm);
+            u64::from(id.0)
+        }
+        Helper::NewObject => {
+            let proto = if args[0] == NO_PROTO { realm.object_proto } else { Some(obj(args[0])) };
+            let id = realm.heap.alloc_object(crate::object::Object::new_plain(proto));
+            maybe_defer_gc(realm);
+            u64::from(id.0)
+        }
+        Helper::LoadSlot => {
+            let id = obj(args[0]);
+            w(realm.heap.object(id).slots[args[1] as u32 as usize])
+        }
+        Helper::StoreSlot => {
+            let id = obj(args[0]);
+            realm.heap.object_mut(id).slots[args[1] as u32 as usize] = boxed(args[2]);
+            0
+        }
+        Helper::SetPropSlow => {
+            let id = obj(args[0]);
+            realm.set_prop(Value::new_object(id), Sym(args[1] as u32), boxed(args[2]))?;
+            maybe_defer_gc(realm);
+            0
+        }
+        Helper::BoxDouble => {
+            let v = realm.heap.number(f64_from_word(args[0]));
+            maybe_defer_gc(realm);
+            w(v)
+        }
+        Helper::BoxInt => {
+            let v = realm.heap.number_i32(i32_from_word(args[0]));
+            maybe_defer_gc(realm);
+            w(v)
+        }
+        Helper::AddAny => w(ops::add_values(realm, boxed(args[0]), boxed(args[1]))?),
+        Helper::SubAny => w(ops::sub_values(realm, boxed(args[0]), boxed(args[1]))?),
+        Helper::MulAny => w(ops::mul_values(realm, boxed(args[0]), boxed(args[1]))?),
+        Helper::DivAny => w(ops::div_values(realm, boxed(args[0]), boxed(args[1]))?),
+        Helper::ModAny => w(ops::mod_values(realm, boxed(args[0]), boxed(args[1]))?),
+        Helper::NegAny => w(ops::neg_value(realm, boxed(args[0]))?),
+        Helper::BitAndAny => {
+            w(ops::bit_op(realm, ops::BitOp::And, boxed(args[0]), boxed(args[1]))?)
+        }
+        Helper::BitOrAny => w(ops::bit_op(realm, ops::BitOp::Or, boxed(args[0]), boxed(args[1]))?),
+        Helper::BitXorAny => {
+            w(ops::bit_op(realm, ops::BitOp::Xor, boxed(args[0]), boxed(args[1]))?)
+        }
+        Helper::ShlAny => w(ops::bit_op(realm, ops::BitOp::Shl, boxed(args[0]), boxed(args[1]))?),
+        Helper::ShrAny => w(ops::bit_op(realm, ops::BitOp::Shr, boxed(args[0]), boxed(args[1]))?),
+        Helper::UShrAny => w(ops::bit_op(realm, ops::BitOp::UShr, boxed(args[0]), boxed(args[1]))?),
+        Helper::BitNotAny => w(ops::bitnot_value(realm, boxed(args[0]))?),
+        Helper::LtAny => w(ops::rel_op(realm, ops::RelOp::Lt, boxed(args[0]), boxed(args[1]))?),
+        Helper::LeAny => w(ops::rel_op(realm, ops::RelOp::Le, boxed(args[0]), boxed(args[1]))?),
+        Helper::GtAny => w(ops::rel_op(realm, ops::RelOp::Gt, boxed(args[0]), boxed(args[1]))?),
+        Helper::GeAny => w(ops::rel_op(realm, ops::RelOp::Ge, boxed(args[0]), boxed(args[1]))?),
+        Helper::EqAny => w(Value::new_bool(ops::loose_eq(realm, boxed(args[0]), boxed(args[1])))),
+        Helper::NeAny => w(Value::new_bool(!ops::loose_eq(realm, boxed(args[0]), boxed(args[1])))),
+        Helper::StrictEqAny => {
+            w(Value::new_bool(ops::strict_eq(realm, boxed(args[0]), boxed(args[1]))))
+        }
+        Helper::StrictNeAny => {
+            w(Value::new_bool(!ops::strict_eq(realm, boxed(args[0]), boxed(args[1]))))
+        }
+        Helper::NotAny => w(Value::new_bool(!ops::truthy(realm, boxed(args[0])))),
+        Helper::TruthyAny => word_from_i32(i32::from(ops::truthy(realm, boxed(args[0])))),
+        Helper::TypeofAny => {
+            let s = ops::typeof_str(realm, boxed(args[0]));
+            let v = realm.heap.alloc_string(s);
+            maybe_defer_gc(realm);
+            w(v)
+        }
+        Helper::GetPropAny => w(realm.get_prop(boxed(args[0]), Sym(args[1] as u32))?),
+        Helper::SetPropAny => {
+            realm.set_prop(boxed(args[0]), Sym(args[1] as u32), boxed(args[2]))?;
+            maybe_defer_gc(realm);
+            0
+        }
+        Helper::GetElemAny => w(realm.get_elem(boxed(args[0]), boxed(args[1]))?),
+        Helper::SetElemAny => {
+            realm.set_elem(boxed(args[0]), boxed(args[1]), boxed(args[2]))?;
+            maybe_defer_gc(realm);
+            0
+        }
+        Helper::CallNative(id) => {
+            let vals: Vec<Value> = args.iter().map(|&a| boxed(a)).collect();
+            let effects = realm.natives[id.0 as usize].effects;
+            let result = realm.call_native(id, &vals)?;
+            if effects.may_reenter {
+                // §6.5: the VM sets a flag whenever the interpreter is
+                // reentered while a compiled trace is running; the trace
+                // exits immediately after the call.
+                realm.reentered_during_trace = true;
+            }
+            maybe_defer_gc(realm);
+            w(result)
+        }
+    };
+    Ok(r)
+}
+
+fn find_sub(hay: &[u8], needle: &[u8]) -> Option<usize> {
+    if needle.is_empty() {
+        return Some(0);
+    }
+    hay.windows(needle.len()).position(|win| win == needle)
+}
+
+/// True when the object's class word matches `Array` — the check behind the
+/// paper's Figure 3 class guard.
+pub fn is_array(realm: &Realm, id: ObjectId) -> bool {
+    realm.heap.object(id).class == ObjectClass::Array
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn math_helpers_round_trip_doubles() {
+        let mut realm = Realm::new();
+        let r = call_helper(&mut realm, Helper::Sqrt, &[word_from_f64(9.0)]).unwrap();
+        assert_eq!(f64_from_word(r), 3.0);
+        let r = call_helper(&mut realm, Helper::Pow, &[word_from_f64(2.0), word_from_f64(10.0)])
+            .unwrap();
+        assert_eq!(f64_from_word(r), 1024.0);
+        // JS-style round: half goes towards +infinity.
+        let r = call_helper(&mut realm, Helper::Round, &[word_from_f64(-0.5)]).unwrap();
+        assert_eq!(f64_from_word(r), 0.0);
+        let r = call_helper(&mut realm, Helper::Round, &[word_from_f64(2.5)]).unwrap();
+        assert_eq!(f64_from_word(r), 3.0);
+    }
+
+    #[test]
+    fn char_code_at_sentinel() {
+        let mut realm = Realm::new();
+        let s = realm.heap.alloc_string("AB");
+        let sid = u64::from(s.as_string().unwrap().0);
+        let r = call_helper(&mut realm, Helper::CharCodeAt, &[sid, word_from_i32(1)]).unwrap();
+        assert_eq!(i32_from_word(r), 66);
+        // Out of range returns the -1 sentinel the recorder guards
+        // (String.charCodeAt "returns an integer or NaN", §6.3).
+        let r = call_helper(&mut realm, Helper::CharCodeAt, &[sid, word_from_i32(7)]).unwrap();
+        assert_eq!(i32_from_word(r), -1);
+        let r = call_helper(&mut realm, Helper::CharCodeAt, &[sid, word_from_i32(-1)]).unwrap();
+        assert_eq!(i32_from_word(r), -1);
+    }
+
+    #[test]
+    fn array_set_elem_is_js_array_set() {
+        let mut realm = Realm::new();
+        let arr = realm.new_array(2);
+        let ok = call_helper(
+            &mut realm,
+            Helper::ArraySetElem,
+            &[u64::from(arr.0), word_from_i32(5), Value::FALSE.raw()],
+        )
+        .unwrap();
+        assert_eq!(i32_from_word(ok), 1);
+        assert_eq!(realm.heap.object(arr).array_length(), 6);
+        assert_eq!(realm.heap.object(arr).element(5), Value::FALSE);
+        let neg = call_helper(
+            &mut realm,
+            Helper::ArraySetElem,
+            &[u64::from(arr.0), word_from_i32(-1), Value::FALSE.raw()],
+        );
+        assert!(neg.is_err());
+    }
+
+    #[test]
+    fn generic_add_matches_ops() {
+        let mut realm = Realm::new();
+        let r = call_helper(
+            &mut realm,
+            Helper::AddAny,
+            &[Value::new_int(2).raw(), Value::new_int(40).raw()],
+        )
+        .unwrap();
+        assert_eq!(Value::from_raw(r).as_int(), Some(42));
+    }
+
+    #[test]
+    fn box_helpers() {
+        let mut realm = Realm::new();
+        let r = call_helper(&mut realm, Helper::BoxInt, &[word_from_i32(7)]).unwrap();
+        assert_eq!(Value::from_raw(r).as_int(), Some(7));
+        let r = call_helper(&mut realm, Helper::BoxDouble, &[word_from_f64(2.5)]).unwrap();
+        assert_eq!(realm.heap.number_value(Value::from_raw(r)), Some(2.5));
+        // BoxDouble of an integral double re-compresses to the int rep.
+        let r = call_helper(&mut realm, Helper::BoxDouble, &[word_from_f64(3.0)]).unwrap();
+        assert_eq!(Value::from_raw(r).as_int(), Some(3));
+    }
+
+    #[test]
+    fn allocation_past_threshold_defers_gc() {
+        let mut realm = Realm::new();
+        realm.heap.set_gc_threshold(1);
+        let _ = call_helper(&mut realm, Helper::NewArray, &[word_from_i32(4)]).unwrap();
+        let _ = call_helper(&mut realm, Helper::NewArray, &[word_from_i32(4)]).unwrap();
+        assert!(realm.heap.gc_pending, "on-trace allocation defers GC via gc_pending");
+    }
+
+    #[test]
+    fn substring_clamps_and_swaps() {
+        let mut realm = Realm::new();
+        let s = realm.heap.alloc_string("hello");
+        let sid = u64::from(s.as_string().unwrap().0);
+        // String-producing helpers return raw handles (trace convention).
+        let r = call_helper(
+            &mut realm,
+            Helper::Substring,
+            &[sid, word_from_i32(3), word_from_i32(1)],
+        )
+        .unwrap();
+        assert_eq!(realm.heap.string(StringId(r as u32)), b"el");
+        let r = call_helper(
+            &mut realm,
+            Helper::Substring,
+            &[sid, word_from_i32(-5), word_from_i32(99)],
+        )
+        .unwrap();
+        assert_eq!(realm.heap.string(StringId(r as u32)), b"hello");
+    }
+
+    #[test]
+    fn concat_returns_a_handle() {
+        let mut realm = Realm::new();
+        let a = realm.heap.alloc_string("ab");
+        let b = realm.heap.alloc_string("cd");
+        let r = call_helper(
+            &mut realm,
+            Helper::ConcatStrings,
+            &[
+                u64::from(a.as_string().unwrap().0),
+                u64::from(b.as_string().unwrap().0),
+            ],
+        )
+        .unwrap();
+        assert_eq!(realm.heap.string(StringId(r as u32)), b"abcd");
+    }
+}

@@ -1,0 +1,53 @@
+//! Quickstart: run the paper's Figure 1 program (sieve of Eratosthenes)
+//! under the tracing JIT and inspect what got compiled.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use tracemonkey::{Engine, JitOptions, Vm};
+
+fn main() -> Result<(), tracemonkey::VmError> {
+    let source = "
+        var primes = [];
+        for (var i = 0; i < 10000; i++) primes[i] = true;
+        for (var i = 2; i < 10000; ++i) {
+            if (!primes[i]) continue;
+            for (var k = i + i; k < 10000; k += i)
+                primes[k] = false;
+        }
+        var count = 0;
+        for (var i = 2; i < 10000; i++) if (primes[i]) count++;
+        print('primes below 10000:', count);
+        count
+    ";
+
+    let mut opts = JitOptions::default();
+    opts.profile = true;
+    let mut vm = Vm::with_options(Engine::Tracing, opts);
+    let value = vm.eval(source)?;
+    println!("{}", vm.output().trim());
+    println!("completion value: {:?}", vm.realm.heap.number_value(value));
+
+    let monitor = vm.monitor().expect("tracing run");
+    println!("\ncompiled {} trace trees:", monitor.cache.len());
+    for tree in monitor.cache.iter() {
+        println!(
+            "  tree {:?} at {:?}: {} fragment(s), entered {} times, {} native iterations",
+            tree.id,
+            tree.anchor,
+            tree.fragments.len(),
+            tree.stats.enters,
+            tree.stats.iterations
+        );
+    }
+    let p = vm.profile().expect("profile");
+    println!(
+        "\nbytecodes: {} interpreted, {} recorded, {} native ({:.1}% on trace)",
+        p.bytecodes_interp,
+        p.bytecodes_recorded,
+        p.bytecodes_native,
+        100.0 * p.native_bytecode_fraction()
+    );
+    Ok(())
+}

@@ -1,0 +1,63 @@
+//! Renders a tiny ASCII ray-traced scene with the guest language under the
+//! tracing JIT — a domain-scenario example exercising constructors,
+//! prototype property access, nested loops, and double math.
+//!
+//! ```sh
+//! cargo run --release --example raytrace
+//! ```
+
+use tracemonkey::{Engine, Vm};
+
+const SCENE: &str = "
+function Sphere(cx, cy, cz, r) {
+    this.cx = cx; this.cy = cy; this.cz = cz; this.r2 = r * r;
+}
+var spheres = [new Sphere(0, 0, 6, 2), new Sphere(2.5, 1.5, 8, 1.5), new Sphere(-2.5, -1, 7, 1)];
+var shades = ' .:-=+*#%@';
+var width = 78, height = 36;
+var out = '';
+for (var py = 0; py < height; py++) {
+    var row = '';
+    for (var px = 0; px < width; px++) {
+        var dx = (px - width / 2) / width * 1.6;
+        var dy = (py - height / 2) / height * 1.2;
+        var dz = 1.0;
+        var len = Math.sqrt(dx * dx + dy * dy + dz * dz);
+        dx /= len; dy /= len; dz /= len;
+        var best = 1e30;
+        var hit = -1;
+        for (var s = 0; s < 3; s++) {
+            var sp = spheres[s];
+            var b = -(sp.cx * dx + sp.cy * dy + sp.cz * dz);
+            var c = sp.cx * sp.cx + sp.cy * sp.cy + sp.cz * sp.cz - sp.r2;
+            var disc = b * b - c;
+            if (disc > 0) {
+                var t = -b - Math.sqrt(disc);
+                if (t > 0 && t < best) { best = t; hit = s; }
+            }
+        }
+        if (hit >= 0) {
+            var sp = spheres[hit];
+            var hx = dx * best - sp.cx, hy = dy * best - sp.cy, hz = dz * best - sp.cz;
+            var nl = Math.sqrt(hx * hx + hy * hy + hz * hz);
+            var light = (hx * -0.6 + hy * -0.6 + hz * -0.5) / nl;
+            if (light < 0) light = 0;
+            var idx = Math.floor(light * 9);
+            row += shades.charAt(idx);
+        } else {
+            row += ' ';
+        }
+    }
+    out += row + '\\n';
+}
+print(out);
+spheres.length
+";
+
+fn main() {
+    let mut vm = Vm::new(Engine::Tracing);
+    vm.eval(SCENE).expect("render");
+    println!("{}", vm.output());
+    let m = vm.monitor().expect("tracing");
+    println!("(rendered with {} compiled trace trees)", m.cache.len());
+}

@@ -1,0 +1,37 @@
+//! A tiny REPL over the tracing VM. Globals persist between lines.
+//!
+//! ```sh
+//! cargo run --release --example repl
+//! ```
+
+use std::io::{BufRead, Write};
+use tracemonkey::{Engine, Vm};
+
+fn main() {
+    let mut vm = Vm::new(Engine::Tracing);
+    let stdin = std::io::stdin();
+    println!("tracemonkey repl — enter JTS statements; ctrl-d to exit");
+    loop {
+        print!("> ");
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break;
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let before = vm.output().len();
+        match vm.eval(&line) {
+            Ok(v) => {
+                let new_output = &vm.output()[before..];
+                if !new_output.is_empty() {
+                    print!("{new_output}");
+                }
+                let text = tracemonkey::runtime::ops::to_display(&mut vm.realm, v);
+                println!("= {text}");
+            }
+            Err(e) => println!("error: {e}"),
+        }
+    }
+}

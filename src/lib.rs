@@ -1,0 +1,207 @@
+//! # tracemonkey
+//!
+//! A from-scratch Rust reproduction of **"Trace-based Just-in-Time Type
+//! Specialization for Dynamic Languages"** (Gal et al., PLDI 2009) — the
+//! TraceMonkey system: a trace-recording, type-specializing JIT for a
+//! dynamic language, together with the full substrate it needs (language
+//! frontend, bytecode interpreter, object model with shapes, mark-sweep
+//! GC, LIR optimizer, and a register-allocating backend) and the baseline
+//! engines its evaluation compares against.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use tracemonkey::{Engine, Vm};
+//!
+//! let mut vm = Vm::new(Engine::Tracing);
+//! let v = vm.eval("
+//!     var primes = [];
+//!     for (var i = 0; i < 100; i++) primes[i] = true;
+//!     for (var i = 2; i < 100; ++i) {
+//!         if (!primes[i]) continue;
+//!         for (var k = i + i; k < 100; k += i) primes[k] = false;
+//!     }
+//!     var count = 0;
+//!     for (var i = 2; i < 100; i++) if (primes[i]) count++;
+//!     count
+//! ")?;
+//! assert_eq!(vm.realm.heap.number_value(v), Some(25.0));
+//! # Ok::<(), tracemonkey::VmError>(())
+//! ```
+//!
+//! ## Engines
+//!
+//! * [`Engine::Interp`] — baseline bytecode interpreter (the paper's
+//!   SpiderMonkey baseline);
+//! * [`Engine::FastInterp`] — interpreter with inline fast paths (the
+//!   SquirrelFish Extreme stand-in);
+//! * [`Engine::Method`] — whole-function compiler without type
+//!   specialization (the 2009 V8 stand-in);
+//! * [`Engine::Tracing`] — the TraceMonkey tracing JIT.
+//!
+//! See `DESIGN.md` for the architecture and the substitutions made
+//! relative to the paper, and `EXPERIMENTS.md` for the reproduced
+//! evaluation.
+
+pub use tm_bytecode as bytecode;
+pub use tm_core as jit;
+pub use tm_frontend as frontend;
+pub use tm_interp as interp;
+pub use tm_lir as lir;
+pub use tm_methodjit as methodjit;
+pub use tm_nanojit as nanojit;
+pub use tm_runtime as runtime;
+
+pub use tm_core::config::JitOptions;
+pub use tm_core::monitor::Monitor;
+pub use tm_runtime::{Realm, RuntimeError, Value};
+
+use tm_core::profiler::ProfileStats;
+use tm_interp::{Interp, RunExit};
+use tm_methodjit::MethodVm;
+
+/// Which execution engine a [`Vm`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// Baseline bytecode interpreter (SpiderMonkey stand-in, 1.0x).
+    Interp,
+    /// Interpreter with inline fast paths (SquirrelFish Extreme stand-in).
+    FastInterp,
+    /// Method-at-a-time compiler without type specialization (2009 V8
+    /// stand-in).
+    Method,
+    /// The TraceMonkey tracing JIT.
+    Tracing,
+}
+
+/// An error from [`Vm::eval`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum VmError {
+    /// Lexing/parsing failed.
+    Parse(tm_frontend::ParseError),
+    /// Bytecode compilation failed.
+    Compile(tm_bytecode::CompileError),
+    /// The guest program raised an error.
+    Runtime(RuntimeError),
+}
+
+impl std::fmt::Display for VmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VmError::Parse(e) => e.fmt(f),
+            VmError::Compile(e) => e.fmt(f),
+            VmError::Runtime(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+/// A complete guest-language virtual machine over any of the four engines.
+#[derive(Debug)]
+pub struct Vm {
+    /// The execution environment (globals persist across `eval` calls).
+    pub realm: Realm,
+    engine: Engine,
+    opts: JitOptions,
+    monitor: Option<Monitor>,
+    last_interp: Option<Interp>,
+    /// Step budget applied per eval (bounds runaway programs; mainly for
+    /// fuzzing).
+    pub step_budget: u64,
+}
+
+impl Vm {
+    /// Creates a VM for `engine` with default options.
+    pub fn new(engine: Engine) -> Vm {
+        Vm::with_options(engine, JitOptions::default())
+    }
+
+    /// Creates a VM with explicit JIT options (relevant to
+    /// [`Engine::Tracing`]).
+    pub fn with_options(engine: Engine, opts: JitOptions) -> Vm {
+        Vm {
+            realm: Realm::new(),
+            engine,
+            opts,
+            monitor: None,
+            last_interp: None,
+            step_budget: u64::MAX,
+        }
+    }
+
+    /// The engine this VM runs.
+    pub fn engine(&self) -> Engine {
+        self.engine
+    }
+
+    /// Evaluates a program, returning its completion value (the value of
+    /// the last top-level expression statement).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError`] for parse, compile, or runtime failures.
+    pub fn eval(&mut self, source: &str) -> Result<Value, VmError> {
+        let ast = tm_frontend::parse(source).map_err(VmError::Parse)?;
+        let prog = tm_bytecode::compile(&ast, &mut self.realm).map_err(VmError::Compile)?;
+        match self.engine {
+            Engine::Interp | Engine::FastInterp => {
+                let mut interp = Interp::new(prog, &mut self.realm);
+                interp.steps_remaining = self.step_budget;
+                interp.fast_paths = self.engine == Engine::FastInterp;
+                let r = match interp.run(&mut self.realm) {
+                    Ok(RunExit::Finished(v)) => Ok(v),
+                    Ok(RunExit::LoopEdge { .. }) => unreachable!("monitor disabled"),
+                    Err(e) => Err(VmError::Runtime(e)),
+                };
+                self.last_interp = Some(interp);
+                r
+            }
+            Engine::Method => {
+                let mut mvm = MethodVm::new(prog, &mut self.realm);
+                mvm.steps_remaining = self.step_budget;
+                mvm.run(&mut self.realm).map_err(VmError::Runtime)
+            }
+            Engine::Tracing => {
+                let mut interp = Interp::new(prog, &mut self.realm);
+                interp.steps_remaining = self.step_budget;
+                let mut monitor = Monitor::new(self.opts);
+                let r = monitor.run_program(&mut interp, &mut self.realm);
+                self.monitor = Some(monitor);
+                self.last_interp = Some(interp);
+                r.map_err(VmError::Runtime)
+            }
+        }
+    }
+
+    /// Evaluates and coerces the result to a number (`None` when the
+    /// completion value is not numeric).
+    ///
+    /// # Errors
+    ///
+    /// See [`Vm::eval`].
+    pub fn eval_number(&mut self, source: &str) -> Result<Option<f64>, VmError> {
+        let v = self.eval(source)?;
+        Ok(self.realm.heap.number_value(v))
+    }
+
+    /// Accumulated `print` output.
+    pub fn output(&self) -> &str {
+        &self.realm.output
+    }
+
+    /// The monitor of the last tracing run (trees, events, profile).
+    pub fn monitor(&self) -> Option<&Monitor> {
+        self.monitor.as_ref()
+    }
+
+    /// The interpreter of the last interpreter/tracing run.
+    pub fn interp(&self) -> Option<&Interp> {
+        self.last_interp.as_ref()
+    }
+
+    /// Profile statistics of the last tracing run (Figures 11/12 data).
+    pub fn profile(&self) -> Option<&ProfileStats> {
+        self.monitor.as_ref().map(|m| &m.profiler.stats)
+    }
+}

@@ -1,0 +1,259 @@
+//! A JSFUNFUZZ-style fuzzer (§6.6): generates random loop-heavy programs
+//! and differentially tests every engine against the interpreter. "We
+//! modified JSFUNFUZZ to generate loops, and also to test more heavily
+//! certain constructs we suspected would reveal flaws" — here: nested
+//! loops, type-unstable variables, integer overflow boundaries, arrays,
+//! and branchy control flow.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tracemonkey::{Engine, Vm};
+
+struct Gen {
+    rng: StdRng,
+    vars: Vec<String>,
+    arrays: Vec<String>,
+    loop_depth: u32,
+    next_id: u32,
+    out: String,
+    indent: usize,
+}
+
+impl Gen {
+    fn new(seed: u64) -> Gen {
+        Gen {
+            rng: StdRng::seed_from_u64(seed),
+            vars: Vec::new(),
+            arrays: Vec::new(),
+            loop_depth: 0,
+            next_id: 0,
+            out: String::new(),
+            indent: 0,
+        }
+    }
+
+    fn fresh(&mut self, prefix: &str) -> String {
+        self.next_id += 1;
+        format!("{prefix}{}", self.next_id)
+    }
+
+    fn line(&mut self, text: &str) {
+        for _ in 0..self.indent {
+            self.out.push_str("    ");
+        }
+        self.out.push_str(text);
+        self.out.push('\n');
+    }
+
+    /// A random arithmetic expression over existing variables.
+    fn expr(&mut self, depth: u32) -> String {
+        if depth == 0 || self.rng.gen_bool(0.35) {
+            return match self.rng.gen_range(0..6) {
+                0 => format!("{}", self.rng.gen_range(-100..100)),
+                1 => format!("{}", self.rng.gen_range(-3.0..3.0)),
+                // Values near the 31-bit boxing boundary stress the
+                // overflow guards.
+                2 => format!("{}", 1_073_741_823i64 - i64::from(self.rng.gen_range(0..3))),
+                _ => {
+                    if self.vars.is_empty() {
+                        "1".to_owned()
+                    } else {
+                        let i = self.rng.gen_range(0..self.vars.len());
+                        self.vars[i].clone()
+                    }
+                }
+            };
+        }
+        let a = self.expr(depth - 1);
+        let b = self.expr(depth - 1);
+        let op = ["+", "-", "*", "&", "|", "^", "%", ">>", "<<", ">>>"]
+            [self.rng.gen_range(0..10)];
+        if op == "%" {
+            // Avoid NaN spam (but keep some).
+            format!("(({a}) % ((({b}) & 7) + 2))")
+        } else {
+            format!("(({a}) {op} ({b}))")
+        }
+    }
+
+    fn condition(&mut self) -> String {
+        let a = self.expr(1);
+        let b = self.expr(1);
+        let op = ["<", "<=", ">", ">=", "==", "!=", "===", "!=="][self.rng.gen_range(0..8)];
+        format!("({a}) {op} ({b})")
+    }
+
+    fn statement(&mut self, budget: &mut u32) {
+        if *budget == 0 {
+            return;
+        }
+        *budget -= 1;
+        match self.rng.gen_range(0..10) {
+            0 | 1 => {
+                // New variable.
+                let v = self.fresh("v");
+                let e = self.expr(2);
+                self.line(&format!("var {v} = {e};"));
+                self.vars.push(v);
+            }
+            2 | 3 => {
+                // Assignment / compound assignment.
+                if let Some(i) = self.pick_var() {
+                    let v = self.vars[i].clone();
+                    let e = self.expr(2);
+                    let op = ["=", "+=", "-=", "*=", "&=", "^=", "|="]
+                        [self.rng.gen_range(0..7)];
+                    self.line(&format!("{v} {op} {e};"));
+                }
+            }
+            4 => {
+                // Array write (creates the array on first use).
+                let a = if self.arrays.is_empty() || self.rng.gen_bool(0.3) {
+                    let a = self.fresh("arr");
+                    self.line(&format!("var {a} = [];"));
+                    self.arrays.push(a.clone());
+                    a
+                } else {
+                    let i = self.rng.gen_range(0..self.arrays.len());
+                    self.arrays[i].clone()
+                };
+                let idx = self.rng.gen_range(0..16);
+                let e = self.expr(2);
+                self.line(&format!("{a}[{idx}] = {e};"));
+            }
+            5 => {
+                // Array read into a var.
+                if !self.arrays.is_empty() {
+                    let ai = self.rng.gen_range(0..self.arrays.len());
+                    let a = self.arrays[ai].clone();
+                    let v = self.fresh("v");
+                    let idx = self.rng.gen_range(0..20);
+                    self.line(&format!("var {v} = {a}[{idx}] | 0;"));
+                    self.vars.push(v);
+                }
+            }
+            6 | 7 => {
+                // If / else.
+                let c = self.condition();
+                self.line(&format!("if ({c}) {{"));
+                self.indent += 1;
+                self.statement(budget);
+                self.indent -= 1;
+                if self.rng.gen_bool(0.5) {
+                    self.line("} else {");
+                    self.indent += 1;
+                    self.statement(budget);
+                    self.indent -= 1;
+                }
+                self.line("}");
+            }
+            _ => {
+                // Loop (bounded, nesting-limited).
+                if self.loop_depth < 3 {
+                    let i = self.fresh("i");
+                    let n = self.rng.gen_range(3..60);
+                    self.line(&format!("for (var {i} = 0; {i} < {n}; {i}++) {{"));
+                    self.vars.push(i);
+                    self.indent += 1;
+                    self.loop_depth += 1;
+                    let mut inner = self.rng.gen_range(1..4u32).min(*budget);
+                    while inner > 0 {
+                        self.statement(budget);
+                        inner -= 1;
+                    }
+                    self.loop_depth -= 1;
+                    self.indent -= 1;
+                    self.line("}");
+                    self.vars.pop();
+                }
+            }
+        }
+    }
+
+    fn pick_var(&mut self) -> Option<usize> {
+        if self.vars.is_empty() {
+            None
+        } else {
+            Some(self.rng.gen_range(0..self.vars.len()))
+        }
+    }
+
+    fn program(mut self) -> String {
+        // Seed variables of mixed types (type-instability fodder).
+        self.line("var acc = 0;");
+        self.vars.push("acc".into());
+        self.line("var dbl = 0.5;");
+        self.vars.push("dbl".into());
+        // A hot outer loop so tracing definitely kicks in.
+        let outer = self.rng.gen_range(20..120);
+        self.line(&format!("for (var main = 0; main < {outer}; main++) {{"));
+        self.vars.push("main".into());
+        self.indent += 1;
+        self.loop_depth += 1;
+        let mut budget = self.rng.gen_range(4..14u32);
+        while budget > 0 {
+            self.statement(&mut budget);
+        }
+        // Fold locals into the accumulator so everything is observable.
+        let fold = self
+            .vars
+            .clone()
+            .iter()
+            .map(|v| format!("({v} | 0)"))
+            .collect::<Vec<_>>()
+            .join(" + ");
+        self.line(&format!("acc = (acc + {fold}) | 0;"));
+        self.loop_depth -= 1;
+        self.indent -= 1;
+        self.line("}");
+        self.line("acc");
+        self.out
+    }
+}
+
+fn run(engine: Engine, src: &str) -> Result<String, String> {
+    let mut vm = Vm::new(engine);
+    vm.step_budget = 30_000_000;
+    match vm.eval(src) {
+        Ok(v) => Ok(tracemonkey::runtime::ops::to_display(&mut vm.realm, v)),
+        Err(e) => Err(format!("{e}")),
+    }
+}
+
+fn fuzz_range(seeds: std::ops::Range<u64>) {
+    for seed in seeds {
+        let src = Gen::new(seed).program();
+        let baseline = run(Engine::Interp, &src);
+        for engine in [Engine::Tracing, Engine::Method, Engine::FastInterp] {
+            let got = run(engine, &src);
+            assert_eq!(
+                baseline, got,
+                "seed {seed}: {engine:?} disagrees with the interpreter on:\n{src}"
+            );
+        }
+    }
+}
+
+#[test]
+fn fuzz_seeds_0_to_100() {
+    fuzz_range(0..100);
+}
+
+#[test]
+fn fuzz_seeds_100_to_200() {
+    fuzz_range(100..200);
+}
+
+#[test]
+fn fuzz_seeds_200_to_300() {
+    fuzz_range(200..300);
+}
+
+/// Extended sweep, enabled with `TM_FUZZ_RANGE=start..end` (not run by
+/// default; used for deeper soak testing).
+#[test]
+fn fuzz_extended_sweep() {
+    let Ok(range) = std::env::var("TM_FUZZ_RANGE") else { return };
+    let (a, b) = range.split_once("..").expect("start..end");
+    fuzz_range(a.parse().expect("start")..b.parse().expect("end"));
+}

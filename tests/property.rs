@@ -1,0 +1,219 @@
+//! Property-based tests (proptest) on core invariants:
+//!
+//! * value tagging round-trips (Figure 9);
+//! * shared operator semantics algebraic properties;
+//! * LIR forward/backward filters preserve trace semantics (random pure
+//!   integer expression DAGs executed with filters on vs. off);
+//! * the register allocator never mixes up live values (implied by the
+//!   same execution equivalence under register pressure).
+
+use proptest::prelude::*;
+use tracemonkey::lir::{FilterOptions, Lir, LirBuffer, LirType};
+use tracemonkey::nanojit::{assemble, execute, NoNesting};
+use tracemonkey::runtime::{ops, Realm};
+use tracemonkey::Value;
+
+proptest! {
+    #[test]
+    fn value_int_round_trip(i in -(1i64 << 30)..(1i64 << 30)) {
+        let v = Value::new_int_checked(i).expect("in range");
+        prop_assert_eq!(v.as_int(), Some(i as i32));
+        prop_assert_eq!(Value::from_raw(v.raw()), v);
+        prop_assert!(v.is_number());
+    }
+
+    #[test]
+    fn number_boxing_preserves_value(d in proptest::num::f64::NORMAL | proptest::num::f64::ZERO) {
+        let mut realm = Realm::new();
+        let v = realm.heap.number(d);
+        prop_assert_eq!(realm.heap.number_value(v), Some(d));
+    }
+
+    #[test]
+    fn to_int32_is_additive_mod_2_32(a in any::<i32>(), b in any::<i32>()) {
+        // ToInt32(a) + ToInt32(b) ≡ a + b (mod 2^32): the property the
+        // trace's wrapping integer ops rely on.
+        let realm = Realm::new();
+        let _ = &realm;
+        let wrap = ops::double_to_int32(f64::from(a) + f64::from(b));
+        prop_assert_eq!(wrap, a.wrapping_add(b));
+    }
+
+    #[test]
+    fn strict_eq_is_reflexive_for_non_nan(i in any::<i32>()) {
+        let mut realm = Realm::new();
+        let v = realm.heap.number_i32(i);
+        prop_assert!(ops::strict_eq(&realm, v, v));
+    }
+
+    #[test]
+    fn add_values_matches_f64_semantics(a in -1e9f64..1e9, b in -1e9f64..1e9) {
+        let mut realm = Realm::new();
+        let va = realm.heap.number(a);
+        let vb = realm.heap.number(b);
+        let sum = ops::add_values(&mut realm, va, vb).expect("numbers add");
+        prop_assert_eq!(realm.heap.number_value(sum), Some(a + b));
+    }
+}
+
+/// A random pure-integer expression DAG over two imports, expressed as LIR.
+#[derive(Debug, Clone)]
+enum Node {
+    Import(u8),
+    Const(i32),
+    Bin(u8, Box<Node>, Box<Node>),
+    Un(u8, Box<Node>),
+}
+
+fn node_strategy() -> impl Strategy<Value = Node> {
+    let leaf = prop_oneof![
+        (0u8..2).prop_map(Node::Import),
+        (-1000i32..1000).prop_map(Node::Const),
+    ];
+    leaf.prop_recursive(5, 64, 3, |inner| {
+        prop_oneof![
+            (0u8..8, inner.clone(), inner.clone())
+                .prop_map(|(op, a, b)| Node::Bin(op, Box::new(a), Box::new(b))),
+            (0u8..2, inner).prop_map(|(op, a)| Node::Un(op, Box::new(a))),
+        ]
+    })
+}
+
+fn emit(node: &Node, buf: &mut LirBuffer, imports: &[u32; 2]) -> u32 {
+    match node {
+        Node::Import(i) => imports[*i as usize % 2],
+        Node::Const(c) => buf.emit(Lir::ConstI(*c)),
+        Node::Bin(op, a, b) => {
+            let x = emit(a, buf, imports);
+            let y = emit(b, buf, imports);
+            buf.emit(match op % 8 {
+                0 => Lir::AddI(x, y),
+                1 => Lir::SubI(x, y),
+                2 => Lir::MulI(x, y),
+                3 => Lir::AndI(x, y),
+                4 => Lir::OrI(x, y),
+                5 => Lir::XorI(x, y),
+                6 => Lir::ShlI(x, y),
+                _ => Lir::ShrI(x, y),
+            })
+        }
+        Node::Un(op, a) => {
+            let x = emit(a, buf, imports);
+            buf.emit(match op % 2 {
+                0 => Lir::NotI(x),
+                _ => Lir::NegI(x),
+            })
+        }
+    }
+}
+
+/// Builds a one-shot trace computing `node` into AR slot 2 and executes it.
+fn eval_node(node: &Node, a: i32, b: i32, opts: FilterOptions) -> i32 {
+    let mut buf = LirBuffer::new(opts);
+    let i0 = buf.emit(Lir::Import { slot: 0, ty: LirType::Int });
+    let i1 = buf.emit(Lir::Import { slot: 1, ty: LirType::Int });
+    let v = emit(node, &mut buf, &[i0, i1]);
+    buf.emit(Lir::WriteAr { slot: 2, v });
+    let e = buf.alloc_exit();
+    buf.emit(Lir::End(e));
+    let mut trace = buf.into_trace();
+    let liveness = tracemonkey::lir::ExitLiveness { live_slots: vec![vec![2]; 8] };
+    tracemonkey::lir::run_backward_filters(&mut trace, &liveness, &[]);
+    let frag = assemble(&trace);
+    let mut realm = Realm::new();
+    let mut ar = vec![i64::from(a) as u64, i64::from(b) as u64, 0];
+    execute(&[frag], 0, &mut ar, &mut realm, &mut NoNesting, u64::MAX).expect("pure trace");
+    ar[2] as i32
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// CSE + folding + demotion + DCE must not change what a trace
+    /// computes (§5.1's filters are semantics-preserving).
+    #[test]
+    fn filters_preserve_semantics(node in node_strategy(), a in any::<i32>(), b in any::<i32>()) {
+        let unopt = eval_node(&node, a, b, FilterOptions {
+            fold: false, cse: false, demote: false, softfloat: false,
+        });
+        let opt = eval_node(&node, a, b, FilterOptions::default());
+        prop_assert_eq!(unopt, opt);
+    }
+
+    /// The greedy register allocator must produce correct code even under
+    /// heavy pressure (many simultaneously-live values): compare against
+    /// direct evaluation of the DAG.
+    #[test]
+    fn regalloc_is_correct_under_pressure(nodes in proptest::collection::vec(node_strategy(), 1..12), a in any::<i32>(), b in any::<i32>()) {
+        fn direct(node: &Node, a: i32, b: i32) -> i32 {
+            match node {
+                Node::Import(0) => a,
+                Node::Import(_) => b,
+                Node::Const(c) => *c,
+                Node::Bin(op, x, y) => {
+                    let (x, y) = (direct(x, a, b), direct(y, a, b));
+                    match op % 8 {
+                        0 => x.wrapping_add(y),
+                        1 => x.wrapping_sub(y),
+                        2 => x.wrapping_mul(y),
+                        3 => x & y,
+                        4 => x | y,
+                        5 => x ^ y,
+                        6 => x.wrapping_shl((y & 31) as u32),
+                        _ => x.wrapping_shr((y & 31) as u32),
+                    }
+                }
+                Node::Un(op, x) => {
+                    let x = direct(x, a, b);
+                    if op % 2 == 0 { !x } else { x.wrapping_neg() }
+                }
+            }
+        }
+        // All nodes' results stay live to the end: XOR them together at
+        // the end to force long live ranges (spill pressure).
+        let mut buf = LirBuffer::new(FilterOptions { cse: false, fold: false, ..Default::default() });
+        let i0 = buf.emit(Lir::Import { slot: 0, ty: LirType::Int });
+        let i1 = buf.emit(Lir::Import { slot: 1, ty: LirType::Int });
+        let vals: Vec<u32> = nodes.iter().map(|n| emit(n, &mut buf, &[i0, i1])).collect();
+        let mut accum = vals[0];
+        for &v in &vals[1..] {
+            accum = buf.emit(Lir::XorI(accum, v));
+        }
+        buf.emit(Lir::WriteAr { slot: 2, v: accum });
+        let e = buf.alloc_exit();
+        buf.emit(Lir::End(e));
+        let trace = buf.into_trace();
+        let frag = assemble(&trace);
+        let mut realm = Realm::new();
+        let mut ar = vec![i64::from(a) as u64, i64::from(b) as u64, 0];
+        execute(&[frag], 0, &mut ar, &mut realm, &mut NoNesting, u64::MAX).expect("pure trace");
+
+        let mut expect = direct(&nodes[0], a, b);
+        for n in &nodes[1..] {
+            expect ^= direct(n, a, b);
+        }
+        prop_assert_eq!(ar[2] as i32, expect);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Mini guest programs over a grammar template: all engines agree.
+    #[test]
+    fn template_programs_agree(
+        n in 10u32..200,
+        k in 1i32..50,
+        m in 2i32..9,
+        init in -5i32..5,
+    ) {
+        let src = format!(
+            "var s = {init}; for (var i = 0; i < {n}; i++) {{ if (i % {m}) s += {k}; else s -= i; }} s"
+        );
+        let mut vi = tracemonkey::Vm::new(tracemonkey::Engine::Interp);
+        let ri = vi.eval_number(&src).unwrap();
+        let mut vt = tracemonkey::Vm::new(tracemonkey::Engine::Tracing);
+        let rt = vt.eval_number(&src).unwrap();
+        prop_assert_eq!(ri, rt);
+    }
+}

@@ -1,0 +1,215 @@
+//! Integration tests of runtime behavior under the tracing JIT: GC safe
+//! points, shape guards across object workloads, constructor-heavy loops,
+//! and FFI fast-call specialization.
+
+use tracemonkey::{Engine, JitOptions, Vm};
+
+fn traced_eval(src: &str) -> (Option<f64>, Vm) {
+    let mut vm = Vm::new(Engine::Tracing);
+    let v = vm.eval_number(src).expect("program runs");
+    (v, vm)
+}
+
+#[test]
+fn gc_runs_during_traced_execution_without_corruption() {
+    let mut vm = Vm::new(Engine::Tracing);
+    vm.realm.heap.set_gc_threshold(4096); // force frequent collections
+    let v = vm
+        .eval_number(
+            "var keep = [];
+             var sum = 0;
+             for (var i = 0; i < 20000; i++) {
+                 var s = 'str' + (i % 100);
+                 sum += s.length;
+                 if (i % 1000 === 0) keep.push(s);
+             }
+             sum + keep.length",
+        )
+        .expect("runs with frequent GC");
+    // 'str' + k: lengths 4 (k<10) and 5 (k<100): per 100: 10*4 + 90*5 = 490.
+    assert_eq!(v, Some(490.0 * 200.0 + 20.0));
+    assert!(vm.realm.heap.gc_stats().collections > 0, "collections actually happened");
+}
+
+#[test]
+fn gc_preserves_trace_constants() {
+    // Function objects and prototype objects referenced by compiled traces
+    // must survive collections (they are rooted through globals).
+    let mut vm = Vm::new(Engine::Tracing);
+    vm.realm.heap.set_gc_threshold(2048);
+    let v = vm
+        .eval_number(
+            "function Point(x) { this.x = x; }
+             var total = 0;
+             for (var i = 0; i < 5000; i++) {
+                 var p = new Point(i % 10);
+                 total += p.x;
+             }
+             total",
+        )
+        .expect("constructor loop under GC pressure");
+    assert_eq!(v, Some(4.5 * 5000.0));
+}
+
+#[test]
+fn shape_guards_catch_shape_changes() {
+    // The loop reads o.a through a shape guard; adding a property later
+    // changes the shape, the guard exits, and execution stays correct.
+    let (v, _) = traced_eval(
+        "var o = {a: 1};
+         var s = 0;
+         for (var i = 0; i < 1000; i++) {
+             s += o.a;
+             if (i === 500) o.b = 99; // shape transition mid-loop
+         }
+         s + o.b",
+    );
+    assert_eq!(v, Some(1099.0));
+}
+
+#[test]
+fn polymorphic_shapes_are_handled() {
+    let (v, _) = traced_eval(
+        "function mk(kind, n) {
+             if (kind) return {a: n, b: 0};
+             return {b: n};
+         }
+         var s = 0;
+         for (var i = 0; i < 2000; i++) {
+             var o = mk(i % 2, i % 7);
+             s += o.b + (i % 2 ? o.a : 0);
+         }
+         s",
+    );
+    let mut check = 0.0;
+    for i in 0..2000 {
+        let n = (i % 7) as f64;
+        if i % 2 == 1 {
+            check += n; // {a: n, b: 0}: b + a = n
+        } else {
+            check += n; // {b: n}
+        }
+    }
+    assert_eq!(v, Some(check));
+}
+
+#[test]
+fn prototype_chain_reads_stay_correct() {
+    let (v, _) = traced_eval(
+        "function Base() { }
+         var proto = new Base();
+         proto.shared = 5;
+         function Child() { }
+         var s = 0;
+         for (var i = 0; i < 500; i++) {
+             var c = new Base();
+             s += proto.shared;
+         }
+         s",
+    );
+    assert_eq!(v, Some(2500.0));
+}
+
+#[test]
+fn fast_call_natives_specialize_on_trace() {
+    // Math natives with FastNative annotations should still be exact.
+    let (v, vm) = traced_eval(
+        "var s = 0;
+         for (var i = 0; i < 3000; i++) {
+             s += Math.sqrt(i) * Math.abs(-2) + Math.min(i, 10);
+         }
+         Math.floor(s)",
+    );
+    let mut check = 0.0f64;
+    for i in 0..3000 {
+        check += (i as f64).sqrt() * 2.0 + (i as f64).min(10.0);
+    }
+    assert_eq!(v, Some(check.floor()));
+    let p = vm.profile().unwrap();
+    assert!(p.native_bytecode_fraction() > 0.9, "math loop should trace");
+}
+
+#[test]
+fn char_code_at_nan_sentinel_is_guarded() {
+    // charCodeAt past the end returns NaN; the trace guards the sentinel.
+    let (v, _) = traced_eval(
+        "var s = 'abc';
+         var hits = 0;
+         for (var i = 0; i < 900; i++) {
+             var c = s.charCodeAt(i % 5); // indexes 3 and 4 are NaN
+             if (c === c) hits++;         // NaN !== NaN
+         }
+         hits",
+    );
+    assert_eq!(v, Some(540.0));
+}
+
+#[test]
+fn array_growth_transitions_to_helper_path() {
+    let (v, _) = traced_eval(
+        "var a = [];
+         for (var i = 0; i < 5000; i++) a[i] = i;  // always appends (grow path)
+         var s = 0;
+         for (var i = 0; i < 5000; i++) s += a[i]; // always in bounds
+         s",
+    );
+    assert_eq!(v, Some((4999.0 * 5000.0) / 2.0));
+}
+
+#[test]
+fn interrupt_set_by_native_stops_traced_loop() {
+    // Register a native that sets the preemption flag after N calls; the
+    // traced loop calling it must stop with Interrupted (§6.4/§6.5).
+    use tracemonkey::runtime::{NativeEffects, Realm, RuntimeError, Value};
+    fn armed(realm: &mut Realm, args: &[Value]) -> Result<Value, RuntimeError> {
+        let n = realm.heap.number_value(args.get(1).copied().unwrap_or(Value::ZERO));
+        if n == Some(2500.0) {
+            realm.interrupt = true;
+        }
+        Ok(Value::UNDEFINED)
+    }
+    let mut vm = Vm::with_options(Engine::Tracing, JitOptions::default());
+    let id = vm.realm.register_native(
+        "armAt",
+        armed,
+        NativeEffects { may_reenter: false, accesses_globals: false, allocates: false },
+        None,
+    );
+    let f = vm.realm.new_native_function(id);
+    vm.realm.define_global("armAt", f);
+    let err = vm.eval("var i = 0; while (true) { armAt(i); i++; }").unwrap_err();
+    assert!(matches!(
+        err,
+        tracemonkey::VmError::Runtime(tracemonkey::RuntimeError::Interrupted)
+    ));
+}
+
+#[test]
+fn string_interning_behavior_is_observable() {
+    // Content equality (===) between distinct heap strings.
+    let (v, _) = traced_eval(
+        "var hits = 0;
+         for (var i = 0; i < 600; i++) {
+             var a = 'pre' + (i % 3);
+             var b = 'pre' + (i % 3);
+             if (a === b) hits++;
+         }
+         hits",
+    );
+    assert_eq!(v, Some(600.0));
+}
+
+#[test]
+fn negative_zero_and_nan_semantics_survive_tracing() {
+    let (v, _) = traced_eval(
+        "var nzs = 0; var nans = 0;
+         for (var i = 0; i < 500; i++) {
+             var z = -1 * 0;
+             if (1 / z < 0) nzs++;       // -0 detection
+             var n = 0 / 0;
+             if (n !== n) nans++;        // NaN detection
+         }
+         nzs * 1000 + nans",
+    );
+    assert_eq!(v, Some(500_500.0));
+}
