@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Hermetic CI for tracemonkey-rs: offline, locked, zero registry
+# dependencies. Must pass on a machine with no network and no cargo
+# registry cache.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> policy: no registry (non-path) dependencies in any Cargo.toml"
+manifests=(Cargo.toml crates/*/Cargo.toml)
+# A registry dependency declares a version requirement: either an inline
+# table with `version =` or a bare `name = "<semver>"`. Workspace/package
+# metadata keys (version/edition/rust-version/resolver) are the only
+# allowed version-like lines.
+if grep -nE '=[[:space:]]*\{[^}]*version[[:space:]]*=|^[a-z0-9_-]+[[:space:]]*=[[:space:]]*"[0-9^~]' "${manifests[@]}" \
+    | grep -vE 'Cargo\.toml:[0-9]+:(version|edition|rust-version|resolver)[[:space:]]*='; then
+    echo "error: registry dependency declarations found above; all dependencies must be path deps" >&2
+    exit 1
+fi
+echo "    OK: ${#manifests[@]} manifests are path-only"
+
+echo "==> tier-1: hermetic release build"
+cargo build --release --offline --locked
+
+echo "==> tier-1: tests (root package: integration, fuzz, property suites)"
+cargo test -q --offline --locked
+
+echo "==> workspace member tests (per-crate units, tm-support, tm-bench)"
+cargo test -q --workspace --exclude tracemonkey --offline --locked
+
+echo "==> ci.sh: all green"

@@ -1,31 +1,26 @@
-//! Criterion benchmarks: every SunSpider program under every engine (the
-//! statistical counterpart of the fig10 binary). Run a focused subset with
-//! `cargo bench -p tm-bench -- <program-name>`.
+//! Wall-clock benchmarks (on the in-tree `tm-support` harness): every
+//! SunSpider program under every engine (the statistical counterpart of
+//! the fig10 binary). Run a focused subset with
+//! `cargo bench -p tm-bench --bench engines -- <program-name>`;
+//! `TM_BENCH_SAMPLES`/`TM_BENCH_WARMUP` override the 10-sample default.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tm_bench::SUITE;
+use tm_support::bench::Runner;
 use tracemonkey::{Engine, JitOptions, Vm};
 
-fn bench_suite(c: &mut Criterion) {
+fn main() {
+    let mut runner = Runner::from_args();
     for prog in SUITE {
-        let mut group = c.benchmark_group(prog.name);
-        group.sample_size(10);
         for (label, engine) in [
             ("interp", Engine::Interp),
             ("sfx", Engine::FastInterp),
             ("method", Engine::Method),
             ("tracing", Engine::Tracing),
         ] {
-            group.bench_with_input(BenchmarkId::from_parameter(label), &engine, |b, &engine| {
-                b.iter(|| {
-                    let mut vm = Vm::with_options(engine, JitOptions::default());
-                    vm.eval(prog.source).expect("benchmark program runs")
-                });
+            runner.bench(&format!("{}/{label}", prog.name), || {
+                let mut vm = Vm::with_options(engine, JitOptions::default());
+                vm.eval(prog.source).expect("benchmark program runs")
             });
         }
-        group.finish();
     }
 }
-
-criterion_group!(benches, bench_suite);
-criterion_main!(benches);

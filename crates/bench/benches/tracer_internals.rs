@@ -1,57 +1,47 @@
-//! Criterion microbenchmarks of tracer components: recording+compilation
-//! latency (the paper's low-startup requirement), trace-call transition
-//! overhead (§6.1/§6.2), and the LIR filter pipeline.
+//! Microbenchmarks of tracer components (on the in-tree `tm-support`
+//! harness): recording+compilation latency (the paper's low-startup
+//! requirement), trace-call transition overhead (§6.1/§6.2), and the LIR
+//! filter pipeline.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use tm_support::bench::Runner;
 use tracemonkey::lir::{FilterOptions, Lir, LirBuffer, LirType};
 use tracemonkey::{Engine, JitOptions, Vm};
 
-fn bench_record_compile(c: &mut Criterion) {
+fn main() {
+    let mut runner = Runner::from_args();
+
     // How long does it take to go from cold start to compiled trace and
     // a correct answer on a small loop? (Startup latency.)
-    c.bench_function("record_and_compile_small_loop", |b| {
-        b.iter(|| {
-            let mut vm = Vm::new(Engine::Tracing);
-            vm.eval("var s = 0; for (var i = 0; i < 10; i++) s += i; s").expect("runs")
-        });
+    runner.bench("record_and_compile_small_loop", || {
+        let mut vm = Vm::new(Engine::Tracing);
+        vm.eval("var s = 0; for (var i = 0; i < 10; i++) s += i; s").expect("runs")
     });
-}
 
-fn bench_transition_overhead(c: &mut Criterion) {
     // A loop that exits every 4 iterations: measures monitor transition
     // cost (the §3.3 pathological shape, pre-mitigation).
-    c.bench_function("trace_call_transitions", |b| {
-        b.iter(|| {
-            let mut opts = JitOptions::default();
-            opts.min_useful_bytecodes = 0; // keep the tree alive
-            let mut vm = Vm::with_options(Engine::Tracing, opts);
-            vm.eval(
-                "var s = 0;
-                 for (var i = 0; i < 20000; i++) { if (i % 4 == 0) s += 3; else s += 1; }
-                 s",
-            )
-            .expect("runs")
-        });
+    runner.bench("trace_call_transitions", || {
+        let mut opts = JitOptions::default();
+        opts.min_useful_bytecodes = 0; // keep the tree alive
+        let mut vm = Vm::with_options(Engine::Tracing, opts);
+        vm.eval(
+            "var s = 0;
+             for (var i = 0; i < 20000; i++) { if (i % 4 == 0) s += 3; else s += 1; }
+             s",
+        )
+        .expect("runs")
     });
-}
 
-fn bench_filter_pipeline(c: &mut Criterion) {
     // Forward-filter throughput over a synthetic instruction stream.
-    c.bench_function("forward_filters_10k_insts", |b| {
-        b.iter(|| {
-            let mut buf = LirBuffer::new(FilterOptions::default());
-            let x = buf.emit(Lir::Import { slot: 0, ty: LirType::Int });
-            let mut v = x;
-            for i in 0..10_000u32 {
-                let k = buf.emit(Lir::ConstI((i % 7) as i32));
-                v = buf.emit(Lir::AddI(v, k));
-                let dup = buf.emit(Lir::AddI(v, k));
-                let _ = buf.emit(Lir::XorI(dup, v));
-            }
-            buf.into_trace().code.len()
-        });
+    runner.bench("forward_filters_10k_insts", || {
+        let mut buf = LirBuffer::new(FilterOptions::default());
+        let x = buf.emit(Lir::Import { slot: 0, ty: LirType::Int });
+        let mut v = x;
+        for i in 0..10_000u32 {
+            let k = buf.emit(Lir::ConstI((i % 7) as i32));
+            v = buf.emit(Lir::AddI(v, k));
+            let dup = buf.emit(Lir::AddI(v, k));
+            let _ = buf.emit(Lir::XorI(dup, v));
+        }
+        buf.into_trace().code.len()
     });
 }
-
-criterion_group!(benches, bench_record_compile, bench_transition_overhead, bench_filter_pipeline);
-criterion_main!(benches);

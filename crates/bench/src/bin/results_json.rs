@@ -1,43 +1,15 @@
 //! Writes the full evaluation (Figures 10/11-equivalent data) as JSON for
 //! downstream analysis: per-program times under each engine, speedups,
-//! bytecode distribution, and trace statistics.
+//! bytecode distribution, and trace statistics. Serialized with the
+//! in-tree `tm-support` JSON writer; the schema (field names, nesting,
+//! order) is unchanged from the `serde_json` version.
 //!
 //! Usage: `results_json [repeats] > results.json`
 
-use serde::Serialize;
 use tm_bench::{harness, SUITE};
+use tm_support::Json;
 use tracemonkey::JitOptions;
 
-#[derive(Serialize)]
-struct ProgramResult {
-    name: &'static str,
-    group: &'static str,
-    untraceable_by_design: bool,
-    interp_ms: f64,
-    sfx_ms: f64,
-    method_ms: f64,
-    tracing_ms: f64,
-    sfx_speedup: f64,
-    method_speedup: f64,
-    tracing_speedup: f64,
-    bytecodes_total: u64,
-    bytecodes_interp_pct: f64,
-    bytecodes_recorded_pct: f64,
-    bytecodes_native_pct: f64,
-    trees: usize,
-    fragments: u64,
-    trace_enters: u64,
-    side_exits: u64,
-}
-
-#[derive(Serialize)]
-struct Results {
-    repeats: u32,
-    programs: Vec<ProgramResult>,
-    totals: Totals,
-}
-
-#[derive(Serialize)]
 struct Totals {
     interp_ms: f64,
     sfx_ms: f64,
@@ -78,28 +50,42 @@ fn main() {
         totals.sfx_ms += t(sfx.time);
         totals.method_ms += t(method.time);
         totals.tracing_ms += t(tracing.time);
-        programs.push(ProgramResult {
-            name: prog.name,
-            group: prog.group,
-            untraceable_by_design: prog.untraceable,
-            interp_ms: t(interp.time),
-            sfx_ms: t(sfx.time),
-            method_ms: t(method.time),
-            tracing_ms: t(tracing.time),
-            sfx_speedup: sx,
-            method_speedup: mx,
-            tracing_speedup: tx,
-            bytecodes_total: total_bc,
-            bytecodes_interp_pct: pct(p.bytecodes_interp),
-            bytecodes_recorded_pct: pct(p.bytecodes_recorded),
-            bytecodes_native_pct: pct(p.bytecodes_native),
-            trees: tracing.vm.monitor().map(|m| m.cache.len()).unwrap_or(0),
-            fragments: p.fragments,
-            trace_enters: p.trace_enters,
-            side_exits: p.side_exits,
-        });
+        programs.push(Json::obj([
+            ("name", Json::from(prog.name)),
+            ("group", Json::from(prog.group)),
+            ("untraceable_by_design", Json::from(prog.untraceable)),
+            ("interp_ms", Json::from(t(interp.time))),
+            ("sfx_ms", Json::from(t(sfx.time))),
+            ("method_ms", Json::from(t(method.time))),
+            ("tracing_ms", Json::from(t(tracing.time))),
+            ("sfx_speedup", Json::from(sx)),
+            ("method_speedup", Json::from(mx)),
+            ("tracing_speedup", Json::from(tx)),
+            ("bytecodes_total", Json::from(total_bc)),
+            ("bytecodes_interp_pct", Json::from(pct(p.bytecodes_interp))),
+            ("bytecodes_recorded_pct", Json::from(pct(p.bytecodes_recorded))),
+            ("bytecodes_native_pct", Json::from(pct(p.bytecodes_native))),
+            ("trees", Json::from(tracing.vm.monitor().map(|m| m.cache.len()).unwrap_or(0))),
+            ("fragments", Json::from(p.fragments)),
+            ("trace_enters", Json::from(p.trace_enters)),
+            ("side_exits", Json::from(p.side_exits)),
+        ]));
     }
     totals.tracing_geomean_speedup = (geo / SUITE.len() as f64).exp();
-    let results = Results { repeats, programs, totals };
-    println!("{}", serde_json::to_string_pretty(&results).expect("serialize"));
+    let results = Json::obj([
+        ("repeats", Json::from(repeats)),
+        ("programs", Json::Array(programs)),
+        (
+            "totals",
+            Json::obj([
+                ("interp_ms", Json::from(totals.interp_ms)),
+                ("sfx_ms", Json::from(totals.sfx_ms)),
+                ("method_ms", Json::from(totals.method_ms)),
+                ("tracing_ms", Json::from(totals.tracing_ms)),
+                ("tracing_geomean_speedup", Json::from(totals.tracing_geomean_speedup)),
+                ("tracing_fastest_count", Json::from(totals.tracing_fastest_count)),
+            ]),
+        ),
+    ]);
+    println!("{}", results.to_string_pretty());
 }

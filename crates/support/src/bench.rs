@@ -1,0 +1,159 @@
+//! A wall-clock benchmark harness (the workspace's `criterion`
+//! replacement) for `harness = false` bench targets.
+//!
+//! Deliberately simple: each benchmark runs `warmup` throwaway
+//! iterations, then `samples` timed iterations, and reports **min /
+//! median / max** of the per-iteration wall time. Min and median are the
+//! robust statistics for "how fast is this loop" on a shared machine;
+//! there is no bootstrapping or outlier modeling.
+//!
+//! Results print one line per benchmark:
+//!
+//! ```text
+//! <name>  min <t>  median <t>  max <t>  (<n> samples)
+//! ```
+//!
+//! Like criterion, a positional command-line argument filters benchmarks
+//! by substring (`cargo bench -p tm-bench -- bitops`), and the
+//! `TM_BENCH_SAMPLES` / `TM_BENCH_WARMUP` environment variables override
+//! the iteration counts.
+//!
+//! ```
+//! use tm_support::bench::Runner;
+//!
+//! let mut runner = Runner::with_config(1, 5);
+//! let stats = runner
+//!     .bench("sum_1k", || (0..1000u64).sum::<u64>())
+//!     .expect("not filtered out");
+//! assert_eq!(stats.samples.len(), 5);
+//! assert!(stats.min <= stats.median && stats.median <= stats.max);
+//! ```
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Timing statistics for one benchmark.
+#[derive(Debug, Clone)]
+pub struct Stats {
+    /// Fastest sample.
+    pub min: Duration,
+    /// Median sample (lower-middle for even counts).
+    pub median: Duration,
+    /// Slowest sample.
+    pub max: Duration,
+    /// All samples, sorted ascending.
+    pub samples: Vec<Duration>,
+}
+
+/// Runs benchmarks and prints their reports.
+#[derive(Debug, Clone)]
+pub struct Runner {
+    /// Untimed iterations before sampling starts.
+    pub warmup: u32,
+    /// Timed iterations.
+    pub samples: u32,
+    /// Substring filter; `None` runs everything.
+    pub filter: Option<String>,
+}
+
+impl Runner {
+    /// A runner configured from the command line and environment: the
+    /// first non-flag argument becomes the substring filter (flags such
+    /// as cargo's `--bench` are ignored), `TM_BENCH_SAMPLES` and
+    /// `TM_BENCH_WARMUP` override the defaults (10 samples, 2 warmup).
+    pub fn from_args() -> Runner {
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        let env_u32 = |key: &str, default: u32| {
+            std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+        };
+        Runner {
+            warmup: env_u32("TM_BENCH_WARMUP", 2),
+            samples: env_u32("TM_BENCH_SAMPLES", 10).max(1),
+            filter,
+        }
+    }
+
+    /// A runner with explicit warmup/sample counts and no filter.
+    pub fn with_config(warmup: u32, samples: u32) -> Runner {
+        Runner { warmup, samples: samples.max(1), filter: None }
+    }
+
+    /// Runs one benchmark: `warmup` untimed calls, then `samples` timed
+    /// calls of `f` (its result is passed through [`black_box`] so the
+    /// optimizer cannot delete the work). Prints the report line and
+    /// returns the stats, or `None` if `name` does not match the filter.
+    pub fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) -> Option<Stats> {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return None;
+            }
+        }
+        for _ in 0..self.warmup {
+            black_box(f());
+        }
+        let mut samples = Vec::with_capacity(self.samples as usize);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(f());
+            samples.push(start.elapsed());
+        }
+        samples.sort();
+        let stats = Stats {
+            min: samples[0],
+            median: samples[samples.len() / 2],
+            max: *samples.last().expect("samples >= 1"),
+            samples,
+        };
+        println!(
+            "{name:<44} min {:>10}  median {:>10}  max {:>10}  ({} samples)",
+            fmt_duration(stats.min),
+            fmt_duration(stats.median),
+            fmt_duration(stats.max),
+            stats.samples.len(),
+        );
+        Some(stats)
+    }
+}
+
+/// Formats a duration with an auto-selected unit (`ns`, `µs`, `ms`, `s`).
+pub fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2}µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3}s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_are_ordered_and_counted() {
+        let mut r = Runner::with_config(0, 7);
+        let s = r.bench("spin", || (0..100u32).fold(0u32, |a, b| a.wrapping_add(b)));
+        let s = s.expect("no filter set");
+        assert_eq!(s.samples.len(), 7);
+        assert!(s.min <= s.median && s.median <= s.max);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut r = Runner::with_config(0, 1);
+        r.filter = Some("bitops".into());
+        assert!(r.bench("string-base64", || 1).is_none());
+        assert!(r.bench("bitops-and", || 1).is_some());
+    }
+
+    #[test]
+    fn duration_units() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12ns");
+        assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.50ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.000s");
+    }
+}

@@ -1,0 +1,275 @@
+//! A minimal JSON value and writer (the workspace's `serde`/`serde_json`
+//! replacement for emitting bench results).
+//!
+//! Only what the bench harnesses need: building a [`Json`] tree and
+//! serializing it compactly or pretty-printed. There is intentionally no
+//! parser and no derive machinery — results are *written*, never read
+//! back, and the writer's job is to stay structurally byte-compatible
+//! with what `serde_json::to_string_pretty` produced for the same tree
+//! (2-space indent, `"key": value`, object keys in insertion order).
+//!
+//! # Escaping rules
+//!
+//! Strings are escaped per RFC 8259 §7:
+//!
+//! * `"` → `\"` and `\` → `\\`;
+//! * the control characters with short forms use them: `\b \f \n \r \t`;
+//! * every other control character below U+0020 becomes `\u00XX`;
+//! * everything else — including non-ASCII — is written verbatim as
+//!   UTF-8 (no `\uXXXX` escaping of printable text).
+//!
+//! # Number formatting
+//!
+//! Integers print without a decimal point. Finite floats with zero
+//! fractional part print with a trailing `.0` (as `serde_json` does), all
+//! other finite floats use Rust's shortest round-trip formatting, and
+//! non-finite floats serialize as `null` (matching
+//! `JSON.stringify(NaN)`).
+//!
+//! ```
+//! use tm_support::Json;
+//!
+//! let j = Json::obj([
+//!     ("name", Json::from("3d-\"cube\"\n")),
+//!     ("ms", Json::from(12.0)),
+//!     ("runs", Json::from(3u64)),
+//! ]);
+//! assert_eq!(
+//!     j.to_string(),
+//!     r#"{"name":"3d-\"cube\"\n","ms":12.0,"runs":3}"#
+//! );
+//! ```
+
+use std::fmt;
+
+/// A JSON document tree. Object fields keep insertion order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A signed integer, printed without a decimal point.
+    Int(i64),
+    /// An unsigned integer, printed without a decimal point.
+    UInt(u64),
+    /// A double; non-finite values serialize as `null`.
+    Float(f64),
+    /// A string (escaped on output; see the module docs).
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object with insertion-ordered fields.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs, preserving order.
+    pub fn obj<K: Into<String>, I: IntoIterator<Item = (K, Json)>>(fields: I) -> Json {
+        Json::Object(fields.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Compact serialization (no whitespace).
+    #[allow(clippy::inherent_to_string_shadow_display)]
+    pub fn to_string(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Pretty serialization: 2-space indent, one field/element per line
+    /// (the `serde_json::to_string_pretty` layout).
+    ///
+    /// ```
+    /// let j = tm_support::Json::obj([("a", tm_support::Json::Array(vec![1i64.into()]))]);
+    /// assert_eq!(j.to_string_pretty(), "{\n  \"a\": [\n    1\n  ]\n}");
+    /// ```
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => out.push_str(&i.to_string()),
+            Json::UInt(u) => out.push_str(&u.to_string()),
+            Json::Float(f) => write_f64(out, *f),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Array(items) => {
+                write_seq(out, indent, depth, '[', ']', items.len(), |out, i, d| {
+                    items[i].write(out, indent, d);
+                });
+            }
+            Json::Object(fields) => {
+                write_seq(out, indent, depth, '{', '}', fields.len(), |out, i, d| {
+                    let (k, v) = &fields[i];
+                    write_escaped(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, d);
+                });
+            }
+        }
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat(' ').take(width * (depth + 1)));
+        }
+        item(out, i, depth + 1);
+    }
+    if let Some(width) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat(' ').take(width * depth));
+    }
+    out.push(close);
+}
+
+fn write_f64(out: &mut String, v: f64) {
+    use fmt::Write;
+    if !v.is_finite() {
+        out.push_str("null");
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        let _ = write!(out, "{v:.1}");
+    } else {
+        let _ = write!(out, "{v}");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    use fmt::Write;
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_string())
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_owned())
+    }
+}
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::Float(v)
+    }
+}
+impl From<i64> for Json {
+    fn from(v: i64) -> Json {
+        Json::Int(v)
+    }
+}
+impl From<i32> for Json {
+    fn from(v: i32) -> Json {
+        Json::Int(i64::from(v))
+    }
+}
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        Json::UInt(v)
+    }
+}
+impl From<u32> for Json {
+    fn from(v: u32) -> Json {
+        Json::UInt(u64::from(v))
+    }
+}
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::UInt(v as u64)
+    }
+}
+impl From<Vec<Json>> for Json {
+    fn from(v: Vec<Json>) -> Json {
+        Json::Array(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_matches_expected_bytes() {
+        assert_eq!(
+            Json::from("a\"b\\c\nd\te\u{01}f").to_string(),
+            "\"a\\\"b\\\\c\\nd\\te\\u0001f\""
+        );
+        assert_eq!(Json::from("π ≈ 3").to_string(), "\"π ≈ 3\"");
+    }
+
+    #[test]
+    fn number_forms() {
+        assert_eq!(Json::Float(2.0).to_string(), "2.0");
+        assert_eq!(Json::Float(2.5).to_string(), "2.5");
+        assert_eq!(Json::Float(f64::NAN).to_string(), "null");
+        assert_eq!(Json::Int(-3).to_string(), "-3");
+        assert_eq!(Json::UInt(u64::MAX).to_string(), u64::MAX.to_string());
+    }
+
+    #[test]
+    fn pretty_layout_matches_serde_style() {
+        let j = Json::obj([
+            ("a", Json::from(1i64)),
+            ("b", Json::Array(vec![Json::from(true), Json::Null])),
+            ("empty", Json::obj(Vec::<(String, Json)>::new())),
+        ]);
+        assert_eq!(
+            j.to_string_pretty(),
+            "{\n  \"a\": 1,\n  \"b\": [\n    true,\n    null\n  ],\n  \"empty\": {}\n}"
+        );
+    }
+}

@@ -1,0 +1,234 @@
+//! A compact property-test harness (the workspace's `proptest`
+//! replacement).
+//!
+//! A *property* is a closure `FnMut(&mut TmRng) -> Result<(), String>`:
+//! it draws whatever random inputs it needs from the given generator and
+//! returns `Err` (usually via [`crate::prop_assert!`]/[`crate::prop_assert_eq!`]) when
+//! the invariant is violated. Panics inside the property are caught and
+//! reported the same way, so `expect(..)` in test scaffolding still
+//! produces a replayable report.
+//!
+//! # Seeding and replay
+//!
+//! [`run`] executes `cases` cases. Case *i*'s generator is seeded with
+//! the *i*-th output of a SplitMix64 stream over [`Config::seed`], so
+//! every case is independently replayable from one `u64`. On failure the
+//! harness stops at the first counterexample and reports its case index
+//! and case seed.
+//!
+//! # Failure-reporting format
+//!
+//! [`check`] panics with exactly this shape (asserted by a meta-test in
+//! `tests/`):
+//!
+//! ```text
+//! property `<name>` failed at case <i>/<cases> (case seed 0x<hex>): <message>
+//! replay with: TM_PROP_SEED=0x<hex> cargo test <name>
+//! ```
+//!
+//! Setting `TM_PROP_SEED` makes every [`run`]/[`check`] execute a single
+//! case with that seed — the replay loop for a reported counterexample.
+//! There is no input shrinking: because each case re-derives *all* of its
+//! inputs from one seed, the seed itself is the minimal reproducer.
+//!
+//! ```
+//! use tm_support::prop::{self, Config};
+//!
+//! // Passing property: integer addition is commutative.
+//! prop::check("add_commutes", &Config::default(), |g| {
+//!     let (a, b) = (g.next_u32(), g.next_u32());
+//!     tm_support::prop_assert_eq!(a.wrapping_add(b), b.wrapping_add(a));
+//!     Ok(())
+//! });
+//!
+//! // Failing property: `run` returns the counterexample instead of panicking.
+//! let failure = prop::run(&Config::default(), |g| {
+//!     let n = g.gen_range(0u32..1000);
+//!     tm_support::prop_assert!(n < 990, "n = {n}");
+//!     Ok(())
+//! });
+//! assert!(failure.is_err());
+//! ```
+
+use crate::rng::{splitmix64, TmRng};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// How many cases to run and from which master seed to derive them.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Number of cases (proptest's default was 256; so is ours).
+    pub cases: u32,
+    /// Master seed; each case's generator seed is derived from it.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config { cases: 256, seed: 0x7261_6365_6d6f_6e6b } // "racemonk"
+    }
+}
+
+impl Config {
+    /// A config running `cases` cases off the default master seed.
+    pub fn with_cases(cases: u32) -> Config {
+        Config { cases, ..Config::default() }
+    }
+}
+
+/// A counterexample found by [`run`].
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// Zero-based index of the failing case.
+    pub case: u32,
+    /// Total cases configured for the run.
+    pub cases: u32,
+    /// The failing case's generator seed (pass as `TM_PROP_SEED` to replay).
+    pub seed: u64,
+    /// What the property reported (or the caught panic message).
+    pub message: String,
+}
+
+impl Failure {
+    /// Renders the report `check` panics with (see the module docs).
+    pub fn report(&self, name: &str) -> String {
+        format!(
+            "property `{name}` failed at case {}/{} (case seed {:#x}): {}\n\
+             replay with: TM_PROP_SEED={:#x} cargo test {name}",
+            self.case, self.cases, self.seed, self.message, self.seed
+        )
+    }
+}
+
+fn run_one<F>(f: &mut F, case: u32, cases: u32, seed: u64) -> Result<(), Failure>
+where
+    F: FnMut(&mut TmRng) -> Result<(), String>,
+{
+    let mut rng = TmRng::seed_from_u64(seed);
+    let outcome = catch_unwind(AssertUnwindSafe(|| f(&mut rng)));
+    let message = match outcome {
+        Ok(Ok(())) => return Ok(()),
+        Ok(Err(msg)) => msg,
+        Err(panic) => {
+            let msg = panic
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "<non-string panic payload>".to_owned());
+            format!("panicked: {msg}")
+        }
+    };
+    Err(Failure { case, cases, seed, message })
+}
+
+/// Runs the property over `cfg.cases` seeded cases, stopping at the
+/// first counterexample. Honors `TM_PROP_SEED` (hex with `0x` prefix, or
+/// decimal) by running that single case instead.
+pub fn run<F>(cfg: &Config, mut f: F) -> Result<(), Failure>
+where
+    F: FnMut(&mut TmRng) -> Result<(), String>,
+{
+    if let Ok(var) = std::env::var("TM_PROP_SEED") {
+        let seed = var
+            .strip_prefix("0x")
+            .map(|h| u64::from_str_radix(h, 16))
+            .unwrap_or_else(|| var.parse())
+            .unwrap_or_else(|_| panic!("TM_PROP_SEED must be decimal or 0x-hex, got `{var}`"));
+        return run_one(&mut f, 0, 1, seed);
+    }
+    let mut stream = cfg.seed;
+    for case in 0..cfg.cases {
+        let seed = splitmix64(&mut stream);
+        run_one(&mut f, case, cfg.cases, seed)?;
+    }
+    Ok(())
+}
+
+/// Like [`run`], but panics with [`Failure::report`] on a counterexample
+/// — the form tests call.
+pub fn check<F>(name: &str, cfg: &Config, f: F)
+where
+    F: FnMut(&mut TmRng) -> Result<(), String>,
+{
+    if let Err(failure) = run(cfg, f) {
+        panic!("{}", failure.report(name));
+    }
+}
+
+/// `assert!` for properties: returns `Err(String)` from the enclosing
+/// property closure instead of panicking, so the harness can attach the
+/// case seed. An optional trailing `format!` message is supported.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed: {} ({})", stringify!($cond), format!($($fmt)+)
+            ));
+        }
+    };
+}
+
+/// `assert_eq!` for properties; see [`crate::prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err(format!(
+                "assertion failed: {} == {} (left: {l:?}, right: {r:?})",
+                stringify!($left),
+                stringify!($right)
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut ran = 0u32;
+        let cfg = Config::with_cases(64);
+        run(&cfg, |g| {
+            ran += 1;
+            let v = g.gen_range(0u64..10);
+            prop_assert!(v < 10);
+            Ok(())
+        })
+        .expect("property holds");
+        assert_eq!(ran, 64);
+    }
+
+    #[test]
+    fn counterexample_is_replayable() {
+        let cfg = Config::with_cases(512);
+        let fail = |g: &mut TmRng| {
+            let n = g.gen_range(0u32..100);
+            prop_assert!(n < 95, "n = {n}");
+            Ok(())
+        };
+        let failure = run(&cfg, fail).expect_err("must find n >= 95");
+        // Re-seeding with the reported case seed reproduces the failure.
+        let replay = run_one(&mut { fail }, 0, 1, failure.seed).expect_err("replays");
+        assert_eq!(replay.message, failure.message);
+    }
+
+    #[test]
+    fn panics_are_converted_to_failures() {
+        let failure = run(&Config::with_cases(1), |_| {
+            let none: Option<u32> = None;
+            none.expect("scaffolding panic");
+            Ok(())
+        })
+        .expect_err("panic becomes failure");
+        assert!(failure.message.contains("panicked"), "{}", failure.message);
+        assert!(failure.message.contains("scaffolding panic"), "{}", failure.message);
+    }
+}

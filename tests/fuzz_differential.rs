@@ -5,12 +5,11 @@
 //! loops, type-unstable variables, integer overflow boundaries, arrays,
 //! and branchy control flow.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use tm_support::TmRng;
 use tracemonkey::{Engine, Vm};
 
 struct Gen {
-    rng: StdRng,
+    rng: TmRng,
     vars: Vec<String>,
     arrays: Vec<String>,
     loop_depth: u32,
@@ -22,7 +21,7 @@ struct Gen {
 impl Gen {
     fn new(seed: u64) -> Gen {
         Gen {
-            rng: StdRng::seed_from_u64(seed),
+            rng: TmRng::seed_from_u64(seed),
             vars: Vec::new(),
             arrays: Vec::new(),
             loop_depth: 0,
@@ -67,7 +66,7 @@ impl Gen {
         let a = self.expr(depth - 1);
         let b = self.expr(depth - 1);
         let op = ["+", "-", "*", "&", "|", "^", "%", ">>", "<<", ">>>"]
-            [self.rng.gen_range(0..10)];
+            [self.rng.gen_range(0..10usize)];
         if op == "%" {
             // Avoid NaN spam (but keep some).
             format!("(({a}) % ((({b}) & 7) + 2))")
@@ -79,7 +78,7 @@ impl Gen {
     fn condition(&mut self) -> String {
         let a = self.expr(1);
         let b = self.expr(1);
-        let op = ["<", "<=", ">", ">=", "==", "!=", "===", "!=="][self.rng.gen_range(0..8)];
+        let op = ["<", "<=", ">", ">=", "==", "!=", "===", "!=="][self.rng.gen_range(0..8usize)];
         format!("({a}) {op} ({b})")
     }
 
@@ -102,7 +101,7 @@ impl Gen {
                     let v = self.vars[i].clone();
                     let e = self.expr(2);
                     let op = ["=", "+=", "-=", "*=", "&=", "^=", "|="]
-                        [self.rng.gen_range(0..7)];
+                        [self.rng.gen_range(0..7usize)];
                     self.line(&format!("{v} {op} {e};"));
                 }
             }

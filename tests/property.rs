@@ -1,59 +1,100 @@
-//! Property-based tests (proptest) on core invariants:
+//! Property-based tests (on the in-tree `tm-support` harness) covering
+//! the core invariant families:
 //!
 //! * value tagging round-trips (Figure 9);
 //! * shared operator semantics algebraic properties;
 //! * LIR forward/backward filters preserve trace semantics (random pure
 //!   integer expression DAGs executed with filters on vs. off);
 //! * the register allocator never mixes up live values (implied by the
-//!   same execution equivalence under register pressure).
+//!   same execution equivalence under register pressure);
+//! * whole-program engine agreement on a grammar template.
+//!
+//! Each property runs at least as many cases as the old proptest setup
+//! (256 default; the LIR DAG properties 128; the template programs 24).
+//! On failure the harness prints the case seed — replay with
+//! `TM_PROP_SEED=<seed> cargo test <test-name>`.
 
-use proptest::prelude::*;
+use tm_support::prop::{self, Config};
+use tm_support::{prop_assert, prop_assert_eq, TmRng};
 use tracemonkey::lir::{FilterOptions, Lir, LirBuffer, LirType};
 use tracemonkey::nanojit::{assemble, execute, NoNesting};
 use tracemonkey::runtime::{ops, Realm};
 use tracemonkey::Value;
 
-proptest! {
-    #[test]
-    fn value_int_round_trip(i in -(1i64 << 30)..(1i64 << 30)) {
+/// A finite, normal-or-zero double (the old `f64::NORMAL | f64::ZERO`
+/// strategy): random sign, mantissa in `[1, 2)`, binary exponent in
+/// `[-300, 300]`, with an occasional exact zero.
+fn gen_normal_or_zero(g: &mut TmRng) -> f64 {
+    if g.gen_bool(0.05) {
+        return 0.0;
+    }
+    let mantissa = 1.0 + g.unit_f64();
+    let exponent = g.gen_range(-300i32..301);
+    let sign = if g.gen_bool(0.5) { 1.0 } else { -1.0 };
+    sign * mantissa * 2f64.powi(exponent)
+}
+
+fn gen_i32(g: &mut TmRng) -> i32 {
+    g.next_u32() as i32
+}
+
+#[test]
+fn value_int_round_trip() {
+    prop::check("value_int_round_trip", &Config::default(), |g| {
+        let i = g.gen_range(-(1i64 << 30)..(1i64 << 30));
         let v = Value::new_int_checked(i).expect("in range");
         prop_assert_eq!(v.as_int(), Some(i as i32));
         prop_assert_eq!(Value::from_raw(v.raw()), v);
         prop_assert!(v.is_number());
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn number_boxing_preserves_value(d in proptest::num::f64::NORMAL | proptest::num::f64::ZERO) {
+#[test]
+fn number_boxing_preserves_value() {
+    prop::check("number_boxing_preserves_value", &Config::default(), |g| {
+        let d = gen_normal_or_zero(g);
         let mut realm = Realm::new();
         let v = realm.heap.number(d);
         prop_assert_eq!(realm.heap.number_value(v), Some(d));
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn to_int32_is_additive_mod_2_32(a in any::<i32>(), b in any::<i32>()) {
+#[test]
+fn to_int32_is_additive_mod_2_32() {
+    prop::check("to_int32_is_additive_mod_2_32", &Config::default(), |g| {
         // ToInt32(a) + ToInt32(b) ≡ a + b (mod 2^32): the property the
         // trace's wrapping integer ops rely on.
-        let realm = Realm::new();
-        let _ = &realm;
+        let (a, b) = (gen_i32(g), gen_i32(g));
         let wrap = ops::double_to_int32(f64::from(a) + f64::from(b));
         prop_assert_eq!(wrap, a.wrapping_add(b));
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn strict_eq_is_reflexive_for_non_nan(i in any::<i32>()) {
+#[test]
+fn strict_eq_is_reflexive_for_non_nan() {
+    prop::check("strict_eq_is_reflexive_for_non_nan", &Config::default(), |g| {
+        let i = gen_i32(g);
         let mut realm = Realm::new();
         let v = realm.heap.number_i32(i);
         prop_assert!(ops::strict_eq(&realm, v, v));
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn add_values_matches_f64_semantics(a in -1e9f64..1e9, b in -1e9f64..1e9) {
+#[test]
+fn add_values_matches_f64_semantics() {
+    prop::check("add_values_matches_f64_semantics", &Config::default(), |g| {
+        let (a, b) = (g.gen_range(-1e9..1e9), g.gen_range(-1e9..1e9));
         let mut realm = Realm::new();
         let va = realm.heap.number(a);
         let vb = realm.heap.number(b);
         let sum = ops::add_values(&mut realm, va, vb).expect("numbers add");
         prop_assert_eq!(realm.heap.number_value(sum), Some(a + b));
-    }
+        Ok(())
+    });
 }
 
 /// A random pure-integer expression DAG over two imports, expressed as LIR.
@@ -65,18 +106,24 @@ enum Node {
     Un(u8, Box<Node>),
 }
 
-fn node_strategy() -> impl Strategy<Value = Node> {
-    let leaf = prop_oneof![
-        (0u8..2).prop_map(Node::Import),
-        (-1000i32..1000).prop_map(Node::Const),
-    ];
-    leaf.prop_recursive(5, 64, 3, |inner| {
-        prop_oneof![
-            (0u8..8, inner.clone(), inner.clone())
-                .prop_map(|(op, a, b)| Node::Bin(op, Box::new(a), Box::new(b))),
-            (0u8..2, inner).prop_map(|(op, a)| Node::Un(op, Box::new(a))),
-        ]
-    })
+/// The old recursive strategy: leaves are imports/constants, inner nodes
+/// binary (3:1 over unary), recursion capped at `depth`.
+fn gen_node(g: &mut TmRng, depth: u32) -> Node {
+    if depth == 0 || g.gen_bool(0.3) {
+        if g.gen_bool(0.4) {
+            Node::Import(g.gen_range(0u32..2) as u8)
+        } else {
+            Node::Const(g.gen_range(-1000i32..1000))
+        }
+    } else if g.gen_bool(0.75) {
+        Node::Bin(
+            g.gen_range(0u32..8) as u8,
+            Box::new(gen_node(g, depth - 1)),
+            Box::new(gen_node(g, depth - 1)),
+        )
+    } else {
+        Node::Un(g.gen_range(0u32..2) as u8, Box::new(gen_node(g, depth - 1)))
+    }
 }
 
 fn emit(node: &Node, buf: &mut LirBuffer, imports: &[u32; 2]) -> u32 {
@@ -126,49 +173,56 @@ fn eval_node(node: &Node, a: i32, b: i32, opts: FilterOptions) -> i32 {
     ar[2] as i32
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// CSE + folding + demotion + DCE must not change what a trace
-    /// computes (§5.1's filters are semantics-preserving).
-    #[test]
-    fn filters_preserve_semantics(node in node_strategy(), a in any::<i32>(), b in any::<i32>()) {
+/// CSE + folding + demotion + DCE must not change what a trace
+/// computes (§5.1's filters are semantics-preserving).
+#[test]
+fn filters_preserve_semantics() {
+    prop::check("filters_preserve_semantics", &Config::with_cases(128), |g| {
+        let node = gen_node(g, 5);
+        let (a, b) = (gen_i32(g), gen_i32(g));
         let unopt = eval_node(&node, a, b, FilterOptions {
             fold: false, cse: false, demote: false, softfloat: false,
         });
         let opt = eval_node(&node, a, b, FilterOptions::default());
         prop_assert_eq!(unopt, opt);
-    }
+        Ok(())
+    });
+}
 
-    /// The greedy register allocator must produce correct code even under
-    /// heavy pressure (many simultaneously-live values): compare against
-    /// direct evaluation of the DAG.
-    #[test]
-    fn regalloc_is_correct_under_pressure(nodes in proptest::collection::vec(node_strategy(), 1..12), a in any::<i32>(), b in any::<i32>()) {
-        fn direct(node: &Node, a: i32, b: i32) -> i32 {
-            match node {
-                Node::Import(0) => a,
-                Node::Import(_) => b,
-                Node::Const(c) => *c,
-                Node::Bin(op, x, y) => {
-                    let (x, y) = (direct(x, a, b), direct(y, a, b));
-                    match op % 8 {
-                        0 => x.wrapping_add(y),
-                        1 => x.wrapping_sub(y),
-                        2 => x.wrapping_mul(y),
-                        3 => x & y,
-                        4 => x | y,
-                        5 => x ^ y,
-                        6 => x.wrapping_shl((y & 31) as u32),
-                        _ => x.wrapping_shr((y & 31) as u32),
-                    }
-                }
-                Node::Un(op, x) => {
-                    let x = direct(x, a, b);
-                    if op % 2 == 0 { !x } else { x.wrapping_neg() }
+/// The greedy register allocator must produce correct code even under
+/// heavy pressure (many simultaneously-live values): compare against
+/// direct evaluation of the DAG.
+#[test]
+fn regalloc_is_correct_under_pressure() {
+    fn direct(node: &Node, a: i32, b: i32) -> i32 {
+        match node {
+            Node::Import(0) => a,
+            Node::Import(_) => b,
+            Node::Const(c) => *c,
+            Node::Bin(op, x, y) => {
+                let (x, y) = (direct(x, a, b), direct(y, a, b));
+                match op % 8 {
+                    0 => x.wrapping_add(y),
+                    1 => x.wrapping_sub(y),
+                    2 => x.wrapping_mul(y),
+                    3 => x & y,
+                    4 => x | y,
+                    5 => x ^ y,
+                    6 => x.wrapping_shl((y & 31) as u32),
+                    _ => x.wrapping_shr((y & 31) as u32),
                 }
             }
+            Node::Un(op, x) => {
+                let x = direct(x, a, b);
+                if op % 2 == 0 { !x } else { x.wrapping_neg() }
+            }
         }
+    }
+
+    prop::check("regalloc_is_correct_under_pressure", &Config::with_cases(128), |g| {
+        let count = g.gen_range(1usize..12);
+        let nodes: Vec<Node> = (0..count).map(|_| gen_node(g, 5)).collect();
+        let (a, b) = (gen_i32(g), gen_i32(g));
         // All nodes' results stay live to the end: XOR them together at
         // the end to force long live ranges (spill pressure).
         let mut buf = LirBuffer::new(FilterOptions { cse: false, fold: false, ..Default::default() });
@@ -193,20 +247,18 @@ proptest! {
             expect ^= direct(n, a, b);
         }
         prop_assert_eq!(ar[2] as i32, expect);
-    }
+        Ok(())
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Mini guest programs over a grammar template: all engines agree.
-    #[test]
-    fn template_programs_agree(
-        n in 10u32..200,
-        k in 1i32..50,
-        m in 2i32..9,
-        init in -5i32..5,
-    ) {
+/// Mini guest programs over a grammar template: all engines agree.
+#[test]
+fn template_programs_agree() {
+    prop::check("template_programs_agree", &Config::with_cases(24), |g| {
+        let n = g.gen_range(10u32..200);
+        let k = g.gen_range(1i32..50);
+        let m = g.gen_range(2i32..9);
+        let init = g.gen_range(-5i32..5);
         let src = format!(
             "var s = {init}; for (var i = 0; i < {n}; i++) {{ if (i % {m}) s += {k}; else s -= i; }} s"
         );
@@ -215,5 +267,6 @@ proptest! {
         let mut vt = tracemonkey::Vm::new(tracemonkey::Engine::Tracing);
         let rt = vt.eval_number(&src).unwrap();
         prop_assert_eq!(ri, rt);
-    }
+        Ok(())
+    });
 }
