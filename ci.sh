@@ -22,7 +22,16 @@ echo "==> tier-1: hermetic release build"
 cargo build --release --offline --locked
 
 echo "==> tier-1: tests (root package: integration, fuzz, property suites)"
+# Debug profile: JitOptions.verify defaults on, so every recorded trace in
+# this pass goes through the tm-verifier static checks before compilation.
 cargo test -q --offline --locked
+
+echo "==> fuzz smoke: fixed seed replay, verifier enabled (debug profile)"
+# Deterministic: a pinned seed list (including past regression seeds) run
+# through the differential harness on every engine. Seed 30 is the
+# recursive-branch resume-pc regression; keep it in the list.
+TM_FUZZ_SEEDS="0,7,30,42,99,123,200,256" \
+    cargo test -q --offline --locked --test fuzz_differential fuzz_replay_seeds
 
 echo "==> workspace member tests (per-crate units, tm-support, tm-bench)"
 cargo test -q --workspace --exclude tracemonkey --offline --locked

@@ -177,6 +177,55 @@ mod tests {
     }
 
     #[test]
+    fn single_failure_threshold_blacklists_immediately() {
+        let mut bl =
+            Blacklist::new(BlacklistConfig { max_failures: 1, backoff: 32, enabled: true });
+        assert_eq!(bl.check(START), Verdict::Record);
+        // With the threshold at one there is no backoff phase at all.
+        assert!(bl.record_failure(START, false));
+        assert_eq!(bl.check(START), Verdict::Blacklisted);
+        assert_eq!(bl.blacklisted_count(), 1);
+    }
+
+    #[test]
+    fn forgiveness_does_not_resurrect_blacklisted_fragments() {
+        let mut bl =
+            Blacklist::new(BlacklistConfig { max_failures: 1, backoff: 2, enabled: true });
+        assert!(bl.record_failure(START, true));
+        // Even though the failure was provisional, blacklisting is final.
+        bl.forgive_outer(FuncId(0), &[5]);
+        assert_eq!(bl.check(START), Verdict::Blacklisted);
+        assert!(bl.is_blacklisted(START));
+    }
+
+    #[test]
+    fn forgiveness_only_covers_provisional_failures() {
+        let mut bl =
+            Blacklist::new(BlacklistConfig { max_failures: 3, backoff: 4, enabled: true });
+        assert!(!bl.record_failure(START, false)); // a real abort, not inner-not-ready
+        bl.forgive_outer(FuncId(0), &[5]);
+        // Nothing was provisional: the failure stands and the backoff holds.
+        assert_eq!(bl.check(START), Verdict::Skip);
+    }
+
+    #[test]
+    fn fragments_fail_independently() {
+        let mut bl =
+            Blacklist::new(BlacklistConfig { max_failures: 2, backoff: 2, enabled: true });
+        let other: FragmentStart = (FuncId(1), 9);
+        assert!(!bl.record_failure(START, false));
+        assert_eq!(bl.check(START), Verdict::Skip);
+        // The other fragment is unaffected by START's backoff...
+        assert_eq!(bl.check(other), Verdict::Record);
+        // ...and blacklists on its own count.
+        bl.record_failure(other, false);
+        bl.record_failure(other, false);
+        assert!(bl.is_blacklisted(other));
+        assert!(!bl.is_blacklisted(START));
+        assert_eq!(bl.blacklisted_count(), 1);
+    }
+
+    #[test]
     fn disabled_blacklist_always_records() {
         let mut bl = Blacklist::new(BlacklistConfig { enabled: false, ..Default::default() });
         for _ in 0..10 {

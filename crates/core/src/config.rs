@@ -44,6 +44,11 @@ pub struct JitOptions {
     pub profile: bool,
     /// Record trace events (tests / diagnostics).
     pub log_events: bool,
+    /// Statically verify every recorded trace before compiling it
+    /// (`tm-verifier`): a malformed trace aborts recording with
+    /// `AbortReason::VerifyFailed` instead of being compiled. On by
+    /// default in debug/test builds, off in release (hot-path) builds.
+    pub verify: bool,
 }
 
 impl Default for JitOptions {
@@ -64,6 +69,7 @@ impl Default for JitOptions {
             enable_stability_linking: true,
             profile: false,
             log_events: false,
+            verify: cfg!(debug_assertions),
         }
     }
 }

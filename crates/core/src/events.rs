@@ -99,6 +99,9 @@ pub enum AbortReason {
     GuestError,
     /// The program finished while recording.
     ProgramEnd,
+    /// The recorded trace failed static verification (`tm-verifier`); the
+    /// malformed trace is discarded instead of compiled.
+    VerifyFailed(tm_verifier::VerifyError),
 }
 
 /// Bounded event log.

@@ -188,6 +188,16 @@ impl Monitor {
         match outcome {
             Ok(RecResult::Finished) => {
                 let recorded = rec.into_recorded();
+                if self.opts.verify {
+                    if let Err(err) = recorded.verify(&[]) {
+                        self.handle_record_failure(
+                            anchor,
+                            AbortReason::VerifyFailed(err),
+                            interp,
+                        );
+                        return Ok(None);
+                    }
+                }
                 self.build_root_tree(anchor, recorded);
                 self.forgive_outer_loops(anchor, interp);
                 Ok(None)
@@ -310,12 +320,28 @@ impl Monitor {
 
     // ==== tree construction ====
 
-    fn compile_fragment(&mut self, recorded: &mut RecordedTrace) -> Fragment {
+    /// `verify_base` is the fragment's pre-existing entry state (empty for
+    /// a root trace; the parent exit's type map plus the tree entry map
+    /// for a branch), used only for the post-filter verification pass.
+    fn compile_fragment(
+        &mut self,
+        recorded: &mut RecordedTrace,
+        verify_base: &[(tm_lir::ArSlot, tm_lir::LirType)],
+    ) -> Fragment {
         self.profiler.switch(Activity::Compile);
         let liveness = ExitLiveness {
             live_slots: recorded.exits.iter().map(SideExitInfo::live_slots).collect(),
         };
         run_backward_filters(&mut recorded.lir, &liveness, &recorded.loop_live);
+        if self.opts.verify {
+            // The recorder's output was already verified; what is handed
+            // to the backend is re-checked so a backward-filter defect
+            // (bad id compaction, dropped store an exit needs) surfaces
+            // here instead of as compiled garbage.
+            if let Err(err) = recorded.verify(verify_base) {
+                panic!("backward filters produced a malformed trace: {err}");
+            }
+        }
         let frag = assemble(&recorded.lir);
         self.profiler.stats.fragments += 1;
         self.profiler.switch(Activity::Monitor);
@@ -323,7 +349,7 @@ impl Monitor {
     }
 
     fn build_root_tree(&mut self, anchor: Anchor, mut recorded: RecordedTrace) -> TreeId {
-        let frag = self.compile_fragment(&mut recorded);
+        let frag = self.compile_fragment(&mut recorded, &[]);
         for m in recorded.oracle_marks.drain(..) {
             self.oracle.mark_double(m);
         }
@@ -342,6 +368,7 @@ impl Monitor {
             exit_blacklist: HashMap::new(),
             nested_sites: recorded.nested_sites,
             loop_writes: recorded.loop_writes,
+            lir: if self.opts.log_events { vec![recorded.lir] } else { vec![] },
             unstable,
             disabled: false,
             stats: TreeStats::default(),
@@ -368,14 +395,9 @@ impl Monitor {
         parent_exit: u16,
         mut recorded: RecordedTrace,
     ) {
-        let frag = self.compile_fragment(&mut recorded);
-        for m in recorded.oracle_marks.drain(..) {
-            self.oracle.mark_double(m);
-        }
-        let stitch = self.opts.enable_stitching;
         // Entry requirements for monitor-mediated entry at this fragment:
         // everything the parent exit's type map describes plus the tree's
-        // entry slots.
+        // entry slots. Doubles as the entry base for trace verification.
         let parent_reqs: Vec<(tm_lir::ArSlot, SlotKey, tm_lir::LirType)> = {
             let tree = self.cache.tree(tid);
             let mut reqs = tree.exits[parent_frag as usize][parent_exit as usize]
@@ -388,6 +410,13 @@ impl Monitor {
             }
             reqs
         };
+        let verify_base: Vec<(tm_lir::ArSlot, tm_lir::LirType)> =
+            parent_reqs.iter().map(|&(s, _, t)| (s, t)).collect();
+        let frag = self.compile_fragment(&mut recorded, &verify_base);
+        for m in recorded.oracle_marks.drain(..) {
+            self.oracle.mark_double(m);
+        }
+        let stitch = self.opts.enable_stitching;
         let tree = self.cache.tree_mut(tid);
         let new_idx = tree.fragments.len() as u32;
         {
@@ -440,6 +469,9 @@ impl Monitor {
         }
         tree.loop_writes = new_loop_writes;
         tree.exits.push(branch_exits);
+        if self.opts.log_events {
+            tree.lir.push(recorded.lir);
+        }
         tree.fragment_bytecodes.push(recorded.bytecodes);
         tree.nested_sites.extend(recorded.nested_sites);
         self.events.push(TraceEvent::Stitch {
@@ -596,6 +628,22 @@ impl Monitor {
                 tree.exits[frag as usize][exit as usize].clone(),
             )
         };
+        // The branch fragment enters with everything the parent path
+        // established (its exit type map) plus the tree's entry slots —
+        // the base state the verifier checks imports and exit maps
+        // against.
+        let verify_base: Vec<(tm_lir::ArSlot, tm_lir::LirType)> = if self.opts.verify {
+            let mut base: Vec<(tm_lir::ArSlot, tm_lir::LirType)> =
+                parent_exit.typemap.iter().map(|&(s, _, t)| (s, t)).collect();
+            for e in &entry {
+                if !base.iter().any(|&(s, _)| s == e.ar) {
+                    base.push((e.ar, e.ty));
+                }
+            }
+            base
+        } else {
+            Vec::new()
+        };
         let mut rec = Recorder::new_branch(
             anchor,
             range,
@@ -614,6 +662,21 @@ impl Monitor {
         match outcome {
             Ok(RecResult::Finished) => {
                 let recorded = rec.into_recorded();
+                if self.opts.verify {
+                    if let Err(err) = recorded.verify(&verify_base) {
+                        self.events.push(TraceEvent::RecordAbort {
+                            reason: AbortReason::VerifyFailed(err),
+                        });
+                        self.profiler.stats.traces_aborted += 1;
+                        *self
+                            .cache
+                            .tree_mut(tid)
+                            .exit_blacklist
+                            .entry((frag, exit))
+                            .or_insert(0) += 1;
+                        return Ok(());
+                    }
+                }
                 self.attach_branch(tid, frag, exit, recorded);
                 Ok(())
             }

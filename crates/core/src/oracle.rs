@@ -121,6 +121,29 @@ mod tests {
     }
 
     #[test]
+    fn site_demotion_blocks_int_speculation_at_that_site_only() {
+        let mut o = Oracle::new();
+        let site = (FuncId(3), 17);
+        assert!(o.may_speculate_int_site(site));
+        o.mark_site(site);
+        assert!(!o.may_speculate_int_site(site));
+        // Neighbouring pcs and other functions are unaffected.
+        assert!(o.may_speculate_int_site((FuncId(3), 18)));
+        assert!(o.may_speculate_int_site((FuncId(4), 17)));
+        // Site demotions are independent of variable demotions.
+        assert!(o.is_empty());
+        assert!(o.may_speculate_int(VarKey::Local(FuncId(3), 0)));
+    }
+
+    #[test]
+    fn disabled_oracle_ignores_site_marks() {
+        let mut o = Oracle::disabled();
+        let site = (FuncId(0), 0);
+        o.mark_site(site);
+        assert!(o.may_speculate_int_site(site));
+    }
+
+    #[test]
     fn var_keys_from_slots() {
         let funcs = [FuncId(7), FuncId(9)];
         assert_eq!(var_key(SlotKey::Global(2), &funcs), Some(VarKey::Global(2)));

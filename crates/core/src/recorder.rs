@@ -111,6 +111,53 @@ pub struct RecordedTrace {
     pub loop_writes: Vec<(ArSlot, SlotKey, LirType)>,
 }
 
+/// Projects a side-exit descriptor down to the shape the verifier checks
+/// (the verifier is below `tm-core` in the crate graph and cannot name
+/// `SlotKey`/`SideExitInfo` itself).
+pub fn exit_view(e: &SideExitInfo) -> tm_verifier::ExitView {
+    tm_verifier::ExitView {
+        stack_depths: e.frames.iter().map(|f| f.stack_depth).collect(),
+        stack_writes: e
+            .write_back
+            .iter()
+            .filter_map(|&(_, key, _)| match key {
+                SlotKey::Stack { depth, idx } => Some((depth, idx)),
+                _ => None,
+            })
+            .collect(),
+        write_back: e.write_back.iter().map(|&(s, _, t)| (s, t)).collect(),
+        typemap: e.typemap.iter().map(|&(s, _, t)| (s, t)).collect(),
+    }
+}
+
+impl RecordedTrace {
+    /// Statically verifies the recorded LIR against its exit metadata
+    /// (`tm-verifier`): SSA shape, operand types, exit-table consistency,
+    /// and exit-map/stack balance.
+    ///
+    /// `base_entry` is the fragment's pre-existing entry state: empty for
+    /// a root trace, the tree entry map merged with the parent exit's
+    /// type map for a branch trace. The trace's own `new_entry` imports
+    /// are appended automatically.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first defect found.
+    pub fn verify(
+        &self,
+        base_entry: &[(ArSlot, LirType)],
+    ) -> Result<(), tm_verifier::VerifyError> {
+        let mut entry: Vec<(ArSlot, LirType)> = base_entry.to_vec();
+        for e in &self.new_entry {
+            if !entry.iter().any(|&(s, _)| s == e.ar) {
+                entry.push((e.ar, e.ty));
+            }
+        }
+        let views: Vec<tm_verifier::ExitView> = self.exits.iter().map(exit_view).collect();
+        tm_verifier::verify_trace(&self.lir, &views, &entry)
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 enum PendingNative {
     /// Generic boxed call: unbox the observed result.
@@ -292,14 +339,18 @@ impl Recorder {
         }
         // Rebuild shadow frames; locals import lazily (deeper-frame locals
         // not in the parent type map are still their initial undefined).
-        for fd in &parent_exit.frames {
+        // `snapshot_exit` derives a non-top frame's resume pc from the
+        // frame *above* it (`frames[d].resume_pc == shadow[d+1].caller_resume`),
+        // so the inversion reads the frame *below*: frame `d` was entered
+        // from the call site its caller resumes at.
+        for (d, fd) in parent_exit.frames.iter().enumerate() {
             let nlocals = interp.prog().function(fd.func).nlocals;
             rec.frames.push(ShadowFrame {
                 func: fd.func,
                 locals: vec![None; nlocals as usize],
                 stack: Vec::new(),
                 is_construct: fd.is_construct,
-                caller_resume: fd.resume_pc,
+                caller_resume: if d == 0 { 0 } else { parent_exit.frames[d - 1].resume_pc },
                 callee_raw: fd.callee_raw,
             });
         }

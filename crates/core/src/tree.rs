@@ -107,6 +107,10 @@ pub struct TraceTree {
     /// Loop-persistent writes across all stable fragments: every exit must
     /// write these back.
     pub loop_writes: Vec<(ArSlot, SlotKey, LirType)>,
+    /// Final (backward-filtered) LIR per fragment, retained when
+    /// `JitOptions::log_events` is set — diagnostics and golden tests read
+    /// the exact IR the backend compiled.
+    pub lir: Vec<tm_lir::LirTrace>,
     /// Whether the trunk ends type-unstable (`End` instead of `LoopBack`).
     pub unstable: bool,
     /// Disabled trees are never entered (the §3.3 short-loop mitigation:
@@ -235,6 +239,7 @@ mod tests {
             exit_blacklist: HashMap::new(),
             nested_sites: vec![],
             loop_writes: vec![],
+            lir: vec![],
             unstable: false,
             disabled: false,
             stats: TreeStats::default(),

@@ -1,0 +1,313 @@
+//! Delta-debugging reduction of failing guest programs.
+//!
+//! When the differential fuzzer (or a verifier rejection) flags a
+//! generated program, the raw reproducer is a page of random statements.
+//! [`reduce_program`] shrinks it while a caller-supplied predicate keeps
+//! reporting "still fails":
+//!
+//! 1. **Statement level** — the program is split into brace-balanced
+//!    chunks (a simple statement line, or a `for`/`if` header through its
+//!    matching close brace). Each pass tries deleting every chunk and
+//!    unwrapping every block (replacing `hdr { body }` with `body`),
+//!    keeping any change that preserves the failure, until a fixpoint.
+//! 2. **Expression level** — within the surviving lines, parenthesized
+//!    binary expressions `((a) op (b))` are replaced by either operand,
+//!    and numeric literals are replaced by `0`; again to fixpoint.
+//!
+//! The result is emitted as a ready-to-paste regression test by
+//! [`as_regression_test`].
+
+/// Counters describing one reduction run.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ReduceStats {
+    /// Times the predicate was invoked.
+    pub probes: u32,
+    /// Candidate edits that preserved the failure.
+    pub accepted: u32,
+    /// Source lines in / out.
+    pub lines_in: u32,
+    /// Source lines in the reduced program.
+    pub lines_out: u32,
+}
+
+/// One brace-balanced region of the program: `[start, end)` line range.
+/// For a block chunk, `body` is the inner line range (header and closing
+/// brace excluded).
+struct Chunk {
+    start: usize,
+    end: usize,
+    body: Option<(usize, usize)>,
+}
+
+/// Splits `lines[from..to]` into top-level chunks by brace balance.
+fn chunks(lines: &[String], from: usize, to: usize) -> Vec<Chunk> {
+    let mut out = Vec::new();
+    let mut i = from;
+    while i < to {
+        let opens = lines[i].matches('{').count() as i32 - lines[i].matches('}').count() as i32;
+        if opens <= 0 {
+            out.push(Chunk { start: i, end: i + 1, body: None });
+            i += 1;
+            continue;
+        }
+        // Scan forward for the line that rebalances the braces.
+        let mut depth = opens;
+        let mut j = i + 1;
+        while j < to && depth > 0 {
+            depth += lines[j].matches('{').count() as i32;
+            depth -= lines[j].matches('}').count() as i32;
+            j += 1;
+        }
+        out.push(Chunk { start: i, end: j, body: Some((i + 1, j.saturating_sub(1))) });
+        i = j;
+    }
+    out
+}
+
+/// Tries removing/unwrapping statement chunks until no edit survives.
+fn shrink_statements(
+    lines: &mut Vec<String>,
+    fails: &mut dyn FnMut(&str) -> bool,
+    stats: &mut ReduceStats,
+) {
+    loop {
+        let mut changed = false;
+        // Collect candidate edits against the current line list; apply the
+        // first that survives, then rescan (line indices shift).
+        let mut i = 0;
+        while i < lines.len() {
+            let cs = chunks(lines, 0, lines.len());
+            let Some(c) = cs.into_iter().find(|c| c.start >= i) else { break };
+            i = c.start + 1;
+
+            // Candidate A: delete the chunk entirely.
+            let mut without: Vec<String> = Vec::with_capacity(lines.len());
+            without.extend_from_slice(&lines[..c.start]);
+            without.extend_from_slice(&lines[c.end..]);
+            stats.probes += 1;
+            if fails(&without.join("\n")) {
+                *lines = without;
+                stats.accepted += 1;
+                changed = true;
+                i = c.start;
+                continue;
+            }
+            // Candidate B: unwrap a block — keep the body, drop the
+            // header and closing brace (an `else` arm, if present, goes
+            // with the header's chunk and is dropped too).
+            if let Some((bs, be)) = c.body {
+                if bs < be {
+                    let mut unwrapped: Vec<String> = Vec::with_capacity(lines.len());
+                    unwrapped.extend_from_slice(&lines[..c.start]);
+                    unwrapped.extend_from_slice(&lines[bs..be]);
+                    unwrapped.extend_from_slice(&lines[c.end..]);
+                    stats.probes += 1;
+                    if fails(&unwrapped.join("\n")) {
+                        *lines = unwrapped;
+                        stats.accepted += 1;
+                        changed = true;
+                        i = c.start;
+                    }
+                }
+            }
+        }
+        if !changed {
+            return;
+        }
+    }
+}
+
+/// Finds the extent of the parenthesized group starting at byte `open`
+/// (which must be `(`), returning the index of its matching `)`.
+fn match_paren(bytes: &[u8], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (k, &b) in bytes.iter().enumerate().skip(open) {
+        match b {
+            b'(' => depth += 1,
+            b')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(k);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Expression-level candidates for one line: for every group `(X)`, a
+/// rewrite of the line with the group replaced by `X` stripped of one
+/// paren layer, plus literal-to-`0` rewrites.
+fn expr_candidates(line: &str) -> Vec<String> {
+    let bytes = line.as_bytes();
+    let mut out = Vec::new();
+    for open in 0..bytes.len() {
+        if bytes[open] != b'(' {
+            continue;
+        }
+        let Some(close) = match_paren(bytes, open) else { continue };
+        let inner = &line[open + 1..close];
+        // Replacing `(X)` by `X` is safe only when X itself stays
+        // self-delimiting; restrict to inner groups `( ... )`.
+        if inner.starts_with('(') && inner.ends_with(')') {
+            // `((a) op (b))` → try each operand.
+            if let Some(a_close) = match_paren(inner.as_bytes(), 0) {
+                let rest = inner[a_close + 1..].trim_start();
+                if let Some(bpos) = rest.find('(') {
+                    let b = &rest[bpos..];
+                    if match_paren(b.as_bytes(), 0) == Some(b.len() - 1) {
+                        let a = &inner[..=a_close];
+                        out.push(format!("{}{}{}", &line[..open], a, &line[close + 1..]));
+                        out.push(format!("{}{}{}", &line[..open], b, &line[close + 1..]));
+                    }
+                }
+            }
+        }
+        // `(lit)` or a lone group → try collapsing to `0`.
+        out.push(format!("{}0{}", &line[..open], &line[close + 1..]));
+    }
+    // Multi-digit literals → `0`.
+    let mut k = 0;
+    while k < bytes.len() {
+        if bytes[k].is_ascii_digit() {
+            let mut j = k;
+            while j < bytes.len() && (bytes[j].is_ascii_digit() || bytes[j] == b'.') {
+                j += 1;
+            }
+            if j - k > 1 {
+                out.push(format!("{}0{}", &line[..k], &line[j..]));
+            }
+            k = j;
+        } else {
+            k += 1;
+        }
+    }
+    out
+}
+
+/// Tries expression-level rewrites line by line until a fixpoint.
+fn shrink_expressions(
+    lines: &mut [String],
+    fails: &mut dyn FnMut(&str) -> bool,
+    stats: &mut ReduceStats,
+) {
+    loop {
+        let mut changed = false;
+        for i in 0..lines.len() {
+            let mut progressed = true;
+            while progressed {
+                progressed = false;
+                for cand in expr_candidates(&lines[i]) {
+                    if cand.len() >= lines[i].len() {
+                        continue;
+                    }
+                    let prev = std::mem::replace(&mut lines[i], cand);
+                    stats.probes += 1;
+                    if fails(&lines.join("\n")) {
+                        stats.accepted += 1;
+                        progressed = true;
+                        changed = true;
+                        break;
+                    }
+                    lines[i] = prev;
+                }
+            }
+        }
+        if !changed {
+            return;
+        }
+    }
+}
+
+/// Shrinks `src` while `fails` keeps returning `true` for the candidate.
+///
+/// `fails` must return `true` for `src` itself (the caller should check
+/// before reducing); candidates that no longer fail are discarded. The
+/// returned program is 1-minimal with respect to the edit set: no single
+/// chunk deletion, block unwrap, or expression rewrite preserves the
+/// failure.
+pub fn reduce_program(src: &str, mut fails: impl FnMut(&str) -> bool) -> (String, ReduceStats) {
+    let mut stats = ReduceStats::default();
+    let mut lines: Vec<String> = src
+        .lines()
+        .map(|l| l.trim_end().to_string())
+        .filter(|l| !l.trim().is_empty())
+        .collect();
+    stats.lines_in = lines.len() as u32;
+    shrink_statements(&mut lines, &mut fails, &mut stats);
+    shrink_expressions(&mut lines, &mut fails, &mut stats);
+    // Expression rewrites can turn statements into dead weight (`0;`);
+    // one more statement pass mops those up.
+    shrink_statements(&mut lines, &mut fails, &mut stats);
+    stats.lines_out = lines.len() as u32;
+    (lines.join("\n"), stats)
+}
+
+/// Formats a reduced program as a ready-to-paste differential regression
+/// test (a Rust `#[test]` body comparing all engines on the program).
+pub fn as_regression_test(name: &str, src: &str) -> String {
+    let mut out = String::new();
+    out.push_str("#[test]\n");
+    out.push_str(&format!("fn {name}() {{\n"));
+    out.push_str("    let src = \"\\\n");
+    for line in src.lines() {
+        out.push_str("        ");
+        out.push_str(&line.replace('\\', "\\\\").replace('"', "\\\""));
+        out.push_str("\\n\\\n");
+    }
+    out.push_str("    \";\n");
+    out.push_str("    assert_engines_agree(src);\n");
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunking_respects_braces() {
+        let lines: Vec<String> = ["var a = 1;", "for (;;) {", "a = 2;", "}", "a;"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let cs = chunks(&lines, 0, lines.len());
+        assert_eq!(cs.len(), 3);
+        assert_eq!((cs[1].start, cs[1].end), (1, 4));
+        assert_eq!(cs[1].body, Some((2, 3)));
+    }
+
+    #[test]
+    fn removes_irrelevant_statements() {
+        let src = "var a = 1;\nvar b = 2;\nneedle;\nvar c = 3;";
+        let (out, stats) = reduce_program(src, |s| s.contains("needle"));
+        assert_eq!(out, "needle;");
+        assert_eq!(stats.lines_out, 1);
+        assert!(stats.probes > 0);
+    }
+
+    #[test]
+    fn unwraps_blocks_around_the_needle() {
+        let src = "var a = 1;\nfor (var i = 0; i < 3; i++) {\nneedle;\n}\na;";
+        let (out, _) = reduce_program(src, |s| s.contains("needle"));
+        assert_eq!(out, "needle;");
+    }
+
+    #[test]
+    fn shrinks_binary_expressions() {
+        let src = "var a = ((7) + ((needle) * (3)));";
+        let (out, _) = reduce_program(src, |s| s.contains("needle"));
+        assert!(out.len() < src.len(), "{out}");
+        assert!(out.contains("needle"), "{out}");
+        assert!(!out.contains('7'), "{out}");
+    }
+
+    #[test]
+    fn regression_test_formatting() {
+        let t = as_regression_test("repro_1", "var a = 1;\na;");
+        assert!(t.contains("fn repro_1()"), "{t}");
+        assert!(t.contains("var a = 1;"), "{t}");
+        assert!(t.contains("assert_engines_agree"), "{t}");
+    }
+}

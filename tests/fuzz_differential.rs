@@ -3,7 +3,12 @@
 //! modified JSFUNFUZZ to generate loops, and also to test more heavily
 //! certain constructs we suspected would reveal flaws" — here: nested
 //! loops, type-unstable variables, integer overflow boundaries, arrays,
-//! and branchy control flow.
+//! function calls (including bounded recursion), object property access,
+//! string concatenation, and branchy control flow.
+//!
+//! On a divergence the harness runs the `tm-verifier` delta-debugging
+//! reducer over the failing program and panics with the minimized source
+//! plus a ready-to-paste regression test.
 
 use tm_support::TmRng;
 use tracemonkey::{Engine, Vm};
@@ -12,6 +17,10 @@ struct Gen {
     rng: TmRng,
     vars: Vec<String>,
     arrays: Vec<String>,
+    /// Generated top-level functions: `(name, is_recursive)`.
+    funcs: Vec<(String, bool)>,
+    objs: Vec<String>,
+    strs: Vec<String>,
     loop_depth: u32,
     next_id: u32,
     out: String,
@@ -24,6 +33,9 @@ impl Gen {
             rng: TmRng::seed_from_u64(seed),
             vars: Vec::new(),
             arrays: Vec::new(),
+            funcs: Vec::new(),
+            objs: Vec::new(),
+            strs: Vec::new(),
             loop_depth: 0,
             next_id: 0,
             out: String::new(),
@@ -82,12 +94,65 @@ impl Gen {
         format!("({a}) {op} ({b})")
     }
 
+    /// Emits a top-level two-parameter arithmetic helper (the frontend
+    /// only supports top-level function declarations).
+    fn function_decl(&mut self) {
+        let name = self.fresh("f");
+        let p1 = self.fresh("p");
+        let p2 = self.fresh("p");
+        // Inside the body only the parameters are in scope.
+        let saved = std::mem::replace(&mut self.vars, vec![p1.clone(), p2.clone()]);
+        self.line(&format!("function {name}({p1}, {p2}) {{"));
+        self.indent += 1;
+        let t = self.fresh("t");
+        let e = self.expr(2);
+        self.line(&format!("var {t} = ({e}) | 0;"));
+        self.vars.push(t.clone());
+        let c = self.condition();
+        let e2 = self.expr(1);
+        self.line(&format!("if ({c}) {{ return ({e2}) | 0; }}"));
+        let e3 = self.expr(1);
+        self.line(&format!("return ({t} + ({e3})) | 0;"));
+        self.indent -= 1;
+        self.line("}");
+        self.vars = saved;
+        self.funcs.push((name, false));
+    }
+
+    /// Emits a self-recursive helper; callers bound the depth argument.
+    fn recursive_decl(&mut self) {
+        let name = self.fresh("rec");
+        let op = ["+", "-", "^"][self.rng.gen_range(0..3usize)];
+        self.line(&format!("function {name}(n, a) {{"));
+        self.line(&format!("    if (n < 1) {{ return a | 0; }}"));
+        self.line(&format!("    return {name}(n - 1, (a {op} n) | 0) | 0;"));
+        self.line("}");
+        self.funcs.push((name, true));
+    }
+
+    /// A call of one of the generated functions; recursive helpers get a
+    /// masked (bounded) depth argument.
+    fn call_expr(&mut self) -> Option<String> {
+        if self.funcs.is_empty() {
+            return None;
+        }
+        let i = self.rng.gen_range(0..self.funcs.len());
+        let (name, recursive) = self.funcs[i].clone();
+        let a = self.expr(1);
+        let b = self.expr(1);
+        Some(if recursive {
+            format!("{name}((({a}) & 15), ({b}) | 0)")
+        } else {
+            format!("{name}(({a}) | 0, ({b}) | 0)")
+        })
+    }
+
     fn statement(&mut self, budget: &mut u32) {
         if *budget == 0 {
             return;
         }
         *budget -= 1;
-        match self.rng.gen_range(0..10) {
+        match self.rng.gen_range(0..14) {
             0 | 1 => {
                 // New variable.
                 let v = self.fresh("v");
@@ -146,6 +211,54 @@ impl Gen {
                 }
                 self.line("}");
             }
+            8 => {
+                // Function call folded into a fresh variable.
+                if let Some(call) = self.call_expr() {
+                    let v = self.fresh("v");
+                    self.line(&format!("var {v} = ({call}) | 0;"));
+                    self.vars.push(v);
+                }
+            }
+            9 => {
+                // Object property write / read / bump (objects are
+                // declared in the preamble, so they are always defined).
+                if !self.objs.is_empty() {
+                    let oi = self.rng.gen_range(0..self.objs.len());
+                    let o = self.objs[oi].clone();
+                    let field = ["a", "b"][self.rng.gen_range(0..2usize)];
+                    match self.rng.gen_range(0..3) {
+                        0 => {
+                            let e = self.expr(2);
+                            self.line(&format!("{o}.{field} = ({e}) | 0;"));
+                        }
+                        1 => {
+                            let v = self.fresh("v");
+                            self.line(&format!("var {v} = {o}.{field} | 0;"));
+                            self.vars.push(v);
+                        }
+                        _ => {
+                            self.line(&format!("{o}.{field} = ({o}.{field} + 1) | 0;"));
+                        }
+                    }
+                }
+            }
+            10 => {
+                // String concatenation (growth-bounded) or length read.
+                if !self.strs.is_empty() {
+                    let si = self.rng.gen_range(0..self.strs.len());
+                    let s = self.strs[si].clone();
+                    if self.rng.gen_bool(0.6) {
+                        let piece = ["x", "yz", "q"][self.rng.gen_range(0..3usize)];
+                        self.line(&format!(
+                            "if ({s}.length < 80) {{ {s} = {s} + \"{piece}\"; }}"
+                        ));
+                    } else {
+                        let v = self.fresh("v");
+                        self.line(&format!("var {v} = ({s} + \"z\").length | 0;"));
+                        self.vars.push(v);
+                    }
+                }
+            }
             _ => {
                 // Loop (bounded, nesting-limited).
                 if self.loop_depth < 3 {
@@ -178,11 +291,33 @@ impl Gen {
     }
 
     fn program(mut self) -> String {
+        // Top-level helper functions, including (sometimes) a bounded
+        // recursive one.
+        for _ in 0..self.rng.gen_range(0..3u32) {
+            self.function_decl();
+        }
+        if self.rng.gen_bool(0.5) {
+            self.recursive_decl();
+        }
         // Seed variables of mixed types (type-instability fodder).
         self.line("var acc = 0;");
         self.vars.push("acc".into());
         self.line("var dbl = 0.5;");
         self.vars.push("dbl".into());
+        // Objects and strings are declared up front so statements can
+        // mutate them without ever touching an undefined binding.
+        for _ in 0..self.rng.gen_range(0..3u32) {
+            let o = self.fresh("obj");
+            let a = self.rng.gen_range(-50..50);
+            let b = self.rng.gen_range(-50..50);
+            self.line(&format!("var {o} = {{ a: {a}, b: {b} }};"));
+            self.objs.push(o);
+        }
+        for _ in 0..self.rng.gen_range(0..2u32) {
+            let s = self.fresh("s");
+            self.line(&format!("var {s} = \"ab\";"));
+            self.strs.push(s);
+        }
         // A hot outer loop so tracing definitely kicks in.
         let outer = self.rng.gen_range(20..120);
         self.line(&format!("for (var main = 0; main < {outer}; main++) {{"));
@@ -193,14 +328,13 @@ impl Gen {
         while budget > 0 {
             self.statement(&mut budget);
         }
-        // Fold locals into the accumulator so everything is observable.
-        let fold = self
-            .vars
-            .clone()
-            .iter()
-            .map(|v| format!("({v} | 0)"))
-            .collect::<Vec<_>>()
-            .join(" + ");
+        // Fold locals into the accumulator so everything is observable:
+        // plain variables by value, objects by field, strings by length.
+        let mut terms: Vec<String> =
+            self.vars.iter().map(|v| format!("({v} | 0)")).collect();
+        terms.extend(self.objs.iter().map(|o| format!("({o}.a | 0) + ({o}.b | 0)")));
+        terms.extend(self.strs.iter().map(|s| format!("({s}.length | 0)")));
+        let fold = terms.join(" + ");
         self.line(&format!("acc = (acc + {fold}) | 0;"));
         self.loop_depth -= 1;
         self.indent -= 1;
@@ -209,6 +343,8 @@ impl Gen {
         self.out
     }
 }
+
+const JIT_ENGINES: [Engine; 3] = [Engine::Tracing, Engine::Method, Engine::FastInterp];
 
 fn run(engine: Engine, src: &str) -> Result<String, String> {
     let mut vm = Vm::new(engine);
@@ -219,17 +355,60 @@ fn run(engine: Engine, src: &str) -> Result<String, String> {
     }
 }
 
+/// Asserts every engine computes the interpreter's answer for `src`.
+/// Reduced regression tests emitted by the failure reducer call this.
+fn assert_engines_agree(src: &str) {
+    let baseline = run(Engine::Interp, src);
+    for engine in JIT_ENGINES {
+        assert_eq!(baseline, run(engine, src), "{engine:?} disagrees on:\n{src}");
+    }
+}
+
+/// The reducer predicate: does any engine still disagree with the
+/// interpreter on `src`? A panic (e.g. a verifier or recorder assertion)
+/// counts as a reproduction.
+fn engines_disagree(src: &str) -> bool {
+    let src = src.to_owned();
+    std::panic::catch_unwind(move || {
+        let baseline = run(Engine::Interp, &src);
+        JIT_ENGINES.iter().any(|&e| run(e, &src) != baseline)
+    })
+    .unwrap_or(true)
+}
+
+/// Shrinks a failing program with the `tm-verifier` delta-debugging
+/// reducer and panics with the minimized source and a ready-to-paste
+/// regression test.
+fn reduce_and_report(seed: u64, engine: Engine, src: &str) -> ! {
+    // The reducer re-runs the engines hundreds of times and most probes
+    // are expected to panic; silence the per-probe backtraces.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let (small, stats) = tm_verifier::reduce_program(src, engines_disagree);
+    std::panic::set_hook(prev_hook);
+    let test = tm_verifier::as_regression_test(&format!("regress_fuzz_seed_{seed}"), &small);
+    panic!(
+        "seed {seed}: {engine:?} disagrees with the interpreter.\n\
+         reduced {} lines to {} in {} probes; minimized program:\n{small}\n\
+         suggested regression test:\n{test}",
+        stats.lines_in, stats.lines_out, stats.probes
+    );
+}
+
+fn fuzz_one(seed: u64) {
+    let src = Gen::new(seed).program();
+    let baseline = run(Engine::Interp, &src);
+    for engine in JIT_ENGINES {
+        let got = run(engine, &src);
+        if got != baseline {
+            reduce_and_report(seed, engine, &src);
+        }
+    }
+}
+
 fn fuzz_range(seeds: std::ops::Range<u64>) {
     for seed in seeds {
-        let src = Gen::new(seed).program();
-        let baseline = run(Engine::Interp, &src);
-        for engine in [Engine::Tracing, Engine::Method, Engine::FastInterp] {
-            let got = run(engine, &src);
-            assert_eq!(
-                baseline, got,
-                "seed {seed}: {engine:?} disagrees with the interpreter on:\n{src}"
-            );
-        }
+        fuzz_one(seed);
     }
 }
 
@@ -255,4 +434,81 @@ fn fuzz_extended_sweep() {
     let Ok(range) = std::env::var("TM_FUZZ_RANGE") else { return };
     let (a, b) = range.split_once("..").expect("start..end");
     fuzz_range(a.parse().expect("start")..b.parse().expect("end"));
+}
+
+/// Replays specific seeds: `TM_FUZZ_SEEDS=3,17,250` (comma-separated).
+/// Used to re-check a seed a previous run flagged without sweeping its
+/// whole range.
+#[test]
+fn fuzz_replay_seeds() {
+    let Ok(list) = std::env::var("TM_FUZZ_SEEDS") else { return };
+    for part in list.split(',').filter(|p| !p.trim().is_empty()) {
+        fuzz_one(part.trim().parse().expect("TM_FUZZ_SEEDS: comma-separated integer seeds"));
+    }
+}
+
+/// Committed output of the failure reducer: an injected divergence
+/// signature (the 31-bit boxing-boundary constant) in the generator's
+/// seed-0 program was shrunk by `tm_verifier::reduce_program` from 39
+/// lines to the 8 below (see `reducer_shrinks_generated_program`). Kept
+/// as a permanent engine-agreement check: a dead branch reading an
+/// undeclared array around the boundary constant.
+#[test]
+fn regress_reduced_overflow_boundary() {
+    let src = "\
+        if (0) {\n\
+            if ((1073741823)) {\n\
+                var v0 = arr0[0] | 0;\n\
+            } else {\n\
+                var v0 = arr0[9] | 0;\n\
+            }\n\
+        } else {\n\
+        }\n\
+    ";
+    assert_engines_agree(src);
+}
+
+/// Found by this fuzzer (seed 30) and reduced by the failure reducer:
+/// branch traces recorded from a side exit inside inlined recursion
+/// rebuilt their shadow frames with the caller-resume pcs rotated by one
+/// (`FrameDesc::resume_pc` describes the frame itself; the shadow frame's
+/// `caller_resume` belongs to the frame below). With recursion every
+/// frame shares one function, so nothing caught the rotation until the
+/// interpreter resumed at a pc whose stack shape differed — an operand
+/// stack underflow several exits later.
+#[test]
+fn regress_recursive_branch_resume_pcs() {
+    let src = "\
+        function rec1(n, a) {\n\
+            if (n < 1) { return a | 0; }\n\
+            return rec1(n - 1, (a + n) | 0) | 0;\n\
+        }\n\
+        var acc = 0;\n\
+        for (var i = 0; i < 24; i++) {\n\
+            acc = (acc + rec1(i & 15, 0)) | 0;\n\
+        }\n\
+        acc";
+    assert_engines_agree(src);
+}
+
+/// The reducer pipeline end to end on a real generated program: treat
+/// "still contains the boxing-boundary constant and still runs" as the
+/// failure signature, shrink the first generated program that carries it,
+/// and require the result to be a tiny, still-failing repro.
+#[test]
+fn reducer_shrinks_generated_program() {
+    let (seed, src) = (0..200u64)
+        .map(|s| (s, Gen::new(s).program()))
+        .find(|(_, p)| p.contains("1073741823"))
+        .expect("some seed must hit the boundary constant");
+    let fails = |s: &str| s.contains("1073741823") && run(Engine::Interp, s).is_ok();
+    let (small, stats) = tm_verifier::reduce_program(&src, fails);
+    assert!(fails(&small), "reduction must preserve the failure signature");
+    assert!(
+        stats.lines_out <= 15,
+        "seed {seed}: reducer left {} lines (want <= 15):\n{small}",
+        stats.lines_out
+    );
+    assert!(stats.lines_out < stats.lines_in, "must actually shrink");
+    println!("seed {seed}: reduced {} -> {} lines:\n{small}", stats.lines_in, stats.lines_out);
 }

@@ -1,0 +1,75 @@
+//! Golden-file tests for the two human-readable renderings the engine
+//! produces: the bytecode disassembly (`bytecode::disasm`) and the LIR
+//! trace printer (`lir::printer`), pinned on one fixed nested-loop
+//! program. Any change to compilation or recording output shows up as a
+//! readable diff here.
+//!
+//! Regenerate with `TM_UPDATE_GOLDEN=1 cargo test --test golden`.
+
+use std::path::PathBuf;
+
+use tracemonkey::{Engine, JitOptions, Vm};
+
+/// The pinned program: a nested loop with an inner accumulation, enough
+/// to exercise function compilation, loop metadata, and a recorded trace
+/// with guards and a loop edge.
+const NESTED_LOOP_SRC: &str = "\
+function inner(acc, i, j) {
+    return (acc + i * j) | 0;
+}
+var total = 0;
+for (var i = 0; i < 20; i = i + 1) {
+    for (var j = 0; j < 10; j = j + 1) {
+        total = inner(total, i, j);
+    }
+}
+total";
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(name)
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var("TM_UPDATE_GOLDEN").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|_| {
+        panic!("golden file {} missing; regenerate with TM_UPDATE_GOLDEN=1", path.display())
+    });
+    assert_eq!(
+        expected, actual,
+        "{name} drifted from its golden file; if the change is intended, \
+         regenerate with TM_UPDATE_GOLDEN=1 and review the diff"
+    );
+}
+
+#[test]
+fn bytecode_disassembly_is_stable() {
+    let mut realm = tracemonkey::Realm::new();
+    let ast = tracemonkey::frontend::parse(NESTED_LOOP_SRC).expect("parses");
+    let prog = tracemonkey::bytecode::compile(&ast, &mut realm).expect("compiles");
+    let text = tracemonkey::bytecode::disasm::disassemble(&prog, &realm);
+    // Sanity before pinning: both functions and their loops are present.
+    assert!(text.contains("function inner"));
+    assert!(text.contains("loops=2") || text.contains("loopheader"));
+    check_golden("nested_loop.disasm.txt", &text);
+}
+
+#[test]
+fn recorded_lir_is_stable() {
+    let mut opts = JitOptions::default();
+    opts.log_events = true;
+    let mut vm = Vm::with_options(Engine::Tracing, opts);
+    vm.eval(NESTED_LOOP_SRC).expect("program runs");
+    let m = vm.monitor().expect("tracing keeps its monitor");
+    let tree = m.cache.iter().next().expect("the hot inner loop recorded a tree");
+    let trace = tree.lir.first().expect("log_events retains the trunk LIR");
+    let text = tracemonkey::lir::printer::print_trace(trace);
+    // Sanity before pinning: a real trace with a guard and a loop edge.
+    assert!(text.contains("import"));
+    assert!(text.contains("loop"));
+    check_golden("nested_loop.trunk.lir.txt", &text);
+}

@@ -1,0 +1,133 @@
+//! Monitor policy tests: the oracle's per-site integer demotion (§3.2) and
+//! the blacklist's backoff/patching thresholds (§3.3) observed through real
+//! program runs, not just unit-level table manipulation.
+
+use tracemonkey::bytecode::FuncId;
+use tracemonkey::jit::events::TraceEvent;
+use tracemonkey::{Engine, JitOptions, Vm};
+
+fn traced_vm_with(src: &str, tweak: impl FnOnce(&mut JitOptions)) -> Vm {
+    let mut opts = JitOptions::default();
+    opts.log_events = true;
+    tweak(&mut opts);
+    let mut vm = Vm::with_options(Engine::Tracing, opts);
+    vm.eval(src).expect("program runs");
+    vm
+}
+
+fn interp_result(src: &str) -> String {
+    let mut vm = Vm::new(Engine::Interp);
+    let v = vm.eval(src).expect("interpreter runs");
+    tracemonkey::runtime::ops::to_display(&mut vm.realm, v)
+}
+
+fn traced_result(vm: &mut Vm, src: &str) -> String {
+    let v = vm.eval(src).expect("traced program runs");
+    tracemonkey::runtime::ops::to_display(&mut vm.realm, v)
+}
+
+/// `i * i` stays inside the tagged-int range (2^30) when recording starts
+/// at i=32700, then overflows from i=32768 on — every later iteration
+/// takes the `MulIChk` guard even though every loop variable keeps its
+/// integer representation (`p` is reset to 0 before the loop edge, so the
+/// tree keeps matching and re-entering). Per-*variable* demotion cannot
+/// help here; only the arithmetic-*site* oracle can.
+const OVERFLOW_SITE_SRC: &str = "var s = 0;
+     for (var i = 32700; i < 33500; i = i + 1) {
+         var p = i * i;
+         if (p < 0) { s = (s + 1) | 0; }
+         p = 0;
+         s = (s + 1) | 0;
+     }
+     s";
+
+#[test]
+fn hot_overflow_guard_demotes_the_arith_site() {
+    let vm = traced_vm_with(OVERFLOW_SITE_SRC, |_| {});
+    let m = vm.monitor().unwrap();
+    // The overflow exit went hot and the monitor told the oracle about the
+    // arithmetic *site*.
+    let demoted_sites: Vec<(FuncId, u32)> = (0..4)
+        .flat_map(|f| (0..2000).map(move |pc| (FuncId(f), pc)))
+        .filter(|&site| !m.oracle.may_speculate_int_site(site))
+        .collect();
+    assert!(
+        !demoted_sites.is_empty(),
+        "a repeatedly-overflowing MulIChk site must be demoted by the oracle"
+    );
+    // Demotion happens on the hot-exit extension path: the double-path
+    // branch fragment must have been recorded off the overflow guard.
+    let events = m.events.events();
+    assert!(
+        events.iter().any(|e| matches!(e, TraceEvent::RecordStartBranch { .. })),
+        "the hot overflow exit triggers a branch recording"
+    );
+}
+
+#[test]
+fn site_demotion_does_not_change_results() {
+    let mut vm = traced_vm_with(OVERFLOW_SITE_SRC, |_| {});
+    // Same program again in the same VM: this run records with the site
+    // already demoted (double path + truncation), and must agree with the
+    // pure interpreter.
+    assert_eq!(traced_result(&mut vm, OVERFLOW_SITE_SRC), interp_result(OVERFLOW_SITE_SRC));
+}
+
+/// A loop the recorder always aborts on (ToNumber of a string is outside
+/// the traceable subset), used to probe blacklist thresholds.
+const UNTRACEABLE_SRC: &str = "var s = 0;
+     var digits = '0123456789';
+     for (var i = 0; i < 3000; i++) {
+         s += +digits.charAt(i % 10);
+     }
+     s";
+
+fn abort_and_blacklist_counts(vm: &Vm) -> (usize, usize) {
+    let m = vm.monitor().unwrap();
+    let events = m.events.events();
+    let aborts = events.iter().filter(|e| matches!(e, TraceEvent::RecordAbort { .. })).count();
+    let blacklists =
+        events.iter().filter(|e| matches!(e, TraceEvent::Blacklist { .. })).count();
+    (aborts, blacklists)
+}
+
+#[test]
+fn blacklist_attempt_budget_follows_max_failures() {
+    let one = traced_vm_with(UNTRACEABLE_SRC, |o| o.blacklist.max_failures = 1);
+    let (aborts_one, blacklists_one) = abort_and_blacklist_counts(&one);
+    assert_eq!(aborts_one, 1, "max_failures=1 allows exactly one recording attempt");
+    assert!(blacklists_one >= 1, "the loop header still gets patched");
+
+    let three = traced_vm_with(UNTRACEABLE_SRC, |o| o.blacklist.max_failures = 3);
+    let (aborts_three, blacklists_three) = abort_and_blacklist_counts(&three);
+    assert_eq!(aborts_three, 3, "max_failures=3 allows exactly three attempts");
+    assert!(blacklists_three >= 1);
+}
+
+#[test]
+fn backoff_spaces_attempts_but_does_not_change_the_budget() {
+    // A tiny backoff burns through the attempt budget within the loop's
+    // 3000 iterations just like the default 32-pass backoff does; the
+    // total attempt count is set by max_failures alone.
+    let vm = traced_vm_with(UNTRACEABLE_SRC, |o| {
+        o.blacklist.max_failures = 2;
+        o.blacklist.backoff = 2;
+    });
+    let (aborts, blacklists) = abort_and_blacklist_counts(&vm);
+    assert_eq!(aborts, 2);
+    assert!(blacklists >= 1);
+}
+
+#[test]
+fn disabled_blacklist_keeps_reattempting() {
+    let vm = traced_vm_with(UNTRACEABLE_SRC, |o| o.blacklist.enabled = false);
+    let (aborts, blacklists) = abort_and_blacklist_counts(&vm);
+    assert!(
+        aborts > 4,
+        "with blacklisting off the monitor keeps re-recording the hot loop, got {aborts} aborts"
+    );
+    assert_eq!(blacklists, 0);
+    // Ablation changes policy, never observable results.
+    let m = vm.monitor().unwrap();
+    assert_eq!(m.blacklist.blacklisted_count(), 0);
+}

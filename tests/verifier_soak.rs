@@ -1,0 +1,58 @@
+//! Verifier soak over the benchmark suite: every trace the tracer records
+//! while running the SunSpider-style programs in `crates/bench/suite` must
+//! pass the static trace verifier. Recording aborts for *policy* reasons
+//! are fine; a `VerifyFailed` abort means the recorder emitted a malformed
+//! trace and is always a bug (and a post-filter verifier failure panics
+//! outright, failing the test by itself).
+//!
+//! Programs run with a bounded step budget so the debug-profile soak stays
+//! fast; hitting the budget still exercises plenty of recordings.
+
+use std::path::PathBuf;
+
+use tracemonkey::jit::events::{AbortReason, TraceEvent};
+use tracemonkey::{Engine, JitOptions, Vm};
+
+#[test]
+fn every_bench_suite_trace_verifies() {
+    let suite = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("crates/bench/suite");
+    let mut programs: Vec<PathBuf> = std::fs::read_dir(&suite)
+        .expect("bench suite directory exists")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "js"))
+        .collect();
+    programs.sort();
+    assert!(programs.len() >= 20, "the suite should be present, found {}", programs.len());
+
+    let mut recordings = 0usize;
+    for path in &programs {
+        let src = std::fs::read_to_string(path).expect("suite program reads");
+        let mut opts = JitOptions::default();
+        opts.verify = true;
+        opts.log_events = true;
+        let mut vm = Vm::with_options(Engine::Tracing, opts);
+        vm.step_budget = 3_000_000;
+        // Budget exhaustion or a guest error is acceptable here; compiling
+        // a malformed trace is not.
+        let _ = vm.eval(&src);
+        let m = vm.monitor().expect("tracing run keeps its monitor");
+        let events = m.events.events();
+        recordings += events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::RecordFinish { .. }))
+            .count();
+        let verify_failures: Vec<&TraceEvent> = events
+            .iter()
+            .filter(|e| {
+                matches!(e, TraceEvent::RecordAbort { reason: AbortReason::VerifyFailed(_) })
+            })
+            .collect();
+        assert!(
+            verify_failures.is_empty(),
+            "{}: recorder produced malformed traces: {verify_failures:?}",
+            path.display()
+        );
+    }
+    // The soak is only meaningful if the suite actually traced.
+    assert!(recordings >= 20, "expected many recorded traces, got {recordings}");
+}
