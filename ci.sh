@@ -36,4 +36,11 @@ TM_FUZZ_SEEDS="0,7,30,42,99,123,200,256" \
 echo "==> workspace member tests (per-crate units, tm-support, tm-bench)"
 cargo test -q --workspace --exclude tracemonkey --offline --locked
 
+echo "==> bench smoke: one program per SunSpider group (release, 3 repeats)"
+# Gate, not a benchmark: asserts the tracing engine beats the pure
+# interpreter on the traceable bitops representative and records the
+# medians for trend inspection. Full-suite methodology: EXPERIMENTS.md.
+./target/release/bench_pr4 --smoke > target/BENCH_pr4_smoke.json
+echo "    OK: wrote target/BENCH_pr4_smoke.json"
+
 echo "==> ci.sh: all green"

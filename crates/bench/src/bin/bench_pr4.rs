@@ -1,0 +1,120 @@
+//! Benchmark trajectory snapshot for the hot-path de-hashing work
+//! (`BENCH_pr4.json`): median wall-clock per program under the baseline
+//! interpreter and the tracing (interpreter+JIT) engine.
+//!
+//! Unlike `results_json` (best-of-N, all four engines, Figure 10/11
+//! schema), this binary reports **medians** — the statistic the bench
+//! acceptance gates use — and only the two engines the monitor/IC hot
+//! paths affect.
+//!
+//! Usage:
+//!   `bench_pr4 [repeats]`          full 26-program suite, JSON to stdout
+//!   `bench_pr4 --only a,b [reps]`  named subset only
+//!   `bench_pr4 --smoke [repeats]`  pinned one-program-per-group subset,
+//!                                  JSON to stdout; exits non-zero when a
+//!                                  traceable bitops program's tracing
+//!                                  median exceeds its interpreter median
+//!                                  (the CI bench-smoke gate)
+
+use std::time::{Duration, Instant};
+
+use tm_bench::{BenchProgram, SUITE};
+use tm_support::Json;
+use tracemonkey::{Engine, JitOptions, Vm};
+
+/// Pinned smoke subset: one program per SunSpider group (the traceable
+/// bitops entry is what the CI gate asserts on).
+const SMOKE: &[&str] = &[
+    "3d-morph",
+    "access-nsieve",
+    "bitops-bits-in-byte",
+    "controlflow-recursive",
+    "crypto-sha1",
+    "date-format-tofte",
+    "math-cordic",
+    "regexp-dna",
+    "string-fasta",
+];
+
+/// Median of `repeats` fresh-VM wall-clock runs (each run includes
+/// compilation, SunSpider-style).
+fn median_time(prog: &BenchProgram, engine: Engine, opts: JitOptions, repeats: u32) -> Duration {
+    let mut times: Vec<Duration> = (0..repeats.max(1))
+        .map(|_| {
+            let mut vm = Vm::with_options(engine, opts);
+            let start = Instant::now();
+            vm.eval(prog.source)
+                .unwrap_or_else(|e| panic!("{} failed under {:?}: {e}", prog.name, engine));
+            start.elapsed()
+        })
+        .collect();
+    times.sort();
+    times[times.len() / 2]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let only: Option<Vec<String>> = args
+        .iter()
+        .position(|a| a == "--only")
+        .and_then(|i| args.get(i + 1))
+        .map(|names| names.split(',').map(str::to_string).collect());
+    let repeats: u32 = args
+        .iter()
+        .filter(|a| only.as_ref().map_or(true, |o| !o.contains(a)))
+        .find_map(|a| a.parse().ok())
+        .unwrap_or(if smoke { 3 } else { 5 });
+    let opts = JitOptions::default();
+
+    let programs: Vec<&BenchProgram> = if let Some(only) = &only {
+        SUITE.iter().filter(|p| only.iter().any(|n| n == p.name)).collect()
+    } else if smoke {
+        SUITE.iter().filter(|p| SMOKE.contains(&p.name)).collect()
+    } else {
+        SUITE.iter().collect()
+    };
+
+    let mut rows = Vec::new();
+    let mut gate_failures = Vec::new();
+    for prog in &programs {
+        let interp = median_time(prog, Engine::Interp, opts, repeats);
+        let tracing = median_time(prog, Engine::Tracing, opts, repeats);
+        let ms = |d: Duration| d.as_secs_f64() * 1e3;
+        eprintln!(
+            "{:28} interp {:8.2} ms   tracing {:8.2} ms   ({:.2}x)",
+            prog.name,
+            ms(interp),
+            ms(tracing),
+            ms(interp) / ms(tracing).max(1e-9),
+        );
+        if smoke && prog.group == "bitops" && !prog.untraceable && tracing > interp {
+            gate_failures.push(prog.name);
+        }
+        rows.push(Json::obj([
+            ("name", Json::from(prog.name)),
+            ("group", Json::from(prog.group)),
+            ("untraceable_by_design", Json::from(prog.untraceable)),
+            ("interp_ms", Json::from(ms(interp))),
+            ("tracing_ms", Json::from(ms(tracing))),
+            ("tracing_speedup", Json::from(ms(interp) / ms(tracing).max(1e-9))),
+        ]));
+    }
+
+    let out = Json::obj([
+        ("schema", Json::from("bench_pr4/v1")),
+        ("statistic", Json::from("median wall-clock, fresh VM per run")),
+        ("repeats", Json::from(repeats)),
+        ("smoke", Json::from(smoke)),
+        ("programs", Json::Array(rows)),
+    ]);
+    println!("{}", out.to_string_pretty());
+
+    if !gate_failures.is_empty() {
+        eprintln!(
+            "bench smoke gate FAILED: tracing median exceeds interpreter median on {}",
+            gate_failures.join(", ")
+        );
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,1 @@
+fn main() { println!("Op = {} bytes", std::mem::size_of::<tm_bytecode::Op>()); }

@@ -54,6 +54,7 @@ pub fn compile(prog: &ast::Program, realm: &mut Realm) -> Result<Program, Compil
         atoms: Vec::new(),
         num_map: HashMap::new(),
         atom_map: HashMap::new(),
+        prop_sites: 0,
     };
 
     // Pre-assign global slots for all declared functions so calls resolve
@@ -81,6 +82,7 @@ pub fn compile(prog: &ast::Program, realm: &mut Realm) -> Result<Program, Compil
         numbers: shared.numbers,
         atoms: shared.atoms,
         function_globals,
+        prop_sites: shared.prop_sites,
     })
 }
 
@@ -89,6 +91,8 @@ struct SharedPools {
     atoms: Vec<Vec<u8>>,
     num_map: HashMap<u64, u16>,
     atom_map: HashMap<Vec<u8>, u16>,
+    /// Next property inline-cache site id (program-wide, dense).
+    prop_sites: u32,
 }
 
 struct LoopCtx {
@@ -198,6 +202,16 @@ impl<'a, 'p> FuncCompiler<'a, 'p> {
         self.code.push(op);
         self.lines.push(self.cur_line);
         self.code.len() - 1
+    }
+
+    /// Allocates the next program-wide property inline-cache site id.
+    fn prop_site(&mut self) -> u16 {
+        if self.shared.prop_sites >= u32::from(crate::opcode::NO_PROP_SITE) {
+            return crate::opcode::NO_PROP_SITE;
+        }
+        let site = self.shared.prop_sites as u16;
+        self.shared.prop_sites += 1;
+        site
     }
 
     fn here(&self) -> u32 {
@@ -510,7 +524,8 @@ impl<'a, 'p> FuncCompiler<'a, 'p> {
                 for (k, v) in props {
                     self.expr(v)?;
                     let sym = self.realm.symbols.intern(k);
-                    self.emit(Op::InitProp(sym));
+                    let site = self.prop_site();
+                    self.emit(Op::InitProp(sym, site));
                 }
             }
             Expr::Binary(op, a, b) => {
@@ -562,7 +577,8 @@ impl<'a, 'p> FuncCompiler<'a, 'p> {
             Expr::Prop(base, name) => {
                 self.expr(base)?;
                 let sym = self.realm.symbols.intern(name);
-                self.emit(Op::GetProp(sym));
+                let site = self.prop_site();
+                self.emit(Op::GetProp(sym, site));
             }
             Expr::Elem(base, idx) => {
                 self.expr(base)?;
@@ -578,7 +594,8 @@ impl<'a, 'p> FuncCompiler<'a, 'p> {
                 self.expr(base)?;
                 self.emit(Op::Dup);
                 let sym = self.realm.symbols.intern(name);
-                self.emit(Op::GetProp(sym));
+                let site = self.prop_site();
+                self.emit(Op::GetProp(sym, site));
                 self.emit(Op::Swap); // [callee, this]
                 self.call_args(args)?;
             }
@@ -632,7 +649,8 @@ impl<'a, 'p> FuncCompiler<'a, 'p> {
                     None => {
                         self.expr(base)?;
                         self.expr(value)?;
-                        self.emit(Op::SetProp(sym));
+                        let site = self.prop_site();
+                        self.emit(Op::SetProp(sym, site));
                     }
                     Some(op) => {
                         let tb = self.alloc_temp()?;
@@ -640,10 +658,12 @@ impl<'a, 'p> FuncCompiler<'a, 'p> {
                         self.emit(Op::SetLocal(tb));
                         self.emit(Op::GetLocal(tb));
                         self.emit(Op::GetLocal(tb));
-                        self.emit(Op::GetProp(sym));
+                        let site = self.prop_site();
+                        self.emit(Op::GetProp(sym, site));
                         self.expr(value)?;
                         self.emit(binop_op(op));
-                        self.emit(Op::SetProp(sym));
+                        let site = self.prop_site();
+                        self.emit(Op::SetProp(sym, site));
                         self.free_temp(tb);
                     }
                 }
@@ -704,13 +724,15 @@ impl<'a, 'p> FuncCompiler<'a, 'p> {
                 self.emit(Op::SetLocal(tb));
                 self.emit(Op::GetLocal(tb));
                 self.emit(Op::GetLocal(tb));
-                self.emit(Op::GetProp(sym));
+                let site = self.prop_site();
+                self.emit(Op::GetProp(sym, site));
                 self.emit(Op::Pos);
                 if prefix {
                     // [base, old] -> [base, new] -> SetProp -> [new]
                     self.emit(delta);
                     self.emit(arith);
-                    self.emit(Op::SetProp(sym));
+                    let site = self.prop_site();
+                    self.emit(Op::SetProp(sym, site));
                 } else {
                     // Keep old: stash it in a temp.
                     let told = self.alloc_temp()?;
@@ -718,7 +740,8 @@ impl<'a, 'p> FuncCompiler<'a, 'p> {
                     self.emit(Op::SetLocal(told));
                     self.emit(delta);
                     self.emit(arith);
-                    self.emit(Op::SetProp(sym));
+                    let site = self.prop_site();
+                    self.emit(Op::SetProp(sym, site));
                     self.emit(Op::Pop);
                     self.emit(Op::GetLocal(told));
                     self.free_temp(told);
@@ -949,7 +972,7 @@ mod tests {
     fn method_call_shape() {
         let (prog, _) = compile_src("var s = 'x'; s.charCodeAt(0);");
         let main = prog.function(prog.main);
-        let idx = main.code.iter().position(|o| matches!(o, Op::GetProp(_))).unwrap();
+        let idx = main.code.iter().position(|o| matches!(o, Op::GetProp(..))).unwrap();
         assert_eq!(main.code[idx - 1], Op::Dup);
         assert_eq!(main.code[idx + 1], Op::Swap);
         assert!(matches!(main.code[idx + 3], Op::Call(1)));

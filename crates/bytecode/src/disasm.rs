@@ -23,9 +23,11 @@ pub fn disassemble_function(f: &Function, prog: &Program, realm: &Realm) -> Stri
                     prog.atoms[*i as usize].iter().map(|&b| b as char).collect();
                 format!("str {s:?}")
             }
-            Op::GetProp(sym) => format!("getprop .{}", realm.symbols.name(*sym)),
-            Op::SetProp(sym) => format!("setprop .{}", realm.symbols.name(*sym)),
-            Op::InitProp(sym) => format!("initprop .{}", realm.symbols.name(*sym)),
+            // Site ids are engine bookkeeping, not program semantics: keep
+            // the disassembly stable across IC-numbering changes.
+            Op::GetProp(sym, _) => format!("getprop .{}", realm.symbols.name(*sym)),
+            Op::SetProp(sym, _) => format!("setprop .{}", realm.symbols.name(*sym)),
+            Op::InitProp(sym, _) => format!("initprop .{}", realm.symbols.name(*sym)),
             Op::GetGlobal(slot) => {
                 format!("getglobal {}", realm.global_name(*slot).unwrap_or("?"))
             }

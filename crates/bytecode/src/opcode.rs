@@ -23,6 +23,11 @@ pub struct LoopId(pub u16);
 /// Operand conventions: `u16` indexes reference the program-wide constant
 /// pools ([`Program::numbers`], [`Program::atoms`]) or frame-local slots;
 /// jump targets are absolute instruction indexes within the function.
+/// Sentinel property-site id: the site exceeds the per-program IC table
+/// and always takes the uncached slow path (engines index their IC table
+/// with a bounds check, so the sentinel simply never lands in it).
+pub const NO_PROP_SITE: u16 = u16::MAX;
+
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Op {
     // -- constants --
@@ -115,12 +120,17 @@ pub enum Op {
     /// Push a new empty plain object.
     NewObject,
     /// Stack `[obj, val]` → `[obj]`: define property `sym` (object
-    /// literals).
-    InitProp(Sym),
-    /// Stack `[obj]` → `[value]`: read property `sym`.
-    GetProp(Sym),
-    /// Stack `[obj, val]` → `[val]`: write property `sym`.
-    SetProp(Sym),
+    /// literals). The second operand is this site's program-wide property
+    /// inline-cache id (`0..Program::prop_sites`, or [`NO_PROP_SITE`] on
+    /// the rare program with more sites than fit — such sites take the
+    /// uncached slow path). `u16` so `Op` stays 8 bytes.
+    InitProp(Sym, u16),
+    /// Stack `[obj]` → `[value]`: read property `sym`. Second operand:
+    /// property IC site id.
+    GetProp(Sym, u16),
+    /// Stack `[obj, val]` → `[val]`: write property `sym`. Second operand:
+    /// property IC site id.
+    SetProp(Sym, u16),
     /// Stack `[obj, idx]` → `[value]`.
     GetElem,
     /// Stack `[obj, idx, val]` → `[val]`.
@@ -227,6 +237,10 @@ pub struct Program {
     pub atoms: Vec<Vec<u8>>,
     /// Global slots assigned to declared functions: `(global slot, func)`.
     pub function_globals: Vec<(u32, FuncId)>,
+    /// Number of property-access sites (`GetProp`/`SetProp`/`InitProp`)
+    /// across all functions. Each site's opcode carries a dense id below
+    /// this count; engines size their inline-cache tables from it.
+    pub prop_sites: u32,
 }
 
 impl Program {

@@ -8,7 +8,6 @@
 //! nested tree calls as the [`TreeHost`] (§4), and applies blacklisting
 //! with nesting forgiveness (§3.3, §4.2).
 
-use std::collections::HashMap;
 use std::rc::Rc;
 
 use tm_interp::{Flow, Interp, RunExit};
@@ -24,11 +23,32 @@ use crate::exit::{ExitKind, SideExitInfo};
 use crate::oracle::Oracle;
 use crate::profiler::{Activity, Profiler};
 use crate::recorder::{self, RecordAction, RecordedTrace, Recorder};
-use crate::tree::{Anchor, TraceTree, TreeCache, TreeId, TreeStats};
+use crate::tree::{Anchor, ExitState, TraceTree, TreeCache, TreeId, TreeStats};
 
 /// Maximum sibling trees per loop header before the monitor stops
 /// recording new type-permutation trees.
 const MAX_SIBLING_TREES: usize = 8;
+
+/// Inline monitor state for one loop header.
+///
+/// Slots live in a dense per-function table indexed by [`LoopId`], so the
+/// per-loop-edge work for a warm loop — find a matching compiled tree, or
+/// tick the hotness counter — is bounds-checked array indexing with no
+/// hashing (the in-memory analogue of the paper's §3.3 bytecode patching,
+/// which already removes *blacklisted* headers from the monitor's view).
+#[derive(Debug, Clone, Default)]
+struct MonitorSlot {
+    /// Hotness counter; meaningful only until the loop compiles or is
+    /// silenced, after which the state is simply never consulted again.
+    hotness: u32,
+    /// Sibling trees anchored at this header, in creation order (one per
+    /// entry type map; several when the loop is type-unstable, Figure 6).
+    trees: Vec<TreeId>,
+    /// The header was patched to `Nop` (blacklist / sibling overflow): the
+    /// interpreter never reports this loop again, and the monitor must
+    /// never touch the slot again either.
+    silenced: bool,
+}
 
 /// The trace monitor.
 #[derive(Debug)]
@@ -44,7 +64,10 @@ pub struct Monitor {
     /// Trace-event log.
     pub events: EventLog,
     opts: JitOptions,
-    hot_counters: HashMap<Anchor, u32>,
+    /// Dense per-function loop-header monitor state, indexed
+    /// `[func][loop_id]`; sized from the installed program on entry to
+    /// [`Monitor::run_program`].
+    slots: Vec<Vec<MonitorSlot>>,
     /// Set by the nesting host when an inner tree took an unexpected exit,
     /// so the top-level loop can extend the *inner* tree (§4.1).
     pending_inner_exit: Option<(TreeId, u32, u16)>,
@@ -72,7 +95,7 @@ impl Monitor {
                 log
             },
             opts,
-            hot_counters: HashMap::new(),
+            slots: Vec::new(),
             pending_inner_exit: None,
             finished_during_recording: None,
         }
@@ -94,13 +117,18 @@ impl Monitor {
         realm: &mut Realm,
     ) -> Result<Value, RuntimeError> {
         interp.monitor_enabled = true;
+        self.ensure_slots(interp);
         self.profiler.switch(Activity::Interpret);
         let result = loop {
             match interp.run(realm) {
                 Ok(RunExit::Finished(v)) => break Ok(v),
-                Ok(RunExit::LoopEdge { func, header_pc, .. }) => {
+                Ok(RunExit::LoopEdge { func, header_pc, loop_id }) => {
                     self.profiler.switch(Activity::Monitor);
-                    match self.on_loop_edge(Anchor { func, pc: header_pc }, interp, realm) {
+                    match self.on_loop_edge(
+                        Anchor { func, pc: header_pc, loop_id },
+                        interp,
+                        realm,
+                    ) {
                         Ok(None) => {}
                         Ok(Some(v)) => break Ok(v),
                         Err(e) => break Err(e),
@@ -115,8 +143,40 @@ impl Monitor {
         };
         self.profiler.stats.bytecodes_interp = interp.ops_executed
             - self.profiler.stats.bytecodes_recorded;
+        self.profiler.stats.ic = interp.ic_stats;
         self.profiler.stop();
         result
+    }
+
+    /// Sizes the dense slot table to the installed program: one slot per
+    /// loop per function. Idempotent; re-running the same interpreter
+    /// keeps accumulated state.
+    fn ensure_slots(&mut self, interp: &Interp) {
+        let prog = interp.prog();
+        if self.slots.len() < prog.functions.len() {
+            self.slots.resize_with(prog.functions.len(), Vec::new);
+        }
+        for (f, slots) in self.slots.iter_mut().enumerate() {
+            let nloops = prog.functions[f].loops.len();
+            if slots.len() < nloops {
+                slots.resize_with(nloops, MonitorSlot::default);
+            }
+        }
+    }
+
+    /// Finds a matching compiled tree for `anchor` through its dense
+    /// monitor slot (no hash lookup; the hot trace-cache probe of §6.1).
+    fn find_match_slot(
+        &self,
+        anchor: Anchor,
+        realm: &Realm,
+        interp: &Interp,
+    ) -> Option<TreeId> {
+        let slot = &self.slots[anchor.func.0 as usize][anchor.loop_id.0 as usize];
+        slot.trees.iter().copied().find(|&id| {
+            let t = self.cache.tree(id);
+            !t.disabled && t.entry_matches(realm, interp)
+        })
     }
 
     /// Handles one loop-edge crossing. Returns `Ok(Some(value))` if the
@@ -127,25 +187,34 @@ impl Monitor {
         interp: &mut Interp,
         realm: &mut Realm,
     ) -> Result<Option<Value>, RuntimeError> {
-        // 1. A matching compiled tree? Enter it.
-        if let Some(tid) = self.cache.find_match(anchor, realm, interp) {
+        // 1. A matching compiled tree? Enter it. Pure dense-slot work.
+        if let Some(tid) = self.find_match_slot(anchor, realm, interp) {
+            self.profiler.stats.monitor_slot_fast += 1;
             self.run_tree(tid, interp, realm)?;
             return Ok(None);
         }
 
-        // 2. Hotness counting.
-        let c = self.hot_counters.entry(anchor).or_insert(0);
-        *c += 1;
-        if *c < self.opts.hotness_threshold {
-            return Ok(None);
+        // 2. Hotness counting: an inline counter in the loop's slot.
+        {
+            let slot =
+                &mut self.slots[anchor.func.0 as usize][anchor.loop_id.0 as usize];
+            debug_assert!(!slot.silenced, "silenced headers are patched to Nop");
+            slot.hotness += 1;
+            if slot.hotness < self.opts.hotness_threshold {
+                self.profiler.stats.monitor_slot_fast += 1;
+                return Ok(None);
+            }
         }
-        let siblings = self.cache.trees_at(anchor);
-        if siblings.len() >= MAX_SIBLING_TREES {
-            if siblings.iter().all(|&t| self.cache.tree(t).disabled) {
+
+        // Past the threshold: the slow machinery (sibling policy, backoff
+        // tables, recording). Warm loops never reach this point again.
+        self.profiler.stats.monitor_slot_slow += 1;
+        let slot = &self.slots[anchor.func.0 as usize][anchor.loop_id.0 as usize];
+        if slot.trees.len() >= MAX_SIBLING_TREES {
+            if slot.trees.iter().all(|&t| self.cache.tree(t).disabled) {
                 // Every type permutation of this loop proved unprofitable:
                 // silence the monitor permanently (§3.3).
-                interp.patch_loop_header(anchor.func, anchor.pc);
-                self.events.push(TraceEvent::Blacklist { func: anchor.func, pc: anchor.pc });
+                self.silence_header(anchor, interp);
             }
             return Ok(None);
         }
@@ -153,8 +222,7 @@ impl Monitor {
         // 3. Blacklist / backoff.
         match self.blacklist.check((anchor.func, anchor.pc)) {
             Verdict::Blacklisted => {
-                interp.patch_loop_header(anchor.func, anchor.pc);
-                self.events.push(TraceEvent::Blacklist { func: anchor.func, pc: anchor.pc });
+                self.silence_header(anchor, interp);
                 return Ok(None);
             }
             Verdict::Skip => return Ok(None),
@@ -219,9 +287,17 @@ impl Monitor {
             AbortReason::InnerTreeNotReady | AbortReason::InnerTreeCallFailed
         );
         if self.blacklist.record_failure((anchor.func, anchor.pc), provisional) {
-            interp.patch_loop_header(anchor.func, anchor.pc);
-            self.events.push(TraceEvent::Blacklist { func: anchor.func, pc: anchor.pc });
+            self.silence_header(anchor, interp);
         }
+    }
+
+    /// Patches the loop header to `Nop` and marks its monitor slot
+    /// silenced: neither the interpreter nor the monitor will ever touch
+    /// this loop's state again.
+    fn silence_header(&mut self, anchor: Anchor, interp: &mut Interp) {
+        interp.patch_loop_header(anchor.func, anchor.pc);
+        self.slots[anchor.func.0 as usize][anchor.loop_id.0 as usize].silenced = true;
+        self.events.push(TraceEvent::Blacklist { func: anchor.func, pc: anchor.pc });
     }
 
     /// §4.2: an inner tree completed a trace; forgive outer loops that
@@ -260,8 +336,10 @@ impl Monitor {
                     return Ok(RecResult::Finished);
                 }
                 RecordAction::Abort(reason) => return Ok(RecResult::Abort(reason)),
-                RecordAction::InnerLoop { func, pc } => {
-                    match self.handle_inner_loop(rec, Anchor { func, pc }, interp, realm)? {
+                RecordAction::InnerLoop { func, pc, loop_id } => {
+                    match self
+                        .handle_inner_loop(rec, Anchor { func, pc, loop_id }, interp, realm)?
+                    {
                         Ok(()) => {
                             // Nested call recorded; the step that brought
                             // us to the inner header was the LoopHeader op,
@@ -287,7 +365,7 @@ impl Monitor {
         if !self.opts.enable_nesting {
             return Ok(Err(AbortReason::InnerTreeNotReady));
         }
-        let Some(tid) = self.cache.find_match(inner_anchor, realm, interp) else {
+        let Some(tid) = self.find_match_slot(inner_anchor, realm, interp) else {
             // "We simply abort recording the first trace. The trace
             // monitor will see the inner loop header, and will immediately
             // start recording the inner loop."
@@ -354,6 +432,7 @@ impl Monitor {
             self.oracle.mark_double(m);
         }
         let unstable = recorded.finish == recorder::FinishKind::UnstableLoop;
+        let exit_states = vec![vec![ExitState::default(); recorded.exits.len()]];
         let tree = TraceTree {
             id: TreeId(0), // assigned by the cache
             anchor,
@@ -362,10 +441,8 @@ impl Monitor {
             fragments: Rc::new(vec![frag]),
             exits: vec![recorded.exits],
             fragment_bytecodes: vec![recorded.bytecodes],
-            exit_counters: HashMap::new(),
-            branch_map: HashMap::new(),
+            exit_states,
             frag_entry_reqs: Vec::new(),
-            exit_blacklist: HashMap::new(),
             nested_sites: recorded.nested_sites,
             loop_writes: recorded.loop_writes,
             lir: if self.opts.log_events { vec![recorded.lir] } else { vec![] },
@@ -379,6 +456,9 @@ impl Monitor {
             let reqs = t.entry.iter().map(|e| (e.ar, e.key, e.ty)).collect();
             t.frag_entry_reqs.push(reqs);
         }
+        // Register the sibling in the loop's dense monitor slot — the
+        // structure the hot loop-edge path consults.
+        self.slots[anchor.func.0 as usize][anchor.loop_id.0 as usize].trees.push(tid);
         self.profiler.stats.trees += 1;
         self.events.push(TraceEvent::RecordFinish {
             tree: tid.0,
@@ -427,7 +507,7 @@ impl Monitor {
                     ExitTarget::Fragment(new_idx);
             }
         }
-        tree.branch_map.insert((parent_frag, parent_exit), new_idx);
+        tree.exit_states[parent_frag as usize][parent_exit as usize].branch = Some(new_idx);
         tree.frag_entry_reqs.push(parent_reqs);
         tree.layout = recorded.layout;
         for e in recorded.new_entry {
@@ -468,6 +548,7 @@ impl Monitor {
             }
         }
         tree.loop_writes = new_loop_writes;
+        tree.exit_states.push(vec![ExitState::default(); branch_exits.len()]);
         tree.exits.push(branch_exits);
         if self.opts.log_events {
             tree.lir.push(recorded.lir);
@@ -517,9 +598,10 @@ impl Monitor {
                     if realm.interrupt {
                         return Err(RuntimeError::Interrupted);
                     }
-                    // Re-enter if still matching (the common case).
+                    // Re-enter if still matching (the common case) — via
+                    // the dense slot, not the anchor hash.
                     if let Some(next) =
-                        self.cache.find_match(self.cache.tree(tid).anchor, realm, interp)
+                        self.find_match_slot(self.cache.tree(tid).anchor, realm, interp)
                     {
                         tid = next;
                         continue;
@@ -533,7 +615,7 @@ impl Monitor {
                         return Ok(());
                     }
                     let anchor = self.cache.tree(tid).anchor;
-                    if let Some(next) = self.cache.find_match(anchor, realm, interp) {
+                    if let Some(next) = self.find_match_slot(anchor, realm, interp) {
                         transfers += 1;
                         if next != tid {
                             self.events
@@ -551,8 +633,8 @@ impl Monitor {
                         // §6.2's alternative to stitching: call the branch
                         // fragment from the monitor, paying the transition
                         // cost stitching avoids.
-                        if let Some(&bfrag) =
-                            self.cache.tree(tid).branch_map.get(&(frag, exit))
+                        if let Some(bfrag) =
+                            self.cache.tree(tid).exit_state(frag, exit).branch
                         {
                             start = bfrag;
                             continue;
@@ -589,22 +671,22 @@ impl Monitor {
     ) -> Result<(), RuntimeError> {
         {
             let tree = self.cache.tree_mut(tid);
-            if tree.branch_map.contains_key(&(frag, exit)) {
+            if tree.fragments.len() >= self.opts.max_fragments_per_tree {
+                return Ok(());
+            }
+            let max_failures = self.opts.blacklist.max_failures;
+            let hot = self.opts.hot_exit_threshold;
+            let st = tree.exit_state_mut(frag, exit);
+            if st.branch.is_some() {
                 // Already extended (reachable only via the monitor when
                 // stitching is disabled).
                 return Ok(());
             }
-            if tree.fragments.len() >= self.opts.max_fragments_per_tree {
+            if st.failures >= max_failures {
                 return Ok(());
             }
-            if tree.exit_blacklist.get(&(frag, exit)).copied().unwrap_or(0)
-                >= self.opts.blacklist.max_failures
-            {
-                return Ok(());
-            }
-            let c = tree.exit_counters.entry((frag, exit)).or_insert(0);
-            *c += 1;
-            if *c < self.opts.hot_exit_threshold {
+            st.counter += 1;
+            if st.counter < hot {
                 return Ok(());
             }
         }
@@ -668,12 +750,7 @@ impl Monitor {
                             reason: AbortReason::VerifyFailed(err),
                         });
                         self.profiler.stats.traces_aborted += 1;
-                        *self
-                            .cache
-                            .tree_mut(tid)
-                            .exit_blacklist
-                            .entry((frag, exit))
-                            .or_insert(0) += 1;
+                        self.record_exit_failure(tid, frag, exit);
                         return Ok(());
                     }
                 }
@@ -683,7 +760,7 @@ impl Monitor {
             Ok(RecResult::Abort(reason)) => {
                 self.events.push(TraceEvent::RecordAbort { reason });
                 self.profiler.stats.traces_aborted += 1;
-                *self.cache.tree_mut(tid).exit_blacklist.entry((frag, exit)).or_insert(0) += 1;
+                self.record_exit_failure(tid, frag, exit);
                 Ok(())
             }
             Err(RecordError::Guest(e)) => Err(e),
@@ -691,6 +768,18 @@ impl Monitor {
                 self.finished_during_recording = Some(v);
                 Ok(())
             }
+        }
+    }
+
+    /// Counts a branch-recording failure at `(frag, exit)`. At the
+    /// blacklist threshold the exit stops being extended; its hotness
+    /// counter is cleared so dead exits don't keep live state around.
+    fn record_exit_failure(&mut self, tid: TreeId, frag: u32, exit: u16) {
+        let max_failures = self.opts.blacklist.max_failures;
+        let st = self.cache.tree_mut(tid).exit_state_mut(frag, exit);
+        st.failures += 1;
+        if st.failures >= max_failures {
+            st.counter = 0;
         }
     }
 

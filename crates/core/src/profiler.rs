@@ -59,6 +59,17 @@ pub struct ProfileStats {
     pub trees: u64,
     /// Fragments compiled (trunk + branches).
     pub fragments: u64,
+    /// Loop edges resolved entirely by the dense per-loop monitor slot
+    /// (tree entered, or inline hotness tick below threshold) — no hash
+    /// lookup of any kind.
+    pub monitor_slot_fast: u64,
+    /// Loop edges that fell through to the recording/blacklist machinery
+    /// (sibling scans, backoff tables, trace recording). Bounded by
+    /// warm-up: a compiled or silenced loop never adds to this again.
+    pub monitor_slot_slow: u64,
+    /// Property inline-cache hit/miss counters, rolled up from the
+    /// interpreter at the end of each monitored run.
+    pub ic: tm_runtime::IcStats,
 }
 
 impl ProfileStats {

@@ -15,11 +15,11 @@
 
 use std::collections::HashMap;
 
-use tm_bytecode::{FuncId, Op};
+use tm_bytecode::{FuncId, LoopId, Op};
 use tm_interp::Interp;
 use tm_lir::{ArSlot, ExitId, Lir, LirBuffer, LirTrace, LirType};
 use tm_runtime::trace_helpers::FastTy;
-use tm_runtime::{ops as rt_ops, Callee, Helper, NativeId, ObjectClass, Realm, Sym, Value};
+use tm_runtime::{ops as rt_ops, Callee, Helper, IcKind, NativeId, ObjectClass, PropIc, Realm, Sym, Value};
 
 use crate::activation::{observed_type, ArLayout, SlotKey};
 use crate::config::JitOptions;
@@ -70,6 +70,8 @@ pub enum RecordAction {
         func: FuncId,
         /// Inner loop header pc.
         pc: u32,
+        /// Inner loop's id (dense monitor-slot index).
+        loop_id: LoopId,
     },
 }
 
@@ -982,23 +984,26 @@ impl Recorder {
                 });
                 self.push(Sv { id: obj, ty: LirType::Object });
             }
-            Op::InitProp(sym) => {
+            Op::InitProp(sym, site) => {
                 let v = self.pop();
                 let objsv = self.peek(0);
                 let actual_obj = top_value(interp, 1);
-                self.record_set_prop(objsv, sym, v, actual_obj, realm)?;
+                let ic = interp.ics.get(site as usize).copied().unwrap_or_default();
+                self.record_set_prop(objsv, sym, v, actual_obj, ic, realm)?;
             }
-            Op::GetProp(sym) => {
+            Op::GetProp(sym, site) => {
                 let base = self.pop();
                 let actual = top_value(interp, 0);
-                let result = self.record_get_prop(base, sym, actual, interp, realm)?;
+                let ic = interp.ics.get(site as usize).copied().unwrap_or_default();
+                let result = self.record_get_prop(base, sym, actual, ic, interp, realm)?;
                 self.push(result);
             }
-            Op::SetProp(sym) => {
+            Op::SetProp(sym, site) => {
                 let v = self.pop();
                 let base = self.pop();
                 let actual_obj = top_value(interp, 1);
-                self.record_set_prop(base, sym, v, actual_obj, realm)?;
+                let ic = interp.ics.get(site as usize).copied().unwrap_or_default();
+                self.record_set_prop(base, sym, v, actual_obj, ic, realm)?;
                 self.push(v);
             }
             Op::GetElem => {
@@ -1079,7 +1084,7 @@ impl Recorder {
                 }
             }
 
-            Op::LoopHeader(_) => {
+            Op::LoopHeader(loop_id) => {
                 let frame = interp.frame();
                 if self.depth() == 0 && frame.func == self.anchor.func && frame.pc == self.anchor.pc
                 {
@@ -1099,7 +1104,7 @@ impl Recorder {
                     return Err(AbortReason::InnerTreeCallFailed);
                 }
                 self.nested_anchors.push((frame.func, frame.pc));
-                return Ok(RecordAction::InnerLoop { func: frame.func, pc: frame.pc });
+                return Ok(RecordAction::InnerLoop { func: frame.func, pc: frame.pc, loop_id });
             }
             Op::Nop => {}
         }
@@ -1507,6 +1512,7 @@ impl Recorder {
         base: Sv,
         sym: Sym,
         actual_base: Value,
+        ic: PropIc,
         interp: &Interp,
         realm: &mut Realm,
     ) -> Result<Sv, AbortReason> {
@@ -1523,6 +1529,21 @@ impl Recorder {
                     });
                     let id = self.emit(Lir::ArrayLen(base.id));
                     return Ok(Sv { id, ty: LirType::Int });
+                }
+                // Per-site IC: the interpreter already proved this site
+                // monomorphic for this shape, so emit the single shape
+                // guard + slot load directly — no shape-table walk while
+                // recording (the guard is identical to the walk's
+                // first-level own-property case).
+                let shape = realm.heap.object(oid).shape;
+                if let IcKind::GetSlot(slot) = ic.kind {
+                    if ic.matches(shape, realm.shapes.epoch()) {
+                        let e = self.guard_exit();
+                        self.emit(Lir::GuardShape { obj: base.id, shape: shape.0, exit: e });
+                        let boxed = self.emit(Lir::LoadSlot(base.id, slot));
+                        let value = realm.heap.object(oid).slots[slot as usize];
+                        return Ok(self.unbox_observed(boxed, value));
+                    }
                 }
                 // Walk the prototype chain, guarding every shape — the
                 // paper's "two or three loads" property access (§3.1).
@@ -1560,7 +1581,7 @@ impl Recorder {
                 let proto_sv = self.emit(Lir::ConstObj(proto.0));
                 let proto_val = Value::new_object(proto);
                 let sv = Sv { id: proto_sv, ty: LirType::Object };
-                self.record_get_prop(sv, sym, proto_val, interp, realm)
+                self.record_get_prop(sv, sym, proto_val, PropIc::default(), interp, realm)
             }
             _ => Err(AbortReason::Unsupported),
         }
@@ -1572,6 +1593,7 @@ impl Recorder {
         sym: Sym,
         v: Sv,
         actual_base: Value,
+        ic: PropIc,
         realm: &mut Realm,
     ) -> Result<(), AbortReason> {
         if base.ty != LirType::Object {
@@ -1582,6 +1604,14 @@ impl Recorder {
         let e = self.guard_exit();
         self.emit(Lir::GuardShape { obj: base.id, shape: shape.0, exit: e });
         let boxed = self.box_sv(v);
+        // Per-site IC: skip the shape-table walk when the interpreter has
+        // already resolved this site against the guarded shape.
+        if ic.matches(shape, realm.shapes.epoch()) {
+            if let IcKind::SetSlot(slot) = ic.kind {
+                self.emit(Lir::StoreSlot(base.id, slot, boxed));
+                return Ok(());
+            }
+        }
         if let Some(slot) = realm.shapes.lookup(shape, sym) {
             self.emit(Lir::StoreSlot(base.id, slot, boxed));
         } else {

@@ -10,7 +10,7 @@
 
 use std::collections::HashMap;
 
-use tm_bytecode::FuncId;
+use tm_bytecode::{FuncId, LoopId};
 use tm_lir::{ArSlot, LirType};
 use tm_nanojit::Fragment;
 use tm_runtime::{Realm, Value};
@@ -31,6 +31,26 @@ pub struct Anchor {
     pub func: FuncId,
     /// Instruction index of the `LoopHeader` op.
     pub pc: u32,
+    /// The loop's id within `func` — the dense index into the monitor's
+    /// per-function slot table. Fully determined by `(func, pc)`.
+    pub loop_id: LoopId,
+}
+
+/// Per-side-exit monitor state, stored densely parallel to
+/// [`TraceTree::exits`] — a bounds-checked array access on the hot
+/// exit-handling path where three `HashMap<(u32, u16), u32>`s used to be.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ExitState {
+    /// Hotness counter toward branch recording (§3.2: hot side exits grow
+    /// the tree). Reset when the exit is blacklisted so long-running
+    /// processes don't accumulate dead counters.
+    pub counter: u32,
+    /// Branch-recording failures at this exit; at the blacklist threshold
+    /// the exit is never extended again.
+    pub failures: u32,
+    /// Attached branch fragment, if any (used for monitor-mediated branch
+    /// calls when stitching is disabled, and to avoid re-recording).
+    pub branch: Option<u32>,
 }
 
 /// One entry-type-map slot.
@@ -92,16 +112,12 @@ pub struct TraceTree {
     pub exits: Vec<Vec<SideExitInfo>>,
     /// Bytecodes covered by each fragment (Figure 11 accounting).
     pub fragment_bytecodes: Vec<u32>,
-    /// Hotness counters for side exits: `(fragment, exit) -> passes`.
-    pub exit_counters: HashMap<(u32, u16), u32>,
-    /// Branch fragments attached per exit (used for monitor-mediated
-    /// branch calls when stitching is disabled, and to avoid re-recording).
-    pub branch_map: HashMap<(u32, u16), u32>,
+    /// Monitor state per side exit (hotness, failures, attached branch),
+    /// parallel to [`TraceTree::exits`].
+    pub exit_states: Vec<Vec<ExitState>>,
     /// Per-fragment entry requirements: the AR slots (with types) that must
     /// be populated to enter execution at that fragment from the monitor.
     pub frag_entry_reqs: Vec<Vec<(ArSlot, SlotKey, LirType)>>,
-    /// Side exits that failed branch recording and are no longer extended.
-    pub exit_blacklist: HashMap<(u32, u16), u32>,
     /// Nested call sites embedded in this tree's fragments.
     pub nested_sites: Vec<NestedSite>,
     /// Loop-persistent writes across all stable fragments: every exit must
@@ -128,6 +144,18 @@ impl TreeStats {
 }
 
 impl TraceTree {
+    /// Monitor state for exit `(frag, exit)`.
+    #[inline]
+    pub fn exit_state(&self, frag: u32, exit: u16) -> &ExitState {
+        &self.exit_states[frag as usize][exit as usize]
+    }
+
+    /// Mutable monitor state for exit `(frag, exit)`.
+    #[inline]
+    pub fn exit_state_mut(&mut self, frag: u32, exit: u16) -> &mut ExitState {
+        &mut self.exit_states[frag as usize][exit as usize]
+    }
+
     /// Reads the current interpreter-visible value for an entry key.
     /// Returns `None` for keys that are not observable at a loop header
     /// (they never appear in entry maps).
@@ -227,16 +255,14 @@ mod tests {
     fn tree_with_entry(entry: Vec<EntrySlot>) -> TraceTree {
         TraceTree {
             id: TreeId(0),
-            anchor: Anchor { func: FuncId(0), pc: 3 },
+            anchor: Anchor { func: FuncId(0), pc: 3, loop_id: LoopId(0) },
             layout: ArLayout::new(),
             entry,
             fragments: Rc::new(vec![]),
             exits: vec![],
             fragment_bytecodes: vec![],
-            exit_counters: HashMap::new(),
-            branch_map: HashMap::new(),
+            exit_states: vec![],
             frag_entry_reqs: vec![],
-            exit_blacklist: HashMap::new(),
             nested_sites: vec![],
             loop_writes: vec![],
             lir: vec![],
@@ -288,7 +314,7 @@ mod tests {
         realm.set_global(g, Value::new_int(5));
 
         let mut cache = TreeCache::new();
-        let anchor = Anchor { func: FuncId(0), pc: 3 };
+        let anchor = Anchor { func: FuncId(0), pc: 3, loop_id: LoopId(0) };
         let t_dbl = tree_with_entry(vec![EntrySlot {
             ar: 0,
             key: SlotKey::Global(g),

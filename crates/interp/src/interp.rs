@@ -19,7 +19,7 @@
 
 use tm_bytecode::{FuncId, LoopId, Op, Program};
 use tm_runtime::ops;
-use tm_runtime::{Callee, ObjectClass, Realm, RuntimeError, Value};
+use tm_runtime::{Callee, IcStats, ObjectClass, PropIc, Realm, RuntimeError, Value};
 
 use crate::install::{install, Installed};
 
@@ -82,6 +82,13 @@ pub struct Interp {
     pub ops_executed: u64,
     /// Remaining instruction budget (guards runaway fuzz programs).
     pub steps_remaining: u64,
+    /// Per-site property inline caches, indexed by the site id carried in
+    /// `GetProp`/`SetProp`/`InitProp` (see [`Program::prop_sites`]).
+    ///
+    /// [`Program::prop_sites`]: tm_bytecode::Program::prop_sites
+    pub ics: Vec<PropIc>,
+    /// Hit/miss counters for [`Interp::ics`].
+    pub ic_stats: IcStats,
 }
 
 impl Interp {
@@ -89,6 +96,7 @@ impl Interp {
     /// at the start of the script body.
     pub fn new(prog: Program, realm: &mut Realm) -> Interp {
         let installed = install(&prog, realm);
+        let ics = vec![PropIc::default(); prog.prop_sites as usize];
         let mut interp = Interp {
             prog,
             installed,
@@ -98,6 +106,8 @@ impl Interp {
             fast_paths: false,
             ops_executed: 0,
             steps_remaining: u64::MAX,
+            ics,
+            ic_stats: IcStats::default(),
         };
         interp.reset();
         interp
@@ -416,19 +426,29 @@ impl Interp {
                 push!(Value::new_object(id));
                 self.maybe_gc(realm);
             }
-            Op::InitProp(sym) => {
+            Op::InitProp(sym, site) => {
                 let v = pop!();
                 let obj = *self.stack.last().expect("initprop needs object");
-                realm.set_prop(obj, sym, v)?;
+                match self.ics.get_mut(site as usize) {
+                    Some(ic) => realm.set_prop_with_ic(obj, sym, v, ic, &mut self.ic_stats)?,
+                    None => realm.set_prop(obj, sym, v)?,
+                }
             }
-            Op::GetProp(sym) => {
+            Op::GetProp(sym, site) => {
                 let obj = pop!();
-                push!(realm.get_prop(obj, sym)?);
+                let v = match self.ics.get_mut(site as usize) {
+                    Some(ic) => realm.get_prop_with_ic(obj, sym, ic, &mut self.ic_stats)?,
+                    None => realm.get_prop(obj, sym)?,
+                };
+                push!(v);
             }
-            Op::SetProp(sym) => {
+            Op::SetProp(sym, site) => {
                 let v = pop!();
                 let obj = pop!();
-                realm.set_prop(obj, sym, v)?;
+                match self.ics.get_mut(site as usize) {
+                    Some(ic) => realm.set_prop_with_ic(obj, sym, v, ic, &mut self.ic_stats)?,
+                    None => realm.set_prop(obj, sym, v)?,
+                }
                 push!(v);
             }
             Op::GetElem => {

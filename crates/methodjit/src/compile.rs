@@ -243,22 +243,23 @@ impl FnCompiler {
                 self.code.push(MInst::NewObject { d: self.reg(d) });
                 d + 1
             }
-            Op::InitProp(sym) => {
+            Op::InitProp(sym, site) => {
                 self.code.push(MInst::SetProp {
                     o: self.reg(d - 2),
                     sym,
                     s: self.reg(d - 1),
+                    site,
                 });
                 d - 1
             }
-            Op::GetProp(sym) => {
+            Op::GetProp(sym, site) => {
                 let o = self.reg(d - 1);
-                self.code.push(MInst::GetProp { d: o, o, sym });
+                self.code.push(MInst::GetProp { d: o, o, sym, site });
                 d
             }
-            Op::SetProp(sym) => {
+            Op::SetProp(sym, site) => {
                 let (o, s) = (self.reg(d - 2), self.reg(d - 1));
-                self.code.push(MInst::SetProp { o, sym, s });
+                self.code.push(MInst::SetProp { o, sym, s, site });
                 self.code.push(MInst::Mov { d: o, s });
                 d - 1
             }

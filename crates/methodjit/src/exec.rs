@@ -9,7 +9,7 @@
 use tm_bytecode::Program;
 use tm_interp::{install, Installed};
 use tm_runtime::ops as rt_ops;
-use tm_runtime::{Callee, NativeId, Realm, RuntimeError, Value};
+use tm_runtime::{Callee, IcStats, NativeId, PropIc, Realm, RuntimeError, Value};
 
 use crate::compile::compile_program;
 use crate::minst::{MInst, MProgram};
@@ -33,6 +33,10 @@ pub struct MethodVm {
     depth: usize,
     /// Dynamic instruction count (diagnostics / benchmarks).
     pub insts_executed: u64,
+    /// Per-site property inline caches (indexed by bytecode site id).
+    pub ics: Vec<PropIc>,
+    /// Inline-cache hit/miss counters.
+    pub ic_stats: IcStats,
     /// Remaining instruction budget.
     pub steps_remaining: u64,
 }
@@ -42,6 +46,7 @@ impl MethodVm {
     pub fn new(prog: Program, realm: &mut Realm) -> MethodVm {
         let installed = install(&prog, realm);
         let mprog = compile_program(&prog, &installed);
+        let ics = vec![PropIc::default(); prog.prop_sites as usize];
         MethodVm {
             prog,
             mprog,
@@ -49,6 +54,8 @@ impl MethodVm {
             regs: Vec::with_capacity(256),
             depth: 0,
             insts_executed: 0,
+            ics,
+            ic_stats: IcStats::default(),
             steps_remaining: u64::MAX,
         }
     }
@@ -225,14 +232,23 @@ impl MethodVm {
                     self.regs[r(d)] = Value::new_object(id);
                     self.maybe_gc(realm);
                 }
-                MInst::GetProp { d, o, sym } => {
+                MInst::GetProp { d, o, sym, site } => {
                     let base_v = self.regs[r(o)];
-                    self.regs[r(d)] =
-                        realm.get_prop(base_v, sym).map_err(|e| self.unwind(base, e))?;
+                    let r_ = match self.ics.get_mut(site as usize) {
+                        Some(ic) => realm.get_prop_with_ic(base_v, sym, ic, &mut self.ic_stats),
+                        None => realm.get_prop(base_v, sym),
+                    };
+                    self.regs[r(d)] = r_.map_err(|e| self.unwind(base, e))?;
                 }
-                MInst::SetProp { o, sym, s } => {
+                MInst::SetProp { o, sym, s, site } => {
                     let (base_v, v) = (self.regs[r(o)], self.regs[r(s)]);
-                    realm.set_prop(base_v, sym, v).map_err(|e| self.unwind(base, e))?;
+                    match self.ics.get_mut(site as usize) {
+                        Some(ic) => {
+                            realm.set_prop_with_ic(base_v, sym, v, ic, &mut self.ic_stats)
+                        }
+                        None => realm.set_prop(base_v, sym, v),
+                    }
+                    .map_err(|e| self.unwind(base, e))?;
                 }
                 MInst::GetElem { d, o, i } => {
                     let (base_v, idx) = (self.regs[r(o)], self.regs[r(i)]);
@@ -349,6 +365,24 @@ mod tests {
         let mut mvm = MethodVm::new(prog_m, &mut realm_m);
         let vm = mvm.run(&mut realm_m).unwrap();
         (realm_i.heap.number_value(vi), realm_m.heap.number_value(vm))
+    }
+
+    #[test]
+    fn property_sites_warm_their_inline_caches() {
+        let src = "var o = {x: 0, y: 0};
+             for (var i = 0; i < 500; i++) { o.x = o.x + 1; o.y = o.x; }
+             o.y";
+        let ast = tm_frontend::parse(src).unwrap();
+        let mut realm = Realm::new();
+        let prog = tm_bytecode::compile(&ast, &mut realm).unwrap();
+        let mut mvm = MethodVm::new(prog, &mut realm);
+        let v = mvm.run(&mut realm).unwrap();
+        assert_eq!(realm.heap.number_value(v), Some(500.0));
+        // Every site misses at most a couple of times (fill + possible
+        // epoch churn during object setup); the steady state is all hits.
+        assert!(mvm.ic_stats.get_hits >= 900, "get hits: {:?}", mvm.ic_stats);
+        assert!(mvm.ic_stats.set_hits >= 900, "set hits: {:?}", mvm.ic_stats);
+        assert!(mvm.ic_stats.misses() <= 16, "misses: {:?}", mvm.ic_stats);
     }
 
     #[test]

@@ -58,10 +58,10 @@ pub enum MInst {
     NewArray { d: MReg, start: MReg, count: u16 },
     /// Allocate an empty object.
     NewObject { d: MReg },
-    /// Property read.
-    GetProp { d: MReg, o: MReg, sym: Sym },
-    /// Property write.
-    SetProp { o: MReg, sym: Sym, s: MReg },
+    /// Property read (`site` indexes the VM's inline-cache table).
+    GetProp { d: MReg, o: MReg, sym: Sym, site: u16 },
+    /// Property write (`site` indexes the VM's inline-cache table).
+    SetProp { o: MReg, sym: Sym, s: MReg, site: u16 },
     /// Indexed read.
     GetElem { d: MReg, o: MReg, i: MReg },
     /// Indexed write.

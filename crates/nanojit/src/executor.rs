@@ -67,6 +67,15 @@ fn fits_i31(v: i64) -> bool {
     (INT_MIN..=INT_MAX).contains(&v)
 }
 
+/// Builds the monitor-facing exit record. Unstitched exits are rare
+/// relative to dispatched instructions, so keep the construction (and the
+/// return-path register shuffle it forces) out of the dispatch loop.
+#[cold]
+#[inline(never)]
+fn trace_exit(fragment: u32, exit: u16, insts: u64, iterations: u64) -> TraceExit {
+    TraceExit { fragment, exit, insts, iterations }
+}
+
 /// Executes `fragments[start]` (and any fragments reachable through
 /// stitched exits and loop-backs) until an unstitched exit is taken.
 ///
@@ -89,6 +98,8 @@ pub fn execute(
 ) -> Result<TraceExit, RuntimeError> {
     let mut frag_idx = start;
     let mut frag = &fragments[frag_idx as usize];
+    // Hoisted out of the dispatch loop; refreshed only on fragment switch.
+    let mut exit_targets: &[ExitTarget] = &frag.exit_targets;
     let mut pc = 0usize;
     // One past NREGS so masked indexing (`& 15`) elides bounds checks in
     // the hot dispatch loop.
@@ -101,14 +112,16 @@ pub fn execute(
     macro_rules! take_exit {
         ($exit:expr) => {{
             let e = $exit;
-            match frag.exit_targets[e as usize] {
+            match exit_targets[e as usize] {
                 ExitTarget::Return => {
-                    return Ok(TraceExit { fragment: frag_idx, exit: e, insts, iterations });
+                    return Ok(trace_exit(frag_idx, e, insts, iterations));
                 }
                 ExitTarget::Fragment(f) => {
-                    // Trace stitching: continue in the branch fragment.
+                    // Trace stitching: continue in the branch fragment
+                    // (resolved to a fragment index at link time).
                     frag_idx = f;
                     frag = &fragments[frag_idx as usize];
+                    exit_targets = &frag.exit_targets;
                     if spill.len() < frag.num_spills as usize {
                         spill.resize(frag.num_spills as usize, 0);
                     }
@@ -507,6 +520,7 @@ pub fn execute(
                 }
                 frag_idx = 0;
                 frag = &fragments[0];
+                exit_targets = &frag.exit_targets;
                 if spill.len() < frag.num_spills as usize {
                     spill.resize(frag.num_spills as usize, 0);
                 }

@@ -1,0 +1,126 @@
+//! Per-site property inline caches.
+//!
+//! The paper's shape guards (§3.1, §6) presuppose that resolving a property
+//! name against a shape is cheap at recording time and in the interpreter.
+//! These monomorphic per-bytecode-site caches make that true: after one
+//! slow-path lookup, a site remembers `(shape, slot)` and every later access
+//! to a same-shaped object is two integer compares plus an indexed load —
+//! the interpreter analogue of the trace's `GuardShape` + `LoadSlot` pair.
+//!
+//! One `PropIc` per `GetProp`/`SetProp`/`InitProp` bytecode site; engines
+//! size their tables from [`Program::prop_sites`]. A cache entry is valid
+//! only while its recorded [`ShapeTable::epoch`] matches — the epoch bumps
+//! whenever a genuinely new shape is created and on GC, so stale entries
+//! self-invalidate without any per-site bookkeeping.
+//!
+//! [`Program::prop_sites`]: ../../tm_bytecode/struct.Program.html
+//! [`ShapeTable::epoch`]: crate::shape::ShapeTable::epoch
+
+use crate::shape::ShapeId;
+
+/// What a warmed inline cache knows how to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IcKind {
+    /// Never filled (or explicitly reset).
+    #[default]
+    Empty,
+    /// Read: the property lives in own slot `n` of objects with the cached
+    /// shape.
+    GetSlot(u32),
+    /// Write to an existing own property in slot `n`.
+    SetSlot(u32),
+    /// Write that adds a property: objects with the cached shape transition
+    /// to shape `to` and the value lands in (freshly pushed) slot `slot`.
+    SetTransition {
+        /// Destination shape after the transition.
+        to: ShapeId,
+        /// Slot index assigned to the new property.
+        slot: u32,
+    },
+}
+
+/// A monomorphic per-site property cache.
+#[derive(Debug, Clone, Copy)]
+pub struct PropIc {
+    /// Receiver shape the entry is specialized to.
+    pub shape: ShapeId,
+    /// [`ShapeTable::epoch`](crate::shape::ShapeTable::epoch) at fill time.
+    pub epoch: u32,
+    /// The specialized action.
+    pub kind: IcKind,
+}
+
+impl Default for PropIc {
+    fn default() -> Self {
+        // The tombstone shape id never matches a live object.
+        PropIc { shape: ShapeId(u32::MAX), epoch: 0, kind: IcKind::Empty }
+    }
+}
+
+impl PropIc {
+    /// Whether this entry may be consulted for an object of `shape` under
+    /// the table's current `epoch`.
+    #[inline]
+    pub fn matches(&self, shape: ShapeId, epoch: u32) -> bool {
+        self.shape == shape && self.epoch == epoch
+    }
+}
+
+/// Aggregate hit/miss counters for a table of [`PropIc`]s, mirrored into
+/// `ProfileStats` by the engines (see `docs/DIAGNOSTICS.md`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IcStats {
+    /// `GetProp` resolved by the site cache.
+    pub get_hits: u64,
+    /// `GetProp` that fell back to the realm lookup.
+    pub get_misses: u64,
+    /// `SetProp`/`InitProp` resolved by the site cache.
+    pub set_hits: u64,
+    /// `SetProp`/`InitProp` that fell back to the realm lookup.
+    pub set_misses: u64,
+}
+
+impl IcStats {
+    /// Adds `other`'s counters into `self` (engine → profiler roll-up).
+    pub fn absorb(&mut self, other: &IcStats) {
+        self.get_hits += other.get_hits;
+        self.get_misses += other.get_misses;
+        self.set_hits += other.set_hits;
+        self.set_misses += other.set_misses;
+    }
+
+    /// Total lookups that missed the site caches.
+    pub fn misses(&self) -> u64 {
+        self.get_misses + self.set_misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_ic_never_matches() {
+        let ic = PropIc::default();
+        assert_eq!(ic.kind, IcKind::Empty);
+        assert!(!ic.matches(ShapeId(0), 0));
+        assert!(!ic.matches(ShapeId(u32::MAX - 1), 0));
+    }
+
+    #[test]
+    fn matches_requires_shape_and_epoch() {
+        let ic = PropIc { shape: ShapeId(7), epoch: 3, kind: IcKind::GetSlot(1) };
+        assert!(ic.matches(ShapeId(7), 3));
+        assert!(!ic.matches(ShapeId(7), 4));
+        assert!(!ic.matches(ShapeId(8), 3));
+    }
+
+    #[test]
+    fn stats_absorb_accumulates() {
+        let mut a = IcStats { get_hits: 1, get_misses: 2, set_hits: 3, set_misses: 4 };
+        let b = IcStats { get_hits: 10, get_misses: 20, set_hits: 30, set_misses: 40 };
+        a.absorb(&b);
+        assert_eq!(a, IcStats { get_hits: 11, get_misses: 22, set_hits: 33, set_misses: 44 });
+        assert_eq!(a.misses(), 66);
+    }
+}

@@ -33,6 +33,7 @@
 pub mod builtins;
 pub mod error;
 pub mod heap;
+pub mod ic;
 pub mod object;
 pub mod ops;
 pub mod realm;
@@ -42,6 +43,7 @@ pub mod value;
 
 pub use error::RuntimeError;
 pub use heap::Heap;
+pub use ic::{IcKind, IcStats, PropIc};
 pub use object::{Callee, Object, ObjectClass};
 pub use realm::{NativeEffects, NativeFn, NativeId, Realm};
 pub use shape::{ShapeId, Sym, SymbolTable, EMPTY_SHAPE};

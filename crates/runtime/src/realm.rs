@@ -10,6 +10,7 @@ use std::collections::HashMap;
 
 use crate::error::RuntimeError;
 use crate::heap::Heap;
+use crate::ic::{IcKind, IcStats, PropIc};
 use crate::object::{Callee, Object, ObjectClass};
 use crate::shape::{ShapeTable, Sym, SymbolTable};
 use crate::value::{ObjectId, Unpacked, Value};
@@ -265,6 +266,144 @@ impl Realm {
         }
     }
 
+    /// [`get_prop`](Realm::get_prop) through a per-site inline cache.
+    ///
+    /// On a monomorphic hit (receiver shape and table epoch match the
+    /// cached entry) the read is two integer compares plus an indexed slot
+    /// load — no shape-table access. On miss, falls back to the full lookup
+    /// and re-fills the cache when the property is an own slot.
+    ///
+    /// `length` reads are never cached: arrays answer `length` virtually
+    /// *before* the shape walk, and shapes do not encode the object class,
+    /// so a `(shape, slot)` entry filled from a plain object could
+    /// otherwise shadow an array's virtual length at the same site.
+    #[inline]
+    pub fn get_prop_with_ic(
+        &mut self,
+        base: Value,
+        sym: Sym,
+        ic: &mut PropIc,
+        stats: &mut IcStats,
+    ) -> Result<Value, RuntimeError> {
+        if let Some(id) = base.as_object() {
+            let shape = self.heap.object(id).shape;
+            if let IcKind::GetSlot(slot) = ic.kind {
+                if ic.matches(shape, self.shapes.epoch()) {
+                    stats.get_hits += 1;
+                    return Ok(self.heap.object(id).slots[slot as usize]);
+                }
+            }
+        }
+        self.get_prop_ic_miss(base, sym, ic, stats)
+    }
+
+    /// The miss half of [`get_prop_with_ic`](Realm::get_prop_with_ic):
+    /// full lookup plus cache fill. Kept out of line so the caller's
+    /// dispatch loop only carries the two-compare hit path.
+    #[inline(never)]
+    fn get_prop_ic_miss(
+        &mut self,
+        base: Value,
+        sym: Sym,
+        ic: &mut PropIc,
+        stats: &mut IcStats,
+    ) -> Result<Value, RuntimeError> {
+        stats.get_misses += 1;
+        if let Some(id) = base.as_object() {
+            let shape = self.heap.object(id).shape;
+            let v = self.get_prop(base, sym)?;
+            if sym != self.sym_length {
+                if let Some(slot) = self.shapes.lookup(shape, sym) {
+                    *ic = PropIc {
+                        shape,
+                        epoch: self.shapes.epoch(),
+                        kind: IcKind::GetSlot(slot),
+                    };
+                }
+            }
+            return Ok(v);
+        }
+        self.get_prop(base, sym)
+    }
+
+    /// [`set_prop`](Realm::set_prop) through a per-site inline cache.
+    ///
+    /// Caches both flavors of monomorphic write: in-place stores to an
+    /// existing own slot, and property-adding writes as the exact shape
+    /// transition the slow path would take (valid because transitions are
+    /// memoized and shape ids are never recycled).
+    #[inline]
+    pub fn set_prop_with_ic(
+        &mut self,
+        base: Value,
+        sym: Sym,
+        v: Value,
+        ic: &mut PropIc,
+        stats: &mut IcStats,
+    ) -> Result<(), RuntimeError> {
+        if let Some(id) = base.as_object() {
+            let shape = self.heap.object(id).shape;
+            if ic.matches(shape, self.shapes.epoch()) {
+                match ic.kind {
+                    IcKind::SetSlot(slot) => {
+                        stats.set_hits += 1;
+                        self.heap.object_mut(id).slots[slot as usize] = v;
+                        return Ok(());
+                    }
+                    IcKind::SetTransition { to, slot } => {
+                        stats.set_hits += 1;
+                        let obj = self.heap.object_mut(id);
+                        debug_assert_eq!(obj.slots.len() as u32, slot);
+                        obj.shape = to;
+                        obj.slots.push(v);
+                        return Ok(());
+                    }
+                    _ => {}
+                }
+            }
+        }
+        self.set_prop_ic_miss(base, sym, v, ic, stats)
+    }
+
+    /// The miss half of [`set_prop_with_ic`](Realm::set_prop_with_ic):
+    /// slow-path store plus cache fill, out of line like
+    /// [`get_prop_ic_miss`](Realm::get_prop_ic_miss).
+    #[inline(never)]
+    fn set_prop_ic_miss(
+        &mut self,
+        base: Value,
+        sym: Sym,
+        v: Value,
+        ic: &mut PropIc,
+        stats: &mut IcStats,
+    ) -> Result<(), RuntimeError> {
+        stats.set_misses += 1;
+        if let Some(id) = base.as_object() {
+            let shape = self.heap.object(id).shape;
+            if let Some(slot) = self.shapes.lookup(shape, sym) {
+                self.heap.object_mut(id).slots[slot as usize] = v;
+                *ic =
+                    PropIc { shape, epoch: self.shapes.epoch(), kind: IcKind::SetSlot(slot) };
+            } else {
+                let to = self.shapes.transition(shape, sym);
+                let obj = self.heap.object_mut(id);
+                obj.shape = to;
+                let slot = obj.slots.len() as u32;
+                obj.slots.push(v);
+                // `transition` may have bumped the epoch (first use of this
+                // transition); filling with the *current* epoch makes the
+                // entry live immediately.
+                *ic = PropIc {
+                    shape,
+                    epoch: self.shapes.epoch(),
+                    kind: IcKind::SetTransition { to, slot },
+                };
+            }
+            return Ok(());
+        }
+        self.set_prop(base, sym, v)
+    }
+
     /// Property write on an object's own shape, transitioning the shape when
     /// the property is new.
     pub fn set_prop(&mut self, base: Value, sym: Sym, v: Value) -> Result<(), RuntimeError> {
@@ -347,6 +486,10 @@ impl Realm {
         roots.extend(self.typeof_cache.values().copied());
         let heap = &mut self.heap;
         heap.collect(&roots);
+        // Conservatively invalidate all property inline caches: a
+        // collection is the one realm-wide event after which cached
+        // `(shape, slot)` entries must be re-proven against live objects.
+        self.shapes.bump_epoch();
     }
 
     /// Cached, rooted string value for a `typeof` result.
@@ -400,6 +543,109 @@ fn index_as_u32(realm: &Realm, index: Value) -> Option<u32> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn ic_zero_slow_paths_after_warmup() {
+        // The acceptance property for the PR-4 caches: one slow-path
+        // lookup fills the site, and every later same-shape access is
+        // served entirely by the cache.
+        let mut realm = Realm::new();
+        let o = realm.new_plain_object();
+        let x = realm.symbols.intern("x");
+        realm.set_prop(Value::new_object(o), x, Value::new_int(7)).unwrap();
+
+        let mut ic = crate::ic::PropIc::default();
+        let mut stats = crate::ic::IcStats::default();
+        for _ in 0..1000 {
+            let v = realm
+                .get_prop_with_ic(Value::new_object(o), x, &mut ic, &mut stats)
+                .unwrap();
+            assert_eq!(v.as_int(), Some(7));
+        }
+        assert_eq!(stats.get_misses, 1, "exactly the warm-up lookup");
+        assert_eq!(stats.get_hits, 999);
+
+        // Same property for writes.
+        let mut wic = crate::ic::PropIc::default();
+        for i in 0..1000 {
+            realm
+                .set_prop_with_ic(Value::new_object(o), x, Value::new_int(i), &mut wic, &mut stats)
+                .unwrap();
+        }
+        assert_eq!(stats.set_misses, 1);
+        assert_eq!(stats.set_hits, 999);
+    }
+
+    #[test]
+    fn ic_misses_after_shape_transition_then_refills() {
+        let mut realm = Realm::new();
+        let o = realm.new_plain_object();
+        let x = realm.symbols.intern("x");
+        let y = realm.symbols.intern("y");
+        realm.set_prop(Value::new_object(o), x, Value::new_int(1)).unwrap();
+
+        let mut ic = crate::ic::PropIc::default();
+        let mut stats = crate::ic::IcStats::default();
+        realm.get_prop_with_ic(Value::new_object(o), x, &mut ic, &mut stats).unwrap();
+        realm.get_prop_with_ic(Value::new_object(o), x, &mut ic, &mut stats).unwrap();
+        assert_eq!((stats.get_misses, stats.get_hits), (1, 1));
+
+        // Adding `y` transitions `o` to a different shape: the cached
+        // entry no longer matches and the site must refill.
+        realm.set_prop(Value::new_object(o), y, Value::new_int(2)).unwrap();
+        let v = realm.get_prop_with_ic(Value::new_object(o), x, &mut ic, &mut stats).unwrap();
+        assert_eq!(v.as_int(), Some(1));
+        assert_eq!(stats.get_misses, 2, "transition invalidates the entry");
+        realm.get_prop_with_ic(Value::new_object(o), x, &mut ic, &mut stats).unwrap();
+        assert_eq!(stats.get_hits, 2, "refilled against the new shape");
+    }
+
+    #[test]
+    fn ic_invalidated_across_gc() {
+        let mut realm = Realm::new();
+        let o = realm.new_plain_object();
+        let x = realm.symbols.intern("x");
+        let root = Value::new_object(o);
+        realm.set_prop(root, x, Value::new_int(3)).unwrap();
+
+        let mut ic = crate::ic::PropIc::default();
+        let mut stats = crate::ic::IcStats::default();
+        realm.get_prop_with_ic(root, x, &mut ic, &mut stats).unwrap();
+        realm.get_prop_with_ic(root, x, &mut ic, &mut stats).unwrap();
+        assert_eq!((stats.get_misses, stats.get_hits), (1, 1));
+
+        // GC bumps the shape-table epoch: every cache entry filled before
+        // the collection is dead, regardless of shape.
+        realm.collect_garbage(&[root]);
+        let v = realm.get_prop_with_ic(root, x, &mut ic, &mut stats).unwrap();
+        assert_eq!(v.as_int(), Some(3), "value survives the collection");
+        assert_eq!(stats.get_misses, 2, "pre-GC entry must not be consulted");
+        realm.get_prop_with_ic(root, x, &mut ic, &mut stats).unwrap();
+        assert_eq!(stats.get_hits, 2, "site re-warms after the collection");
+    }
+
+    #[test]
+    fn set_ic_caches_the_transition() {
+        // A site that always *adds* the same property to same-shaped
+        // objects caches the `(from, to, slot)` transition and performs
+        // later adds without consulting the shape table.
+        let mut realm = Realm::new();
+        let x = realm.symbols.intern("x");
+        let mut ic = crate::ic::PropIc::default();
+        let mut stats = crate::ic::IcStats::default();
+        for i in 0..100 {
+            let o = realm.new_plain_object();
+            realm
+                .set_prop_with_ic(Value::new_object(o), x, Value::new_int(i), &mut ic, &mut stats)
+                .unwrap();
+            let got = realm.get_prop(Value::new_object(o), x).unwrap();
+            assert_eq!(got.as_int(), Some(i));
+        }
+        // First add creates the x-shape (epoch bump) and fills; the second
+        // may refill under the new epoch; everything after must hit.
+        assert!(stats.set_misses <= 2, "misses: {}", stats.set_misses);
+        assert!(stats.set_hits >= 98, "hits: {}", stats.set_hits);
+    }
 
     #[test]
     fn globals_resolve_stably() {

@@ -89,16 +89,38 @@ struct Shape {
     slot_count: u32,
 }
 
+/// One entry of the direct-mapped lookup cache. `shape == TOMBSTONE_SHAPE`
+/// marks an empty way.
+#[derive(Debug, Clone, Copy)]
+struct LookupEntry {
+    shape: ShapeId,
+    prop: Sym,
+    slot: Option<u32>,
+}
+
+const TOMBSTONE_SHAPE: ShapeId = ShapeId(u32::MAX);
+
+/// Ways in the direct-mapped lookup cache. Power of two; small enough that
+/// resident shape-table state is bounded by construction no matter how many
+/// `(shape, prop)` pairs a long-running realm probes.
+pub const LOOKUP_CACHE_WAYS: usize = 256;
+
 /// The global shape tree.
 ///
 /// All objects in a realm share one `ShapeTable`. Lookup of a property in a
-/// shape walks the parent chain (cached in a flat map for O(1) access).
+/// shape walks the parent chain, front-ended by a small fixed-size
+/// direct-mapped cache (the per-site inline caches above it make this a
+/// second-chance cache, so bounding it costs nothing on hot paths).
 #[derive(Debug)]
 pub struct ShapeTable {
     shapes: Vec<Shape>,
     transitions: HashMap<(ShapeId, Sym), ShapeId>,
-    /// Memoized full property → slot maps per shape (built lazily).
-    lookup_cache: HashMap<(ShapeId, Sym), Option<u32>>,
+    /// Fixed-size direct-mapped `(shape, prop) → slot` cache.
+    lookup_cache: Box<[LookupEntry; LOOKUP_CACHE_WAYS]>,
+    /// Inline-cache invalidation epoch: bumped whenever a genuinely new
+    /// shape is created (memoized transitions reuse ids and do *not* bump)
+    /// and on GC. A `PropIc` is valid only while its recorded epoch matches.
+    epoch: u32,
 }
 
 impl Default for ShapeTable {
@@ -113,7 +135,11 @@ impl ShapeTable {
         ShapeTable {
             shapes: vec![Shape { parent: EMPTY_SHAPE, prop: None, slot: 0, slot_count: 0 }],
             transitions: HashMap::new(),
-            lookup_cache: HashMap::new(),
+            lookup_cache: Box::new(
+                [LookupEntry { shape: TOMBSTONE_SHAPE, prop: Sym(0), slot: None };
+                    LOOKUP_CACHE_WAYS],
+            ),
+            epoch: 0,
         }
     }
 
@@ -129,14 +155,26 @@ impl ShapeTable {
         let id = ShapeId(self.shapes.len() as u32);
         self.shapes.push(Shape { parent: from, prop: Some(prop), slot, slot_count: slot + 1 });
         self.transitions.insert((from, prop), id);
+        // A new shape exists: conservatively invalidate all property ICs.
+        // Steady-state code creates no new shapes, so warm ICs stay valid.
+        self.bump_epoch();
         id
     }
 
+    fn cache_way(shape: ShapeId, prop: Sym) -> usize {
+        let h = (shape.0 as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((prop.0 as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F));
+        (h >> 32) as usize & (LOOKUP_CACHE_WAYS - 1)
+    }
+
     /// Finds the slot index of `prop` in `shape`, or `None` if the shape has
-    /// no such property. Results are memoized.
+    /// no such property.
     pub fn lookup(&mut self, shape: ShapeId, prop: Sym) -> Option<u32> {
-        if let Some(&cached) = self.lookup_cache.get(&(shape, prop)) {
-            return cached;
+        let way = Self::cache_way(shape, prop);
+        let e = self.lookup_cache[way];
+        if e.shape == shape && e.prop == prop {
+            return e.slot;
         }
         let mut cur = shape;
         let mut result = None;
@@ -151,8 +189,26 @@ impl ShapeTable {
             }
             cur = s.parent;
         }
-        self.lookup_cache.insert((shape, prop), result);
+        self.lookup_cache[way] = LookupEntry { shape, prop, slot: result };
         result
+    }
+
+    /// The current inline-cache invalidation epoch.
+    #[inline]
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// Invalidates every property inline cache in the realm (wrapping; ICs
+    /// also compare the cached shape id, so a 2^32-transition wrap cannot
+    /// produce a false hit on a *different* site shape).
+    pub fn bump_epoch(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+    }
+
+    /// Capacity of the bounded lookup cache — constant by construction.
+    pub fn lookup_cache_capacity(&self) -> usize {
+        self.lookup_cache.len()
     }
 
     /// Number of slots an object with `shape` owns.
@@ -243,6 +299,48 @@ mod tests {
         assert_eq!(shapes.slot_count(EMPTY_SHAPE), 0);
         // Memoized second lookup.
         assert_eq!(shapes.lookup(s2, x), Some(0));
+    }
+
+    #[test]
+    fn lookup_cache_is_bounded_under_transition_heavy_workload() {
+        let mut syms = SymbolTable::new();
+        let mut shapes = ShapeTable::new();
+        let props: Vec<Sym> = (0..64).map(|i| syms.intern(&format!("p{i}"))).collect();
+        // Build shape chains in many insertion orders and probe every
+        // (shape, prop) pair along the way: tens of thousands of distinct
+        // keys that would each have become a resident map entry before.
+        for i in 0..64 {
+            let mut s = EMPTY_SHAPE;
+            for j in 0..16 {
+                s = shapes.transition(s, props[(i * 7 + j) % 64]);
+                for &p in &props {
+                    let _ = shapes.lookup(s, p);
+                }
+            }
+        }
+        assert!(shapes.len() > 500, "workload should create many shapes");
+        // Resident cache state is constant-size by construction.
+        assert_eq!(shapes.lookup_cache_capacity(), LOOKUP_CACHE_WAYS);
+    }
+
+    #[test]
+    fn epoch_bumps_only_on_new_shapes() {
+        let mut syms = SymbolTable::new();
+        let mut shapes = ShapeTable::new();
+        let x = syms.intern("x");
+        let e0 = shapes.epoch();
+        let s1 = shapes.transition(EMPTY_SHAPE, x);
+        assert_ne!(shapes.epoch(), e0, "creating a shape invalidates ICs");
+        // Memoized transition reuses the shape: steady state, no bump.
+        let e1 = shapes.epoch();
+        assert_eq!(shapes.transition(EMPTY_SHAPE, x), s1);
+        assert_eq!(shapes.epoch(), e1);
+        // lookup never bumps.
+        let _ = shapes.lookup(s1, x);
+        assert_eq!(shapes.epoch(), e1);
+        // Explicit bump (GC) invalidates.
+        shapes.bump_epoch();
+        assert_ne!(shapes.epoch(), e1);
     }
 
     #[test]

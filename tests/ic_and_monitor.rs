@@ -1,0 +1,125 @@
+//! Behavior tests for the de-hashed hot paths (PR 4): per-site property
+//! inline caches in the interpreter, and the dense per-loop monitor slots
+//! that replace hash lookups on every loop edge.
+
+use tracemonkey::jit::events::TraceEvent;
+use tracemonkey::{Engine, JitOptions, Vm};
+
+fn traced_vm(src: &str) -> Vm {
+    let mut opts = JitOptions::default();
+    opts.log_events = true;
+    let mut vm = Vm::with_options(Engine::Tracing, opts);
+    vm.eval(src).expect("program runs");
+    vm
+}
+
+#[test]
+fn interp_property_loop_is_ic_resident() {
+    // Steady-state property traffic in the interpreter is served by the
+    // per-site caches: misses are a warm-up constant, hits scale with the
+    // iteration count.
+    let mut vm = Vm::new(Engine::Interp);
+    let v = vm
+        .eval_number(
+            "var p = {x: 3, y: 4};
+             var s = 0;
+             for (var i = 0; i < 2000; i++) { s += p.x * p.y; p.x = p.x; }
+             s",
+        )
+        .unwrap();
+    assert_eq!(v, Some(24000.0));
+    let stats = vm.interp().unwrap().ic_stats;
+    assert!(stats.get_hits >= 3900, "get hits: {stats:?}");
+    assert!(stats.set_hits >= 1900, "set hits: {stats:?}");
+    assert!(stats.misses() <= 16, "steady state must not miss: {stats:?}");
+}
+
+#[test]
+fn interp_ic_correct_across_midloop_transition() {
+    // A shape transition mid-loop invalidates the warmed site; the
+    // program must stay correct and the site must re-warm against the
+    // new shape.
+    let mut vm = Vm::new(Engine::Interp);
+    let v = vm
+        .eval_number(
+            "var o = {x: 1};
+             var s = 0;
+             for (var i = 0; i < 100; i++) {
+                 s += o.x;
+                 if (i == 50) o.y = 99;
+             }
+             s",
+        )
+        .unwrap();
+    assert_eq!(v, Some(100.0));
+    let stats = vm.interp().unwrap().ic_stats;
+    assert!(stats.get_misses >= 2, "fill + post-transition refill: {stats:?}");
+    assert!(stats.get_hits >= 90, "both shapes serve from the cache: {stats:?}");
+}
+
+#[test]
+fn monitor_slow_path_is_a_warmup_constant() {
+    // The dense monitor slots make loop-edge handling O(1) with no hash
+    // lookups: the slow path (recording/blacklist machinery) runs a fixed
+    // number of times during warm-up, after which every edge is resolved
+    // by the slot. Scaling the iteration count 10x must not change the
+    // slow-path count at all — zero slow-path lookups in steady state.
+    let small = traced_vm("var s = 0; for (var i = 0; i < 2000; i++) s += i; s");
+    let large = traced_vm("var s = 0; for (var i = 0; i < 20000; i++) s += i; s");
+    let p_small = small.profile().unwrap();
+    let p_large = large.profile().unwrap();
+    assert!(p_small.monitor_slot_slow >= 1, "recording consumed at least one edge");
+    assert_eq!(
+        p_small.monitor_slot_slow, p_large.monitor_slot_slow,
+        "slow path must not scale with iterations: {} vs {}",
+        p_small.monitor_slot_slow, p_large.monitor_slot_slow
+    );
+    assert!(p_small.monitor_slot_fast >= 1, "slot fast path used");
+    assert!(
+        p_large.monitor_slot_slow < 20,
+        "slow path bounded by warm-up: {}",
+        p_large.monitor_slot_slow
+    );
+}
+
+#[test]
+fn tracing_property_loop_reports_ic_activity() {
+    // The monitor rolls the interpreter's IC counters into ProfileStats.
+    let vm = traced_vm(
+        "var p = {x: 2, y: 5};
+         var s = 0;
+         for (var i = 0; i < 500; i++) s += p.x + p.y;
+         s",
+    );
+    let p = vm.profile().unwrap();
+    assert!(
+        p.ic.get_hits + p.ic.get_misses >= 1,
+        "interpreted warm-up iterations consult the site caches: {:?}",
+        p.ic
+    );
+}
+
+#[test]
+fn blacklisted_header_bypasses_the_monitor_slot() {
+    // Once a header is patched to Nop (§3.3), the interpreter never calls
+    // the monitor for that loop again: total slot activity stays a small
+    // constant even though the loop runs thousands of iterations.
+    let vm = traced_vm(
+        "var s = 0;
+         var digits = '0123456789';
+         for (var i = 0; i < 3000; i++) {
+             s += +digits.charAt(i % 10); // ToNumber(string): untraceable
+         }
+         s",
+    );
+    let m = vm.monitor().unwrap();
+    let blacklists =
+        m.events.events().iter().filter(|e| matches!(e, TraceEvent::Blacklist { .. })).count();
+    assert!(blacklists >= 1, "the loop gets blacklisted");
+    let p = vm.profile().unwrap();
+    let touched = p.monitor_slot_fast + p.monitor_slot_slow;
+    assert!(
+        touched < 100,
+        "patched header must silence the slot, saw {touched} slot touches for 3000 iterations"
+    );
+}
