@@ -19,7 +19,9 @@ fi
 echo "    OK: ${#manifests[@]} manifests are path-only"
 
 echo "==> tier-1: hermetic release build"
-cargo build --release --offline --locked
+# --workspace so the tm-bench perf binaries are rebuilt too: the perf
+# stages below must never gate against a stale bench_pr4/bench_pr5.
+cargo build --release --workspace --offline --locked
 
 echo "==> tier-1: tests (root package: integration, fuzz, property suites)"
 # Debug profile: JitOptions.verify defaults on, so every recorded trace in
@@ -42,5 +44,15 @@ echo "==> bench smoke: one program per SunSpider group (release, 3 repeats)"
 # medians for trend inspection. Full-suite methodology: EXPERIMENTS.md.
 ./target/release/bench_pr4 --smoke > target/BENCH_pr4_smoke.json
 echo "    OK: wrote target/BENCH_pr4_smoke.json"
+
+echo "==> perf smoke: superinstruction fusion (release, 3 fast programs)"
+# Two deterministic gates on dispatched-instruction counts (wall-clock is
+# reported but never gated): the fused count of each smoke program must
+# not exceed the checked-in BENCH_pr5.json baseline by more than 5%, and
+# the aggregate raw->fused reduction must stay at or above 25% (the
+# superinstruction pass's headline claim).
+./target/release/bench_pr5 --smoke --baseline BENCH_pr5.json \
+    > target/BENCH_pr5_smoke.json
+echo "    OK: wrote target/BENCH_pr5_smoke.json"
 
 echo "==> ci.sh: all green"

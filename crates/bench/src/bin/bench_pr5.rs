@@ -1,0 +1,261 @@
+//! Superinstruction-fusion benchmark (`BENCH_pr5.json`): per-program
+//! dispatched machine-instruction counts with the peephole pass off
+//! (raw) versus on (fused), plus median wall-clock under both
+//! configurations.
+//!
+//! The dispatched-instruction count is the executor's own tally
+//! (`ProfileStats::native_insts`, where a fused superinstruction counts
+//! once) and is deterministic per program — that is what the CI perf
+//! gate compares against the checked-in baseline; wall-clock is
+//! reported for trend inspection but never gated (too noisy for CI
+//! hardware).
+//!
+//! Usage:
+//!   `bench_pr5 [repeats]`            full 26-program suite, JSON to stdout
+//!   `bench_pr5 --only a,b [reps]`    named subset only
+//!   `bench_pr5 --smoke [reps]`       pinned 3-program subset
+//!                                    (bitops-bits-in-byte,
+//!                                    bitops-bitwise-and, access-nsieve)
+//!   `bench_pr5 --baseline FILE`      gate: exit non-zero if any program's
+//!                                    fused dispatched count exceeds the
+//!                                    baseline's by more than 5%
+//!
+//! `--smoke` additionally gates the tentpole claim itself: the aggregate
+//! dispatched-instruction reduction over the smoke programs must be at
+//! least 25%.
+
+use std::time::{Duration, Instant};
+
+use tm_bench::{BenchProgram, SUITE};
+use tm_support::Json;
+use tracemonkey::{Engine, JitOptions, Vm};
+
+/// Pinned perf-smoke subset (ISSUE satellite: three fast programs from
+/// the groups the acceptance bar names, bitops and access).
+const SMOKE: &[&str] = &["bitops-bits-in-byte", "bitops-bitwise-and", "access-nsieve"];
+
+/// Maximum tolerated growth of a program's fused dispatched-instruction
+/// count relative to the checked-in baseline (5%).
+const REGRESSION_TOLERANCE: f64 = 1.05;
+
+/// Minimum aggregate dispatch reduction the smoke gate demands.
+const MIN_SMOKE_REDUCTION_PCT: f64 = 25.0;
+
+/// Deterministic per-run counters harvested from the monitor profiler.
+struct Counts {
+    /// Machine instructions dispatched on trace (fused counts once).
+    dispatched: u64,
+    /// Of `dispatched`, how many were fused superinstructions.
+    fused_dispatched: u64,
+    /// Superinstructions the peephole pass emitted (static).
+    superinsts: u64,
+    /// Instructions the pass removed from compiled code (static).
+    removed: u64,
+}
+
+fn counts(prog: &BenchProgram, opts: JitOptions) -> Counts {
+    let mut vm = Vm::with_options(Engine::Tracing, opts);
+    vm.eval(prog.source)
+        .unwrap_or_else(|e| panic!("{} failed under tracing: {e}", prog.name));
+    let stats = &vm.monitor().expect("tracing engine has a monitor").profiler.stats;
+    Counts {
+        dispatched: stats.native_insts,
+        fused_dispatched: stats.native_insts_fused,
+        superinsts: stats.fused_superinsts,
+        removed: stats.fuse_insts_removed,
+    }
+}
+
+/// Median of `repeats` fresh-VM wall-clock runs (each run includes
+/// compilation, SunSpider-style).
+fn median_time(prog: &BenchProgram, opts: JitOptions, repeats: u32) -> Duration {
+    let mut times: Vec<Duration> = (0..repeats.max(1))
+        .map(|_| {
+            let mut vm = Vm::with_options(Engine::Tracing, opts);
+            let start = Instant::now();
+            vm.eval(prog.source)
+                .unwrap_or_else(|e| panic!("{} failed under tracing: {e}", prog.name));
+            start.elapsed()
+        })
+        .collect();
+    times.sort();
+    times[times.len() / 2]
+}
+
+/// `name -> fused dispatched count` from a previous bench_pr5 JSON.
+fn load_baseline(path: &str) -> Vec<(String, u64)> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+    let doc = Json::parse(&text).unwrap_or_else(|e| panic!("baseline {path}: {e}"));
+    doc.get("programs")
+        .and_then(Json::as_array)
+        .unwrap_or_else(|| panic!("baseline {path} has no programs array"))
+        .iter()
+        .filter_map(|row| {
+            let name = row.get("name")?.as_str()?;
+            let fused = row.get("fused_dispatched")?.as_u64()?;
+            Some((name.to_owned(), fused))
+        })
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let flag_value = |flag: &str| {
+        args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+    };
+    let only: Option<Vec<String>> =
+        flag_value("--only").map(|names| names.split(',').map(str::to_string).collect());
+    let baseline_path = flag_value("--baseline");
+    let repeats: u32 = args
+        .iter()
+        .enumerate()
+        .filter(|(i, a)| {
+            // A bare integer that is not the operand of --only/--baseline.
+            let prev = i.checked_sub(1).and_then(|p| args.get(p));
+            !matches!(prev.map(String::as_str), Some("--only" | "--baseline"))
+                && a.parse::<u32>().is_ok()
+        })
+        .find_map(|(_, a)| a.parse().ok())
+        .unwrap_or(if smoke { 3 } else { 5 });
+
+    let raw_opts = JitOptions { enable_fusion: false, ..JitOptions::default() };
+    let fused_opts = JitOptions::default();
+
+    let programs: Vec<&BenchProgram> = if let Some(only) = &only {
+        SUITE.iter().filter(|p| only.iter().any(|n| n == p.name)).collect()
+    } else if smoke {
+        SUITE.iter().filter(|p| SMOKE.contains(&p.name)).collect()
+    } else {
+        SUITE.iter().collect()
+    };
+
+    let baseline = baseline_path.as_deref().map(load_baseline);
+    let mut rows = Vec::new();
+    let mut gate_failures: Vec<String> = Vec::new();
+    let mut total_raw: u64 = 0;
+    let mut total_fused: u64 = 0;
+    let ms = |d: Duration| d.as_secs_f64() * 1e3;
+    let pct = |raw: u64, fused: u64| {
+        if raw == 0 { 0.0 } else { 100.0 * (raw - fused.min(raw)) as f64 / raw as f64 }
+    };
+
+    for prog in &programs {
+        let raw = counts(prog, raw_opts);
+        let fused = counts(prog, fused_opts);
+        let raw_ms = median_time(prog, raw_opts, repeats);
+        let fused_ms = median_time(prog, fused_opts, repeats);
+        let reduction = pct(raw.dispatched, fused.dispatched);
+        total_raw += raw.dispatched;
+        total_fused += fused.dispatched;
+        eprintln!(
+            "{:28} raw {:>12} insts   fused {:>12} insts   (-{:5.1}%)   {:8.2} -> {:8.2} ms",
+            prog.name,
+            raw.dispatched,
+            fused.dispatched,
+            reduction,
+            ms(raw_ms),
+            ms(fused_ms),
+        );
+        if let Some(base) = &baseline {
+            match base.iter().find(|(n, _)| n == prog.name) {
+                Some((_, base_fused)) => {
+                    let limit = (*base_fused as f64 * REGRESSION_TOLERANCE).ceil() as u64;
+                    if fused.dispatched > limit {
+                        gate_failures.push(format!(
+                            "{}: fused dispatched {} exceeds baseline {} by >5%",
+                            prog.name, fused.dispatched, base_fused
+                        ));
+                    }
+                }
+                None => gate_failures
+                    .push(format!("{}: missing from baseline {:?}", prog.name, baseline_path)),
+            }
+        }
+        rows.push(Json::obj([
+            ("name", Json::from(prog.name)),
+            ("group", Json::from(prog.group)),
+            ("untraceable_by_design", Json::from(prog.untraceable)),
+            ("raw_dispatched", Json::from(raw.dispatched)),
+            ("fused_dispatched", Json::from(fused.dispatched)),
+            ("dispatch_reduction_pct", Json::from(reduction)),
+            (
+                "superinst_share_pct",
+                Json::from(if fused.dispatched == 0 {
+                    0.0
+                } else {
+                    100.0 * fused.fused_dispatched as f64 / fused.dispatched as f64
+                }),
+            ),
+            ("static_superinsts", Json::from(fused.superinsts)),
+            ("static_insts_removed", Json::from(fused.removed)),
+            ("raw_ms", Json::from(ms(raw_ms))),
+            ("fused_ms", Json::from(ms(fused_ms))),
+            ("wall_clock_speedup", Json::from(ms(raw_ms) / ms(fused_ms).max(1e-9))),
+        ]));
+    }
+
+    // Per-group aggregates (the acceptance bar is stated per group).
+    let mut groups: Vec<(&str, u64, u64)> = Vec::new();
+    for (prog, row) in programs.iter().zip(&rows) {
+        let raw = row.get("raw_dispatched").and_then(Json::as_u64).unwrap();
+        let fused = row.get("fused_dispatched").and_then(Json::as_u64).unwrap();
+        match groups.iter_mut().find(|(g, _, _)| *g == prog.group) {
+            Some(entry) => {
+                entry.1 += raw;
+                entry.2 += fused;
+            }
+            None => groups.push((prog.group, raw, fused)),
+        }
+    }
+    let group_rows: Vec<Json> = groups
+        .iter()
+        .map(|&(group, raw, fused)| {
+            Json::obj([
+                ("group", Json::from(group)),
+                ("raw_dispatched", Json::from(raw)),
+                ("fused_dispatched", Json::from(fused)),
+                ("dispatch_reduction_pct", Json::from(pct(raw, fused))),
+            ])
+        })
+        .collect();
+
+    let total_reduction = pct(total_raw, total_fused);
+    eprintln!(
+        "total: raw {total_raw} -> fused {total_fused} dispatched insts (-{total_reduction:.1}%)"
+    );
+    if smoke && total_reduction < MIN_SMOKE_REDUCTION_PCT {
+        gate_failures.push(format!(
+            "aggregate dispatch reduction {total_reduction:.1}% is below the \
+             {MIN_SMOKE_REDUCTION_PCT}% smoke bar"
+        ));
+    }
+
+    let out = Json::obj([
+        ("schema", Json::from("bench_pr5/v1")),
+        (
+            "statistic",
+            Json::from(
+                "dispatched machine instructions (deterministic, gated) and \
+                 median wall-clock of fresh-VM runs (reported, ungated)",
+            ),
+        ),
+        ("repeats", Json::from(repeats)),
+        ("smoke", Json::from(smoke)),
+        ("total_raw_dispatched", Json::from(total_raw)),
+        ("total_fused_dispatched", Json::from(total_fused)),
+        ("total_dispatch_reduction_pct", Json::from(total_reduction)),
+        ("programs", Json::Array(rows)),
+        ("groups", Json::Array(group_rows)),
+    ]);
+    println!("{}", out.to_string_pretty());
+
+    if !gate_failures.is_empty() {
+        eprintln!("bench_pr5 perf gate FAILED:");
+        for f in &gate_failures {
+            eprintln!("  - {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -48,7 +48,13 @@ pub struct JitOptions {
     /// (`tm-verifier`): a malformed trace aborts recording with
     /// `AbortReason::VerifyFailed` instead of being compiled. On by
     /// default in debug/test builds, off in release (hot-path) builds.
+    /// When on, compiled fragments are additionally re-verified after the
+    /// superinstruction pass (`tm-verifier::verify_fragment`).
     pub verify: bool,
+    /// Run the peephole superinstruction pass (`tm-nanojit::fuse`) on
+    /// every compiled fragment. On by default; turning it off executes
+    /// the raw assembled code (the `bench_pr5` baseline configuration).
+    pub enable_fusion: bool,
 }
 
 impl Default for JitOptions {
@@ -70,6 +76,7 @@ impl Default for JitOptions {
             profile: false,
             log_events: false,
             verify: cfg!(debug_assertions),
+            enable_fusion: true,
         }
     }
 }

@@ -420,7 +420,21 @@ impl Monitor {
                 panic!("backward filters produced a malformed trace: {err}");
             }
         }
-        let frag = assemble(&recorded.lir);
+        let mut frag = assemble(&recorded.lir);
+        if self.opts.enable_fusion {
+            frag = tm_nanojit::fuse(frag);
+            self.profiler.stats.fused_superinsts +=
+                u64::from(frag.fuse_stats.superinsts);
+            self.profiler.stats.fuse_insts_removed +=
+                u64::from(frag.fuse_stats.raw_insts - frag.fuse_stats.fused_insts);
+        }
+        if self.opts.verify {
+            // Backend output check: register allocation and the peephole
+            // pass must hand the executor structurally sound code.
+            if let Err(err) = tm_verifier::verify_fragment(&frag) {
+                panic!("backend produced a malformed fragment: {err}");
+            }
+        }
         self.profiler.stats.fragments += 1;
         self.profiler.switch(Activity::Monitor);
         frag
@@ -503,8 +517,8 @@ impl Monitor {
             let frags = Rc::make_mut(&mut tree.fragments);
             frags.push(frag);
             if stitch {
-                frags[parent_frag as usize].exit_targets[parent_exit as usize] =
-                    ExitTarget::Fragment(new_idx);
+                frags[parent_frag as usize]
+                    .set_exit_target(parent_exit, ExitTarget::Fragment(new_idx));
             }
         }
         tree.exit_states[parent_frag as usize][parent_exit as usize].branch = Some(new_idx);
@@ -857,6 +871,7 @@ impl Monitor {
             self.profiler.stats.bytecodes_native +=
                 trace_exit.iterations * trunk_bc + exit_bc;
             self.profiler.stats.native_insts += trace_exit.insts;
+            self.profiler.stats.native_insts_fused += trace_exit.fused_insts;
             self.profiler.stats.side_exits += 1;
         }
 

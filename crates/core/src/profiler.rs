@@ -45,8 +45,17 @@ pub struct ProfileStats {
     /// Bytecode-equivalents executed natively (trace bytecode length ×
     /// iterations).
     pub bytecodes_native: u64,
-    /// Machine instructions executed on trace.
+    /// Machine instructions dispatched on trace (a fused superinstruction
+    /// counts once).
     pub native_insts: u64,
+    /// Of `native_insts`, how many were fused superinstructions.
+    pub native_insts_fused: u64,
+    /// Superinstructions emitted by the peephole pass (static, per
+    /// compile).
+    pub fused_superinsts: u64,
+    /// Instructions the peephole pass removed from compiled code (static:
+    /// raw minus fused length, summed over fragments).
+    pub fuse_insts_removed: u64,
     /// Trace entries (monitor → native transitions).
     pub trace_enters: u64,
     /// Side exits taken back to the monitor.

@@ -23,9 +23,11 @@
 pub mod backward;
 pub mod buffer;
 pub mod ir;
+pub mod opclass;
 pub mod printer;
 
 pub use backward::{run_backward_filters, BackwardStats, ExitLiveness};
 pub use buffer::{FilterOptions, FilterStats, LirBuffer, NO_VALUE};
 pub use ir::{ArSlot, ExitId, Lir, LirId, LirTrace, LirType, NO_EXIT};
+pub use opclass::{AluOp, ChkOp, CmpOp};
 pub use printer::print_trace;

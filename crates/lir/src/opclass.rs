@@ -1,0 +1,176 @@
+//! Operation classes shared between the LIR and the backend's virtual ISA.
+//!
+//! The superinstruction (peephole fusion) pass in `tm-nanojit` folds
+//! constant operands, activation-record reads/writes, and guard exits into
+//! single fused instructions. Rather than minting one opcode per
+//! (operation × operand-form) combination, fused instructions carry one of
+//! these small operation classes; the printer, the disassembler, and the
+//! fragment verifier all share the same vocabulary.
+
+/// A plain (unchecked) binary integer ALU operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Wrapping i32 add.
+    Add,
+    /// Wrapping i32 subtract.
+    Sub,
+    /// Wrapping i32 multiply.
+    Mul,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Shift left by `b & 31`.
+    Shl,
+    /// Arithmetic shift right by `b & 31`.
+    Shr,
+    /// Logical (u32) shift right by `b & 31`.
+    UShr,
+}
+
+impl AluOp {
+    /// The LIR-printer mnemonic ("addi", "shri", ...).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            AluOp::Add => "addi",
+            AluOp::Sub => "subi",
+            AluOp::Mul => "muli",
+            AluOp::And => "andi",
+            AluOp::Or => "ori",
+            AluOp::Xor => "xori",
+            AluOp::Shl => "shli",
+            AluOp::Shr => "shri",
+            AluOp::UShr => "ushri",
+        }
+    }
+
+    /// Whether `a op b == b op a` (drives operand-swap in constant
+    /// folding).
+    pub fn commutative(self) -> bool {
+        matches!(self, AluOp::Add | AluOp::Mul | AluOp::And | AluOp::Or | AluOp::Xor)
+    }
+}
+
+/// A comparison producing 0/1 (int or double flavour is carried by the
+/// instruction using it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `==` (NaN-false for doubles).
+    Eq,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+}
+
+impl CmpOp {
+    /// Integer mnemonic ("lti", ...).
+    pub fn mnemonic_i(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "eqi",
+            CmpOp::Lt => "lti",
+            CmpOp::Le => "lei",
+            CmpOp::Gt => "gti",
+            CmpOp::Ge => "gei",
+        }
+    }
+
+    /// Double mnemonic ("ltd", ...).
+    pub fn mnemonic_d(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "eqd",
+            CmpOp::Lt => "ltd",
+            CmpOp::Le => "led",
+            CmpOp::Gt => "gtd",
+            CmpOp::Ge => "ged",
+        }
+    }
+
+    /// The comparison with swapped operands: `a op b == b op.swapped() a`
+    /// (drives folding a constant *left* operand into an immediate form).
+    pub fn swapped(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+}
+
+/// Overflow-checked integer arithmetic (exits to the attached side exit
+/// when the result leaves the boxable 31-bit range, matching the
+/// `AddIChk`/`SubIChk`/`MulIChk`/`ShlIChk`/`UShrIChk` semantics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChkOp {
+    /// Checked add.
+    Add,
+    /// Checked subtract.
+    Sub,
+    /// Checked multiply (also exits on a `-0` result).
+    Mul,
+    /// Checked shift left by `b & 31`.
+    Shl,
+    /// Checked logical (u32) shift right by `b & 31` (exits when the
+    /// unsigned result exceeds the boxable maximum).
+    UShr,
+}
+
+impl ChkOp {
+    /// Mnemonic ("addi.chk", ...).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            ChkOp::Add => "addi.chk",
+            ChkOp::Sub => "subi.chk",
+            ChkOp::Mul => "muli.chk",
+            ChkOp::Shl => "shli.chk",
+            ChkOp::UShr => "ushri.chk",
+        }
+    }
+
+    /// Whether the operands can be swapped.
+    pub fn commutative(self) -> bool {
+        matches!(self, ChkOp::Add | ChkOp::Mul)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mnemonics_cover_all_ops() {
+        assert_eq!(AluOp::UShr.mnemonic(), "ushri");
+        assert_eq!(CmpOp::Ge.mnemonic_i(), "gei");
+        assert_eq!(CmpOp::Ge.mnemonic_d(), "ged");
+        assert_eq!(ChkOp::Mul.mnemonic(), "muli.chk");
+    }
+
+    #[test]
+    fn commutativity() {
+        assert!(AluOp::Add.commutative());
+        assert!(!AluOp::Sub.commutative());
+        assert!(!AluOp::Shl.commutative());
+        assert!(ChkOp::Add.commutative());
+        assert!(!ChkOp::Sub.commutative());
+        assert!(!ChkOp::Shl.commutative());
+        assert!(!ChkOp::UShr.commutative());
+    }
+
+    #[test]
+    fn swapped_is_an_involution_preserving_meaning() {
+        for op in [CmpOp::Eq, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            assert_eq!(op.swapped().swapped(), op);
+        }
+        assert_eq!(CmpOp::Lt.swapped(), CmpOp::Gt);
+        assert_eq!(CmpOp::Le.swapped(), CmpOp::Ge);
+        assert_eq!(CmpOp::Eq.swapped(), CmpOp::Eq);
+    }
+}

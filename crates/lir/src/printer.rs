@@ -1,6 +1,7 @@
 //! LIR pretty-printer, in the style of the paper's Figure 3.
 
 use crate::ir::{Lir, LirTrace};
+use crate::opclass::{AluOp, ChkOp, CmpOp};
 
 /// Renders a trace one instruction per line, e.g.:
 ///
@@ -43,20 +44,26 @@ fn render(inst: &Lir, idx: usize, name: &dyn Fn(u32) -> String) -> String {
         ConstBoxed(w) => def(format!("constboxed {w:#x}")),
         Import { slot, ty } => def(format!("import slot[{slot}] {ty:?}")),
         WriteAr { slot, v } => eff(format!("st ar[{slot}], {}", name(*v))),
-        AddI(a, b) => def(format!("addi {}, {}", name(*a), name(*b))),
-        SubI(a, b) => def(format!("subi {}, {}", name(*a), name(*b))),
-        MulI(a, b) => def(format!("muli {}, {}", name(*a), name(*b))),
-        AndI(a, b) => def(format!("andi {}, {}", name(*a), name(*b))),
-        OrI(a, b) => def(format!("ori {}, {}", name(*a), name(*b))),
-        XorI(a, b) => def(format!("xori {}, {}", name(*a), name(*b))),
-        ShlI(a, b) => def(format!("shli {}, {}", name(*a), name(*b))),
-        ShrI(a, b) => def(format!("shri {}, {}", name(*a), name(*b))),
-        UShrI(a, b) => def(format!("ushri {}, {}", name(*a), name(*b))),
+        AddI(a, b) => def(format!("{} {}, {}", AluOp::Add.mnemonic(), name(*a), name(*b))),
+        SubI(a, b) => def(format!("{} {}, {}", AluOp::Sub.mnemonic(), name(*a), name(*b))),
+        MulI(a, b) => def(format!("{} {}, {}", AluOp::Mul.mnemonic(), name(*a), name(*b))),
+        AndI(a, b) => def(format!("{} {}, {}", AluOp::And.mnemonic(), name(*a), name(*b))),
+        OrI(a, b) => def(format!("{} {}, {}", AluOp::Or.mnemonic(), name(*a), name(*b))),
+        XorI(a, b) => def(format!("{} {}, {}", AluOp::Xor.mnemonic(), name(*a), name(*b))),
+        ShlI(a, b) => def(format!("{} {}, {}", AluOp::Shl.mnemonic(), name(*a), name(*b))),
+        ShrI(a, b) => def(format!("{} {}, {}", AluOp::Shr.mnemonic(), name(*a), name(*b))),
+        UShrI(a, b) => def(format!("{} {}, {}", AluOp::UShr.mnemonic(), name(*a), name(*b))),
         NotI(a) => def(format!("noti {}", name(*a))),
         NegI(a) => def(format!("negi {}", name(*a))),
-        AddIChk(a, b, e) => def(format!("addi.chk {}, {} -> exit{}", name(*a), name(*b), e.0)),
-        SubIChk(a, b, e) => def(format!("subi.chk {}, {} -> exit{}", name(*a), name(*b), e.0)),
-        MulIChk(a, b, e) => def(format!("muli.chk {}, {} -> exit{}", name(*a), name(*b), e.0)),
+        AddIChk(a, b, e) => {
+            def(format!("{} {}, {} -> exit{}", ChkOp::Add.mnemonic(), name(*a), name(*b), e.0))
+        }
+        SubIChk(a, b, e) => {
+            def(format!("{} {}, {} -> exit{}", ChkOp::Sub.mnemonic(), name(*a), name(*b), e.0))
+        }
+        MulIChk(a, b, e) => {
+            def(format!("{} {}, {} -> exit{}", ChkOp::Mul.mnemonic(), name(*a), name(*b), e.0))
+        }
         NegIChk(a, e) => def(format!("negi.chk {} -> exit{}", name(*a), e.0)),
         ModIChk(a, b, e) => def(format!("modi.chk {}, {} -> exit{}", name(*a), name(*b), e.0)),
         ShlIChk(a, b, e) => def(format!("shli.chk {}, {} -> exit{}", name(*a), name(*b), e.0)),
@@ -67,16 +74,16 @@ fn render(inst: &Lir, idx: usize, name: &dyn Fn(u32) -> String) -> String {
         DivD(a, b) => def(format!("divd {}, {}", name(*a), name(*b))),
         ModD(a, b) => def(format!("modd {}, {}", name(*a), name(*b))),
         NegD(a) => def(format!("negd {}", name(*a))),
-        EqI(a, b) => def(format!("eqi {}, {}", name(*a), name(*b))),
-        LtI(a, b) => def(format!("lti {}, {}", name(*a), name(*b))),
-        LeI(a, b) => def(format!("lei {}, {}", name(*a), name(*b))),
-        GtI(a, b) => def(format!("gti {}, {}", name(*a), name(*b))),
-        GeI(a, b) => def(format!("gei {}, {}", name(*a), name(*b))),
-        EqD(a, b) => def(format!("eqd {}, {}", name(*a), name(*b))),
-        LtD(a, b) => def(format!("ltd {}, {}", name(*a), name(*b))),
-        LeD(a, b) => def(format!("led {}, {}", name(*a), name(*b))),
-        GtD(a, b) => def(format!("gtd {}, {}", name(*a), name(*b))),
-        GeD(a, b) => def(format!("ged {}, {}", name(*a), name(*b))),
+        EqI(a, b) => def(format!("{} {}, {}", CmpOp::Eq.mnemonic_i(), name(*a), name(*b))),
+        LtI(a, b) => def(format!("{} {}, {}", CmpOp::Lt.mnemonic_i(), name(*a), name(*b))),
+        LeI(a, b) => def(format!("{} {}, {}", CmpOp::Le.mnemonic_i(), name(*a), name(*b))),
+        GtI(a, b) => def(format!("{} {}, {}", CmpOp::Gt.mnemonic_i(), name(*a), name(*b))),
+        GeI(a, b) => def(format!("{} {}, {}", CmpOp::Ge.mnemonic_i(), name(*a), name(*b))),
+        EqD(a, b) => def(format!("{} {}, {}", CmpOp::Eq.mnemonic_d(), name(*a), name(*b))),
+        LtD(a, b) => def(format!("{} {}, {}", CmpOp::Lt.mnemonic_d(), name(*a), name(*b))),
+        LeD(a, b) => def(format!("{} {}, {}", CmpOp::Le.mnemonic_d(), name(*a), name(*b))),
+        GtD(a, b) => def(format!("{} {}, {}", CmpOp::Gt.mnemonic_d(), name(*a), name(*b))),
+        GeD(a, b) => def(format!("{} {}, {}", CmpOp::Ge.mnemonic_d(), name(*a), name(*b))),
         NotB(a) => def(format!("notb {}", name(*a))),
         I2D(a) => def(format!("i2d {}", name(*a))),
         U2D(a) => def(format!("u2d {}", name(*a))),

@@ -10,7 +10,7 @@
 
 use tm_lir::{Lir, LirId, LirTrace};
 
-use crate::machinst::{ExitTarget, Fragment, MachInst, Reg, NREGS};
+use crate::machinst::{Fragment, MachInst, Reg, NREGS};
 
 /// Assembles an optimized LIR trace into a fragment.
 ///
@@ -59,11 +59,7 @@ pub fn assemble(trace: &LirTrace) -> Fragment {
         }
     }
 
-    Fragment {
-        code: asm.code,
-        num_spills: asm.num_spills,
-        exit_targets: vec![ExitTarget::Return; trace.num_exits as usize],
-    }
+    Fragment::new(asm.code, asm.num_spills, trace.num_exits as usize)
 }
 
 struct Assembler {
@@ -103,6 +99,10 @@ impl Assembler {
     }
 
     fn bind(&mut self, v: LirId, r: Reg) {
+        debug_assert!(
+            (r as usize) < NREGS,
+            "allocator produced out-of-range register r{r} (NREGS = {NREGS})"
+        );
         self.reg_of[v as usize] = Some(r);
         self.contents[r as usize] = Some(v);
         self.last_touch[r as usize] = self.tick;
@@ -120,6 +120,7 @@ impl Assembler {
             .filter(|r| !pinned.contains(r))
             .min_by_key(|&r| self.last_touch[r as usize])
             .expect("more pinned registers than NREGS");
+        debug_assert!((victim_reg as usize) < NREGS);
         let victim = self.contents[victim_reg as usize].expect("occupied");
         // Spill only if the victim is still needed and not already saved.
         if self.spill_of[victim as usize].is_none() {

@@ -7,11 +7,12 @@
 //! which is exactly what the exiting trace's live `WriteAr`s populated);
 //! an unstitched exit returns control to the trace monitor.
 
+use tm_lir::{AluOp, ChkOp, CmpOp};
 use tm_runtime::trace_helpers::{call_helper, f64_from_word, i32_from_word, word_from_f64};
 use tm_runtime::value::{INT_MAX, INT_MIN};
 use tm_runtime::{ObjectId, Realm, RuntimeError, StringId, Value};
 
-use crate::machinst::{ExitTarget, Fragment, MachInst};
+use crate::machinst::{Fragment, MachInst, Reg, EXIT_UNSTITCHED, NREGS, REG_FILE_WORDS, REG_MASK};
 
 /// Host callback for nested-tree calls (§4). Implemented by the trace
 /// monitor, which owns the tree registry and the interpreter state needed
@@ -56,10 +57,25 @@ pub struct TraceExit {
     pub fragment: u32,
     /// The exit id taken.
     pub exit: u16,
-    /// Machine instructions executed during this run.
+    /// Machine instructions dispatched during this run (a fused
+    /// superinstruction counts once).
     pub insts: u64,
+    /// Of `insts`, how many were fused superinstructions.
+    pub fused_insts: u64,
     /// Completed loop-edge crossings (LoopBack executions).
     pub iterations: u64,
+}
+
+/// Register-file index for `reg`. In-range registers make the mask a
+/// no-op; the `debug_assert!` catches allocator bugs that would otherwise
+/// silently alias registers through the mask.
+#[inline(always)]
+fn r(reg: Reg) -> usize {
+    debug_assert!(
+        (reg as usize) < NREGS,
+        "register r{reg} out of range (NREGS = {NREGS}) — regalloc bug"
+    );
+    (reg & REG_MASK) as usize
 }
 
 #[inline]
@@ -67,13 +83,78 @@ fn fits_i31(v: i64) -> bool {
     (INT_MIN..=INT_MAX).contains(&v)
 }
 
+/// Unchecked integer ALU shared by the fused immediate/AR/write-through
+/// forms; semantics identical to the raw per-op match arms.
+#[inline]
+fn alu_i(op: AluOp, x: i32, y: i32) -> i32 {
+    match op {
+        AluOp::Add => x.wrapping_add(y),
+        AluOp::Sub => x.wrapping_sub(y),
+        AluOp::Mul => x.wrapping_mul(y),
+        AluOp::And => x & y,
+        AluOp::Or => x | y,
+        AluOp::Xor => x ^ y,
+        AluOp::Shl => x.wrapping_shl((y & 31) as u32),
+        AluOp::Shr => x.wrapping_shr((y & 31) as u32),
+        AluOp::UShr => (x as u32).wrapping_shr((y & 31) as u32) as i32,
+    }
+}
+
+/// Checked integer arithmetic: `None` means the guard fails (result
+/// outside the boxable 31-bit range, or a `-0` multiply).
+#[inline]
+fn chk_alu_i(op: ChkOp, x: i32, y: i32) -> Option<i64> {
+    let res = match op {
+        ChkOp::Add => i64::from(x) + i64::from(y),
+        ChkOp::Sub => i64::from(x) - i64::from(y),
+        ChkOp::Mul => {
+            let res = i64::from(x) * i64::from(y);
+            // -0 results need the double path.
+            if res == 0 && (x < 0 || y < 0) {
+                return None;
+            }
+            res
+        }
+        // The shifts operate on the 32-bit value, then range-check the
+        // result — identical to the raw ShlIChk/UShrIChk arms (a u32
+        // result is never below INT_MIN, so fits_i31 is exactly the
+        // raw upper-bound check).
+        ChkOp::Shl => i64::from(x.wrapping_shl((y & 31) as u32)),
+        ChkOp::UShr => i64::from((x as u32).wrapping_shr((y & 31) as u32)),
+    };
+    fits_i31(res).then_some(res)
+}
+
+#[inline]
+fn cmp_i(op: CmpOp, x: i32, y: i32) -> bool {
+    match op {
+        CmpOp::Eq => x == y,
+        CmpOp::Lt => x < y,
+        CmpOp::Le => x <= y,
+        CmpOp::Gt => x > y,
+        CmpOp::Ge => x >= y,
+    }
+}
+
+#[inline]
+fn cmp_d(op: CmpOp, x: f64, y: f64) -> bool {
+    match op {
+        CmpOp::Eq => x == y,
+        CmpOp::Lt => x < y,
+        CmpOp::Le => x <= y,
+        CmpOp::Gt => x > y,
+        CmpOp::Ge => x >= y,
+    }
+}
+
 /// Builds the monitor-facing exit record. Unstitched exits are rare
 /// relative to dispatched instructions, so keep the construction (and the
-/// return-path register shuffle it forces) out of the dispatch loop.
+/// return-path register shuffle it forces) out of the dispatch loop. This
+/// is the **only** place a [`TraceExit`] is constructed.
 #[cold]
 #[inline(never)]
-fn trace_exit(fragment: u32, exit: u16, insts: u64, iterations: u64) -> TraceExit {
-    TraceExit { fragment, exit, insts, iterations }
+fn trace_exit(fragment: u32, exit: u16, insts: u64, fused_insts: u64, iterations: u64) -> TraceExit {
+    TraceExit { fragment, exit, insts, fused_insts, iterations }
 }
 
 /// Executes `fragments[start]` (and any fragments reachable through
@@ -98,37 +179,56 @@ pub fn execute(
 ) -> Result<TraceExit, RuntimeError> {
     let mut frag_idx = start;
     let mut frag = &fragments[frag_idx as usize];
-    // Hoisted out of the dispatch loop; refreshed only on fragment switch.
-    let mut exit_targets: &[ExitTarget] = &frag.exit_targets;
+    // Decoded exit-resolution table, hoisted out of the dispatch loop and
+    // refreshed only on fragment switch (no per-exit `ExitTarget` match).
+    let mut stitch: &[u32] = &frag.stitch;
     let mut pc = 0usize;
-    // One past NREGS so masked indexing (`& 15`) elides bounds checks in
-    // the hot dispatch loop.
-    let mut regs = [0u64; 16];
+    // NREGS rounded up to a power of two so masked indexing elides bounds
+    // checks in the hot dispatch loop.
+    let mut regs = [0u64; REG_FILE_WORDS];
     let mut spill = vec![0u64; frag.num_spills as usize];
     let mut insts: u64 = 0;
+    let mut fused: u64 = 0;
     let mut iterations: u64 = 0;
     let mut helper_args: Vec<u64> = Vec::with_capacity(8);
 
     macro_rules! take_exit {
         ($exit:expr) => {{
             let e = $exit;
-            match exit_targets[e as usize] {
-                ExitTarget::Return => {
-                    return Ok(trace_exit(frag_idx, e, insts, iterations));
-                }
-                ExitTarget::Fragment(f) => {
-                    // Trace stitching: continue in the branch fragment
-                    // (resolved to a fragment index at link time).
-                    frag_idx = f;
-                    frag = &fragments[frag_idx as usize];
-                    exit_targets = &frag.exit_targets;
-                    if spill.len() < frag.num_spills as usize {
-                        spill.resize(frag.num_spills as usize, 0);
-                    }
-                    pc = 0;
-                    continue;
-                }
+            let target = stitch[e as usize];
+            if target == EXIT_UNSTITCHED {
+                return Ok(trace_exit(frag_idx, e, insts, fused, iterations));
             }
+            // Trace stitching fast path: continue in the branch fragment
+            // (resolved to a fragment index at link time) without leaving
+            // the dispatch loop.
+            frag_idx = target;
+            frag = &fragments[frag_idx as usize];
+            stitch = &frag.stitch;
+            if spill.len() < frag.num_spills as usize {
+                spill.resize(frag.num_spills as usize, 0);
+            }
+            pc = 0;
+            continue;
+        }};
+    }
+
+    // The loop edge (raw `LoopBack` and the fused loop-edge triples):
+    // preemption flag guard at every crossing (§6.4), the deferred-GC safe
+    // point, then back to the tree anchor (fragment 0, pc 0).
+    macro_rules! loop_edge {
+        ($exit:expr) => {{
+            iterations += 1;
+            if realm.interrupt || realm.heap.gc_pending || insts >= fuel {
+                take_exit!($exit);
+            }
+            frag_idx = 0;
+            frag = &fragments[0];
+            stitch = &frag.stitch;
+            if spill.len() < frag.num_spills as usize {
+                spill.resize(frag.num_spills as usize, 0);
+            }
+            pc = 0;
         }};
     }
 
@@ -137,213 +237,213 @@ pub fn execute(
         pc += 1;
         insts += 1;
         match *inst {
-            MachInst::ConstW { d, w } => regs[(d & 15) as usize] = w,
-            MachInst::Mov { d, s } => regs[(d & 15) as usize] = regs[(s & 15) as usize],
-            MachInst::LoadSpill { d, slot } => regs[(d & 15) as usize] = spill[slot as usize],
-            MachInst::StoreSpill { slot, s } => spill[slot as usize] = regs[(s & 15) as usize],
-            MachInst::ReadAr { d, slot } => regs[(d & 15) as usize] = ar[slot as usize],
-            MachInst::WriteAr { slot, s } => ar[slot as usize] = regs[(s & 15) as usize],
+            MachInst::ConstW { d, w } => regs[r(d)] = w,
+            MachInst::Mov { d, s } => regs[r(d)] = regs[r(s)],
+            MachInst::LoadSpill { d, slot } => regs[r(d)] = spill[slot as usize],
+            MachInst::StoreSpill { slot, s } => spill[slot as usize] = regs[r(s)],
+            MachInst::ReadAr { d, slot } => regs[r(d)] = ar[slot as usize],
+            MachInst::WriteAr { slot, s } => ar[slot as usize] = regs[r(s)],
 
             MachInst::AddI { d, a, b } => {
-                regs[(d & 15) as usize] = i64::from(
-                    i32_from_word(regs[(a & 15) as usize]).wrapping_add(i32_from_word(regs[(b & 15) as usize])),
+                regs[r(d)] = i64::from(
+                    i32_from_word(regs[r(a)]).wrapping_add(i32_from_word(regs[r(b)])),
                 ) as u64;
             }
             MachInst::SubI { d, a, b } => {
-                regs[(d & 15) as usize] = i64::from(
-                    i32_from_word(regs[(a & 15) as usize]).wrapping_sub(i32_from_word(regs[(b & 15) as usize])),
+                regs[r(d)] = i64::from(
+                    i32_from_word(regs[r(a)]).wrapping_sub(i32_from_word(regs[r(b)])),
                 ) as u64;
             }
             MachInst::MulI { d, a, b } => {
-                regs[(d & 15) as usize] = i64::from(
-                    i32_from_word(regs[(a & 15) as usize]).wrapping_mul(i32_from_word(regs[(b & 15) as usize])),
+                regs[r(d)] = i64::from(
+                    i32_from_word(regs[r(a)]).wrapping_mul(i32_from_word(regs[r(b)])),
                 ) as u64;
             }
             MachInst::AndI { d, a, b } => {
-                regs[(d & 15) as usize] =
-                    i64::from(i32_from_word(regs[(a & 15) as usize]) & i32_from_word(regs[(b & 15) as usize]))
+                regs[r(d)] =
+                    i64::from(i32_from_word(regs[r(a)]) & i32_from_word(regs[r(b)]))
                         as u64;
             }
             MachInst::OrI { d, a, b } => {
-                regs[(d & 15) as usize] =
-                    i64::from(i32_from_word(regs[(a & 15) as usize]) | i32_from_word(regs[(b & 15) as usize]))
+                regs[r(d)] =
+                    i64::from(i32_from_word(regs[r(a)]) | i32_from_word(regs[r(b)]))
                         as u64;
             }
             MachInst::XorI { d, a, b } => {
-                regs[(d & 15) as usize] =
-                    i64::from(i32_from_word(regs[(a & 15) as usize]) ^ i32_from_word(regs[(b & 15) as usize]))
+                regs[r(d)] =
+                    i64::from(i32_from_word(regs[r(a)]) ^ i32_from_word(regs[r(b)]))
                         as u64;
             }
             MachInst::ShlI { d, a, b } => {
-                let sh = (i32_from_word(regs[(b & 15) as usize]) & 31) as u32;
-                regs[(d & 15) as usize] =
-                    i64::from(i32_from_word(regs[(a & 15) as usize]).wrapping_shl(sh)) as u64;
+                let sh = (i32_from_word(regs[r(b)]) & 31) as u32;
+                regs[r(d)] =
+                    i64::from(i32_from_word(regs[r(a)]).wrapping_shl(sh)) as u64;
             }
             MachInst::ShrI { d, a, b } => {
-                let sh = (i32_from_word(regs[(b & 15) as usize]) & 31) as u32;
-                regs[(d & 15) as usize] =
-                    i64::from(i32_from_word(regs[(a & 15) as usize]).wrapping_shr(sh)) as u64;
+                let sh = (i32_from_word(regs[r(b)]) & 31) as u32;
+                regs[r(d)] =
+                    i64::from(i32_from_word(regs[r(a)]).wrapping_shr(sh)) as u64;
             }
             MachInst::UShrI { d, a, b } => {
-                let sh = (i32_from_word(regs[(b & 15) as usize]) & 31) as u32;
-                regs[(d & 15) as usize] =
-                    i64::from((i32_from_word(regs[(a & 15) as usize]) as u32).wrapping_shr(sh) as i32)
+                let sh = (i32_from_word(regs[r(b)]) & 31) as u32;
+                regs[r(d)] =
+                    i64::from((i32_from_word(regs[r(a)]) as u32).wrapping_shr(sh) as i32)
                         as u64;
             }
             MachInst::NotI { d, a } => {
-                regs[(d & 15) as usize] = i64::from(!i32_from_word(regs[(a & 15) as usize])) as u64;
+                regs[r(d)] = i64::from(!i32_from_word(regs[r(a)])) as u64;
             }
             MachInst::NegI { d, a } => {
-                regs[(d & 15) as usize] =
-                    i64::from(i32_from_word(regs[(a & 15) as usize]).wrapping_neg()) as u64;
+                regs[r(d)] =
+                    i64::from(i32_from_word(regs[r(a)]).wrapping_neg()) as u64;
             }
 
             MachInst::AddIChk { d, a, b, exit } => {
-                let r = i64::from(i32_from_word(regs[(a & 15) as usize]))
-                    + i64::from(i32_from_word(regs[(b & 15) as usize]));
-                if !fits_i31(r) {
+                let res = i64::from(i32_from_word(regs[r(a)]))
+                    + i64::from(i32_from_word(regs[r(b)]));
+                if !fits_i31(res) {
                     take_exit!(exit);
                 }
-                regs[(d & 15) as usize] = r as u64;
+                regs[r(d)] = res as u64;
             }
             MachInst::SubIChk { d, a, b, exit } => {
-                let r = i64::from(i32_from_word(regs[(a & 15) as usize]))
-                    - i64::from(i32_from_word(regs[(b & 15) as usize]));
-                if !fits_i31(r) {
+                let res = i64::from(i32_from_word(regs[r(a)]))
+                    - i64::from(i32_from_word(regs[r(b)]));
+                if !fits_i31(res) {
                     take_exit!(exit);
                 }
-                regs[(d & 15) as usize] = r as u64;
+                regs[r(d)] = res as u64;
             }
             MachInst::MulIChk { d, a, b, exit } => {
-                let x = i64::from(i32_from_word(regs[(a & 15) as usize]));
-                let y = i64::from(i32_from_word(regs[(b & 15) as usize]));
-                let r = x * y;
+                let x = i64::from(i32_from_word(regs[r(a)]));
+                let y = i64::from(i32_from_word(regs[r(b)]));
+                let res = x * y;
                 // -0 results need the double path.
-                if !fits_i31(r) || (r == 0 && (x < 0 || y < 0)) {
+                if !fits_i31(res) || (res == 0 && (x < 0 || y < 0)) {
                     take_exit!(exit);
                 }
-                regs[(d & 15) as usize] = r as u64;
+                regs[r(d)] = res as u64;
             }
             MachInst::NegIChk { d, a, exit } => {
-                let x = i64::from(i32_from_word(regs[(a & 15) as usize]));
-                let r = -x;
-                if x == 0 || !fits_i31(r) {
+                let x = i64::from(i32_from_word(regs[r(a)]));
+                let res = -x;
+                if x == 0 || !fits_i31(res) {
                     take_exit!(exit);
                 }
-                regs[(d & 15) as usize] = r as u64;
+                regs[r(d)] = res as u64;
             }
             MachInst::ModIChk { d, a, b, exit } => {
-                let x = i32_from_word(regs[(a & 15) as usize]);
-                let y = i32_from_word(regs[(b & 15) as usize]);
+                let x = i32_from_word(regs[r(a)]);
+                let y = i32_from_word(regs[r(b)]);
                 if y == 0 {
                     take_exit!(exit);
                 }
-                let r = x.wrapping_rem(y);
-                if r == 0 && x < 0 {
+                let res = x.wrapping_rem(y);
+                if res == 0 && x < 0 {
                     take_exit!(exit);
                 }
-                regs[(d & 15) as usize] = i64::from(r) as u64;
+                regs[r(d)] = i64::from(res) as u64;
             }
             MachInst::ShlIChk { d, a, b, exit } => {
-                let sh = (i32_from_word(regs[(b & 15) as usize]) & 31) as u32;
-                let r = i32_from_word(regs[(a & 15) as usize]).wrapping_shl(sh);
-                if !fits_i31(i64::from(r)) {
+                let sh = (i32_from_word(regs[r(b)]) & 31) as u32;
+                let res = i32_from_word(regs[r(a)]).wrapping_shl(sh);
+                if !fits_i31(i64::from(res)) {
                     take_exit!(exit);
                 }
-                regs[(d & 15) as usize] = i64::from(r) as u64;
+                regs[r(d)] = i64::from(res) as u64;
             }
             MachInst::UShrIChk { d, a, b, exit } => {
-                let sh = (i32_from_word(regs[(b & 15) as usize]) & 31) as u32;
-                let r = (i32_from_word(regs[(a & 15) as usize]) as u32).wrapping_shr(sh);
-                if i64::from(r) > INT_MAX {
+                let sh = (i32_from_word(regs[r(b)]) & 31) as u32;
+                let res = (i32_from_word(regs[r(a)]) as u32).wrapping_shr(sh);
+                if i64::from(res) > INT_MAX {
                     take_exit!(exit);
                 }
-                regs[(d & 15) as usize] = u64::from(r);
+                regs[r(d)] = u64::from(res);
             }
 
             MachInst::AddD { d, a, b } => {
-                regs[(d & 15) as usize] = word_from_f64(
-                    f64_from_word(regs[(a & 15) as usize]) + f64_from_word(regs[(b & 15) as usize]),
+                regs[r(d)] = word_from_f64(
+                    f64_from_word(regs[r(a)]) + f64_from_word(regs[r(b)]),
                 );
             }
             MachInst::SubD { d, a, b } => {
-                regs[(d & 15) as usize] = word_from_f64(
-                    f64_from_word(regs[(a & 15) as usize]) - f64_from_word(regs[(b & 15) as usize]),
+                regs[r(d)] = word_from_f64(
+                    f64_from_word(regs[r(a)]) - f64_from_word(regs[r(b)]),
                 );
             }
             MachInst::MulD { d, a, b } => {
-                regs[(d & 15) as usize] = word_from_f64(
-                    f64_from_word(regs[(a & 15) as usize]) * f64_from_word(regs[(b & 15) as usize]),
+                regs[r(d)] = word_from_f64(
+                    f64_from_word(regs[r(a)]) * f64_from_word(regs[r(b)]),
                 );
             }
             MachInst::DivD { d, a, b } => {
-                regs[(d & 15) as usize] = word_from_f64(
-                    f64_from_word(regs[(a & 15) as usize]) / f64_from_word(regs[(b & 15) as usize]),
+                regs[r(d)] = word_from_f64(
+                    f64_from_word(regs[r(a)]) / f64_from_word(regs[r(b)]),
                 );
             }
             MachInst::ModD { d, a, b } => {
-                regs[(d & 15) as usize] = word_from_f64(
-                    f64_from_word(regs[(a & 15) as usize]) % f64_from_word(regs[(b & 15) as usize]),
+                regs[r(d)] = word_from_f64(
+                    f64_from_word(regs[r(a)]) % f64_from_word(regs[r(b)]),
                 );
             }
             MachInst::NegD { d, a } => {
-                regs[(d & 15) as usize] = word_from_f64(-f64_from_word(regs[(a & 15) as usize]));
+                regs[r(d)] = word_from_f64(-f64_from_word(regs[r(a)]));
             }
 
             MachInst::EqI { d, a, b } => {
-                regs[(d & 15) as usize] =
-                    u64::from(i32_from_word(regs[(a & 15) as usize]) == i32_from_word(regs[(b & 15) as usize]));
+                regs[r(d)] =
+                    u64::from(i32_from_word(regs[r(a)]) == i32_from_word(regs[r(b)]));
             }
             MachInst::LtI { d, a, b } => {
-                regs[(d & 15) as usize] =
-                    u64::from(i32_from_word(regs[(a & 15) as usize]) < i32_from_word(regs[(b & 15) as usize]));
+                regs[r(d)] =
+                    u64::from(i32_from_word(regs[r(a)]) < i32_from_word(regs[r(b)]));
             }
             MachInst::LeI { d, a, b } => {
-                regs[(d & 15) as usize] =
-                    u64::from(i32_from_word(regs[(a & 15) as usize]) <= i32_from_word(regs[(b & 15) as usize]));
+                regs[r(d)] =
+                    u64::from(i32_from_word(regs[r(a)]) <= i32_from_word(regs[r(b)]));
             }
             MachInst::GtI { d, a, b } => {
-                regs[(d & 15) as usize] =
-                    u64::from(i32_from_word(regs[(a & 15) as usize]) > i32_from_word(regs[(b & 15) as usize]));
+                regs[r(d)] =
+                    u64::from(i32_from_word(regs[r(a)]) > i32_from_word(regs[r(b)]));
             }
             MachInst::GeI { d, a, b } => {
-                regs[(d & 15) as usize] =
-                    u64::from(i32_from_word(regs[(a & 15) as usize]) >= i32_from_word(regs[(b & 15) as usize]));
+                regs[r(d)] =
+                    u64::from(i32_from_word(regs[r(a)]) >= i32_from_word(regs[r(b)]));
             }
             MachInst::EqD { d, a, b } => {
-                regs[(d & 15) as usize] =
-                    u64::from(f64_from_word(regs[(a & 15) as usize]) == f64_from_word(regs[(b & 15) as usize]));
+                regs[r(d)] =
+                    u64::from(f64_from_word(regs[r(a)]) == f64_from_word(regs[r(b)]));
             }
             MachInst::LtD { d, a, b } => {
-                regs[(d & 15) as usize] =
-                    u64::from(f64_from_word(regs[(a & 15) as usize]) < f64_from_word(regs[(b & 15) as usize]));
+                regs[r(d)] =
+                    u64::from(f64_from_word(regs[r(a)]) < f64_from_word(regs[r(b)]));
             }
             MachInst::LeD { d, a, b } => {
-                regs[(d & 15) as usize] =
-                    u64::from(f64_from_word(regs[(a & 15) as usize]) <= f64_from_word(regs[(b & 15) as usize]));
+                regs[r(d)] =
+                    u64::from(f64_from_word(regs[r(a)]) <= f64_from_word(regs[r(b)]));
             }
             MachInst::GtD { d, a, b } => {
-                regs[(d & 15) as usize] =
-                    u64::from(f64_from_word(regs[(a & 15) as usize]) > f64_from_word(regs[(b & 15) as usize]));
+                regs[r(d)] =
+                    u64::from(f64_from_word(regs[r(a)]) > f64_from_word(regs[r(b)]));
             }
             MachInst::GeD { d, a, b } => {
-                regs[(d & 15) as usize] =
-                    u64::from(f64_from_word(regs[(a & 15) as usize]) >= f64_from_word(regs[(b & 15) as usize]));
+                regs[r(d)] =
+                    u64::from(f64_from_word(regs[r(a)]) >= f64_from_word(regs[r(b)]));
             }
             MachInst::NotB { d, a } => {
-                regs[(d & 15) as usize] = u64::from(regs[(a & 15) as usize] == 0);
+                regs[r(d)] = u64::from(regs[r(a)] == 0);
             }
 
             MachInst::I2D { d, a } => {
-                regs[(d & 15) as usize] =
-                    word_from_f64(f64::from(i32_from_word(regs[(a & 15) as usize])));
+                regs[r(d)] =
+                    word_from_f64(f64::from(i32_from_word(regs[r(a)])));
             }
             MachInst::U2D { d, a } => {
-                regs[(d & 15) as usize] =
-                    word_from_f64(f64::from(i32_from_word(regs[(a & 15) as usize]) as u32));
+                regs[r(d)] =
+                    word_from_f64(f64::from(i32_from_word(regs[r(a)]) as u32));
             }
             MachInst::D2IChk { d, a, exit } => {
-                let x = f64_from_word(regs[(a & 15) as usize]);
+                let x = f64_from_word(regs[r(a)]);
                 if x.fract() != 0.0
                     || !fits_i31(x as i64)
                     || x.is_nan()
@@ -351,154 +451,154 @@ pub fn execute(
                 {
                     take_exit!(exit);
                 }
-                regs[(d & 15) as usize] = i64::from(x as i32) as u64;
+                regs[r(d)] = i64::from(x as i32) as u64;
             }
             MachInst::D2I32 { d, a } => {
-                regs[(d & 15) as usize] = i64::from(tm_runtime::ops::double_to_int32(f64_from_word(
-                    regs[(a & 15) as usize],
+                regs[r(d)] = i64::from(tm_runtime::ops::double_to_int32(f64_from_word(
+                    regs[r(a)],
                 ))) as u64;
             }
 
             MachInst::ChkRangeI { d, a, exit } => {
-                let x = i64::from(i32_from_word(regs[(a & 15) as usize]));
+                let x = i64::from(i32_from_word(regs[r(a)]));
                 if !fits_i31(x) {
                     take_exit!(exit);
                 }
-                regs[(d & 15) as usize] = x as u64;
+                regs[r(d)] = x as u64;
             }
             MachInst::BoxI { d, a } => {
-                regs[(d & 15) as usize] =
-                    realm.heap.number_i32(i32_from_word(regs[(a & 15) as usize])).raw();
+                regs[r(d)] =
+                    realm.heap.number_i32(i32_from_word(regs[r(a)])).raw();
             }
             MachInst::BoxD { d, a } => {
-                let v = realm.heap.number(f64_from_word(regs[(a & 15) as usize]));
+                let v = realm.heap.number(f64_from_word(regs[r(a)]));
                 if realm.heap.should_collect() {
                     realm.heap.gc_pending = true;
                 }
-                regs[(d & 15) as usize] = v.raw();
+                regs[r(d)] = v.raw();
             }
             MachInst::BoxB { d, a } => {
-                regs[(d & 15) as usize] = Value::new_bool(regs[(a & 15) as usize] != 0).raw();
+                regs[r(d)] = Value::new_bool(regs[r(a)] != 0).raw();
             }
             MachInst::BoxObj { d, a } => {
-                regs[(d & 15) as usize] = Value::new_object(ObjectId(regs[(a & 15) as usize] as u32)).raw();
+                regs[r(d)] = Value::new_object(ObjectId(regs[r(a)] as u32)).raw();
             }
             MachInst::BoxStr { d, a } => {
-                regs[(d & 15) as usize] = Value::new_string(StringId(regs[(a & 15) as usize] as u32)).raw();
+                regs[r(d)] = Value::new_string(StringId(regs[r(a)] as u32)).raw();
             }
             MachInst::UnboxI { d, a, exit } => {
-                match Value::from_raw(regs[(a & 15) as usize]).as_int() {
-                    Some(i) => regs[(d & 15) as usize] = i64::from(i) as u64,
+                match Value::from_raw(regs[r(a)]).as_int() {
+                    Some(i) => regs[r(d)] = i64::from(i) as u64,
                     None => take_exit!(exit),
                 }
             }
             MachInst::UnboxD { d, a, exit } => {
-                let v = Value::from_raw(regs[(a & 15) as usize]);
+                let v = Value::from_raw(regs[r(a)]);
                 match v.as_double_id() {
-                    Some(id) => regs[(d & 15) as usize] = word_from_f64(realm.heap.double(id)),
+                    Some(id) => regs[r(d)] = word_from_f64(realm.heap.double(id)),
                     None => take_exit!(exit),
                 }
             }
             MachInst::UnboxNumD { d, a, exit } => {
-                let v = Value::from_raw(regs[(a & 15) as usize]);
+                let v = Value::from_raw(regs[r(a)]);
                 match realm.heap.number_value(v) {
-                    Some(x) => regs[(d & 15) as usize] = word_from_f64(x),
+                    Some(x) => regs[r(d)] = word_from_f64(x),
                     None => take_exit!(exit),
                 }
             }
             MachInst::UnboxObj { d, a, exit } => {
-                match Value::from_raw(regs[(a & 15) as usize]).as_object() {
-                    Some(id) => regs[(d & 15) as usize] = u64::from(id.0),
+                match Value::from_raw(regs[r(a)]).as_object() {
+                    Some(id) => regs[r(d)] = u64::from(id.0),
                     None => take_exit!(exit),
                 }
             }
             MachInst::UnboxStr { d, a, exit } => {
-                match Value::from_raw(regs[(a & 15) as usize]).as_string() {
-                    Some(id) => regs[(d & 15) as usize] = u64::from(id.0),
+                match Value::from_raw(regs[r(a)]).as_string() {
+                    Some(id) => regs[r(d)] = u64::from(id.0),
                     None => take_exit!(exit),
                 }
             }
             MachInst::UnboxBool { d, a, exit } => {
-                match Value::from_raw(regs[(a & 15) as usize]).as_bool() {
-                    Some(b) => regs[(d & 15) as usize] = u64::from(b),
+                match Value::from_raw(regs[r(a)]).as_bool() {
+                    Some(b) => regs[r(d)] = u64::from(b),
                     None => take_exit!(exit),
                 }
             }
 
             MachInst::GuardTrue { s, exit } => {
-                if regs[(s & 15) as usize] == 0 {
+                if regs[r(s)] == 0 {
                     take_exit!(exit);
                 }
             }
             MachInst::GuardFalse { s, exit } => {
-                if regs[(s & 15) as usize] != 0 {
+                if regs[r(s)] != 0 {
                     take_exit!(exit);
                 }
             }
             MachInst::GuardShape { obj, shape, exit } => {
-                let o = ObjectId(regs[(obj & 15) as usize] as u32);
+                let o = ObjectId(regs[r(obj)] as u32);
                 if realm.heap.object(o).shape.0 != shape {
                     take_exit!(exit);
                 }
             }
             MachInst::GuardClass { obj, class, exit } => {
-                let o = ObjectId(regs[(obj & 15) as usize] as u32);
+                let o = ObjectId(regs[r(obj)] as u32);
                 if realm.heap.object(o).class as u8 != class {
                     take_exit!(exit);
                 }
             }
             MachInst::GuardBoxedEq { s, w, exit } => {
-                if regs[(s & 15) as usize] != w {
+                if regs[r(s)] != w {
                     take_exit!(exit);
                 }
             }
             MachInst::GuardBound { arr, idx, exit } => {
-                let o = ObjectId(regs[(arr & 15) as usize] as u32);
-                let i = i32_from_word(regs[(idx & 15) as usize]);
+                let o = ObjectId(regs[r(arr)] as u32);
+                let i = i32_from_word(regs[r(idx)]);
                 if i < 0 || i as usize >= realm.heap.object(o).elements.len() {
                     take_exit!(exit);
                 }
             }
 
             MachInst::LoadSlot { d, o, slot } => {
-                let oid = ObjectId(regs[(o & 15) as usize] as u32);
-                regs[(d & 15) as usize] = realm.heap.object(oid).slots[slot as usize].raw();
+                let oid = ObjectId(regs[r(o)] as u32);
+                regs[r(d)] = realm.heap.object(oid).slots[slot as usize].raw();
             }
             MachInst::StoreSlot { o, slot, s } => {
-                let oid = ObjectId(regs[(o & 15) as usize] as u32);
+                let oid = ObjectId(regs[r(o)] as u32);
                 realm.heap.object_mut(oid).slots[slot as usize] =
-                    Value::from_raw(regs[(s & 15) as usize]);
+                    Value::from_raw(regs[r(s)]);
             }
             MachInst::LoadProto { d, o } => {
-                let oid = ObjectId(regs[(o & 15) as usize] as u32);
+                let oid = ObjectId(regs[r(o)] as u32);
                 let proto = realm.heap.object(oid).proto.expect("proto guarded by recording");
-                regs[(d & 15) as usize] = u64::from(proto.0);
+                regs[r(d)] = u64::from(proto.0);
             }
             MachInst::LoadElem { d, a, i } => {
-                let oid = ObjectId(regs[(a & 15) as usize] as u32);
-                let idx = i32_from_word(regs[(i & 15) as usize]) as usize;
-                regs[(d & 15) as usize] = realm.heap.object(oid).elements[idx].raw();
+                let oid = ObjectId(regs[r(a)] as u32);
+                let idx = i32_from_word(regs[r(i)]) as usize;
+                regs[r(d)] = realm.heap.object(oid).elements[idx].raw();
             }
             MachInst::StoreElem { a, i, s } => {
-                let oid = ObjectId(regs[(a & 15) as usize] as u32);
-                let idx = i32_from_word(regs[(i & 15) as usize]) as u32;
-                let v = Value::from_raw(regs[(s & 15) as usize]);
+                let oid = ObjectId(regs[r(a)] as u32);
+                let idx = i32_from_word(regs[r(i)]) as u32;
+                let v = Value::from_raw(regs[r(s)]);
                 realm.heap.object_mut(oid).set_element(idx, v);
             }
             MachInst::ArrayLen { d, a } => {
-                let oid = ObjectId(regs[(a & 15) as usize] as u32);
-                regs[(d & 15) as usize] = u64::from(realm.heap.object(oid).array_length());
+                let oid = ObjectId(regs[r(a)] as u32);
+                regs[r(d)] = u64::from(realm.heap.object(oid).array_length());
             }
             MachInst::StrLen { d, a } => {
-                let sid = StringId(regs[(a & 15) as usize] as u32);
-                regs[(d & 15) as usize] = realm.heap.string(sid).len() as u64;
+                let sid = StringId(regs[r(a)] as u32);
+                regs[r(d)] = realm.heap.string(sid).len() as u64;
             }
 
             MachInst::CallHelper { d, helper, ref args, exit } => {
                 helper_args.clear();
-                helper_args.extend(args.iter().map(|&r| regs[(r & 15) as usize]));
+                helper_args.extend(args.iter().map(|&s| regs[r(s)]));
                 let result = call_helper(realm, helper, &helper_args)?;
-                regs[(d & 15) as usize] = result;
+                regs[r(d)] = result;
                 if realm.reentered_during_trace {
                     // §6.5: a reentrant external call forces the trace to
                     // exit immediately after the call returns.
@@ -511,22 +611,192 @@ pub fn execute(
                     take_exit!(exit);
                 }
             }
-            MachInst::LoopBack { exit } => {
-                iterations += 1;
-                if realm.interrupt || realm.heap.gc_pending || insts >= fuel {
-                    // Preemption flag guard at every loop edge (§6.4) and
-                    // the deferred-GC safe point.
+            MachInst::LoopBack { exit } => loop_edge!(exit),
+            MachInst::End { exit } => take_exit!(exit),
+
+            // ----- fused superinstructions (emitted by the peephole pass) -----
+            MachInst::CmpBranchI { op, want, a, b, exit } => {
+                fused += 1;
+                if cmp_i(op, i32_from_word(regs[r(a)]), i32_from_word(regs[r(b)])) != want {
                     take_exit!(exit);
                 }
-                frag_idx = 0;
-                frag = &fragments[0];
-                exit_targets = &frag.exit_targets;
-                if spill.len() < frag.num_spills as usize {
-                    spill.resize(frag.num_spills as usize, 0);
-                }
-                pc = 0;
             }
-            MachInst::End { exit } => take_exit!(exit),
+            MachInst::CmpBranchD { op, want, a, b, exit } => {
+                fused += 1;
+                if cmp_d(op, f64_from_word(regs[r(a)]), f64_from_word(regs[r(b)])) != want {
+                    take_exit!(exit);
+                }
+            }
+            MachInst::CmpBranchLoopI { op, want, a, b, exit, loop_exit } => {
+                fused += 1;
+                if cmp_i(op, i32_from_word(regs[r(a)]), i32_from_word(regs[r(b)])) != want {
+                    take_exit!(exit);
+                }
+                loop_edge!(loop_exit);
+            }
+            MachInst::CmpBranchLoopD { op, want, a, b, exit, loop_exit } => {
+                fused += 1;
+                if cmp_d(op, f64_from_word(regs[r(a)]), f64_from_word(regs[r(b)])) != want {
+                    take_exit!(exit);
+                }
+                loop_edge!(loop_exit);
+            }
+            MachInst::AluImmI { op, d, a, imm } => {
+                fused += 1;
+                regs[r(d)] = i64::from(alu_i(op, i32_from_word(regs[r(a)]), imm)) as u64;
+            }
+            MachInst::AluArI { op, d, slot, b } => {
+                fused += 1;
+                let x = i32_from_word(ar[slot as usize]);
+                regs[r(d)] = i64::from(alu_i(op, x, i32_from_word(regs[r(b)]))) as u64;
+            }
+            MachInst::AluWrI { op, d, a, b, slot } => {
+                fused += 1;
+                let v =
+                    i64::from(alu_i(op, i32_from_word(regs[r(a)]), i32_from_word(regs[r(b)])))
+                        as u64;
+                regs[r(d)] = v;
+                ar[slot as usize] = v;
+            }
+            MachInst::AluImmWrI { op, d, a, imm, slot } => {
+                fused += 1;
+                let v = i64::from(alu_i(op, i32_from_word(regs[r(a)]), imm)) as u64;
+                regs[r(d)] = v;
+                ar[slot as usize] = v;
+            }
+            MachInst::ChkAluImmI { op, d, a, imm, exit } => {
+                fused += 1;
+                match chk_alu_i(op, i32_from_word(regs[r(a)]), imm) {
+                    Some(res) => regs[r(d)] = res as u64,
+                    None => take_exit!(exit),
+                }
+            }
+            MachInst::ChkAluWrI { op, d, a, b, exit, slot } => {
+                fused += 1;
+                match chk_alu_i(op, i32_from_word(regs[r(a)]), i32_from_word(regs[r(b)])) {
+                    Some(res) => {
+                        regs[r(d)] = res as u64;
+                        ar[slot as usize] = res as u64;
+                    }
+                    None => take_exit!(exit),
+                }
+            }
+            MachInst::ChkAluImmWrI { op, d, a, imm, exit, slot } => {
+                fused += 1;
+                match chk_alu_i(op, i32_from_word(regs[r(a)]), imm) {
+                    Some(res) => {
+                        regs[r(d)] = res as u64;
+                        ar[slot as usize] = res as u64;
+                    }
+                    None => take_exit!(exit),
+                }
+            }
+            MachInst::ChkAluImmWrLoopI { op, d, a, imm, slot, exit, loop_exit } => {
+                fused += 1;
+                match chk_alu_i(op, i32_from_word(regs[r(a)]), imm) {
+                    Some(res) => {
+                        regs[r(d)] = res as u64;
+                        ar[slot as usize] = res as u64;
+                    }
+                    None => take_exit!(exit),
+                }
+                loop_edge!(loop_exit);
+            }
+            MachInst::ConstWrAr { d, w, slot } => {
+                fused += 1;
+                regs[r(d)] = w;
+                ar[slot as usize] = w;
+            }
+            MachInst::MovAr { d, src, dst } => {
+                fused += 1;
+                let v = ar[src as usize];
+                regs[r(d)] = v;
+                ar[dst as usize] = v;
+            }
+            MachInst::WriteAr2 { slot_a, s_a, slot_b, s_b } => {
+                fused += 1;
+                ar[slot_a as usize] = regs[r(s_a)];
+                ar[slot_b as usize] = regs[r(s_b)];
+            }
+            MachInst::WriteAr3 { slot_a, s_a, slot_b, s_b, slot_c, s_c } => {
+                fused += 1;
+                ar[slot_a as usize] = regs[r(s_a)];
+                ar[slot_b as usize] = regs[r(s_b)];
+                ar[slot_c as usize] = regs[r(s_c)];
+            }
+            MachInst::AluArWrI { op, d, slot_a, b, slot_d } => {
+                fused += 1;
+                let x = i32_from_word(ar[slot_a as usize]);
+                let v = i64::from(alu_i(op, x, i32_from_word(regs[r(b)]))) as u64;
+                regs[r(d)] = v;
+                ar[slot_d as usize] = v;
+            }
+            MachInst::CmpImmI { op, d, a, imm } => {
+                fused += 1;
+                regs[r(d)] = u64::from(cmp_i(op, i32_from_word(regs[r(a)]), imm));
+            }
+            MachInst::CmpWrI { op, d, a, b, slot } => {
+                fused += 1;
+                let v = u64::from(cmp_i(
+                    op,
+                    i32_from_word(regs[r(a)]),
+                    i32_from_word(regs[r(b)]),
+                ));
+                regs[r(d)] = v;
+                ar[slot as usize] = v;
+            }
+            MachInst::CmpWrD { op, d, a, b, slot } => {
+                fused += 1;
+                let v = u64::from(cmp_d(
+                    op,
+                    f64_from_word(regs[r(a)]),
+                    f64_from_word(regs[r(b)]),
+                ));
+                regs[r(d)] = v;
+                ar[slot as usize] = v;
+            }
+            MachInst::CmpImmWrI { op, d, a, imm, slot } => {
+                fused += 1;
+                let v = u64::from(cmp_i(op, i32_from_word(regs[r(a)]), imm));
+                regs[r(d)] = v;
+                ar[slot as usize] = v;
+            }
+            MachInst::CmpBranchImmI { op, want, a, imm, exit } => {
+                fused += 1;
+                if cmp_i(op, i32_from_word(regs[r(a)]), imm) != want {
+                    take_exit!(exit);
+                }
+            }
+            // The Wr-branch forms write the register and the AR slot
+            // *before* the exit check, matching the raw order (a failing
+            // exit must see the stored condition).
+            MachInst::CmpWrBranchI { op, want, d, a, b, slot, exit } => {
+                fused += 1;
+                let c = cmp_i(op, i32_from_word(regs[r(a)]), i32_from_word(regs[r(b)]));
+                regs[r(d)] = u64::from(c);
+                ar[slot as usize] = u64::from(c);
+                if c != want {
+                    take_exit!(exit);
+                }
+            }
+            MachInst::CmpWrBranchD { op, want, d, a, b, slot, exit } => {
+                fused += 1;
+                let c = cmp_d(op, f64_from_word(regs[r(a)]), f64_from_word(regs[r(b)]));
+                regs[r(d)] = u64::from(c);
+                ar[slot as usize] = u64::from(c);
+                if c != want {
+                    take_exit!(exit);
+                }
+            }
+            MachInst::CmpImmWrBranchI { op, want, d, a, imm, slot, exit } => {
+                fused += 1;
+                let c = cmp_i(op, i32_from_word(regs[r(a)]), imm);
+                regs[r(d)] = u64::from(c);
+                ar[slot as usize] = u64::from(c);
+                if c != want {
+                    take_exit!(exit);
+                }
+            }
         }
     }
 }
@@ -535,6 +805,8 @@ pub fn execute(
 mod tests {
     use super::*;
     use crate::assembler::assemble;
+    use crate::machinst::ExitTarget;
+    use crate::peephole::fuse;
     use tm_lir::{FilterOptions, Lir, LirBuffer, LirType};
 
     /// Builds the classic counting loop: slot0 += 1 until slot0 >= slot1.
@@ -630,7 +902,7 @@ mod tests {
         let branch = assemble(b2.trace());
 
         // Stitch trunk exit 0 to the branch fragment.
-        trunk.exit_targets[0] = ExitTarget::Fragment(1);
+        trunk.set_exit_target(0, ExitTarget::Fragment(1));
         let frags = vec![trunk, branch];
 
         let mut realm = Realm::new();
@@ -734,5 +1006,202 @@ mod tests {
         let mut ar = vec![u64::from(a.0), 7, 0];
         let exit = execute(&frags, 0, &mut ar, &mut realm, &mut NoNesting, u64::MAX).unwrap();
         assert_eq!(exit.exit, 0);
+    }
+
+    #[test]
+    fn fused_counting_loop_same_result_fewer_dispatches() {
+        let raw = counting_tree();
+        let fused: Vec<Fragment> = raw.iter().cloned().map(fuse).collect();
+
+        let mut realm = Realm::new();
+        let mut ar = vec![0u64, 100u64];
+        let raw_exit =
+            execute(&raw, 0, &mut ar, &mut realm, &mut NoNesting, u64::MAX).unwrap();
+
+        let mut realm = Realm::new();
+        let mut ar2 = vec![0u64, 100u64];
+        let fused_exit =
+            execute(&fused, 0, &mut ar2, &mut realm, &mut NoNesting, u64::MAX).unwrap();
+
+        assert_eq!(fused_exit.exit, raw_exit.exit);
+        assert_eq!(fused_exit.iterations, raw_exit.iterations);
+        assert_eq!(ar2, ar, "fusion must preserve the activation record");
+        assert!(fused_exit.fused_insts > 0, "superinstructions were dispatched");
+        assert!(
+            fused_exit.insts * 2 <= raw_exit.insts + 8,
+            "counting loop should dispatch about half the instructions \
+             (raw {} vs fused {})",
+            raw_exit.insts,
+            fused_exit.insts
+        );
+        assert_eq!(raw_exit.fused_insts, 0, "unfused code dispatches no superinsts");
+    }
+
+    #[test]
+    fn spill_store_reload_round_trip_executes_correctly() {
+        // More live values than registers: the allocator must spill, and
+        // the executed result must still be the exact sum.
+        let mut b = LirBuffer::new(FilterOptions { cse: false, fold: false, ..Default::default() });
+        let n = crate::machinst::NREGS + 8;
+        let vals: Vec<_> = (0..n)
+            .map(|i| b.emit(Lir::Import { slot: i as u16, ty: LirType::Int }))
+            .collect();
+        // Consume in reverse so early values must be reloaded from spill.
+        let mut acc = vals[n - 1];
+        for &v in vals.iter().rev().skip(1) {
+            acc = b.emit(Lir::AddI(acc, v));
+        }
+        b.emit(Lir::WriteAr { slot: 0, v: acc });
+        let e_end = b.alloc_exit();
+        b.emit(Lir::End(e_end));
+        let raw = assemble(b.trace());
+        assert!(raw.num_spills > 0, "test requires spill traffic");
+
+        let expected: i64 = (1..=n as i64).sum();
+        for frag in [raw.clone(), fuse(raw)] {
+            let mut realm = Realm::new();
+            let mut ar: Vec<u64> = (1..=n as u64).collect();
+            let exit =
+                execute(&[frag], 0, &mut ar, &mut realm, &mut NoNesting, u64::MAX).unwrap();
+            assert_eq!(exit.exit, 0);
+            assert_eq!(ar[0] as i64, expected);
+        }
+    }
+
+    #[test]
+    fn i31_overflow_guard_boundary_values() {
+        assert!(fits_i31(INT_MAX as i64));
+        assert!(!fits_i31(INT_MAX as i64 + 1));
+        assert!(fits_i31(INT_MIN as i64));
+        assert!(!fits_i31(INT_MIN as i64 - 1));
+
+        // slot0 += 1 with overflow check, then end.
+        let mut b = LirBuffer::new(FilterOptions::default());
+        let x = b.emit(Lir::Import { slot: 0, ty: LirType::Int });
+        let one = b.emit(Lir::ConstI(1));
+        let e_ovf = b.alloc_exit();
+        let next = b.emit(Lir::AddIChk(x, one, e_ovf));
+        b.emit(Lir::WriteAr { slot: 0, v: next });
+        let e_end = b.alloc_exit();
+        b.emit(Lir::End(e_end));
+        let raw = assemble(b.trace());
+
+        for frag in [raw.clone(), fuse(raw)] {
+            let frags = vec![frag];
+            // INT_MAX - 1 + 1 == INT_MAX: still in range.
+            let mut realm = Realm::new();
+            let mut ar = vec![(INT_MAX - 1) as u64];
+            let exit =
+                execute(&frags, 0, &mut ar, &mut realm, &mut NoNesting, u64::MAX).unwrap();
+            assert_eq!(exit.exit, 1);
+            assert_eq!(ar[0] as i64, i64::from(INT_MAX));
+            // INT_MAX + 1: exactly one past the boundary takes the guard.
+            let mut ar = vec![INT_MAX as u64];
+            let exit =
+                execute(&frags, 0, &mut ar, &mut realm, &mut NoNesting, u64::MAX).unwrap();
+            assert_eq!(exit.exit, 0, "overflow guard fires exactly at the boundary");
+            assert_eq!(ar[0] as i64, i64::from(INT_MAX), "AR unchanged on guard exit");
+        }
+
+        // slot0 -= 1 checked: underflow boundary.
+        let mut b = LirBuffer::new(FilterOptions::default());
+        let x = b.emit(Lir::Import { slot: 0, ty: LirType::Int });
+        let one = b.emit(Lir::ConstI(1));
+        let e_ovf = b.alloc_exit();
+        let next = b.emit(Lir::SubIChk(x, one, e_ovf));
+        b.emit(Lir::WriteAr { slot: 0, v: next });
+        let e_end = b.alloc_exit();
+        b.emit(Lir::End(e_end));
+        let raw = assemble(b.trace());
+        for frag in [raw.clone(), fuse(raw)] {
+            let frags = vec![frag];
+            let mut realm = Realm::new();
+            let mut ar = vec![INT_MIN as i64 as u64];
+            let exit =
+                execute(&frags, 0, &mut ar, &mut realm, &mut NoNesting, u64::MAX).unwrap();
+            assert_eq!(exit.exit, 0, "underflow guard fires exactly at the boundary");
+        }
+    }
+
+    #[test]
+    fn stitched_exit_transfers_values_through_ar_when_fused() {
+        // Same shape as trace_stitching_transfers_to_branch_fragment, but
+        // both fragments run through the peephole pass: the stitched
+        // transfer must still see every trunk WriteAr in the AR.
+        let mut b = LirBuffer::new(FilterOptions::default());
+        let i = b.emit(Lir::Import { slot: 0, ty: LirType::Int });
+        let ten = b.emit(Lir::ConstI(10));
+        let cond = b.emit(Lir::LtI(i, ten));
+        let e_branch = b.alloc_exit();
+        b.emit(Lir::GuardTrue(cond, e_branch));
+        let one = b.emit(Lir::ConstI(1));
+        let e_ovf = b.alloc_exit();
+        let next = b.emit(Lir::AddIChk(i, one, e_ovf));
+        b.emit(Lir::WriteAr { slot: 0, v: next });
+        let e_loop = b.alloc_exit();
+        b.emit(Lir::LoopBack(e_loop));
+        let mut trunk = fuse(assemble(b.trace()));
+
+        let mut b2 = LirBuffer::new(FilterOptions::default());
+        let i2 = b2.emit(Lir::Import { slot: 0, ty: LirType::Int });
+        let two = b2.emit(Lir::ConstI(2));
+        let e2 = b2.alloc_exit();
+        let dbl = b2.emit(Lir::MulIChk(i2, two, e2));
+        b2.emit(Lir::WriteAr { slot: 1, v: dbl });
+        let e_end = b2.alloc_exit();
+        b2.emit(Lir::End(e_end));
+        let branch = fuse(assemble(b2.trace()));
+
+        trunk.set_exit_target(0, ExitTarget::Fragment(1));
+        let frags = vec![trunk, branch];
+
+        let mut realm = Realm::new();
+        let mut ar = vec![0u64, 0u64];
+        let exit = execute(&frags, 0, &mut ar, &mut realm, &mut NoNesting, u64::MAX).unwrap();
+        assert_eq!(exit.fragment, 1);
+        assert_eq!(exit.exit, 1);
+        assert_eq!(ar[0] as i64, 10, "trunk's final WriteAr visible across the stitch");
+        assert_eq!(ar[1] as i64, 20, "branch computed from the transferred value");
+    }
+
+    #[test]
+    fn call_tree_false_takes_the_attached_exit() {
+        struct Scripted(bool);
+        impl TreeHost for Scripted {
+            fn call_tree(
+                &mut self,
+                _tree: u32,
+                ar: &mut [u64],
+                _realm: &mut Realm,
+            ) -> Result<bool, RuntimeError> {
+                ar[1] = 7;
+                Ok(self.0)
+            }
+        }
+
+        let mut b = LirBuffer::new(FilterOptions::default());
+        let e_nest = b.alloc_exit();
+        b.emit(Lir::CallTree { tree: 3, exit: e_nest });
+        let x = b.emit(Lir::Import { slot: 1, ty: LirType::Int });
+        b.emit(Lir::WriteAr { slot: 0, v: x });
+        let e_end = b.alloc_exit();
+        b.emit(Lir::End(e_end));
+        let frags = vec![assemble(b.trace())];
+
+        // Ok(false): the nesting guard fails — the outer trace must take
+        // the CallTree's side exit without running the rest.
+        let mut realm = Realm::new();
+        let mut ar = vec![0u64, 0u64];
+        let exit = execute(&frags, 0, &mut ar, &mut realm, &mut Scripted(false), u64::MAX)
+            .unwrap();
+        assert_eq!(exit.exit, 0, "Ok(false) takes the CallTree exit");
+        assert_eq!(ar[0], 0, "code after the call must not run");
+
+        // Ok(true): execution continues past the nested call.
+        let mut ar = vec![0u64, 0u64];
+        let exit = execute(&frags, 0, &mut ar, &mut realm, &mut Scripted(true), u64::MAX)
+            .unwrap();
+        assert_eq!(exit.exit, 1);
+        assert_eq!(ar[0], 7, "inner tree's AR writes visible to the outer trace");
     }
 }

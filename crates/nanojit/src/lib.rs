@@ -16,7 +16,12 @@
 pub mod assembler;
 pub mod executor;
 pub mod machinst;
+pub mod peephole;
 
 pub use assembler::assemble;
 pub use executor::{execute, NoNesting, TraceExit, TreeHost};
-pub use machinst::{ExitTarget, Fragment, MachInst, Reg, NREGS};
+pub use machinst::{
+    ExitTarget, Fragment, FuseStats, MachInst, Reg, EXIT_UNSTITCHED, NREGS, REG_FILE_WORDS,
+    REG_MASK,
+};
+pub use peephole::fuse;

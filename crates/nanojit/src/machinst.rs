@@ -8,7 +8,20 @@
 //! stack traffic, and guards compiled to single compare-and-exit
 //! operations — the Figure 4 profile ("most LIR instructions compile to a
 //! single x86 instruction").
+//!
+//! The ISA has two layers:
+//!
+//! * **Raw instructions** — what the assembler emits, one per LIR op (plus
+//!   allocator moves/spills).
+//! * **Fused superinstructions** — emitted only by the peephole pass
+//!   ([`crate::peephole::fuse`]), each standing in for 2–3 adjacent raw
+//!   instructions. These model what real NanoJIT gets for free from x86:
+//!   immediate operands, memory-operand addressing modes, and macro-fused
+//!   compare-and-branch. In the decode-loop substitution every dispatched
+//!   instruction costs a match arm, so shrinking the dispatched stream is
+//!   the direct analogue of emitting denser machine code.
 
+use tm_lir::{AluOp, ChkOp, CmpOp};
 use tm_runtime::Helper;
 
 /// A virtual register index.
@@ -17,6 +30,19 @@ pub type Reg = u8;
 /// Number of general registers the allocator may use (deliberately small,
 /// x86-like, so the spill logic of §5.2 is actually exercised).
 pub const NREGS: usize = 12;
+
+/// Size of the executor's register file: `NREGS` rounded up to a power of
+/// two so indexing can be masked instead of bounds-checked.
+pub const REG_FILE_WORDS: usize = NREGS.next_power_of_two();
+
+/// Mask deriving a register-file index from a [`Reg`]. Shared by the
+/// executor and the allocator's `debug_assert!`s — the only in-range
+/// registers are `0..NREGS`, so masking is a no-op on well-formed code.
+pub const REG_MASK: u8 = (REG_FILE_WORDS - 1) as Reg;
+
+/// Sentinel in [`Fragment::stitch`]: this exit returns to the monitor
+/// rather than jumping to a stitched fragment.
+pub const EXIT_UNSTITCHED: u32 = u32::MAX;
 
 /// A machine instruction of the virtual ISA. `d` = destination register,
 /// `a`/`b`/`s` = source registers; doubles travel as IEEE-754 bit patterns
@@ -227,6 +253,446 @@ pub enum MachInst {
     LoopBack { exit: u16 },
     /// Unconditional exit.
     End { exit: u16 },
+
+    // ----- fused superinstructions (peephole pass only) -----
+    /// Fused compare + guard: exit unless `cmp_i(op, a, b) == want`.
+    /// Replaces a compare whose result fed exactly one `GuardTrue`
+    /// (`want: true`) / `GuardFalse` (`want: false`).
+    CmpBranchI { op: CmpOp, want: bool, a: Reg, b: Reg, exit: u16 },
+    /// Fused double compare + guard.
+    CmpBranchD { op: CmpOp, want: bool, a: Reg, b: Reg, exit: u16 },
+    /// Fused loop-edge triple: compare + guard + `LoopBack`. Exits via
+    /// `exit` when the compare misses `want`, via `loop_exit` on
+    /// preemption/GC at the loop edge, otherwise jumps to the anchor.
+    CmpBranchLoopI { op: CmpOp, want: bool, a: Reg, b: Reg, exit: u16, loop_exit: u16 },
+    /// Double-compare flavour of the loop-edge triple.
+    CmpBranchLoopD { op: CmpOp, want: bool, a: Reg, b: Reg, exit: u16, loop_exit: u16 },
+    /// `d = op(a, imm)` — immediate-operand ALU (`ConstW` folded in).
+    AluImmI { op: AluOp, d: Reg, a: Reg, imm: i32 },
+    /// `d = op(ar[slot], b)` — AR-operand ALU (`ReadAr` folded in).
+    AluArI { op: AluOp, d: Reg, slot: u16, b: Reg },
+    /// `d = op(a, b); ar[slot] = d` — ALU + `WriteAr`.
+    AluWrI { op: AluOp, d: Reg, a: Reg, b: Reg, slot: u16 },
+    /// `d = op(a, imm); ar[slot] = d` — immediate ALU + `WriteAr`.
+    AluImmWrI { op: AluOp, d: Reg, a: Reg, imm: i32, slot: u16 },
+    /// Checked `d = op(a, imm)`; exits on overflow like the raw checked op.
+    ChkAluImmI { op: ChkOp, d: Reg, a: Reg, imm: i32, exit: u16 },
+    /// Checked `d = op(a, b); ar[slot] = d`.
+    ChkAluWrI { op: ChkOp, d: Reg, a: Reg, b: Reg, exit: u16, slot: u16 },
+    /// Checked `d = op(a, imm); ar[slot] = d`.
+    ChkAluImmWrI { op: ChkOp, d: Reg, a: Reg, imm: i32, exit: u16, slot: u16 },
+    /// Loop-tail quad: checked `d = op(a, imm); ar[slot] = d`, then the
+    /// loop edge (`LoopBack` semantics: `loop_exit` on preemption/GC,
+    /// otherwise jump to the anchor). The overflow check exits *before*
+    /// the register/AR writes, exactly like the raw sequence.
+    ChkAluImmWrLoopI { op: ChkOp, d: Reg, a: Reg, imm: i32, slot: u16, exit: u16, loop_exit: u16 },
+    /// `d = w; ar[slot] = w` — `ConstW` + `WriteAr` (any word: int,
+    /// double bits, or a boxed value).
+    ConstWrAr { d: Reg, w: u64, slot: u16 },
+    /// `d = ar[src]; ar[dst] = d` — `ReadAr` + `WriteAr`, an AR-to-AR
+    /// move through a register (stack shuffles at call boundaries).
+    MovAr { d: Reg, src: u16, dst: u16 },
+    /// Two consecutive AR stores (performed in order, so duplicate slots
+    /// behave exactly like the raw pair).
+    WriteAr2 { slot_a: u16, s_a: Reg, slot_b: u16, s_b: Reg },
+    /// Three consecutive AR stores (in order).
+    WriteAr3 { slot_a: u16, s_a: Reg, slot_b: u16, s_b: Reg, slot_c: u16, s_c: Reg },
+    /// `d = op(ar[slot_a], b); ar[slot_d] = d` — `ReadAr` + ALU +
+    /// `WriteAr`, the full memory-to-memory x86 addressing-mode analogue.
+    AluArWrI { op: AluOp, d: Reg, slot_a: u16, b: Reg, slot_d: u16 },
+    /// `d = cmp_i(op, a, imm)` — integer compare with immediate.
+    CmpImmI { op: CmpOp, d: Reg, a: Reg, imm: i32 },
+    /// `d = cmp_i(op, a, b); ar[slot] = d` — compare + result write-back
+    /// (the recorder stores every branch condition to the AR for exits).
+    CmpWrI { op: CmpOp, d: Reg, a: Reg, b: Reg, slot: u16 },
+    /// Double flavour of [`MachInst::CmpWrI`].
+    CmpWrD { op: CmpOp, d: Reg, a: Reg, b: Reg, slot: u16 },
+    /// `d = cmp_i(op, a, imm); ar[slot] = d`.
+    CmpImmWrI { op: CmpOp, d: Reg, a: Reg, imm: i32, slot: u16 },
+    /// Immediate compare + guard (the 0/1 result was dead): exit unless
+    /// `cmp_i(op, a, imm) == want`.
+    CmpBranchImmI { op: CmpOp, want: bool, a: Reg, imm: i32, exit: u16 },
+    /// Compare + result write-back + guard. `d` and `ar[slot]` are
+    /// written (in that order) *before* the exit check, exactly like the
+    /// raw triple — a failing exit still sees the stored condition.
+    CmpWrBranchI { op: CmpOp, want: bool, d: Reg, a: Reg, b: Reg, slot: u16, exit: u16 },
+    /// Double flavour of [`MachInst::CmpWrBranchI`].
+    CmpWrBranchD { op: CmpOp, want: bool, d: Reg, a: Reg, b: Reg, slot: u16, exit: u16 },
+    /// Immediate compare + result write-back + guard.
+    CmpImmWrBranchI { op: CmpOp, want: bool, d: Reg, a: Reg, imm: i32, slot: u16, exit: u16 },
+}
+
+impl MachInst {
+    /// The register this instruction writes, if any.
+    pub fn dest(&self) -> Option<Reg> {
+        use MachInst::*;
+        match self {
+            ConstW { d, .. }
+            | Mov { d, .. }
+            | LoadSpill { d, .. }
+            | ReadAr { d, .. }
+            | AddI { d, .. }
+            | SubI { d, .. }
+            | MulI { d, .. }
+            | AndI { d, .. }
+            | OrI { d, .. }
+            | XorI { d, .. }
+            | ShlI { d, .. }
+            | ShrI { d, .. }
+            | UShrI { d, .. }
+            | NotI { d, .. }
+            | NegI { d, .. }
+            | AddIChk { d, .. }
+            | SubIChk { d, .. }
+            | MulIChk { d, .. }
+            | NegIChk { d, .. }
+            | ModIChk { d, .. }
+            | ShlIChk { d, .. }
+            | UShrIChk { d, .. }
+            | AddD { d, .. }
+            | SubD { d, .. }
+            | MulD { d, .. }
+            | DivD { d, .. }
+            | ModD { d, .. }
+            | NegD { d, .. }
+            | EqI { d, .. }
+            | LtI { d, .. }
+            | LeI { d, .. }
+            | GtI { d, .. }
+            | GeI { d, .. }
+            | EqD { d, .. }
+            | LtD { d, .. }
+            | LeD { d, .. }
+            | GtD { d, .. }
+            | GeD { d, .. }
+            | NotB { d, .. }
+            | I2D { d, .. }
+            | U2D { d, .. }
+            | D2IChk { d, .. }
+            | D2I32 { d, .. }
+            | ChkRangeI { d, .. }
+            | BoxI { d, .. }
+            | BoxD { d, .. }
+            | BoxB { d, .. }
+            | BoxObj { d, .. }
+            | BoxStr { d, .. }
+            | UnboxI { d, .. }
+            | UnboxD { d, .. }
+            | UnboxNumD { d, .. }
+            | UnboxObj { d, .. }
+            | UnboxStr { d, .. }
+            | UnboxBool { d, .. }
+            | LoadSlot { d, .. }
+            | LoadProto { d, .. }
+            | LoadElem { d, .. }
+            | ArrayLen { d, .. }
+            | StrLen { d, .. }
+            | CallHelper { d, .. }
+            | AluImmI { d, .. }
+            | AluArI { d, .. }
+            | AluWrI { d, .. }
+            | AluImmWrI { d, .. }
+            | ChkAluImmI { d, .. }
+            | ChkAluWrI { d, .. }
+            | ChkAluImmWrI { d, .. }
+            | ChkAluImmWrLoopI { d, .. }
+            | ConstWrAr { d, .. }
+            | MovAr { d, .. }
+            | AluArWrI { d, .. }
+            | CmpImmI { d, .. }
+            | CmpWrI { d, .. }
+            | CmpWrD { d, .. }
+            | CmpImmWrI { d, .. }
+            | CmpWrBranchI { d, .. }
+            | CmpWrBranchD { d, .. }
+            | CmpImmWrBranchI { d, .. } => Some(*d),
+            StoreSpill { .. }
+            | WriteAr { .. }
+            | WriteAr2 { .. }
+            | WriteAr3 { .. }
+            | GuardTrue { .. }
+            | GuardFalse { .. }
+            | GuardShape { .. }
+            | GuardClass { .. }
+            | GuardBoxedEq { .. }
+            | GuardBound { .. }
+            | StoreSlot { .. }
+            | StoreElem { .. }
+            | CallTree { .. }
+            | LoopBack { .. }
+            | End { .. }
+            | CmpBranchI { .. }
+            | CmpBranchD { .. }
+            | CmpBranchLoopI { .. }
+            | CmpBranchLoopD { .. }
+            | CmpBranchImmI { .. } => None,
+        }
+    }
+
+    /// Calls `f` once per source register read (the same register may be
+    /// visited more than once).
+    pub fn for_each_src(&self, mut f: impl FnMut(Reg)) {
+        use MachInst::*;
+        match self {
+            ConstW { .. } | LoadSpill { .. } | ReadAr { .. } | CallTree { .. }
+            | LoopBack { .. } | End { .. } | ConstWrAr { .. } | MovAr { .. } => {}
+            Mov { s, .. } | StoreSpill { s, .. } | WriteAr { s, .. } => f(*s),
+            AddI { a, b, .. }
+            | SubI { a, b, .. }
+            | MulI { a, b, .. }
+            | AndI { a, b, .. }
+            | OrI { a, b, .. }
+            | XorI { a, b, .. }
+            | ShlI { a, b, .. }
+            | ShrI { a, b, .. }
+            | UShrI { a, b, .. }
+            | AddIChk { a, b, .. }
+            | SubIChk { a, b, .. }
+            | MulIChk { a, b, .. }
+            | ModIChk { a, b, .. }
+            | ShlIChk { a, b, .. }
+            | UShrIChk { a, b, .. }
+            | AddD { a, b, .. }
+            | SubD { a, b, .. }
+            | MulD { a, b, .. }
+            | DivD { a, b, .. }
+            | ModD { a, b, .. }
+            | EqI { a, b, .. }
+            | LtI { a, b, .. }
+            | LeI { a, b, .. }
+            | GtI { a, b, .. }
+            | GeI { a, b, .. }
+            | EqD { a, b, .. }
+            | LtD { a, b, .. }
+            | LeD { a, b, .. }
+            | GtD { a, b, .. }
+            | GeD { a, b, .. }
+            | AluWrI { a, b, .. }
+            | ChkAluWrI { a, b, .. }
+            | CmpBranchI { a, b, .. }
+            | CmpBranchD { a, b, .. }
+            | CmpBranchLoopI { a, b, .. }
+            | CmpBranchLoopD { a, b, .. }
+            | CmpWrI { a, b, .. }
+            | CmpWrD { a, b, .. }
+            | CmpWrBranchI { a, b, .. }
+            | CmpWrBranchD { a, b, .. } => {
+                f(*a);
+                f(*b);
+            }
+            NotI { a, .. }
+            | NegI { a, .. }
+            | NegIChk { a, .. }
+            | NegD { a, .. }
+            | NotB { a, .. }
+            | I2D { a, .. }
+            | U2D { a, .. }
+            | D2IChk { a, .. }
+            | D2I32 { a, .. }
+            | ChkRangeI { a, .. }
+            | BoxI { a, .. }
+            | BoxD { a, .. }
+            | BoxB { a, .. }
+            | BoxObj { a, .. }
+            | BoxStr { a, .. }
+            | UnboxI { a, .. }
+            | UnboxD { a, .. }
+            | UnboxNumD { a, .. }
+            | UnboxObj { a, .. }
+            | UnboxStr { a, .. }
+            | UnboxBool { a, .. }
+            | ArrayLen { a, .. }
+            | StrLen { a, .. }
+            | AluImmI { a, .. }
+            | AluImmWrI { a, .. }
+            | ChkAluImmI { a, .. }
+            | ChkAluImmWrI { a, .. }
+            | ChkAluImmWrLoopI { a, .. }
+            | CmpImmI { a, .. }
+            | CmpImmWrI { a, .. }
+            | CmpBranchImmI { a, .. }
+            | CmpImmWrBranchI { a, .. } => f(*a),
+            GuardTrue { s, .. } | GuardFalse { s, .. } | GuardBoxedEq { s, .. } => f(*s),
+            GuardShape { obj, .. } | GuardClass { obj, .. } => f(*obj),
+            GuardBound { arr, idx, .. } => {
+                f(*arr);
+                f(*idx);
+            }
+            LoadSlot { o, .. } | LoadProto { o, .. } => f(*o),
+            StoreSlot { o, s, .. } => {
+                f(*o);
+                f(*s);
+            }
+            LoadElem { a, i, .. } => {
+                f(*a);
+                f(*i);
+            }
+            StoreElem { a, i, s } => {
+                f(*a);
+                f(*i);
+                f(*s);
+            }
+            CallHelper { args, .. } => args.iter().copied().for_each(f),
+            AluArI { b, .. } | AluArWrI { b, .. } => f(*b),
+            WriteAr2 { s_a, s_b, .. } => {
+                f(*s_a);
+                f(*s_b);
+            }
+            WriteAr3 { s_a, s_b, s_c, .. } => {
+                f(*s_a);
+                f(*s_b);
+                f(*s_c);
+            }
+        }
+    }
+
+    /// Calls `f` once per exit id this instruction can take.
+    pub fn for_each_exit(&self, mut f: impl FnMut(u16)) {
+        use MachInst::*;
+        match self {
+            AddIChk { exit, .. }
+            | SubIChk { exit, .. }
+            | MulIChk { exit, .. }
+            | NegIChk { exit, .. }
+            | ModIChk { exit, .. }
+            | ShlIChk { exit, .. }
+            | UShrIChk { exit, .. }
+            | D2IChk { exit, .. }
+            | ChkRangeI { exit, .. }
+            | UnboxI { exit, .. }
+            | UnboxD { exit, .. }
+            | UnboxNumD { exit, .. }
+            | UnboxObj { exit, .. }
+            | UnboxStr { exit, .. }
+            | UnboxBool { exit, .. }
+            | GuardTrue { exit, .. }
+            | GuardFalse { exit, .. }
+            | GuardShape { exit, .. }
+            | GuardClass { exit, .. }
+            | GuardBoxedEq { exit, .. }
+            | GuardBound { exit, .. }
+            | CallHelper { exit, .. }
+            | CallTree { exit, .. }
+            | LoopBack { exit }
+            | End { exit }
+            | CmpBranchI { exit, .. }
+            | CmpBranchD { exit, .. }
+            | ChkAluImmI { exit, .. }
+            | ChkAluWrI { exit, .. }
+            | ChkAluImmWrI { exit, .. }
+            | CmpBranchImmI { exit, .. }
+            | CmpWrBranchI { exit, .. }
+            | CmpWrBranchD { exit, .. }
+            | CmpImmWrBranchI { exit, .. } => f(*exit),
+            CmpBranchLoopI { exit, loop_exit, .. }
+            | CmpBranchLoopD { exit, loop_exit, .. }
+            | ChkAluImmWrLoopI { exit, loop_exit, .. } => {
+                f(*exit);
+                f(*loop_exit);
+            }
+            _ => {}
+        }
+    }
+
+    /// Whether the instruction has no observable effect beyond writing its
+    /// destination register: no stores, no exits, no allocation, no way to
+    /// trap. Pure instructions whose destination is dead may be deleted.
+    pub fn is_pure(&self) -> bool {
+        use MachInst::*;
+        matches!(
+            self,
+            ConstW { .. }
+                | Mov { .. }
+                | LoadSpill { .. }
+                | ReadAr { .. }
+                | AddI { .. }
+                | SubI { .. }
+                | MulI { .. }
+                | AndI { .. }
+                | OrI { .. }
+                | XorI { .. }
+                | ShlI { .. }
+                | ShrI { .. }
+                | UShrI { .. }
+                | NotI { .. }
+                | NegI { .. }
+                | AddD { .. }
+                | SubD { .. }
+                | MulD { .. }
+                | DivD { .. }
+                | ModD { .. }
+                | NegD { .. }
+                | EqI { .. }
+                | LtI { .. }
+                | LeI { .. }
+                | GtI { .. }
+                | GeI { .. }
+                | EqD { .. }
+                | LtD { .. }
+                | LeD { .. }
+                | GtD { .. }
+                | GeD { .. }
+                | NotB { .. }
+                | I2D { .. }
+                | U2D { .. }
+                | D2I32 { .. }
+                | AluImmI { .. }
+                | AluArI { .. }
+                | CmpImmI { .. }
+        )
+    }
+
+    /// Whether this instruction ends the fragment (nothing may follow it).
+    pub fn is_terminator(&self) -> bool {
+        use MachInst::*;
+        matches!(
+            self,
+            LoopBack { .. }
+                | End { .. }
+                | CmpBranchLoopI { .. }
+                | CmpBranchLoopD { .. }
+                | ChkAluImmWrLoopI { .. }
+        )
+    }
+
+    /// Whether this is a fused superinstruction (never emitted by the
+    /// assembler, only by the peephole pass).
+    pub fn is_fused(&self) -> bool {
+        self.raw_width() > 1
+    }
+
+    /// How many raw (pre-fusion) instructions this instruction stands for
+    /// (immediate forms count the folded `ConstW`).
+    pub fn raw_width(&self) -> u64 {
+        use MachInst::*;
+        match self {
+            ChkAluImmWrLoopI { .. } | CmpImmWrBranchI { .. } => 4,
+            CmpBranchLoopI { .. }
+            | CmpBranchLoopD { .. }
+            | AluImmWrI { .. }
+            | ChkAluImmWrI { .. }
+            | WriteAr3 { .. }
+            | AluArWrI { .. }
+            | CmpImmWrI { .. }
+            | CmpBranchImmI { .. }
+            | CmpWrBranchI { .. }
+            | CmpWrBranchD { .. } => 3,
+            CmpBranchI { .. }
+            | CmpBranchD { .. }
+            | AluImmI { .. }
+            | AluArI { .. }
+            | AluWrI { .. }
+            | ChkAluImmI { .. }
+            | ChkAluWrI { .. }
+            | ConstWrAr { .. }
+            | MovAr { .. }
+            | WriteAr2 { .. }
+            | CmpImmI { .. }
+            | CmpWrI { .. }
+            | CmpWrD { .. } => 2,
+            _ => 1,
+        }
+    }
 }
 
 /// Where a side exit goes: back to the monitor, or — once a branch trace
@@ -240,6 +706,20 @@ pub enum ExitTarget {
     Fragment(u32),
 }
 
+/// Static counters from the peephole pass, kept on the fragment so the
+/// disassembler can report how dense the compiled code is.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FuseStats {
+    /// Instruction count before fusion (as assembled).
+    pub raw_insts: u32,
+    /// Instruction count after fusion + dead-code removal.
+    pub fused_insts: u32,
+    /// Fused superinstructions emitted.
+    pub superinsts: u32,
+    /// Pure instructions deleted because their destination was dead.
+    pub dce_removed: u32,
+}
+
 /// A compiled trace fragment: straight-line machine code whose only
 /// control flow is guard exits and the final loop-back/end.
 #[derive(Debug, Clone)]
@@ -248,14 +728,52 @@ pub struct Fragment {
     pub code: Vec<MachInst>,
     /// Number of spill slots used.
     pub num_spills: u16,
-    /// Exit targets, indexed by exit id; patched by trace stitching.
+    /// Exit targets, indexed by exit id; patched by trace stitching
+    /// (through [`Fragment::set_exit_target`], which keeps [`Fragment::stitch`]
+    /// in sync).
     pub exit_targets: Vec<ExitTarget>,
+    /// Decoded exit-resolution table: `stitch[e]` is the fragment index a
+    /// stitched exit jumps to, or [`EXIT_UNSTITCHED`]. Always mirrors
+    /// `exit_targets`; the executor reads only this.
+    pub stitch: Vec<u32>,
+    /// Peephole statistics (zero until [`crate::peephole::fuse`] runs).
+    pub fuse_stats: FuseStats,
 }
 
 impl Fragment {
-    /// Renders the fragment as a Figure-4 style listing.
+    /// A fragment whose `num_exits` exits all return to the monitor.
+    pub fn new(code: Vec<MachInst>, num_spills: u16, num_exits: usize) -> Self {
+        Fragment {
+            code,
+            num_spills,
+            exit_targets: vec![ExitTarget::Return; num_exits],
+            stitch: vec![EXIT_UNSTITCHED; num_exits],
+            fuse_stats: FuseStats::default(),
+        }
+    }
+
+    /// Retargets exit `exit`, keeping the decoded stitch table in sync
+    /// with `exit_targets`. All stitching must go through here.
+    pub fn set_exit_target(&mut self, exit: u16, target: ExitTarget) {
+        self.exit_targets[exit as usize] = target;
+        self.stitch[exit as usize] = match target {
+            ExitTarget::Return => EXIT_UNSTITCHED,
+            ExitTarget::Fragment(idx) => idx,
+        };
+    }
+
+    /// Renders the fragment as a Figure-4 style listing. After the
+    /// peephole pass has run, a header line reports the raw/fused
+    /// instruction counts.
     pub fn listing(&self) -> String {
         let mut out = String::new();
+        let fs = &self.fuse_stats;
+        if fs.raw_insts != 0 {
+            out.push_str(&format!(
+                "  ; fuse: {} raw -> {} fused ({} superinsts, {} dce)\n",
+                fs.raw_insts, fs.fused_insts, fs.superinsts, fs.dce_removed
+            ));
+        }
         for (pc, inst) in self.code.iter().enumerate() {
             out.push_str(&format!("  {pc:4}: {inst:?}\n"));
         }

@@ -1,12 +1,14 @@
-//! A minimal JSON value and writer (the workspace's `serde`/`serde_json`
-//! replacement for emitting bench results).
+//! A minimal JSON value and writer/reader (the workspace's
+//! `serde`/`serde_json` replacement for bench results).
 //!
-//! Only what the bench harnesses need: building a [`Json`] tree and
-//! serializing it compactly or pretty-printed. There is intentionally no
-//! parser and no derive machinery — results are *written*, never read
-//! back, and the writer's job is to stay structurally byte-compatible
-//! with what `serde_json::to_string_pretty` produced for the same tree
-//! (2-space indent, `"key": value`, object keys in insertion order).
+//! Only what the bench harnesses need: building a [`Json`] tree,
+//! serializing it compactly or pretty-printed, and parsing previously
+//! emitted documents back ([`Json::parse`] — the perf-gate harnesses
+//! compare a fresh run against a checked-in baseline file). There is no
+//! derive machinery, and the writer's job is to stay structurally
+//! byte-compatible with what `serde_json::to_string_pretty` produced for
+//! the same tree (2-space indent, `"key": value`, object keys in
+//! insertion order).
 //!
 //! # Escaping rules
 //!
@@ -69,6 +71,69 @@ impl Json {
         Json::Object(fields.into_iter().map(|(k, v)| (k.into(), v)).collect())
     }
 
+    /// Parses a JSON document (RFC 8259). Integers without a fractional
+    /// part or exponent become [`Json::Int`] / [`Json::UInt`]; everything
+    /// else numeric becomes [`Json::Float`]. Errors carry a byte offset.
+    ///
+    /// ```
+    /// use tm_support::Json;
+    /// let j = Json::parse(r#"{"runs": 3, "ms": 1.5}"#).unwrap();
+    /// assert_eq!(j.get("runs").and_then(Json::as_u64), Some(3));
+    /// ```
+    pub fn parse(text: &str) -> Result<Json, ParseError> {
+        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing data after the top-level value"));
+        }
+        Ok(value)
+    }
+
+    /// Object field lookup (`None` for non-objects and missing keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// A non-negative integer view of `Int`/`UInt` values.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Json::UInt(u) => Some(u),
+            Json::Int(i) => u64::try_from(i).ok(),
+            _ => None,
+        }
+    }
+
+    /// A double view of any numeric value.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Json::Float(f) => Some(f),
+            Json::Int(i) => Some(i as f64),
+            Json::UInt(u) => Some(u as f64),
+            _ => None,
+        }
+    }
+
     /// Compact serialization (no whitespace).
     #[allow(clippy::inherent_to_string_shadow_display)]
     pub fn to_string(&self) -> String {
@@ -115,6 +180,228 @@ impl Json {
                 });
             }
         }
+    }
+}
+
+/// A parse failure: what was wrong and the byte offset where.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description of the problem.
+    pub message: String,
+    /// Byte offset into the input where the problem was detected.
+    pub offset: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> ParseError {
+        ParseError { message: message.to_owned(), offset: self.pos }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, ParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, ParseError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, ParseError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            fields.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            // Combine a surrogate pair; a lone surrogate
+                            // becomes U+FFFD (there is no other option in
+                            // a Rust `String`).
+                            let c = if (0xd800..0xdc00).contains(&hi) {
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let lo = self.hex4()?;
+                                    let combined = 0x10000
+                                        + ((hi - 0xd800) << 10)
+                                        + lo.checked_sub(0xdc00).unwrap_or(0);
+                                    char::from_u32(combined).unwrap_or('\u{fffd}')
+                                } else {
+                                    '\u{fffd}'
+                                }
+                            } else {
+                                char::from_u32(hi).unwrap_or('\u{fffd}')
+                            };
+                            out.push(c);
+                        }
+                        _ => return Err(self.err("invalid escape character")),
+                    }
+                }
+                Some(_) => {
+                    // Copy a whole UTF-8 scalar (the input is a &str, so
+                    // slicing at char boundaries is safe).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, ParseError> {
+        let digits = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .and_then(|d| std::str::from_utf8(d).ok())
+            .ok_or_else(|| self.err("truncated \\u escape"))?;
+        let v = u32::from_str_radix(digits, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Json::Int(i));
+            }
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Json::UInt(u));
+            }
+        }
+        text.parse::<f64>().map(Json::Float).map_err(|_| ParseError {
+            message: format!("invalid number '{text}'"),
+            offset: start,
+        })
     }
 }
 
@@ -258,6 +545,57 @@ mod tests {
         assert_eq!(Json::Float(f64::NAN).to_string(), "null");
         assert_eq!(Json::Int(-3).to_string(), "-3");
         assert_eq!(Json::UInt(u64::MAX).to_string(), u64::MAX.to_string());
+    }
+
+    #[test]
+    fn parse_round_trips_writer_output() {
+        let j = Json::obj([
+            ("name", Json::from("bitops-\"and\"\n")),
+            ("ms", Json::from(12.5)),
+            // Writer `UInt` comes back as `Int` when it fits (the
+            // accessors bridge the two); i64-range ints round-trip
+            // exactly, only > i64::MAX stays `UInt`.
+            ("runs", Json::from(3i64)),
+            ("neg", Json::from(-7i64)),
+            ("big", Json::from(u64::MAX)),
+            ("flags", Json::Array(vec![Json::Bool(true), Json::Null])),
+            ("nested", Json::obj([("π", Json::from(3.0))])),
+        ]);
+        assert_eq!(Json::parse(&j.to_string()).unwrap(), j);
+        assert_eq!(Json::parse(&j.to_string_pretty()).unwrap(), j);
+    }
+
+    #[test]
+    fn parse_numbers_and_escapes() {
+        assert_eq!(Json::parse("42").unwrap(), Json::Int(42));
+        assert_eq!(
+            Json::parse(&u64::MAX.to_string()).unwrap(),
+            Json::UInt(u64::MAX)
+        );
+        assert_eq!(Json::parse("-1.5e2").unwrap(), Json::Float(-150.0));
+        assert_eq!(
+            Json::parse(r#""aA😀b""#).unwrap(),
+            Json::Str("aA\u{1f600}b".to_owned())
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in ["", "{", "[1,]", "{\"a\" 1}", "tru", "1 2", "\"unterminated"] {
+            assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
+        }
+        let err = Json::parse("[1, @]").unwrap_err();
+        assert_eq!(err.offset, 4);
+    }
+
+    #[test]
+    fn accessors_navigate_a_document() {
+        let j = Json::parse(r#"{"programs": [{"name": "x", "insts": 10}]}"#).unwrap();
+        let first = &j.get("programs").unwrap().as_array().unwrap()[0];
+        assert_eq!(first.get("name").and_then(Json::as_str), Some("x"));
+        assert_eq!(first.get("insts").and_then(Json::as_u64), Some(10));
+        assert_eq!(first.get("insts").and_then(Json::as_f64), Some(10.0));
+        assert_eq!(first.get("missing"), None);
     }
 
     #[test]

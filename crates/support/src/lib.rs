@@ -32,6 +32,6 @@ pub mod json;
 pub mod prop;
 pub mod rng;
 
-pub use json::Json;
+pub use json::{Json, ParseError};
 pub use prop::{Config, Failure};
 pub use rng::TmRng;

@@ -1,0 +1,401 @@
+//! Structural verification of assembled (and peephole-fused) fragments.
+//!
+//! [`crate::verify::verify_trace`] checks the LIR before the backend runs;
+//! this module re-checks the *output* of the backend — after register
+//! allocation and after the superinstruction pass — so a fusion bug is
+//! caught as a structured error instead of executed as garbage:
+//!
+//! * every register operand is in `0..NREGS` (the executor masks indexes,
+//!   so an out-of-range register would silently alias another);
+//! * every spill-slot reference is below `num_spills`, and every reload
+//!   reads a slot some earlier instruction stored;
+//! * every exit id (including the fused forms' second, loop-edge exit) has
+//!   an entry in the exit-target table;
+//! * the fragment ends with exactly one terminator (`LoopBack`, `End`, or
+//!   a fused loop-edge compare-branch), and none appears earlier;
+//! * the decoded `stitch` table mirrors `exit_targets` entry for entry.
+
+use tm_nanojit::machinst::{ExitTarget, Fragment, MachInst, EXIT_UNSTITCHED, NREGS};
+
+/// A structural violation in a compiled fragment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FragmentError {
+    /// A register operand is outside `0..NREGS`.
+    RegOutOfRange {
+        /// Instruction index.
+        pc: usize,
+        /// The offending register.
+        reg: u8,
+    },
+    /// A spill-slot index is `>= num_spills`.
+    SpillOutOfRange {
+        /// Instruction index.
+        pc: usize,
+        /// The offending slot.
+        slot: u16,
+    },
+    /// A `LoadSpill` reads a slot no earlier `StoreSpill` wrote.
+    SpillReadBeforeWrite {
+        /// Instruction index.
+        pc: usize,
+        /// The offending slot.
+        slot: u16,
+    },
+    /// An exit id has no entry in the exit-target table.
+    ExitOutOfRange {
+        /// Instruction index.
+        pc: usize,
+        /// The offending exit id.
+        exit: u16,
+    },
+    /// A terminator instruction appears before the last position.
+    TerminatorNotLast {
+        /// Instruction index.
+        pc: usize,
+    },
+    /// The fragment does not end with a terminator (or is empty).
+    MissingTerminator,
+    /// `stitch[exit]` disagrees with `exit_targets[exit]`.
+    StitchTableMismatch {
+        /// The inconsistent exit id.
+        exit: u16,
+    },
+    /// `stitch` and `exit_targets` have different lengths.
+    StitchTableLength {
+        /// `exit_targets.len()`.
+        targets: usize,
+        /// `stitch.len()`.
+        stitch: usize,
+    },
+}
+
+impl std::fmt::Display for FragmentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FragmentError::RegOutOfRange { pc, reg } => {
+                write!(f, "pc {pc}: register r{reg} out of range (NREGS = {NREGS})")
+            }
+            FragmentError::SpillOutOfRange { pc, slot } => {
+                write!(f, "pc {pc}: spill slot {slot} >= num_spills")
+            }
+            FragmentError::SpillReadBeforeWrite { pc, slot } => {
+                write!(f, "pc {pc}: reload of spill slot {slot} before any store")
+            }
+            FragmentError::ExitOutOfRange { pc, exit } => {
+                write!(f, "pc {pc}: exit {exit} has no exit-target entry")
+            }
+            FragmentError::TerminatorNotLast { pc } => {
+                write!(f, "pc {pc}: terminator before the end of the fragment")
+            }
+            FragmentError::MissingTerminator => {
+                write!(f, "fragment does not end with a terminator")
+            }
+            FragmentError::StitchTableMismatch { exit } => {
+                write!(f, "stitch table disagrees with exit_targets at exit {exit}")
+            }
+            FragmentError::StitchTableLength { targets, stitch } => {
+                write!(f, "stitch table length {stitch} != exit_targets length {targets}")
+            }
+        }
+    }
+}
+
+/// Verifies the structural invariants of a compiled fragment.
+///
+/// # Errors
+///
+/// Returns the first [`FragmentError`] found, scanning in program order.
+pub fn verify_fragment(frag: &Fragment) -> Result<(), FragmentError> {
+    if frag.stitch.len() != frag.exit_targets.len() {
+        return Err(FragmentError::StitchTableLength {
+            targets: frag.exit_targets.len(),
+            stitch: frag.stitch.len(),
+        });
+    }
+    for (e, target) in frag.exit_targets.iter().enumerate() {
+        let want = match target {
+            ExitTarget::Return => EXIT_UNSTITCHED,
+            ExitTarget::Fragment(idx) => *idx,
+        };
+        if frag.stitch[e] != want {
+            return Err(FragmentError::StitchTableMismatch { exit: e as u16 });
+        }
+    }
+
+    let mut stored_spills = vec![false; frag.num_spills as usize];
+    let last = frag.code.len().checked_sub(1);
+    for (pc, inst) in frag.code.iter().enumerate() {
+        let mut bad_reg = None;
+        inst.for_each_src(|s| {
+            if (s as usize) >= NREGS {
+                bad_reg.get_or_insert(s);
+            }
+        });
+        if let Some(d) = inst.dest() {
+            if (d as usize) >= NREGS {
+                bad_reg.get_or_insert(d);
+            }
+        }
+        if let Some(reg) = bad_reg {
+            return Err(FragmentError::RegOutOfRange { pc, reg });
+        }
+
+        match *inst {
+            MachInst::StoreSpill { slot, .. } => {
+                if slot >= frag.num_spills {
+                    return Err(FragmentError::SpillOutOfRange { pc, slot });
+                }
+                stored_spills[slot as usize] = true;
+            }
+            MachInst::LoadSpill { slot, .. } => {
+                if slot >= frag.num_spills {
+                    return Err(FragmentError::SpillOutOfRange { pc, slot });
+                }
+                if !stored_spills[slot as usize] {
+                    return Err(FragmentError::SpillReadBeforeWrite { pc, slot });
+                }
+            }
+            _ => {}
+        }
+
+        let mut bad_exit = None;
+        inst.for_each_exit(|e| {
+            if (e as usize) >= frag.exit_targets.len() {
+                bad_exit.get_or_insert(e);
+            }
+        });
+        if let Some(exit) = bad_exit {
+            return Err(FragmentError::ExitOutOfRange { pc, exit });
+        }
+
+        if inst.is_terminator() && Some(pc) != last {
+            return Err(FragmentError::TerminatorNotLast { pc });
+        }
+    }
+    match frag.code.last() {
+        Some(inst) if inst.is_terminator() => Ok(()),
+        _ => Err(FragmentError::MissingTerminator),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_nanojit::machinst::MachInst::*;
+
+    fn ok_frag() -> Fragment {
+        Fragment::new(
+            vec![
+                ReadAr { d: 0, slot: 0 },
+                StoreSpill { slot: 0, s: 0 },
+                LoadSpill { d: 1, slot: 0 },
+                WriteAr { slot: 1, s: 1 },
+                End { exit: 0 },
+            ],
+            1,
+            1,
+        )
+    }
+
+    #[test]
+    fn accepts_well_formed_fragment() {
+        assert_eq!(verify_fragment(&ok_frag()), Ok(()));
+    }
+
+    #[test]
+    fn accepts_fused_terminator() {
+        let frag = Fragment::new(
+            vec![
+                ReadAr { d: 0, slot: 0 },
+                ReadAr { d: 1, slot: 1 },
+                CmpBranchLoopI {
+                    op: tm_lir::CmpOp::Lt,
+                    want: true,
+                    a: 0,
+                    b: 1,
+                    exit: 0,
+                    loop_exit: 1,
+                },
+            ],
+            0,
+            2,
+        );
+        assert_eq!(verify_fragment(&frag), Ok(()));
+    }
+
+    #[test]
+    fn accepts_extended_superinstruction_forms() {
+        // One of each new PR-5 fused shape, ending in the fused loop
+        // tail; all registers, slots, and exits in range.
+        let frag = Fragment::new(
+            vec![
+                MovAr { d: 0, src: 0, dst: 1 },
+                ConstWrAr { d: 1, w: 7, slot: 2 },
+                CmpImmWrBranchI {
+                    op: tm_lir::CmpOp::Lt,
+                    want: true,
+                    d: 2,
+                    a: 0,
+                    imm: 500,
+                    slot: 3,
+                    exit: 0,
+                },
+                AluArWrI { op: tm_lir::AluOp::Xor, d: 2, slot_a: 1, b: 1, slot_d: 4 },
+                WriteAr3 { slot_a: 5, s_a: 0, slot_b: 6, s_b: 1, slot_c: 7, s_c: 2 },
+                ChkAluImmWrLoopI {
+                    op: tm_lir::ChkOp::Add,
+                    d: 2,
+                    a: 0,
+                    imm: 1,
+                    slot: 0,
+                    exit: 1,
+                    loop_exit: 2,
+                },
+            ],
+            0,
+            3,
+        );
+        assert_eq!(verify_fragment(&frag), Ok(()));
+    }
+
+    #[test]
+    fn rejects_fused_loop_tail_with_bad_loop_exit() {
+        // The fused loop tail's *second* exit must be range-checked, and
+        // it is a terminator: nothing may follow it.
+        let frag = Fragment::new(
+            vec![ChkAluImmWrLoopI {
+                op: tm_lir::ChkOp::Add,
+                d: 0,
+                a: 0,
+                imm: 1,
+                slot: 0,
+                exit: 0,
+                loop_exit: 9,
+            }],
+            0,
+            2,
+        );
+        assert!(matches!(
+            verify_fragment(&frag),
+            Err(FragmentError::ExitOutOfRange { exit: 9, .. })
+        ));
+
+        let frag = Fragment::new(
+            vec![
+                ChkAluImmWrLoopI {
+                    op: tm_lir::ChkOp::Add,
+                    d: 0,
+                    a: 0,
+                    imm: 1,
+                    slot: 0,
+                    exit: 0,
+                    loop_exit: 1,
+                },
+                End { exit: 0 },
+            ],
+            0,
+            2,
+        );
+        assert!(matches!(
+            verify_fragment(&frag),
+            Err(FragmentError::TerminatorNotLast { pc: 0 })
+        ));
+    }
+
+    #[test]
+    fn rejects_out_of_range_register_in_grouped_store() {
+        let frag = Fragment::new(
+            vec![
+                WriteAr2 { slot_a: 0, s_a: 0, slot_b: 1, s_b: NREGS as u8 },
+                End { exit: 0 },
+            ],
+            0,
+            1,
+        );
+        assert!(matches!(
+            verify_fragment(&frag),
+            Err(FragmentError::RegOutOfRange { pc: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_out_of_range_register() {
+        let mut frag = ok_frag();
+        frag.code[0] = ReadAr { d: NREGS as u8, slot: 0 };
+        assert!(matches!(
+            verify_fragment(&frag),
+            Err(FragmentError::RegOutOfRange { pc: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_unstored_spill_reload() {
+        let mut frag = ok_frag();
+        frag.code.remove(1);
+        assert!(matches!(
+            verify_fragment(&frag),
+            Err(FragmentError::SpillReadBeforeWrite { slot: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_exit_without_target_entry() {
+        let mut frag = ok_frag();
+        frag.code[4] = End { exit: 3 };
+        assert!(matches!(
+            verify_fragment(&frag),
+            Err(FragmentError::ExitOutOfRange { exit: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_loop_edge_exit_without_target_entry() {
+        // The fused triple's *second* exit must be range-checked too.
+        let frag = Fragment::new(
+            vec![CmpBranchLoopI {
+                op: tm_lir::CmpOp::Lt,
+                want: true,
+                a: 0,
+                b: 1,
+                exit: 0,
+                loop_exit: 5,
+            }],
+            0,
+            2,
+        );
+        assert!(matches!(
+            verify_fragment(&frag),
+            Err(FragmentError::ExitOutOfRange { exit: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_mid_fragment_terminator() {
+        let mut frag = ok_frag();
+        frag.code[1] = End { exit: 0 };
+        assert!(matches!(
+            verify_fragment(&frag),
+            Err(FragmentError::TerminatorNotLast { pc: 1 })
+        ));
+    }
+
+    #[test]
+    fn rejects_missing_terminator() {
+        let mut frag = ok_frag();
+        frag.code.pop();
+        assert_eq!(verify_fragment(&frag), Err(FragmentError::MissingTerminator));
+    }
+
+    #[test]
+    fn rejects_desynced_stitch_table() {
+        let mut frag = ok_frag();
+        // Bypassing set_exit_target leaves the decoded table stale.
+        frag.exit_targets[0] = ExitTarget::Fragment(1);
+        assert_eq!(
+            verify_fragment(&frag),
+            Err(FragmentError::StitchTableMismatch { exit: 0 })
+        );
+        frag.set_exit_target(0, ExitTarget::Fragment(1));
+        assert_eq!(verify_fragment(&frag), Ok(()));
+    }
+}

@@ -8,7 +8,10 @@
 //! every exit's write-back map covers the operand-stack state it promises
 //! to restore. [`verify_trace`] checks all of that before a trace is handed
 //! to the backend; a violation is reported as a structured [`VerifyError`]
-//! instead of compiled into garbage.
+//! instead of compiled into garbage. [`verify_fragment`] re-checks the
+//! backend's *output* — register ranges, spill discipline, exit tables,
+//! terminator placement — after register allocation and superinstruction
+//! fusion.
 //!
 //! The companion [`reduce`] module shrinks failing guest programs (found by
 //! the differential fuzzer or by a verifier rejection) to minimal
@@ -16,8 +19,10 @@
 
 #![warn(missing_docs)]
 
+pub mod fragment;
 pub mod reduce;
 pub mod verify;
 
+pub use fragment::{verify_fragment, FragmentError};
 pub use reduce::{as_regression_test, reduce_program, ReduceStats};
 pub use verify::{verify_trace, ExitView, TypeClass, VerifyError};

@@ -1,0 +1,25 @@
+//! Disassembles every fragment the tracing JIT compiles for a program:
+//! runs the source (argv[1], or a built-in counting loop) under tracing
+//! and prints each fragment's post-peephole virtual-ISA listing,
+//! including the `; fuse:` header with its raw→fused instruction counts.
+//!
+//! ```sh
+//! cargo run --release --example dump_fragments -- 'var s=0; for (var i=0;i<500;i++) s+=i; s'
+//! ```
+
+use tracemonkey::{Engine, Vm};
+
+fn main() {
+    let src = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "var s = 0; for (var i = 0; i < 500; i++) s += i; s".to_owned());
+    let mut vm = Vm::new(Engine::Tracing);
+    vm.eval(&src).expect("program runs");
+    let m = vm.monitor().expect("tracing engine has a monitor");
+    for (t, tree) in m.cache.iter().enumerate() {
+        for (f, frag) in tree.fragments.iter().enumerate() {
+            println!("=== tree {t} fragment {f} ===");
+            println!("{}", frag.listing());
+        }
+    }
+}

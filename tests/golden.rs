@@ -1,8 +1,10 @@
-//! Golden-file tests for the two human-readable renderings the engine
-//! produces: the bytecode disassembly (`bytecode::disasm`) and the LIR
-//! trace printer (`lir::printer`), pinned on one fixed nested-loop
-//! program. Any change to compilation or recording output shows up as a
-//! readable diff here.
+//! Golden-file tests for the human-readable renderings the engine
+//! produces: the bytecode disassembly (`bytecode::disasm`), the LIR
+//! trace printer (`lir::printer`), and the post-peephole fragment
+//! listings (`Fragment::listing`, including the `; fuse:` raw→fused
+//! header), pinned on fixed programs. Any change to compilation,
+//! recording, or superinstruction fusion shows up as a readable diff
+//! here.
 //!
 //! Regenerate with `TM_UPDATE_GOLDEN=1 cargo test --test golden`.
 
@@ -46,6 +48,26 @@ fn check_golden(name: &str, actual: &str) {
     );
 }
 
+/// The simplest hot loop: one induction variable, one accumulation —
+/// the canonical demonstration of the fused loop tail.
+const COUNTING_LOOP_SRC: &str = "var s = 0; for (var i = 0; i < 500; i = i + 1) s = s + i; s";
+
+/// Runs `src` under tracing and renders every compiled fragment's
+/// post-peephole listing (superinstructions included) in cache order.
+fn fused_listings(src: &str) -> String {
+    let mut vm = Vm::with_options(Engine::Tracing, JitOptions::default());
+    vm.eval(src).expect("program runs");
+    let m = vm.monitor().expect("tracing keeps its monitor");
+    let mut out = String::new();
+    for (t, tree) in m.cache.iter().enumerate() {
+        for (f, frag) in tree.fragments.iter().enumerate() {
+            out.push_str(&format!("=== tree {t} fragment {f} ===\n"));
+            out.push_str(&frag.listing());
+        }
+    }
+    out
+}
+
 #[test]
 fn bytecode_disassembly_is_stable() {
     let mut realm = tracemonkey::Realm::new();
@@ -72,4 +94,26 @@ fn recorded_lir_is_stable() {
     assert!(text.contains("import"));
     assert!(text.contains("loop"));
     check_golden("nested_loop.trunk.lir.txt", &text);
+}
+
+#[test]
+fn counting_loop_fused_listing_is_stable() {
+    let text = fused_listings(COUNTING_LOOP_SRC);
+    // Sanity before pinning: fusion actually fired, and the fuse header
+    // reports a strict reduction.
+    assert!(text.contains("; fuse:"), "listing carries the fuse header");
+    assert!(
+        text.contains("CmpImmWrBranchI") || text.contains("CmpWrBranchI"),
+        "the loop condition fused into a compare-write-branch:\n{text}"
+    );
+    assert!(text.contains("ChkAluImmWrLoopI"), "the loop tail fused:\n{text}");
+    check_golden("counting_loop.fused.txt", &text);
+}
+
+#[test]
+fn nested_loop_fused_listing_is_stable() {
+    let text = fused_listings(NESTED_LOOP_SRC);
+    assert!(text.contains("; fuse:"), "listing carries the fuse header");
+    assert!(text.contains("CallTree") || text.contains("superinsts"));
+    check_golden("nested_loop.fused.txt", &text);
 }

@@ -6,6 +6,7 @@
 use tracemonkey::nanojit::MachInst;
 use tracemonkey::runtime::Helper;
 use tracemonkey::{Engine, Vm};
+use tm_lir::{AluOp, ChkOp, CmpOp};
 
 /// Runs `src` under tracing and returns the trunk instructions of the
 /// first compiled tree.
@@ -21,10 +22,77 @@ fn has(code: &[MachInst], pred: impl Fn(&MachInst) -> bool) -> bool {
     code.iter().any(pred)
 }
 
+/// Overflow-checked int arithmetic of class `op`, raw or fused — the
+/// peephole pass may fold the operand/`WriteAr` but keeps the check.
+fn has_checked(code: &[MachInst], op: ChkOp) -> bool {
+    has(code, |i| match *i {
+        MachInst::AddIChk { .. } => op == ChkOp::Add,
+        MachInst::SubIChk { .. } => op == ChkOp::Sub,
+        MachInst::MulIChk { .. } => op == ChkOp::Mul,
+        MachInst::ShlIChk { .. } => op == ChkOp::Shl,
+        MachInst::UShrIChk { .. } => op == ChkOp::UShr,
+        MachInst::ChkAluImmI { op: o, .. }
+        | MachInst::ChkAluWrI { op: o, .. }
+        | MachInst::ChkAluImmWrI { op: o, .. }
+        | MachInst::ChkAluImmWrLoopI { op: o, .. } => o == op,
+        _ => false,
+    })
+}
+
+/// Int comparison of class `op`, raw or in any fused compare-carrying
+/// form.
+fn has_cmp_i(code: &[MachInst], op: CmpOp) -> bool {
+    has(code, |i| match *i {
+        MachInst::EqI { .. } => op == CmpOp::Eq,
+        MachInst::LtI { .. } => op == CmpOp::Lt,
+        MachInst::LeI { .. } => op == CmpOp::Le,
+        MachInst::GtI { .. } => op == CmpOp::Gt,
+        MachInst::GeI { .. } => op == CmpOp::Ge,
+        MachInst::CmpImmI { op: o, .. }
+        | MachInst::CmpWrI { op: o, .. }
+        | MachInst::CmpImmWrI { op: o, .. }
+        | MachInst::CmpBranchI { op: o, .. }
+        | MachInst::CmpBranchImmI { op: o, .. }
+        | MachInst::CmpWrBranchI { op: o, .. }
+        | MachInst::CmpImmWrBranchI { op: o, .. }
+        | MachInst::CmpBranchLoopI { op: o, .. } => o == op,
+        _ => false,
+    })
+}
+
+/// Double comparison of class `op`, raw or fused.
+fn has_cmp_d(code: &[MachInst], op: CmpOp) -> bool {
+    has(code, |i| match *i {
+        MachInst::EqD { .. } => op == CmpOp::Eq,
+        MachInst::LtD { .. } => op == CmpOp::Lt,
+        MachInst::LeD { .. } => op == CmpOp::Le,
+        MachInst::GtD { .. } => op == CmpOp::Gt,
+        MachInst::GeD { .. } => op == CmpOp::Ge,
+        MachInst::CmpWrD { op: o, .. }
+        | MachInst::CmpBranchD { op: o, .. }
+        | MachInst::CmpWrBranchD { op: o, .. }
+        | MachInst::CmpBranchLoopD { op: o, .. } => o == op,
+        _ => false,
+    })
+}
+
+/// Plain int ALU of class `op`, raw or fused.
+fn has_alu(code: &[MachInst], op: AluOp) -> bool {
+    has(code, |i| match *i {
+        MachInst::XorI { .. } => op == AluOp::Xor,
+        MachInst::AndI { .. } => op == AluOp::And,
+        MachInst::AluImmI { op: o, .. }
+        | MachInst::AluArI { op: o, .. }
+        | MachInst::AluWrI { op: o, .. }
+        | MachInst::AluImmWrI { op: o, .. } => o == op,
+        _ => false,
+    })
+}
+
 #[test]
 fn int_loops_use_checked_int_arithmetic() {
     let code = trunk_of("var s = 0; for (var i = 0; i < 500; i++) s += i; s");
-    assert!(has(&code, |i| matches!(i, MachInst::AddIChk { .. })),
+    assert!(has_checked(&code, ChkOp::Add),
         "int accumulation compiles to overflow-guarded int add");
     assert!(!has(&code, |i| matches!(i, MachInst::AddD { .. })),
         "no double arithmetic in a pure int loop");
@@ -42,10 +110,10 @@ fn double_loops_use_double_arithmetic_without_guards() {
 #[test]
 fn comparisons_specialize_by_type() {
     let int_code = trunk_of("var n = 0; for (var i = 0; i < 500; i++) if (i < 250) n++; n");
-    assert!(has(&int_code, |i| matches!(i, MachInst::LtI { .. })));
+    assert!(has_cmp_i(&int_code, CmpOp::Lt));
     let dbl_code =
         trunk_of("var n = 0; var x = 0.0; for (var i = 0; i < 500; i++) { x += 0.5; if (x < 100.5) n++; } n");
-    assert!(has(&dbl_code, |i| matches!(i, MachInst::LtD { .. })));
+    assert!(has_cmp_d(&dbl_code, CmpOp::Lt));
 }
 
 #[test]
@@ -106,15 +174,25 @@ fn function_calls_are_inlined_with_identity_guards() {
     );
     assert!(has(&code, |i| matches!(i, MachInst::GuardBoxedEq { .. })),
         "the callee identity is guarded (§3.1 'guard that the function is the same')");
-    assert!(has(&code, |i| matches!(i, MachInst::MulIChk { .. })),
+    assert!(has_checked(&code, ChkOp::Mul),
         "the callee body is inlined into the trace");
 }
 
 #[test]
 fn loop_back_is_the_last_instruction_of_a_stable_trunk() {
     let code = trunk_of("var s = 0; for (var i = 0; i < 500; i++) s += i; s");
-    assert!(matches!(code.last(), Some(MachInst::LoopBack { .. })),
-        "a type-stable loop trace ends by jumping to its anchor");
+    assert!(
+        matches!(
+            code.last(),
+            Some(
+                MachInst::LoopBack { .. }
+                    | MachInst::CmpBranchLoopI { .. }
+                    | MachInst::CmpBranchLoopD { .. }
+                    | MachInst::ChkAluImmWrLoopI { .. }
+            )
+        ),
+        "a type-stable loop trace ends by jumping to its anchor"
+    );
 }
 
 #[test]
@@ -122,8 +200,8 @@ fn bitops_compile_to_plain_int_ops() {
     let code = trunk_of(
         "var v = 0; for (var i = 0; i < 500; i++) v = (v ^ i) & 0xffff; v",
     );
-    assert!(has(&code, |i| matches!(i, MachInst::XorI { .. })));
-    assert!(has(&code, |i| matches!(i, MachInst::AndI { .. })));
+    assert!(has_alu(&code, AluOp::Xor));
+    assert!(has_alu(&code, AluOp::And));
 }
 
 #[test]
