@@ -55,4 +55,15 @@ echo "==> perf smoke: superinstruction fusion (release, 3 fast programs)"
     > target/BENCH_pr5_smoke.json
 echo "    OK: wrote target/BENCH_pr5_smoke.json"
 
+echo "==> coverage smoke: recursion + string/date builtins (release)"
+# Coverage gate for the recursion/builtin tracing work: every smoke
+# program (access-binary-trees, both date-format programs,
+# controlflow-recursive) must report nonzero fused dispatched
+# instructions — these are exactly the programs that used to dispatch
+# zero traced instructions. The checked-in BENCH_pr6.json additionally
+# pins that no program regresses from traced back to zero.
+./target/release/bench_pr6 --smoke --baseline BENCH_pr6.json \
+    > target/BENCH_pr6_smoke.json
+echo "    OK: wrote target/BENCH_pr6_smoke.json"
+
 echo "==> ci.sh: all green"

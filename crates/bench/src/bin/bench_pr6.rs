@@ -1,0 +1,264 @@
+//! Trace-coverage benchmark (`BENCH_pr6.json`): per-program and
+//! per-group fused dispatched-instruction counts under the tracing
+//! engine, plus median wall-clock under tracing versus the baseline
+//! interpreter.
+//!
+//! This is the harness behind the recursion/builtin coverage work: the
+//! gate asserts that **no suite group reports zero fused dispatched
+//! instructions** unless every program in the group is flagged
+//! `untraceable_by_design` (the paper's never-tracing benchmarks). The
+//! dispatched count is the executor's own deterministic tally
+//! (`ProfileStats::native_insts_fused`); wall-clock is reported for the
+//! interpreter-parity check and trend inspection.
+//!
+//! Usage:
+//!   `bench_pr6 [repeats]`            full 26-program suite, JSON to stdout
+//!   `bench_pr6 --only a,b [reps]`    named subset only
+//!   `bench_pr6 --smoke [reps]`       pinned coverage subset
+//!                                    (access-binary-trees,
+//!                                    date-format-tofte, date-format-xparb,
+//!                                    controlflow-recursive)
+//!   `bench_pr6 --baseline FILE`      additionally gate: exit non-zero if a
+//!                                    program traced in the baseline
+//!                                    reports zero fused dispatched now
+//!
+//! `--smoke` gates the tentpole claim itself: every smoke program must
+//! report nonzero fused dispatched instructions. When a gated group
+//! (`access`, `date`) is *fully* present in the run, its aggregate
+//! tracing wall-clock must additionally not exceed the interpreter's by
+//! more than the parity tolerance (the paper-facing "no worse than
+//! interpreter-only" bar; per-program parity is deliberately not gated —
+//! `access-binary-trees` trades recording overhead for coverage and the
+//! group absorbs it).
+
+use std::time::{Duration, Instant};
+
+use tm_bench::{BenchProgram, SUITE};
+use tm_support::Json;
+use tracemonkey::{Engine, JitOptions, Vm};
+
+/// Pinned coverage-smoke subset: the programs this PR moved from zero to
+/// nonzero traced instructions (recursion + string/date builtins), plus
+/// the recursion-heavy controlflow program.
+const SMOKE: &[&str] = &[
+    "access-binary-trees",
+    "date-format-tofte",
+    "date-format-xparb",
+    "controlflow-recursive",
+];
+
+/// Groups whose aggregate tracing wall-clock is gated against the
+/// interpreter (the acceptance bar of the recursion/builtin coverage
+/// work).
+const PARITY_GROUPS: &[&str] = &["access", "date"];
+
+/// A gated group's tracing wall-clock may exceed interpreter wall-clock
+/// by at most this factor (slack for CI timer jitter; the measured
+/// ratios are well below 1.0).
+const PARITY_TOLERANCE: f64 = 1.10;
+
+fn fused_counts(prog: &BenchProgram) -> (u64, Vec<(String, u64)>) {
+    let mut vm = Vm::with_options(Engine::Tracing, JitOptions::default());
+    vm.eval(prog.source)
+        .unwrap_or_else(|e| panic!("{} failed under tracing: {e}", prog.name));
+    let stats = &vm.monitor().expect("tracing engine has a monitor").profiler.stats;
+    let mut builtins: Vec<(String, u64)> =
+        stats.builtin_fast_records.iter().map(|(k, &v)| (k.clone(), v)).collect();
+    builtins.sort();
+    (stats.native_insts_fused, builtins)
+}
+
+/// Median of `repeats` fresh-VM wall-clock runs (each run includes
+/// compilation, SunSpider-style).
+fn median_time(prog: &BenchProgram, engine: Engine, repeats: u32) -> Duration {
+    let mut times: Vec<Duration> = (0..repeats.max(1))
+        .map(|_| {
+            let mut vm = Vm::with_options(engine, JitOptions::default());
+            let start = Instant::now();
+            vm.eval(prog.source)
+                .unwrap_or_else(|e| panic!("{} failed under {engine:?}: {e}", prog.name));
+            start.elapsed()
+        })
+        .collect();
+    times.sort();
+    times[times.len() / 2]
+}
+
+/// `name -> fused dispatched count` from a previous bench_pr6 JSON.
+fn load_baseline(path: &str) -> Vec<(String, u64)> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+    let doc = Json::parse(&text).unwrap_or_else(|e| panic!("baseline {path}: {e}"));
+    doc.get("programs")
+        .and_then(Json::as_array)
+        .unwrap_or_else(|| panic!("baseline {path} has no programs array"))
+        .iter()
+        .filter_map(|row| {
+            let name = row.get("name")?.as_str()?;
+            let fused = row.get("fused_dispatched")?.as_u64()?;
+            Some((name.to_owned(), fused))
+        })
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let flag_value = |flag: &str| {
+        args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+    };
+    let only: Option<Vec<String>> =
+        flag_value("--only").map(|names| names.split(',').map(str::to_string).collect());
+    let baseline_path = flag_value("--baseline");
+    let repeats: u32 = args
+        .iter()
+        .enumerate()
+        .filter(|(i, a)| {
+            let prev = i.checked_sub(1).and_then(|p| args.get(p));
+            !matches!(prev.map(String::as_str), Some("--only" | "--baseline"))
+                && a.parse::<u32>().is_ok()
+        })
+        .find_map(|(_, a)| a.parse().ok())
+        .unwrap_or(if smoke { 3 } else { 5 });
+
+    let programs: Vec<&BenchProgram> = if let Some(only) = &only {
+        SUITE.iter().filter(|p| only.iter().any(|n| n == p.name)).collect()
+    } else if smoke {
+        SUITE.iter().filter(|p| SMOKE.contains(&p.name)).collect()
+    } else {
+        SUITE.iter().collect()
+    };
+
+    let baseline = baseline_path.as_deref().map(load_baseline);
+    let mut rows = Vec::new();
+    let mut gate_failures: Vec<String> = Vec::new();
+    let ms = |d: Duration| d.as_secs_f64() * 1e3;
+
+    for prog in &programs {
+        let (fused, builtins) = fused_counts(prog);
+        let interp_t = median_time(prog, Engine::Interp, repeats);
+        let tracing_t = median_time(prog, Engine::Tracing, repeats);
+        eprintln!(
+            "{:28} fused {:>12} insts   interp {:8.2} ms   tracing {:8.2} ms{}",
+            prog.name,
+            fused,
+            ms(interp_t),
+            ms(tracing_t),
+            if prog.untraceable { "   [untraceable_by_design]" } else { "" },
+        );
+        if smoke && fused == 0 && !prog.untraceable {
+            gate_failures.push(format!("{}: zero fused dispatched instructions", prog.name));
+        }
+        if let Some(base) = &baseline {
+            if let Some((_, base_fused)) = base.iter().find(|(n, _)| n == prog.name) {
+                if *base_fused > 0 && fused == 0 {
+                    gate_failures.push(format!(
+                        "{}: traced in the baseline ({} fused insts) but reports zero now",
+                        prog.name, base_fused
+                    ));
+                }
+            }
+        }
+        let builtin_rows: Vec<(String, Json)> =
+            builtins.into_iter().map(|(k, v)| (k, Json::from(v))).collect();
+        rows.push(Json::obj([
+            ("name", Json::from(prog.name)),
+            ("group", Json::from(prog.group)),
+            ("untraceable_by_design", Json::from(prog.untraceable)),
+            ("fused_dispatched", Json::from(fused)),
+            ("interp_ms", Json::from(ms(interp_t))),
+            ("tracing_ms", Json::from(ms(tracing_t))),
+            ("speedup_vs_interp", Json::from(ms(interp_t) / ms(tracing_t).max(1e-9))),
+            (
+                "builtin_fast_records",
+                Json::obj(builtin_rows.iter().map(|(k, v)| (k.as_str(), v.clone()))),
+            ),
+        ]));
+    }
+
+    // Per-group aggregates and the coverage gate: a group is exempt only
+    // when *every* member is untraceable by design.
+    let mut groups: Vec<(&str, u64, bool)> = Vec::new();
+    for prog in &programs {
+        let fused = rows
+            .iter()
+            .find(|r| r.get("name").and_then(Json::as_str) == Some(prog.name))
+            .and_then(|r| r.get("fused_dispatched"))
+            .and_then(Json::as_u64)
+            .unwrap();
+        match groups.iter_mut().find(|(g, _, _)| *g == prog.group) {
+            Some(entry) => {
+                entry.1 += fused;
+                entry.2 &= prog.untraceable;
+            }
+            None => groups.push((prog.group, fused, prog.untraceable)),
+        }
+    }
+    for &(group, fused, exempt) in &groups {
+        if fused == 0 && !exempt {
+            gate_failures.push(format!(
+                "group {group}: zero fused dispatched instructions and not \
+                 untraceable_by_design"
+            ));
+        }
+    }
+    let group_rows: Vec<Json> = groups
+        .iter()
+        .map(|&(group, fused, exempt)| {
+            Json::obj([
+                ("group", Json::from(group)),
+                ("fused_dispatched", Json::from(fused)),
+                ("untraceable_by_design", Json::from(exempt)),
+            ])
+        })
+        .collect();
+
+    // Group wall-clock parity: gated only when every suite member of the
+    // group is present in this run (partial subsets would misattribute a
+    // single program's recording overhead to the whole group).
+    for &gated in PARITY_GROUPS {
+        let members: Vec<&str> =
+            SUITE.iter().filter(|p| p.group == gated).map(|p| p.name).collect();
+        if !members.iter().all(|m| programs.iter().any(|p| p.name == *m)) {
+            continue;
+        }
+        let sum = |key: &str| -> f64 {
+            rows.iter()
+                .filter(|r| r.get("group").and_then(Json::as_str) == Some(gated))
+                .filter_map(|r| r.get(key).and_then(Json::as_f64))
+                .sum()
+        };
+        let interp_total = sum("interp_ms");
+        let tracing_total = sum("tracing_ms");
+        if tracing_total > interp_total * PARITY_TOLERANCE {
+            gate_failures.push(format!(
+                "group {gated}: tracing wall-clock {tracing_total:.2} ms exceeds \
+                 interpreter {interp_total:.2} ms by more than {PARITY_TOLERANCE}x"
+            ));
+        }
+    }
+
+    let out = Json::obj([
+        ("schema", Json::from("bench_pr6/v1")),
+        (
+            "statistic",
+            Json::from(
+                "fused dispatched machine instructions (deterministic, coverage-gated) \
+                 and median wall-clock of fresh-VM runs under interp vs tracing",
+            ),
+        ),
+        ("repeats", Json::from(repeats)),
+        ("smoke", Json::from(smoke)),
+        ("programs", Json::Array(rows)),
+        ("groups", Json::Array(group_rows)),
+    ]);
+    println!("{}", out.to_string_pretty());
+
+    if !gate_failures.is_empty() {
+        eprintln!("bench_pr6 coverage gate FAILED:");
+        for f in &gate_failures {
+            eprintln!("  - {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -1,7 +1,8 @@
 // date-format-tofte: date formatting. The original drives formatting
-// through eval(), which TraceMonkey cannot trace; our port keeps the
-// untraceable character by coercing numeric *strings* in the hot loop
-// (string ToNumber is outside this tracer's specializable subset).
+// through eval(), which TraceMonkey cannot trace; our port substitutes
+// numeric-string coercions in the hot loop. Since the recorder grew a
+// StrToNum fast path, those coercions trace — the port now exercises the
+// string/date builtin fast paths instead of pinning the interpreter.
 function pad(n) { return n < 10 ? '0' + n : '' + n; }
 var out = 0;
 var names = ['Jan','Feb','Mar','Apr','May','Jun','Jul','Aug','Sep','Oct','Nov','Dec'];

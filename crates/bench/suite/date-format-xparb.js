@@ -1,6 +1,7 @@
 // date-format-xparb: alternative date formatter; like the original it
 // leans on dynamic dispatch/eval-style parsing. The hot loop's
-// string->number coercions keep it untraceable for this tracer.
+// string->number coercions trace through the StrToNum fast path, so the
+// port is no longer untraceable for this tracer.
 var suffixes = ['th','st','nd','rd'];
 function ordinal(n) {
     var m = n % 100;

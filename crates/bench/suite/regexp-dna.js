@@ -1,13 +1,17 @@
 // regexp-dna: DNA pattern frequency counting. The original is regexp
 // bound (regexps are not traceable in TraceMonkey); this port scans with
-// string operations and keeps the untraceable character by converting
-// digit strings to numbers in the scoring loop.
+// string operations and keeps the untraceable character by formatting an
+// opaque match record — ToString(object) — on every match. (The earlier
+// stand-in, string->number coercion, became traceable once the recorder
+// grew a StrToNum fast path.)
 var alu = 'GGCCGGGCGCGGTGGCTCACGCCTGTAATCCCAGCACTTTGGGAGGCCGAGGCGGGCGGA';
 var seq = '';
 for (var i = 0; i < 40; i++) seq = seq + alu;
 var patterns = ['AGGC', 'CGCG', 'TTTG', 'GGGA', 'CCCA'];
-var weights = ['3', '1', '4', '1', '5'];
+var weights = [3, 1, 4, 1, 5];
+var tag = {kind: 1};
 var score = 0;
+var log = 0;
 for (var p = 0; p < patterns.length; p++) {
     var pat = patterns[p];
     var w = weights[p];
@@ -15,11 +19,12 @@ for (var p = 0; p < patterns.length; p++) {
     while (true) {
         var at = seq.indexOf(pat, from);
         if (at < 0) break;
-        // Weighted scoring parses the digit string on every match — the
-        // untraceable coercion lives in the hot loop, like the regexp
-        // engine calls in the original.
-        score += +w;
+        // Formatting the match record (object->string coercion) is the
+        // untraceable step, standing in for the regexp engine calls in
+        // the original: every recording attempt aborts here.
+        log = log + ('' + tag).length;
+        score += w;
         from = at + 1;
     }
 }
-score
+score + log % 1

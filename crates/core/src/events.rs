@@ -95,6 +95,11 @@ pub enum AbortReason {
     TooDeep,
     /// A construct the recorder does not support (e.g. reentrant native).
     Unsupported,
+    /// The callee at a recorded call is not a callable object; the
+    /// interpreter raises a TypeError when it re-executes the call.
+    /// Distinct from [`AbortReason::GuestError`], which means a guest
+    /// error actually occurred *while* recording.
+    NotCallable,
     /// A guest error occurred while recording.
     GuestError,
     /// The program finished while recording.

@@ -23,11 +23,27 @@ use crate::exit::{ExitKind, SideExitInfo};
 use crate::oracle::Oracle;
 use crate::profiler::{Activity, Profiler};
 use crate::recorder::{self, RecordAction, RecordedTrace, Recorder};
-use crate::tree::{Anchor, ExitState, TraceTree, TreeCache, TreeId, TreeStats};
+use crate::tree::{Anchor, AnchorKind, ExitState, TraceTree, TreeCache, TreeId, TreeStats};
 
 /// Maximum sibling trees per loop header before the monitor stops
 /// recording new type-permutation trees.
 const MAX_SIBLING_TREES: usize = 8;
+
+/// Whether an abort reason is *provisional* (demote-only): it counts
+/// toward the per-site failure budget but remains eligible for §4.2
+/// nesting forgiveness instead of permanently condemning the site.
+/// `InnerTreeNotReady`/`InnerTreeCallFailed` mean an inner tree was not
+/// compiled (or misbehaved) *yet*; `TooDeep` means recursion exceeded the
+/// unroll budget — the site itself is not hostile to tracing, and the
+/// recursion paths must be able to retry it once entry trees exist.
+pub fn abort_is_provisional(reason: &AbortReason) -> bool {
+    matches!(
+        reason,
+        AbortReason::InnerTreeNotReady
+            | AbortReason::InnerTreeCallFailed
+            | AbortReason::TooDeep
+    )
+}
 
 /// Inline monitor state for one loop header.
 ///
@@ -125,10 +141,24 @@ impl Monitor {
                 Ok(RunExit::LoopEdge { func, header_pc, loop_id }) => {
                     self.profiler.switch(Activity::Monitor);
                     match self.on_loop_edge(
-                        Anchor { func, pc: header_pc, loop_id },
+                        Anchor::loop_header(func, header_pc, loop_id),
                         interp,
                         realm,
                     ) {
+                        Ok(None) => {}
+                        Ok(Some(v)) => break Ok(v),
+                        Err(e) => break Err(e),
+                    }
+                    if let Some(v) = self.finished_during_recording.take() {
+                        break Ok(v);
+                    }
+                    self.profiler.switch(Activity::Interpret);
+                }
+                Ok(RunExit::RecursiveCall { func }) => {
+                    self.profiler.switch(Activity::Monitor);
+                    let nloops = interp.prog().function(func).loops.len();
+                    match self.on_loop_edge(Anchor::func_entry(func, nloops), interp, realm)
+                    {
                         Ok(None) => {}
                         Ok(Some(v)) => break Ok(v),
                         Err(e) => break Err(e),
@@ -149,17 +179,18 @@ impl Monitor {
     }
 
     /// Sizes the dense slot table to the installed program: one slot per
-    /// loop per function. Idempotent; re-running the same interpreter
-    /// keeps accumulated state.
+    /// loop per function, plus one extra slot per function for its
+    /// function-entry (recursion) anchor. Idempotent; re-running the same
+    /// interpreter keeps accumulated state.
     fn ensure_slots(&mut self, interp: &Interp) {
         let prog = interp.prog();
         if self.slots.len() < prog.functions.len() {
             self.slots.resize_with(prog.functions.len(), Vec::new);
         }
         for (f, slots) in self.slots.iter_mut().enumerate() {
-            let nloops = prog.functions[f].loops.len();
-            if slots.len() < nloops {
-                slots.resize_with(nloops, MonitorSlot::default);
+            let nslots = prog.functions[f].loops.len() + 1;
+            if slots.len() < nslots {
+                slots.resize_with(nslots, MonitorSlot::default);
             }
         }
     }
@@ -220,7 +251,7 @@ impl Monitor {
         }
 
         // 3. Blacklist / backoff.
-        match self.blacklist.check((anchor.func, anchor.pc)) {
+        match self.blacklist.check(anchor.site_key()) {
             Verdict::Blacklisted => {
                 self.silence_header(anchor, interp);
                 return Ok(None);
@@ -235,8 +266,14 @@ impl Monitor {
 
     fn anchor_range(&self, anchor: Anchor, interp: &Interp) -> (u32, u32) {
         let f = interp.prog().function(anchor.func);
-        let l = f.loop_with_header(anchor.pc).expect("anchor is a loop header");
-        (l.header, l.end)
+        match anchor.kind {
+            AnchorKind::LoopHeader => {
+                let l = f.loop_with_header(anchor.pc).expect("anchor is a loop header");
+                (l.header, l.end)
+            }
+            // An entry anchor "contains" the whole function body.
+            AnchorKind::FuncEntry => (0, f.code.len() as u32),
+        }
     }
 
     fn record_root(
@@ -282,34 +319,39 @@ impl Monitor {
     fn handle_record_failure(&mut self, anchor: Anchor, reason: AbortReason, interp: &mut Interp) {
         self.events.push(TraceEvent::RecordAbort { reason });
         self.profiler.stats.traces_aborted += 1;
-        let provisional = matches!(
-            reason,
-            AbortReason::InnerTreeNotReady | AbortReason::InnerTreeCallFailed
-        );
-        if self.blacklist.record_failure((anchor.func, anchor.pc), provisional) {
+        if self.blacklist.record_failure(anchor.site_key(), abort_is_provisional(&reason)) {
             self.silence_header(anchor, interp);
         }
     }
 
-    /// Patches the loop header to `Nop` and marks its monitor slot
-    /// silenced: neither the interpreter nor the monitor will ever touch
-    /// this loop's state again.
+    /// Silences the anchor permanently: a loop header is patched to `Nop`,
+    /// a function-entry anchor stops the interpreter's recursion reports.
+    /// Either way its monitor slot is marked silenced — neither the
+    /// interpreter nor the monitor will ever touch this anchor again.
     fn silence_header(&mut self, anchor: Anchor, interp: &mut Interp) {
-        interp.patch_loop_header(anchor.func, anchor.pc);
+        match anchor.kind {
+            AnchorKind::LoopHeader => interp.patch_loop_header(anchor.func, anchor.pc),
+            AnchorKind::FuncEntry => interp.silence_recursion(anchor.func),
+        }
         self.slots[anchor.func.0 as usize][anchor.loop_id.0 as usize].silenced = true;
-        self.events.push(TraceEvent::Blacklist { func: anchor.func, pc: anchor.pc });
+        let (_, site_pc) = anchor.site_key();
+        self.events.push(TraceEvent::Blacklist { func: anchor.func, pc: site_pc });
     }
 
     /// §4.2: an inner tree completed a trace; forgive outer loops that
-    /// aborted waiting for it.
+    /// aborted waiting for it. The function-entry anchor encloses every
+    /// loop in the function, so it is always forgiven alongside them.
     fn forgive_outer_loops(&mut self, anchor: Anchor, interp: &Interp) {
         let f = interp.prog().function(anchor.func);
-        let outer_headers: Vec<u32> = f
+        let mut outer_headers: Vec<u32> = f
             .loops
             .iter()
             .filter(|l| l.contains_pc(anchor.pc) && l.header != anchor.pc)
             .map(|l| l.header)
             .collect();
+        if anchor.kind == AnchorKind::LoopHeader {
+            outer_headers.push(crate::tree::ENTRY_SITE_PC);
+        }
         self.blacklist.forgive_outer(anchor.func, &outer_headers);
     }
 
@@ -323,7 +365,9 @@ impl Monitor {
         loop {
             match rec.record_op(interp, realm, &self.oracle) {
                 RecordAction::Step { observe } => match interp.step(realm) {
-                    Ok(Flow::Normal | Flow::LoopHeader(_)) => {
+                    // `RecursiveCall` is informational: while recording, the
+                    // recorder has already shadowed the call in `record_call`.
+                    Ok(Flow::Normal | Flow::LoopHeader(_) | Flow::RecursiveCall { .. }) => {
                         if observe {
                             rec.after_step(interp, realm);
                         }
@@ -337,9 +381,12 @@ impl Monitor {
                 }
                 RecordAction::Abort(reason) => return Ok(RecResult::Abort(reason)),
                 RecordAction::InnerLoop { func, pc, loop_id } => {
-                    match self
-                        .handle_inner_loop(rec, Anchor { func, pc, loop_id }, interp, realm)?
-                    {
+                    match self.handle_inner_loop(
+                        rec,
+                        Anchor::loop_header(func, pc, loop_id),
+                        interp,
+                        realm,
+                    )? {
                         Ok(()) => {
                             // Nested call recorded; the step that brought
                             // us to the inner header was the LoopHeader op,
@@ -375,7 +422,7 @@ impl Monitor {
         // The LoopHeader op at the inner header has *not* been stepped;
         // step past it so interpreter state matches a normal tree entry.
         match interp.step(realm) {
-            Ok(Flow::LoopHeader(_) | Flow::Normal) => {}
+            Ok(Flow::LoopHeader(_) | Flow::Normal | Flow::RecursiveCall { .. }) => {}
             Ok(Flow::Finished(v)) => return Err(RecordError::ProgramFinished(v)),
             Err(e) => return Err(RecordError::Guest(e)),
         }
@@ -440,7 +487,21 @@ impl Monitor {
         frag
     }
 
+    /// Rolls a completed recording's typed fast-call sites into the
+    /// per-builtin trace counters.
+    fn count_fast_helpers(&mut self, recorded: &mut RecordedTrace) {
+        for h in recorded.fast_helpers.drain(..) {
+            *self
+                .profiler
+                .stats
+                .builtin_fast_records
+                .entry(format!("{h:?}"))
+                .or_insert(0) += 1;
+        }
+    }
+
     fn build_root_tree(&mut self, anchor: Anchor, mut recorded: RecordedTrace) -> TreeId {
+        self.count_fast_helpers(&mut recorded);
         let frag = self.compile_fragment(&mut recorded, &[]);
         for m in recorded.oracle_marks.drain(..) {
             self.oracle.mark_double(m);
@@ -489,6 +550,7 @@ impl Monitor {
         parent_exit: u16,
         mut recorded: RecordedTrace,
     ) {
+        self.count_fast_helpers(&mut recorded);
         // Entry requirements for monitor-mediated entry at this fragment:
         // everything the parent exit's type map describes plus the tree's
         // entry slots. Doubles as the entry base for trace verification.

@@ -79,6 +79,10 @@ pub struct ProfileStats {
     /// Property inline-cache hit/miss counters, rolled up from the
     /// interpreter at the end of each monitored run.
     pub ic: tm_runtime::IcStats,
+    /// Per-builtin trace counters: typed fast-call sites compiled into
+    /// traces, keyed by helper name (see DIAGNOSTICS.md). Counts static
+    /// call sites per compiled fragment, not dynamic executions.
+    pub builtin_fast_records: std::collections::HashMap<String, u64>,
 }
 
 impl ProfileStats {

@@ -26,7 +26,12 @@ use crate::config::JitOptions;
 use crate::events::AbortReason;
 use crate::exit::{ExitKind, FrameDesc, SideExitInfo};
 use crate::oracle::{var_key, Oracle, VarKey};
-use crate::tree::{Anchor, EntrySlot, NestedSite, TreeId};
+use crate::tree::{Anchor, AnchorKind, EntrySlot, NestedSite, TreeId};
+
+/// Hard cap on shadow frames per recording: `SlotKey::Local` keys frame
+/// depth in a `u8`, so side exits cannot describe deeper inlining no
+/// matter what `max_inline_depth` is configured to.
+const MAX_SHADOW_FRAMES: usize = 200;
 
 /// A shadow value: the SSA id computing an interpreter value, plus its
 /// unboxed type (never `Boxed` on the shadow stack).
@@ -111,6 +116,9 @@ pub struct RecordedTrace {
     /// looping trace): their values survive across iterations in the AR,
     /// so *every* exit of the tree must write them back.
     pub loop_writes: Vec<(ArSlot, SlotKey, LirType)>,
+    /// Builtin helpers emitted as typed fast calls (per-builtin trace
+    /// counters; see DIAGNOSTICS.md).
+    pub fast_helpers: Vec<Helper>,
 }
 
 /// Projects a side-exit descriptor down to the shape the verifier checks
@@ -215,6 +223,9 @@ pub struct Recorder {
     /// Set by the fast-native helper: the last native call used the typed
     /// fast path.
     last_was_fast: bool,
+    /// Builtin helpers emitted as typed fast calls during this recording
+    /// (diagnostics: the per-builtin trace counters in DIAGNOSTICS.md).
+    fast_helpers: Vec<Helper>,
 }
 
 impl std::fmt::Debug for Recorder {
@@ -274,6 +285,7 @@ impl Recorder {
             pre_depths: Vec::new(),
             site_ok: true,
             last_was_fast: false,
+            fast_helpers: Vec::new(),
             nested_anchors: Vec::new(),
         }
     }
@@ -320,6 +332,7 @@ impl Recorder {
             pre_depths: Vec::new(),
             site_ok: true,
             last_was_fast: false,
+            fast_helpers: Vec::new(),
             nested_anchors: Vec::new(),
         };
         // Every existing tree-entry slot is already populated at tree
@@ -679,7 +692,20 @@ impl Recorder {
             LirType::Undefined | LirType::Object => {
                 Ok((self.emit(Lir::ConstD(f64::NAN.to_bits())), true))
             }
-            LirType::String | LirType::Boxed => Err(AbortReason::Unsupported),
+            // String → number runs the interpreter's own `parse_number`
+            // through a pure helper; the result is always a double (the
+            // recorder widens int-valued numbers elsewhere too).
+            LirType::String => {
+                let e = self.guard_exit();
+                let id = self.emit(Lir::Call {
+                    helper: Helper::StrToNum,
+                    args: vec![sv.id].into_boxed_slice(),
+                    ret: LirType::Double,
+                    exit: e,
+                });
+                Ok((id, true))
+            }
+            LirType::Boxed => Err(AbortReason::Unsupported),
         }
     }
 
@@ -700,7 +726,11 @@ impl Recorder {
             LirType::Null | LirType::Undefined | LirType::Object => {
                 Ok((self.emit(Lir::ConstI(0)), false))
             }
-            LirType::String | LirType::Boxed => Err(AbortReason::Unsupported),
+            LirType::String => {
+                let (d, _) = self.to_num(sv)?;
+                Ok((self.emit(Lir::D2I32(d)), true))
+            }
+            LirType::Boxed => Err(AbortReason::Unsupported),
         }
     }
 
@@ -1028,16 +1058,19 @@ impl Recorder {
             Op::Call(argc) => return self.record_call(argc, false, interp, realm),
             Op::New(argc) => return self.record_call(argc, true, interp, realm),
             Op::Return | Op::ReturnUndef => {
+                if self.frames.len() == 1 {
+                    // Returning out of the entry frame leaves the trace
+                    // region. Snapshot *before* popping the result: the
+                    // interpreter re-executes the Return at the exit and
+                    // pops the result itself.
+                    self.finish_leave(self.pre_pc);
+                    return Ok(RecordAction::Finished);
+                }
                 let result = if matches!(op, Op::Return) {
                     self.pop()
                 } else {
                     self.undefined_sv()
                 };
-                if self.frames.len() == 1 {
-                    // Returning out of the entry frame leaves the loop.
-                    self.finish_leave(self.pre_pc);
-                    return Ok(RecordAction::Finished);
-                }
                 let frame = self.frames.pop().expect("frame");
                 let result = if frame.is_construct && result.ty != LirType::Object {
                     frame.locals[0].expect("this is always set")
@@ -1086,7 +1119,10 @@ impl Recorder {
 
             Op::LoopHeader(loop_id) => {
                 let frame = interp.frame();
-                if self.depth() == 0 && frame.func == self.anchor.func && frame.pc == self.anchor.pc
+                if self.anchor.kind == AnchorKind::LoopHeader
+                    && self.depth() == 0
+                    && frame.func == self.anchor.func
+                    && frame.pc == self.anchor.pc
                 {
                     debug_assert!(
                         self.frames[0].stack.is_empty(),
@@ -1775,13 +1811,17 @@ impl Recorder {
         let callee_actual = top_value(interp, callee_offset);
         let callee_sv = self.peek(callee_offset);
         let Some(callee_oid) = callee_actual.as_object() else {
-            return Err(AbortReason::GuestError);
+            // The interpreter will raise a TypeError when it re-executes
+            // this call; that is a guest-visible error, but *recording*
+            // stops because the callee is not callable — keep the two
+            // distinct in the abort taxonomy.
+            return Err(AbortReason::NotCallable);
         };
         if callee_sv.ty != LirType::Object {
             return Err(AbortReason::Unsupported);
         }
         let Some(callee_kind) = realm.heap.object(callee_oid).callee else {
-            return Err(AbortReason::GuestError);
+            return Err(AbortReason::NotCallable);
         };
         // Function identity guard ("the recorder must also emit LIR to
         // guard that the function is the same", §3.1).
@@ -1790,13 +1830,75 @@ impl Recorder {
 
         match callee_kind {
             Callee::Scripted(fidx) => {
-                if self.frames.len() >= self.opts.max_inline_depth {
-                    return Err(AbortReason::TooDeep);
-                }
                 let func = FuncId(fidx);
                 let f = interp.prog().function(func);
                 let nparams = f.nparams as usize;
                 let nlocals = f.nlocals as usize;
+
+                // Tail recursion back to the entry anchor closes into a
+                // loop: the arguments become loop-carried values and the
+                // trace ends with a loop-back (classic TCO — sound because
+                // every tail call returns the callee's result unchanged,
+                // so no intermediate frame is observable). The entry frame
+                // must not be a construct frame: its `this` local doubles
+                // as the `new`-fixup value on return.
+                if self.anchor.kind == AnchorKind::FuncEntry
+                    && !is_construct
+                    && self.depth() == 0
+                    && func == self.anchor.func
+                    && !interp.frame().is_construct
+                    && self.frames[0].stack.len() == argc + 2
+                    && matches!(
+                        interp
+                            .prog()
+                            .function(self.anchor.func)
+                            .code
+                            .get(self.pre_pc as usize + 1),
+                        Some(Op::Return)
+                    )
+                {
+                    let mut args = Vec::with_capacity(argc);
+                    for _ in 0..argc {
+                        args.push(self.pop());
+                    }
+                    args.reverse();
+                    let this_sv = self.pop();
+                    let _callee = self.pop();
+                    self.set_local(0, this_sv);
+                    for i in 0..nparams {
+                        let sv = if i < args.len() {
+                            args[i]
+                        } else {
+                            self.undefined_sv()
+                        };
+                        self.set_local(1 + i as u16, sv);
+                    }
+                    for slot in (1 + nparams)..nlocals {
+                        let sv = self.undefined_sv();
+                        self.set_local(slot as u16, sv);
+                    }
+                    self.finish_at_anchor();
+                    return Ok(RecordAction::Finished);
+                }
+
+                // `SlotKey::Local` carries the frame depth in a u8; never
+                // record beyond what exits can describe.
+                if self.frames.len() >= MAX_SHADOW_FRAMES {
+                    return Err(AbortReason::TooDeep);
+                }
+                if self.frames.len() >= self.opts.max_inline_depth {
+                    if self.anchor.kind == AnchorKind::FuncEntry {
+                        // Call-depth-specialized unrolling: end the trace
+                        // with a Leave exit at the call op. Resuming
+                        // re-executes the call, the interpreter reports the
+                        // recursion, and the monitor re-enters this same
+                        // entry tree at the deeper frame instead of
+                        // aborting the recording.
+                        self.finish_leave(self.pre_pc);
+                        return Ok(RecordAction::Finished);
+                    }
+                    return Err(AbortReason::TooDeep);
+                }
 
                 // Collect args (top of stack is the last arg).
                 let mut args = Vec::with_capacity(argc);
@@ -1970,6 +2072,7 @@ impl Recorder {
             exit: e,
         });
         self.last_was_fast = true;
+        self.fast_helpers.push(fast.helper);
         Some(id)
     }
 
@@ -2180,6 +2283,7 @@ impl Recorder {
             nested_sites: self.nested_sites,
             loop_live,
             loop_writes: self.loop_writes,
+            fast_helpers: self.fast_helpers,
         }
     }
 

@@ -24,17 +24,62 @@ use crate::exit::SideExitInfo;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TreeId(pub u32);
 
-/// A loop-header anchor: function plus header pc.
+/// What kind of program point a trace tree anchors at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AnchorKind {
+    /// A `LoopHeader` op — the paper's loop anchors.
+    LoopHeader,
+    /// A function entry (pc 0), used to trace recursion: tail recursion
+    /// closes into a loop at the entry, downward recursion unrolls to the
+    /// inline-depth budget and re-enters the monitor at the deeper frame.
+    FuncEntry,
+}
+
+/// A trace anchor: a loop header or a function entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Anchor {
-    /// Function containing the loop.
+    /// Function containing the anchor.
     pub func: FuncId,
-    /// Instruction index of the `LoopHeader` op.
+    /// Instruction index of the `LoopHeader` op (loop anchors) or 0
+    /// (function-entry anchors).
     pub pc: u32,
-    /// The loop's id within `func` — the dense index into the monitor's
-    /// per-function slot table. Fully determined by `(func, pc)`.
+    /// The dense index into the monitor's per-function slot table: the
+    /// loop's id for loop anchors, or one past the function's last loop id
+    /// for the (single) entry anchor. Fully determined by `(func, pc, kind)`.
     pub loop_id: LoopId,
+    /// Loop header or function entry.
+    pub kind: AnchorKind,
 }
+
+impl Anchor {
+    /// A loop-header anchor.
+    pub fn loop_header(func: FuncId, pc: u32, loop_id: LoopId) -> Anchor {
+        Anchor { func, pc, loop_id, kind: AnchorKind::LoopHeader }
+    }
+
+    /// The function-entry anchor of `func`, where `nloops` is the number
+    /// of loops in `func` (the entry anchor uses the slot just past them).
+    pub fn func_entry(func: FuncId, nloops: usize) -> Anchor {
+        Anchor {
+            func,
+            pc: 0,
+            loop_id: LoopId(nloops as u16),
+            kind: AnchorKind::FuncEntry,
+        }
+    }
+
+    /// Blacklist site key. Entry anchors use a sentinel pc so they never
+    /// collide with a real loop header at pc 0.
+    pub fn site_key(&self) -> (FuncId, u32) {
+        match self.kind {
+            AnchorKind::LoopHeader => (self.func, self.pc),
+            AnchorKind::FuncEntry => (self.func, ENTRY_SITE_PC),
+        }
+    }
+}
+
+/// Sentinel pc used as the blacklist key of function-entry anchors.
+pub const ENTRY_SITE_PC: u32 = u32::MAX;
 
 /// Per-side-exit monitor state, stored densely parallel to
 /// [`TraceTree::exits`] — a bounds-checked array access on the hot
@@ -255,7 +300,7 @@ mod tests {
     fn tree_with_entry(entry: Vec<EntrySlot>) -> TraceTree {
         TraceTree {
             id: TreeId(0),
-            anchor: Anchor { func: FuncId(0), pc: 3, loop_id: LoopId(0) },
+            anchor: Anchor::loop_header(FuncId(0), 3, LoopId(0)),
             layout: ArLayout::new(),
             entry,
             fragments: Rc::new(vec![]),
@@ -314,7 +359,7 @@ mod tests {
         realm.set_global(g, Value::new_int(5));
 
         let mut cache = TreeCache::new();
-        let anchor = Anchor { func: FuncId(0), pc: 3, loop_id: LoopId(0) };
+        let anchor = Anchor::loop_header(FuncId(0), 3, LoopId(0));
         let t_dbl = tree_with_entry(vec![EntrySlot {
             ar: 0,
             key: SlotKey::Global(g),

@@ -613,7 +613,14 @@ pub fn install(realm: &mut Realm) {
 
     // String object (constructor-less namespace with fromCharCode).
     let string_ns = realm.new_plain_object();
-    let id = realm.register_native("String.fromCharCode", string_from_char_code, ALLOC, None);
+    let id = realm.register_native(
+        "String.fromCharCode",
+        string_from_char_code,
+        ALLOC,
+        // Typed fast path for the common 1-arg case; multi-arg calls take
+        // the generic boxed path.
+        Some(FastNative { helper: Helper::FromCharCode, args: &[Int], ret: Str }),
+    );
     let fv = realm.new_native_function(id);
     let sym = realm.symbols.intern("fromCharCode");
     realm.set_prop(Value::new_object(string_ns), sym, fv).expect("String is an object");

@@ -151,6 +151,8 @@ pub enum Helper {
     Substring,
     /// (i32 code) -> str. Allocates. (`String.fromCharCode`, 1-arg case)
     FromCharCode,
+    /// (str) -> double bits: JS `ToNumber` on a string body. Pure.
+    StrToNum,
     /// (str) -> str lower-cased. Allocates.
     ToLowerCase,
     /// (str) -> str upper-cased. Allocates.
@@ -406,6 +408,9 @@ pub fn call_helper(realm: &mut Realm, h: Helper, args: &[Word]) -> Result<Word, 
             let v = realm.heap.alloc_string_bytes(vec![c]);
             maybe_defer_gc(realm);
             hs(v)
+        }
+        Helper::StrToNum => {
+            word_from_f64(ops::parse_number(realm.heap.string(strid(args[0]))))
         }
         Helper::ToLowerCase => {
             let bytes: Vec<u8> =

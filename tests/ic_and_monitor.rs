@@ -105,10 +105,10 @@ fn blacklisted_header_bypasses_the_monitor_slot() {
     // the monitor for that loop again: total slot activity stays a small
     // constant even though the loop runs thousands of iterations.
     let vm = traced_vm(
-        "var s = 0;
-         var digits = '0123456789';
+        "var s = '';
+         var o = {x: 1};
          for (var i = 0; i < 3000; i++) {
-             s += +digits.charAt(i % 10); // ToNumber(string): untraceable
+             s = '' + o; // ToString(object): untraceable
          }
          s",
     );

@@ -73,12 +73,14 @@ fn site_demotion_does_not_change_results() {
     assert_eq!(traced_result(&mut vm, OVERFLOW_SITE_SRC), interp_result(OVERFLOW_SITE_SRC));
 }
 
-/// A loop the recorder always aborts on (ToNumber of a string is outside
+/// A loop the recorder always aborts on (ToString of an object is outside
 /// the traceable subset), used to probe blacklist thresholds.
 const UNTRACEABLE_SRC: &str = "var s = 0;
-     var digits = '0123456789';
+     var o = {x: 1};
+     var t = '';
      for (var i = 0; i < 3000; i++) {
-         s += +digits.charAt(i % 10);
+         t = '' + o;
+         s += 1;
      }
      s";
 
@@ -130,4 +132,55 @@ fn disabled_blacklist_keeps_reattempting() {
     // Ablation changes policy, never observable results.
     let m = vm.monitor().unwrap();
     assert_eq!(m.blacklist.blacklisted_count(), 0);
+}
+
+#[test]
+fn too_deep_is_demote_only_in_the_abort_taxonomy() {
+    // §3.3/§4.2: depth-budget aborts are provisional (like nesting
+    // not-ready) — the site may become traceable once inner/entry trees
+    // exist, so forgiveness can undo the failure count. Hard aborts are
+    // not forgivable.
+    use tracemonkey::jit::events::AbortReason;
+    use tracemonkey::jit::monitor::abort_is_provisional;
+    assert!(abort_is_provisional(&AbortReason::TooDeep));
+    assert!(abort_is_provisional(&AbortReason::InnerTreeNotReady));
+    assert!(abort_is_provisional(&AbortReason::InnerTreeCallFailed));
+    assert!(!abort_is_provisional(&AbortReason::Unsupported));
+    assert!(!abort_is_provisional(&AbortReason::NotCallable));
+    assert!(!abort_is_provisional(&AbortReason::GuestError));
+}
+
+#[test]
+fn non_callable_callee_aborts_with_not_callable_not_guest_error() {
+    // The callee array turns non-callable exactly when the loop goes hot:
+    // recording stops with the dedicated NotCallable reason (the guest
+    // error — the TypeError the interpreter then raises — is a separate
+    // concept and must not be conflated).
+    use tracemonkey::jit::events::AbortReason;
+    let src = "function f(x) { return x + 1; }
+         var fs = [f, 5, 5, 5, 5, 5, 5, 5];
+         var s = 0;
+         for (var i = 0; i < 8; i++) s += fs[i](i);
+         s";
+    let mut opts = JitOptions::default();
+    opts.log_events = true;
+    let mut vm = Vm::with_options(Engine::Tracing, opts);
+    let err = vm.eval(src);
+    assert!(err.is_err(), "calling a number raises a guest TypeError");
+    let m = vm.monitor().unwrap();
+    let events = m.events.events();
+    let not_callable = events
+        .iter()
+        .filter(|e| {
+            matches!(e, TraceEvent::RecordAbort { reason: AbortReason::NotCallable })
+        })
+        .count();
+    let guest_error = events
+        .iter()
+        .filter(|e| {
+            matches!(e, TraceEvent::RecordAbort { reason: AbortReason::GuestError })
+        })
+        .count();
+    assert_eq!(not_callable, 1, "exactly one NotCallable recording abort");
+    assert_eq!(guest_error, 0, "no recording abort is misfiled as GuestError");
 }

@@ -1,0 +1,199 @@
+//! Recursion tracing tests: function-entry anchors close tail recursion
+//! into loop traces and unroll downward recursion with a depth budget,
+//! instead of aborting with `TooDeep`. Every shape is checked
+//! differentially against the pure interpreter and must actually reach
+//! compiled code (nonzero fused dispatched instructions).
+
+use tracemonkey::jit::events::{AbortReason, TraceEvent};
+use tracemonkey::{Engine, JitOptions, Vm};
+
+fn traced_vm(src: &str) -> Vm {
+    traced_vm_with(src, |_| {})
+}
+
+fn traced_vm_with(src: &str, tweak: impl FnOnce(&mut JitOptions)) -> Vm {
+    let mut opts = JitOptions::default();
+    opts.log_events = true;
+    tweak(&mut opts);
+    let mut vm = Vm::with_options(Engine::Tracing, opts);
+    vm.eval(src).expect("traced program runs");
+    vm
+}
+
+fn interp_number(src: &str) -> Option<f64> {
+    let mut vm = Vm::new(Engine::Interp);
+    vm.eval_number(src).expect("interpreter runs")
+}
+
+/// Differential check plus the coverage assertion of this PR: the program
+/// must agree with the interpreter *and* dispatch fused native code.
+fn check_traced(src: &str) -> Vm {
+    let mut vm = traced_vm(src);
+    let traced = vm.eval_number(src).expect("second traced run");
+    assert_eq!(traced, interp_number(src), "tracing disagrees on: {src}");
+    let p = vm.profile().expect("profile");
+    assert!(
+        p.native_insts_fused > 0,
+        "recursion must reach compiled code, got 0 fused dispatched insts for: {src}"
+    );
+    vm
+}
+
+#[test]
+fn self_tail_call_closes_into_a_loop_trace() {
+    let src = "function sum(n, acc) {
+            if (n == 0) return acc;
+            return sum(n - 1, acc + n);
+        }
+        sum(20000, 0)";
+    let vm = check_traced(src);
+    let m = vm.monitor().unwrap();
+    // The tail call loops back to the entry anchor: the trace is a real
+    // loop, so iterations run natively without growing call depth.
+    let completed = m
+        .events
+        .events()
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::RecordFinish { .. }))
+        .count();
+    assert!(completed >= 1, "the tail-recursive entry trace compiles");
+    let p = vm.profile().unwrap();
+    assert!(
+        p.trace_enters >= 1,
+        "the compiled entry tree is entered, got {}",
+        p.trace_enters
+    );
+}
+
+#[test]
+fn tail_recursion_with_argument_rebinding_agrees_on_types() {
+    // The loop-carried values change type (int → double) mid-recursion:
+    // stability analysis must coerce or grow a sibling tree, never give a
+    // wrong answer.
+    check_traced(
+        "function scale(n, x) {
+            if (n == 0) return x;
+            return scale(n - 1, x + 0.5);
+        }
+        scale(10000, 0)",
+    );
+}
+
+#[test]
+fn mutual_recursion_traces_via_unrolling() {
+    // isEven/isOdd call each other; the entry anchor's unrolled trace
+    // inlines the partner function and leaves through the depth budget.
+    check_traced(
+        "function isEven(n) { if (n == 0) return 1; return isOdd(n - 1); }
+         function isOdd(n) { if (n == 0) return 0; return isEven(n - 1); }
+         var s = 0;
+         for (var i = 0; i < 60; i++) s += isEven(i + 40);
+         s",
+    );
+}
+
+#[test]
+fn binary_tree_recursion_mixes_native_and_interpreted_frames() {
+    // Downward (non-tail) recursion: depth-specialized unrolled traces
+    // cover a window of frames; the side exit at the depth budget
+    // re-enters the monitor at the deeper frame (no aborts required).
+    let src = "function item(depth) {
+            if (depth == 0) return 1;
+            return item(depth - 1) + item(depth - 1) + 1;
+        }
+        var total = 0;
+        for (var d = 4; d <= 12; d++) total += item(d);
+        total % 1000000";
+    let vm = check_traced(src);
+    let p = vm.profile().unwrap();
+    // Mixed execution: both engines contribute bytecodes.
+    assert!(p.bytecodes_native > 0, "some frames run natively");
+    assert!(p.bytecodes_interp > 0, "some frames run interpreted");
+}
+
+#[test]
+fn hot_side_exits_off_a_recursive_trace_grow_branches() {
+    // A recursive trace whose leaf test alternates between two data paths:
+    // both sides go hot, so the tree must grow branch fragments off the
+    // recursive trunk (two hot side exits).
+    let src = "function walk(n, bias) {
+            if (n < 2) return bias;
+            if ((n & 1) == bias) return walk(n - 1, bias) + 1;
+            return walk(n - 2, 1 - bias) + 2;
+        }
+        var s = 0;
+        for (var i = 0; i < 40; i++) s += walk(120 + (i % 3), i & 1);
+        s";
+    let vm = check_traced(src);
+    let m = vm.monitor().unwrap();
+    let branches = m
+        .events
+        .events()
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::RecordStartBranch { .. }))
+        .count();
+    assert!(
+        branches >= 2,
+        "two hot side exits must start branch recordings, got {branches}"
+    );
+}
+
+#[test]
+fn deep_recursion_under_tiny_inline_budget_still_compiles() {
+    // With max_inline_depth=2 the old recorder aborted every recursive
+    // call with TooDeep; entry anchors now leave through the depth budget
+    // and re-enter at the deeper frame, so no TooDeep abort fires at all.
+    // The driver is itself tail-recursive (no loop header anywhere): every
+    // anchor in the program is a function entry.
+    let src = "function fact(n) {
+            if (n < 2) return 1;
+            return n * fact(n - 1);
+        }
+        function drive(i, s) {
+            if (i == 0) return s;
+            return drive(i - 1, (s + fact(12)) % 1000003);
+        }
+        drive(200, 0)";
+    let vm = traced_vm_with(src, |o| o.max_inline_depth = 2);
+    let mut vm2 = Vm::new(Engine::Interp);
+    let mut traced = Vm::with_options(Engine::Tracing, {
+        let mut o = JitOptions::default();
+        o.max_inline_depth = 2;
+        o
+    });
+    assert_eq!(
+        traced.eval_number(src).unwrap(),
+        vm2.eval_number(src).unwrap(),
+        "tiny inline budget must not change results"
+    );
+    let m = vm.monitor().unwrap();
+    let too_deep = m
+        .events
+        .events()
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::RecordAbort { reason: AbortReason::TooDeep }))
+        .count();
+    assert_eq!(too_deep, 0, "entry anchors leave at the depth budget instead of aborting");
+    let p = vm.profile().unwrap();
+    assert!(p.traces_completed >= 1, "recursive entry traces compile at depth budget 2");
+    assert!(p.native_insts_fused > 0, "and execute natively");
+}
+
+#[test]
+fn recursion_in_constructors_stays_correct() {
+    // Construct frames are excluded from tail-call loop closure (the
+    // `this` local doubles as the `new`-fixup value); make sure recursive
+    // constructors still answer correctly whichever path records.
+    check_traced(
+        "function Node(depth) {
+            this.depth = depth;
+            if (depth > 0) this.child = new Node(depth - 1);
+        }
+        var s = 0;
+        for (var i = 0; i < 50; i++) {
+            var n = new Node(6);
+            s += n.child.child.depth;
+        }
+        s",
+    );
+}

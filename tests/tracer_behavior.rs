@@ -153,14 +153,16 @@ fn oracle_demotes_after_unstable_recording() {
 
 #[test]
 fn blacklisting_patches_untraceable_loops() {
-    // §3.3: a loop whose body always aborts recording (string→number
+    // §3.3: a loop whose body always aborts recording (object→string
     // coercion is outside the recorder's subset) gets blacklisted, and the
     // loop-header op is patched so the monitor is never called again.
     let vm = traced_vm(
         "var s = 0;
-         var digits = '0123456789';
+         var o = {x: 1};
+         var t = '';
          for (var i = 0; i < 3000; i++) {
-             s += +digits.charAt(i % 10); // ToNumber(string): untraceable
+             t = '' + o; // ToString(object): untraceable
+             s += 1;
          }
          s",
     );
