@@ -66,4 +66,18 @@ echo "==> coverage smoke: recursion + string/date builtins (release)"
     > target/BENCH_pr6_smoke.json
 echo "    OK: wrote target/BENCH_pr6_smoke.json"
 
+echo "==> warm-start smoke: persistent trace cache across processes (release)"
+# Two fresh processes per program share one cache file (docs/PERSISTENCE.md).
+# The cold phase records, persists, and re-runs until the cache is
+# converged (no new recordings); the warm phase is a separate process that
+# must load every tree, record *nothing*, and beat the cold ramp on
+# non-native bytecodes. BENCH_pr7.json pins the converged warm-start
+# footprint per program; wall-clock is reported but never gated.
+rm -rf target/tmcache
+./target/release/bench_warmup --smoke --phase cold --cache-dir target/tmcache \
+    > target/BENCH_pr7_cold_smoke.json
+./target/release/bench_warmup --smoke --phase warm --cache-dir target/tmcache \
+    --baseline BENCH_pr7.json > target/BENCH_pr7_smoke.json
+echo "    OK: wrote target/BENCH_pr7_smoke.json"
+
 echo "==> ci.sh: all green"

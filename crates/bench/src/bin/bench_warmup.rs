@@ -1,0 +1,396 @@
+//! Warm-start benchmark (`BENCH_pr7.json`): time-to-peak under a cold
+//! JIT versus a JIT warm-started from the persistent trace cache
+//! (`docs/PERSISTENCE.md`).
+//!
+//! Per program, the harness drives the same cache file with **fresh
+//! VMs**: a *cold* run records traces and persists them, follow-up runs
+//! keep appending until the cache reaches its fixed point (a warmed run
+//! has native coverage from iteration 0, so side exits that never got
+//! hot under the cold ramp can become hot and extend the trees — each
+//! quiescing run saves its additions), and the final *warm* run must
+//! install everything from disk and record **nothing**. The headline
+//! statistic is deterministic: `warm_bytecodes`, the number of
+//! bytecodes executed outside compiled traces (interpreted plus
+//! recorded). A warmed run skips the entire hotness/record/compile
+//! ramp, so its count must be strictly lower than the cold run's on
+//! every program that traces. Wall-clock time-to-peak is reported for
+//! trend inspection but never gated.
+//!
+//! Usage:
+//!   `bench_warmup [repeats]`          full 26-program suite, JSON to stdout
+//!   `bench_warmup --smoke [reps]`     pinned fast subset (see `SMOKE`)
+//!   `bench_warmup --only a,b [reps]`  named subset only
+//!   `bench_warmup --baseline FILE`    additionally gate: exit non-zero if a
+//!                                     program's warm bytecode count exceeds
+//!                                     the checked-in baseline by >5%, or a
+//!                                     program warm-started in the baseline
+//!                                     no longer does
+//!   `bench_warmup --phase cold|warm|both`
+//!                                     `cold` records, persists, and
+//!                                     converges the caches; `warm` gates a
+//!                                     single strict run against caches
+//!                                     written by an earlier process (the
+//!                                     ci.sh fresh-process warm-start
+//!                                     stage)
+//!   `bench_warmup --cache-dir DIR`    where cache files live (default: a
+//!                                     fixed directory under the system
+//!                                     temp dir)
+//!
+//! Gates (always on for the programs in the run):
+//!   1. every warmed run hits the cache (`cache_hits == 1`);
+//!   2. the cache quiesces within `MAX_WARM_RUNS` fresh VMs, and the
+//!      final warm run records nothing (`traces_completed == 0 &&
+//!      traces_aborted == 0`) — strict on the *first* run in `--phase
+//!      warm`, whose caches are already converged;
+//!   3. the final warm run installs at least every tree and fragment the
+//!      cold run recorded (`cache_loaded_trees`/`cache_loaded_fragments`);
+//!   4. on every program whose warm run enters compiled traces,
+//!      `warm_bytecodes < cold_bytecodes` (the time-to-peak claim). A
+//!      program may instead converge to *zero* trace entries: the §3.3
+//!      short-loop/blacklist machinery decided tracing it is
+//!      unprofitable, and the cache persists that verdict — the warmed
+//!      run then skips the whole futile record/compile tax and runs at
+//!      interpreter speed (reported as `converged_to_interp`);
+//!   5. with `--baseline`, no >5% regression of `warm_bytecodes`, and no
+//!      program flipping from warm-started to converged-to-interp.
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use tm_bench::{BenchProgram, SUITE};
+use tm_support::Json;
+use tracemonkey::{Engine, JitOptions, Vm};
+
+/// Pinned warm-start smoke subset: cheap programs covering loops,
+/// floating point, strings, and recursion (the trace shapes the cache
+/// must round-trip).
+const SMOKE: &[&str] = &[
+    "bitops-3bit-bits-in-byte",
+    "math-partial-sums",
+    "string-unpack-code",
+    "date-format-xparb",
+    "controlflow-recursive",
+];
+
+/// A warm run's bytecode count may exceed the checked-in baseline by at
+/// most this factor (the count is deterministic; the slack absorbs
+/// future recorder/oracle tuning, not jitter).
+const BASELINE_TOLERANCE: f64 = 1.05;
+
+/// Maximum fresh-VM runs (after the cold one) the cache may take to
+/// quiesce. Warmed runs legitimately extend the trees — native coverage
+/// from iteration 0 drives side exits hot that the cold ramp never
+/// reached — but the growth must reach a fixed point fast.
+const MAX_WARM_RUNS: u32 = 6;
+
+/// Everything the gates need from one tracing run.
+struct RunStats {
+    /// Bytecodes executed outside compiled traces: interpreted while
+    /// cold/monitoring plus replayed under the recorder. The
+    /// time-to-peak proxy.
+    warmup_bytecodes: u64,
+    trees: u64,
+    fragments: u64,
+    traces_completed: u64,
+    traces_aborted: u64,
+    trace_enters: u64,
+    cache_hits: u64,
+    cache_loaded_trees: u64,
+    cache_loaded_fragments: u64,
+    wall: Duration,
+}
+
+fn tracing_run(prog: &BenchProgram, cache: Option<PathBuf>) -> RunStats {
+    let mut vm = Vm::with_options(Engine::Tracing, JitOptions::default());
+    vm.set_cache_path(cache);
+    let start = Instant::now();
+    vm.eval(prog.source)
+        .unwrap_or_else(|e| panic!("{} failed under tracing: {e}", prog.name));
+    let wall = start.elapsed();
+    if let Some(e) = vm.last_cache_error() {
+        panic!("{}: cache rejected: {e}", prog.name);
+    }
+    let stats = &vm.monitor().expect("tracing engine has a monitor").profiler.stats;
+    RunStats {
+        warmup_bytecodes: stats.bytecodes_interp + stats.bytecodes_recorded,
+        trees: stats.trees,
+        fragments: stats.fragments,
+        traces_completed: stats.traces_completed,
+        traces_aborted: stats.traces_aborted,
+        trace_enters: stats.trace_enters,
+        cache_hits: stats.cache_hits,
+        cache_loaded_trees: stats.cache_loaded_trees,
+        cache_loaded_fragments: stats.cache_loaded_fragments,
+        wall,
+    }
+}
+
+/// Median wall-clock of `repeats` fresh-VM runs against `cache` (the
+/// cache file is pre-populated and never rewritten by a pure warm run,
+/// so repeats are independent).
+fn median_wall(prog: &BenchProgram, cache: Option<&PathBuf>, repeats: u32) -> Duration {
+    let mut times: Vec<Duration> =
+        (0..repeats.max(1)).map(|_| tracing_run(prog, cache.cloned()).wall).collect();
+    times.sort();
+    times[times.len() / 2]
+}
+
+/// `name -> (warm_bytecodes, entered_traces_when_warm)` from a previous
+/// bench_warmup JSON.
+fn load_baseline(path: &str) -> Vec<(String, u64, bool)> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+    let doc = Json::parse(&text).unwrap_or_else(|e| panic!("baseline {path}: {e}"));
+    doc.get("programs")
+        .and_then(Json::as_array)
+        .unwrap_or_else(|| panic!("baseline {path} has no programs array"))
+        .iter()
+        .filter_map(|row| {
+            let name = row.get("name")?.as_str()?;
+            let warm = row.get("warm_bytecodes")?.as_u64()?;
+            let entered = row.get("warm_trace_enters")?.as_u64()? > 0;
+            Some((name.to_owned(), warm, entered))
+        })
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let flag_value = |flag: &str| {
+        args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+    };
+    let only: Option<Vec<String>> =
+        flag_value("--only").map(|names| names.split(',').map(str::to_string).collect());
+    let baseline_path = flag_value("--baseline");
+    let phase = flag_value("--phase").unwrap_or_else(|| "both".to_owned());
+    if !matches!(phase.as_str(), "cold" | "warm" | "both") {
+        eprintln!("bench_warmup: --phase must be cold, warm, or both");
+        std::process::exit(2);
+    }
+    let cache_dir = flag_value("--cache-dir")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| std::env::temp_dir().join("tm-warmup-cache"));
+    let repeats: u32 = args
+        .iter()
+        .enumerate()
+        .filter(|(i, a)| {
+            let prev = i.checked_sub(1).and_then(|p| args.get(p));
+            !matches!(
+                prev.map(String::as_str),
+                Some("--only" | "--baseline" | "--phase" | "--cache-dir")
+            ) && a.parse::<u32>().is_ok()
+        })
+        .find_map(|(_, a)| a.parse().ok())
+        .unwrap_or(if smoke { 3 } else { 5 });
+
+    let programs: Vec<&BenchProgram> = if let Some(only) = &only {
+        SUITE.iter().filter(|p| only.iter().any(|n| n == p.name)).collect()
+    } else if smoke {
+        SUITE.iter().filter(|p| SMOKE.contains(&p.name)).collect()
+    } else {
+        SUITE.iter().collect()
+    };
+
+    std::fs::create_dir_all(&cache_dir)
+        .unwrap_or_else(|e| panic!("cannot create cache dir {}: {e}", cache_dir.display()));
+
+    let baseline = baseline_path.as_deref().map(load_baseline);
+    let mut rows = Vec::new();
+    let mut gate_failures: Vec<String> = Vec::new();
+    let ms = |d: Duration| d.as_secs_f64() * 1e3;
+
+    for prog in &programs {
+        let cache_file = cache_dir.join(format!("{}.tmc", prog.name));
+
+        // Cold phase: start from an empty cache, record, persist.
+        let cold = if phase == "warm" {
+            // Fresh-process warm start: the cache was converged by an
+            // earlier invocation. Measure the cold reference with the
+            // cache disabled so the file is untouched.
+            tracing_run(prog, None)
+        } else {
+            let _ = std::fs::remove_file(&cache_file);
+            tracing_run(prog, Some(cache_file.clone()))
+        };
+        if phase != "warm" && !cache_file.is_file() {
+            panic!("{}: cold run did not write {}", prog.name, cache_file.display());
+        }
+
+        // Warmed runs until the cache quiesces. In `--phase warm` the
+        // caches were converged by the cold process, so the very first
+        // run must already be quiet (the fresh-process guarantee ci.sh
+        // gates on).
+        let mut warm_runs = 0u32;
+        let warm = loop {
+            let w = tracing_run(prog, Some(cache_file.clone()));
+            warm_runs += 1;
+            if w.cache_hits != 1 {
+                gate_failures.push(format!(
+                    "{}: warmed run {warm_runs} missed the cache (hits = {})",
+                    prog.name, w.cache_hits
+                ));
+                break w;
+            }
+            if w.traces_completed == 0 && w.traces_aborted == 0 {
+                break w;
+            }
+            if phase == "warm" {
+                gate_failures.push(format!(
+                    "{}: fresh-process warm run recorded ({} completed, {} aborted) \
+                     against a converged cache",
+                    prog.name, w.traces_completed, w.traces_aborted
+                ));
+                break w;
+            }
+            if warm_runs >= MAX_WARM_RUNS {
+                gate_failures.push(format!(
+                    "{}: cache did not quiesce within {MAX_WARM_RUNS} warmed runs \
+                     (last run: {} completed, {} aborted)",
+                    prog.name, w.traces_completed, w.traces_aborted
+                ));
+                break w;
+            }
+        };
+        if phase == "cold" {
+            eprintln!(
+                "{:28} cold {:>12} bytecodes   {} trees persisted, converged after \
+                 {warm_runs} warmed runs",
+                prog.name, cold.warmup_bytecodes, warm.cache_loaded_trees
+            );
+            continue;
+        }
+        if warm.cache_loaded_trees < cold.trees
+            || warm.cache_loaded_fragments < cold.fragments
+        {
+            gate_failures.push(format!(
+                "{}: final warm run installed {} trees / {} fragments but the cold \
+                 run recorded {} / {}",
+                prog.name,
+                warm.cache_loaded_trees,
+                warm.cache_loaded_fragments,
+                cold.trees,
+                cold.fragments
+            ));
+        }
+        let converged_to_interp = warm.trace_enters == 0 && cold.trees > 0;
+        if cold.trees > 0 && !converged_to_interp
+            && warm.warmup_bytecodes >= cold.warmup_bytecodes
+        {
+            gate_failures.push(format!(
+                "{}: no time-to-peak win — warm executed {} non-native bytecodes, \
+                 cold {}",
+                prog.name, warm.warmup_bytecodes, cold.warmup_bytecodes
+            ));
+        }
+        if let Some(base) = &baseline {
+            if let Some((_, base_warm, base_entered)) =
+                base.iter().find(|(n, _, _)| n == prog.name)
+            {
+                if *base_entered && converged_to_interp {
+                    gate_failures.push(format!(
+                        "{}: warm-started in the baseline but converges to \
+                         interpreter-only now",
+                        prog.name
+                    ));
+                } else if *base_entered {
+                    let limit = (*base_warm as f64 * BASELINE_TOLERANCE) as u64;
+                    if warm.warmup_bytecodes > limit {
+                        gate_failures.push(format!(
+                            "{}: warm bytecodes {} exceed baseline {} by more than {}x",
+                            prog.name, warm.warmup_bytecodes, base_warm,
+                            BASELINE_TOLERANCE
+                        ));
+                    }
+                }
+            }
+        }
+
+        let cold_ms = if phase == "both" && repeats > 1 {
+            // Extra cold repeats must not clobber the cache the gated
+            // warm run just validated; measure with the cache disabled.
+            ms(median_wall(prog, None, repeats - 1).min(cold.wall))
+        } else {
+            ms(cold.wall)
+        };
+        let warm_ms = if repeats > 1 {
+            ms(median_wall(prog, Some(&cache_file), repeats - 1).min(warm.wall))
+        } else {
+            ms(warm.wall)
+        };
+        let reduction = if cold.warmup_bytecodes > 0 {
+            1.0 - warm.warmup_bytecodes as f64 / cold.warmup_bytecodes as f64
+        } else {
+            0.0
+        };
+        eprintln!(
+            "{:28} cold {:>12} bytecodes {:8.2} ms   warm {:>10} bytecodes \
+             {:8.2} ms   {:5.1}% ramp cut, {} trees{}",
+            prog.name,
+            cold.warmup_bytecodes,
+            cold_ms,
+            warm.warmup_bytecodes,
+            warm_ms,
+            reduction * 100.0,
+            warm.cache_loaded_trees,
+            if converged_to_interp { "   [converged_to_interp]" } else { "" },
+        );
+        rows.push(Json::obj([
+            ("name", Json::from(prog.name)),
+            ("group", Json::from(prog.group)),
+            ("untraceable_by_design", Json::from(prog.untraceable)),
+            ("cold_bytecodes", Json::from(cold.warmup_bytecodes)),
+            ("warm_bytecodes", Json::from(warm.warmup_bytecodes)),
+            ("warmup_reduction", Json::from(reduction)),
+            ("trees", Json::from(cold.trees)),
+            ("warm_runs_to_quiesce", Json::from(warm_runs)),
+            ("loaded_trees", Json::from(warm.cache_loaded_trees)),
+            ("loaded_fragments", Json::from(warm.cache_loaded_fragments)),
+            ("warm_trace_enters", Json::from(warm.trace_enters)),
+            ("converged_to_interp", Json::from(converged_to_interp)),
+            ("cold_ms", Json::from(cold_ms)),
+            ("warm_ms", Json::from(warm_ms)),
+            ("time_to_peak_speedup", Json::from(cold_ms / warm_ms.max(1e-9))),
+        ]));
+    }
+
+    if phase == "cold" {
+        if !gate_failures.is_empty() {
+            eprintln!("bench_warmup cold/converge phase FAILED:");
+            for f in &gate_failures {
+                eprintln!("  - {f}");
+            }
+            std::process::exit(1);
+        }
+        eprintln!(
+            "bench_warmup: cold phase done, converged caches in {}",
+            cache_dir.display()
+        );
+        return;
+    }
+
+    let out = Json::obj([
+        ("schema", Json::from("bench_warmup/v1")),
+        (
+            "statistic",
+            Json::from(
+                "non-native (interpreted + recorded) bytecodes to reach peak under a \
+                 cold JIT vs one warm-started from the persistent trace cache; \
+                 wall-clock reported, never gated",
+            ),
+        ),
+        ("repeats", Json::from(repeats)),
+        ("smoke", Json::from(smoke)),
+        ("phase", Json::from(phase.as_str())),
+        ("programs", Json::Array(rows)),
+    ]);
+    println!("{}", out.to_string_pretty());
+
+    if !gate_failures.is_empty() {
+        eprintln!("bench_warmup warm-start gate FAILED:");
+        for f in &gate_failures {
+            eprintln!("  - {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -47,6 +47,18 @@ impl Default for BlacklistConfig {
     }
 }
 
+/// The durable part of one blacklist entry, as stored in the persistent
+/// trace cache (`docs/PERSISTENCE.md` §6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PersistedEntry {
+    /// The fragment start the entry describes.
+    pub start: FragmentStart,
+    /// Accumulated recording failures.
+    pub failures: u32,
+    /// Whether the fragment is permanently blacklisted.
+    pub blacklisted: bool,
+}
+
 /// What the monitor should do at a fragment start.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Verdict {
@@ -125,6 +137,44 @@ impl Blacklist {
                     e.failures = e.failures.saturating_sub(1);
                     e.backoff = 0;
                 }
+            }
+        }
+    }
+
+    /// Snapshots every entry in a deterministic (sorted) order for the
+    /// persistent trace cache. Transient backoff is *not* exported — a
+    /// fresh process restarts its pass counting — only the durable facts:
+    /// accumulated failures and the blacklisted bit.
+    pub fn export(&self) -> Vec<PersistedEntry> {
+        let mut out: Vec<PersistedEntry> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.failures > 0 || e.blacklisted)
+            .map(|(&start, e)| PersistedEntry { start, failures: e.failures, blacklisted: e.blacklisted })
+            .collect();
+        out.sort_by_key(|p| (p.start.0 .0, p.start.1));
+        out
+    }
+
+    /// Merges a previously [`Blacklist::export`]ed snapshot back in,
+    /// keeping the worse of the stored and current failure counts.
+    ///
+    /// A restored failure that did not reach the blacklist threshold is
+    /// re-armed with an effectively infinite backoff: a previous process
+    /// already proved recording there unprofitable, and a warm start must
+    /// not repay the aborted-recording cost it was created to avoid (the
+    /// cache's zero-recordings-when-warm guarantee). Deleting the cache
+    /// file restores cold-start adaptivity.
+    pub fn restore(&mut self, persisted: &[PersistedEntry]) {
+        if !self.config.enabled {
+            return;
+        }
+        for p in persisted {
+            let e = self.entries.entry(p.start).or_default();
+            e.failures = e.failures.max(p.failures);
+            e.blacklisted |= p.blacklisted;
+            if !e.blacklisted && e.failures > 0 {
+                e.backoff = u32::MAX;
             }
         }
     }

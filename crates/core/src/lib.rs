@@ -14,6 +14,9 @@
 //! * [`oracle`] — integer-demotion advisory (§3.2);
 //! * [`blacklist`] — abort backoff and permanent blacklisting with
 //!   bytecode patching and nesting forgiveness (§3.3, §4.2);
+//! * [`persist`] — the persistent trace cache: warm-starting the JIT
+//!   across processes from a verified on-disk snapshot
+//!   (`docs/PERSISTENCE.md`);
 //! * [`vm`] — the public [`vm::Vm`] facade.
 //!
 //! ```
@@ -32,6 +35,7 @@ pub mod events;
 pub mod exit;
 pub mod monitor;
 pub mod oracle;
+pub mod persist;
 pub mod profiler;
 pub mod recorder;
 pub mod tree;
@@ -39,4 +43,5 @@ pub mod vm;
 
 pub use config::JitOptions;
 pub use monitor::Monitor;
+pub use persist::{CacheError, CacheHandle};
 pub use vm::{Engine, Vm, VmError};

@@ -53,17 +53,17 @@ pub fn abort_is_provisional(reason: &AbortReason) -> bool {
 /// hashing (the in-memory analogue of the paper's §3.3 bytecode patching,
 /// which already removes *blacklisted* headers from the monitor's view).
 #[derive(Debug, Clone, Default)]
-struct MonitorSlot {
+pub(crate) struct MonitorSlot {
     /// Hotness counter; meaningful only until the loop compiles or is
     /// silenced, after which the state is simply never consulted again.
     hotness: u32,
     /// Sibling trees anchored at this header, in creation order (one per
     /// entry type map; several when the loop is type-unstable, Figure 6).
-    trees: Vec<TreeId>,
+    pub(crate) trees: Vec<TreeId>,
     /// The header was patched to `Nop` (blacklist / sibling overflow): the
     /// interpreter never reports this loop again, and the monitor must
     /// never touch the slot again either.
-    silenced: bool,
+    pub(crate) silenced: bool,
 }
 
 /// The trace monitor.
@@ -79,11 +79,11 @@ pub struct Monitor {
     pub profiler: Profiler,
     /// Trace-event log.
     pub events: EventLog,
-    opts: JitOptions,
+    pub(crate) opts: JitOptions,
     /// Dense per-function loop-header monitor state, indexed
     /// `[func][loop_id]`; sized from the installed program on entry to
     /// [`Monitor::run_program`].
-    slots: Vec<Vec<MonitorSlot>>,
+    pub(crate) slots: Vec<Vec<MonitorSlot>>,
     /// Set by the nesting host when an inner tree took an unexpected exit,
     /// so the top-level loop can extend the *inner* tree (§4.1).
     pending_inner_exit: Option<(TreeId, u32, u16)>,
@@ -182,7 +182,7 @@ impl Monitor {
     /// loop per function, plus one extra slot per function for its
     /// function-entry (recursion) anchor. Idempotent; re-running the same
     /// interpreter keeps accumulated state.
-    fn ensure_slots(&mut self, interp: &Interp) {
+    pub(crate) fn ensure_slots(&mut self, interp: &Interp) {
         let prog = interp.prog();
         if self.slots.len() < prog.functions.len() {
             self.slots.resize_with(prog.functions.len(), Vec::new);
@@ -328,7 +328,7 @@ impl Monitor {
     /// a function-entry anchor stops the interpreter's recursion reports.
     /// Either way its monitor slot is marked silenced — neither the
     /// interpreter nor the monitor will ever touch this anchor again.
-    fn silence_header(&mut self, anchor: Anchor, interp: &mut Interp) {
+    pub(crate) fn silence_header(&mut self, anchor: Anchor, interp: &mut Interp) {
         match anchor.kind {
             AnchorKind::LoopHeader => interp.patch_loop_header(anchor.func, anchor.pc),
             AnchorKind::FuncEntry => interp.silence_recursion(anchor.func),
@@ -766,6 +766,19 @@ impl Monitor {
                 return Ok(());
             }
         }
+        // §4.1: an exit some nested-call site expects is the return
+        // contract of every outer tree calling this one. Stitching a
+        // branch there would carry the inner tree straight past the exit
+        // the callers guard on, so every nested call would side-exit
+        // (`NestedUnexpected`) and §3.3 would disable the callers one by
+        // one. Refuse, permanently.
+        if self.exit_is_nested_contract(tid, frag, exit) {
+            let max_failures = self.opts.blacklist.max_failures;
+            let st = self.cache.tree_mut(tid).exit_state_mut(frag, exit);
+            st.failures = max_failures;
+            st.counter = 0;
+            return Ok(());
+        }
         // A hot integer-overflow guard means the int speculation at that
         // arithmetic site keeps failing: demote it (§3.2's oracle, applied
         // per site) so future recordings take the double path directly.
@@ -845,6 +858,17 @@ impl Monitor {
                 Ok(())
             }
         }
+    }
+
+    /// Whether `(frag, exit)` of tree `tid` is the `expected_exit` of any
+    /// nested-call site — i.e. an exit outer trees rely on the inner tree
+    /// returning through. Such exits must never be stitched.
+    fn exit_is_nested_contract(&self, tid: TreeId, frag: u32, exit: u16) -> bool {
+        self.cache.iter().any(|t| {
+            t.nested_sites
+                .iter()
+                .any(|s| s.inner == tid && s.expected_exit == (frag, exit))
+        })
     }
 
     /// Counts a branch-recording failure at `(frag, exit)`. At the

@@ -73,6 +73,32 @@ impl Oracle {
         !self.enabled || !self.demoted_sites.contains(&site)
     }
 
+    /// Snapshots the demotion state in a deterministic (sorted) order, for
+    /// the persistent trace cache. Returns `(variables, sites)`.
+    pub fn export(&self) -> (Vec<VarKey>, Vec<Site>) {
+        fn var_rank(k: &VarKey) -> (u8, u32, u32) {
+            match *k {
+                VarKey::Global(g) => (0, g, 0),
+                VarKey::Local(f, s) => (1, f.0, u32::from(s)),
+            }
+        }
+        let mut vars: Vec<VarKey> = self.demoted.iter().copied().collect();
+        vars.sort_by_key(var_rank);
+        let mut sites: Vec<Site> = self.demoted_sites.iter().copied().collect();
+        sites.sort_by_key(|&(f, pc)| (f.0, pc));
+        (vars, sites)
+    }
+
+    /// Merges a previously [`Oracle::export`]ed snapshot back in (no-op
+    /// when the oracle is disabled, like the mark methods).
+    pub fn restore(&mut self, vars: &[VarKey], sites: &[Site]) {
+        if !self.enabled {
+            return;
+        }
+        self.demoted.extend(vars.iter().copied());
+        self.demoted_sites.extend(sites.iter().copied());
+    }
+
     /// Number of demoted variables (diagnostics).
     pub fn len(&self) -> usize {
         self.demoted.len()

@@ -83,6 +83,20 @@ pub struct ProfileStats {
     /// traces, keyed by helper name (see DIAGNOSTICS.md). Counts static
     /// call sites per compiled fragment, not dynamic executions.
     pub builtin_fast_records: std::collections::HashMap<String, u64>,
+    /// Trace trees installed from the persistent cache (warm start).
+    pub cache_loaded_trees: u64,
+    /// Compiled fragments installed from the persistent cache; every one
+    /// passed `tm-verifier` before installation.
+    pub cache_loaded_fragments: u64,
+    /// Cache lookups that found a valid entry for the running program.
+    pub cache_hits: u64,
+    /// Cache lookups that found no entry for the running program (file
+    /// absent, or present without this program's key).
+    pub cache_misses: u64,
+    /// Cache entries rejected during revalidation (stale bytecode, shape
+    /// conflict, corruption, verifier failure, ...) — each rejection
+    /// degraded to a cold start.
+    pub cache_revalidation_failures: u64,
 }
 
 impl ProfileStats {

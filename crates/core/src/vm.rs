@@ -1,11 +1,14 @@
 //! The public VM facade: parse, compile, install, and run guest programs
 //! under a chosen engine.
 
+use std::path::PathBuf;
+
 use tm_interp::{Interp, RunExit};
 use tm_runtime::{Realm, RuntimeError, Value};
 
 use crate::config::JitOptions;
 use crate::monitor::Monitor;
+use crate::persist::{cache_path_from_env, CacheError, CacheHandle};
 use crate::profiler::ProfileStats;
 
 /// Which execution engine [`Vm::eval`] uses.
@@ -82,6 +85,12 @@ pub struct Vm {
     last_interp: Option<Interp>,
     /// Step budget applied to each eval (guards runaway programs).
     pub step_budget: u64,
+    /// Persistent trace-cache file (tracing engine only). Defaults to the
+    /// `TM_CACHE` environment variable; `None` disables persistence.
+    cache_path: Option<PathBuf>,
+    /// Why the last eval's cache load or save was rejected, if it was.
+    /// Purely diagnostic — a rejected cache degrades to a cold start.
+    last_cache_error: Option<CacheError>,
 }
 
 impl Vm {
@@ -99,7 +108,20 @@ impl Vm {
             monitor: None,
             last_interp: None,
             step_budget: u64::MAX,
+            cache_path: cache_path_from_env(),
+            last_cache_error: None,
         }
+    }
+
+    /// Sets (or disables) the persistent trace-cache file, overriding the
+    /// `TM_CACHE` environment variable.
+    pub fn set_cache_path(&mut self, path: Option<PathBuf>) {
+        self.cache_path = path;
+    }
+
+    /// Why the last eval's cache load or save was rejected, if it was.
+    pub fn last_cache_error(&self) -> Option<&CacheError> {
+        self.last_cache_error.as_ref()
     }
 
     /// The engine this VM runs.
@@ -133,7 +155,24 @@ impl Vm {
             }
             Engine::Tracing => {
                 let mut monitor = Monitor::new(self.opts);
+                self.last_cache_error = None;
+                // Capture the cache key/fingerprint at the install point
+                // (post-compile, pre-run) so a warm process sees the same
+                // realm the saved traces were validated against.
+                let handle = self.cache_path.as_ref().map(|p| {
+                    CacheHandle::capture(p.clone(), interp.prog(), &self.realm)
+                });
+                if let Some(h) = &handle {
+                    if let Err(e) = monitor.load_cache(h, &mut interp, &self.realm) {
+                        self.last_cache_error = Some(e);
+                    }
+                }
                 let r = monitor.run_program(&mut interp, &mut self.realm);
+                if let (Some(h), Ok(_)) = (&handle, &r) {
+                    if let Err(e) = monitor.save_cache(h, &self.realm) {
+                        self.last_cache_error = Some(e);
+                    }
+                }
                 self.monitor = Some(monitor);
                 r.map_err(VmError::Runtime)
             }

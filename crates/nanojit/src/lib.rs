@@ -17,6 +17,7 @@ pub mod assembler;
 pub mod executor;
 pub mod machinst;
 pub mod peephole;
+pub mod serial;
 
 pub use assembler::assemble;
 pub use executor::{execute, NoNesting, TraceExit, TreeHost};

@@ -234,6 +234,35 @@ impl ShapeTable {
         props
     }
 
+    /// The property-name path from the root to `shape` (definition order),
+    /// or `None` when `shape` is not a shape of this table. Two shape
+    /// tables assign the same id to a shape iff the tables reached it by
+    /// the same creation order; the persistent trace cache uses paths as
+    /// the *creation-order-independent* identity when revalidating cached
+    /// shape guards (`docs/PERSISTENCE.md` §5).
+    pub fn path(&self, shape: ShapeId) -> Option<Vec<Sym>> {
+        if shape.0 as usize >= self.shapes.len() {
+            return None;
+        }
+        let mut path: Vec<Sym> =
+            self.properties(shape).into_iter().map(|(sym, _)| sym).collect();
+        path.shrink_to_fit();
+        Some(path)
+    }
+
+    /// Resolves a property-name path to the shape it denotes, walking the
+    /// memoized transition edges **without creating shapes** — unlike
+    /// [`ShapeTable::transition`], an unknown path returns `None` and
+    /// leaves the table (and the IC epoch) untouched. This is the
+    /// cache-load side of [`ShapeTable::path`].
+    pub fn find_path(&self, path: &[Sym]) -> Option<ShapeId> {
+        let mut cur = EMPTY_SHAPE;
+        for &p in path {
+            cur = *self.transitions.get(&(cur, p))?;
+        }
+        Some(cur)
+    }
+
     /// Total number of distinct shapes created.
     pub fn len(&self) -> usize {
         self.shapes.len()
@@ -341,6 +370,28 @@ mod tests {
         // Explicit bump (GC) invalidates.
         shapes.bump_epoch();
         assert_ne!(shapes.epoch(), e1);
+    }
+
+    #[test]
+    fn path_and_find_path_are_inverse_and_non_mutating() {
+        let mut syms = SymbolTable::new();
+        let mut shapes = ShapeTable::new();
+        let (a, b, c) = (syms.intern("a"), syms.intern("b"), syms.intern("c"));
+        let s1 = shapes.transition(EMPTY_SHAPE, a);
+        let s2 = shapes.transition(s1, b);
+
+        assert_eq!(shapes.path(EMPTY_SHAPE), Some(vec![]));
+        assert_eq!(shapes.path(s2), Some(vec![a, b]));
+        assert_eq!(shapes.path(ShapeId(999)), None);
+
+        assert_eq!(shapes.find_path(&[]), Some(EMPTY_SHAPE));
+        assert_eq!(shapes.find_path(&[a, b]), Some(s2));
+
+        // An unknown path must not create shapes or bump the IC epoch.
+        let (len, epoch) = (shapes.len(), shapes.epoch());
+        assert_eq!(shapes.find_path(&[a, c]), None);
+        assert_eq!(shapes.find_path(&[b]), None);
+        assert_eq!((shapes.len(), shapes.epoch()), (len, epoch));
     }
 
     #[test]

@@ -1,0 +1,473 @@
+//! Compact little-endian binary reader/writer for on-disk artifacts.
+//!
+//! This is the serialization substrate for the persistent trace cache
+//! (`docs/PERSISTENCE.md`). It deliberately has no schema knowledge: it
+//! provides fixed-width little-endian primitives, length-prefixed byte
+//! strings, and an FNV-1a checksum, and the cache layer composes them.
+//!
+//! ## Contract
+//!
+//! * **Fixed widths.** Every integer is encoded at its full width,
+//!   little-endian. No varints — the format trades a few bytes for a
+//!   reader whose every access is bounds-checked and branch-predictable,
+//!   and for a spec (`docs/PERSISTENCE.md`) a human can check against a
+//!   hex dump.
+//! * **Hostile input is expected.** [`ByteReader`] never panics on any
+//!   byte sequence: every read returns [`BinError`] on truncation, and
+//!   length prefixes are validated against the remaining input *before*
+//!   allocation, so a corrupt 4 GiB length cannot OOM the process.
+//! * **Determinism.** Encoding the same value twice yields identical
+//!   bytes; there is no padding, no alignment, and no platform
+//!   dependence.
+
+use std::fmt;
+
+/// Error from a [`ByteReader`] operation.
+///
+/// Carries the byte offset at which the failure was detected so cache
+/// diagnostics can point at the corrupt region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinError {
+    /// Input ended before the requested number of bytes.
+    Truncated {
+        /// Offset at which the read was attempted.
+        at: usize,
+        /// Bytes requested.
+        want: usize,
+        /// Bytes remaining.
+        have: usize,
+    },
+    /// A length prefix exceeded the bytes remaining in the input.
+    BadLength {
+        /// Offset of the length prefix.
+        at: usize,
+        /// The decoded (invalid) length.
+        len: u64,
+    },
+    /// A decoded discriminant/tag was outside its valid range.
+    BadTag {
+        /// Offset of the tag byte.
+        at: usize,
+        /// The invalid tag value.
+        tag: u64,
+        /// Human-readable name of the thing being decoded.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for BinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            BinError::Truncated { at, want, have } => {
+                write!(f, "truncated input at byte {at}: want {want} bytes, have {have}")
+            }
+            BinError::BadLength { at, len } => {
+                write!(f, "invalid length prefix {len} at byte {at}")
+            }
+            BinError::BadTag { at, tag, what } => {
+                write!(f, "invalid {what} tag {tag} at byte {at}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BinError {}
+
+/// Append-only little-endian byte sink.
+#[derive(Debug, Default, Clone)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// Creates an empty writer.
+    pub fn new() -> ByteWriter {
+        ByteWriter::default()
+    }
+
+    /// Consumes the writer, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// The bytes written so far.
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Writes a single byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a `u16`, little-endian.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `u32`, little-endian.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `u64`, little-endian.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes an `i32`, little-endian two's complement.
+    pub fn i32(&mut self, v: i32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes an `i64`, little-endian two's complement.
+    pub fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes an `f64` as its IEEE-754 bit pattern, little-endian.
+    pub fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    /// Writes a bool as one byte (0 or 1).
+    pub fn bool(&mut self, v: bool) {
+        self.buf.push(u8::from(v));
+    }
+
+    /// Writes raw bytes with no length prefix.
+    pub fn raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Writes a `u32` length prefix followed by the bytes.
+    pub fn bytes_u32(&mut self, bytes: &[u8]) {
+        debug_assert!(bytes.len() <= u32::MAX as usize);
+        self.u32(bytes.len() as u32);
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Writes a UTF-8 string as [`ByteWriter::bytes_u32`].
+    pub fn str(&mut self, s: &str) {
+        self.bytes_u32(s.as_bytes());
+    }
+
+    /// Reserves a 4-byte slot for a `u32` to be patched later (e.g. a
+    /// section length computed after the section body is written).
+    /// Returns the slot's offset for [`ByteWriter::patch_u32`].
+    pub fn reserve_u32(&mut self) -> usize {
+        let at = self.buf.len();
+        self.u32(0);
+        at
+    }
+
+    /// Patches a slot reserved with [`ByteWriter::reserve_u32`].
+    pub fn patch_u32(&mut self, at: usize, v: u32) {
+        self.buf[at..at + 4].copy_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Bounds-checked little-endian byte source over a borrowed slice.
+#[derive(Debug, Clone, Copy)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Creates a reader over `buf`, positioned at its start.
+    pub fn new(buf: &'a [u8]) -> ByteReader<'a> {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Current byte offset.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether the reader has consumed all input.
+    pub fn is_at_end(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], BinError> {
+        if self.remaining() < n {
+            return Err(BinError::Truncated { at: self.pos, want: n, have: self.remaining() });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads a single byte.
+    pub fn u8(&mut self) -> Result<u8, BinError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16, BinError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, BinError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, BinError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `i32`.
+    pub fn i32(&mut self) -> Result<i32, BinError> {
+        Ok(i32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `i64`.
+    pub fn i64(&mut self) -> Result<i64, BinError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads an `f64` from its IEEE-754 bit pattern.
+    pub fn f64(&mut self) -> Result<f64, BinError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a bool byte; any value other than 0/1 is a [`BinError::BadTag`].
+    pub fn bool(&mut self) -> Result<bool, BinError> {
+        let at = self.pos;
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            t => Err(BinError::BadTag { at, tag: u64::from(t), what: "bool" }),
+        }
+    }
+
+    /// Reads exactly `n` raw bytes.
+    pub fn raw(&mut self, n: usize) -> Result<&'a [u8], BinError> {
+        self.take(n)
+    }
+
+    /// Reads a `u32`-length-prefixed byte string. The length is checked
+    /// against the remaining input before any allocation.
+    pub fn bytes_u32(&mut self) -> Result<&'a [u8], BinError> {
+        let at = self.pos;
+        let len = self.u32()? as usize;
+        if len > self.remaining() {
+            return Err(BinError::BadLength { at, len: len as u64 });
+        }
+        self.take(len)
+    }
+
+    /// Reads a `u32`-length-prefixed UTF-8 string; invalid UTF-8 is a
+    /// [`BinError::BadTag`].
+    pub fn str(&mut self) -> Result<&'a str, BinError> {
+        let at = self.pos;
+        let bytes = self.bytes_u32()?;
+        std::str::from_utf8(bytes).map_err(|_| BinError::BadTag {
+            at,
+            tag: 0,
+            what: "utf-8 string",
+        })
+    }
+
+    /// Reads a `u32` element count for a sequence whose elements occupy at
+    /// least `min_elem_bytes` each, rejecting counts that could not fit in
+    /// the remaining input. This is the guard that makes hostile length
+    /// prefixes cheap to reject: a corrupt count fails here instead of
+    /// after a huge reserve.
+    pub fn seq_len(&mut self, min_elem_bytes: usize) -> Result<usize, BinError> {
+        let at = self.pos;
+        let n = self.u32()? as usize;
+        let floor = min_elem_bytes.max(1);
+        if n > self.remaining() / floor + 1 {
+            return Err(BinError::BadLength { at, len: n as u64 });
+        }
+        Ok(n)
+    }
+}
+
+/// Incremental FNV-1a 64-bit hasher.
+///
+/// Used for the cache file's section checksums and the bytecode-program
+/// fingerprint. FNV-1a is not cryptographic — it detects corruption and
+/// staleness, not adversaries (see the threat model in
+/// `docs/PERSISTENCE.md`).
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv1a64 {
+    state: u64,
+}
+
+/// FNV-1a 64-bit offset basis.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Default for Fnv1a64 {
+    fn default() -> Fnv1a64 {
+        Fnv1a64::new()
+    }
+}
+
+impl Fnv1a64 {
+    /// Creates a hasher at the FNV offset basis.
+    pub fn new() -> Fnv1a64 {
+        Fnv1a64 { state: FNV_OFFSET }
+    }
+
+    /// Absorbs `bytes`.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorbs a `u64` as its little-endian bytes.
+    pub fn update_u64(&mut self, v: u64) {
+        self.update(&v.to_le_bytes());
+    }
+
+    /// Absorbs a `u32` as its little-endian bytes.
+    pub fn update_u32(&mut self, v: u32) {
+        self.update(&v.to_le_bytes());
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// One-shot FNV-1a 64 of `bytes`.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a64::new();
+    h.update(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_round_trip() {
+        let mut w = ByteWriter::new();
+        w.u8(0xab);
+        w.u16(0xbeef);
+        w.u32(0xdead_beef);
+        w.u64(0x0123_4567_89ab_cdef);
+        w.i32(-7);
+        w.i64(-1);
+        w.f64(-0.5);
+        w.bool(true);
+        w.bool(false);
+        w.str("héllo");
+        w.bytes_u32(&[1, 2, 3]);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 0xab);
+        assert_eq!(r.u16().unwrap(), 0xbeef);
+        assert_eq!(r.u32().unwrap(), 0xdead_beef);
+        assert_eq!(r.u64().unwrap(), 0x0123_4567_89ab_cdef);
+        assert_eq!(r.i32().unwrap(), -7);
+        assert_eq!(r.i64().unwrap(), -1);
+        assert_eq!(r.f64().unwrap(), -0.5);
+        assert!(r.bool().unwrap());
+        assert!(!r.bool().unwrap());
+        assert_eq!(r.str().unwrap(), "héllo");
+        assert_eq!(r.bytes_u32().unwrap(), &[1, 2, 3]);
+        assert!(r.is_at_end());
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let bytes = [1u8, 2, 3];
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.u16().unwrap(), 0x0201);
+        let e = r.u32().unwrap_err();
+        assert_eq!(e, BinError::Truncated { at: 2, want: 4, have: 1 });
+    }
+
+    #[test]
+    fn hostile_length_prefix_rejected_before_allocation() {
+        // A length prefix claiming 4 GiB with 0 bytes behind it.
+        let mut w = ByteWriter::new();
+        w.u32(u32::MAX);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(matches!(r.bytes_u32(), Err(BinError::BadLength { at: 0, .. })));
+
+        let mut r = ByteReader::new(&bytes);
+        assert!(matches!(r.seq_len(8), Err(BinError::BadLength { .. })));
+    }
+
+    #[test]
+    fn bad_bool_and_bad_utf8_are_tag_errors() {
+        let mut r = ByteReader::new(&[2u8]);
+        assert!(matches!(r.bool(), Err(BinError::BadTag { what: "bool", .. })));
+
+        let mut w = ByteWriter::new();
+        w.bytes_u32(&[0xff, 0xfe]);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(matches!(r.str(), Err(BinError::BadTag { what: "utf-8 string", .. })));
+    }
+
+    #[test]
+    fn patch_u32_fills_reserved_slot() {
+        let mut w = ByteWriter::new();
+        w.u8(9);
+        let slot = w.reserve_u32();
+        w.str("body");
+        w.patch_u32(slot, 0x1234_5678);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 9);
+        assert_eq!(r.u32().unwrap(), 0x1234_5678);
+        assert_eq!(r.str().unwrap(), "body");
+    }
+
+    #[test]
+    fn fnv_known_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn fnv_incremental_matches_oneshot() {
+        let mut h = Fnv1a64::new();
+        h.update(b"foo");
+        h.update(b"bar");
+        assert_eq!(h.finish(), fnv1a64(b"foobar"));
+    }
+
+    #[test]
+    fn f64_round_trip_preserves_bit_patterns() {
+        for v in [0.0f64, -0.0, f64::NAN, f64::INFINITY, f64::MIN_POSITIVE, 1.5e300] {
+            let mut w = ByteWriter::new();
+            w.f64(v);
+            let bytes = w.into_bytes();
+            let mut r = ByteReader::new(&bytes);
+            assert_eq!(r.f64().unwrap().to_bits(), v.to_bits());
+        }
+    }
+}

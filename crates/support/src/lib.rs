@@ -10,7 +10,7 @@
 //!
 //! succeeds on a machine with no network and no cargo registry cache.
 //!
-//! The four modules and what they replace:
+//! The modules and what they replace:
 //!
 //! | module | replaces | used by |
 //! |---|---|---|
@@ -18,6 +18,7 @@
 //! | [`json`] | `serde`/`serde_json` | `tm-bench` `results_json` |
 //! | [`prop`] | `proptest` | `tests/property.rs` |
 //! | [`mod@bench`] | `criterion` | `tm-bench` `benches/` |
+//! | [`binio`] | `bincode`/`byteorder` | the persistent trace cache |
 //!
 //! Each module's own documentation states its algorithm and its
 //! reproducibility contract; the overriding design rule is that **every
@@ -28,10 +29,12 @@
 #![forbid(unsafe_code)]
 
 pub mod bench;
+pub mod binio;
 pub mod json;
 pub mod prop;
 pub mod rng;
 
+pub use binio::{fnv1a64, BinError, ByteReader, ByteWriter, Fnv1a64};
 pub use json::{Json, ParseError};
 pub use prop::{Config, Failure};
 pub use rng::TmRng;

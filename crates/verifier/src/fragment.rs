@@ -67,6 +67,17 @@ pub enum FragmentError {
         /// `stitch.len()`.
         stitch: usize,
     },
+    /// A stitched exit targets a fragment index outside the tree (only
+    /// reachable through [`verify_loaded_fragments`]; in-process stitching
+    /// always targets an installed fragment).
+    StitchTargetOutOfRange {
+        /// Fragment the exit belongs to.
+        fragment: usize,
+        /// The offending exit id.
+        exit: u16,
+        /// The out-of-range target fragment index.
+        target: u32,
+    },
 }
 
 impl std::fmt::Display for FragmentError {
@@ -95,6 +106,12 @@ impl std::fmt::Display for FragmentError {
             }
             FragmentError::StitchTableLength { targets, stitch } => {
                 write!(f, "stitch table length {stitch} != exit_targets length {targets}")
+            }
+            FragmentError::StitchTargetOutOfRange { fragment, exit, target } => {
+                write!(
+                    f,
+                    "fragment {fragment} exit {exit}: stitch target {target} outside the tree"
+                )
             }
         }
     }
@@ -176,6 +193,38 @@ pub fn verify_fragment(frag: &Fragment) -> Result<(), FragmentError> {
         Some(inst) if inst.is_terminator() => Ok(()),
         _ => Err(FragmentError::MissingTerminator),
     }
+}
+
+/// Verifies a whole tree of fragments loaded from the persistent trace
+/// cache: every fragment passes [`verify_fragment`], and every stitched
+/// exit targets a fragment inside the tree. This is the **mandatory**
+/// gate between deserialization and installation (`docs/PERSISTENCE.md`
+/// §5) — in-process compilation establishes these invariants by
+/// construction, but bytes from disk prove nothing until checked.
+///
+/// # Errors
+///
+/// Returns the offending fragment's index and the first [`FragmentError`]
+/// found in it.
+pub fn verify_loaded_fragments(fragments: &[Fragment]) -> Result<(), (usize, FragmentError)> {
+    for (i, frag) in fragments.iter().enumerate() {
+        verify_fragment(frag).map_err(|e| (i, e))?;
+        for (e, target) in frag.exit_targets.iter().enumerate() {
+            if let ExitTarget::Fragment(idx) = *target {
+                if idx as usize >= fragments.len() {
+                    return Err((
+                        i,
+                        FragmentError::StitchTargetOutOfRange {
+                            fragment: i,
+                            exit: e as u16,
+                            target: idx,
+                        },
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -384,6 +433,32 @@ mod tests {
         let mut frag = ok_frag();
         frag.code.pop();
         assert_eq!(verify_fragment(&frag), Err(FragmentError::MissingTerminator));
+    }
+
+    #[test]
+    fn loaded_tree_rejects_out_of_range_stitch_target() {
+        let mut a = ok_frag();
+        let b = ok_frag();
+        assert_eq!(verify_loaded_fragments(&[a.clone(), b.clone()]), Ok(()));
+
+        // Stitch into fragment 1: fine in a two-fragment tree...
+        a.set_exit_target(0, ExitTarget::Fragment(1));
+        assert_eq!(verify_loaded_fragments(&[a.clone(), b]), Ok(()));
+        // ...fatal when the tree has only the one fragment.
+        assert!(matches!(
+            verify_loaded_fragments(&[a]),
+            Err((0, FragmentError::StitchTargetOutOfRange { exit: 0, target: 1, .. }))
+        ));
+    }
+
+    #[test]
+    fn loaded_tree_reports_offending_fragment_index() {
+        let mut bad = ok_frag();
+        bad.code.pop();
+        assert_eq!(
+            verify_loaded_fragments(&[ok_frag(), bad]),
+            Err((1, FragmentError::MissingTerminator))
+        );
     }
 
     #[test]

@@ -23,6 +23,6 @@ pub mod fragment;
 pub mod reduce;
 pub mod verify;
 
-pub use fragment::{verify_fragment, FragmentError};
+pub use fragment::{verify_fragment, verify_loaded_fragments, FragmentError};
 pub use reduce::{as_regression_test, reduce_program, ReduceStats};
 pub use verify::{verify_trace, ExitView, TypeClass, VerifyError};

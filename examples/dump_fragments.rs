@@ -1,18 +1,35 @@
-//! Disassembles every fragment the tracing JIT compiles for a program:
-//! runs the source (argv[1], or a built-in counting loop) under tracing
-//! and prints each fragment's post-peephole virtual-ISA listing,
-//! including the `; fuse:` header with its raw→fused instruction counts.
+//! Disassembles compiled fragments — either live, by running a program
+//! under tracing, or offline, from a persistent trace-cache file.
+//!
+//! With JTS source as argv[1] (or no argument), runs it and prints each
+//! compiled fragment's post-peephole virtual-ISA listing, including the
+//! `; fuse:` header with its raw→fused instruction counts:
 //!
 //! ```sh
 //! cargo run --release --example dump_fragments -- 'var s=0; for (var i=0;i<500;i++) s+=i; s'
 //! ```
+//!
+//! If argv[1] names an existing file, it is decoded as a trace-cache
+//! file instead (no program or realm needed) and dumped section by
+//! section against the layout of docs/PERSISTENCE.md — the mechanical
+//! check that the spec and the codecs agree:
+//!
+//! ```sh
+//! TM_CACHE=/tmp/sieve.tmc cargo run --release --example quickstart
+//! cargo run --release --example dump_fragments -- /tmp/sieve.tmc
+//! ```
 
+use tracemonkey::jit::persist::read_cache_file;
 use tracemonkey::{Engine, Vm};
 
 fn main() {
-    let src = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "var s = 0; for (var i = 0; i < 500; i++) s += i; s".to_owned());
+    let arg = std::env::args().nth(1);
+    if let Some(path) = arg.as_deref().filter(|a| std::path::Path::new(a).is_file()) {
+        dump_cache(std::path::Path::new(path));
+        return;
+    }
+    let src =
+        arg.unwrap_or_else(|| "var s = 0; for (var i = 0; i < 500; i++) s += i; s".to_owned());
     let mut vm = Vm::new(Engine::Tracing);
     vm.eval(&src).expect("program runs");
     let m = vm.monitor().expect("tracing engine has a monitor");
@@ -20,6 +37,85 @@ fn main() {
         for (f, frag) in tree.fragments.iter().enumerate() {
             println!("=== tree {t} fragment {f} ===");
             println!("{}", frag.listing());
+        }
+    }
+}
+
+/// Offline cache-file dump: container → entries → per-entry sections in
+/// the order docs/PERSISTENCE.md §4 specifies them. Decoding validates
+/// magic, version, and every checksum; nothing here needs (or touches)
+/// a VM.
+fn dump_cache(path: &std::path::Path) {
+    let entries = match read_cache_file(path) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("{}: {e:?}", path.display());
+            std::process::exit(1);
+        }
+    };
+    println!("cache file {} — {} entr{}", path.display(), entries.len(),
+        if entries.len() == 1 { "y" } else { "ies" });
+    for e in &entries {
+        println!("\n== entry program_key={:#018x} fingerprint={:#018x} ==", e.program_key, e.fingerprint);
+        println!("shapes ({}):", e.shapes.len());
+        for s in &e.shapes {
+            println!("  id {:<4} path {:?}", s.id, s.path);
+        }
+        println!(
+            "oracle: {} vars {:?}, {} sites {:?}",
+            e.oracle_vars.len(),
+            e.oracle_vars,
+            e.oracle_sites.len(),
+            e.oracle_sites
+        );
+        println!("blacklist ({}): {:?}", e.blacklist.len(), e.blacklist);
+        println!("silenced anchors ({}): {:?}", e.silenced.len(), e.silenced);
+        // Decoded trees carry a placeholder id (TreeCache::insert assigns
+        // the real one); file order IS TreeId order, so index by position.
+        for (t, tree) in e.trees.iter().enumerate() {
+            println!("\n-- tree {t} anchor {:?} --", tree.anchor);
+            let layout: Vec<_> = (0..tree.layout.len()).map(|i| tree.layout.key(i as u16)).collect();
+            println!("layout ({} AR slots): {layout:?}", layout.len());
+            println!("entry map:");
+            for s in &tree.entry {
+                println!("  ar {:<3} {:?} : {:?}", s.ar, s.key, s.ty);
+            }
+            if !tree.loop_writes.is_empty() {
+                println!("loop writes: {:?}", tree.loop_writes);
+            }
+            for site in &tree.nested_sites {
+                println!(
+                    "nested call: inner tree {:?} expected_exit {:?} callsite_exit {} reimports {:?}",
+                    site.inner, site.expected_exit, site.callsite_exit, site.reimports
+                );
+            }
+            if tree.unstable {
+                println!("unstable: trunk ends in an always-taken exit (§3.2)");
+            }
+            if tree.disabled {
+                println!("disabled: never entered (§3.3 short-loop mitigation)");
+            }
+            for (f, frag) in tree.fragments.iter().enumerate() {
+                println!(
+                    "\n--- fragment {f} ({} bytecodes/iteration) ---",
+                    tree.fragment_bytecodes[f]
+                );
+                if !tree.frag_entry_reqs[f].is_empty() {
+                    println!("entry reqs: {:?}", tree.frag_entry_reqs[f]);
+                }
+                for (x, info) in tree.exits[f].iter().enumerate() {
+                    let st = &tree.exit_states[f][x];
+                    println!(
+                        "exit {x}: {:?}, {} frames, {} write-backs, failures {}, branch {:?}",
+                        info.kind,
+                        info.frames.len(),
+                        info.write_back.len(),
+                        st.failures,
+                        st.branch
+                    );
+                }
+                println!("{}", frag.listing());
+            }
         }
     }
 }

@@ -54,8 +54,12 @@ pub use tm_runtime as runtime;
 
 pub use tm_core::config::JitOptions;
 pub use tm_core::monitor::Monitor;
+pub use tm_core::persist::{CacheError, CacheHandle};
 pub use tm_runtime::{Realm, RuntimeError, Value};
 
+use std::path::PathBuf;
+
+use tm_core::persist::cache_path_from_env;
 use tm_core::profiler::ProfileStats;
 use tm_interp::{Interp, RunExit};
 use tm_methodjit::MethodVm;
@@ -109,6 +113,11 @@ pub struct Vm {
     /// Step budget applied per eval (bounds runaway programs; mainly for
     /// fuzzing).
     pub step_budget: u64,
+    /// Persistent trace-cache file (tracing engine only). Defaults to the
+    /// `TM_CACHE` environment variable; `None` disables persistence.
+    cache_path: Option<PathBuf>,
+    /// Why the last eval's cache load or save was rejected, if it was.
+    last_cache_error: Option<CacheError>,
 }
 
 impl Vm {
@@ -127,12 +136,26 @@ impl Vm {
             monitor: None,
             last_interp: None,
             step_budget: u64::MAX,
+            cache_path: cache_path_from_env(),
+            last_cache_error: None,
         }
     }
 
     /// The engine this VM runs.
     pub fn engine(&self) -> Engine {
         self.engine
+    }
+
+    /// Sets (or disables) the persistent trace-cache file, overriding the
+    /// `TM_CACHE` environment variable. See `docs/PERSISTENCE.md`.
+    pub fn set_cache_path(&mut self, path: Option<PathBuf>) {
+        self.cache_path = path;
+    }
+
+    /// Why the last eval's cache load or save was rejected, if it was.
+    /// Diagnostic only — a rejected cache degrades to a cold start.
+    pub fn last_cache_error(&self) -> Option<&CacheError> {
+        self.last_cache_error.as_ref()
     }
 
     /// Evaluates a program, returning its completion value (the value of
@@ -168,7 +191,24 @@ impl Vm {
                 let mut interp = Interp::new(prog, &mut self.realm);
                 interp.steps_remaining = self.step_budget;
                 let mut monitor = Monitor::new(self.opts);
+                self.last_cache_error = None;
+                // Capture the cache key/fingerprint at the install point
+                // (post-compile, pre-run): the warm process must load
+                // against the same realm state the traces were saved for.
+                let handle = self.cache_path.as_ref().map(|p| {
+                    CacheHandle::capture(p.clone(), interp.prog(), &self.realm)
+                });
+                if let Some(h) = &handle {
+                    if let Err(e) = monitor.load_cache(h, &mut interp, &self.realm) {
+                        self.last_cache_error = Some(e);
+                    }
+                }
                 let r = monitor.run_program(&mut interp, &mut self.realm);
+                if let (Some(h), Ok(_)) = (&handle, &r) {
+                    if let Err(e) = monitor.save_cache(h, &self.realm) {
+                        self.last_cache_error = Some(e);
+                    }
+                }
                 self.monitor = Some(monitor);
                 self.last_interp = Some(interp);
                 r.map_err(VmError::Runtime)
