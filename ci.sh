@@ -35,6 +35,15 @@ echo "==> fuzz smoke: fixed seed replay, verifier enabled (debug profile)"
 TM_FUZZ_SEEDS="0,7,30,42,99,123,200,256" \
     cargo test -q --offline --locked --test fuzz_differential fuzz_replay_seeds
 
+echo "==> multi-realm fuzz smoke: fixed seeds, 4 realms sharing one code cache"
+# Differential: every realm's every repetition must print exactly what
+# the single-threaded interpreter prints. Seed 6 is the step-budget
+# regression (a budget-exhausting program must exhaust it in every
+# realm, not run unbounded). RUST_TEST_THREADS stays unpinned — the
+# suite must pass under any test-runner interleaving.
+TM_FUZZ_THREADS=4 TM_FUZZ_SEEDS="0,6" \
+    cargo test -q --offline --locked --test fuzz_differential fuzz_multi_realm
+
 echo "==> workspace member tests (per-crate units, tm-support, tm-bench)"
 cargo test -q --workspace --exclude tracemonkey --offline --locked
 
@@ -79,5 +88,33 @@ rm -rf target/tmcache
 ./target/release/bench_warmup --smoke --phase warm --cache-dir target/tmcache \
     --baseline BENCH_pr7.json > target/BENCH_pr7_smoke.json
 echo "    OK: wrote target/BENCH_pr7_smoke.json"
+
+echo "==> multi-tenant smoke: N realms over one shared code cache (release)"
+# bench_mt gates: request results identical to single-threaded, nonzero
+# cross-realm code sharing, and a core-adaptive throughput floor (4x at
+# 8+ cores, C/2 at C cores, no-regression on one core). The checked-in
+# BENCH_pr8.json pins the structural counters (a workload that shared
+# code or compiled in the background must keep doing so); its timing
+# fields are never compared.
+./target/release/bench_mt --smoke --baseline BENCH_pr8.json \
+    > target/BENCH_pr8_smoke.json
+echo "    OK: wrote target/BENCH_pr8_smoke.json"
+
+echo "==> ThreadSanitizer: concurrency suite (nightly + rust-src only)"
+# TSan needs a sanitizer-instrumented std (-Zbuild-std, which needs the
+# rust-src component): with the prebuilt std every futex-based Mutex
+# handoff is invisible to TSan and reports as a false-positive race.
+# Skipped, not failed, when the toolchain can't do it.
+if [ "$(uname -sm)" = "Linux x86_64" ] \
+    && rustup toolchain list 2>/dev/null | grep -q '^nightly' \
+    && rustup component list --toolchain nightly --installed 2>/dev/null \
+        | grep -q '^rust-src'; then
+    RUSTFLAGS="-Zsanitizer=thread" \
+        cargo +nightly test -q --offline --locked -Zbuild-std \
+        --target x86_64-unknown-linux-gnu --test concurrency
+    echo "    OK: concurrency suite is race-clean under ThreadSanitizer"
+else
+    echo "    SKIP: needs Linux x86_64 + nightly toolchain + rust-src"
+fi
 
 echo "==> ci.sh: all green"

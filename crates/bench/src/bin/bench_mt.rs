@@ -1,0 +1,357 @@
+//! Multi-tenant throughput benchmark (`BENCH_pr8.json`): N concurrent
+//! realms over one shared code cache and one background compiler pool,
+//! versus a single realm working through the same request stream.
+//!
+//! Each workload is one "request" program evaluated `requests` times per
+//! realm on a persistent realm (so requests after the first run against
+//! a warm tree cache, server-style). The harness measures:
+//!
+//! * **throughput** — requests/second, single-realm versus N-realm;
+//! * **latency** — per-request p50/p99 in the concurrent phase
+//!   (reported, never gated: wall-clock is machine-dependent);
+//! * **sharing** — process-wide [`SharedCodeCache`] counters after the
+//!   concurrent phase.
+//!
+//! Gates (exit non-zero on failure):
+//!   1. every request in every phase returns the expected value —
+//!      concurrency must not change results;
+//!   2. on every `traceable`-group workload, realms running the same
+//!      program actually share code: the concurrent phase ends with
+//!      nonzero shared-cache publishes *and* hits (realms ≥ 2);
+//!   3. **core-adaptive speedup** on the `traceable` group's aggregate
+//!      throughput (per-workload speedups are reported but too noisy to
+//!      gate on sub-second walls): with C cores available, N-realm
+//!      throughput must be at least `min(4.0, C/2)`× single-realm
+//!      throughput when C ≥ 2; on a single-core machine concurrency
+//!      cannot beat sequential, so the gate degrades to no-regression
+//!      (≥ `0.50`×, slack for scheduler overhead). The acceptance
+//!      target "8 realms ≥ 4× single-realm" is the C ≥ 8 instantiation
+//!      of this gate;
+//!   4. with `--baseline FILE`, structural counters must not regress:
+//!      a workload that shared code in the baseline (nonzero hits) must
+//!      still share, and one that compiled in the background
+//!      (`compile_jobs_installed > 0`) must still do so. Timings in the
+//!      baseline are never compared.
+//!
+//! Usage:
+//!   `bench_mt`                        full run (8 realms × 40 requests)
+//!   `bench_mt --smoke`                4 realms × 25 requests
+//!   `bench_mt --realms N`             override realm count
+//!   `bench_mt --requests M`           override requests per realm
+//!   `bench_mt --repeats R`            best-of-R walls (default 3)
+//!   `bench_mt --baseline FILE`        additionally gate vs a checked-in
+//!                                     BENCH_pr8.json
+//!
+//! [`SharedCodeCache`]: tracemonkey::SharedCodeCache
+
+use std::time::{Duration, Instant};
+
+use tm_support::Json;
+use tracemonkey::MultiTenantVm;
+
+struct Workload {
+    name: &'static str,
+    /// `traceable` workloads carry the speedup and sharing gates;
+    /// `untraceable` ones are reported only (the paper's never-tracing
+    /// programs have no code to share).
+    group: &'static str,
+    source: &'static str,
+}
+
+/// Request programs. Each is small enough to be one server request and
+/// deterministic, so every realm and every repetition must agree.
+const WORKLOADS: &[Workload] = &[
+    Workload {
+        name: "arith-loop",
+        group: "traceable",
+        source: "var s = 0; for (var i = 0; i < 2000; i++) s += i * 3 - (i >> 1); s",
+    },
+    Workload {
+        name: "branchy",
+        group: "traceable",
+        source: "var s = 0; \
+                 for (var i = 0; i < 1500; i++) { \
+                     if (i % 3 == 0) s += i * 2; else s -= i; \
+                 } s",
+    },
+    Workload {
+        name: "objects",
+        group: "traceable",
+        source: "var p = { x: 0, y: 0 }; \
+                 for (var i = 0; i < 1200; i++) { p.x += i; p.y = p.x - i; } \
+                 p.x + p.y",
+    },
+    Workload {
+        name: "strings",
+        group: "traceable",
+        source: "var s = ''; var n = 0; \
+                 for (var i = 0; i < 600; i++) { s = 'ab' + s.substring(0, 6); n += s.length; } \
+                 n",
+    },
+    Workload {
+        name: "straightline",
+        group: "untraceable",
+        source: "var a = 1; var b = a + 41; var c = b * 2 - 42; c",
+    },
+];
+
+/// One realm working through `requests` evaluations of `source` on the
+/// given tenant VM, timing each request. Returns (latencies, results).
+fn drive_realm(
+    mt: &MultiTenantVm,
+    source: &str,
+    requests: usize,
+) -> (Vec<Duration>, Vec<String>) {
+    let mut vm = mt.realm_vm();
+    let mut lats = Vec::with_capacity(requests);
+    let mut results = Vec::with_capacity(requests);
+    for _ in 0..requests {
+        let start = Instant::now();
+        let r = vm.eval(source);
+        lats.push(start.elapsed());
+        let shown = match r {
+            Ok(v) => tracemonkey::runtime::ops::to_display(&mut vm.realm, v),
+            Err(e) => format!("error: {e}"),
+        };
+        results.push(shown);
+    }
+    (lats, results)
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// Structural counters per workload from a previous bench_mt JSON.
+fn load_baseline(path: &str) -> Vec<(String, u64, u64)> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+    let doc = Json::parse(&text).unwrap_or_else(|e| panic!("baseline {path}: {e}"));
+    doc.get("workloads")
+        .and_then(Json::as_array)
+        .unwrap_or_else(|| panic!("baseline {path} has no workloads array"))
+        .iter()
+        .filter_map(|row| {
+            let name = row.get("name")?.as_str()?;
+            let hits = row.get("shared_hits")?.as_u64()?;
+            let installed = row.get("compile_jobs_installed")?.as_u64()?;
+            Some((name.to_owned(), hits, installed))
+        })
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let flag_value = |flag: &str| {
+        args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+    };
+    let realms: usize = flag_value("--realms")
+        .map(|v| v.parse().expect("--realms: a realm count"))
+        .unwrap_or(if smoke { 4 } else { 8 });
+    let requests: usize = flag_value("--requests")
+        .map(|v| v.parse().expect("--requests: a request count"))
+        .unwrap_or(if smoke { 25 } else { 40 });
+    let repeats: usize = flag_value("--repeats")
+        .map(|v| v.parse().expect("--repeats: a repeat count"))
+        .unwrap_or(3)
+        .max(1);
+    let baseline = flag_value("--baseline").map(|p| (load_baseline(&p), p));
+
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    // Core-adaptive speedup floor (gate 3). Capped at the acceptance
+    // target of 4x; single-core machines get a no-regression bar.
+    let required_speedup =
+        if cores >= 2 { (cores as f64 / 2.0).min(4.0) } else { 0.50 };
+    let pool_workers = 2.min(cores.max(1));
+
+    let mut gate_failures: Vec<String> = Vec::new();
+    let mut rows: Vec<Json> = Vec::new();
+    // Aggregate walls over the `traceable` group: the speedup gate runs
+    // on the group total, not per workload, so one workload's warm-up
+    // skew (a branchy program re-records more under N fresh realms)
+    // doesn't dominate a sub-second measurement.
+    let mut group_single = Duration::ZERO;
+    let mut group_mt = Duration::ZERO;
+
+    for w in WORKLOADS {
+        // Expected value from a throwaway tenant (also warms nothing the
+        // measured phases see: each phase builds a fresh MultiTenantVm).
+        let probe = MultiTenantVm::new(pool_workers);
+        let (_, first) = drive_realm(&probe, w.source, 1);
+        let expected = first[0].clone();
+        drop(probe);
+
+        // Phase 1: one realm, realms * requests sequential requests —
+        // the same total work the concurrent phase does. Best-of-N wall
+        // clock: on a loaded single-core box one descheduled slice can
+        // cost 30%+ of a sub-second phase.
+        let mut single_wall = Duration::MAX;
+        for _ in 0..repeats {
+            let single = MultiTenantVm::new(pool_workers);
+            let start = Instant::now();
+            let (_, single_results) = drive_realm(&single, w.source, realms * requests);
+            single_wall = single_wall.min(start.elapsed());
+            drop(single);
+            for (i, r) in single_results.iter().enumerate() {
+                if *r != expected {
+                    gate_failures.push(format!(
+                        "{}: single-realm request {i} returned {r:?}, expected {expected:?}",
+                        w.name
+                    ));
+                    break;
+                }
+            }
+        }
+
+        // Phase 2: N realms concurrently, `requests` each, over one
+        // fresh shared cache + pool per repeat; best-of-N wall clock,
+        // latencies and counters reported from the fastest repeat.
+        let mut mt_wall = Duration::MAX;
+        let mut mt_lats: Vec<Duration> = Vec::new();
+        let mut shared = tracemonkey::SharedCacheStats::default();
+        let mut compile_jobs_installed = 0u64;
+        for _ in 0..repeats {
+            let mt = MultiTenantVm::new(pool_workers);
+            let start = Instant::now();
+            let per_realm: Vec<(Vec<Duration>, Vec<String>)> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..realms)
+                    .map(|_| s.spawn(|| drive_realm(&mt, w.source, requests)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("realm thread panicked"))
+                    .collect()
+            });
+            let wall = start.elapsed();
+            let rep_shared = mt.shared_stats();
+            let rep_pool = mt.pool_stats();
+            drop(mt);
+
+            let mut rep_lats: Vec<Duration> = Vec::new();
+            for (k, (lats, results)) in per_realm.iter().enumerate() {
+                rep_lats.extend_from_slice(lats);
+                for (i, r) in results.iter().enumerate() {
+                    if *r != expected {
+                        gate_failures.push(format!(
+                            "{}: realm {k} request {i} returned {r:?}, expected {expected:?}",
+                            w.name
+                        ));
+                        break;
+                    }
+                }
+            }
+            if wall < mt_wall {
+                mt_wall = wall;
+                mt_lats = rep_lats;
+                shared = rep_shared;
+                // The pool's executed count is per MultiTenantVm; jobs
+                // the realms installed show up in the executed tally.
+                compile_jobs_installed = rep_pool.executed;
+            }
+        }
+        mt_lats.sort();
+
+        let total = (realms * requests) as f64;
+        let thr_single = total / single_wall.as_secs_f64().max(1e-9);
+        let thr_mt = total / mt_wall.as_secs_f64().max(1e-9);
+        let speedup = thr_mt / thr_single.max(1e-9);
+
+        if w.group == "traceable" {
+            if realms >= 2 && (shared.publishes == 0 || shared.hits == 0) {
+                gate_failures.push(format!(
+                    "{}: no cross-realm code sharing (publishes={}, hits={})",
+                    w.name, shared.publishes, shared.hits
+                ));
+            }
+            group_single += single_wall;
+            group_mt += mt_wall;
+        }
+        if let Some((base, path)) = &baseline {
+            if let Some((_, base_hits, base_installed)) =
+                base.iter().find(|(n, _, _)| n == w.name)
+            {
+                if *base_hits > 0 && shared.hits == 0 {
+                    gate_failures.push(format!(
+                        "{}: shared code in baseline {path} but not now",
+                        w.name
+                    ));
+                }
+                if *base_installed > 0 && compile_jobs_installed == 0 {
+                    gate_failures.push(format!(
+                        "{}: background-compiled in baseline {path} but not now",
+                        w.name
+                    ));
+                }
+            }
+        }
+
+        rows.push(Json::obj([
+            ("name", Json::from(w.name)),
+            ("group", Json::from(w.group)),
+            ("requests_total", Json::from(realms * requests)),
+            ("single_wall_ms", Json::from(ms(single_wall))),
+            ("mt_wall_ms", Json::from(ms(mt_wall))),
+            ("throughput_single_rps", Json::from(thr_single)),
+            ("throughput_mt_rps", Json::from(thr_mt)),
+            ("speedup", Json::from(speedup)),
+            ("p50_ms", Json::from(ms(percentile(&mt_lats, 0.50)))),
+            ("p99_ms", Json::from(ms(percentile(&mt_lats, 0.99)))),
+            ("shared_hits", Json::from(shared.hits)),
+            ("shared_misses", Json::from(shared.misses)),
+            ("shared_publishes", Json::from(shared.publishes)),
+            ("shared_evictions", Json::from(shared.evictions)),
+            ("compile_jobs_installed", Json::from(compile_jobs_installed)),
+        ]));
+    }
+
+    // Gate 3: core-adaptive speedup on the traceable group's aggregate
+    // throughput (same request totals on both sides, so the wall ratio
+    // is the throughput ratio).
+    let group_speedup =
+        group_single.as_secs_f64() / group_mt.as_secs_f64().max(1e-9);
+    if group_mt > Duration::ZERO && group_speedup < required_speedup {
+        gate_failures.push(format!(
+            "traceable group: {realms}-realm speedup {group_speedup:.2}x below \
+             the {required_speedup:.2}x floor for {cores} core(s)"
+        ));
+    }
+
+    let out = Json::obj([
+        ("schema", Json::from("bench_mt/v1")),
+        (
+            "statistic",
+            Json::from(
+                "N-realm vs single-realm request throughput over one shared \
+                 code cache and background compiler pool; latency and \
+                 wall-clock reported, speedup gated core-adaptively",
+            ),
+        ),
+        ("realms", Json::from(realms)),
+        ("requests_per_realm", Json::from(requests)),
+        ("repeats", Json::from(repeats)),
+        ("cores", Json::from(cores)),
+        ("required_speedup", Json::from(required_speedup)),
+        ("traceable_group_speedup", Json::from(group_speedup)),
+        ("pool_workers", Json::from(pool_workers)),
+        ("smoke", Json::from(smoke)),
+        ("workloads", Json::from(rows)),
+    ]);
+    println!("{}", out.to_string_pretty());
+
+    if !gate_failures.is_empty() {
+        eprintln!("bench_mt: {} gate failure(s):", gate_failures.len());
+        for f in &gate_failures {
+            eprintln!("  - {f}");
+        }
+        std::process::exit(1);
+    }
+}

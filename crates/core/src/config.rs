@@ -55,6 +55,12 @@ pub struct JitOptions {
     /// every compiled fragment. On by default; turning it off executes
     /// the raw assembled code (the `bench_pr5` baseline configuration).
     pub enable_fusion: bool,
+    /// Hand finished recordings to the attached background compiler pool
+    /// (`Vm::attach_pool`) instead of compiling on the execution thread;
+    /// the compiled tree is installed at the next anchor hit. Off by
+    /// default (and a no-op without an attached pool): single-realm runs
+    /// keep the paper's synchronous compile-on-record semantics.
+    pub background_compile: bool,
 }
 
 impl Default for JitOptions {
@@ -77,6 +83,7 @@ impl Default for JitOptions {
             log_events: false,
             verify: cfg!(debug_assertions),
             enable_fusion: true,
+            background_compile: false,
         }
     }
 }

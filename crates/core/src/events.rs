@@ -107,6 +107,10 @@ pub enum AbortReason {
     /// The recorded trace failed static verification (`tm-verifier`); the
     /// malformed trace is discarded instead of compiled.
     VerifyFailed(tm_verifier::VerifyError),
+    /// A background compile job failed (pipeline panic or a verification
+    /// stage rejected the trace on a worker thread). Counted against the
+    /// site's failure budget like any other abort.
+    CompileFailed,
 }
 
 /// Bounded event log.

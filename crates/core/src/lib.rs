@@ -34,14 +34,35 @@ pub mod config;
 pub mod events;
 pub mod exit;
 pub mod monitor;
+pub mod mt;
 pub mod oracle;
 pub mod persist;
+pub mod pool;
 pub mod profiler;
 pub mod recorder;
+pub mod shared_cache;
 pub mod tree;
 pub mod vm;
 
 pub use config::JitOptions;
 pub use monitor::Monitor;
+pub use mt::{MultiTenantVm, RealmJob, RealmReport};
 pub use persist::{CacheError, CacheHandle};
+pub use pool::CompilerPool;
+pub use shared_cache::{SharedCacheStats, SharedCodeCache};
 pub use vm::{Engine, Vm, VmError};
+
+/// Compile-time Send audit: a multi-tenant VM runs one realm per thread,
+/// so every piece of per-realm state — the realm itself, the interpreter,
+/// the monitor with its compiled trees, and the whole [`Vm`] facade —
+/// must be `Send`. Keeping the assertion here means any future field
+/// that reintroduces `Rc`/raw-pointer state fails the build, not a test.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<tm_runtime::Realm>();
+    assert_send::<tm_interp::Interp>();
+    assert_send::<Monitor>();
+    assert_send::<tree::TraceTree>();
+    assert_send::<Vm>();
+    assert_send::<profiler::ProfileStats>();
+};

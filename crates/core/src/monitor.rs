@@ -8,7 +8,8 @@
 //! nested tree calls as the [`TreeHost`] (§4), and applies blacklisting
 //! with nesting forgiveness (§3.3, §4.2).
 
-use std::rc::Rc;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 use tm_interp::{Flow, Interp, RunExit};
 use tm_lir::{run_backward_filters, ExitLiveness};
@@ -21,8 +22,10 @@ use crate::config::JitOptions;
 use crate::events::{AbortReason, EventLog, TraceEvent};
 use crate::exit::{ExitKind, SideExitInfo};
 use crate::oracle::Oracle;
+use crate::pool::{CompileJob, CompileOutcome, CompilerPool, Ticket};
 use crate::profiler::{Activity, Profiler};
 use crate::recorder::{self, RecordAction, RecordedTrace, Recorder};
+use crate::shared_cache::{entry_digest, SharedCodeCache, SharedKey};
 use crate::tree::{Anchor, AnchorKind, ExitState, TraceTree, TreeCache, TreeId, TreeStats};
 
 /// Maximum sibling trees per loop header before the monitor stops
@@ -64,6 +67,10 @@ pub(crate) struct MonitorSlot {
     /// interpreter never reports this loop again, and the monitor must
     /// never touch the slot again either.
     pub(crate) silenced: bool,
+    /// A root recording for this anchor is compiling in the background;
+    /// the monitor keeps interpreting the loop and must not record a
+    /// duplicate until the fragment is installed (or fails).
+    pub(crate) compiling: bool,
 }
 
 /// The trace monitor.
@@ -90,6 +97,38 @@ pub struct Monitor {
     /// Completion value captured when the program finished while a branch
     /// recording was shadowing execution.
     finished_during_recording: Option<Value>,
+    /// The process-wide shared code cache and this program's key in it,
+    /// when attached (multi-tenant hosts; see [`Monitor::attach_shared`]).
+    shared: Option<(Arc<SharedCodeCache>, SharedKey)>,
+    /// Sibling digests already installed from (or published to) the
+    /// shared cache, so repeated probes never install duplicates.
+    shared_seen: HashSet<u64>,
+    /// Stable sibling identity per local tree: the digest used at first
+    /// publish, reused on republish so branch extensions replace.
+    published_digests: HashMap<TreeId, u64>,
+    /// Background compiler pool, when attached ([`Monitor::attach_pool`]).
+    pool: Option<Arc<CompilerPool>>,
+    /// In-flight background compiles awaiting installation at the next
+    /// anchor hit.
+    in_flight: Vec<PendingCompile>,
+    /// Side exits with a branch compile in flight (guards duplicate
+    /// branch recordings; cleared on install or failure).
+    in_flight_exits: HashSet<(TreeId, u32, u16)>,
+}
+
+/// One background compile the monitor is waiting on.
+#[derive(Debug)]
+struct PendingCompile {
+    ticket: Ticket,
+    kind: PendingKind,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum PendingKind {
+    /// A root trace for `anchor`.
+    Root { anchor: Anchor },
+    /// A branch trace extending `(tid, frag, exit)`.
+    Branch { tid: TreeId, frag: u32, exit: u16 },
 }
 
 enum RecResult {
@@ -114,12 +153,42 @@ impl Monitor {
             slots: Vec::new(),
             pending_inner_exit: None,
             finished_during_recording: None,
+            shared: None,
+            shared_seen: HashSet::new(),
+            published_digests: HashMap::new(),
+            pool: None,
+            in_flight: Vec::new(),
+            in_flight_exits: HashSet::new(),
         }
     }
 
     /// The configuration.
     pub fn options(&self) -> &JitOptions {
         &self.opts
+    }
+
+    /// Attaches the process-wide shared code cache: compiled trees this
+    /// monitor produces are published under `key`, and hot anchors probe
+    /// the cache before recording (the multi-tenant fragment dedup).
+    pub fn attach_shared(&mut self, cache: Arc<SharedCodeCache>, key: SharedKey) {
+        self.shared = Some((cache, key));
+    }
+
+    /// Attaches a background compiler pool: finished recordings are
+    /// compiled off-thread and installed at the next anchor hit, while
+    /// the realm keeps interpreting. Without a pool (or with
+    /// [`JitOptions::background_compile`] off) compilation is
+    /// synchronous, exactly as before.
+    pub fn attach_pool(&mut self, pool: Arc<CompilerPool>) {
+        self.pool = Some(pool);
+    }
+
+    /// The pool to submit to, when background compilation is active.
+    fn async_pool(&self) -> Option<Arc<CompilerPool>> {
+        if !self.opts.background_compile {
+            return None;
+        }
+        self.pool.clone()
     }
 
     /// Runs a program under mixed-mode execution until completion.
@@ -171,6 +240,12 @@ impl Monitor {
                 Err(e) => break Err(e),
             }
         };
+        // Drain in-flight background compiles so the monitor's final
+        // state (trees, counters, the persisted image) is deterministic
+        // regardless of worker timing.
+        if !self.in_flight.is_empty() {
+            self.drain_compiles(interp);
+        }
         self.profiler.stats.bytecodes_interp = interp.ops_executed
             - self.profiler.stats.bytecodes_recorded;
         self.profiler.stats.ic = interp.ic_stats;
@@ -218,6 +293,13 @@ impl Monitor {
         interp: &mut Interp,
         realm: &mut Realm,
     ) -> Result<Option<Value>, RuntimeError> {
+        // 0. Background-compiled fragments ready? Install them now — the
+        // "next anchor hit" of the compiler-pool handoff. Cheap when
+        // nothing is in flight (a Vec emptiness check).
+        if !self.in_flight.is_empty() {
+            self.poll_compiles(interp);
+        }
+
         // 1. A matching compiled tree? Enter it. Pure dense-slot work.
         if let Some(tid) = self.find_match_slot(anchor, realm, interp) {
             self.profiler.stats.monitor_slot_fast += 1;
@@ -241,6 +323,11 @@ impl Monitor {
         // tables, recording). Warm loops never reach this point again.
         self.profiler.stats.monitor_slot_slow += 1;
         let slot = &self.slots[anchor.func.0 as usize][anchor.loop_id.0 as usize];
+        if slot.compiling {
+            // A root trace for this anchor is compiling in the background;
+            // keep interpreting until it lands.
+            return Ok(None);
+        }
         if slot.trees.len() >= MAX_SIBLING_TREES {
             if slot.trees.iter().all(|&t| self.cache.tree(t).disabled) {
                 // Every type permutation of this loop proved unprofitable:
@@ -260,8 +347,64 @@ impl Monitor {
             Verdict::Record => {}
         }
 
+        // 3.5. Before paying to record: did another realm already compile
+        // this anchor? Install every new shared-cache sibling and enter
+        // one if it matches the current types.
+        if self.try_shared_install(anchor) {
+            if let Some(tid) = self.find_match_slot(anchor, realm, interp) {
+                self.run_tree(tid, interp, realm)?;
+                return Ok(None);
+            }
+        }
+
         // 4. Record a root trace.
         self.record_root(anchor, interp, realm)
+    }
+
+    /// Probes the shared code cache for `anchor`, installing every
+    /// sibling not yet present locally. Returns whether anything new was
+    /// installed.
+    fn try_shared_install(&mut self, anchor: Anchor) -> bool {
+        let Some((cache, key)) = self.shared.clone() else { return false };
+        let found = cache.lookup(key, anchor);
+        if found.is_empty() {
+            self.profiler.stats.shared_cache_misses += 1;
+            return false;
+        }
+        self.profiler.stats.shared_cache_hits += 1;
+        let mut installed = false;
+        for shared_tree in found {
+            if !self.shared_seen.insert(shared_tree.digest) {
+                continue;
+            }
+            let tid = self.cache.insert(shared_tree.instantiate());
+            self.slots[anchor.func.0 as usize][anchor.loop_id.0 as usize]
+                .trees
+                .push(tid);
+            self.published_digests.insert(tid, shared_tree.digest);
+            self.profiler.stats.shared_cache_installed_trees += 1;
+            installed = true;
+        }
+        installed
+    }
+
+    /// Publishes tree `tid` to the shared code cache (no-op without an
+    /// attached cache, or for trees with nested-call sites).
+    pub(crate) fn publish_shared(&mut self, tid: TreeId) {
+        let Some((cache, key)) = self.shared.clone() else { return };
+        let tree = self.cache.tree(tid);
+        let digest = match self.published_digests.get(&tid) {
+            Some(&d) => d,
+            None => {
+                let d = entry_digest(tree.anchor, &tree.entry);
+                self.published_digests.insert(tid, d);
+                d
+            }
+        };
+        if cache.publish(key, digest, self.cache.tree(tid)) {
+            self.shared_seen.insert(digest);
+            self.profiler.stats.shared_cache_publishes += 1;
+        }
     }
 
     fn anchor_range(&self, anchor: Anchor, interp: &Interp) -> (u32, u32) {
@@ -302,6 +445,24 @@ impl Monitor {
                         );
                         return Ok(None);
                     }
+                }
+                if let Some(pool) = self.async_pool() {
+                    // Hand the pipeline to a worker; the realm goes back
+                    // to interpreting and the tree is installed at a
+                    // later anchor hit (`poll_compiles`).
+                    let ticket = pool.submit(CompileJob {
+                        recorded,
+                        verify_base: Vec::new(),
+                        opts: self.opts,
+                    });
+                    self.slots[anchor.func.0 as usize][anchor.loop_id.0 as usize]
+                        .compiling = true;
+                    self.in_flight.push(PendingCompile {
+                        ticket,
+                        kind: PendingKind::Root { anchor },
+                    });
+                    self.profiler.stats.compile_jobs_submitted += 1;
+                    return Ok(None);
                 }
                 self.build_root_tree(anchor, recorded);
                 self.forgive_outer_loops(anchor, interp);
@@ -503,6 +664,18 @@ impl Monitor {
     fn build_root_tree(&mut self, anchor: Anchor, mut recorded: RecordedTrace) -> TreeId {
         self.count_fast_helpers(&mut recorded);
         let frag = self.compile_fragment(&mut recorded, &[]);
+        self.install_root_tree(anchor, recorded, frag)
+    }
+
+    /// Installs a compiled root fragment as a new tree: the tail of
+    /// `build_root_tree`, shared with the background-compile install path
+    /// (`poll_compiles`), which arrives here with a worker-built fragment.
+    fn install_root_tree(
+        &mut self,
+        anchor: Anchor,
+        mut recorded: RecordedTrace,
+        frag: Fragment,
+    ) -> TreeId {
         for m in recorded.oracle_marks.drain(..) {
             self.oracle.mark_double(m);
         }
@@ -513,7 +686,7 @@ impl Monitor {
             anchor,
             layout: recorded.layout,
             entry: recorded.new_entry,
-            fragments: Rc::new(vec![frag]),
+            fragments: Arc::new(vec![frag]),
             exits: vec![recorded.exits],
             fragment_bytecodes: vec![recorded.bytecodes],
             exit_states,
@@ -540,7 +713,30 @@ impl Monitor {
             fragment: 0,
             lir_len: self.cache.tree(tid).fragments[0].len() as u32,
         });
+        self.publish_shared(tid);
         tid
+    }
+
+    /// Entry requirements for monitor-mediated entry at a branch fragment
+    /// stitched to `(parent_frag, parent_exit)`: everything the parent
+    /// exit's type map describes plus the tree's entry slots. Doubles as
+    /// the entry base for trace verification.
+    fn branch_parent_reqs(
+        &self,
+        tid: TreeId,
+        parent_frag: u32,
+        parent_exit: u16,
+    ) -> Vec<(tm_lir::ArSlot, SlotKey, tm_lir::LirType)> {
+        let tree = self.cache.tree(tid);
+        let mut reqs = tree.exits[parent_frag as usize][parent_exit as usize]
+            .typemap
+            .clone();
+        for e in &tree.entry {
+            if !reqs.iter().any(|&(a, _, _)| a == e.ar) {
+                reqs.push((e.ar, e.key, e.ty));
+            }
+        }
+        reqs
     }
 
     fn attach_branch(
@@ -551,24 +747,26 @@ impl Monitor {
         mut recorded: RecordedTrace,
     ) {
         self.count_fast_helpers(&mut recorded);
-        // Entry requirements for monitor-mediated entry at this fragment:
-        // everything the parent exit's type map describes plus the tree's
-        // entry slots. Doubles as the entry base for trace verification.
-        let parent_reqs: Vec<(tm_lir::ArSlot, SlotKey, tm_lir::LirType)> = {
-            let tree = self.cache.tree(tid);
-            let mut reqs = tree.exits[parent_frag as usize][parent_exit as usize]
-                .typemap
-                .clone();
-            for e in &tree.entry {
-                if !reqs.iter().any(|&(a, _, _)| a == e.ar) {
-                    reqs.push((e.ar, e.key, e.ty));
-                }
-            }
-            reqs
-        };
-        let verify_base: Vec<(tm_lir::ArSlot, tm_lir::LirType)> =
-            parent_reqs.iter().map(|&(s, _, t)| (s, t)).collect();
+        let verify_base: Vec<(tm_lir::ArSlot, tm_lir::LirType)> = self
+            .branch_parent_reqs(tid, parent_frag, parent_exit)
+            .iter()
+            .map(|&(s, _, t)| (s, t))
+            .collect();
         let frag = self.compile_fragment(&mut recorded, &verify_base);
+        self.install_branch(tid, parent_frag, parent_exit, recorded, frag);
+    }
+
+    /// Installs a compiled branch fragment: the tail of `attach_branch`,
+    /// shared with the background-compile install path.
+    fn install_branch(
+        &mut self,
+        tid: TreeId,
+        parent_frag: u32,
+        parent_exit: u16,
+        mut recorded: RecordedTrace,
+        frag: Fragment,
+    ) {
+        let parent_reqs = self.branch_parent_reqs(tid, parent_frag, parent_exit);
         for m in recorded.oracle_marks.drain(..) {
             self.oracle.mark_double(m);
         }
@@ -576,7 +774,7 @@ impl Monitor {
         let tree = self.cache.tree_mut(tid);
         let new_idx = tree.fragments.len() as u32;
         {
-            let frags = Rc::make_mut(&mut tree.fragments);
+            let frags = Arc::make_mut(&mut tree.fragments);
             frags.push(frag);
             if stitch {
                 frags[parent_frag as usize]
@@ -642,6 +840,9 @@ impl Monitor {
             fragment: new_idx,
             lir_len: self.cache.tree(tid).fragments[new_idx as usize].len() as u32,
         });
+        // Republish: the tree grew a fragment, so realms installing it
+        // from the shared cache later get the extended version.
+        self.publish_shared(tid);
     }
 
     // ==== tree execution ====
@@ -745,6 +946,15 @@ impl Monitor {
         interp: &mut Interp,
         realm: &mut Realm,
     ) -> Result<(), RuntimeError> {
+        if self.in_flight_exits.iter().any(|&(t, _, _)| t == tid) {
+            // A branch of this tree is already compiling in the
+            // background. Branch recordings extend the tree's AR layout
+            // from its current state, so two in-flight branches of one
+            // tree would both extend the *same* base layout and the
+            // second install would clobber the first's slots (observed as
+            // out-of-bounds AR accesses). One in-flight branch per tree.
+            return Ok(());
+        }
         {
             let tree = self.cache.tree_mut(tid);
             if tree.fragments.len() >= self.opts.max_fragments_per_tree {
@@ -843,6 +1053,20 @@ impl Monitor {
                         return Ok(());
                     }
                 }
+                if let Some(pool) = self.async_pool() {
+                    let ticket = pool.submit(CompileJob {
+                        recorded,
+                        verify_base,
+                        opts: self.opts,
+                    });
+                    self.in_flight_exits.insert((tid, frag, exit));
+                    self.in_flight.push(PendingCompile {
+                        ticket,
+                        kind: PendingKind::Branch { tid, frag, exit },
+                    });
+                    self.profiler.stats.compile_jobs_submitted += 1;
+                    return Ok(());
+                }
                 self.attach_branch(tid, frag, exit, recorded);
                 Ok(())
             }
@@ -881,6 +1105,102 @@ impl Monitor {
         if st.failures >= max_failures {
             st.counter = 0;
         }
+    }
+
+    // ==== background compilation ====
+
+    /// Non-blocking sweep over in-flight compile jobs, installing every
+    /// finished fragment. Called on each anchor hit (the handoff point:
+    /// "installing at the next anchor hit").
+    fn poll_compiles(&mut self, interp: &mut Interp) {
+        let mut i = 0;
+        while i < self.in_flight.len() {
+            match self.in_flight[i].ticket.try_ready() {
+                None => i += 1,
+                Some(outcome) => {
+                    let pending = self.in_flight.swap_remove(i);
+                    self.finish_compile(pending.kind, outcome, interp);
+                }
+            }
+        }
+    }
+
+    /// Blocking drain, called when the program finishes: the monitor's
+    /// final state (trees, counters, the persisted cache image) must not
+    /// depend on how fast the workers were.
+    fn drain_compiles(&mut self, interp: &mut Interp) {
+        while let Some(pending) = self.in_flight.pop() {
+            let outcome = pending.ticket.wait();
+            self.finish_compile(pending.kind, outcome, interp);
+        }
+    }
+
+    /// Absorbs one finished background compile: install on success,
+    /// site-failure accounting on pipeline failure (mirroring the sync
+    /// path's abort handling).
+    fn finish_compile(
+        &mut self,
+        kind: PendingKind,
+        outcome: CompileOutcome,
+        interp: &mut Interp,
+    ) {
+        match (kind, outcome) {
+            (PendingKind::Root { anchor }, CompileOutcome::Done { recorded, fragment }) => {
+                self.slots[anchor.func.0 as usize][anchor.loop_id.0 as usize]
+                    .compiling = false;
+                let mut recorded = *recorded;
+                self.count_fast_helpers(&mut recorded);
+                self.absorb_compiled_fragment_stats(&fragment);
+                self.install_root_tree(anchor, recorded, *fragment);
+                self.forgive_outer_loops(anchor, interp);
+                self.profiler.stats.compile_jobs_installed += 1;
+            }
+            (PendingKind::Root { anchor }, CompileOutcome::Failed(_)) => {
+                self.slots[anchor.func.0 as usize][anchor.loop_id.0 as usize]
+                    .compiling = false;
+                self.profiler.stats.compile_jobs_failed += 1;
+                self.handle_record_failure(anchor, AbortReason::CompileFailed, interp);
+            }
+            (
+                PendingKind::Branch { tid, frag, exit },
+                CompileOutcome::Done { recorded, fragment },
+            ) => {
+                self.in_flight_exits.remove(&(tid, frag, exit));
+                if self.cache.tree(tid).exit_states[frag as usize][exit as usize]
+                    .branch
+                    .is_some()
+                {
+                    // Raced with another install path (e.g. the whole tree
+                    // arrived from the shared cache meanwhile); drop it.
+                    return;
+                }
+                let mut recorded = *recorded;
+                self.count_fast_helpers(&mut recorded);
+                self.absorb_compiled_fragment_stats(&fragment);
+                self.install_branch(tid, frag, exit, recorded, *fragment);
+                self.profiler.stats.compile_jobs_installed += 1;
+            }
+            (PendingKind::Branch { tid, frag, exit }, CompileOutcome::Failed(_)) => {
+                self.in_flight_exits.remove(&(tid, frag, exit));
+                self.events.push(TraceEvent::RecordAbort {
+                    reason: AbortReason::CompileFailed,
+                });
+                self.profiler.stats.traces_aborted += 1;
+                self.profiler.stats.compile_jobs_failed += 1;
+                self.record_exit_failure(tid, frag, exit);
+            }
+        }
+    }
+
+    /// The profiler accounting `compile_fragment` does inline, replayed
+    /// for a fragment that was compiled on a worker thread.
+    fn absorb_compiled_fragment_stats(&mut self, frag: &Fragment) {
+        if self.opts.enable_fusion {
+            self.profiler.stats.fused_superinsts += u64::from(frag.fuse_stats.superinsts);
+            self.profiler.stats.fuse_insts_removed +=
+                u64::from(frag.fuse_stats.raw_insts - frag.fuse_stats.fused_insts);
+        }
+        self.profiler.stats.fragments += 1;
     }
 
     /// Enters tree `tid` at its trunk: builds the activation record from

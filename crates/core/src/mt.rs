@@ -1,0 +1,223 @@
+//! Multi-tenant VM: N isolated realms on independent threads, one
+//! process-wide [`SharedCodeCache`], one background [`CompilerPool`].
+//!
+//! The paper's TraceMonkey embeds one realm in one thread (a browser
+//! tab). A server embedding wants many tenants per process, which
+//! changes three things:
+//!
+//! 1. **Isolation** — each tenant keeps its own [`Realm`] (heap, shapes,
+//!    globals) and its own [`Monitor`] (hotness counters, blacklists,
+//!    trees). Nothing mutable is shared between execution threads;
+//!    `tm-core`'s compile-time `Send` audit (see `lib.rs`) keeps it that
+//!    way.
+//! 2. **Compilation off the hot path** — finished recordings go to the
+//!    shared [`CompilerPool`]; the realm keeps interpreting its loop and
+//!    installs the compiled tree at a later anchor hit.
+//! 3. **Cross-realm code reuse** — compiled trees are published to the
+//!    [`SharedCodeCache`], keyed by program checksum + realm fingerprint
+//!    + anchor, so N tenants running the same workload pay for one
+//!    compile (and realms with diverged shape tables never false-share).
+//!
+//! [`Realm`]: tm_runtime::Realm
+//! [`Monitor`]: crate::monitor::Monitor
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use crate::config::JitOptions;
+use crate::pool::{CompilerPool, PoolStats};
+use crate::profiler::ProfileStats;
+use crate::shared_cache::{SharedCacheStats, SharedCodeCache};
+use crate::vm::{Engine, Vm};
+
+/// One tenant's workload: a sequence of request sources evaluated in
+/// order on a private realm.
+#[derive(Debug, Clone)]
+pub struct RealmJob {
+    /// Program sources, run in order (each is one "request").
+    pub sources: Vec<String>,
+    /// Persistent trace-cache file for this realm (`None` = no
+    /// persistence). Several realms may point at the same `.tmc`: each
+    /// loads it independently, so one warm file warm-starts them all.
+    pub cache_path: Option<PathBuf>,
+    /// Interpreter step budget applied per request (bounds runaway
+    /// tenants; `u64::MAX` = unlimited).
+    pub step_budget: u64,
+}
+
+impl RealmJob {
+    /// A job that evaluates `source` `n` times.
+    pub fn repeat(source: &str, n: usize) -> RealmJob {
+        RealmJob {
+            sources: vec![source.to_owned(); n],
+            cache_path: None,
+            step_budget: u64::MAX,
+        }
+    }
+}
+
+/// What one realm thread produced.
+#[derive(Debug)]
+pub struct RealmReport {
+    /// Per-request results: the displayed completion value, or the error
+    /// text. Byte-comparable across realms and against a single-threaded
+    /// run of the same job.
+    pub results: Vec<Result<String, String>>,
+    /// The realm's accumulated `print` output.
+    pub output: String,
+    /// Per-request profile statistics (one entry per source).
+    pub stats: Vec<ProfileStats>,
+}
+
+/// A process hosting N concurrent realms over one shared code cache and
+/// one background compiler pool.
+///
+/// ```
+/// use tm_core::{MultiTenantVm, RealmJob};
+///
+/// let mt = MultiTenantVm::new(2);
+/// let job = || RealmJob::repeat("var s = 0; for (var i = 0; i < 200; i++) s += i; s", 3);
+/// let reports = mt.run(vec![job(), job()]);
+/// assert_eq!(reports[0].results, reports[1].results);
+/// ```
+#[derive(Debug)]
+pub struct MultiTenantVm {
+    shared: Arc<SharedCodeCache>,
+    pool: Arc<CompilerPool>,
+    opts: JitOptions,
+}
+
+impl MultiTenantVm {
+    /// A multi-tenant host with `workers` background compiler threads,
+    /// default JIT options, and background compilation on.
+    pub fn new(workers: usize) -> MultiTenantVm {
+        let mut opts = JitOptions::default();
+        opts.background_compile = true;
+        MultiTenantVm::with_options(opts, workers)
+    }
+
+    /// Explicit options (e.g. `background_compile: false` to compile on
+    /// the execution threads while still sharing compiled code).
+    pub fn with_options(opts: JitOptions, workers: usize) -> MultiTenantVm {
+        MultiTenantVm {
+            shared: Arc::new(SharedCodeCache::default()),
+            pool: Arc::new(CompilerPool::new(workers)),
+            opts,
+        }
+    }
+
+    /// The process-wide shared code cache.
+    pub fn shared_cache(&self) -> &Arc<SharedCodeCache> {
+        &self.shared
+    }
+
+    /// The background compiler pool.
+    pub fn pool(&self) -> &Arc<CompilerPool> {
+        &self.pool
+    }
+
+    /// Shared-cache counter snapshot.
+    pub fn shared_stats(&self) -> SharedCacheStats {
+        self.shared.stats()
+    }
+
+    /// Compiler-pool counter snapshot.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
+    /// A fresh tracing VM wired to this host's shared cache and pool
+    /// (persistence disabled until the caller opts in).
+    pub fn realm_vm(&self) -> Vm {
+        let mut vm = Vm::with_options(Engine::Tracing, self.opts);
+        vm.set_cache_path(None);
+        vm.attach_shared_cache(Arc::clone(&self.shared));
+        vm.attach_pool(Arc::clone(&self.pool));
+        vm
+    }
+
+    /// Runs one job to completion on a fresh realm (the body of each
+    /// realm thread; also usable inline for a single-threaded baseline).
+    pub fn run_job(&self, job: &RealmJob) -> RealmReport {
+        let mut vm = self.realm_vm();
+        vm.set_cache_path(job.cache_path.clone());
+        vm.step_budget = job.step_budget;
+        let mut results = Vec::with_capacity(job.sources.len());
+        let mut stats = Vec::with_capacity(job.sources.len());
+        for src in &job.sources {
+            let r = match vm.eval(src) {
+                Ok(v) => Ok(tm_runtime::ops::to_display(&mut vm.realm, v)),
+                Err(e) => Err(e.to_string()),
+            };
+            results.push(r);
+            stats.push(vm.profile().cloned().unwrap_or_default());
+        }
+        RealmReport { results, output: vm.realm.output.clone(), stats }
+    }
+
+    /// Runs every job on its own OS thread; reports come back in job
+    /// order. Panics in a realm thread propagate to the caller.
+    pub fn run(&self, jobs: Vec<RealmJob>) -> Vec<RealmReport> {
+        std::thread::scope(|s| {
+            let handles: Vec<_> = jobs
+                .iter()
+                .map(|job| s.spawn(move || self.run_job(job)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("realm thread panicked"))
+                .collect()
+        })
+    }
+}
+
+/// Realm threads borrow the host across threads (`thread::scope`), so
+/// the host must be `Sync` by construction.
+const _: () = {
+    const fn assert_sync<T: Sync>() {}
+    assert_sync::<MultiTenantVm>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HOT: &str = "var s = 0; for (var i = 0; i < 300; i++) s += i; s";
+
+    #[test]
+    fn two_realms_agree_and_share_code() {
+        let mt = MultiTenantVm::new(1);
+        let reports = mt.run(vec![RealmJob::repeat(HOT, 4), RealmJob::repeat(HOT, 4)]);
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].results, reports[1].results);
+        assert_eq!(reports[0].results[0], Ok("44850".to_owned()));
+        let s = mt.shared_stats();
+        assert!(s.publishes >= 1, "some realm published a tree: {s:?}");
+        // Across 2 realms x 4 evals of one program, later probes must hit.
+        assert!(s.hits >= 1, "later evals reuse the published tree: {s:?}");
+    }
+
+    #[test]
+    fn background_compiles_install() {
+        let mt = MultiTenantVm::new(2);
+        let reports = mt.run(vec![RealmJob::repeat(HOT, 2)]);
+        let total_submitted: u64 =
+            reports[0].stats.iter().map(|s| s.compile_jobs_submitted).sum();
+        let total_installed: u64 =
+            reports[0].stats.iter().map(|s| s.compile_jobs_installed).sum();
+        assert!(total_submitted >= 1, "hot loop goes through the pool");
+        assert_eq!(total_submitted, total_installed, "every job lands (drained)");
+        assert!(mt.pool_stats().executed >= 1);
+    }
+
+    #[test]
+    fn sync_mode_still_shares() {
+        let mut opts = JitOptions::default();
+        opts.background_compile = false;
+        let mt = MultiTenantVm::with_options(opts, 1);
+        let reports = mt.run(vec![RealmJob::repeat(HOT, 2), RealmJob::repeat(HOT, 2)]);
+        assert_eq!(reports[0].results, reports[1].results);
+        assert_eq!(mt.pool_stats().executed, 0, "no background jobs in sync mode");
+        assert!(mt.shared_stats().publishes >= 1);
+    }
+}

@@ -23,7 +23,7 @@
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
-use std::rc::Rc;
+use std::sync::Arc;
 
 use tm_bytecode::{FuncId, LoopId, Program};
 use tm_interp::Interp;
@@ -535,7 +535,7 @@ fn decode_tree(r: &mut ByteReader) -> Result<TraceTree, CacheError> {
         anchor,
         layout,
         entry,
-        fragments: Rc::new(fragments),
+        fragments: Arc::new(fragments),
         exits,
         fragment_bytecodes,
         exit_states,
@@ -965,7 +965,7 @@ impl Monitor {
         let ntrees = entry.trees.len() as u32;
         for (i, tree) in entry.trees.iter_mut().enumerate() {
             {
-                let frags = Rc::get_mut(&mut tree.fragments)
+                let frags = Arc::get_mut(&mut tree.fragments)
                     .expect("decoded fragments are uniquely owned");
                 for frag in frags.iter_mut() {
                     apply_shape_remap(frag, &remap);
@@ -1009,6 +1009,10 @@ impl Monitor {
             let tid = self.cache.insert(tree);
             self.slots[anchor.func.0 as usize][anchor.loop_id.0 as usize].trees.push(tid);
             self.profiler.stats.cache_loaded_trees += 1;
+            // In a multi-tenant process, trees revalidated from disk are
+            // as shareable as freshly compiled ones: publish them so the
+            // other realms warm-start from one realm's `.tmc` load.
+            self.publish_shared(tid);
         }
         self.profiler.stats.cache_loaded_fragments += loaded_fragments;
         self.oracle.restore(&entry.oracle_vars, &entry.oracle_sites);
@@ -1099,7 +1103,17 @@ impl Monitor {
             None => entries.push((handle.program_key, body)),
         }
         let out = join_file(&entries);
-        let tmp = handle.path.with_extension(format!("tmp.{}", std::process::id()));
+        // The temp name must be unique per *writer*, not just per process:
+        // two realm threads saving the same path concurrently would
+        // otherwise interleave writes into one temp file and rename a torn
+        // image into place. pid + a process-global counter keeps every
+        // writer on its own file; the final rename stays atomic, so
+        // concurrent saves degrade to last-writer-wins, never corruption.
+        static SAVE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let seq = SAVE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let tmp = handle
+            .path
+            .with_extension(format!("tmp.{}.{}", std::process::id(), seq));
         std::fs::write(&tmp, &out).map_err(|e| CacheError::Io(e.to_string()))?;
         std::fs::rename(&tmp, &handle.path).map_err(|e| {
             let _ = std::fs::remove_file(&tmp);

@@ -97,6 +97,23 @@ pub struct ProfileStats {
     /// conflict, corruption, verifier failure, ...) — each rejection
     /// degraded to a cold start.
     pub cache_revalidation_failures: u64,
+    /// Shared-code-cache probes that found at least one tree published by
+    /// some realm for the anchor.
+    pub shared_cache_hits: u64,
+    /// Shared-code-cache probes that found nothing for the anchor.
+    pub shared_cache_misses: u64,
+    /// Trees this realm installed from the shared code cache (compiled by
+    /// another realm, or by this one in an earlier eval).
+    pub shared_cache_installed_trees: u64,
+    /// Trees this realm published to the shared code cache.
+    pub shared_cache_publishes: u64,
+    /// Compile jobs handed to the background compiler pool.
+    pub compile_jobs_submitted: u64,
+    /// Background compile jobs whose fragment was installed.
+    pub compile_jobs_installed: u64,
+    /// Background compile jobs that failed in the pipeline (counted
+    /// against the site like a recording abort).
+    pub compile_jobs_failed: u64,
 }
 
 impl ProfileStats {

@@ -15,7 +15,7 @@ use tm_lir::{ArSlot, LirType};
 use tm_nanojit::Fragment;
 use tm_runtime::{Realm, Value};
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::activation::{value_matches, ArLayout, SlotKey};
 use crate::exit::SideExitInfo;
@@ -152,7 +152,7 @@ pub struct TraceTree {
     pub entry: Vec<EntrySlot>,
     /// Compiled fragments; `[0]` is the trunk. Shared so the executor can
     /// run them while the monitor (the nesting host) stays borrowable.
-    pub fragments: Rc<Vec<Fragment>>,
+    pub fragments: Arc<Vec<Fragment>>,
     /// Side-exit descriptors, per fragment, indexed by exit id.
     pub exits: Vec<Vec<SideExitInfo>>,
     /// Bytecodes covered by each fragment (Figure 11 accounting).
@@ -303,7 +303,7 @@ mod tests {
             anchor: Anchor::loop_header(FuncId(0), 3, LoopId(0)),
             layout: ArLayout::new(),
             entry,
-            fragments: Rc::new(vec![]),
+            fragments: Arc::new(vec![]),
             exits: vec![],
             fragment_bytecodes: vec![],
             exit_states: vec![],

@@ -2,6 +2,7 @@
 //! under a chosen engine.
 
 use std::path::PathBuf;
+use std::sync::Arc;
 
 use tm_interp::{Interp, RunExit};
 use tm_runtime::{Realm, RuntimeError, Value};
@@ -9,7 +10,9 @@ use tm_runtime::{Realm, RuntimeError, Value};
 use crate::config::JitOptions;
 use crate::monitor::Monitor;
 use crate::persist::{cache_path_from_env, CacheError, CacheHandle};
+use crate::pool::CompilerPool;
 use crate::profiler::ProfileStats;
+use crate::shared_cache::{SharedCodeCache, SharedKey};
 
 /// Which execution engine [`Vm::eval`] uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -91,6 +94,10 @@ pub struct Vm {
     /// Why the last eval's cache load or save was rejected, if it was.
     /// Purely diagnostic — a rejected cache degrades to a cold start.
     last_cache_error: Option<CacheError>,
+    /// Process-wide shared code cache (multi-tenant deployments).
+    shared: Option<Arc<SharedCodeCache>>,
+    /// Background compiler pool (used when `opts.background_compile`).
+    pool: Option<Arc<CompilerPool>>,
 }
 
 impl Vm {
@@ -110,7 +117,24 @@ impl Vm {
             step_budget: u64::MAX,
             cache_path: cache_path_from_env(),
             last_cache_error: None,
+            shared: None,
+            pool: None,
         }
+    }
+
+    /// Attaches a process-wide shared code cache: compiled trees this VM
+    /// produces are published to it, and before recording, the monitor
+    /// probes it for trees another realm already compiled (keyed by
+    /// program checksum + realm fingerprint + anchor, so realms with
+    /// diverged shape tables never share).
+    pub fn attach_shared_cache(&mut self, cache: Arc<SharedCodeCache>) {
+        self.shared = Some(cache);
+    }
+
+    /// Attaches a background compiler pool. Compiles are only actually
+    /// offloaded when [`JitOptions::background_compile`] is set.
+    pub fn attach_pool(&mut self, pool: Arc<CompilerPool>) {
+        self.pool = Some(pool);
     }
 
     /// Sets (or disables) the persistent trace-cache file, overriding the
@@ -155,6 +179,13 @@ impl Vm {
             }
             Engine::Tracing => {
                 let mut monitor = Monitor::new(self.opts);
+                if let Some(cache) = &self.shared {
+                    let key = SharedKey::capture(interp.prog(), &self.realm);
+                    monitor.attach_shared(Arc::clone(cache), key);
+                }
+                if let Some(pool) = &self.pool {
+                    monitor.attach_pool(Arc::clone(pool));
+                }
                 self.last_cache_error = None;
                 // Capture the cache key/fingerprint at the install point
                 // (post-compile, pre-run) so a warm process sees the same

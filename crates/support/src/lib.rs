@@ -33,6 +33,7 @@ pub mod binio;
 pub mod json;
 pub mod prop;
 pub mod rng;
+pub mod sched;
 
 pub use binio::{fnv1a64, BinError, ByteReader, ByteWriter, Fnv1a64};
 pub use json::{Json, ParseError};

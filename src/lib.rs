@@ -55,6 +55,9 @@ pub use tm_runtime as runtime;
 pub use tm_core::config::JitOptions;
 pub use tm_core::monitor::Monitor;
 pub use tm_core::persist::{CacheError, CacheHandle};
+pub use tm_core::{
+    CompilerPool, MultiTenantVm, RealmJob, RealmReport, SharedCacheStats, SharedCodeCache,
+};
 pub use tm_runtime::{Realm, RuntimeError, Value};
 
 use std::path::PathBuf;

@@ -447,6 +447,45 @@ fn fuzz_replay_seeds() {
     }
 }
 
+/// Multi-realm fuzzing: `TM_FUZZ_THREADS=K` runs each seeded program on
+/// K concurrent realms sharing one code cache and background compiler
+/// pool, and requires every realm, every repetition, to agree with the
+/// single-threaded interpreter. Seeds come from `TM_FUZZ_SEEDS` when
+/// set, else a built-in smoke set. See `docs/TESTING.md`.
+#[test]
+fn fuzz_multi_realm() {
+    let Ok(k) = std::env::var("TM_FUZZ_THREADS") else { return };
+    let k: usize = k.parse().expect("TM_FUZZ_THREADS: a thread count");
+    let seeds: Vec<u64> = match std::env::var("TM_FUZZ_SEEDS") {
+        Ok(list) => list
+            .split(',')
+            .filter(|p| !p.trim().is_empty())
+            .map(|p| p.trim().parse().expect("TM_FUZZ_SEEDS: integer seeds"))
+            .collect(),
+        Err(_) => (0..8).collect(),
+    };
+    for seed in seeds {
+        let src = Gen::new(seed).program();
+        let baseline = run(Engine::Interp, &src);
+        let mt = tracemonkey::MultiTenantVm::new(2);
+        // Match the baseline's step budget: a budget-exhausting program
+        // must exhaust it in every realm too, not run unbounded.
+        let mut job = tracemonkey::RealmJob::repeat(&src, 2);
+        job.step_budget = 30_000_000;
+        let reports = mt.run(vec![job; k]);
+        for (realm, rep) in reports.iter().enumerate() {
+            for (i, got) in rep.results.iter().enumerate() {
+                if *got != baseline {
+                    panic!(
+                        "seed {seed}: realm {realm} rep {i} diverged under \
+                         {k}-realm sharing.\ninterp: {baseline:?}\nrealm:  {got:?}\n{src}"
+                    );
+                }
+            }
+        }
+    }
+}
+
 /// Committed output of the failure reducer: an injected divergence
 /// signature (the 31-bit boxing-boundary constant) in the generator's
 /// seed-0 program was shrunk by `tm_verifier::reduce_program` from 39
