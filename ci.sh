@@ -44,6 +44,21 @@ echo "==> multi-realm fuzz smoke: fixed seeds, 4 realms sharing one code cache"
 TM_FUZZ_THREADS=4 TM_FUZZ_SEEDS="0,6" \
     cargo test -q --offline --locked --test fuzz_differential fuzz_multi_realm
 
+echo "==> native-tier fuzz smoke: native x86-64 vs decoded vs interpreter"
+# Three-way differential over fixed seeds with the native backend forced
+# on: every program must print identically under the native tier, the
+# decoded executor, and the interpreter, and the tier accounting must
+# balance (native_exits + native_fallbacks == trace_enters). The test
+# self-skips on targets without the backend; the guard here keeps the
+# stage's OK/SKIP line honest.
+if [ "$(uname -sm)" = "Linux x86_64" ]; then
+    TM_FUZZ_NATIVE=1 TM_FUZZ_SEEDS="0,7,30,42,99,123,200,256" \
+        cargo test -q --offline --locked --test fuzz_differential fuzz_native_tier
+    echo "    OK: native tier differentially identical on the seed list"
+else
+    echo "    SKIP: native backend needs Linux x86_64"
+fi
+
 echo "==> workspace member tests (per-crate units, tm-support, tm-bench)"
 cargo test -q --workspace --exclude tracemonkey --offline --locked
 
@@ -99,6 +114,23 @@ echo "==> multi-tenant smoke: N realms over one shared code cache (release)"
 ./target/release/bench_mt --smoke --baseline BENCH_pr8.json \
     > target/BENCH_pr8_smoke.json
 echo "    OK: wrote target/BENCH_pr8_smoke.json"
+
+echo "==> native-tier smoke: real x86-64 code vs the decoded executor (release)"
+# bench_native gates: per-program display and deterministic-counter
+# identity between the tiers, a wall-clock win for the native tier on
+# the bitops group aggregate (the pure-int loops the backend fully
+# covers), and against the checked-in BENCH_pr9.json: no program that
+# ran natively may regress to fallback, and dispatched-instruction
+# counts stay within 5%. Per-program wall-clock is reported, not gated.
+# On targets without the backend the binary prints a skipped marker and
+# exits 0; the guard keeps the OK/SKIP line honest.
+if [ "$(uname -sm)" = "Linux x86_64" ]; then
+    ./target/release/bench_native --smoke --baseline BENCH_pr9.json \
+        > target/BENCH_pr9_smoke.json
+    echo "    OK: wrote target/BENCH_pr9_smoke.json"
+else
+    echo "    SKIP: native backend needs Linux x86_64"
+fi
 
 echo "==> ThreadSanitizer: concurrency suite (nightly + rust-src only)"
 # TSan needs a sanitizer-instrumented std (-Zbuild-std, which needs the

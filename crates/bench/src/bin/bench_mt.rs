@@ -95,13 +95,21 @@ const WORKLOADS: &[Workload] = &[
     },
 ];
 
+/// Native-tier counters accumulated over one realm's requests.
+#[derive(Clone, Copy, Default)]
+struct NativeCounts {
+    exits: u64,
+    fallbacks: u64,
+}
+
 /// One realm working through `requests` evaluations of `source` on the
-/// given tenant VM, timing each request. Returns (latencies, results).
+/// given tenant VM, timing each request. Returns (latencies, results,
+/// native-tier counters).
 fn drive_realm(
     mt: &MultiTenantVm,
     source: &str,
     requests: usize,
-) -> (Vec<Duration>, Vec<String>) {
+) -> (Vec<Duration>, Vec<String>, NativeCounts) {
     let mut vm = mt.realm_vm();
     let mut lats = Vec::with_capacity(requests);
     let mut results = Vec::with_capacity(requests);
@@ -115,7 +123,11 @@ fn drive_realm(
         };
         results.push(shown);
     }
-    (lats, results)
+    let native = vm
+        .profile()
+        .map(|s| NativeCounts { exits: s.native_exits, fallbacks: s.native_fallbacks })
+        .unwrap_or_default();
+    (lats, results, native)
 }
 
 fn percentile(sorted: &[Duration], p: f64) -> Duration {
@@ -186,7 +198,7 @@ fn main() {
         // Expected value from a throwaway tenant (also warms nothing the
         // measured phases see: each phase builds a fresh MultiTenantVm).
         let probe = MultiTenantVm::new(pool_workers);
-        let (_, first) = drive_realm(&probe, w.source, 1);
+        let (_, first, _) = drive_realm(&probe, w.source, 1);
         let expected = first[0].clone();
         drop(probe);
 
@@ -198,7 +210,7 @@ fn main() {
         for _ in 0..repeats {
             let single = MultiTenantVm::new(pool_workers);
             let start = Instant::now();
-            let (_, single_results) = drive_realm(&single, w.source, realms * requests);
+            let (_, single_results, _) = drive_realm(&single, w.source, realms * requests);
             single_wall = single_wall.min(start.elapsed());
             drop(single);
             for (i, r) in single_results.iter().enumerate() {
@@ -219,10 +231,11 @@ fn main() {
         let mut mt_lats: Vec<Duration> = Vec::new();
         let mut shared = tracemonkey::SharedCacheStats::default();
         let mut compile_jobs_installed = 0u64;
+        let mut native = NativeCounts::default();
         for _ in 0..repeats {
             let mt = MultiTenantVm::new(pool_workers);
             let start = Instant::now();
-            let per_realm: Vec<(Vec<Duration>, Vec<String>)> = std::thread::scope(|s| {
+            let per_realm: Vec<(Vec<Duration>, Vec<String>, NativeCounts)> = std::thread::scope(|s| {
                 let handles: Vec<_> = (0..realms)
                     .map(|_| s.spawn(|| drive_realm(&mt, w.source, requests)))
                     .collect();
@@ -237,8 +250,11 @@ fn main() {
             drop(mt);
 
             let mut rep_lats: Vec<Duration> = Vec::new();
-            for (k, (lats, results)) in per_realm.iter().enumerate() {
+            let mut rep_native = NativeCounts::default();
+            for (k, (lats, results, nc)) in per_realm.iter().enumerate() {
                 rep_lats.extend_from_slice(lats);
+                rep_native.exits += nc.exits;
+                rep_native.fallbacks += nc.fallbacks;
                 for (i, r) in results.iter().enumerate() {
                     if *r != expected {
                         gate_failures.push(format!(
@@ -256,6 +272,7 @@ fn main() {
                 // The pool's executed count is per MultiTenantVm; jobs
                 // the realms installed show up in the executed tally.
                 compile_jobs_installed = rep_pool.executed;
+                native = rep_native;
             }
         }
         mt_lats.sort();
@@ -310,6 +327,10 @@ fn main() {
             ("shared_publishes", Json::from(shared.publishes)),
             ("shared_evictions", Json::from(shared.evictions)),
             ("compile_jobs_installed", Json::from(compile_jobs_installed)),
+            // Native-tier uptake across all realms of the fastest repeat
+            // (report-only: on targets without the backend both are 0).
+            ("native_exits", Json::from(native.exits)),
+            ("native_fallbacks", Json::from(native.fallbacks)),
         ]));
     }
 

@@ -1,0 +1,308 @@
+//! Native-tier benchmark (`BENCH_pr9.json`): every suite program run
+//! through the tracing JIT twice — decoded dispatch-loop executor versus
+//! the native x86-64 backend — with three kinds of output:
+//!
+//! * **identity** (gated, deterministic): the two tiers must print the
+//!   same result and report identical per-trace accounting
+//!   (`native_insts`, `trace_enters`, `side_exits`, `bytecodes_native`)
+//!   — the native tier is required to be observationally invisible;
+//! * **coverage** (gated with `--baseline`): which programs actually ran
+//!   native code (`native_exits > 0`) and the per-entry accounting
+//!   invariant `native_exits + native_fallbacks == trace_enters`. A
+//!   program that ran natively in the checked-in baseline must keep
+//!   doing so, and its dispatched-instruction count must stay within 5%;
+//! * **wall-clock** (gated on bitops only): median fresh-VM run time per
+//!   tier. The bitops group is pure traced integer code — exactly what
+//!   the native tier exists to accelerate — so `ci.sh` requires the
+//!   native aggregate to beat decoded dispatch there; other groups'
+//!   timings are reported for trend inspection, never gated (too noisy).
+//!
+//! On targets without the backend the binary prints a skipped marker and
+//! exits 0, so callers need no target detection of their own.
+//!
+//! Usage:
+//!   `bench_native [repeats]`          full suite, JSON to stdout
+//!   `bench_native --smoke [reps]`     bitops + access-nsieve subset
+//!   `bench_native --only a,b [reps]`  named subset only
+//!   `bench_native --baseline FILE`    gate coverage/dispatch vs a
+//!                                     checked-in BENCH_pr9.json
+
+use std::time::{Duration, Instant};
+
+use tm_bench::{BenchProgram, SUITE};
+use tm_support::Json;
+use tracemonkey::{Engine, JitOptions, Vm};
+
+/// Pinned perf-smoke subset: the whole gated bitops group plus one
+/// access program as an unsupported-op fallback representative.
+const SMOKE: &[&str] = &[
+    "bitops-3bit-bits-in-byte",
+    "bitops-bits-in-byte",
+    "bitops-bitwise-and",
+    "bitops-nsieve-bits",
+    "access-nsieve",
+];
+
+/// Tolerated growth of a program's dispatched-instruction count
+/// relative to the checked-in baseline.
+const REGRESSION_TOLERANCE: f64 = 1.05;
+
+/// One tier's deterministic counters plus the displayed result.
+struct Run {
+    shown: String,
+    dispatched: u64,
+    trace_enters: u64,
+    side_exits: u64,
+    bytecodes_native: u64,
+    native_exits: u64,
+    native_fallbacks: u64,
+    native_fragments: u64,
+}
+
+fn opts(native: bool) -> JitOptions {
+    JitOptions { native_backend: native, ..JitOptions::default() }
+}
+
+fn run_once(prog: &BenchProgram, native: bool) -> Run {
+    let mut vm = Vm::with_options(Engine::Tracing, opts(native));
+    let v = vm
+        .eval(prog.source)
+        .unwrap_or_else(|e| panic!("{} failed under tracing: {e}", prog.name));
+    let shown = tracemonkey::runtime::ops::to_display(&mut vm.realm, v);
+    let stats = &vm.monitor().expect("tracing engine has a monitor").profiler.stats;
+    Run {
+        shown,
+        dispatched: stats.native_insts,
+        trace_enters: stats.trace_enters,
+        side_exits: stats.side_exits,
+        bytecodes_native: stats.bytecodes_native,
+        native_exits: stats.native_exits,
+        native_fallbacks: stats.native_fallbacks,
+        native_fragments: stats.native_fragments,
+    }
+}
+
+/// Median of `repeats` fresh-VM wall-clock runs.
+fn median_time(prog: &BenchProgram, native: bool, repeats: u32) -> Duration {
+    let mut times: Vec<Duration> = (0..repeats.max(1))
+        .map(|_| {
+            let mut vm = Vm::with_options(Engine::Tracing, opts(native));
+            let start = Instant::now();
+            vm.eval(prog.source)
+                .unwrap_or_else(|e| panic!("{} failed under tracing: {e}", prog.name));
+            start.elapsed()
+        })
+        .collect();
+    times.sort();
+    times[times.len() / 2]
+}
+
+/// `name -> (ran_native, dispatched)` from a previous bench_native JSON.
+fn load_baseline(path: &str) -> Vec<(String, bool, u64)> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+    let doc = Json::parse(&text).unwrap_or_else(|e| panic!("baseline {path}: {e}"));
+    doc.get("programs")
+        .and_then(Json::as_array)
+        .unwrap_or_else(|| panic!("baseline {path} has no programs array"))
+        .iter()
+        .filter_map(|row| {
+            let name = row.get("name")?.as_str()?;
+            let ran = row.get("ran_native")?.as_bool()?;
+            let dispatched = row.get("dispatched")?.as_u64()?;
+            Some((name.to_owned(), ran, dispatched))
+        })
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let flag_value = |flag: &str| {
+        args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+    };
+    let only: Option<Vec<String>> =
+        flag_value("--only").map(|names| names.split(',').map(str::to_string).collect());
+    let baseline_path = flag_value("--baseline");
+    let repeats: u32 = args
+        .iter()
+        .enumerate()
+        .filter(|(i, a)| {
+            let prev = i.checked_sub(1).and_then(|p| args.get(p));
+            !matches!(prev.map(String::as_str), Some("--only" | "--baseline"))
+                && a.parse::<u32>().is_ok()
+        })
+        .find_map(|(_, a)| a.parse().ok())
+        .unwrap_or(if smoke { 3 } else { 5 });
+
+    if !tracemonkey::nanojit::native_supported() {
+        println!(
+            "{}",
+            Json::obj([
+                ("schema", Json::from("bench_native/v1")),
+                ("skipped", Json::from(true)),
+                ("reason", Json::from("no native backend for this target")),
+            ])
+            .to_string_pretty()
+        );
+        return;
+    }
+
+    let programs: Vec<&BenchProgram> = if let Some(only) = &only {
+        SUITE.iter().filter(|p| only.iter().any(|n| n == p.name)).collect()
+    } else if smoke {
+        SUITE.iter().filter(|p| SMOKE.contains(&p.name)).collect()
+    } else {
+        SUITE.iter().collect()
+    };
+
+    let baseline = baseline_path.as_deref().map(load_baseline);
+    let mut rows = Vec::new();
+    let mut gate_failures: Vec<String> = Vec::new();
+    let mut bitops_decoded = Duration::ZERO;
+    let mut bitops_native = Duration::ZERO;
+    let ms = |d: Duration| d.as_secs_f64() * 1e3;
+
+    for prog in &programs {
+        let decoded = run_once(prog, false);
+        let native = run_once(prog, true);
+
+        // Identity gate: the native tier must be observationally
+        // invisible — same program result, same per-trace accounting.
+        if native.shown != decoded.shown {
+            gate_failures.push(format!(
+                "{}: native printed {:?}, decoded printed {:?}",
+                prog.name, native.shown, decoded.shown
+            ));
+        }
+        for (what, n, d) in [
+            ("dispatched insts", native.dispatched, decoded.dispatched),
+            ("trace enters", native.trace_enters, decoded.trace_enters),
+            ("side exits", native.side_exits, decoded.side_exits),
+            ("native bytecodes", native.bytecodes_native, decoded.bytecodes_native),
+        ] {
+            if n != d {
+                gate_failures.push(format!(
+                    "{}: {what} diverge (native {n}, decoded {d})",
+                    prog.name
+                ));
+            }
+        }
+        if native.native_exits + native.native_fallbacks != native.trace_enters {
+            gate_failures.push(format!(
+                "{}: native_exits {} + native_fallbacks {} != trace_enters {}",
+                prog.name, native.native_exits, native.native_fallbacks, native.trace_enters
+            ));
+        }
+
+        let decoded_ms = median_time(prog, false, repeats);
+        let native_ms = median_time(prog, true, repeats);
+        if prog.group == "bitops" {
+            bitops_decoded += decoded_ms;
+            bitops_native += native_ms;
+        }
+        let ran_native = native.native_exits > 0;
+        let coverage = if native.trace_enters == 0 {
+            0.0
+        } else {
+            100.0 * native.native_exits as f64 / native.trace_enters as f64
+        };
+        eprintln!(
+            "{:28} {:>12} insts   native exits {:>7}/{:<7}   {:8.2} -> {:8.2} ms ({:.2}x)",
+            prog.name,
+            native.dispatched,
+            native.native_exits,
+            native.trace_enters,
+            ms(decoded_ms),
+            ms(native_ms),
+            ms(decoded_ms) / ms(native_ms).max(1e-9),
+        );
+
+        if let Some(base) = &baseline {
+            match base.iter().find(|(n, _, _)| n == prog.name) {
+                Some((_, base_ran, base_dispatched)) => {
+                    if *base_ran && !ran_native {
+                        gate_failures.push(format!(
+                            "{}: ran natively in the baseline but fell back now",
+                            prog.name
+                        ));
+                    }
+                    let limit =
+                        (*base_dispatched as f64 * REGRESSION_TOLERANCE).ceil() as u64;
+                    if native.dispatched > limit {
+                        gate_failures.push(format!(
+                            "{}: dispatched {} exceeds baseline {} by >5%",
+                            prog.name, native.dispatched, base_dispatched
+                        ));
+                    }
+                }
+                None => gate_failures
+                    .push(format!("{}: missing from baseline {:?}", prog.name, baseline_path)),
+            }
+        }
+
+        rows.push(Json::obj([
+            ("name", Json::from(prog.name)),
+            ("group", Json::from(prog.group)),
+            ("untraceable_by_design", Json::from(prog.untraceable)),
+            ("dispatched", Json::from(native.dispatched)),
+            ("trace_enters", Json::from(native.trace_enters)),
+            ("native_exits", Json::from(native.native_exits)),
+            ("native_fallbacks", Json::from(native.native_fallbacks)),
+            ("native_fragments", Json::from(native.native_fragments)),
+            ("ran_native", Json::from(ran_native)),
+            ("native_coverage_pct", Json::from(coverage)),
+            ("decoded_ms", Json::from(ms(decoded_ms))),
+            ("native_ms", Json::from(ms(native_ms))),
+            ("wall_clock_speedup", Json::from(ms(decoded_ms) / ms(native_ms).max(1e-9))),
+        ]));
+    }
+
+    // The tentpole wall-clock gate: on the pure-int bitops group the
+    // native tier must beat decoded dispatch outright.
+    if bitops_decoded > Duration::ZERO && bitops_native >= bitops_decoded {
+        gate_failures.push(format!(
+            "bitops group: native {:.2} ms does not beat decoded {:.2} ms",
+            ms(bitops_native),
+            ms(bitops_decoded)
+        ));
+    }
+    if bitops_decoded > Duration::ZERO {
+        eprintln!(
+            "bitops group: decoded {:.2} ms -> native {:.2} ms ({:.2}x)",
+            ms(bitops_decoded),
+            ms(bitops_native),
+            ms(bitops_decoded) / ms(bitops_native).max(1e-9)
+        );
+    }
+
+    let out = Json::obj([
+        ("schema", Json::from("bench_native/v1")),
+        (
+            "statistic",
+            Json::from(
+                "decoded-executor vs native-x86-64 tier: result/accounting \
+                 identity and native coverage (deterministic, gated), median \
+                 fresh-VM wall-clock (gated on the bitops group only)",
+            ),
+        ),
+        ("repeats", Json::from(repeats)),
+        ("smoke", Json::from(smoke)),
+        ("bitops_decoded_ms", Json::from(ms(bitops_decoded))),
+        ("bitops_native_ms", Json::from(ms(bitops_native))),
+        (
+            "bitops_speedup",
+            Json::from(ms(bitops_decoded) / ms(bitops_native).max(1e-9)),
+        ),
+        ("programs", Json::Array(rows)),
+    ]);
+    println!("{}", out.to_string_pretty());
+
+    if !gate_failures.is_empty() {
+        eprintln!("bench_native perf gate FAILED:");
+        for f in &gate_failures {
+            eprintln!("  - {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -61,6 +61,15 @@ pub struct JitOptions {
     /// default (and a no-op without an attached pool): single-realm runs
     /// keep the paper's synchronous compile-on-record semantics.
     pub background_compile: bool,
+    /// Execute trace trees through the native x86-64 backend
+    /// (`tm-nanojit::x64`) when the tree's fragments are fully
+    /// translatable; trees with untranslatable ops (heap access, helper
+    /// calls, nested trees) fall back per-tree to the decoded executor,
+    /// which remains the portable reference. On by default where the
+    /// backend exists (x86-64 Linux) so the whole suite runs the native
+    /// tier differentially; forced off elsewhere — enabling it on an
+    /// unsupported target silently degrades to the decoded executor.
+    pub native_backend: bool,
 }
 
 impl Default for JitOptions {
@@ -84,6 +93,7 @@ impl Default for JitOptions {
             verify: cfg!(debug_assertions),
             enable_fusion: true,
             background_compile: false,
+            native_backend: cfg!(all(target_arch = "x86_64", target_os = "linux")),
         }
     }
 }

@@ -13,7 +13,7 @@ use std::sync::Arc;
 
 use tm_interp::{Flow, Interp, RunExit};
 use tm_lir::{run_backward_filters, ExitLiveness};
-use tm_nanojit::{assemble, execute, ExitTarget, Fragment, TreeHost};
+use tm_nanojit::{assemble, emit_tree, execute, ExitTarget, Fragment, NativeTree, TreeHost};
 use tm_runtime::{Realm, RuntimeError, Value};
 
 use crate::activation::{box_from_word, unbox_to_word, value_matches, SlotKey};
@@ -114,6 +114,33 @@ pub struct Monitor {
     /// Side exits with a branch compile in flight (guards duplicate
     /// branch recordings; cleared on install or failure).
     in_flight_exits: HashSet<(TreeId, u32, u16)>,
+    /// Per-tree native x86-64 code, emitted lazily at the first execution
+    /// with `native_backend` on and invalidated whenever the tree's
+    /// fragments change (branch install). Keyed by local [`TreeId`] —
+    /// native buffers are never serialized or shared; trees installed from
+    /// the persistent or shared cache get fresh ids and re-emit here.
+    native: HashMap<TreeId, NativeState>,
+}
+
+/// Cached outcome of attempting native emission for one tree.
+#[derive(Debug)]
+enum NativeState {
+    /// Executable buffer covering every fragment of the tree.
+    Ready(Box<NativeTree>),
+    /// The tree contains an op the native emitter does not support (or
+    /// emission failed); every execution falls back to the decoded
+    /// executor until the tree changes shape.
+    Unsupported,
+    /// Invalidated by a branch install while the tree is (likely still)
+    /// growing: executions count down through the decoded executor and
+    /// re-emission happens only once the countdown reaches zero without
+    /// another invalidation. Without this, a tree that installs a branch
+    /// every few entries pays a whole-tree emission per install — O(n²)
+    /// in the final fragment count. The countdown is set proportional to
+    /// the tree's fragment count, so re-emission cost (linear in the
+    /// fragments) stays amortized against a matching number of decoded
+    /// runs however often the tree grows.
+    Deferred(u32),
 }
 
 /// One background compile the monitor is waiting on.
@@ -159,6 +186,7 @@ impl Monitor {
             pool: None,
             in_flight: Vec::new(),
             in_flight_exits: HashSet::new(),
+            native: HashMap::new(),
         }
     }
 
@@ -770,6 +798,14 @@ impl Monitor {
         for m in recorded.oracle_marks.drain(..) {
             self.oracle.mark_double(m);
         }
+        // The tree's fragment set is about to change (new fragment plus a
+        // patched stitch target): drop any native buffer, and defer the
+        // re-emission for as many executions as the tree has fragments so
+        // a tree in its growth phase doesn't re-emit per install.
+        if self.opts.native_backend {
+            let delay = self.cache.tree(tid).fragments.len() as u32 + 1;
+            self.native.insert(tid, NativeState::Deferred(delay.max(2)));
+        }
         let stitch = self.opts.enable_stitching;
         let tree = self.cache.tree_mut(tid);
         let new_idx = tree.fragments.len() as u32;
@@ -1249,7 +1285,58 @@ impl Monitor {
         // The interpreter's step budget extends to native execution: trace
         // loop edges bail out when the (approximate) fuel runs out.
         let fuel = interp.steps_remaining;
-        let trace_exit = {
+        // Native tier: lazily emit x86-64 code for the whole tree on
+        // first execution (or once an invalidation countdown expires);
+        // trees with untranslatable ops are marked and fall back to the
+        // decoded executor until their shape changes. One map probe on
+        // the steady-state paths — this runs on every trace entry.
+        enum Plan {
+            Use,
+            Fallback,
+            Emit,
+        }
+        let plan = if self.opts.native_backend {
+            match self.native.get_mut(&tid) {
+                Some(NativeState::Ready(_)) => Plan::Use,
+                Some(NativeState::Unsupported) => Plan::Fallback,
+                Some(NativeState::Deferred(n)) => {
+                    if *n > 0 {
+                        *n -= 1;
+                        Plan::Fallback
+                    } else {
+                        Plan::Emit
+                    }
+                }
+                None => Plan::Emit,
+            }
+        } else {
+            Plan::Fallback
+        };
+        let use_native = match plan {
+            Plan::Use => true,
+            Plan::Fallback => false,
+            Plan::Emit => match emit_tree(&frags) {
+                Ok(nt) => {
+                    self.profiler.stats.native_fragments += frags.len() as u64;
+                    self.native.insert(tid, NativeState::Ready(Box::new(nt)));
+                    true
+                }
+                Err(_) => {
+                    self.native.insert(tid, NativeState::Unsupported);
+                    false
+                }
+            },
+        };
+        let trace_exit = if use_native {
+            self.profiler.stats.native_exits += 1;
+            match self.native.get(&tid) {
+                Some(NativeState::Ready(nt)) => nt.execute(start, &mut ar, realm, fuel),
+                _ => unreachable!("use_native checked Ready above"),
+            }
+        } else {
+            if self.opts.native_backend {
+                self.profiler.stats.native_fallbacks += 1;
+            }
             let mut host = NestHost { monitor: self, interp, outer: tid, entry_frame_idx };
             execute(&frags, start, &mut ar, realm, &mut host, fuel)?
         };

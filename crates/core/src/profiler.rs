@@ -114,6 +114,17 @@ pub struct ProfileStats {
     /// Background compile jobs that failed in the pipeline (counted
     /// against the site like a recording abort).
     pub compile_jobs_failed: u64,
+    /// Fragments emitted as native x86-64 code (counted once per
+    /// fragment when a tree's buffer is (re-)emitted).
+    pub native_fragments: u64,
+    /// Tree executions that fell back to the decoded executor because
+    /// the tree contains an op the native emitter does not support (or
+    /// the native tier is disabled/unsupported, with `native_backend`
+    /// requested on).
+    pub native_fallbacks: u64,
+    /// Tree executions that ran through the native x86-64 backend (each
+    /// contributes exactly one native exit).
+    pub native_exits: u64,
 }
 
 impl ProfileStats {

@@ -1,13 +1,26 @@
 //! The virtual machine ISA that compiled traces execute.
 //!
 //! **Substitution note (see DESIGN.md):** the paper's NanoJIT emits real
-//! x86/ARM machine code. We target a fixed virtual register ISA executed by
-//! a tight decode loop instead. What the evaluation depends on is
-//! preserved: compiled trace instructions operate on **unboxed words in
-//! registers**, with no type dispatch, no interpreter decode, no operand
-//! stack traffic, and guards compiled to single compare-and-exit
-//! operations — the Figure 4 profile ("most LIR instructions compile to a
-//! single x86 instruction").
+//! x86/ARM machine code. We target a fixed virtual register ISA with two
+//! execution tiers behind it:
+//!
+//! * the **decoded executor** ([`crate::executor`]) — a tight decode loop,
+//!   portable to any target, and the reference semantics;
+//! * the **native x86-64 backend** ([`crate::x64`]) — translates the same
+//!   post-peephole `MachInst` stream into real machine code in an
+//!   executable buffer (on by default on x86-64 Linux, selected per tree
+//!   by the monitor, with whole-tree fallback to the decoded executor for
+//!   any instruction it doesn't cover).
+//!
+//! What the evaluation depends on is preserved in both tiers: compiled
+//! trace instructions operate on **unboxed words in registers**, with no
+//! type dispatch, no interpreter decode, no operand stack traffic, and
+//! guards compiled to single compare-and-exit operations — the Figure 4
+//! profile ("most LIR instructions compile to a single x86 instruction").
+//! The decoded tier keeps that profile observable on every platform and
+//! doubles as the differential oracle for the native tier; the native
+//! tier restores the paper's actual mechanism on the paper's actual
+//! target.
 //!
 //! The ISA has two layers:
 //!
@@ -17,9 +30,10 @@
 //!   ([`crate::peephole::fuse`]), each standing in for 2–3 adjacent raw
 //!   instructions. These model what real NanoJIT gets for free from x86:
 //!   immediate operands, memory-operand addressing modes, and macro-fused
-//!   compare-and-branch. In the decode-loop substitution every dispatched
+//!   compare-and-branch. In the decode-loop tier every dispatched
 //!   instruction costs a match arm, so shrinking the dispatched stream is
-//!   the direct analogue of emitting denser machine code.
+//!   the direct analogue of emitting denser machine code; the native
+//!   backend compiles each fused form to exactly that denser encoding.
 
 use tm_lir::{AluOp, ChkOp, CmpOp};
 use tm_runtime::Helper;

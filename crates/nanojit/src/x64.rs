@@ -1,0 +1,2643 @@
+//! Native x86-64 backend: emits real machine code for compiled trace trees.
+//!
+//! This is the second execution tier behind the decoded virtual-ISA
+//! executor ([`crate::executor`]). Post-peephole [`Fragment`]s — raw
+//! instructions plus every fused superinstruction — are translated to an
+//! executable W^X buffer, one buffer per trace tree, entered through a
+//! tiny JIT calling convention ([`NativeCtx`] in the platform module):
+//! the activation record, register file, spill area, and realm travel as
+//! raw pointers; guards compile to compare-and-branch against per-exit
+//! trampolines that materialize the exit index; stitched exits compile to
+//! direct jumps between fragment bodies (re-emitted when the tree grows a
+//! branch, so stitch targets are always baked in).
+//!
+//! The decoded executor remains the portable reference implementation and
+//! the differential oracle: a native tree must produce byte-identical AR
+//! contents *and* an identical [`TraceExit`] record — including the
+//! `insts`/`fused_insts`/`iterations` counters, which the emitter
+//! reconstructs by accumulating static per-exit-path counts — for every
+//! program. Fragments containing ops the emitter does not support (heap
+//! object access, helper calls, nested tree calls) fail [`emit_tree`]
+//! with [`Unsupported`] and the whole tree falls back to the decoded
+//! executor; the monitor counts those fallbacks.
+//!
+//! On non-x86-64 or non-Linux targets the stub module below reports
+//! native support as unavailable and the tier disables itself.
+
+use crate::machinst::MachInst;
+
+/// Why a tree could not be translated to native code. Carried as an
+/// `Err` from [`emit_tree`]; the monitor falls back to the decoded
+/// executor for the whole tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Unsupported {
+    /// Mnemonic of the first op the emitter does not translate (or
+    /// `"mmap"` when the OS refused an executable mapping).
+    pub what: &'static str,
+}
+
+impl std::fmt::Display for Unsupported {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "native backend: unsupported {}", self.what)
+    }
+}
+
+/// The ops [`emit_tree`] refuses: everything that walks realm heap
+/// structures (shapes, slots, elements) or re-enters the runtime
+/// (helpers, nested trees). Returns the mnemonic for diagnostics.
+pub fn unsupported_op(inst: &MachInst) -> Option<&'static str> {
+    Some(match inst {
+        MachInst::GuardShape { .. } => "GuardShape",
+        MachInst::GuardClass { .. } => "GuardClass",
+        MachInst::GuardBound { .. } => "GuardBound",
+        MachInst::LoadSlot { .. } => "LoadSlot",
+        MachInst::StoreSlot { .. } => "StoreSlot",
+        MachInst::LoadProto { .. } => "LoadProto",
+        MachInst::LoadElem { .. } => "LoadElem",
+        MachInst::StoreElem { .. } => "StoreElem",
+        MachInst::ArrayLen { .. } => "ArrayLen",
+        MachInst::StrLen { .. } => "StrLen",
+        MachInst::CallHelper { .. } => "CallHelper",
+        MachInst::CallTree { .. } => "CallTree",
+        _ => return None,
+    })
+}
+
+#[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+mod imp {
+    use std::collections::HashMap;
+    use std::mem::offset_of;
+
+    use tm_lir::{AluOp, ChkOp, CmpOp};
+    use tm_runtime::trace_helpers::{f64_from_word, word_from_f64};
+    use tm_runtime::{Realm, Value};
+
+    use super::{unsupported_op, Unsupported};
+    use crate::executor::TraceExit;
+    use crate::machinst::{Fragment, MachInst, Reg, EXIT_UNSTITCHED, REG_FILE_WORDS, REG_MASK};
+
+    /// Whether this build can emit and run native code.
+    pub fn native_supported() -> bool {
+        true
+    }
+
+    // ---- JIT calling convention ----------------------------------------
+
+    /// Everything native code needs, passed by pointer in `rdi`. Pinned
+    /// callee-saved registers cache the hot fields: `r15` = ctx, `r14` =
+    /// `ar`, `r13` = `regs`, `r12` = `spill`; `rbx`/`rbp` accumulate the
+    /// `insts`/`fused` counters and are flushed to the ctx on exit.
+    #[repr(C)]
+    struct NativeCtx {
+        /// Trace activation record base.
+        ar: *mut u64,
+        /// Register file base (`REG_FILE_WORDS` words, zeroed per run).
+        regs: *mut u64,
+        /// Spill area base (max spills over all fragments, zeroed).
+        spill: *mut u64,
+        /// The realm, for the few ops that allocate or read heap numbers.
+        realm: *mut Realm,
+        /// `&realm.interrupt`, polled at loop edges (§6.4).
+        interrupt: *const bool,
+        /// `&realm.heap.gc_pending`, polled at loop edges.
+        gc_pending: *const bool,
+        /// Instruction budget: loop edges exit once `insts >= fuel`.
+        fuel: u64,
+        /// Fragment index to enter at.
+        start: u32,
+        _pad: u32,
+        /// Out: completed loop-edge crossings.
+        iterations: u64,
+        /// Out: instructions dispatched (fused counts once).
+        insts: u64,
+        /// Out: of `insts`, fused superinstructions.
+        fused: u64,
+        /// Out: fragment that took the final (unstitched) exit.
+        exit_fragment: u32,
+        /// Out: exit id taken.
+        exit_id: u32,
+    }
+
+    const CTX_AR: i32 = offset_of!(NativeCtx, ar) as i32;
+    const CTX_REGS: i32 = offset_of!(NativeCtx, regs) as i32;
+    const CTX_SPILL: i32 = offset_of!(NativeCtx, spill) as i32;
+    const CTX_REALM: i32 = offset_of!(NativeCtx, realm) as i32;
+    const CTX_INTERRUPT: i32 = offset_of!(NativeCtx, interrupt) as i32;
+    const CTX_GC: i32 = offset_of!(NativeCtx, gc_pending) as i32;
+    const CTX_FUEL: i32 = offset_of!(NativeCtx, fuel) as i32;
+    const CTX_START: i32 = offset_of!(NativeCtx, start) as i32;
+    const CTX_ITER: i32 = offset_of!(NativeCtx, iterations) as i32;
+    const CTX_INSTS: i32 = offset_of!(NativeCtx, insts) as i32;
+    const CTX_FUSED: i32 = offset_of!(NativeCtx, fused) as i32;
+    const CTX_EXIT_FRAG: i32 = offset_of!(NativeCtx, exit_fragment) as i32;
+    const CTX_EXIT_ID: i32 = offset_of!(NativeCtx, exit_id) as i32;
+
+    // ---- runtime shims --------------------------------------------------
+    //
+    // Each shim is the exact body of the corresponding decoded-executor
+    // match arm (or the slow half of it); native code calls them with the
+    // System V convention, so the pinned callee-saved registers survive.
+
+    extern "sysv64" fn fmod_shim(a: u64, b: u64) -> u64 {
+        word_from_f64(f64_from_word(a) % f64_from_word(b))
+    }
+
+    extern "sysv64" fn d2i32_shim(a: u64) -> u64 {
+        i64::from(tm_runtime::ops::double_to_int32(f64_from_word(a))) as u64
+    }
+
+    /// `BoxI` slow path: the value is outside the boxable 31-bit range,
+    /// so boxing allocates a heap double (`Heap::number_i32`).
+    extern "sysv64" fn boxi_slow_shim(realm: *mut Realm, i: u32) -> u64 {
+        let realm = unsafe { &mut *realm };
+        realm.heap.number_i32(i as i32).raw()
+    }
+
+    extern "sysv64" fn boxd_shim(realm: *mut Realm, bits: u64) -> u64 {
+        let realm = unsafe { &mut *realm };
+        let v = realm.heap.number(f64_from_word(bits));
+        if realm.heap.should_collect() {
+            realm.heap.gc_pending = true;
+        }
+        v.raw()
+    }
+
+    /// Reads the heap double behind an already-tag-checked boxed value.
+    extern "sysv64" fn unbox_double_shim(realm: *const Realm, raw: u64) -> u64 {
+        let realm = unsafe { &*realm };
+        let id = Value::from_raw(raw).as_double_id().expect("tag checked by native code");
+        word_from_f64(realm.heap.double(id))
+    }
+
+    // ---- executable buffer ----------------------------------------------
+
+    const SYS_MMAP: isize = 9;
+    const SYS_MPROTECT: isize = 10;
+    const SYS_MUNMAP: isize = 11;
+    const PROT_RW: usize = 0x3;
+    const PROT_RX: usize = 0x5;
+    const MAP_PRIVATE_ANON: usize = 0x22;
+
+    unsafe fn syscall3(n: isize, a1: usize, a2: usize, a3: usize) -> isize {
+        let ret: isize;
+        unsafe {
+            core::arch::asm!(
+                "syscall",
+                inlateout("rax") n => ret,
+                in("rdi") a1,
+                in("rsi") a2,
+                in("rdx") a3,
+                lateout("rcx") _,
+                lateout("r11") _,
+                options(nostack),
+            );
+        }
+        ret
+    }
+
+    unsafe fn sys_mmap_rw(len: usize) -> isize {
+        let ret: isize;
+        unsafe {
+            core::arch::asm!(
+                "syscall",
+                inlateout("rax") SYS_MMAP => ret,
+                in("rdi") 0usize,
+                in("rsi") len,
+                in("rdx") PROT_RW,
+                in("r10") MAP_PRIVATE_ANON,
+                in("r8") -1isize,
+                in("r9") 0usize,
+                lateout("rcx") _,
+                lateout("r11") _,
+                options(nostack),
+            );
+        }
+        ret
+    }
+
+    /// A page-rounded executable mapping holding one tree's code.
+    /// Installed write-then-protect: the pages are `rw-` while the code
+    /// is copied in, then flipped to `r-x` — never writable+executable.
+    struct ExecBuf {
+        ptr: *mut u8,
+        len: usize,
+    }
+
+    // The buffer is immutable after install; executing it from any thread
+    // is safe (the code itself only touches memory through the ctx).
+    unsafe impl Send for ExecBuf {}
+    unsafe impl Sync for ExecBuf {}
+
+    impl ExecBuf {
+        fn install(code: &[u8]) -> Option<ExecBuf> {
+            let len = code.len().max(1).div_ceil(4096) * 4096;
+            let addr = unsafe { sys_mmap_rw(len) };
+            if (-4095..0).contains(&addr) {
+                return None;
+            }
+            let ptr = addr as *mut u8;
+            unsafe {
+                std::ptr::copy_nonoverlapping(code.as_ptr(), ptr, code.len());
+                if syscall3(SYS_MPROTECT, ptr as usize, len, PROT_RX) != 0 {
+                    syscall3(SYS_MUNMAP, ptr as usize, len, 0);
+                    return None;
+                }
+            }
+            Some(ExecBuf { ptr, len })
+        }
+
+        fn entry(&self) -> extern "sysv64" fn(*mut NativeCtx) {
+            unsafe { std::mem::transmute::<*mut u8, extern "sysv64" fn(*mut NativeCtx)>(self.ptr) }
+        }
+    }
+
+    impl Drop for ExecBuf {
+        fn drop(&mut self) {
+            unsafe {
+                syscall3(SYS_MUNMAP, self.ptr as usize, self.len, 0);
+            }
+        }
+    }
+
+    // ---- assembler ------------------------------------------------------
+
+    const RAX: u8 = 0;
+    const RCX: u8 = 1;
+    const RDX: u8 = 2;
+    const RBX: u8 = 3;
+    const RBP: u8 = 5;
+    const RSI: u8 = 6;
+    const RDI: u8 = 7;
+    const R12: u8 = 12;
+    const R13: u8 = 13;
+    const R14: u8 = 14;
+    const R15: u8 = 15;
+    const XMM0: u8 = 0;
+    const XMM1: u8 = 1;
+
+    /// Condition codes for `jcc`/`setcc`. `cc ^ 1` is the inverse.
+    const CC_AE: u8 = 0x3;
+    const CC_E: u8 = 0x4;
+    const CC_NE: u8 = 0x5;
+    const CC_A: u8 = 0x7;
+    const CC_S: u8 = 0x8;
+    const CC_P: u8 = 0xA;
+    const CC_NP: u8 = 0xB;
+    const CC_L: u8 = 0xC;
+    const CC_GE: u8 = 0xD;
+    const CC_LE: u8 = 0xE;
+    const CC_G: u8 = 0xF;
+
+    /// A branch target resolved at finalize time.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+    enum Label {
+        /// Entry of fragment body `k`.
+        Frag(u32),
+        /// Exit site `n` (see `SiteInfo`).
+        Site(u32),
+        /// An emitter-local label inside one instruction's expansion.
+        Local(u32),
+        /// The common function epilogue.
+        Epilogue,
+    }
+
+    /// Byte-buffer assembler with rel32 label fixups and offset-keyed
+    /// annotations (consumed by the hexdump disassembler). Annotations
+    /// are only collected when `annotate` is set — formatting every
+    /// virtual instruction is far too expensive for the monitor's
+    /// (re-)emission path, which never reads them.
+    #[derive(Default)]
+    struct Asm {
+        code: Vec<u8>,
+        labels: HashMap<Label, usize>,
+        fixups: Vec<(usize, Label)>,
+        notes: Vec<(usize, String)>,
+        annotate: bool,
+    }
+
+    impl Asm {
+        fn here(&self) -> usize {
+            self.code.len()
+        }
+
+        fn note(&mut self, text: impl FnOnce() -> String) {
+            if self.annotate {
+                let t = text();
+                self.notes.push((self.here(), t));
+            }
+        }
+
+        fn byte(&mut self, b: u8) {
+            self.code.push(b);
+        }
+
+        fn bytes(&mut self, bs: &[u8]) {
+            self.code.extend_from_slice(bs);
+        }
+
+        fn imm32(&mut self, v: i32) {
+            self.code.extend_from_slice(&v.to_le_bytes());
+        }
+
+        fn imm64(&mut self, v: u64) {
+            self.code.extend_from_slice(&v.to_le_bytes());
+        }
+
+        /// REX prefix for `reg`/`rm` (or base), omitted when empty.
+        fn rex_if(&mut self, w: bool, reg: u8, rm: u8) {
+            let rex = 0x40 | (u8::from(w) << 3) | (((reg >> 3) & 1) << 2) | ((rm >> 3) & 1);
+            if rex != 0x40 {
+                self.byte(rex);
+            }
+        }
+
+        /// ModRM for `[base + disp32]` (mod=10; SIB when base is r12/rsp).
+        fn modrm_mem(&mut self, reg: u8, base: u8, disp: i32) {
+            self.byte(0b1000_0000 | ((reg & 7) << 3) | (base & 7));
+            if base & 7 == 4 {
+                self.byte(0x24);
+            }
+            self.imm32(disp);
+        }
+
+        fn modrm_reg(&mut self, reg: u8, rm: u8) {
+            self.byte(0b1100_0000 | ((reg & 7) << 3) | (rm & 7));
+        }
+
+        fn op_mem(&mut self, w: bool, opc: &[u8], reg: u8, base: u8, disp: i32) {
+            self.rex_if(w, reg, base);
+            self.bytes(opc);
+            self.modrm_mem(reg, base, disp);
+        }
+
+        fn op_reg(&mut self, w: bool, opc: &[u8], reg: u8, rm: u8) {
+            self.rex_if(w, reg, rm);
+            self.bytes(opc);
+            self.modrm_reg(reg, rm);
+        }
+
+        /// SSE op with a mandatory prefix byte (F2/66) before REX.
+        fn sse_mem(&mut self, prefix: u8, w: bool, opc: &[u8], xmm: u8, base: u8, disp: i32) {
+            self.byte(prefix);
+            self.rex_if(w, xmm, base);
+            self.bytes(opc);
+            self.modrm_mem(xmm, base, disp);
+        }
+
+        fn sse_reg(&mut self, prefix: u8, w: bool, opc: &[u8], reg: u8, rm: u8) {
+            self.byte(prefix);
+            self.rex_if(w, reg, rm);
+            self.bytes(opc);
+            self.modrm_reg(reg, rm);
+        }
+
+        // -- moves --
+
+        /// `mov r32, [base+disp]` (zero-extends to 64 bits).
+        fn mov_r32_mem(&mut self, dst: u8, base: u8, disp: i32) {
+            self.op_mem(false, &[0x8B], dst, base, disp);
+        }
+
+        fn mov_r64_mem(&mut self, dst: u8, base: u8, disp: i32) {
+            self.op_mem(true, &[0x8B], dst, base, disp);
+        }
+
+        fn mov_mem_r64(&mut self, base: u8, disp: i32, src: u8) {
+            self.op_mem(true, &[0x89], src, base, disp);
+        }
+
+        /// `mov dword [base+disp], imm32`.
+        fn mov_mem32_imm(&mut self, base: u8, disp: i32, imm: i32) {
+            self.op_mem(false, &[0xC7], 0, base, disp);
+            self.imm32(imm);
+        }
+
+        /// `movsxd r64, dword [base+disp]`.
+        fn movsxd_r64_mem(&mut self, dst: u8, base: u8, disp: i32) {
+            self.op_mem(true, &[0x63], dst, base, disp);
+        }
+
+        /// `movsxd r64, r32`.
+        fn movsxd_r64_r32(&mut self, dst: u8, src: u8) {
+            self.op_reg(true, &[0x63], dst, src);
+        }
+
+        fn mov_rr64(&mut self, dst: u8, src: u8) {
+            self.op_reg(true, &[0x89], src, dst);
+        }
+
+        /// `mov r32, r32` (zero-extends; also truncates to u32).
+        fn mov_rr32(&mut self, dst: u8, src: u8) {
+            self.op_reg(false, &[0x89], src, dst);
+        }
+
+        /// `mov r32, imm32` (zero-extends).
+        fn mov_r32_imm(&mut self, dst: u8, imm: u32) {
+            self.rex_if(false, 0, dst);
+            self.byte(0xB8 | (dst & 7));
+            self.imm32(imm as i32);
+        }
+
+        /// `mov r64, imm32` (sign-extends).
+        fn mov_r64_imm32(&mut self, dst: u8, imm: i32) {
+            self.op_reg(true, &[0xC7], 0, dst);
+            self.imm32(imm);
+        }
+
+        /// `movabs r64, imm64`.
+        fn movabs(&mut self, dst: u8, imm: u64) {
+            self.rex_if(true, 0, dst);
+            self.byte(0xB8 | (dst & 7));
+            self.imm64(imm);
+        }
+
+        // -- integer ALU --
+
+        /// 32-bit `op dst, src` for the MR-form opcodes (add 01, or 09,
+        /// and 21, sub 29, xor 31, cmp 39, test 85, mov 89).
+        fn alu_rr32(&mut self, opc: u8, dst: u8, src: u8) {
+            self.op_reg(false, &[opc], src, dst);
+        }
+
+        fn alu_rr64(&mut self, opc: u8, dst: u8, src: u8) {
+            self.op_reg(true, &[opc], src, dst);
+        }
+
+        /// 32-bit `op rm, imm32` (group-1 opcode 81; ext selects the op).
+        fn alu_r32_imm32(&mut self, ext: u8, rm: u8, imm: i32) {
+            self.op_reg(false, &[0x81], ext, rm);
+            self.imm32(imm);
+        }
+
+        fn alu_r64_imm32(&mut self, ext: u8, rm: u8, imm: i32) {
+            self.op_reg(true, &[0x81], ext, rm);
+            self.imm32(imm);
+        }
+
+        fn imul_rr32(&mut self, dst: u8, src: u8) {
+            self.op_reg(false, &[0x0F, 0xAF], dst, src);
+        }
+
+        fn imul_rr64(&mut self, dst: u8, src: u8) {
+            self.op_reg(true, &[0x0F, 0xAF], dst, src);
+        }
+
+        /// `imul r64, r64, imm32`.
+        fn imul_r64_imm32(&mut self, dst: u8, src: u8, imm: i32) {
+            self.op_reg(true, &[0x69], dst, src);
+            self.imm32(imm);
+        }
+
+        /// `imul r32, r32, imm32`.
+        fn imul_r32_imm32(&mut self, dst: u8, src: u8, imm: i32) {
+            self.op_reg(false, &[0x69], dst, src);
+            self.imm32(imm);
+        }
+
+        /// 32-bit shift by `cl` (ext: shl 4, shr 5, sar 7).
+        fn shift_cl32(&mut self, ext: u8, rm: u8) {
+            self.op_reg(false, &[0xD3], ext, rm);
+        }
+
+        /// 32-bit shift by immediate.
+        fn shift_imm32(&mut self, ext: u8, rm: u8, imm: u8) {
+            self.op_reg(false, &[0xC1], ext, rm);
+            self.byte(imm);
+        }
+
+        /// 64-bit shift by immediate.
+        fn shift_imm64(&mut self, ext: u8, rm: u8, imm: u8) {
+            self.op_reg(true, &[0xC1], ext, rm);
+            self.byte(imm);
+        }
+
+        fn test_rr32(&mut self, a: u8, b: u8) {
+            self.alu_rr32(0x85, a, b);
+        }
+
+        fn test_rr64(&mut self, a: u8, b: u8) {
+            self.alu_rr64(0x85, a, b);
+        }
+
+        /// `test al, imm8`.
+        fn test_al_imm8(&mut self, imm: u8) {
+            self.bytes(&[0xA8, imm]);
+        }
+
+        fn cmp_rr32(&mut self, a: u8, b: u8) {
+            self.alu_rr32(0x39, a, b);
+        }
+
+        fn cmp_rr64(&mut self, a: u8, b: u8) {
+            self.alu_rr64(0x39, a, b);
+        }
+
+        fn cmp_r32_imm32(&mut self, rm: u8, imm: i32) {
+            self.alu_r32_imm32(7, rm, imm);
+        }
+
+        fn cmp_r64_imm32(&mut self, rm: u8, imm: i32) {
+            self.alu_r64_imm32(7, rm, imm);
+        }
+
+        /// `cmp r64, [base+disp]`.
+        fn cmp_r64_mem(&mut self, reg: u8, base: u8, disp: i32) {
+            self.op_mem(true, &[0x3B], reg, base, disp);
+        }
+
+        /// `cmp byte [rax], 0`.
+        fn cmp_byte_at_rax_0(&mut self) {
+            self.bytes(&[0x80, 0x38, 0x00]);
+        }
+
+        /// `setcc r8` (low byte; only rax..rdx used).
+        fn setcc(&mut self, cc: u8, rm: u8) {
+            self.op_reg(false, &[0x0F, 0x90 | cc], 0, rm);
+        }
+
+        /// `movzx r32, r8`.
+        fn movzx_r32_r8(&mut self, dst: u8, src: u8) {
+            self.op_reg(false, &[0x0F, 0xB6], dst, src);
+        }
+
+        /// `and dst8, src8`.
+        fn and_r8_r8(&mut self, dst: u8, src: u8) {
+            self.op_reg(false, &[0x20], src, dst);
+        }
+
+        /// Group-3 unary (ext: not 2, neg 3) on r32.
+        fn unary32(&mut self, ext: u8, rm: u8) {
+            self.op_reg(false, &[0xF7], ext, rm);
+        }
+
+        fn neg64(&mut self, rm: u8) {
+            self.op_reg(true, &[0xF7], 3, rm);
+        }
+
+        fn cdq(&mut self) {
+            self.byte(0x99);
+        }
+
+        /// `idiv r32` (divides edx:eax).
+        fn idiv32(&mut self, rm: u8) {
+            self.op_reg(false, &[0xF7], 7, rm);
+        }
+
+        /// `inc qword [base+disp]`.
+        fn inc_mem64(&mut self, base: u8, disp: i32) {
+            self.op_mem(true, &[0xFF], 0, base, disp);
+        }
+
+        /// `btc r64, imm8` (used to flip the f64 sign bit).
+        fn btc_r64_imm8(&mut self, rm: u8, imm: u8) {
+            self.op_reg(true, &[0x0F, 0xBA], 7, rm);
+            self.byte(imm);
+        }
+
+        /// `or r64, imm8` (sign-extended).
+        fn or_r64_imm8(&mut self, rm: u8, imm: i8) {
+            self.op_reg(true, &[0x83], 1, rm);
+            self.byte(imm as u8);
+        }
+
+        /// `add r64, imm8` (sign-extended).
+        fn add_r64_imm8(&mut self, rm: u8, imm: i8) {
+            self.op_reg(true, &[0x83], 0, rm);
+            self.byte(imm as u8);
+        }
+
+        fn xor_rr32(&mut self, rm: u8) {
+            self.alu_rr32(0x31, rm, rm);
+        }
+
+        // -- SSE --
+
+        /// `movsd xmm, [base+disp]`.
+        fn movsd_load(&mut self, xmm: u8, base: u8, disp: i32) {
+            self.sse_mem(0xF2, false, &[0x0F, 0x10], xmm, base, disp);
+        }
+
+        /// `movsd [base+disp], xmm`.
+        fn movsd_store(&mut self, base: u8, disp: i32, xmm: u8) {
+            self.sse_mem(0xF2, false, &[0x0F, 0x11], xmm, base, disp);
+        }
+
+        /// `addsd`/`subsd`/`mulsd`/`divsd xmm, [base+disp]` by opcode.
+        fn sse_arith_mem(&mut self, opc: u8, xmm: u8, base: u8, disp: i32) {
+            self.sse_mem(0xF2, false, &[0x0F, opc], xmm, base, disp);
+        }
+
+        /// `ucomisd xmm, [base+disp]`.
+        fn ucomisd_mem(&mut self, xmm: u8, base: u8, disp: i32) {
+            self.sse_mem(0x66, false, &[0x0F, 0x2E], xmm, base, disp);
+        }
+
+        /// `ucomisd xmm, xmm`.
+        fn ucomisd_reg(&mut self, a: u8, b: u8) {
+            self.sse_reg(0x66, false, &[0x0F, 0x2E], a, b);
+        }
+
+        /// `cvtsi2sd xmm, dword [base+disp]` (32-bit source).
+        fn cvtsi2sd_mem32(&mut self, xmm: u8, base: u8, disp: i32) {
+            self.sse_mem(0xF2, false, &[0x0F, 0x2A], xmm, base, disp);
+        }
+
+        /// `cvtsi2sd xmm, r32/r64`.
+        fn cvtsi2sd_reg(&mut self, xmm: u8, gpr: u8, wide: bool) {
+            self.sse_reg(0xF2, wide, &[0x0F, 0x2A], xmm, gpr);
+        }
+
+        /// `cvttsd2si r64, xmm`.
+        fn cvttsd2si_r64(&mut self, gpr: u8, xmm: u8) {
+            self.sse_reg(0xF2, true, &[0x0F, 0x2C], gpr, xmm);
+        }
+
+        // -- control flow --
+
+        fn push(&mut self, reg: u8) {
+            self.rex_if(false, 0, reg);
+            self.byte(0x50 | (reg & 7));
+        }
+
+        fn pop(&mut self, reg: u8) {
+            self.rex_if(false, 0, reg);
+            self.byte(0x58 | (reg & 7));
+        }
+
+        fn ret(&mut self) {
+            self.byte(0xC3);
+        }
+
+        fn ud2(&mut self) {
+            self.bytes(&[0x0F, 0x0B]);
+        }
+
+        fn call_rax(&mut self) {
+            self.bytes(&[0xFF, 0xD0]);
+        }
+
+        fn bind(&mut self, label: Label) {
+            let pos = self.here();
+            let prev = self.labels.insert(label, pos);
+            debug_assert!(prev.is_none(), "label {label:?} bound twice");
+        }
+
+        fn jmp(&mut self, label: Label) {
+            self.byte(0xE9);
+            self.fixups.push((self.here(), label));
+            self.imm32(0);
+        }
+
+        fn jcc(&mut self, cc: u8, label: Label) {
+            self.bytes(&[0x0F, 0x80 | cc]);
+            self.fixups.push((self.here(), label));
+            self.imm32(0);
+        }
+
+        /// Patches every rel32 fixup against the bound labels.
+        fn finalize(&mut self) {
+            for &(pos, label) in &self.fixups {
+                let target = *self
+                    .labels
+                    .get(&label)
+                    .unwrap_or_else(|| panic!("unbound label {label:?}"));
+                let rel = i32::try_from(target as i64 - (pos as i64 + 4))
+                    .expect("jump displacement exceeds rel32");
+                self.code[pos..pos + 4].copy_from_slice(&rel.to_le_bytes());
+            }
+            self.fixups.clear();
+        }
+    }
+
+    // ---- tree emitter ---------------------------------------------------
+
+    /// Static instruction counts along the path from fragment entry to
+    /// (and including) the current instruction. Exits flush these into
+    /// the `rbx`/`rbp` accumulators so the native counters replay the
+    /// decoded executor's exactly.
+    #[derive(Clone, Copy)]
+    struct Path {
+        insts: u32,
+        fused: u32,
+    }
+
+    /// One guard's exit trampoline: flush the path counts, then either
+    /// jump straight into the stitched fragment or store the exit record
+    /// and return.
+    struct SiteInfo {
+        frag: u32,
+        exit: u16,
+        add_insts: u32,
+        add_fused: u32,
+    }
+
+    struct Emitter<'a> {
+        asm: Asm,
+        frags: &'a [Fragment],
+        sites: Vec<SiteInfo>,
+        next_local: u32,
+    }
+
+    /// Register-file byte offset of virtual register `v` (off `r13`).
+    fn vdisp(v: Reg) -> i32 {
+        i32::from(v & REG_MASK) * 8
+    }
+
+    fn ar_disp(slot: u16) -> i32 {
+        i32::from(slot) * 8
+    }
+
+    /// Integer compare condition code for a signed 32-bit `cmp a, b`.
+    fn int_cc(op: CmpOp) -> u8 {
+        match op {
+            CmpOp::Eq => CC_E,
+            CmpOp::Lt => CC_L,
+            CmpOp::Le => CC_LE,
+            CmpOp::Gt => CC_G,
+            CmpOp::Ge => CC_GE,
+        }
+    }
+
+    impl<'a> Emitter<'a> {
+        fn local(&mut self) -> Label {
+            self.next_local += 1;
+            Label::Local(self.next_local - 1)
+        }
+
+        /// Registers an exit trampoline carrying `path`'s counts.
+        fn site(&mut self, frag: u32, exit: u16, path: Path) -> Label {
+            self.sites.push(SiteInfo {
+                frag,
+                exit,
+                add_insts: path.insts,
+                add_fused: path.fused,
+            });
+            Label::Site(self.sites.len() as u32 - 1)
+        }
+
+        /// A site whose counts were already flushed inline (loop edges).
+        fn site_flushed(&mut self, frag: u32, exit: u16) -> Label {
+            self.site(frag, exit, Path { insts: 0, fused: 0 })
+        }
+
+        fn flush_counts(&mut self, path: Path) {
+            if path.insts != 0 {
+                self.asm.alu_r64_imm32(0, RBX, path.insts as i32);
+            }
+            if path.fused != 0 {
+                self.asm.alu_r64_imm32(0, RBP, path.fused as i32);
+            }
+        }
+
+        // -- operand helpers --
+
+        fn load_vreg32(&mut self, gpr: u8, v: Reg) {
+            self.asm.mov_r32_mem(gpr, R13, vdisp(v));
+        }
+
+        fn load_vreg64(&mut self, gpr: u8, v: Reg) {
+            self.asm.mov_r64_mem(gpr, R13, vdisp(v));
+        }
+
+        fn store_vreg64(&mut self, v: Reg, gpr: u8) {
+            self.asm.mov_mem_r64(R13, vdisp(v), gpr);
+        }
+
+        /// `movsxd gpr, vreg` — exactly `i64::from(i32_from_word(w))`.
+        fn movsxd_vreg(&mut self, gpr: u8, v: Reg) {
+            self.asm.movsxd_r64_mem(gpr, R13, vdisp(v));
+        }
+
+        fn load_ar32(&mut self, gpr: u8, slot: u16) {
+            self.asm.mov_r32_mem(gpr, R14, ar_disp(slot));
+        }
+
+        fn load_ar64(&mut self, gpr: u8, slot: u16) {
+            self.asm.mov_r64_mem(gpr, R14, ar_disp(slot));
+        }
+
+        fn store_ar64(&mut self, slot: u16, gpr: u8) {
+            self.asm.mov_mem_r64(R14, ar_disp(slot), gpr);
+        }
+
+        /// Materializes word `w` into `gpr` with the shortest encoding.
+        fn const_word(&mut self, gpr: u8, w: u64) {
+            if let Ok(u) = u32::try_from(w) {
+                self.asm.mov_r32_imm(gpr, u);
+            } else if let Ok(i) = i32::try_from(w as i64) {
+                self.asm.mov_r64_imm32(gpr, i);
+            } else {
+                self.asm.movabs(gpr, w);
+            }
+        }
+
+        /// `call shim(rdi, rsi)` — clobbers only caller-saved registers;
+        /// the pinned r12–r15/rbx/rbp survive per the System V ABI.
+        fn call_shim(&mut self, addr: usize) {
+            self.asm.movabs(RAX, addr as u64);
+            self.asm.call_rax();
+        }
+
+        /// Exits to `site` unless `rax` (any i64) is in the boxable
+        /// 31-bit range `[-2^30, 2^30)`: `(rax + 2^30) mod 2^64 < 2^31`.
+        /// Clobbers rcx/rdx. The half-open upper bound is exact because
+        /// integer results are produced from i64 arithmetic whose only
+        /// out-of-range-by-one case (`2^30`) must exit anyway.
+        fn range_check_i31(&mut self, site: Label) {
+            self.asm.mov_rr64(RCX, RAX);
+            self.asm.alu_r64_imm32(0, RCX, 0x4000_0000);
+            self.asm.mov_r32_imm(RDX, 0x8000_0000);
+            self.asm.cmp_rr64(RCX, RDX);
+            self.asm.jcc(CC_AE, site);
+        }
+
+        // -- grouped op bodies --
+
+        /// Unchecked 32-bit ALU: `eax = alu_i(op, eax, ecx-or-imm)`,
+        /// then sign-extend into rax (the executor stores
+        /// `i64::from(result)`).
+        fn alu_i_rr(&mut self, op: AluOp) {
+            match op {
+                AluOp::Add => self.asm.alu_rr32(0x01, RAX, RCX),
+                AluOp::Sub => self.asm.alu_rr32(0x29, RAX, RCX),
+                AluOp::And => self.asm.alu_rr32(0x21, RAX, RCX),
+                AluOp::Or => self.asm.alu_rr32(0x09, RAX, RCX),
+                AluOp::Xor => self.asm.alu_rr32(0x31, RAX, RCX),
+                AluOp::Mul => self.asm.imul_rr32(RAX, RCX),
+                // Hardware masks the count by 31 for 32-bit shifts —
+                // exactly the executor's `& 31`.
+                AluOp::Shl => self.asm.shift_cl32(4, RAX),
+                AluOp::Shr => self.asm.shift_cl32(7, RAX),
+                AluOp::UShr => self.asm.shift_cl32(5, RAX),
+            }
+            self.asm.movsxd_r64_r32(RAX, RAX);
+        }
+
+        fn alu_i_imm(&mut self, op: AluOp, imm: i32) {
+            match op {
+                AluOp::Add => self.asm.alu_r32_imm32(0, RAX, imm),
+                AluOp::Sub => self.asm.alu_r32_imm32(5, RAX, imm),
+                AluOp::And => self.asm.alu_r32_imm32(4, RAX, imm),
+                AluOp::Or => self.asm.alu_r32_imm32(1, RAX, imm),
+                AluOp::Xor => self.asm.alu_r32_imm32(6, RAX, imm),
+                AluOp::Mul => self.asm.imul_r32_imm32(RAX, RAX, imm),
+                AluOp::Shl => self.asm.shift_imm32(4, RAX, (imm & 31) as u8),
+                AluOp::Shr => self.asm.shift_imm32(7, RAX, (imm & 31) as u8),
+                AluOp::UShr => self.asm.shift_imm32(5, RAX, (imm & 31) as u8),
+            }
+            self.asm.movsxd_r64_r32(RAX, RAX);
+        }
+
+        /// Checked ALU, register-register: result in rax (sign-extended,
+        /// range-checked); exits to `site` per `chk_alu_i`. Clobbers
+        /// rcx/rdx/rsi.
+        fn chk_alu_rr(&mut self, op: ChkOp, a: Reg, b: Reg, site: Label) {
+            match op {
+                ChkOp::Add => {
+                    self.movsxd_vreg(RAX, a);
+                    self.movsxd_vreg(RCX, b);
+                    self.asm.alu_rr64(0x01, RAX, RCX);
+                    self.range_check_i31(site);
+                }
+                ChkOp::Sub => {
+                    self.movsxd_vreg(RAX, a);
+                    self.movsxd_vreg(RCX, b);
+                    self.asm.alu_rr64(0x29, RAX, RCX);
+                    self.range_check_i31(site);
+                }
+                ChkOp::Mul => {
+                    self.movsxd_vreg(RAX, a);
+                    self.movsxd_vreg(RCX, b);
+                    // Save x: a -0 result (res == 0 with a negative
+                    // factor) must exit to the double path.
+                    self.asm.mov_rr64(RSI, RAX);
+                    self.asm.imul_rr64(RAX, RCX);
+                    let l_range = self.local();
+                    self.asm.test_rr64(RAX, RAX);
+                    self.asm.jcc(CC_NE, l_range);
+                    self.asm.test_rr64(RSI, RSI);
+                    self.asm.jcc(CC_S, site);
+                    self.asm.test_rr64(RCX, RCX);
+                    self.asm.jcc(CC_S, site);
+                    self.asm.bind(l_range);
+                    self.range_check_i31(site);
+                }
+                ChkOp::Shl => {
+                    self.load_vreg32(RCX, b);
+                    self.load_vreg32(RAX, a);
+                    self.asm.shift_cl32(4, RAX);
+                    self.asm.movsxd_r64_r32(RAX, RAX);
+                    self.range_check_i31(site);
+                }
+                ChkOp::UShr => {
+                    self.load_vreg32(RCX, b);
+                    self.load_vreg32(RAX, a);
+                    self.asm.shift_cl32(5, RAX);
+                    // Unsigned result: exit when above INT_MAX; the
+                    // stored word is the zero-extended u32.
+                    self.asm.cmp_r32_imm32(RAX, 0x3FFF_FFFF);
+                    self.asm.jcc(CC_A, site);
+                }
+            }
+        }
+
+        /// Checked ALU with an immediate operand; result in rax.
+        fn chk_alu_imm(&mut self, op: ChkOp, a: Reg, imm: i32, site: Label) {
+            match op {
+                ChkOp::Add => {
+                    self.movsxd_vreg(RAX, a);
+                    self.asm.alu_r64_imm32(0, RAX, imm);
+                    self.range_check_i31(site);
+                }
+                ChkOp::Sub => {
+                    self.movsxd_vreg(RAX, a);
+                    self.asm.alu_r64_imm32(5, RAX, imm);
+                    self.range_check_i31(site);
+                }
+                ChkOp::Mul => {
+                    self.movsxd_vreg(RAX, a);
+                    self.asm.mov_rr64(RSI, RAX);
+                    self.asm.imul_r64_imm32(RAX, RAX, imm);
+                    // -0 check, constant-folded on the immediate's sign:
+                    // imm < 0 makes any zero result a -0 candidate;
+                    // imm >= 0 needs x < 0 as well.
+                    if imm < 0 {
+                        self.asm.test_rr64(RAX, RAX);
+                        self.asm.jcc(CC_E, site);
+                    } else {
+                        let l_range = self.local();
+                        self.asm.test_rr64(RAX, RAX);
+                        self.asm.jcc(CC_NE, l_range);
+                        self.asm.test_rr64(RSI, RSI);
+                        self.asm.jcc(CC_S, site);
+                        self.asm.bind(l_range);
+                    }
+                    self.range_check_i31(site);
+                }
+                ChkOp::Shl => {
+                    self.load_vreg32(RAX, a);
+                    self.asm.shift_imm32(4, RAX, (imm & 31) as u8);
+                    self.asm.movsxd_r64_r32(RAX, RAX);
+                    self.range_check_i31(site);
+                }
+                ChkOp::UShr => {
+                    self.load_vreg32(RAX, a);
+                    self.asm.shift_imm32(5, RAX, (imm & 31) as u8);
+                    self.asm.cmp_r32_imm32(RAX, 0x3FFF_FFFF);
+                    self.asm.jcc(CC_A, site);
+                }
+            }
+        }
+
+        /// Loads double operands and sets flags for `cmp_d(op, x, y)`.
+        /// Returns the condition code under which the compare is TRUE;
+        /// NaN operands leave A/AE false (and set PF for Eq, which the
+        /// callers handle explicitly).
+        fn cmp_d_flags(&mut self, op: CmpOp, a: Reg, b: Reg) -> u8 {
+            match op {
+                // x < y  ⇔  y above x (ucomisd's unordered ⇒ not-above).
+                CmpOp::Lt => {
+                    self.asm.movsd_load(XMM0, R13, vdisp(b));
+                    self.asm.ucomisd_mem(XMM0, R13, vdisp(a));
+                    CC_A
+                }
+                CmpOp::Le => {
+                    self.asm.movsd_load(XMM0, R13, vdisp(b));
+                    self.asm.ucomisd_mem(XMM0, R13, vdisp(a));
+                    CC_AE
+                }
+                CmpOp::Gt => {
+                    self.asm.movsd_load(XMM0, R13, vdisp(a));
+                    self.asm.ucomisd_mem(XMM0, R13, vdisp(b));
+                    CC_A
+                }
+                CmpOp::Ge => {
+                    self.asm.movsd_load(XMM0, R13, vdisp(a));
+                    self.asm.ucomisd_mem(XMM0, R13, vdisp(b));
+                    CC_AE
+                }
+                CmpOp::Eq => {
+                    self.asm.movsd_load(XMM0, R13, vdisp(a));
+                    self.asm.ucomisd_mem(XMM0, R13, vdisp(b));
+                    CC_E
+                }
+            }
+        }
+
+        /// `eax = cmp_d(op, a, b) as u64` (0 or 1; NaN compares false).
+        fn cmp_d_set(&mut self, op: CmpOp, a: Reg, b: Reg) {
+            let cc = self.cmp_d_flags(op, a, b);
+            if op == CmpOp::Eq {
+                // Equal ⇔ ZF=1 ∧ PF=0 (PF flags the unordered case).
+                self.asm.setcc(CC_E, RAX);
+                self.asm.setcc(CC_NP, RCX);
+                self.asm.and_r8_r8(RAX, RCX);
+            } else {
+                self.asm.setcc(cc, RAX);
+            }
+            self.asm.movzx_r32_r8(RAX, RAX);
+        }
+
+        /// Guard: exit to `site` when `cmp_d(op, a, b) != want`.
+        fn cmp_d_branch(&mut self, op: CmpOp, want: bool, a: Reg, b: Reg, site: Label) {
+            let cc = self.cmp_d_flags(op, a, b);
+            if op == CmpOp::Eq {
+                if want {
+                    self.asm.jcc(CC_P, site);
+                    self.asm.jcc(CC_NE, site);
+                } else {
+                    let skip = self.local();
+                    self.asm.jcc(CC_P, skip);
+                    self.asm.jcc(CC_E, site);
+                    self.asm.bind(skip);
+                }
+            } else if want {
+                // Exit when the compare is false; unordered makes BE/B
+                // fire, which is correct (NaN compares false).
+                self.asm.jcc(cc ^ 1, site);
+            } else {
+                self.asm.jcc(cc, site);
+            }
+        }
+
+        /// `eax = cmp_i(op, a, b) as u64` with `b` preloaded into ecx.
+        fn cmp_i_set_rr(&mut self, op: CmpOp, a: Reg, b: Reg) {
+            self.load_vreg32(RAX, a);
+            self.load_vreg32(RCX, b);
+            self.asm.cmp_rr32(RAX, RCX);
+            let cc = int_cc(op);
+            self.asm.setcc(cc, RAX);
+            self.asm.movzx_r32_r8(RAX, RAX);
+        }
+
+        fn cmp_i_set_imm(&mut self, op: CmpOp, a: Reg, imm: i32) {
+            self.load_vreg32(RAX, a);
+            self.asm.cmp_r32_imm32(RAX, imm);
+            let cc = int_cc(op);
+            self.asm.setcc(cc, RAX);
+            self.asm.movzx_r32_r8(RAX, RAX);
+        }
+
+        /// The §6.4 loop edge: counts flushed, iteration recorded, then
+        /// interrupt/GC/fuel polls (each exits through a zero-add site)
+        /// before jumping back to the tree anchor.
+        fn loop_edge(&mut self, frag: u32, loop_exit: u16, path: Path) {
+            self.flush_counts(path);
+            let site = self.site_flushed(frag, loop_exit);
+            self.asm.inc_mem64(R15, CTX_ITER);
+            self.asm.mov_r64_mem(RAX, R15, CTX_INTERRUPT);
+            self.asm.cmp_byte_at_rax_0();
+            self.asm.jcc(CC_NE, site);
+            self.asm.mov_r64_mem(RAX, R15, CTX_GC);
+            self.asm.cmp_byte_at_rax_0();
+            self.asm.jcc(CC_NE, site);
+            self.asm.cmp_r64_mem(RBX, R15, CTX_FUEL);
+            self.asm.jcc(CC_AE, site);
+            self.asm.jmp(Label::Frag(0));
+        }
+
+        /// Emits one virtual-ISA instruction of fragment `k`. `path`
+        /// includes this instruction (dispatch counts before execution).
+        #[allow(clippy::too_many_lines)]
+        fn emit_inst(&mut self, k: u32, inst: &MachInst, path: Path) {
+            match *inst {
+                MachInst::ConstW { d, w } => {
+                    self.const_word(RAX, w);
+                    self.store_vreg64(d, RAX);
+                }
+                MachInst::Mov { d, s } => {
+                    self.load_vreg64(RAX, s);
+                    self.store_vreg64(d, RAX);
+                }
+                MachInst::LoadSpill { d, slot } => {
+                    self.asm.mov_r64_mem(RAX, R12, i32::from(slot) * 8);
+                    self.store_vreg64(d, RAX);
+                }
+                MachInst::StoreSpill { slot, s } => {
+                    self.load_vreg64(RAX, s);
+                    self.asm.mov_mem_r64(R12, i32::from(slot) * 8, RAX);
+                }
+                MachInst::ReadAr { d, slot } => {
+                    self.load_ar64(RAX, slot);
+                    self.store_vreg64(d, RAX);
+                }
+                MachInst::WriteAr { slot, s } => {
+                    self.load_vreg64(RAX, s);
+                    self.store_ar64(slot, RAX);
+                }
+
+                MachInst::AddI { d, a, b }
+                | MachInst::SubI { d, a, b }
+                | MachInst::MulI { d, a, b }
+                | MachInst::AndI { d, a, b }
+                | MachInst::OrI { d, a, b }
+                | MachInst::XorI { d, a, b }
+                | MachInst::ShlI { d, a, b }
+                | MachInst::ShrI { d, a, b }
+                | MachInst::UShrI { d, a, b } => {
+                    let op = match inst {
+                        MachInst::AddI { .. } => AluOp::Add,
+                        MachInst::SubI { .. } => AluOp::Sub,
+                        MachInst::MulI { .. } => AluOp::Mul,
+                        MachInst::AndI { .. } => AluOp::And,
+                        MachInst::OrI { .. } => AluOp::Or,
+                        MachInst::XorI { .. } => AluOp::Xor,
+                        MachInst::ShlI { .. } => AluOp::Shl,
+                        MachInst::ShrI { .. } => AluOp::Shr,
+                        _ => AluOp::UShr,
+                    };
+                    self.load_vreg32(RCX, b);
+                    self.load_vreg32(RAX, a);
+                    self.alu_i_rr(op);
+                    self.store_vreg64(d, RAX);
+                }
+                MachInst::NotI { d, a } => {
+                    self.load_vreg32(RAX, a);
+                    self.asm.unary32(2, RAX);
+                    self.asm.movsxd_r64_r32(RAX, RAX);
+                    self.store_vreg64(d, RAX);
+                }
+                MachInst::NegI { d, a } => {
+                    self.load_vreg32(RAX, a);
+                    self.asm.unary32(3, RAX);
+                    self.asm.movsxd_r64_r32(RAX, RAX);
+                    self.store_vreg64(d, RAX);
+                }
+
+                MachInst::AddIChk { d, a, b, exit } => {
+                    let site = self.site(k, exit, path);
+                    self.chk_alu_rr(ChkOp::Add, a, b, site);
+                    self.store_vreg64(d, RAX);
+                }
+                MachInst::SubIChk { d, a, b, exit } => {
+                    let site = self.site(k, exit, path);
+                    self.chk_alu_rr(ChkOp::Sub, a, b, site);
+                    self.store_vreg64(d, RAX);
+                }
+                MachInst::MulIChk { d, a, b, exit } => {
+                    let site = self.site(k, exit, path);
+                    self.chk_alu_rr(ChkOp::Mul, a, b, site);
+                    self.store_vreg64(d, RAX);
+                }
+                MachInst::ShlIChk { d, a, b, exit } => {
+                    let site = self.site(k, exit, path);
+                    self.chk_alu_rr(ChkOp::Shl, a, b, site);
+                    self.store_vreg64(d, RAX);
+                }
+                MachInst::UShrIChk { d, a, b, exit } => {
+                    let site = self.site(k, exit, path);
+                    self.chk_alu_rr(ChkOp::UShr, a, b, site);
+                    self.store_vreg64(d, RAX);
+                }
+                MachInst::NegIChk { d, a, exit } => {
+                    let site = self.site(k, exit, path);
+                    self.movsxd_vreg(RAX, a);
+                    self.asm.test_rr64(RAX, RAX);
+                    self.asm.jcc(CC_E, site);
+                    self.asm.neg64(RAX);
+                    self.range_check_i31(site);
+                    self.store_vreg64(d, RAX);
+                }
+                MachInst::ModIChk { d, a, b, exit } => {
+                    let site = self.site(k, exit, path);
+                    self.load_vreg32(RCX, b);
+                    self.load_vreg32(RAX, a);
+                    self.asm.test_rr32(RCX, RCX);
+                    self.asm.jcc(CC_E, site);
+                    // y == -1 would trap on INT32_MIN / -1; the result is
+                    // always 0, exiting only when x < 0 (a -0 result).
+                    let l_div = self.local();
+                    let l_store = self.local();
+                    let l_done = self.local();
+                    self.asm.cmp_r32_imm32(RCX, -1);
+                    self.asm.jcc(CC_NE, l_div);
+                    self.asm.test_rr32(RAX, RAX);
+                    self.asm.jcc(CC_S, site);
+                    self.asm.xor_rr32(RAX);
+                    self.asm.jmp(l_done);
+                    self.asm.bind(l_div);
+                    self.asm.mov_rr32(RSI, RAX);
+                    self.asm.cdq();
+                    self.asm.idiv32(RCX);
+                    // Remainder 0 from a negative dividend is -0.
+                    self.asm.test_rr32(RDX, RDX);
+                    self.asm.jcc(CC_NE, l_store);
+                    self.asm.test_rr32(RSI, RSI);
+                    self.asm.jcc(CC_S, site);
+                    self.asm.bind(l_store);
+                    self.asm.mov_rr32(RAX, RDX);
+                    self.asm.bind(l_done);
+                    self.asm.movsxd_r64_r32(RAX, RAX);
+                    self.store_vreg64(d, RAX);
+                }
+
+                MachInst::AddD { d, a, b }
+                | MachInst::SubD { d, a, b }
+                | MachInst::MulD { d, a, b }
+                | MachInst::DivD { d, a, b } => {
+                    let opc = match inst {
+                        MachInst::AddD { .. } => 0x58,
+                        MachInst::SubD { .. } => 0x5C,
+                        MachInst::MulD { .. } => 0x59,
+                        _ => 0x5E,
+                    };
+                    self.asm.movsd_load(XMM0, R13, vdisp(a));
+                    self.asm.sse_arith_mem(opc, XMM0, R13, vdisp(b));
+                    self.asm.movsd_store(R13, vdisp(d), XMM0);
+                }
+                MachInst::ModD { d, a, b } => {
+                    self.load_vreg64(RDI, a);
+                    self.load_vreg64(RSI, b);
+                    self.call_shim(fmod_shim as extern "sysv64" fn(u64, u64) -> u64 as usize);
+                    self.store_vreg64(d, RAX);
+                }
+                MachInst::NegD { d, a } => {
+                    self.load_vreg64(RAX, a);
+                    self.asm.btc_r64_imm8(RAX, 63);
+                    self.store_vreg64(d, RAX);
+                }
+
+                MachInst::EqI { d, a, b }
+                | MachInst::LtI { d, a, b }
+                | MachInst::LeI { d, a, b }
+                | MachInst::GtI { d, a, b }
+                | MachInst::GeI { d, a, b } => {
+                    let op = match inst {
+                        MachInst::EqI { .. } => CmpOp::Eq,
+                        MachInst::LtI { .. } => CmpOp::Lt,
+                        MachInst::LeI { .. } => CmpOp::Le,
+                        MachInst::GtI { .. } => CmpOp::Gt,
+                        _ => CmpOp::Ge,
+                    };
+                    self.cmp_i_set_rr(op, a, b);
+                    self.store_vreg64(d, RAX);
+                }
+                MachInst::EqD { d, a, b }
+                | MachInst::LtD { d, a, b }
+                | MachInst::LeD { d, a, b }
+                | MachInst::GtD { d, a, b }
+                | MachInst::GeD { d, a, b } => {
+                    let op = match inst {
+                        MachInst::EqD { .. } => CmpOp::Eq,
+                        MachInst::LtD { .. } => CmpOp::Lt,
+                        MachInst::LeD { .. } => CmpOp::Le,
+                        MachInst::GtD { .. } => CmpOp::Gt,
+                        _ => CmpOp::Ge,
+                    };
+                    self.cmp_d_set(op, a, b);
+                    self.store_vreg64(d, RAX);
+                }
+                MachInst::NotB { d, a } => {
+                    self.load_vreg64(RAX, a);
+                    self.asm.test_rr64(RAX, RAX);
+                    self.asm.setcc(CC_E, RAX);
+                    self.asm.movzx_r32_r8(RAX, RAX);
+                    self.store_vreg64(d, RAX);
+                }
+
+                MachInst::I2D { d, a } => {
+                    self.asm.cvtsi2sd_mem32(XMM0, R13, vdisp(a));
+                    self.asm.movsd_store(R13, vdisp(d), XMM0);
+                }
+                MachInst::U2D { d, a } => {
+                    // f64::from(u32): zero-extend then convert as i64.
+                    self.load_vreg32(RAX, a);
+                    self.asm.cvtsi2sd_reg(XMM0, RAX, true);
+                    self.asm.movsd_store(R13, vdisp(d), XMM0);
+                }
+                MachInst::D2IChk { d, a, exit } => {
+                    let site = self.site(k, exit, path);
+                    self.asm.movsd_load(XMM0, R13, vdisp(a));
+                    self.asm.cvttsd2si_r64(RAX, XMM0);
+                    self.asm.cvtsi2sd_reg(XMM1, RAX, true);
+                    // Round trip differs ⇔ fractional / NaN / out of i64
+                    // range (the cvttsd2si sentinel never converts back).
+                    self.asm.ucomisd_reg(XMM0, XMM1);
+                    self.asm.jcc(CC_P, site);
+                    self.asm.jcc(CC_NE, site);
+                    let l_range = self.local();
+                    self.asm.test_rr64(RAX, RAX);
+                    self.asm.jcc(CC_NE, l_range);
+                    // rax == 0 with nonzero bits ⇔ -0.0.
+                    self.load_vreg64(RCX, a);
+                    self.asm.test_rr64(RCX, RCX);
+                    self.asm.jcc(CC_NE, site);
+                    self.asm.bind(l_range);
+                    self.range_check_i31(site);
+                    self.store_vreg64(d, RAX);
+                }
+                MachInst::D2I32 { d, a } => {
+                    self.load_vreg64(RDI, a);
+                    self.call_shim(d2i32_shim as extern "sysv64" fn(u64) -> u64 as usize);
+                    self.store_vreg64(d, RAX);
+                }
+                MachInst::ChkRangeI { d, a, exit } => {
+                    let site = self.site(k, exit, path);
+                    self.movsxd_vreg(RAX, a);
+                    self.range_check_i31(site);
+                    self.store_vreg64(d, RAX);
+                }
+
+                MachInst::BoxI { d, a } => {
+                    // Fast path: in-range ints box inline (tag bit 0 = 1);
+                    // out-of-range values allocate a heap double.
+                    self.load_vreg32(RAX, a);
+                    let l_slow = self.local();
+                    let l_done = self.local();
+                    self.asm.mov_rr32(RCX, RAX);
+                    self.asm.alu_r32_imm32(0, RCX, 0x4000_0000);
+                    self.asm.test_rr32(RCX, RCX);
+                    self.asm.jcc(CC_S, l_slow);
+                    self.asm.shift_imm64(4, RAX, 1);
+                    self.asm.or_r64_imm8(RAX, 1);
+                    self.asm.jmp(l_done);
+                    self.asm.bind(l_slow);
+                    self.asm.mov_r64_mem(RDI, R15, CTX_REALM);
+                    self.asm.mov_rr32(RSI, RAX);
+                    self.call_shim(
+                        boxi_slow_shim as extern "sysv64" fn(*mut Realm, u32) -> u64 as usize,
+                    );
+                    self.asm.bind(l_done);
+                    self.store_vreg64(d, RAX);
+                }
+                MachInst::BoxD { d, a } => {
+                    self.asm.mov_r64_mem(RDI, R15, CTX_REALM);
+                    self.load_vreg64(RSI, a);
+                    self.call_shim(
+                        boxd_shim as extern "sysv64" fn(*mut Realm, u64) -> u64 as usize,
+                    );
+                    self.store_vreg64(d, RAX);
+                }
+                MachInst::BoxB { d, a } => {
+                    // (b as u64) << 3 | SPECIAL tag: false → 6, true → 14.
+                    self.load_vreg64(RAX, a);
+                    self.asm.test_rr64(RAX, RAX);
+                    self.asm.setcc(CC_NE, RAX);
+                    self.asm.movzx_r32_r8(RAX, RAX);
+                    self.asm.shift_imm64(4, RAX, 3);
+                    self.asm.add_r64_imm8(RAX, 6);
+                    self.store_vreg64(d, RAX);
+                }
+                MachInst::BoxObj { d, a } => {
+                    self.load_vreg32(RAX, a);
+                    self.asm.shift_imm64(4, RAX, 3);
+                    self.store_vreg64(d, RAX);
+                }
+                MachInst::BoxStr { d, a } => {
+                    self.load_vreg32(RAX, a);
+                    self.asm.shift_imm64(4, RAX, 3);
+                    self.asm.or_r64_imm8(RAX, 4);
+                    self.store_vreg64(d, RAX);
+                }
+
+                MachInst::UnboxI { d, a, exit } => {
+                    let site = self.site(k, exit, path);
+                    self.load_vreg64(RAX, a);
+                    self.asm.test_al_imm8(1);
+                    self.asm.jcc(CC_E, site);
+                    // ((raw as u32) as i32) >> 1, stored sign-extended.
+                    self.asm.shift_imm32(7, RAX, 1);
+                    self.asm.movsxd_r64_r32(RAX, RAX);
+                    self.store_vreg64(d, RAX);
+                }
+                MachInst::UnboxD { d, a, exit } => {
+                    let site = self.site(k, exit, path);
+                    self.load_vreg64(RAX, a);
+                    self.asm.mov_rr32(RCX, RAX);
+                    self.asm.alu_r32_imm32(4, RCX, 7);
+                    self.asm.cmp_r32_imm32(RCX, 2);
+                    self.asm.jcc(CC_NE, site);
+                    self.asm.mov_r64_mem(RDI, R15, CTX_REALM);
+                    self.asm.mov_rr64(RSI, RAX);
+                    self.call_shim(
+                        unbox_double_shim as extern "sysv64" fn(*const Realm, u64) -> u64 as usize,
+                    );
+                    self.store_vreg64(d, RAX);
+                }
+                MachInst::UnboxNumD { d, a, exit } => {
+                    let site = self.site(k, exit, path);
+                    self.load_vreg64(RAX, a);
+                    let l_notint = self.local();
+                    let l_done = self.local();
+                    self.asm.test_al_imm8(1);
+                    self.asm.jcc(CC_E, l_notint);
+                    self.asm.shift_imm32(7, RAX, 1);
+                    self.asm.cvtsi2sd_reg(XMM0, RAX, false);
+                    self.asm.movsd_store(R13, vdisp(d), XMM0);
+                    self.asm.jmp(l_done);
+                    self.asm.bind(l_notint);
+                    self.asm.mov_rr32(RCX, RAX);
+                    self.asm.alu_r32_imm32(4, RCX, 7);
+                    self.asm.cmp_r32_imm32(RCX, 2);
+                    self.asm.jcc(CC_NE, site);
+                    self.asm.mov_r64_mem(RDI, R15, CTX_REALM);
+                    self.asm.mov_rr64(RSI, RAX);
+                    self.call_shim(
+                        unbox_double_shim as extern "sysv64" fn(*const Realm, u64) -> u64 as usize,
+                    );
+                    self.store_vreg64(d, RAX);
+                    self.asm.bind(l_done);
+                }
+                MachInst::UnboxObj { d, a, exit } => {
+                    let site = self.site(k, exit, path);
+                    self.load_vreg64(RAX, a);
+                    self.asm.test_al_imm8(7);
+                    self.asm.jcc(CC_NE, site);
+                    self.asm.shift_imm64(5, RAX, 3);
+                    // Object ids are u32: truncate like `(raw >> 3) as u32`.
+                    self.asm.mov_rr32(RAX, RAX);
+                    self.store_vreg64(d, RAX);
+                }
+                MachInst::UnboxStr { d, a, exit } => {
+                    let site = self.site(k, exit, path);
+                    self.load_vreg64(RAX, a);
+                    self.asm.mov_rr32(RCX, RAX);
+                    self.asm.alu_r32_imm32(4, RCX, 7);
+                    self.asm.cmp_r32_imm32(RCX, 4);
+                    self.asm.jcc(CC_NE, site);
+                    self.asm.shift_imm64(5, RAX, 3);
+                    self.asm.mov_rr32(RAX, RAX);
+                    self.store_vreg64(d, RAX);
+                }
+                MachInst::UnboxBool { d, a, exit } => {
+                    let site = self.site(k, exit, path);
+                    self.load_vreg64(RAX, a);
+                    let l_nottrue = self.local();
+                    let l_done = self.local();
+                    self.asm.cmp_r64_imm32(RAX, 14);
+                    self.asm.jcc(CC_NE, l_nottrue);
+                    self.asm.mov_r32_imm(RAX, 1);
+                    self.asm.jmp(l_done);
+                    self.asm.bind(l_nottrue);
+                    self.asm.cmp_r64_imm32(RAX, 6);
+                    self.asm.jcc(CC_NE, site);
+                    self.asm.xor_rr32(RAX);
+                    self.asm.bind(l_done);
+                    self.store_vreg64(d, RAX);
+                }
+
+                MachInst::GuardTrue { s, exit } => {
+                    let site = self.site(k, exit, path);
+                    self.load_vreg64(RAX, s);
+                    self.asm.test_rr64(RAX, RAX);
+                    self.asm.jcc(CC_E, site);
+                }
+                MachInst::GuardFalse { s, exit } => {
+                    let site = self.site(k, exit, path);
+                    self.load_vreg64(RAX, s);
+                    self.asm.test_rr64(RAX, RAX);
+                    self.asm.jcc(CC_NE, site);
+                }
+                MachInst::GuardBoxedEq { s, w, exit } => {
+                    let site = self.site(k, exit, path);
+                    self.load_vreg64(RAX, s);
+                    if let Ok(i) = i32::try_from(w as i64) {
+                        self.asm.cmp_r64_imm32(RAX, i);
+                    } else {
+                        self.const_word(RCX, w);
+                        self.asm.cmp_rr64(RAX, RCX);
+                    }
+                    self.asm.jcc(CC_NE, site);
+                }
+
+                MachInst::LoopBack { exit } => self.loop_edge(k, exit, path),
+                MachInst::End { exit } => {
+                    let site = self.site(k, exit, path);
+                    self.asm.jmp(site);
+                }
+
+                // ----- fused superinstructions -----
+                MachInst::CmpBranchI { op, want, a, b, exit } => {
+                    let site = self.site(k, exit, path);
+                    self.load_vreg32(RAX, a);
+                    self.load_vreg32(RCX, b);
+                    self.asm.cmp_rr32(RAX, RCX);
+                    let cc = int_cc(op);
+                    self.asm.jcc(if want { cc ^ 1 } else { cc }, site);
+                }
+                MachInst::CmpBranchD { op, want, a, b, exit } => {
+                    let site = self.site(k, exit, path);
+                    self.cmp_d_branch(op, want, a, b, site);
+                }
+                MachInst::CmpBranchLoopI { op, want, a, b, exit, loop_exit } => {
+                    let site = self.site(k, exit, path);
+                    self.load_vreg32(RAX, a);
+                    self.load_vreg32(RCX, b);
+                    self.asm.cmp_rr32(RAX, RCX);
+                    let cc = int_cc(op);
+                    self.asm.jcc(if want { cc ^ 1 } else { cc }, site);
+                    self.loop_edge(k, loop_exit, path);
+                }
+                MachInst::CmpBranchLoopD { op, want, a, b, exit, loop_exit } => {
+                    let site = self.site(k, exit, path);
+                    self.cmp_d_branch(op, want, a, b, site);
+                    self.loop_edge(k, loop_exit, path);
+                }
+                MachInst::AluImmI { op, d, a, imm } => {
+                    self.load_vreg32(RAX, a);
+                    self.alu_i_imm(op, imm);
+                    self.store_vreg64(d, RAX);
+                }
+                MachInst::AluArI { op, d, slot, b } => {
+                    self.load_vreg32(RCX, b);
+                    self.load_ar32(RAX, slot);
+                    self.alu_i_rr(op);
+                    self.store_vreg64(d, RAX);
+                }
+                MachInst::AluWrI { op, d, a, b, slot } => {
+                    self.load_vreg32(RCX, b);
+                    self.load_vreg32(RAX, a);
+                    self.alu_i_rr(op);
+                    self.store_vreg64(d, RAX);
+                    self.store_ar64(slot, RAX);
+                }
+                MachInst::AluImmWrI { op, d, a, imm, slot } => {
+                    self.load_vreg32(RAX, a);
+                    self.alu_i_imm(op, imm);
+                    self.store_vreg64(d, RAX);
+                    self.store_ar64(slot, RAX);
+                }
+                MachInst::ChkAluImmI { op, d, a, imm, exit } => {
+                    let site = self.site(k, exit, path);
+                    self.chk_alu_imm(op, a, imm, site);
+                    self.store_vreg64(d, RAX);
+                }
+                MachInst::ChkAluWrI { op, d, a, b, exit, slot } => {
+                    let site = self.site(k, exit, path);
+                    self.chk_alu_rr(op, a, b, site);
+                    self.store_vreg64(d, RAX);
+                    self.store_ar64(slot, RAX);
+                }
+                MachInst::ChkAluImmWrI { op, d, a, imm, exit, slot } => {
+                    let site = self.site(k, exit, path);
+                    self.chk_alu_imm(op, a, imm, site);
+                    self.store_vreg64(d, RAX);
+                    self.store_ar64(slot, RAX);
+                }
+                MachInst::ChkAluImmWrLoopI { op, d, a, imm, slot, exit, loop_exit } => {
+                    let site = self.site(k, exit, path);
+                    self.chk_alu_imm(op, a, imm, site);
+                    self.store_vreg64(d, RAX);
+                    self.store_ar64(slot, RAX);
+                    self.loop_edge(k, loop_exit, path);
+                }
+                MachInst::ConstWrAr { d, w, slot } => {
+                    self.const_word(RAX, w);
+                    self.store_vreg64(d, RAX);
+                    self.store_ar64(slot, RAX);
+                }
+                MachInst::MovAr { d, src, dst } => {
+                    self.load_ar64(RAX, src);
+                    self.store_vreg64(d, RAX);
+                    self.store_ar64(dst, RAX);
+                }
+                MachInst::WriteAr2 { slot_a, s_a, slot_b, s_b } => {
+                    self.load_vreg64(RAX, s_a);
+                    self.store_ar64(slot_a, RAX);
+                    self.load_vreg64(RAX, s_b);
+                    self.store_ar64(slot_b, RAX);
+                }
+                MachInst::WriteAr3 { slot_a, s_a, slot_b, s_b, slot_c, s_c } => {
+                    self.load_vreg64(RAX, s_a);
+                    self.store_ar64(slot_a, RAX);
+                    self.load_vreg64(RAX, s_b);
+                    self.store_ar64(slot_b, RAX);
+                    self.load_vreg64(RAX, s_c);
+                    self.store_ar64(slot_c, RAX);
+                }
+                MachInst::AluArWrI { op, d, slot_a, b, slot_d } => {
+                    self.load_vreg32(RCX, b);
+                    self.load_ar32(RAX, slot_a);
+                    self.alu_i_rr(op);
+                    self.store_vreg64(d, RAX);
+                    self.store_ar64(slot_d, RAX);
+                }
+                MachInst::CmpImmI { op, d, a, imm } => {
+                    self.cmp_i_set_imm(op, a, imm);
+                    self.store_vreg64(d, RAX);
+                }
+                MachInst::CmpWrI { op, d, a, b, slot } => {
+                    self.cmp_i_set_rr(op, a, b);
+                    self.store_vreg64(d, RAX);
+                    self.store_ar64(slot, RAX);
+                }
+                MachInst::CmpWrD { op, d, a, b, slot } => {
+                    self.cmp_d_set(op, a, b);
+                    self.store_vreg64(d, RAX);
+                    self.store_ar64(slot, RAX);
+                }
+                MachInst::CmpImmWrI { op, d, a, imm, slot } => {
+                    self.cmp_i_set_imm(op, a, imm);
+                    self.store_vreg64(d, RAX);
+                    self.store_ar64(slot, RAX);
+                }
+                MachInst::CmpBranchImmI { op, want, a, imm, exit } => {
+                    let site = self.site(k, exit, path);
+                    self.load_vreg32(RAX, a);
+                    self.asm.cmp_r32_imm32(RAX, imm);
+                    let cc = int_cc(op);
+                    self.asm.jcc(if want { cc ^ 1 } else { cc }, site);
+                }
+                MachInst::CmpWrBranchI { op, want, d, a, b, slot, exit } => {
+                    let site = self.site(k, exit, path);
+                    self.cmp_i_set_rr(op, a, b);
+                    self.store_vreg64(d, RAX);
+                    self.store_ar64(slot, RAX);
+                    self.asm.test_rr32(RAX, RAX);
+                    self.asm.jcc(if want { CC_E } else { CC_NE }, site);
+                }
+                MachInst::CmpWrBranchD { op, want, d, a, b, slot, exit } => {
+                    let site = self.site(k, exit, path);
+                    self.cmp_d_set(op, a, b);
+                    self.store_vreg64(d, RAX);
+                    self.store_ar64(slot, RAX);
+                    self.asm.test_rr32(RAX, RAX);
+                    self.asm.jcc(if want { CC_E } else { CC_NE }, site);
+                }
+                MachInst::CmpImmWrBranchI { op, want, d, a, imm, slot, exit } => {
+                    let site = self.site(k, exit, path);
+                    self.cmp_i_set_imm(op, a, imm);
+                    self.store_vreg64(d, RAX);
+                    self.store_ar64(slot, RAX);
+                    self.asm.test_rr32(RAX, RAX);
+                    self.asm.jcc(if want { CC_E } else { CC_NE }, site);
+                }
+
+                // Rejected by the emit_tree pre-scan.
+                MachInst::GuardShape { .. }
+                | MachInst::GuardClass { .. }
+                | MachInst::GuardBound { .. }
+                | MachInst::LoadSlot { .. }
+                | MachInst::StoreSlot { .. }
+                | MachInst::LoadProto { .. }
+                | MachInst::LoadElem { .. }
+                | MachInst::StoreElem { .. }
+                | MachInst::ArrayLen { .. }
+                | MachInst::StrLen { .. }
+                | MachInst::CallHelper { .. }
+                | MachInst::CallTree { .. } => {
+                    unreachable!("unsupported op reached the emitter")
+                }
+            }
+        }
+
+        /// Function prologue: save callee-saved registers, align the
+        /// stack for shim calls, pin the ctx/AR/regs/spill pointers, zero
+        /// the counters, and dispatch on `ctx.start`.
+        fn prologue(&mut self) {
+            self.asm.note(|| "; prologue".into());
+            for reg in [RBX, RBP, R12, R13, R14, R15] {
+                self.asm.push(reg);
+            }
+            self.asm.bytes(&[0x48, 0x83, 0xEC, 0x08]); // sub rsp, 8
+            self.asm.mov_rr64(R15, RDI);
+            self.asm.mov_r64_mem(R14, R15, CTX_AR);
+            self.asm.mov_r64_mem(R13, R15, CTX_REGS);
+            self.asm.mov_r64_mem(R12, R15, CTX_SPILL);
+            self.asm.xor_rr32(RBX);
+            self.asm.xor_rr32(RBP);
+            self.asm.note(|| "; entry dispatch on ctx.start".into());
+            self.asm.mov_r32_mem(RAX, R15, CTX_START);
+            for key in 0..self.frags.len() as u32 {
+                self.asm.cmp_r32_imm32(RAX, key as i32);
+                self.asm.jcc(CC_E, Label::Frag(key));
+            }
+            self.asm.ud2();
+        }
+
+        /// Emits every registered exit trampoline. Stitched exits jump
+        /// straight into the target fragment (counts carried in the
+        /// pinned accumulators); unstitched exits record the exit and
+        /// leave through the epilogue.
+        fn emit_sites(&mut self) {
+            for n in 0..self.sites.len() {
+                let SiteInfo { frag, exit, add_insts, add_fused } = self.sites[n];
+                let target = self.frags[frag as usize].stitch[exit as usize];
+                self.asm.note(|| {
+                    let resolved = if target == EXIT_UNSTITCHED {
+                        "return".to_string()
+                    } else {
+                        format!("jmp fragment {target}")
+                    };
+                    format!("; exit site: fragment {frag} exit {exit} -> {resolved}")
+                });
+                self.asm.bind(Label::Site(n as u32));
+                self.flush_counts(Path { insts: add_insts, fused: add_fused });
+                if target == EXIT_UNSTITCHED {
+                    self.asm.mov_mem32_imm(R15, CTX_EXIT_FRAG, frag as i32);
+                    self.asm.mov_mem32_imm(R15, CTX_EXIT_ID, i32::from(exit));
+                    self.asm.jmp(Label::Epilogue);
+                } else {
+                    self.asm.jmp(Label::Frag(target));
+                }
+            }
+        }
+
+        fn epilogue(&mut self) {
+            self.asm.note(|| "; epilogue".into());
+            self.asm.bind(Label::Epilogue);
+            self.asm.mov_mem_r64(R15, CTX_INSTS, RBX);
+            self.asm.mov_mem_r64(R15, CTX_FUSED, RBP);
+            self.asm.bytes(&[0x48, 0x83, 0xC4, 0x08]); // add rsp, 8
+            for reg in [R15, R14, R13, R12, RBP, RBX] {
+                self.asm.pop(reg);
+            }
+            self.asm.ret();
+        }
+    }
+
+    /// Translates a whole trace tree (trunk fragment 0 plus stitched
+    /// branch fragments) into one executable buffer.
+    ///
+    /// # Errors
+    ///
+    /// [`Unsupported`] when any fragment contains an op outside the
+    /// native subset, or when the OS refuses an executable mapping. The
+    /// caller falls back to the decoded executor for the whole tree.
+    pub fn emit_tree(fragments: &[Fragment]) -> Result<NativeTree, Unsupported> {
+        emit_tree_with(fragments, false)
+    }
+
+    /// [`emit_tree`], additionally collecting the per-instruction and
+    /// exit-trampoline annotations [`NativeTree::hexdump`] interleaves
+    /// with the code bytes. Diagnostics only: formatting the annotations
+    /// costs more than the emission itself.
+    pub fn emit_tree_annotated(fragments: &[Fragment]) -> Result<NativeTree, Unsupported> {
+        emit_tree_with(fragments, true)
+    }
+
+    fn emit_tree_with(fragments: &[Fragment], annotate: bool) -> Result<NativeTree, Unsupported> {
+        for frag in fragments {
+            for inst in &frag.code {
+                if let Some(what) = unsupported_op(inst) {
+                    return Err(Unsupported { what });
+                }
+            }
+        }
+        let mut e = Emitter {
+            asm: Asm { annotate, ..Asm::default() },
+            frags: fragments,
+            sites: Vec::new(),
+            next_local: 0,
+        };
+        e.prologue();
+        for (k, frag) in fragments.iter().enumerate() {
+            let k = k as u32;
+            e.asm.note(|| format!("; fragment {k}"));
+            e.asm.bind(Label::Frag(k));
+            let mut fused_so_far: u32 = 0;
+            for (i, inst) in frag.code.iter().enumerate() {
+                if inst.is_fused() {
+                    fused_so_far += 1;
+                }
+                let path = Path { insts: i as u32 + 1, fused: fused_so_far };
+                e.asm.note(|| format!("f{k} {i:4}: {inst:?}"));
+                e.emit_inst(k, inst, path);
+            }
+            // Fragments end in LoopBack/End; anything past is a bug.
+            e.asm.ud2();
+        }
+        e.emit_sites();
+        e.epilogue();
+        e.asm.finalize();
+
+        let max_spills = fragments.iter().map(|f| f.num_spills as usize).max().unwrap_or(0);
+        let code_len = e.asm.code.len();
+        let buf = ExecBuf::install(&e.asm.code).ok_or(Unsupported { what: "mmap" })?;
+        Ok(NativeTree {
+            buf,
+            max_spills,
+            notes: e.asm.notes,
+            code_len,
+            num_frags: fragments.len(),
+        })
+    }
+
+    /// A trace tree compiled to native x86-64 code.
+    ///
+    /// Executing it is semantically identical to running the decoded
+    /// executor over the same fragments: same AR effects, same realm
+    /// effects, same [`TraceExit`] including all counters.
+    pub struct NativeTree {
+        buf: ExecBuf,
+        max_spills: usize,
+        notes: Vec<(usize, String)>,
+        code_len: usize,
+        num_frags: usize,
+    }
+
+    impl std::fmt::Debug for NativeTree {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("NativeTree")
+                .field("code_len", &self.code_len)
+                .field("num_frags", &self.num_frags)
+                .finish_non_exhaustive()
+        }
+    }
+
+    impl NativeTree {
+        /// Runs the tree from fragment `start` until an unstitched exit.
+        ///
+        /// Mirrors `executor::execute`: fresh zeroed register file and
+        /// spill area, loop edges poll `realm.interrupt` /
+        /// `realm.heap.gc_pending` and the `fuel` budget.
+        pub fn execute(
+            &self,
+            start: u32,
+            ar: &mut [u64],
+            realm: &mut Realm,
+            fuel: u64,
+        ) -> TraceExit {
+            assert!((start as usize) < self.num_frags, "start fragment out of range");
+            let mut regs = [0u64; REG_FILE_WORDS];
+            let mut spill = vec![0u64; self.max_spills];
+            let realm_ptr: *mut Realm = realm;
+            let mut ctx = NativeCtx {
+                ar: ar.as_mut_ptr(),
+                regs: regs.as_mut_ptr(),
+                spill: spill.as_mut_ptr(),
+                realm: realm_ptr,
+                interrupt: unsafe { &raw const (*realm_ptr).interrupt },
+                gc_pending: unsafe { &raw const (*realm_ptr).heap.gc_pending },
+                fuel,
+                start,
+                _pad: 0,
+                iterations: 0,
+                insts: 0,
+                fused: 0,
+                exit_fragment: 0,
+                exit_id: 0,
+            };
+            self.buf.entry()(&mut ctx);
+            TraceExit {
+                fragment: ctx.exit_fragment,
+                exit: ctx.exit_id as u16,
+                insts: ctx.insts,
+                fused_insts: ctx.fused,
+                iterations: ctx.iterations,
+            }
+        }
+
+        /// Emitted code size in bytes.
+        pub fn code_size(&self) -> usize {
+            self.code_len
+        }
+
+        /// Base address of the executable mapping (diagnostics only).
+        pub fn code_ptr(&self) -> *const u8 {
+            self.buf.ptr
+        }
+
+        /// Number of fragment bodies in the buffer.
+        pub fn num_fragments(&self) -> usize {
+            self.num_frags
+        }
+
+        /// Annotated hexdump of the emitted buffer: each virtual-ISA
+        /// instruction / exit trampoline line followed by the machine
+        /// bytes it compiled to.
+        pub fn hexdump(&self) -> String {
+            let code = unsafe { std::slice::from_raw_parts(self.buf.ptr, self.code_len) };
+            let mut out = String::new();
+            for (n, (off, text)) in self.notes.iter().enumerate() {
+                let end = self.notes.get(n + 1).map_or(self.code_len, |(o, _)| *o);
+                out.push_str(&format!("{off:08x}  {text}\n"));
+                for line in code[*off..end].chunks(16) {
+                    let hex: Vec<String> = line.iter().map(|b| format!("{b:02x}")).collect();
+                    out.push_str(&format!("          {}\n", hex.join(" ")));
+                }
+            }
+            out
+        }
+    }
+}
+
+#[cfg(not(all(target_arch = "x86_64", target_os = "linux")))]
+mod imp {
+    use tm_runtime::Realm;
+
+    use super::Unsupported;
+    use crate::executor::TraceExit;
+    use crate::machinst::Fragment;
+
+    /// Whether this build can emit and run native code (it cannot; the
+    /// monitor auto-disables the native tier).
+    pub fn native_supported() -> bool {
+        false
+    }
+
+    /// Stub for non-x86-64 targets: native emission always fails, so
+    /// callers uniformly fall back to the decoded executor.
+    #[derive(Debug)]
+    pub struct NativeTree {
+        never: std::convert::Infallible,
+    }
+
+    impl NativeTree {
+        /// Unreachable: a stub `NativeTree` cannot be constructed.
+        pub fn execute(
+            &self,
+            _start: u32,
+            _ar: &mut [u64],
+            _realm: &mut Realm,
+            _fuel: u64,
+        ) -> TraceExit {
+            match self.never {}
+        }
+
+        /// Unreachable: a stub `NativeTree` cannot be constructed.
+        pub fn code_size(&self) -> usize {
+            match self.never {}
+        }
+
+        /// Unreachable: a stub `NativeTree` cannot be constructed.
+        pub fn code_ptr(&self) -> *const u8 {
+            match self.never {}
+        }
+
+        /// Unreachable: a stub `NativeTree` cannot be constructed.
+        pub fn num_fragments(&self) -> usize {
+            match self.never {}
+        }
+
+        /// Unreachable: a stub `NativeTree` cannot be constructed.
+        pub fn hexdump(&self) -> String {
+            match self.never {}
+        }
+    }
+
+    /// Native code generation is unavailable on this target.
+    ///
+    /// # Errors
+    ///
+    /// Always returns [`Unsupported`].
+    pub fn emit_tree(_fragments: &[Fragment]) -> Result<NativeTree, Unsupported> {
+        Err(Unsupported { what: "target (requires x86-64 linux)" })
+    }
+
+    /// Native code generation is unavailable on this target.
+    ///
+    /// # Errors
+    ///
+    /// Always returns [`Unsupported`].
+    pub fn emit_tree_annotated(_fragments: &[Fragment]) -> Result<NativeTree, Unsupported> {
+        Err(Unsupported { what: "target (requires x86-64 linux)" })
+    }
+}
+
+pub use imp::{emit_tree, emit_tree_annotated, native_supported, NativeTree};
+
+#[cfg(all(test, target_arch = "x86_64", target_os = "linux"))]
+mod tests {
+    use tm_lir::{AluOp, ChkOp, CmpOp, FilterOptions, Lir, LirBuffer, LirType};
+    use tm_runtime::trace_helpers::{word_from_f64, word_from_i32};
+    use tm_runtime::{Realm, Value};
+
+    use super::{emit_tree, native_supported, unsupported_op};
+    use crate::assembler::assemble;
+    use crate::executor::{execute, NoNesting, TraceExit};
+    use crate::machinst::{ExitTarget, Fragment, MachInst};
+    use crate::peephole::fuse;
+
+    /// Runs `fragments` through the decoded executor and the native
+    /// backend with identical inputs and asserts byte-identical ARs and
+    /// identical exit records (including every counter).
+    fn run_both(fragments: &[Fragment], ar_init: &[u64], start: u32, fuel: u64) -> TraceExit {
+        let mut realm_dec = Realm::new();
+        let mut ar_dec = ar_init.to_vec();
+        let dec = execute(fragments, start, &mut ar_dec, &mut realm_dec, &mut NoNesting, fuel)
+            .expect("decoded execution failed");
+
+        let mut realm_nat = Realm::new();
+        let mut ar_nat = ar_init.to_vec();
+        let nt = emit_tree(fragments).expect("native emission failed");
+        let nat = nt.execute(start, &mut ar_nat, &mut realm_nat, fuel);
+
+        assert_eq!(dec, nat, "exit records diverge");
+        assert_eq!(ar_dec, ar_nat, "activation records diverge");
+        dec
+    }
+
+    /// One-fragment tree: load AR slots into r0/r1, run `mk`'s ops, end.
+    /// `num_exits` exits all return to the monitor.
+    fn frag(ops: Vec<MachInst>, num_exits: usize) -> Vec<Fragment> {
+        vec![Fragment::new(ops, 0, num_exits)]
+    }
+
+    /// AR-in/AR-out harness around a single binary op: r0 = ar[0],
+    /// r1 = ar[1], op writes r2, ar[2] = r2, End(0). Exit 1 is the guard.
+    fn binop_tree(op: MachInst) -> Vec<Fragment> {
+        frag(
+            vec![
+                MachInst::ReadAr { d: 0, slot: 0 },
+                MachInst::ReadAr { d: 1, slot: 1 },
+                op,
+                MachInst::WriteAr { slot: 2, s: 2 },
+                MachInst::End { exit: 0 },
+            ],
+            2,
+        )
+    }
+
+    fn unop_tree(op: MachInst) -> Vec<Fragment> {
+        frag(
+            vec![
+                MachInst::ReadAr { d: 0, slot: 0 },
+                op,
+                MachInst::WriteAr { slot: 2, s: 2 },
+                MachInst::End { exit: 0 },
+            ],
+            2,
+        )
+    }
+
+    fn w(i: i32) -> u64 {
+        word_from_i32(i)
+    }
+
+    fn d(x: f64) -> u64 {
+        word_from_f64(x)
+    }
+
+    #[test]
+    fn supported_on_this_target() {
+        assert!(native_supported());
+    }
+
+    #[test]
+    fn int_alu_all_ops_all_edges() {
+        let cases: &[i32] = &[
+            0, 1, -1, 2, -2, 31, 32, 33, -31, -32, 0x3FFF_FFFF, -0x4000_0000, i32::MAX,
+            i32::MIN, 12345, -9876,
+        ];
+        for op in [
+            MachInst::AddI { d: 2, a: 0, b: 1 },
+            MachInst::SubI { d: 2, a: 0, b: 1 },
+            MachInst::MulI { d: 2, a: 0, b: 1 },
+            MachInst::AndI { d: 2, a: 0, b: 1 },
+            MachInst::OrI { d: 2, a: 0, b: 1 },
+            MachInst::XorI { d: 2, a: 0, b: 1 },
+            MachInst::ShlI { d: 2, a: 0, b: 1 },
+            MachInst::ShrI { d: 2, a: 0, b: 1 },
+            MachInst::UShrI { d: 2, a: 0, b: 1 },
+        ] {
+            let tree = binop_tree(op);
+            for &x in cases {
+                for &y in cases {
+                    run_both(&tree, &[w(x), w(y), 0], 0, u64::MAX);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn int_unary_and_checked_neg() {
+        let cases: &[i32] =
+            &[0, 1, -1, 0x3FFF_FFFF, -0x4000_0000, i32::MAX, i32::MIN, 77, -77];
+        for op in [
+            MachInst::NotI { d: 2, a: 0 },
+            MachInst::NegI { d: 2, a: 0 },
+            MachInst::NegIChk { d: 2, a: 0, exit: 1 },
+            MachInst::ChkRangeI { d: 2, a: 0, exit: 1 },
+        ] {
+            let tree = unop_tree(op.clone());
+            for &x in cases {
+                run_both(&tree, &[w(x), 0, 0], 0, u64::MAX);
+            }
+        }
+    }
+
+    #[test]
+    fn checked_alu_overflow_and_minus_zero() {
+        let cases: &[i32] = &[
+            0, 1, -1, 2, -2, 3, 0x3FFF_FFFF, -0x4000_0000, 0x2000_0000, -0x2000_0000,
+            46341, -46341, i32::MAX, i32::MIN, 31, 33,
+        ];
+        for op in [
+            MachInst::AddIChk { d: 2, a: 0, b: 1, exit: 1 },
+            MachInst::SubIChk { d: 2, a: 0, b: 1, exit: 1 },
+            MachInst::MulIChk { d: 2, a: 0, b: 1, exit: 1 },
+            MachInst::ShlIChk { d: 2, a: 0, b: 1, exit: 1 },
+            MachInst::UShrIChk { d: 2, a: 0, b: 1, exit: 1 },
+            MachInst::ModIChk { d: 2, a: 0, b: 1, exit: 1 },
+        ] {
+            let tree = binop_tree(op);
+            for &x in cases {
+                for &y in cases {
+                    run_both(&tree, &[w(x), w(y), 0], 0, u64::MAX);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn double_arith_and_compares() {
+        let cases: &[f64] = &[
+            0.0, -0.0, 1.0, -1.5, 2.5, f64::NAN, f64::INFINITY, f64::NEG_INFINITY,
+            1e300, -1e300, 0.1, 1073741824.0, -1073741825.0,
+        ];
+        for op in [
+            MachInst::AddD { d: 2, a: 0, b: 1 },
+            MachInst::SubD { d: 2, a: 0, b: 1 },
+            MachInst::MulD { d: 2, a: 0, b: 1 },
+            MachInst::DivD { d: 2, a: 0, b: 1 },
+            MachInst::ModD { d: 2, a: 0, b: 1 },
+            MachInst::EqD { d: 2, a: 0, b: 1 },
+            MachInst::LtD { d: 2, a: 0, b: 1 },
+            MachInst::LeD { d: 2, a: 0, b: 1 },
+            MachInst::GtD { d: 2, a: 0, b: 1 },
+            MachInst::GeD { d: 2, a: 0, b: 1 },
+        ] {
+            let tree = binop_tree(op);
+            for &x in cases {
+                for &y in cases {
+                    run_both(&tree, &[d(x), d(y), 0], 0, u64::MAX);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn int_compares_and_conversions() {
+        let ints: &[i32] = &[0, 1, -1, 5, -5, i32::MAX, i32::MIN];
+        for op in [
+            MachInst::EqI { d: 2, a: 0, b: 1 },
+            MachInst::LtI { d: 2, a: 0, b: 1 },
+            MachInst::LeI { d: 2, a: 0, b: 1 },
+            MachInst::GtI { d: 2, a: 0, b: 1 },
+            MachInst::GeI { d: 2, a: 0, b: 1 },
+        ] {
+            let tree = binop_tree(op);
+            for &x in ints {
+                for &y in ints {
+                    run_both(&tree, &[w(x), w(y), 0], 0, u64::MAX);
+                }
+            }
+        }
+        for op in [MachInst::I2D { d: 2, a: 0 }, MachInst::U2D { d: 2, a: 0 }] {
+            let tree = unop_tree(op.clone());
+            for &x in ints {
+                run_both(&tree, &[w(x), 0, 0], 0, u64::MAX);
+            }
+        }
+        // NotB over boolean-ish words.
+        let tree = unop_tree(MachInst::NotB { d: 2, a: 0 });
+        for v in [0u64, 1, 2, u64::MAX] {
+            run_both(&tree, &[v, 0, 0], 0, u64::MAX);
+        }
+    }
+
+    #[test]
+    fn double_to_int_paths() {
+        let cases: &[f64] = &[
+            0.0, -0.0, 1.0, -1.0, 1.5, -2.5, 1073741823.0, 1073741824.0, -1073741824.0,
+            -1073741825.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 1e40, -1e40,
+            9.2233720368547758e18, -9.2233720368547758e18, 4294967296.0, 0.25,
+        ];
+        for op in [MachInst::D2IChk { d: 2, a: 0, exit: 1 }, MachInst::D2I32 { d: 2, a: 0 }] {
+            let tree = unop_tree(op.clone());
+            for &x in cases {
+                run_both(&tree, &[d(x), 0, 0], 0, u64::MAX);
+            }
+        }
+    }
+
+    #[test]
+    fn box_unbox_all_tags() {
+        // BoxI across the full i32 range: out-of-range values allocate a
+        // heap double in both tiers (fresh realms allocate the same id,
+        // so the raw words still match).
+        let tree = unop_tree(MachInst::BoxI { d: 2, a: 0 });
+        for x in [0, 1, -1, 0x3FFF_FFFF, 0x4000_0000, -0x4000_0000, -0x4000_0001, i32::MAX, i32::MIN]
+        {
+            run_both(&tree, &[w(x), 0, 0], 0, u64::MAX);
+        }
+        let tree = unop_tree(MachInst::BoxD { d: 2, a: 0 });
+        for x in [0.0, -0.5, f64::NAN, 1e300] {
+            run_both(&tree, &[d(x), 0, 0], 0, u64::MAX);
+        }
+        let tree = unop_tree(MachInst::BoxB { d: 2, a: 0 });
+        for v in [0u64, 1, 7, u64::MAX] {
+            run_both(&tree, &[v, 0, 0], 0, u64::MAX);
+        }
+        for op in [MachInst::BoxObj { d: 2, a: 0 }, MachInst::BoxStr { d: 2, a: 0 }] {
+            let tree = unop_tree(op.clone());
+            for v in [0u64, 1, 42, u64::from(u32::MAX)] {
+                run_both(&tree, &[v, 0, 0], 0, u64::MAX);
+            }
+        }
+
+        // Unbox ops over every tag class: ints, specials, handles.
+        let raws: Vec<u64> = vec![
+            Value::new_int(0).raw(),
+            Value::new_int(5).raw(),
+            Value::new_int(-7).raw(),
+            Value::TRUE.raw(),
+            Value::FALSE.raw(),
+            Value::NULL.raw(),
+            Value::UNDEFINED.raw(),
+            0,  // object id 0
+            8,  // object id 1
+            4,  // string id 0
+            12, // string id 1
+        ];
+        for op in [
+            MachInst::UnboxI { d: 2, a: 0, exit: 1 },
+            MachInst::UnboxObj { d: 2, a: 0, exit: 1 },
+            MachInst::UnboxStr { d: 2, a: 0, exit: 1 },
+            MachInst::UnboxBool { d: 2, a: 0, exit: 1 },
+        ] {
+            let tree = unop_tree(op.clone());
+            for &raw in &raws {
+                run_both(&tree, &[raw, 0, 0], 0, u64::MAX);
+            }
+        }
+    }
+
+    #[test]
+    fn unbox_double_reads_the_heap() {
+        // UnboxD/UnboxNumD read a heap double, so the double must exist:
+        // allocate it in each realm, then unbox the boxed value.
+        for op in [
+            MachInst::UnboxD { d: 2, a: 0, exit: 1 },
+            MachInst::UnboxNumD { d: 2, a: 0, exit: 1 },
+        ] {
+            let ops = vec![
+                MachInst::ReadAr { d: 0, slot: 0 },
+                op.clone(),
+                MachInst::WriteAr { slot: 2, s: 2 },
+                MachInst::End { exit: 0 },
+            ];
+            let fragments = frag(ops, 2);
+            for x in [2.5f64, -0.0, f64::NAN] {
+                let mut realm_dec = Realm::new();
+                let boxed = realm_dec.heap.number(x).raw();
+                let mut ar_dec = vec![boxed, 0, 0];
+                let dec = execute(&fragments, 0, &mut ar_dec, &mut realm_dec, &mut NoNesting, u64::MAX)
+                    .unwrap();
+                let mut realm_nat = Realm::new();
+                let boxed_n = realm_nat.heap.number(x).raw();
+                assert_eq!(boxed, boxed_n);
+                let mut ar_nat = vec![boxed_n, 0, 0];
+                let nt = emit_tree(&fragments).unwrap();
+                let nat = nt.execute(0, &mut ar_nat, &mut realm_nat, u64::MAX);
+                assert_eq!(dec, nat);
+                assert_eq!(ar_dec, ar_nat);
+            }
+            // Int input: UnboxNumD converts, UnboxD exits.
+            let fragments = frag(
+                vec![
+                    MachInst::ReadAr { d: 0, slot: 0 },
+                    op,
+                    MachInst::WriteAr { slot: 2, s: 2 },
+                    MachInst::End { exit: 0 },
+                ],
+                2,
+            );
+            run_both(&fragments, &[Value::new_int(41).raw(), 0, 0], 0, u64::MAX);
+            run_both(&fragments, &[Value::TRUE.raw(), 0, 0], 0, u64::MAX);
+        }
+    }
+
+    #[test]
+    fn guards_and_boxed_eq() {
+        let tree = frag(
+            vec![
+                MachInst::ReadAr { d: 0, slot: 0 },
+                MachInst::GuardTrue { s: 0, exit: 1 },
+                MachInst::End { exit: 0 },
+            ],
+            2,
+        );
+        run_both(&tree, &[0], 0, u64::MAX);
+        run_both(&tree, &[1], 0, u64::MAX);
+        let tree = frag(
+            vec![
+                MachInst::ReadAr { d: 0, slot: 0 },
+                MachInst::GuardFalse { s: 0, exit: 1 },
+                MachInst::End { exit: 0 },
+            ],
+            2,
+        );
+        run_both(&tree, &[0], 0, u64::MAX);
+        run_both(&tree, &[u64::MAX], 0, u64::MAX);
+        for wv in [0u64, 6, 14, 0x8000_0000, u64::MAX, 0xFFFF_FFFF_8000_0000] {
+            let tree = frag(
+                vec![
+                    MachInst::ReadAr { d: 0, slot: 0 },
+                    MachInst::GuardBoxedEq { s: 0, w: wv, exit: 1 },
+                    MachInst::End { exit: 0 },
+                ],
+                2,
+            );
+            run_both(&tree, &[wv], 0, u64::MAX);
+            run_both(&tree, &[wv.wrapping_add(1)], 0, u64::MAX);
+        }
+    }
+
+    #[test]
+    fn spills_and_moves_and_consts() {
+        let mut fr = Fragment::new(
+            vec![
+                MachInst::ConstW { d: 0, w: 0xDEAD_BEEF_CAFE_F00D },
+                MachInst::StoreSpill { slot: 3, s: 0 },
+                MachInst::ConstW { d: 0, w: 7 },
+                MachInst::Mov { d: 1, s: 0 },
+                MachInst::LoadSpill { d: 2, slot: 3 },
+                MachInst::WriteAr { slot: 0, s: 1 },
+                MachInst::WriteAr { slot: 1, s: 2 },
+                MachInst::ConstW { d: 3, w: u64::from(u32::MAX) },
+                MachInst::ConstW { d: 4, w: 0xFFFF_FFFF_FFFF_FFFF },
+                MachInst::WriteAr2 { slot_a: 2, s_a: 3, slot_b: 3, s_b: 4 },
+                MachInst::End { exit: 0 },
+            ],
+            4,
+            1,
+        );
+        fr.num_spills = 4;
+        run_both(&[fr], &[0, 0, 0, 0], 0, u64::MAX);
+    }
+
+    #[test]
+    fn fused_forms_differential() {
+        // Exercise every fused form the LIR pipeline emits by building a
+        // real counting loop and fusing it (mirrors executor tests).
+        let mut b = LirBuffer::new(FilterOptions::default());
+        let i = b.emit(Lir::Import { slot: 0, ty: LirType::Int });
+        let limit = b.emit(Lir::Import { slot: 1, ty: LirType::Int });
+        let one = b.emit(Lir::ConstI(1));
+        let e_ovf = b.alloc_exit();
+        let next = b.emit(Lir::AddIChk(i, one, e_ovf));
+        b.emit(Lir::WriteAr { slot: 0, v: next });
+        let cont = b.emit(Lir::LtI(next, limit));
+        let e_done = b.alloc_exit();
+        b.emit(Lir::GuardTrue(cont, e_done));
+        let e_loop = b.alloc_exit();
+        b.emit(Lir::LoopBack(e_loop));
+        let raw = assemble(b.trace());
+        let fused = fuse(raw.clone());
+
+        for fragments in [vec![raw], vec![fused]] {
+            run_both(&fragments, &[w(0), w(100)], 0, u64::MAX);
+            // Fuel exhaustion exits at the loop edge.
+            run_both(&fragments, &[w(0), w(1000)], 0, 50);
+        }
+    }
+
+    #[test]
+    fn fused_ar_and_imm_forms() {
+        for op in [AluOp::Add, AluOp::Sub, AluOp::Mul, AluOp::Xor, AluOp::Shl, AluOp::UShr] {
+            let tree = frag(
+                vec![
+                    MachInst::ReadAr { d: 1, slot: 1 },
+                    MachInst::AluImmI { op, d: 2, a: 1, imm: -3 },
+                    MachInst::AluArI { op, d: 3, slot: 0, b: 1 },
+                    MachInst::AluWrI { op, d: 4, a: 1, b: 1, slot: 2 },
+                    MachInst::AluImmWrI { op, d: 5, a: 1, imm: 40, slot: 3 },
+                    MachInst::AluArWrI { op, d: 6, slot_a: 0, b: 1, slot_d: 4 },
+                    MachInst::WriteAr3 { slot_a: 5, s_a: 2, slot_b: 6, s_b: 3, slot_c: 7, s_c: 6 },
+                    MachInst::End { exit: 0 },
+                ],
+                1,
+            );
+            for x in [0, 5, -17, i32::MAX, i32::MIN] {
+                run_both(&tree, &[w(x), w(x ^ 3), 0, 0, 0, 0, 0, 0], 0, u64::MAX);
+            }
+        }
+        for op in [ChkOp::Add, ChkOp::Sub, ChkOp::Mul, ChkOp::Shl, ChkOp::UShr] {
+            for imm in [-5i32, 0, 3, 29] {
+                let tree = frag(
+                    vec![
+                        MachInst::ReadAr { d: 1, slot: 0 },
+                        MachInst::ChkAluImmI { op, d: 2, a: 1, imm, exit: 0 },
+                        MachInst::ChkAluWrI { op, d: 3, a: 1, b: 1, exit: 0, slot: 1 },
+                        MachInst::ChkAluImmWrI { op, d: 4, a: 1, imm, exit: 0, slot: 2 },
+                        MachInst::WriteAr { slot: 3, s: 2 },
+                        MachInst::End { exit: 1 },
+                    ],
+                    2,
+                );
+                for x in [0, 1, -1, 1000, 0x3FFF_FFFF, -0x4000_0000, i32::MIN] {
+                    run_both(&tree, &[w(x), 0, 0, 0], 0, u64::MAX);
+                }
+            }
+        }
+        let tree = frag(
+            vec![
+                MachInst::ConstWrAr { d: 0, w: 0x1234_5678_9ABC_DEF0, slot: 0 },
+                MachInst::MovAr { d: 1, src: 0, dst: 1 },
+                MachInst::End { exit: 0 },
+            ],
+            1,
+        );
+        run_both(&tree, &[0, 0], 0, u64::MAX);
+    }
+
+    #[test]
+    fn fused_compare_forms() {
+        let ints: &[i32] = &[0, 1, -1, 9, i32::MAX, i32::MIN];
+        for op in [CmpOp::Eq, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            for want in [true, false] {
+                let tree = frag(
+                    vec![
+                        MachInst::ReadAr { d: 0, slot: 0 },
+                        MachInst::ReadAr { d: 1, slot: 1 },
+                        MachInst::CmpBranchI { op, want, a: 0, b: 1, exit: 0 },
+                        MachInst::CmpBranchImmI { op, want, a: 0, imm: 4, exit: 0 },
+                        MachInst::CmpWrBranchI { op, want, d: 2, a: 0, b: 1, slot: 2, exit: 0 },
+                        MachInst::CmpImmWrBranchI { op, want, d: 3, a: 0, imm: -2, slot: 3, exit: 0 },
+                        MachInst::End { exit: 1 },
+                    ],
+                    2,
+                );
+                for &x in ints {
+                    for &y in ints {
+                        run_both(&tree, &[w(x), w(y), 0, 0], 0, u64::MAX);
+                    }
+                }
+            }
+            let tree = frag(
+                vec![
+                    MachInst::ReadAr { d: 0, slot: 0 },
+                    MachInst::ReadAr { d: 1, slot: 1 },
+                    MachInst::CmpImmI { op, d: 2, a: 0, imm: 3 },
+                    MachInst::CmpWrI { op, d: 3, a: 0, b: 1, slot: 2 },
+                    MachInst::CmpImmWrI { op, d: 4, a: 0, imm: -1, slot: 3 },
+                    MachInst::End { exit: 0 },
+                ],
+                1,
+            );
+            for &x in ints {
+                run_both(&tree, &[w(x), w(1), 0, 0], 0, u64::MAX);
+            }
+        }
+        // Double compare-write and compare-branch, NaN included.
+        let doubles: &[f64] = &[0.0, -0.0, 1.5, -2.0, f64::NAN, f64::INFINITY];
+        for op in [CmpOp::Eq, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            for want in [true, false] {
+                let tree = frag(
+                    vec![
+                        MachInst::ReadAr { d: 0, slot: 0 },
+                        MachInst::ReadAr { d: 1, slot: 1 },
+                        MachInst::CmpBranchD { op, want, a: 0, b: 1, exit: 0 },
+                        MachInst::CmpWrBranchD { op, want, d: 2, a: 0, b: 1, slot: 2, exit: 0 },
+                        MachInst::End { exit: 1 },
+                    ],
+                    2,
+                );
+                for &x in doubles {
+                    for &y in doubles {
+                        run_both(&tree, &[d(x), d(y), 0], 0, u64::MAX);
+                    }
+                }
+            }
+            let tree = frag(
+                vec![
+                    MachInst::ReadAr { d: 0, slot: 0 },
+                    MachInst::ReadAr { d: 1, slot: 1 },
+                    MachInst::CmpWrD { op, d: 2, a: 0, b: 1, slot: 2 },
+                    MachInst::End { exit: 0 },
+                ],
+                1,
+            );
+            for &x in doubles {
+                run_both(&tree, &[d(x), d(1.5), 0], 0, u64::MAX);
+            }
+        }
+    }
+
+    #[test]
+    fn stitched_fragments_transfer_registers_and_counts() {
+        // Fragment 0 guards r0 and exits to fragment 1 through a stitched
+        // exit; fragment 1 continues with the register file intact.
+        let mut f0 = Fragment::new(
+            vec![
+                MachInst::ReadAr { d: 0, slot: 0 },
+                MachInst::ConstW { d: 3, w: 17 },
+                MachInst::GuardTrue { s: 0, exit: 1 },
+                MachInst::End { exit: 0 },
+            ],
+            0,
+            2,
+        );
+        f0.set_exit_target(1, ExitTarget::Fragment(1));
+        let f1 = Fragment::new(
+            vec![
+                // Reads r3 written by fragment 0: registers persist
+                // across stitched transfers.
+                MachInst::WriteAr { slot: 1, s: 3 },
+                MachInst::End { exit: 0 },
+            ],
+            0,
+            1,
+        );
+        let fragments = vec![f0, f1];
+        let taken = run_both(&fragments, &[0, 0], 0, u64::MAX);
+        assert_eq!(taken.fragment, 1);
+        let not_taken = run_both(&fragments, &[1, 0], 0, u64::MAX);
+        assert_eq!(not_taken.fragment, 0);
+        // Entering at fragment 1 directly also works (side-exit starts).
+        run_both(&fragments, &[5, 0], 1, u64::MAX);
+    }
+
+    #[test]
+    fn loop_edge_interrupt_and_gc_pending_exit() {
+        let mut b = LirBuffer::new(FilterOptions::default());
+        let i = b.emit(Lir::Import { slot: 0, ty: LirType::Int });
+        let limit = b.emit(Lir::Import { slot: 1, ty: LirType::Int });
+        let one = b.emit(Lir::ConstI(1));
+        let e_ovf = b.alloc_exit();
+        let next = b.emit(Lir::AddIChk(i, one, e_ovf));
+        b.emit(Lir::WriteAr { slot: 0, v: next });
+        let cont = b.emit(Lir::LtI(next, limit));
+        let e_done = b.alloc_exit();
+        b.emit(Lir::GuardTrue(cont, e_done));
+        let e_loop = b.alloc_exit();
+        b.emit(Lir::LoopBack(e_loop));
+        let fragments = vec![fuse(assemble(b.trace()))];
+
+        for set_interrupt in [true, false] {
+            let mut realm_dec = Realm::new();
+            let mut realm_nat = Realm::new();
+            if set_interrupt {
+                realm_dec.interrupt = true;
+                realm_nat.interrupt = true;
+            } else {
+                realm_dec.heap.gc_pending = true;
+                realm_nat.heap.gc_pending = true;
+            }
+            let mut ar_dec = vec![w(0), w(100)];
+            let mut ar_nat = ar_dec.clone();
+            let dec = execute(&fragments, 0, &mut ar_dec, &mut realm_dec, &mut NoNesting, u64::MAX)
+                .unwrap();
+            let nt = emit_tree(&fragments).unwrap();
+            let nat = nt.execute(0, &mut ar_nat, &mut realm_nat, u64::MAX);
+            assert_eq!(dec, nat);
+            assert_eq!(ar_dec, ar_nat);
+            assert_eq!(dec.iterations, 1, "first loop edge must take the exit");
+        }
+    }
+
+    #[test]
+    fn unsupported_ops_fail_emission() {
+        let tree = frag(
+            vec![
+                MachInst::ReadAr { d: 0, slot: 0 },
+                MachInst::GuardShape { obj: 0, shape: 3, exit: 1 },
+                MachInst::End { exit: 0 },
+            ],
+            2,
+        );
+        let err = emit_tree(&tree).unwrap_err();
+        assert_eq!(err.what, "GuardShape");
+        assert!(unsupported_op(&MachInst::CallTree { tree: 0, exit: 0 }).is_some());
+        assert!(unsupported_op(&MachInst::ConstW { d: 0, w: 0 }).is_none());
+    }
+
+    #[test]
+    fn hexdump_annotates_exit_trampolines() {
+        let tree = frag(
+            vec![
+                MachInst::ReadAr { d: 0, slot: 0 },
+                MachInst::GuardTrue { s: 0, exit: 1 },
+                MachInst::End { exit: 0 },
+            ],
+            2,
+        );
+        // The monitor's emission path skips annotations entirely.
+        assert!(emit_tree(&tree).unwrap().hexdump().is_empty());
+        let nt = super::emit_tree_annotated(&tree).unwrap();
+        let dump = nt.hexdump();
+        assert!(dump.contains("; fragment 0"));
+        assert!(dump.contains("GuardTrue"));
+        assert!(dump.contains("exit site: fragment 0 exit 1 -> return"));
+        assert!(dump.contains("; epilogue"));
+        assert!(nt.code_size() > 0);
+        assert_eq!(nt.num_fragments(), 1);
+    }
+
+    #[test]
+    fn wx_mapping_is_never_writable_and_executable() {
+        let tree = frag(vec![MachInst::End { exit: 0 }], 1);
+        let nt = emit_tree(&tree).unwrap();
+        let maps = std::fs::read_to_string("/proc/self/maps").unwrap();
+        let mut found = false;
+        for line in maps.lines() {
+            let mut parts = line.split_whitespace();
+            let (Some(range), Some(perms)) = (parts.next(), parts.next()) else { continue };
+            assert!(
+                !(perms.contains('w') && perms.contains('x')),
+                "RWX mapping present: {line}"
+            );
+            let (lo, hi) = range.split_once('-').unwrap();
+            let lo = usize::from_str_radix(lo, 16).unwrap();
+            let hi = usize::from_str_radix(hi, 16).unwrap();
+            let entry = nt.code_ptr() as usize;
+            if (lo..hi).contains(&entry) {
+                assert!(perms.starts_with("r-x"), "JIT buffer not r-x: {line}");
+                found = true;
+            }
+        }
+        assert!(found, "JIT buffer not found in /proc/self/maps");
+    }
+}

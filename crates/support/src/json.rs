@@ -115,6 +115,14 @@ impl Json {
         }
     }
 
+    /// The boolean, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Json::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
     /// A non-negative integer view of `Int`/`UInt` values.
     pub fn as_u64(&self) -> Option<u64> {
         match *self {

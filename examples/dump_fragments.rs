@@ -18,14 +18,34 @@
 //! TM_CACHE=/tmp/sieve.tmc cargo run --release --example quickstart
 //! cargo run --release --example dump_fragments -- /tmp/sieve.tmc
 //! ```
+//!
+//! With `--native` (x86-64 Linux only), each tree is additionally run
+//! through the native backend (`tm-nanojit::x64`) and its machine code
+//! hexdumped, interleaved with the virtual instructions it implements
+//! and the exit trampolines (`exit site: ... -> return` materializes the
+//! exit index for the monitor; `-> jmp fragment N` is a stitched exit
+//! baked in as a direct jump). Works in the offline `.tmc` mode too —
+//! the emitter only needs the fragments, not a VM.
 
 use tracemonkey::jit::persist::read_cache_file;
+use tracemonkey::nanojit::{emit_tree_annotated, native_supported, Fragment};
 use tracemonkey::{Engine, Vm};
 
 fn main() {
-    let arg = std::env::args().nth(1);
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let native = if let Some(i) = args.iter().position(|a| a == "--native") {
+        args.remove(i);
+        if !native_supported() {
+            eprintln!("--native: no backend for this target (needs x86-64 linux)");
+            std::process::exit(1);
+        }
+        true
+    } else {
+        false
+    };
+    let arg = args.into_iter().next();
     if let Some(path) = arg.as_deref().filter(|a| std::path::Path::new(a).is_file()) {
-        dump_cache(std::path::Path::new(path));
+        dump_cache(std::path::Path::new(path), native);
         return;
     }
     let src =
@@ -38,6 +58,26 @@ fn main() {
             println!("=== tree {t} fragment {f} ===");
             println!("{}", frag.listing());
         }
+        if native {
+            dump_native(t, &tree.fragments);
+        }
+    }
+}
+
+/// Emits tree `t`'s fragments through the native backend and prints the
+/// annotated hexdump (one buffer per tree: trunk, branches, then the
+/// shared exit trampolines).
+fn dump_native(t: usize, fragments: &[Fragment]) {
+    match emit_tree_annotated(fragments) {
+        Ok(nt) => {
+            println!(
+                "=== tree {t} native code ({} bytes, {} fragments) ===",
+                nt.code_size(),
+                nt.num_fragments()
+            );
+            print!("{}", nt.hexdump());
+        }
+        Err(e) => println!("=== tree {t} native code: not emitted ({e}) ==="),
     }
 }
 
@@ -45,7 +85,7 @@ fn main() {
 /// the order docs/PERSISTENCE.md §4 specifies them. Decoding validates
 /// magic, version, and every checksum; nothing here needs (or touches)
 /// a VM.
-fn dump_cache(path: &std::path::Path) {
+fn dump_cache(path: &std::path::Path, native: bool) {
     let entries = match read_cache_file(path) {
         Ok(e) => e,
         Err(e) => {
@@ -115,6 +155,9 @@ fn dump_cache(path: &std::path::Path) {
                     );
                 }
                 println!("{}", frag.listing());
+            }
+            if native {
+                dump_native(t, &tree.fragments);
             }
         }
     }

@@ -447,6 +447,73 @@ fn fuzz_replay_seeds() {
     }
 }
 
+/// Runs `src` under the tracing JIT with the native x86-64 tier forced
+/// on or off (off = the decoded dispatch-loop executor, the portable
+/// reference). Returns the displayed result plus the monitor's
+/// `(native_exits, native_fallbacks, trace_enters)` counters.
+fn run_tracing_native(src: &str, native: bool) -> (Result<String, String>, (u64, u64, u64)) {
+    let mut opts = tracemonkey::JitOptions::default();
+    opts.native_backend = native;
+    opts.profile = true;
+    let mut vm = Vm::with_options(Engine::Tracing, opts);
+    vm.step_budget = 30_000_000;
+    let r = match vm.eval(src) {
+        Ok(v) => Ok(tracemonkey::runtime::ops::to_display(&mut vm.realm, v)),
+        Err(e) => Err(format!("{e}")),
+    };
+    let s = vm.profile().expect("tracing engine profiles");
+    (r, (s.native_exits, s.native_fallbacks, s.trace_enters))
+}
+
+/// Native-tier differential mode: `TM_FUZZ_NATIVE=1` runs every seed's
+/// program three ways — native x86-64 tier, decoded executor, and the
+/// reference interpreter — and requires all three results to match
+/// byte-for-byte. Also checks the accounting invariant that with the
+/// native backend requested, every trace entry is counted as exactly one
+/// native exit or one fallback. Trivially passes (with a note) where the
+/// backend doesn't exist, so `ci.sh` can invoke it unconditionally.
+/// Seeds come from `TM_FUZZ_SEEDS` when set, else a built-in smoke set.
+#[test]
+fn fuzz_native_tier() {
+    if std::env::var("TM_FUZZ_NATIVE").as_deref() != Ok("1") {
+        return;
+    }
+    if !tracemonkey::nanojit::native_supported() {
+        eprintln!("native backend unavailable on this target; nothing to compare");
+        return;
+    }
+    let seeds: Vec<u64> = match std::env::var("TM_FUZZ_SEEDS") {
+        Ok(list) => list
+            .split(',')
+            .filter(|p| !p.trim().is_empty())
+            .map(|p| p.trim().parse().expect("TM_FUZZ_SEEDS: integer seeds"))
+            .collect(),
+        Err(_) => (0..40).collect(),
+    };
+    let mut total_native_exits = 0;
+    for seed in seeds {
+        let src = Gen::new(seed).program();
+        let baseline = run(Engine::Interp, &src);
+        let (decoded, _) = run_tracing_native(&src, false);
+        let (native, (exits, fallbacks, enters)) = run_tracing_native(&src, true);
+        assert_eq!(
+            decoded, baseline,
+            "seed {seed}: decoded executor disagrees with the interpreter:\n{src}"
+        );
+        assert_eq!(
+            native, baseline,
+            "seed {seed}: native tier disagrees with the interpreter:\n{src}"
+        );
+        assert_eq!(
+            exits + fallbacks,
+            enters,
+            "seed {seed}: every trace entry must be a native exit or a fallback"
+        );
+        total_native_exits += exits;
+    }
+    assert!(total_native_exits > 0, "the sweep must actually exercise the native tier");
+}
+
 /// Multi-realm fuzzing: `TM_FUZZ_THREADS=K` runs each seeded program on
 /// K concurrent realms sharing one code cache and background compiler
 /// pool, and requires every realm, every repetition, to agree with the
