@@ -48,13 +48,18 @@ echo "==> native-tier fuzz smoke: native x86-64 vs decoded vs interpreter"
 # Three-way differential over fixed seeds with the native backend forced
 # on: every program must print identically under the native tier, the
 # decoded executor, and the interpreter, and the tier accounting must
-# balance (native_exits + native_fallbacks == trace_enters). The test
-# self-skips on targets without the backend; the guard here keeps the
-# stage's OK/SKIP line honest.
+# balance (native_exits + native_fallbacks == trace_enters). Seeds 9/10/
+# 33/57/71 are object/string-heavy generator outputs that exercise the
+# full-coverage emitter families (shape guards, slot/element traffic,
+# string helpers). TM_FUZZ_BG=1 attaches a compiler pool and runs the
+# native pass with background_compile on, so off-thread native emission
+# is part of the differential. The test self-skips on targets without
+# the backend; the guard here keeps the stage's OK/SKIP line honest.
 if [ "$(uname -sm)" = "Linux x86_64" ]; then
-    TM_FUZZ_NATIVE=1 TM_FUZZ_SEEDS="0,7,30,42,99,123,200,256" \
+    TM_FUZZ_NATIVE=1 TM_FUZZ_BG=1 \
+        TM_FUZZ_SEEDS="0,7,9,10,30,33,42,57,71,99,123,200,256" \
         cargo test -q --offline --locked --test fuzz_differential fuzz_native_tier
-    echo "    OK: native tier differentially identical on the seed list"
+    echo "    OK: native tier differentially identical on the seed list (off-thread emission on)"
 else
     echo "    SKIP: native backend needs Linux x86_64"
 fi
@@ -117,17 +122,20 @@ echo "    OK: wrote target/BENCH_pr8_smoke.json"
 
 echo "==> native-tier smoke: real x86-64 code vs the decoded executor (release)"
 # bench_native gates: per-program display and deterministic-counter
-# identity between the tiers, a wall-clock win for the native tier on
-# the bitops group aggregate (the pure-int loops the backend fully
-# covers), and against the checked-in BENCH_pr9.json: no program that
-# ran natively may regress to fallback, and dispatched-instruction
+# identity between the tiers, the per-program accounting invariant
+# native_exits + native_fallbacks == trace_enters, majority-native
+# uptake on the access and string groups (the full-coverage emitter's
+# object/string families), wall-clock wins for the native tier on the
+# bitops and access group aggregates, and against the checked-in
+# BENCH_pr10.json: no program that ran natively may regress to fallback,
+# fallback-free programs stay fallback-free, and dispatched-instruction
 # counts stay within 5%. Per-program wall-clock is reported, not gated.
 # On targets without the backend the binary prints a skipped marker and
 # exits 0; the guard keeps the OK/SKIP line honest.
 if [ "$(uname -sm)" = "Linux x86_64" ]; then
-    ./target/release/bench_native --smoke --baseline BENCH_pr9.json \
-        > target/BENCH_pr9_smoke.json
-    echo "    OK: wrote target/BENCH_pr9_smoke.json"
+    ./target/release/bench_native --smoke --baseline BENCH_pr10.json \
+        > target/BENCH_pr10_smoke.json
+    echo "    OK: wrote target/BENCH_pr10_smoke.json"
 else
     echo "    SKIP: native backend needs Linux x86_64"
 fi

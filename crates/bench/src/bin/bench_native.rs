@@ -1,6 +1,6 @@
-//! Native-tier benchmark (`BENCH_pr9.json`): every suite program run
+//! Native-tier benchmark (`BENCH_pr10.json`): every suite program run
 //! through the tracing JIT twice — decoded dispatch-loop executor versus
-//! the native x86-64 backend — with three kinds of output:
+//! the native x86-64 backend — with four kinds of output:
 //!
 //! * **identity** (gated, deterministic): the two tiers must print the
 //!   same result and report identical per-trace accounting
@@ -10,12 +10,18 @@
 //!   native code (`native_exits > 0`) and the per-entry accounting
 //!   invariant `native_exits + native_fallbacks == trace_enters`. A
 //!   program that ran natively in the checked-in baseline must keep
-//!   doing so, and its dispatched-instruction count must stay within 5%;
-//! * **wall-clock** (gated on bitops only): median fresh-VM run time per
-//!   tier. The bitops group is pure traced integer code — exactly what
-//!   the native tier exists to accelerate — so `ci.sh` requires the
-//!   native aggregate to beat decoded dispatch there; other groups'
-//!   timings are reported for trend inspection, never gated (too noisy).
+//!   doing so, a program that ran with zero fallbacks must stay
+//!   fallback-free, and its dispatched-instruction count must stay
+//!   within 5%;
+//! * **per-group uptake** (gated on `access` and `string`): native-tier
+//!   exits vs fallbacks summed per suite group. With the full-coverage
+//!   emitter the object/string-heavy groups must execute majority-native
+//!   (`native_exits > native_fallbacks`), not just bitops;
+//! * **wall-clock** (gated on bitops and access): median fresh-VM run
+//!   time per tier. Bitops is pure traced integer code; access is the
+//!   newly-covered shape-guard/array group — `ci.sh` requires the native
+//!   aggregate to beat decoded dispatch on both. Other groups' timings
+//!   are reported for trend inspection, never gated (too noisy).
 //!
 //! On targets without the backend the binary prints a skipped marker and
 //! exits 0, so callers need no target detection of their own.
@@ -25,7 +31,7 @@
 //!   `bench_native --smoke [reps]`     bitops + access-nsieve subset
 //!   `bench_native --only a,b [reps]`  named subset only
 //!   `bench_native --baseline FILE`    gate coverage/dispatch vs a
-//!                                     checked-in BENCH_pr9.json
+//!                                     checked-in BENCH_pr10.json
 
 use std::time::{Duration, Instant};
 
@@ -33,15 +39,21 @@ use tm_bench::{BenchProgram, SUITE};
 use tm_support::Json;
 use tracemonkey::{Engine, JitOptions, Vm};
 
-/// Pinned perf-smoke subset: the whole gated bitops group plus one
-/// access program as an unsupported-op fallback representative.
+/// Pinned perf-smoke subset: the whole gated bitops group plus shape-
+/// guard/array and string representatives of the full-coverage emitter.
 const SMOKE: &[&str] = &[
     "bitops-3bit-bits-in-byte",
     "bitops-bits-in-byte",
     "bitops-bitwise-and",
     "bitops-nsieve-bits",
     "access-nsieve",
+    "string-fasta",
 ];
+
+/// Groups whose native-uptake majority and (for the wall-clock gate,
+/// `access` only) aggregate run time are gated, beyond bitops. These are
+/// the object/string groups the full-coverage emitter exists for.
+const GATED_UPTAKE_GROUPS: &[&str] = &["access", "string"];
 
 /// Tolerated growth of a program's dispatched-instruction count
 /// relative to the checked-in baseline.
@@ -97,8 +109,10 @@ fn median_time(prog: &BenchProgram, native: bool, repeats: u32) -> Duration {
     times[times.len() / 2]
 }
 
-/// `name -> (ran_native, dispatched)` from a previous bench_native JSON.
-fn load_baseline(path: &str) -> Vec<(String, bool, u64)> {
+/// `name -> (ran_native, zero_fallback, dispatched)` from a previous
+/// bench_native JSON. `zero_fallback` is absent in pre-PR-10 baselines
+/// and defaults to `false` (not gated).
+fn load_baseline(path: &str) -> Vec<(String, bool, bool, u64)> {
     let text = std::fs::read_to_string(path)
         .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
     let doc = Json::parse(&text).unwrap_or_else(|e| panic!("baseline {path}: {e}"));
@@ -109,8 +123,10 @@ fn load_baseline(path: &str) -> Vec<(String, bool, u64)> {
         .filter_map(|row| {
             let name = row.get("name")?.as_str()?;
             let ran = row.get("ran_native")?.as_bool()?;
+            let zero_fallback =
+                row.get("zero_fallback").and_then(Json::as_bool).unwrap_or(false);
             let dispatched = row.get("dispatched")?.as_u64()?;
-            Some((name.to_owned(), ran, dispatched))
+            Some((name.to_owned(), ran, zero_fallback, dispatched))
         })
         .collect()
 }
@@ -161,6 +177,8 @@ fn main() {
     let mut gate_failures: Vec<String> = Vec::new();
     let mut bitops_decoded = Duration::ZERO;
     let mut bitops_native = Duration::ZERO;
+    // group -> (exits, fallbacks, enters, decoded time, native time)
+    let mut by_group: Vec<(&str, u64, u64, u64, Duration, Duration)> = Vec::new();
     let ms = |d: Duration| d.as_secs_f64() * 1e3;
 
     for prog in &programs {
@@ -201,6 +219,20 @@ fn main() {
             bitops_decoded += decoded_ms;
             bitops_native += native_ms;
         }
+        {
+            let g = match by_group.iter_mut().find(|g| g.0 == prog.group) {
+                Some(g) => g,
+                None => {
+                    by_group.push((prog.group, 0, 0, 0, Duration::ZERO, Duration::ZERO));
+                    by_group.last_mut().expect("just pushed")
+                }
+            };
+            g.1 += native.native_exits;
+            g.2 += native.native_fallbacks;
+            g.3 += native.trace_enters;
+            g.4 += decoded_ms;
+            g.5 += native_ms;
+        }
         let ran_native = native.native_exits > 0;
         let coverage = if native.trace_enters == 0 {
             0.0
@@ -219,12 +251,18 @@ fn main() {
         );
 
         if let Some(base) = &baseline {
-            match base.iter().find(|(n, _, _)| n == prog.name) {
-                Some((_, base_ran, base_dispatched)) => {
+            match base.iter().find(|(n, _, _, _)| n == prog.name) {
+                Some((_, base_ran, base_zero_fallback, base_dispatched)) => {
                     if *base_ran && !ran_native {
                         gate_failures.push(format!(
                             "{}: ran natively in the baseline but fell back now",
                             prog.name
+                        ));
+                    }
+                    if *base_zero_fallback && native.native_fallbacks > 0 {
+                        gate_failures.push(format!(
+                            "{}: fallback-free in the baseline but fell back {} times now",
+                            prog.name, native.native_fallbacks
                         ));
                     }
                     let limit =
@@ -238,6 +276,7 @@ fn main() {
                 }
                 None => gate_failures
                     .push(format!("{}: missing from baseline {:?}", prog.name, baseline_path)),
+
             }
         }
 
@@ -251,10 +290,52 @@ fn main() {
             ("native_fallbacks", Json::from(native.native_fallbacks)),
             ("native_fragments", Json::from(native.native_fragments)),
             ("ran_native", Json::from(ran_native)),
+            (
+                "zero_fallback",
+                Json::from(native.trace_enters > 0 && native.native_fallbacks == 0),
+            ),
             ("native_coverage_pct", Json::from(coverage)),
             ("decoded_ms", Json::from(ms(decoded_ms))),
             ("native_ms", Json::from(ms(native_ms))),
             ("wall_clock_speedup", Json::from(ms(decoded_ms) / ms(native_ms).max(1e-9))),
+        ]));
+    }
+
+    // Per-group native uptake: the full-coverage emitter's whole point is
+    // that the object/string groups execute majority-native, so `access`
+    // and `string` are gated on `native_exits > native_fallbacks`; the
+    // newly-covered `access` group must also win on wall clock.
+    let mut group_rows = Vec::new();
+    for (group, exits, fallbacks, enters, dec_t, nat_t) in &by_group {
+        let majority = exits > fallbacks;
+        eprintln!(
+            "group {group:12} native exits {exits:>9}/{enters:<9} fallbacks {fallbacks:>7}   \
+             {:8.2} -> {:8.2} ms ({:.2}x)",
+            ms(*dec_t),
+            ms(*nat_t),
+            ms(*dec_t) / ms(*nat_t).max(1e-9),
+        );
+        if GATED_UPTAKE_GROUPS.contains(group) && *enters > 0 && !majority {
+            gate_failures.push(format!(
+                "group {group}: not majority-native ({exits} exits vs {fallbacks} fallbacks)"
+            ));
+        }
+        if *group == "access" && *dec_t > Duration::ZERO && nat_t >= dec_t {
+            gate_failures.push(format!(
+                "access group: native {:.2} ms does not beat decoded {:.2} ms",
+                ms(*nat_t),
+                ms(*dec_t)
+            ));
+        }
+        group_rows.push(Json::obj([
+            ("group", Json::from(*group)),
+            ("native_exits", Json::from(*exits)),
+            ("native_fallbacks", Json::from(*fallbacks)),
+            ("trace_enters", Json::from(*enters)),
+            ("majority_native", Json::from(majority)),
+            ("decoded_ms", Json::from(ms(*dec_t))),
+            ("native_ms", Json::from(ms(*nat_t))),
+            ("wall_clock_speedup", Json::from(ms(*dec_t) / ms(*nat_t).max(1e-9))),
         ]));
     }
 
@@ -294,6 +375,7 @@ fn main() {
             "bitops_speedup",
             Json::from(ms(bitops_decoded) / ms(bitops_native).max(1e-9)),
         ),
+        ("groups", Json::Array(group_rows)),
         ("programs", Json::Array(rows)),
     ]);
     println!("{}", out.to_string_pretty());

@@ -22,7 +22,7 @@ use crate::config::JitOptions;
 use crate::events::{AbortReason, EventLog, TraceEvent};
 use crate::exit::{ExitKind, SideExitInfo};
 use crate::oracle::Oracle;
-use crate::pool::{CompileJob, CompileOutcome, CompilerPool, Ticket};
+use crate::pool::{CompileJob, CompileOutcome, CompilerPool, EmitJob, EmitOutcome, EmitTicket, Ticket};
 use crate::profiler::{Activity, Profiler};
 use crate::recorder::{self, RecordAction, RecordedTrace, Recorder};
 use crate::shared_cache::{entry_digest, SharedCodeCache, SharedKey};
@@ -125,8 +125,10 @@ pub struct Monitor {
 /// Cached outcome of attempting native emission for one tree.
 #[derive(Debug)]
 enum NativeState {
-    /// Executable buffer covering every fragment of the tree.
-    Ready(Box<NativeTree>),
+    /// Executable buffer covering every fragment of the tree. Shared
+    /// (`Arc`) because the native run needs the buffer alive while the
+    /// nesting host re-borrows the monitor for inner-tree calls.
+    Ready(Arc<NativeTree>),
     /// The tree contains an op the native emitter does not support (or
     /// emission failed); every execution falls back to the decoded
     /// executor until the tree changes shape.
@@ -141,6 +143,17 @@ enum NativeState {
     /// fragments) stays amortized against a matching number of decoded
     /// runs however often the tree grows.
     Deferred(u32),
+    /// An off-thread emission is in flight on the compiler pool
+    /// (`background_compile`); executions fall back to the decoded
+    /// executor until the ticket resolves at a later entry
+    /// ([`Monitor::poll_native_emission`]). `nfrags` snapshots the
+    /// fragment count at submission. A branch install invalidates by
+    /// replacing this state (dropping the ticket), so a stale buffer is
+    /// discarded unreceived.
+    Emitting {
+        ticket: EmitTicket,
+        nfrags: usize,
+    },
 }
 
 /// One background compile the monitor is waiting on.
@@ -799,9 +812,11 @@ impl Monitor {
             self.oracle.mark_double(m);
         }
         // The tree's fragment set is about to change (new fragment plus a
-        // patched stitch target): drop any native buffer, and defer the
-        // re-emission for as many executions as the tree has fragments so
-        // a tree in its growth phase doesn't re-emit per install.
+        // patched stitch target): drop any native buffer (or in-flight
+        // emission ticket — the worker's now-stale result is simply never
+        // received), and defer the re-emission for as many executions as
+        // the tree has fragments so a tree in its growth phase doesn't
+        // re-emit per install.
         if self.opts.native_backend {
             let delay = self.cache.tree(tid).fragments.len() as u32 + 1;
             self.native.insert(tid, NativeState::Deferred(delay.max(2)));
@@ -1296,9 +1311,13 @@ impl Monitor {
             Emit,
         }
         let plan = if self.opts.native_backend {
+            // Settle a finished off-thread emission first so the match
+            // below sees the installed state.
+            self.poll_native_emission(tid);
             match self.native.get_mut(&tid) {
                 Some(NativeState::Ready(_)) => Plan::Use,
                 Some(NativeState::Unsupported) => Plan::Fallback,
+                Some(NativeState::Emitting { .. }) => Plan::Fallback,
                 Some(NativeState::Deferred(n)) => {
                     if *n > 0 {
                         *n -= 1;
@@ -1315,24 +1334,44 @@ impl Monitor {
         let use_native = match plan {
             Plan::Use => true,
             Plan::Fallback => false,
-            Plan::Emit => match emit_tree(&frags) {
-                Ok(nt) => {
-                    self.profiler.stats.native_fragments += frags.len() as u64;
-                    self.native.insert(tid, NativeState::Ready(Box::new(nt)));
-                    true
-                }
-                Err(_) => {
-                    self.native.insert(tid, NativeState::Unsupported);
+            Plan::Emit => {
+                if let Some(pool) = self.async_pool() {
+                    // Off-thread emission: ship the tree's fragment
+                    // snapshot to the pool, keep running decoded, and
+                    // install the buffer when the ticket resolves at a
+                    // later entry. The request thread never emits.
+                    let ticket = pool.submit_emit(EmitJob { fragments: frags.clone() });
+                    self.native
+                        .insert(tid, NativeState::Emitting { ticket, nfrags: frags.len() });
                     false
+                } else {
+                    match emit_tree(&frags) {
+                        Ok(nt) => {
+                            self.profiler.stats.native_fragments += frags.len() as u64;
+                            self.profiler.stats.native_emissions_sync += 1;
+                            self.native.insert(tid, NativeState::Ready(Arc::new(nt)));
+                            true
+                        }
+                        Err(_) => {
+                            self.native.insert(tid, NativeState::Unsupported);
+                            false
+                        }
+                    }
                 }
-            },
+            }
         };
         let trace_exit = if use_native {
             self.profiler.stats.native_exits += 1;
-            match self.native.get(&tid) {
-                Some(NativeState::Ready(nt)) => nt.execute(start, &mut ar, realm, fuel),
+            // Clone the buffer handle out of the map: the nesting host
+            // below needs `&mut self` (an inner `CallTree` may itself
+            // emit/install native trees), so the run cannot hold a
+            // borrow of `self.native`.
+            let nt = match self.native.get(&tid) {
+                Some(NativeState::Ready(nt)) => Arc::clone(nt),
                 _ => unreachable!("use_native checked Ready above"),
-            }
+            };
+            let mut host = NestHost { monitor: self, interp, outer: tid, entry_frame_idx };
+            nt.execute(start, &mut ar, realm, &mut host, fuel)?
         } else {
             if self.opts.native_backend {
                 self.profiler.stats.native_fallbacks += 1;
@@ -1398,6 +1437,35 @@ impl Monitor {
             realm.collect_garbage(&roots);
         }
         Ok(Some((trace_exit.fragment, trace_exit.exit, kind)))
+    }
+
+    /// Resolves a finished off-thread emission for `tid`, if one is in
+    /// flight: installs the buffer as [`NativeState::Ready`] (counted in
+    /// `native_emissions_offthread`) or marks the tree `Unsupported` on
+    /// failure. Leaves the state untouched while the job is still
+    /// running. Branch installs invalidate by *replacing* the `Emitting`
+    /// state, so a stale buffer can never be installed here; the
+    /// fragment-count check is a belt-and-braces guard on that
+    /// invariant.
+    fn poll_native_emission(&mut self, tid: TreeId) {
+        let Some(NativeState::Emitting { ticket, nfrags }) = self.native.get_mut(&tid)
+        else {
+            return;
+        };
+        let nfrags = *nfrags;
+        let Some(outcome) = ticket.try_ready() else { return };
+        let state = match outcome {
+            EmitOutcome::Done(nt) if nt.num_fragments() == nfrags => {
+                self.profiler.stats.native_fragments += nfrags as u64;
+                self.profiler.stats.native_emissions_offthread += 1;
+                NativeState::Ready(Arc::from(nt))
+            }
+            // A buffer for a different fragment set (unreachable by the
+            // invalidation invariant): retry after one more decoded run.
+            EmitOutcome::Done(_) => NativeState::Deferred(1),
+            EmitOutcome::Failed(_) => NativeState::Unsupported,
+        };
+        self.native.insert(tid, state);
     }
 
 }

@@ -125,6 +125,14 @@ pub struct ProfileStats {
     /// Tree executions that ran through the native x86-64 backend (each
     /// contributes exactly one native exit).
     pub native_exits: u64,
+    /// Native tree emissions performed on the background compiler pool
+    /// and installed by this monitor (`background_compile` on). Counted
+    /// at install time, when the ticket resolves.
+    pub native_emissions_offthread: u64,
+    /// Native tree emissions performed synchronously on the request
+    /// thread (`background_compile` off, or no pool attached). With a
+    /// pool active this stays zero — pinned by test.
+    pub native_emissions_sync: u64,
 }
 
 impl ProfileStats {

@@ -16,10 +16,25 @@
 //! contents *and* an identical [`TraceExit`] record — including the
 //! `insts`/`fused_insts`/`iterations` counters, which the emitter
 //! reconstructs by accumulating static per-exit-path counts — for every
-//! program. Fragments containing ops the emitter does not support (heap
-//! object access, helper calls, nested tree calls) fail [`emit_tree`]
-//! with [`Unsupported`] and the whole tree falls back to the decoded
-//! executor; the monitor counts those fallbacks.
+//! program.
+//!
+//! Every `MachInst` family is covered. Pure int/double arithmetic,
+//! guards, and AR traffic emit inline; ops that walk realm heap
+//! structures (shape/class/bound guards, slot/element/proto loads and
+//! stores, `ArrayLen`/`StrLen`) call tiny `extern "sysv64"` shims whose
+//! bodies are the exact decoded-executor match arms — the heap's arenas
+//! are growable `Vec`s, so baking their data pointers into code would go
+//! stale on reallocation; a call through a stable shim address is the
+//! reliable form. `CallHelper` marshals its arguments into a ctx-inline
+//! buffer and dispatches through a per-tree [`Helper`] side table;
+//! `CallTree` re-enters the monitor's [`TreeHost`] through a type-erased
+//! trampoline, which selects the inner tree's own native buffer when one
+//! is installed (native→native) or bridges to the decoded tier when it
+//! isn't. Helper/nested-tree errors land in an out-of-band slot and
+//! unwind the buffer through the epilogue, so [`NativeTree::execute`]
+//! returns `Result` exactly like the decoded [`crate::executor::execute`].
+//! The only remaining whole-tree fallback is a `CallHelper` whose arity
+//! exceeds the inline argument buffer ([`unsupported_op`]).
 //!
 //! On non-x86-64 or non-Linux targets the stub module below reports
 //! native support as unavailable and the tier disables itself.
@@ -42,25 +57,24 @@ impl std::fmt::Display for Unsupported {
     }
 }
 
-/// The ops [`emit_tree`] refuses: everything that walks realm heap
-/// structures (shapes, slots, elements) or re-enters the runtime
-/// (helpers, nested trees). Returns the mnemonic for diagnostics.
+/// Capacity of the per-run inline `CallHelper` argument buffer in the
+/// JIT calling convention's ctx struct. No recorded helper call comes
+/// close (the recorder builds at most a handful of operands), but the
+/// pre-scan still rejects wider calls so emitted stores can never run
+/// off the end of the buffer.
+pub const MAX_HELPER_ARGS: usize = 8;
+
+/// The ops [`emit_tree`] refuses. Since the full-coverage tier landed
+/// this is only a `CallHelper` whose arity exceeds the inline argument
+/// buffer ([`MAX_HELPER_ARGS`]); every other `MachInst` family emits.
+/// Returns the mnemonic for diagnostics.
 pub fn unsupported_op(inst: &MachInst) -> Option<&'static str> {
-    Some(match inst {
-        MachInst::GuardShape { .. } => "GuardShape",
-        MachInst::GuardClass { .. } => "GuardClass",
-        MachInst::GuardBound { .. } => "GuardBound",
-        MachInst::LoadSlot { .. } => "LoadSlot",
-        MachInst::StoreSlot { .. } => "StoreSlot",
-        MachInst::LoadProto { .. } => "LoadProto",
-        MachInst::LoadElem { .. } => "LoadElem",
-        MachInst::StoreElem { .. } => "StoreElem",
-        MachInst::ArrayLen { .. } => "ArrayLen",
-        MachInst::StrLen { .. } => "StrLen",
-        MachInst::CallHelper { .. } => "CallHelper",
-        MachInst::CallTree { .. } => "CallTree",
-        _ => return None,
-    })
+    match inst {
+        MachInst::CallHelper { args, .. } if args.len() > MAX_HELPER_ARGS => {
+            Some("CallHelper arity")
+        }
+        _ => None,
+    }
 }
 
 #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
@@ -69,11 +83,11 @@ mod imp {
     use std::mem::offset_of;
 
     use tm_lir::{AluOp, ChkOp, CmpOp};
-    use tm_runtime::trace_helpers::{f64_from_word, word_from_f64};
-    use tm_runtime::{Realm, Value};
+    use tm_runtime::trace_helpers::{call_helper, f64_from_word, word_from_f64, Helper};
+    use tm_runtime::{ObjectId, Realm, RuntimeError, StringId, Value};
 
-    use super::{unsupported_op, Unsupported};
-    use crate::executor::TraceExit;
+    use super::{unsupported_op, Unsupported, MAX_HELPER_ARGS};
+    use crate::executor::{TraceExit, TreeHost};
     use crate::machinst::{Fragment, MachInst, Reg, EXIT_UNSTITCHED, REG_FILE_WORDS, REG_MASK};
 
     /// Whether this build can emit and run native code.
@@ -116,6 +130,29 @@ mod imp {
         exit_fragment: u32,
         /// Out: exit id taken.
         exit_id: u32,
+        /// Per-tree `CallHelper` side table base ([`NativeTree::helpers`]).
+        /// `Helper` carries a payload variant (`CallNative`), so sites
+        /// index this table instead of baking an immediate.
+        helpers: *const Helper,
+        /// `CallHelper` argument scratch; emitted code stores the operand
+        /// vregs here before calling [`helper_shim`]. The pre-scan caps
+        /// arity at `MAX_HELPER_ARGS` so the stores stay in bounds.
+        helper_args: [u64; MAX_HELPER_ARGS],
+        /// Out from [`helper_shim`]: the helper's result word.
+        helper_result: u64,
+        /// Number of AR slots, so [`call_tree_shim`] can rebuild the
+        /// `&mut [u64]` slice the nested tree executes against.
+        ar_len: u64,
+        /// Type-erased [`TreeHost`]: a thin pointer to the `&mut dyn
+        /// TreeHost` living on [`NativeTree::execute`]'s stack (a raw fat
+        /// pointer has no stable `repr(C)` layout, so it stays behind one
+        /// more indirection and only Rust shim code dereferences it).
+        host: *mut core::ffi::c_void,
+        /// Out: error raised by a helper or nested tree. Points at an
+        /// `Option<RuntimeError>` on `execute`'s stack; when a shim
+        /// reports status 2 the native code unwinds through the epilogue
+        /// and `execute` returns `Err` instead of a `TraceExit`.
+        error: *mut Option<RuntimeError>,
     }
 
     const CTX_AR: i32 = offset_of!(NativeCtx, ar) as i32;
@@ -131,6 +168,8 @@ mod imp {
     const CTX_FUSED: i32 = offset_of!(NativeCtx, fused) as i32;
     const CTX_EXIT_FRAG: i32 = offset_of!(NativeCtx, exit_fragment) as i32;
     const CTX_EXIT_ID: i32 = offset_of!(NativeCtx, exit_id) as i32;
+    const CTX_HARGS: i32 = offset_of!(NativeCtx, helper_args) as i32;
+    const CTX_HRESULT: i32 = offset_of!(NativeCtx, helper_result) as i32;
 
     // ---- runtime shims --------------------------------------------------
     //
@@ -167,6 +206,147 @@ mod imp {
         let realm = unsafe { &*realm };
         let id = Value::from_raw(raw).as_double_id().expect("tag checked by native code");
         word_from_f64(realm.heap.double(id))
+    }
+
+    // Heap-walking ops (shape/class/bound guards, slot/element/proto
+    // access, lengths). The heap's object and string arenas are growable
+    // `Vec`s whose data pointers move on reallocation, so the emitter
+    // calls these stable shims instead of baking arena addresses into
+    // code; surrounding arithmetic still runs fully native, and the shim
+    // bodies mirror the decoded-executor arms verbatim.
+
+    /// `GuardShape` probe: the guarded object's current shape id.
+    extern "sysv64" fn shape_of_shim(realm: *const Realm, obj: u64) -> u64 {
+        let realm = unsafe { &*realm };
+        u64::from(realm.heap.object(ObjectId(obj as u32)).shape.0)
+    }
+
+    /// `GuardClass` probe: the guarded object's class discriminant.
+    extern "sysv64" fn class_of_shim(realm: *const Realm, obj: u64) -> u64 {
+        let realm = unsafe { &*realm };
+        realm.heap.object(ObjectId(obj as u32)).class as u64
+    }
+
+    /// `GuardBound` probe: the dense element count (also `ArrayLen`'s
+    /// value, but kept separate so the guard compares `usize` length
+    /// while `ArrayLen` produces the decoded tier's `u32` result).
+    extern "sysv64" fn elems_len_shim(realm: *const Realm, obj: u64) -> u64 {
+        let realm = unsafe { &*realm };
+        realm.heap.object(ObjectId(obj as u32)).elements.len() as u64
+    }
+
+    extern "sysv64" fn load_slot_shim(realm: *const Realm, obj: u64, slot: u64) -> u64 {
+        let realm = unsafe { &*realm };
+        realm.heap.object(ObjectId(obj as u32)).slots[slot as usize].raw()
+    }
+
+    extern "sysv64" fn store_slot_shim(realm: *mut Realm, obj: u64, slot: u64, v: u64) {
+        let realm = unsafe { &mut *realm };
+        realm.heap.object_mut(ObjectId(obj as u32)).slots[slot as usize] =
+            Value::from_raw(v);
+    }
+
+    extern "sysv64" fn load_proto_shim(realm: *const Realm, obj: u64) -> u64 {
+        let realm = unsafe { &*realm };
+        let proto = realm
+            .heap
+            .object(ObjectId(obj as u32))
+            .proto
+            .expect("proto guarded by recording");
+        u64::from(proto.0)
+    }
+
+    /// `idx` arrives sign-extended from the i32 vreg; the `as usize`
+    /// wrap below matches the decoded arm (a negative index panics out
+    /// of range there too — `GuardBound` precedes every access).
+    extern "sysv64" fn load_elem_shim(realm: *const Realm, obj: u64, idx: i64) -> u64 {
+        let realm = unsafe { &*realm };
+        realm.heap.object(ObjectId(obj as u32)).elements[idx as usize].raw()
+    }
+
+    extern "sysv64" fn store_elem_shim(realm: *mut Realm, obj: u64, idx: i64, v: u64) {
+        let realm = unsafe { &mut *realm };
+        realm
+            .heap
+            .object_mut(ObjectId(obj as u32))
+            .set_element(idx as u32, Value::from_raw(v));
+    }
+
+    extern "sysv64" fn array_len_shim(realm: *const Realm, obj: u64) -> u64 {
+        let realm = unsafe { &*realm };
+        u64::from(realm.heap.object(ObjectId(obj as u32)).array_length())
+    }
+
+    extern "sysv64" fn str_len_shim(realm: *const Realm, s: u64) -> u64 {
+        let realm = unsafe { &*realm };
+        realm.heap.string(StringId(s as u32)).len() as u64
+    }
+
+    // Runtime re-entry (helper calls, nested trees). Both return a
+    // status word the emitted code branches on; errors are parked in
+    // `ctx.error` and the buffer unwinds through the epilogue.
+
+    /// `helper_shim` status: continue straight-line execution.
+    const ST_OK: u32 = 0;
+    /// Take the instruction's side exit (helper re-entered the VM §6.5,
+    /// or the nested tree reported a guard mismatch).
+    const ST_EXIT: u32 = 1;
+    /// A `RuntimeError` was stored through `ctx.error`; abandon the run.
+    const ST_ERR: u32 = 2;
+
+    /// `CallHelper`: dispatches through the per-tree helper table with
+    /// the arguments the emitted code marshalled into `ctx.helper_args`.
+    extern "sysv64" fn helper_shim(ctx: *mut NativeCtx, helper: u32, argc: u32) -> u32 {
+        let ctx = unsafe { &mut *ctx };
+        let realm = unsafe { &mut *ctx.realm };
+        let h = unsafe { *ctx.helpers.add(helper as usize) };
+        match call_helper(realm, h, &ctx.helper_args[..argc as usize]) {
+            Ok(w) => {
+                ctx.helper_result = w;
+                if realm.reentered_during_trace {
+                    realm.reentered_during_trace = false;
+                    ST_EXIT
+                } else {
+                    ST_OK
+                }
+            }
+            Err(e) => {
+                unsafe { *ctx.error = Some(e) };
+                ST_ERR
+            }
+        }
+    }
+
+    /// Monomorphic trampoline stored behind `ctx.host`: recovers the
+    /// `&mut dyn TreeHost` and forwards. Kept out of line so the shim
+    /// below never names the trait object's fat-pointer layout.
+    unsafe fn call_host(
+        host: *mut core::ffi::c_void,
+        site: u32,
+        ar: &mut [u64],
+        realm: &mut Realm,
+    ) -> Result<bool, RuntimeError> {
+        let host = unsafe { &mut **(host as *mut &mut dyn TreeHost) };
+        host.call_tree(site, ar, realm)
+    }
+
+    /// `CallTree`: re-enters the monitor's [`TreeHost`] for nested-tree
+    /// site `site`. The host marshals the AR, runs the inner tree — its
+    /// *own* native buffer when one is installed, the decoded executor
+    /// otherwise (the native→decoded bridge) — and reports whether the
+    /// call completed on the expected exit.
+    extern "sysv64" fn call_tree_shim(ctx: *mut NativeCtx, site: u32) -> u32 {
+        let ctx = unsafe { &mut *ctx };
+        let realm = unsafe { &mut *ctx.realm };
+        let ar = unsafe { std::slice::from_raw_parts_mut(ctx.ar, ctx.ar_len as usize) };
+        match unsafe { call_host(ctx.host, site, ar, realm) } {
+            Ok(true) => ST_OK,
+            Ok(false) => ST_EXIT,
+            Err(e) => {
+                unsafe { *ctx.error = Some(e) };
+                ST_ERR
+            }
+        }
     }
 
     // ---- executable buffer ----------------------------------------------
@@ -736,6 +916,9 @@ mod imp {
         frags: &'a [Fragment],
         sites: Vec<SiteInfo>,
         next_local: u32,
+        /// Per-tree `CallHelper` side table, interned in emission order;
+        /// emitted sites pass an index into it to [`helper_shim`].
+        helpers: Vec<Helper>,
     }
 
     /// Register-file byte offset of virtual register `v` (off `r13`).
@@ -778,6 +961,16 @@ mod imp {
         /// A site whose counts were already flushed inline (loop edges).
         fn site_flushed(&mut self, frag: u32, exit: u16) -> Label {
             self.site(frag, exit, Path { insts: 0, fused: 0 })
+        }
+
+        /// Index of `h` in the per-tree helper side table, interning it
+        /// on first use.
+        fn helper_index(&mut self, h: Helper) -> u32 {
+            if let Some(i) = self.helpers.iter().position(|&x| x == h) {
+                return i as u32;
+            }
+            self.helpers.push(h);
+            self.helpers.len() as u32 - 1
         }
 
         fn flush_counts(&mut self, path: Path) {
@@ -1663,20 +1856,153 @@ mod imp {
                     self.asm.jcc(if want { CC_E } else { CC_NE }, site);
                 }
 
-                // Rejected by the emit_tree pre-scan.
-                MachInst::GuardShape { .. }
-                | MachInst::GuardClass { .. }
-                | MachInst::GuardBound { .. }
-                | MachInst::LoadSlot { .. }
-                | MachInst::StoreSlot { .. }
-                | MachInst::LoadProto { .. }
-                | MachInst::LoadElem { .. }
-                | MachInst::StoreElem { .. }
-                | MachInst::ArrayLen { .. }
-                | MachInst::StrLen { .. }
-                | MachInst::CallHelper { .. }
-                | MachInst::CallTree { .. } => {
-                    unreachable!("unsupported op reached the emitter")
+                // -- heap-walking ops: realm in rdi, operands in
+                // rsi/rdx/rcx, result back in rax. Calls go through the
+                // shim block above (arena data pointers are not stable
+                // enough to bake into code); the pinned r12–r15/rbx/rbp
+                // survive the System V call, so only the current
+                // instruction's scratch is live across it.
+
+                MachInst::GuardShape { obj, shape, exit } => {
+                    let site = self.site(k, exit, path);
+                    self.asm.mov_r64_mem(RDI, R15, CTX_REALM);
+                    self.load_vreg32(RSI, obj);
+                    self.call_shim(
+                        shape_of_shim as extern "sysv64" fn(*const Realm, u64) -> u64 as usize,
+                    );
+                    self.asm.cmp_r32_imm32(RAX, shape as i32);
+                    self.asm.jcc(CC_NE, site);
+                }
+                MachInst::GuardClass { obj, class, exit } => {
+                    let site = self.site(k, exit, path);
+                    self.asm.mov_r64_mem(RDI, R15, CTX_REALM);
+                    self.load_vreg32(RSI, obj);
+                    self.call_shim(
+                        class_of_shim as extern "sysv64" fn(*const Realm, u64) -> u64 as usize,
+                    );
+                    self.asm.cmp_r32_imm32(RAX, i32::from(class));
+                    self.asm.jcc(CC_NE, site);
+                }
+                MachInst::GuardBound { arr, idx, exit } => {
+                    let site = self.site(k, exit, path);
+                    self.asm.mov_r64_mem(RDI, R15, CTX_REALM);
+                    self.load_vreg32(RSI, arr);
+                    self.call_shim(
+                        elems_len_shim as extern "sysv64" fn(*const Realm, u64) -> u64 as usize,
+                    );
+                    // i64 index < 0, or >= the element count, exits.
+                    self.movsxd_vreg(RCX, idx);
+                    self.asm.test_rr64(RCX, RCX);
+                    self.asm.jcc(CC_S, site);
+                    self.asm.cmp_rr64(RCX, RAX);
+                    self.asm.jcc(CC_AE, site);
+                }
+                MachInst::LoadSlot { d, o, slot } => {
+                    self.asm.mov_r64_mem(RDI, R15, CTX_REALM);
+                    self.load_vreg32(RSI, o);
+                    self.asm.mov_r32_imm(RDX, slot);
+                    self.call_shim(
+                        load_slot_shim as extern "sysv64" fn(*const Realm, u64, u64) -> u64
+                            as usize,
+                    );
+                    self.store_vreg64(d, RAX);
+                }
+                MachInst::StoreSlot { o, slot, s } => {
+                    self.asm.mov_r64_mem(RDI, R15, CTX_REALM);
+                    self.load_vreg32(RSI, o);
+                    self.asm.mov_r32_imm(RDX, slot);
+                    self.load_vreg64(RCX, s);
+                    self.call_shim(
+                        store_slot_shim as extern "sysv64" fn(*mut Realm, u64, u64, u64)
+                            as usize,
+                    );
+                }
+                MachInst::LoadProto { d, o } => {
+                    self.asm.mov_r64_mem(RDI, R15, CTX_REALM);
+                    self.load_vreg32(RSI, o);
+                    self.call_shim(
+                        load_proto_shim as extern "sysv64" fn(*const Realm, u64) -> u64 as usize,
+                    );
+                    self.store_vreg64(d, RAX);
+                }
+                MachInst::LoadElem { d, a, i } => {
+                    self.asm.mov_r64_mem(RDI, R15, CTX_REALM);
+                    self.load_vreg32(RSI, a);
+                    self.movsxd_vreg(RDX, i);
+                    self.call_shim(
+                        load_elem_shim as extern "sysv64" fn(*const Realm, u64, i64) -> u64
+                            as usize,
+                    );
+                    self.store_vreg64(d, RAX);
+                }
+                MachInst::StoreElem { a, i, s } => {
+                    self.asm.mov_r64_mem(RDI, R15, CTX_REALM);
+                    self.load_vreg32(RSI, a);
+                    self.movsxd_vreg(RDX, i);
+                    self.load_vreg64(RCX, s);
+                    self.call_shim(
+                        store_elem_shim as extern "sysv64" fn(*mut Realm, u64, i64, u64)
+                            as usize,
+                    );
+                }
+                MachInst::ArrayLen { d, a } => {
+                    self.asm.mov_r64_mem(RDI, R15, CTX_REALM);
+                    self.load_vreg32(RSI, a);
+                    self.call_shim(
+                        array_len_shim as extern "sysv64" fn(*const Realm, u64) -> u64 as usize,
+                    );
+                    self.store_vreg64(d, RAX);
+                }
+                MachInst::StrLen { d, a } => {
+                    self.asm.mov_r64_mem(RDI, R15, CTX_REALM);
+                    self.load_vreg32(RSI, a);
+                    self.call_shim(
+                        str_len_shim as extern "sysv64" fn(*const Realm, u64) -> u64 as usize,
+                    );
+                    self.store_vreg64(d, RAX);
+                }
+
+                // -- runtime re-entry --
+
+                MachInst::CallHelper { d, helper, ref args, exit } => {
+                    let site = self.site(k, exit, path);
+                    let idx = self.helper_index(helper);
+                    self.asm.note(|| format!("; helper table[{idx}] = {helper:?}"));
+                    for (n, &s) in args.iter().enumerate() {
+                        self.load_vreg64(RAX, s);
+                        self.asm.mov_mem_r64(R15, CTX_HARGS + n as i32 * 8, RAX);
+                    }
+                    self.asm.mov_rr64(RDI, R15);
+                    self.asm.mov_r32_imm(RSI, idx);
+                    self.asm.mov_r32_imm(RDX, args.len() as u32);
+                    self.call_shim(
+                        helper_shim as extern "sysv64" fn(*mut NativeCtx, u32, u32) -> u32
+                            as usize,
+                    );
+                    // The result store on the exit/error paths writes a
+                    // stale scratch word into a dead vreg — harmless,
+                    // and it keeps the status dispatch branch-light.
+                    self.asm.mov_rr32(RCX, RAX);
+                    self.asm.mov_r64_mem(RAX, R15, CTX_HRESULT);
+                    self.store_vreg64(d, RAX);
+                    self.asm.cmp_r32_imm32(RCX, ST_ERR as i32);
+                    self.asm.jcc(CC_E, Label::Epilogue);
+                    self.asm.test_rr32(RCX, RCX);
+                    self.asm.jcc(CC_NE, site);
+                }
+                MachInst::CallTree { tree, exit } => {
+                    let site = self.site(k, exit, path);
+                    self.asm.mov_rr64(RDI, R15);
+                    self.asm.mov_r32_imm(RSI, tree);
+                    self.call_shim(
+                        call_tree_shim as extern "sysv64" fn(*mut NativeCtx, u32) -> u32 as usize,
+                    );
+                    self.asm.cmp_r32_imm32(RAX, ST_ERR as i32);
+                    self.asm.jcc(CC_E, Label::Epilogue);
+                    // ST_EXIT: the inner call left on an unexpected
+                    // exit; take this instruction's side exit.
+                    self.asm.test_rr32(RAX, RAX);
+                    self.asm.jcc(CC_NE, site);
                 }
             }
         }
@@ -1779,6 +2105,7 @@ mod imp {
             frags: fragments,
             sites: Vec::new(),
             next_local: 0,
+            helpers: Vec::new(),
         };
         e.prologue();
         for (k, frag) in fragments.iter().enumerate() {
@@ -1810,6 +2137,7 @@ mod imp {
             notes: e.asm.notes,
             code_len,
             num_frags: fragments.len(),
+            helpers: e.helpers,
         })
     }
 
@@ -1824,6 +2152,10 @@ mod imp {
         notes: Vec<(usize, String)>,
         code_len: usize,
         num_frags: usize,
+        /// `CallHelper` side table; emitted sites index into it (the
+        /// `Helper` enum carries a payload variant, so it cannot be an
+        /// immediate in the code stream).
+        helpers: Vec<Helper>,
     }
 
     impl std::fmt::Debug for NativeTree {
@@ -1838,19 +2170,29 @@ mod imp {
     impl NativeTree {
         /// Runs the tree from fragment `start` until an unstitched exit.
         ///
-        /// Mirrors `executor::execute`: fresh zeroed register file and
-        /// spill area, loop edges poll `realm.interrupt` /
-        /// `realm.heap.gc_pending` and the `fuel` budget.
+        /// Mirrors `executor::execute` — same signature shape, same
+        /// semantics: fresh zeroed register file and spill area, loop
+        /// edges poll `realm.interrupt` / `realm.heap.gc_pending` and
+        /// the `fuel` budget, `CallTree` sites re-enter `host`.
+        ///
+        /// # Errors
+        ///
+        /// A `RuntimeError` raised by a helper call or a nested tree
+        /// (reported out-of-band through the ctx error slot) is returned
+        /// exactly as the decoded executor would return it.
         pub fn execute(
             &self,
             start: u32,
             ar: &mut [u64],
             realm: &mut Realm,
+            host: &mut dyn TreeHost,
             fuel: u64,
-        ) -> TraceExit {
+        ) -> Result<TraceExit, RuntimeError> {
             assert!((start as usize) < self.num_frags, "start fragment out of range");
             let mut regs = [0u64; REG_FILE_WORDS];
             let mut spill = vec![0u64; self.max_spills];
+            let mut error: Option<RuntimeError> = None;
+            let mut host: &mut dyn TreeHost = host;
             let realm_ptr: *mut Realm = realm;
             let mut ctx = NativeCtx {
                 ar: ar.as_mut_ptr(),
@@ -1867,15 +2209,24 @@ mod imp {
                 fused: 0,
                 exit_fragment: 0,
                 exit_id: 0,
+                helpers: self.helpers.as_ptr(),
+                helper_args: [0u64; MAX_HELPER_ARGS],
+                helper_result: 0,
+                ar_len: ar.len() as u64,
+                host: (&raw mut host).cast::<core::ffi::c_void>(),
+                error: &raw mut error,
             };
             self.buf.entry()(&mut ctx);
-            TraceExit {
+            if let Some(e) = error {
+                return Err(e);
+            }
+            Ok(TraceExit {
                 fragment: ctx.exit_fragment,
                 exit: ctx.exit_id as u16,
                 insts: ctx.insts,
                 fused_insts: ctx.fused,
                 iterations: ctx.iterations,
-            }
+            })
         }
 
         /// Emitted code size in bytes.
@@ -1914,10 +2265,10 @@ mod imp {
 
 #[cfg(not(all(target_arch = "x86_64", target_os = "linux")))]
 mod imp {
-    use tm_runtime::Realm;
+    use tm_runtime::{Realm, RuntimeError};
 
     use super::Unsupported;
-    use crate::executor::TraceExit;
+    use crate::executor::{TraceExit, TreeHost};
     use crate::machinst::Fragment;
 
     /// Whether this build can emit and run native code (it cannot; the
@@ -1935,13 +2286,15 @@ mod imp {
 
     impl NativeTree {
         /// Unreachable: a stub `NativeTree` cannot be constructed.
+        #[allow(clippy::missing_errors_doc)]
         pub fn execute(
             &self,
             _start: u32,
             _ar: &mut [u64],
             _realm: &mut Realm,
+            _host: &mut dyn TreeHost,
             _fuel: u64,
-        ) -> TraceExit {
+        ) -> Result<TraceExit, RuntimeError> {
             match self.never {}
         }
 
@@ -1991,11 +2344,13 @@ pub use imp::{emit_tree, emit_tree_annotated, native_supported, NativeTree};
 mod tests {
     use tm_lir::{AluOp, ChkOp, CmpOp, FilterOptions, Lir, LirBuffer, LirType};
     use tm_runtime::trace_helpers::{word_from_f64, word_from_i32};
-    use tm_runtime::{Realm, Value};
+    use tm_runtime::{
+        Helper, NativeEffects, Object, ObjectClass, ObjectId, Realm, RuntimeError, Value,
+    };
 
-    use super::{emit_tree, native_supported, unsupported_op};
+    use super::{emit_tree, native_supported, unsupported_op, MAX_HELPER_ARGS};
     use crate::assembler::assemble;
-    use crate::executor::{execute, NoNesting, TraceExit};
+    use crate::executor::{execute, NoNesting, TraceExit, TreeHost};
     use crate::machinst::{ExitTarget, Fragment, MachInst};
     use crate::peephole::fuse;
 
@@ -2003,15 +2358,32 @@ mod tests {
     /// backend with identical inputs and asserts byte-identical ARs and
     /// identical exit records (including every counter).
     fn run_both(fragments: &[Fragment], ar_init: &[u64], start: u32, fuel: u64) -> TraceExit {
+        run_both_with(fragments, ar_init, start, fuel, |_| {})
+    }
+
+    /// [`run_both`] with a realm-setup hook applied identically to both
+    /// tiers' realms (heap ops need the same objects/strings on each
+    /// side; fresh realms allocate deterministically, so ids agree).
+    fn run_both_with(
+        fragments: &[Fragment],
+        ar_init: &[u64],
+        start: u32,
+        fuel: u64,
+        setup: impl Fn(&mut Realm),
+    ) -> TraceExit {
         let mut realm_dec = Realm::new();
+        setup(&mut realm_dec);
         let mut ar_dec = ar_init.to_vec();
         let dec = execute(fragments, start, &mut ar_dec, &mut realm_dec, &mut NoNesting, fuel)
             .expect("decoded execution failed");
 
         let mut realm_nat = Realm::new();
+        setup(&mut realm_nat);
         let mut ar_nat = ar_init.to_vec();
         let nt = emit_tree(fragments).expect("native emission failed");
-        let nat = nt.execute(start, &mut ar_nat, &mut realm_nat, fuel);
+        let nat = nt
+            .execute(start, &mut ar_nat, &mut realm_nat, &mut NoNesting, fuel)
+            .expect("native execution failed");
 
         assert_eq!(dec, nat, "exit records diverge");
         assert_eq!(ar_dec, ar_nat, "activation records diverge");
@@ -2280,7 +2652,9 @@ mod tests {
                 assert_eq!(boxed, boxed_n);
                 let mut ar_nat = vec![boxed_n, 0, 0];
                 let nt = emit_tree(&fragments).unwrap();
-                let nat = nt.execute(0, &mut ar_nat, &mut realm_nat, u64::MAX);
+                let nat = nt
+                    .execute(0, &mut ar_nat, &mut realm_nat, &mut NoNesting, u64::MAX)
+                    .unwrap();
                 assert_eq!(dec, nat);
                 assert_eq!(ar_dec, ar_nat);
             }
@@ -2571,7 +2945,9 @@ mod tests {
             let dec = execute(&fragments, 0, &mut ar_dec, &mut realm_dec, &mut NoNesting, u64::MAX)
                 .unwrap();
             let nt = emit_tree(&fragments).unwrap();
-            let nat = nt.execute(0, &mut ar_nat, &mut realm_nat, u64::MAX);
+            let nat = nt
+                .execute(0, &mut ar_nat, &mut realm_nat, &mut NoNesting, u64::MAX)
+                .unwrap();
             assert_eq!(dec, nat);
             assert_eq!(ar_dec, ar_nat);
             assert_eq!(dec.iterations, 1, "first loop edge must take the exit");
@@ -2579,19 +2955,22 @@ mod tests {
     }
 
     #[test]
-    fn unsupported_ops_fail_emission() {
-        let tree = frag(
-            vec![
-                MachInst::ReadAr { d: 0, slot: 0 },
-                MachInst::GuardShape { obj: 0, shape: 3, exit: 1 },
-                MachInst::End { exit: 0 },
-            ],
-            2,
-        );
-        let err = emit_tree(&tree).unwrap_err();
-        assert_eq!(err.what, "GuardShape");
-        assert!(unsupported_op(&MachInst::CallTree { tree: 0, exit: 0 }).is_some());
+    fn only_oversized_helper_calls_fail_emission() {
+        // Every heap/helper/nested-tree family now emits.
+        assert!(unsupported_op(&MachInst::GuardShape { obj: 0, shape: 3, exit: 1 }).is_none());
+        assert!(unsupported_op(&MachInst::CallTree { tree: 0, exit: 0 }).is_none());
         assert!(unsupported_op(&MachInst::ConstW { d: 0, w: 0 }).is_none());
+        // The one residual rejection: arity beyond the inline arg buffer.
+        let wide = MachInst::CallHelper {
+            d: 2,
+            helper: Helper::Pow,
+            args: vec![0; MAX_HELPER_ARGS + 1].into(),
+            exit: 1,
+        };
+        assert_eq!(unsupported_op(&wide), Some("CallHelper arity"));
+        let tree = frag(vec![MachInst::ReadAr { d: 0, slot: 0 }, wide], 2);
+        let err = emit_tree(&tree).unwrap_err();
+        assert_eq!(err.what, "CallHelper arity");
     }
 
     #[test]
@@ -2639,5 +3018,376 @@ mod tests {
             }
         }
         assert!(found, "JIT buffer not found in /proc/self/maps");
+    }
+
+    // ---- full-coverage tier: heap ops, helper calls, nested trees ----
+
+    /// Allocates, identically in any fresh realm: a 2-slot plain object
+    /// with a prototype, a 3-element array, and a string. Returns the
+    /// (object, array, string-id) AR-ready words.
+    fn setup_heap(realm: &mut Realm) -> (u64, u64, u64) {
+        let proto = realm.new_plain_object();
+        let mut o = Object::new_plain(Some(proto));
+        o.slots = vec![Value::new_int(7), Value::new_int(-3)];
+        let obj = realm.heap.alloc_object(o);
+        let arr = realm.heap.alloc_object(Object::new_array(3, None));
+        for (i, v) in [10, 20, 30].into_iter().enumerate() {
+            realm.heap.object_mut(arr).elements[i] = Value::new_int(v);
+        }
+        let sv = realm.heap.alloc_string("hello, trace");
+        let sid = sv.as_string().expect("string value");
+        (u64::from(obj.0), u64::from(arr.0), u64::from(sid.0))
+    }
+
+    /// `setup_heap` on a throwaway realm, to learn the ids/shape the
+    /// differential runs will see.
+    fn probe_heap() -> (Realm, u64, u64, u64) {
+        let mut probe = Realm::new();
+        let (o, a, st) = setup_heap(&mut probe);
+        (probe, o, a, st)
+    }
+
+    #[test]
+    fn guard_shape_differential_hit_and_miss() {
+        let (probe, obj_w, _, _) = probe_heap();
+        let shape = probe.heap.object(ObjectId(obj_w as u32)).shape.0;
+        let tree = |shape| {
+            frag(
+                vec![
+                    MachInst::ReadAr { d: 0, slot: 0 },
+                    MachInst::GuardShape { obj: 0, shape, exit: 1 },
+                    MachInst::ConstW { d: 1, w: 99 },
+                    MachInst::WriteAr { slot: 1, s: 1 },
+                    MachInst::End { exit: 0 },
+                ],
+                2,
+            )
+        };
+        let hit = run_both_with(&tree(shape), &[obj_w, 0], 0, u64::MAX, |r| {
+            setup_heap(r);
+        });
+        assert_eq!(hit.exit, 0, "matching shape falls through");
+        let miss = run_both_with(&tree(shape + 1), &[obj_w, 0], 0, u64::MAX, |r| {
+            setup_heap(r);
+        });
+        assert_eq!(miss.exit, 1, "shape-guard miss takes the side exit");
+    }
+
+    #[test]
+    fn guard_class_differential() {
+        let (_, obj_w, arr_w, _) = probe_heap();
+        let tree = |class: u8| {
+            frag(
+                vec![
+                    MachInst::ReadAr { d: 0, slot: 0 },
+                    MachInst::GuardClass { obj: 0, class, exit: 1 },
+                    MachInst::End { exit: 0 },
+                ],
+                2,
+            )
+        };
+        for (objw, class, want) in [
+            (obj_w, ObjectClass::Plain as u8, 0),
+            (obj_w, ObjectClass::Array as u8, 1),
+            (arr_w, ObjectClass::Array as u8, 0),
+            (arr_w, ObjectClass::Function as u8, 1),
+        ] {
+            let e = run_both_with(&tree(class), &[objw], 0, u64::MAX, |r| {
+                setup_heap(r);
+            });
+            assert_eq!(e.exit, want);
+        }
+    }
+
+    #[test]
+    fn guard_bound_differential() {
+        let (_, _, arr_w, _) = probe_heap();
+        let tree = frag(
+            vec![
+                MachInst::ReadAr { d: 0, slot: 0 },
+                MachInst::ReadAr { d: 1, slot: 1 },
+                MachInst::GuardBound { arr: 0, idx: 1, exit: 1 },
+                MachInst::End { exit: 0 },
+            ],
+            2,
+        );
+        for (i, want) in [(0, 0), (2, 0), (3, 1), (-1, 1)] {
+            let e = run_both_with(&tree, &[arr_w, w(i)], 0, u64::MAX, |r| {
+                setup_heap(r);
+            });
+            assert_eq!(e.exit, want, "index {i}");
+        }
+    }
+
+    #[test]
+    fn slot_load_store_differential() {
+        let (_, obj_w, _, _) = probe_heap();
+        // Read slot 1, overwrite slot 0 with it, read slot 0 back.
+        let tree = frag(
+            vec![
+                MachInst::ReadAr { d: 0, slot: 0 },
+                MachInst::LoadSlot { d: 1, o: 0, slot: 1 },
+                MachInst::StoreSlot { o: 0, slot: 0, s: 1 },
+                MachInst::LoadSlot { d: 2, o: 0, slot: 0 },
+                MachInst::WriteAr { slot: 1, s: 2 },
+                MachInst::End { exit: 0 },
+            ],
+            1,
+        );
+        run_both_with(&tree, &[obj_w, 0], 0, u64::MAX, |r| {
+            setup_heap(r);
+        });
+    }
+
+    #[test]
+    fn elem_load_store_and_growth_differential() {
+        let (_, _, arr_w, _) = probe_heap();
+        // elements[2] -> elements[0]; then a growing store at index 5
+        // (set_element extends the dense array) observed via ArrayLen.
+        let tree = frag(
+            vec![
+                MachInst::ReadAr { d: 0, slot: 0 },
+                MachInst::ReadAr { d: 1, slot: 1 },
+                MachInst::ReadAr { d: 2, slot: 2 },
+                MachInst::LoadElem { d: 3, a: 0, i: 1 },
+                MachInst::StoreElem { a: 0, i: 2, s: 3 },
+                MachInst::ArrayLen { d: 4, a: 0 },
+                MachInst::WriteAr { slot: 1, s: 3 },
+                MachInst::WriteAr { slot: 2, s: 4 },
+                MachInst::End { exit: 0 },
+            ],
+            1,
+        );
+        run_both_with(&tree, &[arr_w, w(2), w(0)], 0, u64::MAX, |r| {
+            setup_heap(r);
+        });
+        run_both_with(&tree, &[arr_w, w(1), w(5)], 0, u64::MAX, |r| {
+            setup_heap(r);
+        });
+    }
+
+    #[test]
+    fn proto_array_len_str_len_differential() {
+        let (_, obj_w, arr_w, str_w) = probe_heap();
+        let tree = frag(
+            vec![
+                MachInst::ReadAr { d: 0, slot: 0 },
+                MachInst::ReadAr { d: 1, slot: 1 },
+                MachInst::ReadAr { d: 2, slot: 2 },
+                MachInst::LoadProto { d: 3, o: 0 },
+                MachInst::ArrayLen { d: 4, a: 1 },
+                MachInst::StrLen { d: 5, a: 2 },
+                MachInst::WriteAr { slot: 0, s: 3 },
+                MachInst::WriteAr { slot: 1, s: 4 },
+                MachInst::WriteAr { slot: 2, s: 5 },
+                MachInst::End { exit: 0 },
+            ],
+            1,
+        );
+        run_both_with(&tree, &[obj_w, arr_w, str_w], 0, u64::MAX, |r| {
+            setup_heap(r);
+        });
+    }
+
+    #[test]
+    fn call_helper_differential_pure_and_allocating() {
+        // Pure 1-arg and 2-arg math helpers.
+        let tree = frag(
+            vec![
+                MachInst::ReadAr { d: 0, slot: 0 },
+                MachInst::ReadAr { d: 1, slot: 1 },
+                MachInst::CallHelper { d: 2, helper: Helper::Sin, args: vec![0].into(), exit: 1 },
+                MachInst::CallHelper {
+                    d: 3,
+                    helper: Helper::Pow,
+                    args: vec![0, 1].into(),
+                    exit: 1,
+                },
+                MachInst::WriteAr { slot: 0, s: 2 },
+                MachInst::WriteAr { slot: 1, s: 3 },
+                MachInst::End { exit: 0 },
+            ],
+            2,
+        );
+        let e = run_both_with(&tree, &[d(0.5), d(3.0)], 0, u64::MAX, |_| {});
+        assert_eq!(e.exit, 0, "pure helpers never take the reenter exit");
+
+        // An allocating string helper: both realms allocate identically.
+        let (_, _, _, str_w) = probe_heap();
+        let tree = frag(
+            vec![
+                MachInst::ReadAr { d: 0, slot: 0 },
+                MachInst::CallHelper {
+                    d: 1,
+                    helper: Helper::ConcatStrings,
+                    args: vec![0, 0].into(),
+                    exit: 1,
+                },
+                MachInst::StrLen { d: 2, a: 1 },
+                MachInst::WriteAr { slot: 0, s: 2 },
+                MachInst::End { exit: 0 },
+            ],
+            2,
+        );
+        run_both_with(&tree, &[str_w], 0, u64::MAX, |r| {
+            setup_heap(r);
+        });
+    }
+
+    fn reentering_native(realm: &mut Realm, _args: &[Value]) -> Result<Value, RuntimeError> {
+        realm.output.push('.');
+        Ok(Value::new_int(5))
+    }
+
+    fn failing_native(_realm: &mut Realm, _args: &[Value]) -> Result<Value, RuntimeError> {
+        Err(RuntimeError::Other("native failure".into()))
+    }
+
+    #[test]
+    fn call_helper_reenter_takes_exit_on_both_tiers() {
+        let register = |realm: &mut Realm| {
+            realm.register_native(
+                "test.reenter",
+                reentering_native,
+                NativeEffects { may_reenter: true, ..NativeEffects::default() },
+                None,
+            )
+        };
+        let id = register(&mut Realm::new());
+        let tree = frag(
+            vec![
+                MachInst::ReadAr { d: 0, slot: 0 },
+                MachInst::CallHelper {
+                    d: 1,
+                    helper: Helper::CallNative(id),
+                    args: vec![0].into(),
+                    exit: 1,
+                },
+                MachInst::WriteAr { slot: 0, s: 1 },
+                MachInst::End { exit: 0 },
+            ],
+            2,
+        );
+        let e = run_both_with(&tree, &[Value::new_int(1).raw()], 0, u64::MAX, |r| {
+            register(r);
+        });
+        assert_eq!(e.exit, 1, "§6.5: reentrant native forces the side exit");
+    }
+
+    #[test]
+    fn call_helper_error_propagates_from_native_code() {
+        let register = |realm: &mut Realm| {
+            realm.register_native(
+                "test.fail",
+                failing_native,
+                NativeEffects::default(),
+                None,
+            )
+        };
+        let id = register(&mut Realm::new());
+        let tree = frag(
+            vec![
+                MachInst::ReadAr { d: 0, slot: 0 },
+                MachInst::CallHelper {
+                    d: 1,
+                    helper: Helper::CallNative(id),
+                    args: vec![0].into(),
+                    exit: 1,
+                },
+                MachInst::End { exit: 0 },
+            ],
+            2,
+        );
+        let mut realm_dec = Realm::new();
+        register(&mut realm_dec);
+        let mut ar_dec = vec![Value::new_int(1).raw()];
+        let dec =
+            execute(&tree, 0, &mut ar_dec, &mut realm_dec, &mut NoNesting, u64::MAX)
+                .unwrap_err();
+        let mut realm_nat = Realm::new();
+        register(&mut realm_nat);
+        let mut ar_nat = vec![Value::new_int(1).raw()];
+        let nt = emit_tree(&tree).unwrap();
+        let nat = nt
+            .execute(0, &mut ar_nat, &mut realm_nat, &mut NoNesting, u64::MAX)
+            .unwrap_err();
+        assert_eq!(dec, nat, "both tiers surface the helper's RuntimeError");
+    }
+
+    #[test]
+    fn call_helper_sites_annotate_helper_names() {
+        let tree = frag(
+            vec![
+                MachInst::ReadAr { d: 0, slot: 0 },
+                MachInst::CallHelper { d: 1, helper: Helper::Sqrt, args: vec![0].into(), exit: 1 },
+                MachInst::End { exit: 0 },
+            ],
+            2,
+        );
+        let dump = super::emit_tree_annotated(&tree).unwrap().hexdump();
+        assert!(
+            dump.contains("; helper table[0] = Sqrt"),
+            "hexdump resolves the helper name, not just a table index:\n{dump}"
+        );
+    }
+
+    #[test]
+    fn call_tree_reenters_host_and_bridges() {
+        let fragments = frag(
+            vec![
+                MachInst::CallTree { tree: 3, exit: 1 },
+                MachInst::ConstW { d: 0, w: 1 },
+                MachInst::WriteAr { slot: 0, s: 0 },
+                MachInst::End { exit: 0 },
+            ],
+            2,
+        );
+        struct Scripted {
+            cont: bool,
+            seen_site: u32,
+        }
+        impl TreeHost for Scripted {
+            fn call_tree(
+                &mut self,
+                tree: u32,
+                ar: &mut [u64],
+                _realm: &mut Realm,
+            ) -> Result<bool, RuntimeError> {
+                self.seen_site = tree;
+                ar[1] = 7;
+                Ok(self.cont)
+            }
+        }
+        for cont in [false, true] {
+            let mut realm_dec = Realm::new();
+            let mut ar_dec = vec![0u64, 0];
+            let mut h_dec = Scripted { cont, seen_site: u32::MAX };
+            let dec = execute(&fragments, 0, &mut ar_dec, &mut realm_dec, &mut h_dec, u64::MAX)
+                .unwrap();
+            let mut realm_nat = Realm::new();
+            let mut ar_nat = vec![0u64, 0];
+            let mut h_nat = Scripted { cont, seen_site: u32::MAX };
+            let nt = emit_tree(&fragments).unwrap();
+            let nat = nt
+                .execute(0, &mut ar_nat, &mut realm_nat, &mut h_nat, u64::MAX)
+                .unwrap();
+            assert_eq!(dec, nat, "exit records diverge");
+            assert_eq!(ar_dec, ar_nat, "activation records diverge");
+            assert_eq!(h_nat.seen_site, 3, "nested-site id passes through the shim");
+            assert_eq!(ar_nat[1], 7, "host AR writes visible after native CallTree");
+            assert_eq!(dec.exit, u16::from(!cont), "Ok(false) takes the call's exit");
+        }
+        // An erroring host (NoNesting included) propagates Err out of
+        // the native buffer, matching the decoded tier.
+        let nt = emit_tree(&fragments).unwrap();
+        let mut ar = vec![0u64, 0];
+        let err = nt
+            .execute(0, &mut ar, &mut Realm::new(), &mut NoNesting, u64::MAX)
+            .unwrap_err();
+        let mut ar = vec![0u64, 0];
+        let dec_err =
+            execute(&fragments, 0, &mut ar, &mut Realm::new(), &mut NoNesting, u64::MAX)
+                .unwrap_err();
+        assert_eq!(dec_err, err);
     }
 }

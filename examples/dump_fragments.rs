@@ -24,8 +24,11 @@
 //! hexdumped, interleaved with the virtual instructions it implements
 //! and the exit trampolines (`exit site: ... -> return` materializes the
 //! exit index for the monitor; `-> jmp fragment N` is a stitched exit
-//! baked in as a direct jump). Works in the offline `.tmc` mode too —
-//! the emitter only needs the fragments, not a VM.
+//! baked in as a direct jump). `CallHelper` sites carry a
+//! `; helper table[i] = <name>` line resolving the per-tree helper-table
+//! index to the helper it dispatches (e.g. `ConcatStrings`, or
+//! `CallNative(id)` for registered builtins). Works in the offline
+//! `.tmc` mode too — the emitter only needs the fragments, not a VM.
 
 use tracemonkey::jit::persist::read_cache_file;
 use tracemonkey::nanojit::{emit_tree_annotated, native_supported, Fragment};

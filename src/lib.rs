@@ -61,6 +61,7 @@ pub use tm_core::{
 pub use tm_runtime::{Realm, RuntimeError, Value};
 
 use std::path::PathBuf;
+use std::sync::Arc;
 
 use tm_core::persist::cache_path_from_env;
 use tm_core::profiler::ProfileStats;
@@ -121,6 +122,10 @@ pub struct Vm {
     cache_path: Option<PathBuf>,
     /// Why the last eval's cache load or save was rejected, if it was.
     last_cache_error: Option<CacheError>,
+    /// Shared background compiler pool (tracing engine only); when set
+    /// and `background_compile` is on, trace compilation and native
+    /// emission run on the pool's workers instead of the request thread.
+    pool: Option<Arc<CompilerPool>>,
 }
 
 impl Vm {
@@ -141,7 +146,14 @@ impl Vm {
             step_budget: u64::MAX,
             cache_path: cache_path_from_env(),
             last_cache_error: None,
+            pool: None,
         }
+    }
+
+    /// Attaches a background compiler pool. Takes effect on the next
+    /// `eval` when `JitOptions::background_compile` is on.
+    pub fn attach_pool(&mut self, pool: Arc<CompilerPool>) {
+        self.pool = Some(pool);
     }
 
     /// The engine this VM runs.
@@ -194,6 +206,9 @@ impl Vm {
                 let mut interp = Interp::new(prog, &mut self.realm);
                 interp.steps_remaining = self.step_budget;
                 let mut monitor = Monitor::new(self.opts);
+                if let Some(pool) = &self.pool {
+                    monitor.attach_pool(Arc::clone(pool));
+                }
                 self.last_cache_error = None;
                 // Capture the cache key/fingerprint at the install point
                 // (post-compile, pre-run): the warm process must load

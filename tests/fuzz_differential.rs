@@ -451,11 +451,22 @@ fn fuzz_replay_seeds() {
 /// on or off (off = the decoded dispatch-loop executor, the portable
 /// reference). Returns the displayed result plus the monitor's
 /// `(native_exits, native_fallbacks, trace_enters)` counters.
-fn run_tracing_native(src: &str, native: bool) -> (Result<String, String>, (u64, u64, u64)) {
+/// `background` additionally attaches a two-worker compiler pool and
+/// turns on `background_compile`, so trace compilation *and* native
+/// emission run off the request thread (the `TM_FUZZ_BG=1` mode).
+fn run_tracing_native(
+    src: &str,
+    native: bool,
+    background: bool,
+) -> (Result<String, String>, (u64, u64, u64)) {
     let mut opts = tracemonkey::JitOptions::default();
     opts.native_backend = native;
+    opts.background_compile = background;
     opts.profile = true;
     let mut vm = Vm::with_options(Engine::Tracing, opts);
+    if background {
+        vm.attach_pool(std::sync::Arc::new(tracemonkey::CompilerPool::new(2)));
+    }
     vm.step_budget = 30_000_000;
     let r = match vm.eval(src) {
         Ok(v) => Ok(tracemonkey::runtime::ops::to_display(&mut vm.realm, v)),
@@ -494,8 +505,9 @@ fn fuzz_native_tier() {
     for seed in seeds {
         let src = Gen::new(seed).program();
         let baseline = run(Engine::Interp, &src);
-        let (decoded, _) = run_tracing_native(&src, false);
-        let (native, (exits, fallbacks, enters)) = run_tracing_native(&src, true);
+        let background = std::env::var("TM_FUZZ_BG").as_deref() == Ok("1");
+        let (decoded, _) = run_tracing_native(&src, false, false);
+        let (native, (exits, fallbacks, enters)) = run_tracing_native(&src, true, background);
         assert_eq!(
             decoded, baseline,
             "seed {seed}: decoded executor disagrees with the interpreter:\n{src}"

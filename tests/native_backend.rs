@@ -48,23 +48,89 @@ fn supported_tree_runs_native_and_counters_balance() {
 }
 
 #[test]
-fn unsupported_ops_fall_back_with_counter_pinned() {
+fn shape_guarded_trees_run_native() {
     if !tracemonkey::nanojit::native_supported() {
         return;
     }
-    // Property access traces to GuardShape/LoadSlot/StoreSlot, which the
-    // native emitter rejects: the whole tree must fall back to the
-    // decoded executor, be counted, and still compute the right answer.
+    // Property access traces to GuardShape/LoadSlot/StoreSlot. Since the
+    // full-coverage tier these emit natively: the tree runs through the
+    // x86-64 buffer (majority of entries; the emission-countdown entries
+    // before the buffer exists still fall back) and agrees with the
+    // decoded executor.
     let (shown, stats) = run_with(OBJ_LOOP, true);
     let (decoded_shown, _) = run_with(OBJ_LOOP, false);
     assert_eq!(shown, decoded_shown);
     assert!(stats.trace_enters >= 1, "the loop must trace at all: {stats:?}");
+    assert!(stats.native_fragments >= 1, "the shape-guarded tree must emit: {stats:?}");
     assert!(
-        stats.native_fallbacks >= 1,
-        "shape-guarded trees must fall back, pinned by this counter: {stats:?}"
+        stats.native_exits > stats.native_fallbacks,
+        "object traces run majority-native now: {stats:?}"
     );
-    assert_eq!(stats.native_exits, 0, "nothing here is nativeable: {stats:?}");
     assert_eq!(stats.native_exits + stats.native_fallbacks, stats.trace_enters);
+}
+
+/// With `background_compile` on and a pool attached, native emission runs
+/// on the pool's worker threads and never on the request thread — pinned
+/// by the two emission counters. The result must still agree with both
+/// the sync-emission run and the decoded executor.
+#[test]
+fn native_emission_runs_off_thread_with_pool() {
+    if !tracemonkey::nanojit::native_supported() {
+        return;
+    }
+    // The hot loop sits in a function called many times (nesting off, as
+    // in `branch_install_invalidates_and_reemits`) so the monitor keeps
+    // entering the tree — each entry polls the emission ticket, and once
+    // it resolves the remaining entries run native.
+    let int_calls = "\
+        function f(n) { var s = 0; for (var i = 0; i < n; i++) s = (s + (i ^ 3)) | 0; return s; }\n\
+        var t = 0;\n\
+        for (var j = 0; j < 80; j++) { t = (t + f(200)) | 0; }\n\
+        t";
+    let obj_calls = "\
+        function g(n) {\n\
+            var o = { a: 0, b: 1 };\n\
+            for (var i = 0; i < n; i++) { o.a = (o.a + o.b + i) | 0; }\n\
+            return o.a;\n\
+        }\n\
+        var t = 0;\n\
+        for (var j = 0; j < 80; j++) { t = (t + g(200)) | 0; }\n\
+        t";
+    let run = |src: &str, background: bool| {
+        let mut opts = JitOptions::default();
+        opts.native_backend = true;
+        opts.background_compile = background;
+        opts.enable_nesting = false;
+        opts.profile = true;
+        let mut vm = Vm::with_options(Engine::Tracing, opts);
+        if background {
+            vm.attach_pool(std::sync::Arc::new(tracemonkey::CompilerPool::new(2)));
+        }
+        let v = vm.eval(src).expect("program runs");
+        let shown = tracemonkey::runtime::ops::to_display(&mut vm.realm, v);
+        (shown, vm.profile().expect("tracing engine profiles").clone())
+    };
+    for src in [int_calls, obj_calls] {
+        let (shown, stats) = run(src, true);
+        let (sync_shown, sync_stats) = run(src, false);
+        let (decoded_shown, _) = run_with(src, false);
+        assert_eq!(shown, sync_shown);
+        assert_eq!(shown, decoded_shown);
+        assert!(
+            stats.native_emissions_offthread >= 1,
+            "emission must happen on the pool: {stats:?}"
+        );
+        assert_eq!(
+            stats.native_emissions_sync, 0,
+            "zero emissions on the request thread with a pool attached: {stats:?}"
+        );
+        assert!(
+            sync_stats.native_emissions_sync >= 1 && sync_stats.native_emissions_offthread == 0,
+            "without a pool the same program emits synchronously: {sync_stats:?}"
+        );
+        assert!(stats.native_exits >= 1, "the pool-emitted tree must run: {stats:?}");
+        assert_eq!(stats.native_exits + stats.native_fallbacks, stats.trace_enters);
+    }
 }
 
 #[test]
